@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the hot data structures: the prediction
+//! math (these run on every progress event of every transaction), the
+//! metrics histogram, storage validation, and workload sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use planet_predict::likelihood::{KeyState, LikelihoodModel, TxnSnapshot};
+use planet_predict::quorum::prob_at_least;
+use planet_predict::LatencyEcdf;
+use planet_sim::{DetRng, Histogram};
+use planet_storage::{Key, RecordOption, Store, TxnId, Value, WriteOp};
+use planet_workload::Zipf;
+
+fn bench_quorum(c: &mut Criterion) {
+    let probs5 = [0.9, 0.8, 0.95, 0.7, 0.85];
+    let probs16: Vec<f64> = (0..16).map(|i| 0.5 + (i as f64) * 0.03).collect();
+    c.bench_function("quorum/poisson_binomial_5_of_4", |b| {
+        b.iter(|| prob_at_least(black_box(&probs5), black_box(4)))
+    });
+    c.bench_function("quorum/poisson_binomial_16_of_11", |b| {
+        b.iter(|| prob_at_least(black_box(&probs16), black_box(11)))
+    });
+}
+
+fn bench_likelihood(c: &mut Criterion) {
+    let mut model = LikelihoodModel::new(5, 512);
+    let mut rng = DetRng::new(7);
+    for _ in 0..512 {
+        for site in 0..5u8 {
+            let rtt = 100_000 + (rng.unit_f64() * 50_000.0) as u64;
+            model.observe_vote(site, rtt, rng.bernoulli(0.9), 1, 42);
+        }
+        model.observe_key_resolution(42, rng.bernoulli(0.8));
+    }
+    let snap = TxnSnapshot {
+        keys: vec![
+            KeyState {
+                accepts: 1,
+                rejects: 0,
+                outstanding: vec![1, 2, 3, 4],
+                pending_at_read: 1,
+                key_hash: 42,
+                quorum: 4,
+                voters: 5,
+            },
+            KeyState {
+                accepts: 0,
+                rejects: 0,
+                outstanding: vec![0, 1, 2, 3, 4],
+                pending_at_read: 0,
+                key_hash: 43,
+                quorum: 4,
+                voters: 5,
+            },
+        ],
+        elapsed_us: 40_000,
+    };
+    c.bench_function("likelihood/two_key_snapshot", |b| {
+        b.iter(|| model.likelihood(black_box(&snap), black_box(200_000)))
+    });
+    c.bench_function("likelihood/observe_vote", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            model.observe_vote((i % 5) as u8, 100_000 + i % 1000, true, 0, i % 64);
+        })
+    });
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let mut ecdf = LatencyEcdf::new(512);
+    for i in 0..512u64 {
+        ecdf.record(100_000 + i * 37 % 50_000);
+    }
+    c.bench_function("ecdf/conditional_within_warm", |b| {
+        b.iter(|| ecdf.conditional_within(black_box(40_000), black_box(150_000)))
+    });
+    c.bench_function("ecdf/record_and_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ecdf.record(100_000 + i % 10_000);
+            ecdf.cdf(black_box(120_000))
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = Histogram::new();
+    c.bench_function("histogram/record", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(i % 10_000_000));
+        })
+    });
+    for v in (0..1_000_000).step_by(37) {
+        h.record(v);
+    }
+    c.bench_function("histogram/quantile", |b| {
+        b.iter(|| h.quantile(black_box(0.99)))
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    c.bench_function("storage/accept_decide_physical", |b| {
+        let mut store = Store::new();
+        let key = Key::new("bench");
+        let mut seq = 0u64;
+        b.iter(|| {
+            let read = store.read(&key);
+            let txn = TxnId::new(0, seq);
+            seq += 1;
+            let opt = RecordOption::new(txn, read.version, WriteOp::Set(Value::Int(seq as i64)));
+            store.accept(&key, opt).unwrap();
+            store.decide(&key, txn, true);
+        });
+        // Bound memory growth during long bench runs.
+        store.gc(4);
+    });
+    c.bench_function("storage/demarcation_validate", |b| {
+        let mut store = Store::new();
+        let key = Key::new("stock");
+        store
+            .accept(&key, RecordOption::new(TxnId::new(0, 0), 0, WriteOp::Set(Value::Int(1_000_000))))
+            .unwrap();
+        store.decide(&key, TxnId::new(0, 0), true);
+        // A standing crowd of pending deltas to sum over.
+        for i in 1..=16u64 {
+            store
+                .accept(&key, RecordOption::new(TxnId::new(0, i), 0, WriteOp::add_with_floor(-1, 0)))
+                .unwrap();
+        }
+        let probe = RecordOption::new(TxnId::new(1, 0), 0, WriteOp::add_with_floor(-1, 0));
+        b.iter(|| store.validate(&key, black_box(&probe)))
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000_000, 0.99);
+    let mut rng = DetRng::new(3);
+    c.bench_function("workload/zipf_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+criterion_group!(
+    benches,
+    bench_quorum,
+    bench_likelihood,
+    bench_ecdf,
+    bench_histogram,
+    bench_storage,
+    bench_zipf
+);
+criterion_main!(benches);

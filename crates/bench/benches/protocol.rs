@@ -1,0 +1,66 @@
+//! Criterion benchmarks of whole-protocol simulation throughput: how many
+//! simulated transactions per wall-clock second the deterministic engine
+//! sustains per commit path. These guard the *simulator's* performance —
+//! the full-scale experiments run millions of events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use planet_core::{Planet, PlanetTxn, Protocol, SimDuration};
+
+/// Run a fixed batch of single-key writes end to end and return the
+/// deployment (so the work cannot be optimised away).
+fn run_batch(protocol: Protocol, n: u64, seed: u64) -> Planet {
+    let mut db = Planet::builder().protocol(protocol).seed(seed).build();
+    let base = db.now();
+    for i in 0..n {
+        let txn = PlanetTxn::builder().set(format!("k{i}"), i as i64).build();
+        db.submit_at(0, base + SimDuration::from_millis(1 + i * 5), txn);
+    }
+    db.run_for(SimDuration::from_secs(n * 5 / 1000 + 5));
+    assert!(db.metrics().counter_value("planet.committed") >= n * 9 / 10);
+    db
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_sim_throughput");
+    group.sample_size(10);
+    for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
+        group.bench_with_input(
+            BenchmarkId::new("100_txns", protocol.name()),
+            &protocol,
+            |b, &p| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run_batch(p, 100, seed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_sim_contended");
+    group.sample_size(10);
+    group.bench_function("five_site_hot_key_batch", |b| {
+        let mut seed = 1000;
+        b.iter(|| {
+            seed += 1;
+            let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
+            let base = db.now();
+            for i in 0..20u64 {
+                for site in 0..5usize {
+                    let txn = PlanetTxn::builder().set("hot", i as i64).build();
+                    db.submit_at(site, base + SimDuration::from_millis(1 + i * 50), txn);
+                }
+            }
+            db.run_for(SimDuration::from_secs(15));
+            db
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_contended);
+criterion_main!(benches);

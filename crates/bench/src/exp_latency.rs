@@ -1,0 +1,217 @@
+//! Latency-shape experiments: fig1 (per-origin commit-latency CDFs, i.e.
+//! substrate validation), fig5 (latency CDF per commit strategy), tab1
+//! (percentile table per site and strategy), fig8 (time until the
+//! application learns likelihood ≥ X).
+
+use planet_core::{PlanetTxn, Protocol, SimDuration};
+use planet_sim::topology::FIVE_DC_NAMES;
+
+use crate::common::{deployment, latency_percentiles, sequential_writes, warm_all_sites, Scale};
+use crate::report::{ms, Table};
+
+/// fig1-rtt: commit-latency CDF per origin data center on the fast path.
+/// Validates that the simulated WAN reproduces the five-region shape: a
+/// commit from any origin costs roughly the round trip to its
+/// quorum-completing (4th-closest incl. self) replica.
+pub fn fig1_rtt(scale: Scale) -> Table {
+    let n = scale.count(20, 200);
+    let mut db = deployment(Protocol::Fast, 101);
+    let mut handles_per_site = Vec::new();
+    for site in 0..5 {
+        handles_per_site.push(sequential_writes(&mut db, site, n, 600, "fig1"));
+    }
+    db.run_for(SimDuration::from_secs(n * 600 / 1000 + 10));
+
+    let quantiles = [0.10, 0.50, 0.90, 0.99];
+    let mut table = Table::new(
+        "fig1-rtt",
+        "Fast-path commit latency CDF per origin DC (single-key writes)",
+        &["origin", "n", "p10", "p50", "p90", "p99"],
+    );
+    for (site, handles) in handles_per_site.iter().enumerate() {
+        let records: Vec<_> = handles.iter().filter_map(|h| db.record(*h)).collect();
+        let ps = latency_percentiles(&records, &quantiles);
+        table.row(vec![
+            FIVE_DC_NAMES[site].to_string(),
+            records.len().to_string(),
+            ms(ps[0]),
+            ms(ps[1]),
+            ms(ps[2]),
+            ms(ps[3]),
+        ]);
+    }
+    table.note("expected shape: each origin pays ~RTT to its 4th-closest replica (fast quorum of 4/5)");
+    table
+}
+
+/// fig5-latency-cdf: end-to-end response-time percentiles for four
+/// strategies on the same single-key-write workload: PLANET speculative
+/// response, MDCC fast final, MDCC classic final, 2PC final.
+pub fn fig5_latency_cdf(scale: Scale) -> Table {
+    let n = scale.count(30, 300);
+    let quantiles = [0.10, 0.50, 0.90, 0.99];
+    let mut table = Table::new(
+        "fig5-latency-cdf",
+        "Response-time percentiles per commit strategy (writes from us-east)",
+        &["strategy", "n", "p10", "p50", "p90", "p99"],
+    );
+
+    // PLANET speculative: fast path + speculation threshold; response time
+    // is the speculation instant for txns that speculated.
+    {
+        let mut db = deployment(Protocol::Fast, 102);
+        warm_all_sites(&mut db, scale.count(10, 40));
+        let base = db.now();
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let txn = PlanetTxn::builder()
+                    .set(format!("fig5:{i}"), i as i64)
+                    .speculate_at(0.95)
+                    .build();
+                db.submit_at(0, base + SimDuration::from_millis(1 + i * 600), txn)
+            })
+            .collect();
+        db.run_for(SimDuration::from_secs(n * 600 / 1000 + 10));
+        let mut lats: Vec<u64> = handles
+            .iter()
+            .filter_map(|h| db.record(*h))
+            .filter(|r| r.outcome.is_commit())
+            .map(|r| r.speculated_at.unwrap_or(r.latency).as_micros())
+            .collect();
+        lats.sort_unstable();
+        let pick = |q: f64| {
+            if lats.is_empty() { 0 } else { lats[((q * (lats.len() - 1) as f64).round()) as usize] }
+        };
+        table.row(vec![
+            "planet-speculative".into(),
+            lats.len().to_string(),
+            ms(pick(quantiles[0])),
+            ms(pick(quantiles[1])),
+            ms(pick(quantiles[2])),
+            ms(pick(quantiles[3])),
+        ]);
+    }
+
+    for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
+        let mut db = deployment(protocol, 103);
+        let handles = sequential_writes(&mut db, 0, n, 600, "fig5");
+        db.run_for(SimDuration::from_secs(n * 600 / 1000 + 10));
+        let records: Vec<_> = handles
+            .iter()
+            .filter_map(|h| db.record(*h))
+            .filter(|r| r.outcome.is_commit())
+            .collect();
+        let ps = latency_percentiles(&records, &quantiles);
+        table.row(vec![
+            format!("{protocol}-final"),
+            records.len().to_string(),
+            ms(ps[0]),
+            ms(ps[1]),
+            ms(ps[2]),
+            ms(ps[3]),
+        ]);
+    }
+    table.note("expected shape: speculative < fast-final < classic-final < twopc-final");
+    table
+}
+
+/// tab1-percentiles: commit-latency percentiles per origin site per
+/// protocol.
+pub fn tab1_percentiles(scale: Scale) -> Table {
+    let n = scale.count(15, 150);
+    let mut table = Table::new(
+        "tab1-percentiles",
+        "Commit latency per origin DC and protocol (single-key writes)",
+        &["origin", "protocol", "p50", "p90", "p99"],
+    );
+    for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
+        let mut db = deployment(protocol, 104);
+        let mut per_site = Vec::new();
+        for site in 0..5 {
+            per_site.push(sequential_writes(&mut db, site, n, 700, "tab1"));
+        }
+        db.run_for(SimDuration::from_secs(n * 700 / 1000 + 10));
+        for (site, handles) in per_site.iter().enumerate() {
+            let records: Vec<_> = handles
+                .iter()
+                .filter_map(|h| db.record(*h))
+                .filter(|r| r.outcome.is_commit())
+                .collect();
+            let ps = latency_percentiles(&records, &[0.5, 0.9, 0.99]);
+            table.row(vec![
+                FIVE_DC_NAMES[site].to_string(),
+                protocol.name().to_string(),
+                ms(ps[0]),
+                ms(ps[1]),
+                ms(ps[2]),
+            ]);
+        }
+    }
+    table
+}
+
+/// fig8-callbacks: how quickly the application learns that the commit
+/// likelihood has reached X, versus waiting for the final outcome.
+pub fn fig8_callbacks(scale: Scale) -> Table {
+    let n = scale.count(30, 300);
+    let mut db = deployment(Protocol::Fast, 105);
+    warm_all_sites(&mut db, scale.count(10, 40));
+    let base = db.now();
+    // A 185 ms deadline makes time itself part of the prediction: the p50
+    // fast commit from us-east is ~170 ms, so "will this commit in time?" is
+    // genuinely uncertain until votes arrive, and higher confidence levels
+    // are reached later.
+    let deadline = SimDuration::from_millis(185);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let txn = PlanetTxn::builder()
+                .set(format!("fig8:{i}"), i as i64)
+                .deadline(deadline)
+                .build();
+            db.submit_at(0, base + SimDuration::from_millis(1 + i * 600), txn)
+        })
+        .collect();
+    db.run_for(SimDuration::from_secs(n * 600 / 1000 + 10));
+
+    let thresholds = [0.50, 0.80, 0.90, 0.95, 0.99];
+    let mut table = Table::new(
+        "fig8-callbacks",
+        "Median time until likelihood ≥ X (committed txns, 185ms deadline, us-east)",
+        &["threshold", "n", "median time-to-X", "median final commit", "saving"],
+    );
+    let committed: Vec<_> = handles
+        .iter()
+        .filter_map(|h| db.record(*h))
+        .filter(|r| r.outcome.is_commit())
+        .collect();
+    let mut finals: Vec<u64> = committed.iter().map(|r| r.latency.as_micros()).collect();
+    finals.sort_unstable();
+    let median_final = finals.get(finals.len() / 2).copied().unwrap_or(0);
+    for &x in &thresholds {
+        let mut times: Vec<u64> = committed
+            .iter()
+            .filter_map(|r| {
+                r.predictions
+                    .iter()
+                    .find(|p| p.likelihood >= x)
+                    .map(|p| p.elapsed_us)
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times.get(times.len() / 2).copied().unwrap_or(0);
+        let saving = if median_final > 0 {
+            1.0 - median as f64 / median_final as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            format!("{x:.2}"),
+            times.len().to_string(),
+            ms(median),
+            ms(median_final),
+            crate::report::pct(saving),
+        ]);
+    }
+    table.note("graded confidence: 0.5 is known a priori, 0.8 needs the 3rd-fastest vote, ≥0.95 effectively needs the quorum-completing vote — with a deadline this tight, near-certainty only arrives with the outcome");
+    table
+}

@@ -1,0 +1,86 @@
+//! fig4-speculation: the speculative-commit trade-off. Sweeping the
+//! speculation threshold τ trades response time (lower τ ⇒ answer sooner)
+//! against apology rate (lower τ ⇒ more speculations that end in abort).
+
+use planet_core::{PlanetTxn, Protocol, SimDuration};
+
+use crate::common::{deployment, warm_all_sites, Scale};
+use crate::report::{ms, pct, Table};
+
+/// fig4-speculation: sweep τ over a moderately contended workload.
+pub fn fig4_speculation(scale: Scale) -> Table {
+    let rounds = scale.count(40, 250);
+    let thresholds = [0.50, 0.70, 0.80, 0.90, 0.95, 0.99];
+    let mut table = Table::new(
+        "fig4-speculation",
+        "Speculative commits: response time vs apology rate across thresholds",
+        &[
+            "threshold",
+            "txns",
+            "speculated",
+            "apologies",
+            "apology rate",
+            "p50 speculative resp",
+            "p50 final commit",
+        ],
+    );
+
+    for (i, &tau) in thresholds.iter().enumerate() {
+        let mut db = deployment(Protocol::Fast, 300 + i as u64);
+        warm_all_sites(&mut db, scale.count(10, 30));
+        let base = db.now();
+        let mut handles = Vec::new();
+        for round in 0..rounds {
+            for site in 0..5usize {
+                // A quarter of the traffic fights over 2 hot keys.
+                let key = if round % 4 == 0 {
+                    format!("hot:{}", round % 2)
+                } else {
+                    format!("cold:{site}:{round}")
+                };
+                let txn = PlanetTxn::builder()
+                    .set(key, round as i64)
+                    .speculate_at(tau)
+                    .build();
+                handles.push(db.submit_at(
+                    site,
+                    base + SimDuration::from_millis(10 + round * 300),
+                    txn,
+                ));
+            }
+        }
+        db.run_for(SimDuration::from_secs(rounds / 3 + 30));
+
+        let records: Vec<_> = handles.iter().filter_map(|h| db.record(*h)).collect();
+        let speculated: Vec<_> = records.iter().filter(|r| r.speculated_at.is_some()).collect();
+        let apologies = records.iter().filter(|r| r.apologised()).count();
+        let mut spec_resp: Vec<u64> = speculated
+            .iter()
+            .map(|r| r.speculated_at.unwrap().as_micros())
+            .collect();
+        spec_resp.sort_unstable();
+        let mut finals: Vec<u64> = records
+            .iter()
+            .filter(|r| r.outcome.is_commit())
+            .map(|r| r.latency.as_micros())
+            .collect();
+        finals.sort_unstable();
+        let p50 = |v: &Vec<u64>| v.get(v.len() / 2).copied().unwrap_or(0);
+        let apology_rate = if speculated.is_empty() {
+            0.0
+        } else {
+            apologies as f64 / speculated.len() as f64
+        };
+        table.row(vec![
+            format!("{tau:.2}"),
+            records.len().to_string(),
+            speculated.len().to_string(),
+            apologies.to_string(),
+            pct(apology_rate),
+            ms(p50(&spec_resp)),
+            ms(p50(&finals)),
+        ]);
+    }
+    table.note("expected shape: apology rate falls as τ rises; speculative response stays well under final-commit latency");
+    table
+}

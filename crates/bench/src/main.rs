@@ -1,0 +1,64 @@
+//! The `experiments` binary: regenerate any figure or table of the
+//! reconstructed PLANET evaluation.
+//!
+//! ```text
+//! cargo run -p planet-bench --release -- all            # every experiment, full scale
+//! cargo run -p planet-bench --release -- fig2-calibration
+//! cargo run -p planet-bench --release -- fig6-admission --quick
+//! cargo run -p planet-bench --release -- all --csv results/   # also write CSVs
+//! ```
+
+use planet_bench::{run_experiment, Scale, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    // `--csv <dir>` writes each experiment's table as <dir>/<id>.csv.
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mut skip_next = false;
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|a| a.as_str())
+        .collect();
+
+    let ids: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        targets
+    };
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for id in ids {
+        match run_experiment(id, scale) {
+            Some(table) => {
+                table.print();
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{id}.csv");
+                    std::fs::write(&path, table.to_csv()).expect("write csv");
+                    eprintln!("wrote {path}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'. Available: {}", EXPERIMENTS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

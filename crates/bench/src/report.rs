@@ -1,0 +1,179 @@
+//! Tabular experiment output: every experiment produces a [`Table`] that is
+//! printed in the same aligned format the EXPERIMENTS.md records.
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `fig2-calibration`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Render as CSV (header row + data rows; notes become `#` comments).
+    /// Cells are quoted only when they contain commas or quotes.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Find a cell by row index and column name (for assertions in tests).
+    pub fn cell(&self, row: usize, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row)?.get(col).map(|s| s.as_str())
+    }
+
+    /// Parse a cell as f64, stripping any trailing unit suffix
+    /// (`ms`, `%`, `/s`, `x`, ...).
+    pub fn cell_f64(&self, row: usize, column: &str) -> Option<f64> {
+        let raw = self.cell(row, column)?;
+        let cleaned = raw.trim_end_matches(|c: char| !(c.is_ascii_digit()));
+        cleaned.parse().ok()
+    }
+}
+
+/// Format microseconds as milliseconds with two decimals.
+pub fn ms(us: u64) -> String {
+    format!("{:.2}ms", us as f64 / 1_000.0)
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("fig0", "demo", &["a", "long-column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("fig0"));
+        assert!(s.contains("long-column"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn cell_lookup_and_parse() {
+        let mut t = Table::new("t", "t", &["p50", "rate"]);
+        t.row(vec!["123.45ms".into(), "99.1%".into()]);
+        assert_eq!(t.cell(0, "p50"), Some("123.45ms"));
+        assert_eq!(t.cell_f64(0, "p50"), Some(123.45));
+        assert_eq!(t.cell_f64(0, "rate"), Some(99.1));
+        assert_eq!(t.cell(0, "missing"), None);
+        assert_eq!(t.cell(5, "p50"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("t", "t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_and_comments() {
+        let mut t = Table::new("t", "t", &["a", "b"]);
+        t.row(vec!["1,5".into(), "say \"hi\"".into()]);
+        t.note("a note");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# a note\n"));
+        assert!(csv.contains("a,b\n"));
+        assert!(csv.contains("\"1,5\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1_234), "1.23ms");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,236 @@
+//! Likelihood-based admission control (paper §5: "the mechanisms underlying
+//! PLANET can be used for admission control, improving overall performance
+//! in high contention situations").
+//!
+//! The controller refuses a transaction at submission time when the system
+//! predicts it would likely abort anyway: each refused transaction frees the
+//! WAN round trips and — more importantly — the *option slots* on hot
+//! records that a doomed transaction would otherwise hold, which is what
+//! keeps goodput up past the contention knee.
+
+use planet_predict::LikelihoodModel;
+
+/// The admission policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Refuse transactions whose a-priori commit likelihood is below this.
+    pub min_likelihood: f64,
+    /// Refuse once this many transactions are in flight at the site.
+    pub max_inflight: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy { min_likelihood: 0.3, max_inflight: 256 }
+    }
+}
+
+/// Why a transaction was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// Predicted likelihood below the policy minimum.
+    LowLikelihood,
+    /// Site already at its in-flight cap.
+    Overload,
+}
+
+/// The per-site admission controller. It maintains a running view of
+/// contention (the pending counts transactions observe when they read) and
+/// consults the site's likelihood model for an a-priori commit probability.
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: Option<AdmissionPolicy>,
+    /// EWMA of pending-option counts observed by recent reads — the ambient
+    /// contention level new transactions will face.
+    ambient_pending: f64,
+    admitted: u64,
+    refused: u64,
+}
+
+impl AdmissionController {
+    /// A controller with the given policy, or a pass-through when `None`.
+    pub fn new(policy: Option<AdmissionPolicy>) -> Self {
+        AdmissionController { policy, ambient_pending: 0.0, admitted: 0, refused: 0 }
+    }
+
+    /// Feed an observed pending count (from a transaction's reads).
+    pub fn observe_pending(&mut self, pending: usize) {
+        self.ambient_pending += 0.05 * (pending as f64 - self.ambient_pending);
+    }
+
+    /// The smoothed ambient contention level.
+    pub fn ambient_pending(&self) -> f64 {
+        self.ambient_pending
+    }
+
+    /// `(admitted, refused)` lifetime counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.admitted, self.refused)
+    }
+
+    /// Decide whether to admit a transaction writing the keys identified by
+    /// `write_key_hashes`, with `inflight` transactions already running at
+    /// this site. `model` is the site's likelihood model; `quorum`/`voters`
+    /// describe the protocol.
+    ///
+    /// The likelihood test is *per key*: a transaction is refused only when
+    /// the specific records it targets have a history of rejection, so
+    /// cold-key traffic is never shed (refusing it would cost goodput for
+    /// no contention relief).
+    pub fn admit(
+        &mut self,
+        model: &LikelihoodModel,
+        write_key_hashes: &[u64],
+        inflight: usize,
+        quorum: usize,
+        voters: usize,
+    ) -> Result<(), RefusalReason> {
+        let Some(policy) = self.policy else {
+            self.admitted += 1;
+            return Ok(());
+        };
+        if inflight >= policy.max_inflight {
+            self.refused += 1;
+            return Err(RefusalReason::Overload);
+        }
+        if !write_key_hashes.is_empty() {
+            let likelihood =
+                self.a_priori_likelihood(model, write_key_hashes, quorum, voters);
+            if likelihood < policy.min_likelihood {
+                self.refused += 1;
+                return Err(RefusalReason::LowLikelihood);
+            }
+        }
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// A-priori (pre-read, pre-vote) commit likelihood for a transaction
+    /// writing the given keys at the ambient contention level: per key, the
+    /// probability that a quorum of replicas accepts — using the key's own
+    /// acceptance history — assuming replicas answer (admission is about
+    /// conflicts, not tail latency).
+    pub fn a_priori_likelihood(
+        &self,
+        model: &LikelihoodModel,
+        write_key_hashes: &[u64],
+        _quorum: usize,
+        _voters: usize,
+    ) -> f64 {
+        write_key_hashes
+            .iter()
+            .map(|&h| {
+                // A key the model has never seen carries no evidence of
+                // conflict — admitting it is free, so it scores 1.0 rather
+                // than the (contention-polluted) global estimate.
+                if model.key_resolutions(h) == 0 {
+                    return 1.0;
+                }
+                // The key's learned quorum-resolution rate *is* the per-key
+                // commit probability.
+                model.txn_accept_prob(h)
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_model() -> LikelihoodModel {
+        LikelihoodModel::new(5, 64)
+    }
+
+    fn contended_model() -> LikelihoodModel {
+        let mut m = LikelihoodModel::new(5, 64);
+        for _ in 0..300 {
+            for site in 0..5u8 {
+                m.observe_vote(site, 100_000, false, 3, 9);
+            }
+            m.observe_key_resolution(9, false);
+        }
+        m
+    }
+
+    #[test]
+    fn pass_through_without_policy() {
+        let mut a = AdmissionController::new(None);
+        for _ in 0..10 {
+            assert!(a.admit(&idle_model(), &[1, 2, 3], 10_000, 4, 5).is_ok());
+        }
+        assert_eq!(a.stats(), (10, 0));
+    }
+
+    #[test]
+    fn overload_cap_refuses() {
+        let mut a = AdmissionController::new(Some(AdmissionPolicy {
+            min_likelihood: 0.0,
+            max_inflight: 4,
+        }));
+        assert!(a.admit(&idle_model(), &[1], 3, 4, 5).is_ok());
+        assert_eq!(a.admit(&idle_model(), &[1], 4, 4, 5), Err(RefusalReason::Overload));
+    }
+
+    #[test]
+    fn low_likelihood_refuses_under_contention() {
+        let mut a = AdmissionController::new(Some(AdmissionPolicy {
+            min_likelihood: 0.5,
+            max_inflight: 1000,
+        }));
+        // Ambient contention high, model has learned rejection.
+        for _ in 0..100 {
+            a.observe_pending(3);
+        }
+        let model = contended_model();
+        // The hot key (hash 9, observed rejecting) is refused...
+        assert_eq!(
+            a.admit(&model, &[9], 0, 4, 5),
+            Err(RefusalReason::LowLikelihood)
+        );
+        // ...but an unrelated cold key sails through: per-key admission
+        // never sheds traffic that isn't part of the contention.
+        assert!(a.admit(&model, &[12345], 0, 4, 5).is_ok());
+        // Read-only transactions are always admitted.
+        assert!(a.admit(&model, &[], 0, 4, 5).is_ok());
+        assert_eq!(a.stats().1, 1);
+    }
+
+    #[test]
+    fn idle_system_admits() {
+        let mut a = AdmissionController::new(Some(AdmissionPolicy::default()));
+        assert!(a.admit(&idle_model(), &[1, 2], 0, 4, 5).is_ok());
+    }
+
+    #[test]
+    fn a_priori_likelihood_shrinks_with_keys() {
+        let a = AdmissionController::new(Some(AdmissionPolicy::default()));
+        // Warm keys 1..=3 with a mixed history so they carry real estimates.
+        let mut m = idle_model();
+        for i in 0..100u64 {
+            for h in [1u64, 2, 3] {
+                m.observe_key_resolution(h, i % 2 == 0);
+            }
+        }
+        let one = a.a_priori_likelihood(&m, &[1], 4, 5);
+        let three = a.a_priori_likelihood(&m, &[1, 2, 3], 4, 5);
+        assert!(three < one);
+        assert!((three - one.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_keys_score_one() {
+        let a = AdmissionController::new(Some(AdmissionPolicy::default()));
+        let m = contended_model(); // global estimate is poisoned
+        assert_eq!(a.a_priori_likelihood(&m, &[424242], 4, 5), 1.0);
+    }
+
+    #[test]
+    fn ambient_pending_tracks() {
+        let mut a = AdmissionController::new(None);
+        for _ in 0..200 {
+            a.observe_pending(4);
+        }
+        assert!((a.ambient_pending() - 4.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,375 @@
+//! The top-level handle: a geo-replicated PLANET database in a box.
+//!
+//! [`Planet`] wires the whole stack — network model, storage replicas,
+//! commit protocol, per-site clients with prediction and admission — into
+//! one deterministic simulation and exposes a compact API:
+//!
+//! ```
+//! use planet_core::{Planet, PlanetTxn};
+//! use planet_mdcc::Protocol;
+//! use planet_sim::{SimDuration, SimTime};
+//!
+//! let mut db = Planet::builder().protocol(Protocol::Fast).seed(7).build();
+//! let txn = PlanetTxn::builder().set("greeting", 1i64).build();
+//! let handle = db.submit_at(0, SimTime::from_millis(1), txn);
+//! db.run_for(SimDuration::from_secs(5));
+//! assert!(db.record(handle).unwrap().outcome.is_commit());
+//! ```
+
+use planet_mdcc::{build_cluster, Cluster, ClusterConfig, Msg, Protocol};
+use planet_sim::{
+    ActorId, Metrics, NetworkModel, SimDuration, SimTime, Simulation, SiteId,
+};
+use planet_storage::{Key, Value};
+
+use crate::admission::AdmissionPolicy;
+use crate::client::{ClientActor, TxnRecord, TxnSource, TIMER_SUBMIT};
+use crate::txn::{ChainTrigger, PlanetTxn, TxnHandle};
+
+/// Builder for [`Planet`].
+pub struct PlanetBuilder {
+    topology: NetworkModel,
+    protocol: Protocol,
+    seed: u64,
+    admission: Option<AdmissionPolicy>,
+    txn_timeout: SimDuration,
+    validation_service: SimDuration,
+    fast_fallback: bool,
+}
+
+impl Default for PlanetBuilder {
+    fn default() -> Self {
+        PlanetBuilder {
+            topology: planet_sim::topology::five_dc(),
+            protocol: Protocol::Fast,
+            seed: 42,
+            admission: None,
+            txn_timeout: SimDuration::from_secs(10),
+            validation_service: SimDuration::ZERO,
+            fast_fallback: false,
+        }
+    }
+}
+
+impl PlanetBuilder {
+    /// Use a custom network model (default: the five-data-center WAN).
+    pub fn topology(mut self, net: NetworkModel) -> Self {
+        self.topology = net;
+        self
+    }
+
+    /// Choose the commit protocol (default: MDCC fast path).
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Seed the deterministic simulation (default: 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable likelihood-based admission control.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Server-side transaction timeout (default 10 s).
+    pub fn txn_timeout(mut self, timeout: SimDuration) -> Self {
+        self.txn_timeout = timeout;
+        self
+    }
+
+    /// Enable the fast path's collision fallback: keys whose fast round
+    /// splits without a winner are retried once through their master
+    /// (MDCC's classic-path fallback). Only meaningful with
+    /// [`Protocol::Fast`].
+    pub fn fast_fallback(mut self, enabled: bool) -> Self {
+        self.fast_fallback = enabled;
+        self
+    }
+
+    /// Model finite replica capacity: each option validation occupies a
+    /// replica's (single) validation server for this long, with FIFO
+    /// queueing behind it. Default: zero (infinite capacity).
+    pub fn validation_service(mut self, service: SimDuration) -> Self {
+        self.validation_service = service;
+        self
+    }
+
+    /// Assemble the database.
+    pub fn build(self) -> Planet {
+        let num_sites = self.topology.num_sites();
+        let mut config = ClusterConfig::new(num_sites, self.protocol);
+        config.txn_timeout = self.txn_timeout;
+        config.validation_service = self.validation_service;
+        config.fast_fallback = self.fast_fallback;
+        let mut sim = Simulation::new(self.topology, self.seed);
+        let cluster = build_cluster(&mut sim, config.clone());
+        let clients: Vec<ActorId> = (0..num_sites)
+            .map(|site| {
+                let actor = ClientActor::new(
+                    config.clone(),
+                    cluster.coordinators[site],
+                    site as u8,
+                    self.admission,
+                );
+                sim.add_actor(SiteId(site as u8), Box::new(actor))
+            })
+            .collect();
+        Planet { sim, cluster, clients }
+    }
+}
+
+/// A complete PLANET deployment: replicas, coordinators and clients at every
+/// site of the topology, running in a deterministic simulation.
+pub struct Planet {
+    sim: Simulation<Msg>,
+    cluster: Cluster,
+    clients: Vec<ActorId>,
+}
+
+impl Planet {
+    /// Start building a deployment.
+    pub fn builder() -> PlanetBuilder {
+        PlanetBuilder::default()
+    }
+
+    /// Number of sites (data centers).
+    pub fn num_sites(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Submit a transaction at `site`, to be issued at absolute time `at`
+    /// (which must not be in the past).
+    pub fn submit_at(&mut self, site: usize, at: SimTime, txn: PlanetTxn) -> TxnHandle {
+        let client_id = self.clients[site];
+        let handle = self
+            .sim
+            .actor_as_mut::<ClientActor>(client_id)
+            .expect("client actor")
+            .stage(txn);
+        self.sim
+            .inject_at(at, client_id, Msg::ClientTimer { kind: TIMER_SUBMIT, tag: handle.tag });
+        handle
+    }
+
+    /// Submit a transaction at `site` now.
+    pub fn submit(&mut self, site: usize, txn: PlanetTxn) -> TxnHandle {
+        self.submit_at(site, self.sim.now(), txn)
+    }
+
+    /// Chain a transaction behind another at the same site: it is submitted
+    /// automatically the moment `after` reaches `trigger`
+    /// ([`ChainTrigger::Speculative`] launches it as soon as the predecessor
+    /// is *likely* committed — the paper's speculative-workflow use case)
+    /// and cancelled (outcome [`FinalOutcome::Cancelled`]) if the
+    /// predecessor fails. If the predecessor already finished, the successor
+    /// is submitted or cancelled immediately.
+    ///
+    /// [`FinalOutcome::Cancelled`]: crate::FinalOutcome::Cancelled
+    pub fn submit_after(
+        &mut self,
+        after: TxnHandle,
+        trigger: ChainTrigger,
+        txn: PlanetTxn,
+    ) -> TxnHandle {
+        let site = after.site as usize;
+        let client_id = self.clients[site];
+        // If the predecessor already finished, resolve immediately.
+        let prior = self.record(after).map(|r| r.outcome);
+        let client = self
+            .sim
+            .actor_as_mut::<ClientActor>(client_id)
+            .expect("client actor");
+        match prior {
+            Some(outcome) if outcome.is_commit() => {
+                let handle = client.stage(txn);
+                let at = self.sim.now() + SimDuration::from_micros(1);
+                self.sim.inject_at(
+                    at,
+                    client_id,
+                    Msg::ClientTimer { kind: TIMER_SUBMIT, tag: handle.tag },
+                );
+                handle
+            }
+            Some(_) => {
+                // Predecessor already failed: cancel the successor eagerly
+                // (no further events will arrive for the predecessor).
+                let handle = client.stage(txn);
+                let at = self.sim.now() + SimDuration::from_micros(1);
+                self.sim.inject_at(
+                    at,
+                    client_id,
+                    Msg::ClientTimer { kind: crate::client::TIMER_CANCEL, tag: handle.tag },
+                );
+                handle
+            }
+            None => client.stage_chained(txn, after.tag, trigger),
+        }
+    }
+
+    /// Attach a workload source to a site's client. Arrivals begin
+    /// immediately (whether or not the simulation has already run).
+    pub fn attach_source(&mut self, site: usize, source: Box<dyn TxnSource>) {
+        let client_id = self.clients[site];
+        self.sim
+            .actor_as_mut::<ClientActor>(client_id)
+            .expect("client actor")
+            .attach_source(source);
+        // Kick the arrival chain; a duplicate kick (e.g. the client's own
+        // on_start) is ignored by the arming guard.
+        let at = self.sim.now() + SimDuration::from_micros(1);
+        self.sim
+            .inject_at(at, client_id, Msg::ClientTimer { kind: crate::client::TIMER_ARRIVAL, tag: 0 });
+    }
+
+    /// Advance the simulation by `span`.
+    pub fn run_for(&mut self, span: SimDuration) -> SimTime {
+        self.sim.run_for(span)
+    }
+
+    /// Advance the simulation to absolute time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until(deadline)
+    }
+
+    /// Finished-transaction records at one site.
+    pub fn records(&self, site: usize) -> &[TxnRecord] {
+        self.client(site).records()
+    }
+
+    /// The record for a handle, if the transaction finished.
+    pub fn record(&self, handle: TxnHandle) -> Option<&TxnRecord> {
+        self.client(handle.site as usize).record(handle)
+    }
+
+    /// All finished-transaction records across sites.
+    pub fn all_records(&self) -> Vec<&TxnRecord> {
+        (0..self.num_sites()).flat_map(|s| self.records(s).iter()).collect()
+    }
+
+    /// The likelihood model of one site's client (diagnostics, experiments).
+    pub fn model(&self, site: usize) -> &planet_predict::LikelihoodModel {
+        self.client(site).model()
+    }
+
+    /// Mutable access to a site's likelihood model (diagnostics: quantile
+    /// queries need `&mut` because the ECDF sorts lazily).
+    pub fn model_mut(&mut self, site: usize) -> &mut planet_predict::LikelihoodModel {
+        let id = self.clients[site];
+        self.sim
+            .actor_as_mut::<ClientActor>(id)
+            .expect("client actor")
+            .model_mut()
+    }
+
+    /// Ask the site's model: *what deadline would give this transaction at
+    /// least `confidence` probability of committing in time?* (the paper's
+    /// deadline-planning question). Returns `None` if no deadline ≤ 30 s
+    /// reaches the confidence — e.g. a write to a key with a hopeless
+    /// conflict history. The estimate is a-priori (pre-read): it uses each
+    /// key's learned acceptance and the site's path-latency distributions.
+    pub fn suggest_deadline(
+        &mut self,
+        site: usize,
+        txn: &PlanetTxn,
+        confidence: f64,
+    ) -> Option<SimDuration> {
+        use planet_predict::conflict::KeyedConflictModel;
+        use planet_predict::{KeyState, TxnSnapshot};
+        let config = self.cluster.config.clone();
+        let keys: Vec<KeyState> = txn
+            .spec
+            .writes
+            .iter()
+            .map(|(key, _)| {
+                let (quorum, voters, outstanding) = match config.protocol {
+                    Protocol::TwoPc => (1, 1, vec![config.master_of(key).0]),
+                    _ => (
+                        config.required_quorum(),
+                        config.num_sites,
+                        (0..config.num_sites as u8).collect(),
+                    ),
+                };
+                KeyState {
+                    accepts: 0,
+                    rejects: 0,
+                    outstanding,
+                    pending_at_read: 0,
+                    key_hash: KeyedConflictModel::key_hash(key.as_str()),
+                    quorum,
+                    voters,
+                }
+            })
+            .collect();
+        let snap = TxnSnapshot { keys, elapsed_us: 0 };
+        self.model_mut(site)
+            .suggest_budget_us(&snap, confidence, 30_000_000)
+            .map(SimDuration::from_micros)
+    }
+
+    /// Admission statistics `(admitted, refused)` for one site.
+    pub fn admission_stats(&self, site: usize) -> (u64, u64) {
+        self.client(site).admission_stats()
+    }
+
+    /// Read the committed value of a key at a site's local replica —
+    /// a diagnostic read outside any transaction.
+    pub fn read_local(&self, site: usize, key: &Key) -> Value {
+        self.replica(site).read(key).value
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cluster.config
+    }
+
+    /// Fault injection: crash a site's replica at absolute time `at`. It
+    /// stops serving until [`Planet::recover_site_at`]; its WAL survives.
+    pub fn crash_site_at(&mut self, site: usize, at: SimTime) {
+        self.sim.inject_at(at, self.cluster.replicas[site], Msg::Crash);
+    }
+
+    /// Fault injection: recover a crashed replica at absolute time `at`
+    /// (restart + WAL replay; it catches up on later writes via state
+    /// transfer).
+    pub fn recover_site_at(&mut self, site: usize, at: SimTime) {
+        self.sim.inject_at(at, self.cluster.replicas[site], Msg::Recover);
+    }
+
+    /// Mutable access to the network model (inject spikes/partitions).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        self.sim.network_mut()
+    }
+
+    /// The underlying simulation (advanced harness use).
+    pub fn sim_mut(&mut self) -> &mut Simulation<Msg> {
+        &mut self.sim
+    }
+
+    fn client(&self, site: usize) -> &ClientActor {
+        self.sim
+            .actor_as::<ClientActor>(self.clients[site])
+            .expect("client actor")
+    }
+
+    fn replica(&self, site: usize) -> &planet_storage::Replica {
+        self.sim
+            .actor_as::<planet_mdcc::ReplicaActor>(self.cluster.replicas[site])
+            .expect("replica actor")
+            .storage()
+    }
+}

@@ -1,0 +1,177 @@
+//! A wall-clock runtime: run the simulated deployment paced against real
+//! time on a background thread, with transaction events streamed back over
+//! a channel.
+//!
+//! This exists so the examples can demonstrate the PLANET programming model
+//! *live* — progress callbacks with rising likelihood, a speculative commit
+//! firing tens of milliseconds before the final outcome — while every
+//! protocol byte still flows through the same deterministic simulation the
+//! experiments use. (The repro hint suggested an async runtime for
+//! callbacks; a paced thread plus `crossbeam` channels delivers the same
+//! observable behaviour without the extra dependency — see DESIGN.md.)
+
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::db::{Planet, PlanetBuilder};
+use crate::txn::{PlanetTxn, TxnEvent, TxnHandle};
+use planet_sim::SimTime;
+
+enum Command {
+    Submit { site: usize, txn: PlanetTxn, reply: Sender<TxnHandle> },
+    Shutdown,
+}
+
+/// A [`Planet`] deployment running on a background thread, paced so that one
+/// simulated second takes one wall second (scaled by `speed`).
+pub struct RealtimePlanet {
+    commands: Sender<Command>,
+    events: Receiver<TxnEvent>,
+    join: Option<JoinHandle<Planet>>,
+}
+
+impl RealtimePlanet {
+    /// Launch a deployment built from `builder`, advancing `speed` simulated
+    /// seconds per wall second.
+    pub fn launch(builder: PlanetBuilder, speed: f64) -> Self {
+        assert!(speed > 0.0);
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (event_tx, event_rx) = unbounded::<TxnEvent>();
+        let join = std::thread::spawn(move || {
+            let mut planet = builder.build();
+            let start = Instant::now();
+            loop {
+                // Drain pending commands.
+                let mut shutdown = false;
+                while let Ok(cmd) = cmd_rx.try_recv() {
+                    match cmd {
+                        Command::Submit { site, txn, reply } => {
+                            let forward = event_tx.clone();
+                            let txn = attach_forwarder(txn, forward);
+                            let handle = planet.submit(site, txn);
+                            let _ = reply.send(handle);
+                        }
+                        Command::Shutdown => shutdown = true,
+                    }
+                }
+                if shutdown {
+                    return planet;
+                }
+                // Pace: simulated time tracks scaled wall time.
+                let target_us = (start.elapsed().as_micros() as f64 * speed) as u64;
+                planet.run_until(SimTime::from_micros(target_us));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        RealtimePlanet { commands: cmd_tx, events: event_rx, join: Some(join) }
+    }
+
+    /// Submit a transaction; its events (and those of every other live
+    /// transaction) appear on [`RealtimePlanet::events`].
+    pub fn submit(&self, site: usize, txn: PlanetTxn) -> TxnHandle {
+        let (reply_tx, reply_rx) = unbounded();
+        self.commands
+            .send(Command::Submit { site, txn, reply: reply_tx })
+            .expect("runtime thread gone");
+        reply_rx.recv().expect("runtime thread gone")
+    }
+
+    /// The stream of transaction events.
+    pub fn events(&self) -> &Receiver<TxnEvent> {
+        &self.events
+    }
+
+    /// Stop the runtime and recover the deployment for inspection.
+    pub fn shutdown(mut self) -> Planet {
+        let _ = self.commands.send(Command::Shutdown);
+        self.join.take().expect("already shut down").join().expect("runtime panicked")
+    }
+}
+
+impl Drop for RealtimePlanet {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.commands.send(Command::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Add a callback that clones every event into the channel, preserving the
+/// transaction's own callbacks.
+fn attach_forwarder(mut txn: PlanetTxn, forward: Sender<TxnEvent>) -> PlanetTxn {
+    txn.callbacks.push(Box::new(move |e: &TxnEvent| {
+        let _ = forward.send(e.clone());
+    }));
+    txn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{FinalOutcome, PlanetTxn};
+    use planet_mdcc::Protocol;
+
+    #[test]
+    fn drop_without_shutdown_does_not_hang() {
+        let rt = RealtimePlanet::launch(
+            Planet::builder().protocol(Protocol::Fast).seed(6),
+            1000.0,
+        );
+        let _ = rt.submit(0, PlanetTxn::builder().set("x", 1i64).build());
+        drop(rt); // Drop impl must join the thread cleanly.
+    }
+
+    #[test]
+    fn multiple_inflight_transactions_multiplex() {
+        let rt = RealtimePlanet::launch(
+            Planet::builder().protocol(Protocol::Fast).seed(7),
+            500.0,
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|i| rt.submit(i % 5, PlanetTxn::builder().set(format!("m{i}"), i as i64).build()))
+            .collect();
+        let mut finished = std::collections::HashSet::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while finished.len() < handles.len() && Instant::now() < deadline {
+            if let Ok(TxnEvent::Final { handle, outcome, .. }) =
+                rt.events().recv_timeout(Duration::from_secs(5))
+            {
+                assert!(outcome.is_commit());
+                finished.insert(handle);
+            }
+        }
+        assert_eq!(finished.len(), 4, "all four txns must finish");
+        let planet = rt.shutdown();
+        assert_eq!(planet.all_records().len(), 4);
+    }
+
+    #[test]
+    fn realtime_commit_streams_events() {
+        // 100x speed: a ~200ms simulated commit takes ~2ms of wall time.
+        let rt = RealtimePlanet::launch(
+            Planet::builder().protocol(Protocol::Fast).seed(5),
+            100.0,
+        );
+        let txn = PlanetTxn::builder().set("rt-key", 9i64).speculate_at(0.9).build();
+        let handle = rt.submit(0, txn);
+
+        let mut outcome = None;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            match rt.events().recv_timeout(Duration::from_secs(5)) {
+                Ok(TxnEvent::Final { handle: h, outcome: o, .. }) if h == handle => {
+                    outcome = Some(o);
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        assert_eq!(outcome, Some(FinalOutcome::Committed));
+        let planet = rt.shutdown();
+        assert_eq!(planet.records(0).len(), 1);
+    }
+}

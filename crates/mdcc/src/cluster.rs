@@ -1,0 +1,123 @@
+//! Cluster assembly: wire one replica and one coordinator per site into a
+//! simulation, plus a blocking-style test client for direct protocol use.
+
+use planet_sim::{Actor, ActorId, Context, NetworkModel, SimTime, Simulation, SiteId};
+use planet_storage::{Key, Value, WriteOp};
+
+use crate::config::ClusterConfig;
+use crate::coordinator::CoordinatorActor;
+use crate::messages::{Msg, Outcome, TxnSpec, TxnStats};
+use crate::replica_actor::ReplicaActor;
+
+/// Ids of the actors a built cluster consists of.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Replica actor per site, indexed by site.
+    pub replicas: Vec<ActorId>,
+    /// Coordinator actor per site, indexed by site.
+    pub coordinators: Vec<ActorId>,
+    /// The configuration the cluster runs.
+    pub config: ClusterConfig,
+}
+
+/// Build a cluster into `sim`: one replica and one coordinator per site.
+///
+/// Panics if the network model has fewer sites than the configuration.
+pub fn build_cluster(sim: &mut Simulation<Msg>, config: ClusterConfig) -> Cluster {
+    let n = config.num_sites;
+    // Replica actors need each other's ids before they are constructed, so
+    // they are predicted from the engine's dense assignment order. That
+    // prediction is only valid on a fresh simulation (asserted below):
+    // replicas take ids 0..n, coordinators n..2n.
+    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+
+    let mut actual_ids = Vec::with_capacity(n);
+    for site in 0..n {
+        let actor = ReplicaActor::new(config.clone(), replica_ids.clone());
+        let id = sim.add_actor(SiteId(site as u8), Box::new(actor));
+        actual_ids.push(id);
+    }
+    assert_eq!(actual_ids, replica_ids, "build_cluster requires a fresh simulation");
+
+    let coordinators: Vec<ActorId> = (0..n)
+        .map(|site| {
+            let actor = CoordinatorActor::new(config.clone(), replica_ids.clone(), SiteId(site as u8));
+            sim.add_actor(SiteId(site as u8), Box::new(actor))
+        })
+        .collect();
+
+    Cluster { replicas: replica_ids, coordinators, config }
+}
+
+/// Convenience: a fresh simulation plus a cluster over the given topology.
+pub fn build_sim(net: NetworkModel, config: ClusterConfig, seed: u64) -> (Simulation<Msg>, Cluster) {
+    assert!(net.num_sites() >= config.num_sites, "topology too small for cluster");
+    let mut sim = Simulation::new(net, seed);
+    let cluster = build_cluster(&mut sim, config);
+    (sim, cluster)
+}
+
+/// A terminal record captured by the [`TestClient`].
+#[derive(Debug, Clone)]
+pub struct CompletedTxn {
+    /// Client tag from the submission.
+    pub tag: u64,
+    /// Outcome.
+    pub outcome: Outcome,
+    /// Coordinator statistics.
+    pub stats: TxnStats,
+}
+
+/// A minimal client actor: submits a scripted list of transactions at given
+/// times to a coordinator and records the outcomes. Used by protocol tests
+/// and micro-experiments; the PLANET layer has its own, richer client.
+pub struct TestClient {
+    coordinator: ActorId,
+    /// (submit time, spec) pairs, consumed in order.
+    script: Vec<(SimTime, TxnSpec)>,
+    /// Completed transactions by tag.
+    pub completed: Vec<CompletedTxn>,
+    /// Progress events seen, by (tag, description) — coarse, for assertions.
+    pub progress_counts: usize,
+}
+
+impl TestClient {
+    /// A client that will submit `script` (times must be non-decreasing).
+    pub fn new(coordinator: ActorId, script: Vec<(SimTime, TxnSpec)>) -> Self {
+        TestClient { coordinator, script, completed: Vec::new(), progress_counts: 0 }
+    }
+
+    /// The outcome recorded for submission `tag`, if finished.
+    pub fn outcome(&self, tag: u64) -> Option<Outcome> {
+        self.completed.iter().find(|c| c.tag == tag).map(|c| c.outcome)
+    }
+}
+
+impl Actor<Msg> for TestClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (i, (at, _)) in self.script.iter().enumerate() {
+            let delay = at.since(SimTime::ZERO);
+            ctx.schedule(delay, Msg::ClientTimer { kind: 0, tag: i as u64 });
+        }
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::ClientTimer { kind: 0, tag } => {
+                let spec = self.script[tag as usize].1.clone();
+                let me = ctx.self_id();
+                ctx.send(self.coordinator, Msg::Submit { spec, reply_to: me, tag });
+            }
+            Msg::Progress { .. } => self.progress_counts += 1,
+            Msg::TxnDone { tag, outcome, stats, .. } => {
+                self.completed.push(CompletedTxn { tag, outcome, stats });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build a write-one-key spec helper.
+pub fn set_spec(key: &str, value: i64) -> TxnSpec {
+    TxnSpec::write_one(Key::new(key), WriteOp::Set(Value::Int(value)))
+}

@@ -1,0 +1,164 @@
+//! Protocol configuration: commit path, quorum sizes, mastership.
+
+use planet_sim::{SimDuration, SiteId};
+use planet_storage::Key;
+use serde::{Deserialize, Serialize};
+
+/// Which commit protocol the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// MDCC fast path: the coordinator proposes options directly to every
+    /// replica; each replica validates independently; a *fast quorum*
+    /// (⌈3N/4⌉) of accepts commits a key in a single coordinator↔replica
+    /// round trip.
+    Fast,
+    /// MDCC classic path: the coordinator proposes to the record's master,
+    /// which validates and replicates to the other replicas; replicas ack
+    /// directly to the coordinator. A classic (majority) quorum commits.
+    Classic,
+    /// Baseline two-phase commit over primary copies: like `Classic`, but
+    /// acks route back through the master, which casts a single vote to the
+    /// coordinator once a majority of replicas is durable — the extra hop
+    /// the MDCC paths exist to avoid.
+    TwoPc,
+}
+
+impl Protocol {
+    /// Short lowercase name used in metric keys and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Fast => "fast",
+            Protocol::Classic => "classic",
+            Protocol::TwoPc => "twopc",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static cluster configuration shared by every actor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of sites; one full replica lives at each.
+    pub num_sites: usize,
+    /// The commit path.
+    pub protocol: Protocol,
+    /// Hard server-side cap on a transaction's lifetime: if votes are still
+    /// missing after this long the coordinator aborts.
+    pub txn_timeout: SimDuration,
+    /// When the fast path cannot assemble a fast quorum for a key but the
+    /// key is not definitively lost (a fast-Paxos collision: votes split
+    /// between competing options), retry the key once through its master —
+    /// MDCC's classic-path fallback. Costs an extra round trip on collision;
+    /// turns split-vote "nobody wins" outcomes into wins.
+    pub fast_fallback: bool,
+    /// CPU/IO cost of validating one option proposal at a replica. Proposals
+    /// queue FIFO behind a single server per replica, so offered load beyond
+    /// `1/validation_service` saturates the replica and queueing delay
+    /// explodes — the resource dimension the admission-control experiments
+    /// need. `ZERO` (the default) disables the model.
+    pub validation_service: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A configuration with the given site count and protocol and a default
+    /// 10 s server-side timeout.
+    pub fn new(num_sites: usize, protocol: Protocol) -> Self {
+        assert!(num_sites >= 1);
+        ClusterConfig {
+            num_sites,
+            protocol,
+            txn_timeout: SimDuration::from_secs(10),
+            fast_fallback: false,
+            validation_service: SimDuration::ZERO,
+        }
+    }
+
+    /// Classic (majority) quorum size: ⌊N/2⌋ + 1.
+    pub fn classic_quorum(&self) -> usize {
+        self.num_sites / 2 + 1
+    }
+
+    /// Fast quorum size: ⌈3N/4⌉ — the smallest quorum for which any two fast
+    /// quorums intersect in a classic quorum (Fast Paxos requirement).
+    pub fn fast_quorum(&self) -> usize {
+        (3 * self.num_sites).div_ceil(4)
+    }
+
+    /// The quorum the configured protocol needs per key.
+    pub fn required_quorum(&self) -> usize {
+        match self.protocol {
+            Protocol::Fast => self.fast_quorum(),
+            Protocol::Classic => self.classic_quorum(),
+            // The master's single vote stands for a durable majority.
+            Protocol::TwoPc => 1,
+        }
+    }
+
+    /// The site mastering a key, assigned by stable hash so that mastership
+    /// is uniform and deterministic.
+    pub fn master_of(&self, key: &Key) -> SiteId {
+        // FNV-1a over the key bytes; cheap, stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_str().as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SiteId((h % self.num_sites as u64) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes_for_five() {
+        let c = ClusterConfig::new(5, Protocol::Fast);
+        assert_eq!(c.classic_quorum(), 3);
+        assert_eq!(c.fast_quorum(), 4);
+        assert_eq!(c.required_quorum(), 4);
+        assert_eq!(ClusterConfig::new(5, Protocol::Classic).required_quorum(), 3);
+        assert_eq!(ClusterConfig::new(5, Protocol::TwoPc).required_quorum(), 1);
+    }
+
+    #[test]
+    fn quorum_sizes_for_three() {
+        let c = ClusterConfig::new(3, Protocol::Fast);
+        assert_eq!(c.classic_quorum(), 2);
+        assert_eq!(c.fast_quorum(), 3);
+    }
+
+    #[test]
+    fn mastership_is_stable_and_in_range() {
+        let c = ClusterConfig::new(5, Protocol::Fast);
+        for i in 0..100 {
+            let k = Key::new(format!("key:{i}"));
+            let m1 = c.master_of(&k);
+            let m2 = c.master_of(&k);
+            assert_eq!(m1, m2);
+            assert!((m1.0 as usize) < 5);
+        }
+    }
+
+    #[test]
+    fn mastership_spreads_over_sites() {
+        let c = ClusterConfig::new(5, Protocol::Fast);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            seen.insert(c.master_of(&Key::new(format!("key:{i}"))));
+        }
+        assert_eq!(seen.len(), 5, "200 keys should hit all 5 masters");
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Fast.to_string(), "fast");
+        assert_eq!(Protocol::Classic.to_string(), "classic");
+        assert_eq!(Protocol::TwoPc.to_string(), "twopc");
+    }
+}

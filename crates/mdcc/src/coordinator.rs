@@ -1,0 +1,441 @@
+//! The transaction coordinator: the app-server-side state machine that
+//! executes a transaction end to end and streams progress events back to the
+//! submitting client.
+//!
+//! Lifecycle of a transaction:
+//!
+//! 1. `Submit` — assign a [`TxnId`], start the server-side timeout, read all
+//!    touched keys at the local replica.
+//! 2. `ReadResp` — hand the read results to the client (`ReadsDone`), build
+//!    one option per write, and propose them along the configured path
+//!    (fast: to every replica; classic/2PC: to each key's master).
+//! 3. `Vote*` — forward every vote as a `Progress` event (this is the raw
+//!    signal PLANET's likelihood model feeds on), resolve keys as quorums
+//!    form or become impossible, and decide the instant all keys resolve.
+//! 4. Broadcast per-key `Decide` to the masters and emit `TxnDone`.
+//!
+//! Read-only transactions commit locally after step 2 — they never touch the
+//! WAN, mirroring MDCC's local read-committed reads.
+
+use std::collections::{BTreeMap, HashMap};
+
+use planet_sim::{Actor, ActorId, Context, SimTime, SiteId};
+use planet_storage::{Key, RecordOption, TxnId};
+
+use crate::config::{ClusterConfig, Protocol};
+use crate::messages::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
+
+/// Vote bookkeeping for one key.
+#[derive(Debug, Default)]
+struct KeyVotes {
+    accepts: Vec<SiteId>,
+    rejects: Vec<SiteId>,
+    resolved: Option<bool>,
+    /// Current proposal round: 0 = first attempt; 1 = the fast path's
+    /// master-routed fallback after a collision. Stale votes from earlier
+    /// rounds are discarded by comparing against this.
+    round: u8,
+}
+
+/// A transaction in flight at this coordinator.
+struct TxnState {
+    tag: u64,
+    reply_to: ActorId,
+    spec: TxnSpec,
+    submitted_at: SimTime,
+    proposals_sent_at: Option<SimTime>,
+    // BTreeMaps: iteration order feeds message send order, which must be
+    // deterministic for replays to be exact.
+    options: BTreeMap<Key, RecordOption>,
+    votes: BTreeMap<Key, KeyVotes>,
+    votes_received: usize,
+    rejections: usize,
+    /// Quorum reads: responses collected so far (one entry per replica).
+    read_buffer: Vec<Vec<KeyRead>>,
+    /// True once reads completed and proposals went out (late `ReadResp`s
+    /// are then ignored).
+    reads_done: bool,
+}
+
+/// Forwarding state for a decided transaction, kept until its original
+/// timeout fires so that *late* votes still reach the client — the
+/// likelihood model needs the slowest replicas' response times, which by
+/// definition arrive after the quorum decided.
+struct RecentTxn {
+    tag: u64,
+    reply_to: ActorId,
+    proposals_sent_at: Option<SimTime>,
+}
+
+/// The coordinator actor. One per site; clients submit to their local
+/// coordinator.
+pub struct CoordinatorActor {
+    config: ClusterConfig,
+    /// Replica actor ids indexed by site.
+    replicas: Vec<ActorId>,
+    site: SiteId,
+    next_seq: u64,
+    inflight: HashMap<TxnId, TxnState>,
+    recent: HashMap<TxnId, RecentTxn>,
+}
+
+impl CoordinatorActor {
+    /// Build a coordinator for `site` over the given replicas (indexed by
+    /// site).
+    pub fn new(config: ClusterConfig, replicas: Vec<ActorId>, site: SiteId) -> Self {
+        CoordinatorActor {
+            config,
+            replicas,
+            site,
+            next_seq: 0,
+            inflight: HashMap::new(),
+            recent: HashMap::new(),
+        }
+    }
+
+    /// Number of transactions currently in flight (for tests/diagnostics).
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn local_replica(&self) -> ActorId {
+        self.replicas[self.site.0 as usize]
+    }
+
+    /// How many voters will ever speak for a key under the current protocol.
+    fn voters_per_key(&self) -> usize {
+        match self.config.protocol {
+            Protocol::Fast | Protocol::Classic => self.config.num_sites,
+            Protocol::TwoPc => 1,
+        }
+    }
+
+    fn progress(&self, state: &TxnState, txn: TxnId, stage: ProgressStage, ctx: &mut Context<'_, Msg>) {
+        ctx.send(state.reply_to, Msg::Progress { tag: state.tag, txn, stage });
+    }
+
+    fn handle_submit(&mut self, spec: TxnSpec, reply_to: ActorId, tag: u64, ctx: &mut Context<'_, Msg>) {
+        let txn = TxnId::new(self.site.0, self.next_seq);
+        self.next_seq += 1;
+        let keys = spec.touched_keys();
+        let state = TxnState {
+            tag,
+            reply_to,
+            spec,
+            submitted_at: ctx.now(),
+            proposals_sent_at: None,
+            options: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            votes_received: 0,
+            rejections: 0,
+            read_buffer: Vec::new(),
+            reads_done: false,
+        };
+        let read_level = state.spec.read_level;
+        self.progress(&state, txn, ProgressStage::Started, ctx);
+        let timeout = self.config.txn_timeout;
+        self.inflight.insert(txn, state);
+        ctx.schedule(timeout, Msg::TxnTimeout { txn });
+
+        if keys.is_empty() {
+            self.finish(txn, Outcome::Committed, ctx);
+            return;
+        }
+        match read_level {
+            ReadLevel::Local => {
+                ctx.send(self.local_replica(), Msg::ReadReq { txn, keys });
+            }
+            ReadLevel::Quorum => {
+                for &replica in &self.replicas {
+                    ctx.send(replica, Msg::ReadReq { txn, keys: keys.clone() });
+                }
+            }
+        }
+    }
+
+    /// Merge quorum read responses: per key, keep the freshest committed
+    /// version; report the most pessimistic (largest) pending count as the
+    /// contention hint.
+    fn merge_reads(buffer: &[Vec<KeyRead>]) -> Vec<KeyRead> {
+        let mut merged: BTreeMap<Key, KeyRead> = BTreeMap::new();
+        for resp in buffer {
+            for read in resp {
+                merged
+                    .entry(read.key.clone())
+                    .and_modify(|best| {
+                        if read.version > best.version {
+                            best.version = read.version;
+                            best.value = read.value.clone();
+                        }
+                        best.pending = best.pending.max(read.pending);
+                    })
+                    .or_insert_with(|| read.clone());
+            }
+        }
+        merged.into_values().collect()
+    }
+
+    fn handle_read_resp(&mut self, txn: TxnId, results: Vec<KeyRead>, ctx: &mut Context<'_, Msg>) {
+        let Some(state) = self.inflight.get_mut(&txn) else { return };
+        if state.reads_done {
+            return; // late response from a quorum read already satisfied
+        }
+        let results = match state.spec.read_level {
+            ReadLevel::Local => results,
+            ReadLevel::Quorum => {
+                state.read_buffer.push(results);
+                if state.read_buffer.len() < self.config.classic_quorum() {
+                    return; // keep waiting for the majority
+                }
+                Self::merge_reads(&state.read_buffer)
+            }
+        };
+        state.reads_done = true;
+        let writes = state.spec.writes.clone();
+        self.progress(
+            self.inflight.get(&txn).unwrap(),
+            txn,
+            ProgressStage::ReadsDone { reads: results.clone() },
+            ctx,
+        );
+        if writes.is_empty() {
+            self.finish(txn, Outcome::Committed, ctx);
+            return;
+        }
+        let versions: HashMap<&Key, u64> =
+            results.iter().map(|r| (&r.key, r.version)).collect();
+
+        let state = self.inflight.get_mut(&txn).unwrap();
+        state.proposals_sent_at = Some(ctx.now());
+        let mut proposals = Vec::new();
+        for (key, op) in &writes {
+            let read_version = versions.get(key).copied().unwrap_or(0);
+            let option = RecordOption::new(txn, read_version, op.clone());
+            state.options.insert(key.clone(), option.clone());
+            state.votes.insert(key.clone(), KeyVotes::default());
+            proposals.push((key.clone(), option));
+        }
+        let me = ctx.self_id();
+        for (key, option) in proposals {
+            match self.config.protocol {
+                Protocol::Fast => {
+                    for &replica in &self.replicas {
+                        ctx.send(
+                            replica,
+                            Msg::FastPropose {
+                                txn,
+                                key: key.clone(),
+                                option: option.clone(),
+                                round: 0,
+                            },
+                        );
+                    }
+                }
+                Protocol::Classic | Protocol::TwoPc => {
+                    let master = self.replicas[self.config.master_of(&key).0 as usize];
+                    ctx.send(
+                        master,
+                        Msg::Propose { txn, key, option, coordinator: me, round: 0 },
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
+    fn handle_vote(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        site: SiteId,
+        accept: bool,
+        reason: Option<planet_storage::RejectReason>,
+        round: u8,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let voters = self.voters_per_key();
+        let Some(state) = self.inflight.get_mut(&txn) else {
+            // Late vote for a decided transaction: still forward it so the
+            // client's latency model learns the slow paths.
+            if let Some(recent) = self.recent.get(&txn) {
+                let elapsed_us = recent
+                    .proposals_sent_at
+                    .map_or(0, |at| ctx.now().since(at).as_micros());
+                ctx.send(
+                    recent.reply_to,
+                    Msg::Progress {
+                        tag: recent.tag,
+                        txn,
+                        stage: ProgressStage::Vote { key, site, accept, reason, elapsed_us },
+                    },
+                );
+            }
+            return;
+        };
+        let elapsed_us = state
+            .proposals_sent_at
+            .map_or(0, |at| ctx.now().since(at).as_micros());
+        let Some(kv) = state.votes.get_mut(&key) else { return };
+        // Stale votes from a superseded round are meaningless for the tally.
+        if round != kv.round {
+            return;
+        }
+        // Drop duplicate votes from the same site (possible under retries).
+        if kv.accepts.contains(&site) || kv.rejects.contains(&site) {
+            return;
+        }
+        if accept {
+            kv.accepts.push(site);
+        } else {
+            kv.rejects.push(site);
+            state.rejections += 1;
+        }
+        state.votes_received += 1;
+
+        // Master-routed rounds — classic, 2PC, or a fast-path fallback
+        // round — hear rejects only from the master, whose rejection is
+        // definitive (no replication happened). Quorum size also depends on
+        // the round: the fallback round needs only a classic majority.
+        let master_routed = !matches!(self.config.protocol, Protocol::Fast) || kv.round > 0;
+        let quorum = if kv.round > 0 {
+            self.config.classic_quorum()
+        } else {
+            self.config.required_quorum()
+        };
+        let mut resolved_now = None;
+        let mut fallback_now = false;
+        if kv.resolved.is_none() {
+            if kv.accepts.len() >= quorum {
+                kv.resolved = Some(true);
+                resolved_now = Some(true);
+            } else if (master_routed && !kv.rejects.is_empty())
+                || voters - kv.rejects.len() < quorum
+            {
+                if self.config.protocol == Protocol::Fast
+                    && self.config.fast_fallback
+                    && kv.round == 0
+                    && kv.rejects.len() < self.config.classic_quorum()
+                {
+                    // Collision, not a definitive loss: fewer than a
+                    // majority rejected, so the option may still win a
+                    // classic round through the master. Reset the tally and
+                    // retry once.
+                    kv.round = 1;
+                    kv.accepts.clear();
+                    kv.rejects.clear();
+                    fallback_now = true;
+                } else {
+                    kv.resolved = Some(false);
+                    resolved_now = Some(false);
+                }
+            }
+        }
+        if fallback_now {
+            let option = state.options.get(&key).expect("option exists").clone();
+            let master = self.replicas[self.config.master_of(&key).0 as usize];
+            let me = ctx.self_id();
+            ctx.send(master, Msg::Propose { txn, key: key.clone(), option, coordinator: me, round: 1 });
+            ctx.metrics().counter("txn.fast_fallbacks").inc();
+            let state = self.inflight.get(&txn).unwrap();
+            self.progress(state, txn, ProgressStage::KeyFallback { key: key.clone() }, ctx);
+        }
+
+        let state = self.inflight.get(&txn).unwrap();
+        self.progress(
+            state,
+            txn,
+            ProgressStage::Vote { key: key.clone(), site, accept, reason, elapsed_us },
+            ctx,
+        );
+        if let Some(ok) = resolved_now {
+            self.progress(state, txn, ProgressStage::KeyResolved { key, accepted: ok }, ctx);
+        }
+
+        // Decide as soon as every key has resolved, or any key failed.
+        let state = self.inflight.get(&txn).unwrap();
+        let any_failed = state.votes.values().any(|kv| kv.resolved == Some(false));
+        let all_ok = state.votes.values().all(|kv| kv.resolved == Some(true));
+        if any_failed {
+            self.finish(txn, Outcome::Aborted, ctx);
+        } else if all_ok {
+            self.finish(txn, Outcome::Committed, ctx);
+        }
+    }
+
+    fn handle_timeout(&mut self, txn: TxnId, ctx: &mut Context<'_, Msg>) {
+        if self.inflight.contains_key(&txn) {
+            self.finish(txn, Outcome::TimedOut, ctx);
+        } else {
+            // The timeout doubles as the expiry of the late-vote forwarding
+            // window.
+            self.recent.remove(&txn);
+        }
+    }
+
+    /// Broadcast per-key decisions, emit the terminal event, drop state.
+    fn finish(&mut self, txn: TxnId, outcome: Outcome, ctx: &mut Context<'_, Msg>) {
+        let Some(state) = self.inflight.remove(&txn) else { return };
+        let commit = outcome.is_commit();
+        for (key, option) in &state.options {
+            let master = self.replicas[self.config.master_of(key).0 as usize];
+            ctx.send(
+                master,
+                Msg::Decide { txn, key: key.clone(), option: option.clone(), commit },
+            );
+        }
+        let stats = TxnStats {
+            submitted_at: state.submitted_at,
+            decided_at: ctx.now(),
+            write_keys: state.options.len(),
+            votes_received: state.votes_received,
+            rejections: state.rejections,
+        };
+        self.recent.insert(
+            txn,
+            RecentTxn {
+                tag: state.tag,
+                reply_to: state.reply_to,
+                proposals_sent_at: state.proposals_sent_at,
+            },
+        );
+        let latency = stats.decided_at.since(stats.submitted_at).as_micros();
+        let proto = self.config.protocol.name();
+        match outcome {
+            Outcome::Committed => {
+                ctx.metrics().counter(&format!("txn.committed.{proto}")).inc();
+                if !state.options.is_empty() {
+                    ctx.metrics()
+                        .histogram(&format!("txn.commit_latency.{proto}"))
+                        .record(latency);
+                    let site = self.site;
+                    ctx.metrics()
+                        .histogram(&format!("txn.commit_latency.{proto}.site{}", site.0))
+                        .record(latency);
+                }
+            }
+            Outcome::Aborted => {
+                ctx.metrics().counter(&format!("txn.aborted.{proto}")).inc();
+            }
+            Outcome::TimedOut => {
+                ctx.metrics().counter(&format!("txn.timedout.{proto}")).inc();
+            }
+        }
+        ctx.send(state.reply_to, Msg::TxnDone { tag: state.tag, txn, outcome, stats });
+    }
+}
+
+impl Actor<Msg> for CoordinatorActor {
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Submit { spec, reply_to, tag } => self.handle_submit(spec, reply_to, tag, ctx),
+            Msg::ReadResp { txn, results } => self.handle_read_resp(txn, results, ctx),
+            Msg::Vote { txn, key, site, accept, reason, round } => {
+                self.handle_vote(txn, key, site, accept, reason, round, ctx)
+            }
+            Msg::TxnTimeout { txn } => self.handle_timeout(txn, ctx),
+            other => {
+                debug_assert!(false, "coordinator received unexpected message: {other:?}");
+            }
+        }
+    }
+}

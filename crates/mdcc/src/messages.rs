@@ -1,0 +1,380 @@
+//! The wire protocol: every message exchanged between clients, transaction
+//! coordinators and storage replicas, plus the progress-event vocabulary the
+//! PLANET layer observes.
+//!
+//! The simulation engine requires a single message type per simulation, so
+//! this enum is the shared vocabulary of the whole system; the variants under
+//! "client-side" exist for the layers above (planet-core, planet-workload)
+//! and are never interpreted by the protocol actors.
+
+use planet_sim::{ActorId, SimTime, SiteId};
+use planet_storage::{Key, RecordOption, RejectReason, TxnId, Value, VersionNo, WriteOp};
+
+/// Where a transaction's reads are served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadLevel {
+    /// Read the local replica's committed state — sub-millisecond, but it
+    /// may trail the masters by up to one apply propagation (~1 WAN hop).
+    /// This is MDCC/PLANET's default read-committed behaviour.
+    #[default]
+    Local,
+    /// Read a majority of replicas and take the highest committed version
+    /// per key — bounded-staleness freshness at the cost of a WAN round
+    /// trip to the median replica.
+    Quorum,
+}
+
+/// What a transaction wants to do. The coordinator reads every key named in
+/// `reads` and every key written, then proposes one option per write.
+#[derive(Debug, Clone, Default)]
+pub struct TxnSpec {
+    /// Keys the transaction reads (beyond those it writes).
+    pub reads: Vec<Key>,
+    /// Writes: the coordinator turns each into an option based on the
+    /// version it read.
+    pub writes: Vec<(Key, WriteOp)>,
+    /// Where reads are served.
+    pub read_level: ReadLevel,
+}
+
+impl TxnSpec {
+    /// A read-only transaction.
+    pub fn read_only(keys: impl IntoIterator<Item = Key>) -> Self {
+        TxnSpec {
+            reads: keys.into_iter().collect(),
+            writes: Vec::new(),
+            read_level: ReadLevel::Local,
+        }
+    }
+
+    /// A single-key blind write.
+    pub fn write_one(key: Key, op: WriteOp) -> Self {
+        TxnSpec {
+            reads: Vec::new(),
+            writes: vec![(key, op)],
+            read_level: ReadLevel::Local,
+        }
+    }
+
+    /// Every key the transaction touches, deduplicated, in first-use order.
+    pub fn touched_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::new();
+        for k in self.reads.iter().chain(self.writes.iter().map(|(k, _)| k)) {
+            if !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys
+    }
+
+    /// True if the transaction writes nothing.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// A single key's read result as returned to clients.
+#[derive(Debug, Clone)]
+pub struct KeyRead {
+    /// The key.
+    pub key: Key,
+    /// Committed version at the replica that served the read.
+    pub version: VersionNo,
+    /// Committed value.
+    pub value: Value,
+    /// Options pending on the record at read time — the contention signal
+    /// the likelihood model consumes.
+    pub pending: usize,
+}
+
+/// Fine-grained transaction progress, emitted by the coordinator to whoever
+/// submitted the transaction. This is the PLANET paper's "internal progress
+/// of the transaction" made visible.
+#[derive(Debug, Clone)]
+pub enum ProgressStage {
+    /// The coordinator admitted the transaction and is reading.
+    Started,
+    /// All reads completed; option proposals are going out. Carries the read
+    /// results (clients use them; the predictor uses the pending counts).
+    ReadsDone {
+        /// Read results for every touched key.
+        reads: Vec<KeyRead>,
+    },
+    /// A replica voted on one key's option.
+    Vote {
+        /// The voted key.
+        key: Key,
+        /// The replica's site.
+        site: SiteId,
+        /// Whether the replica accepted the option.
+        accept: bool,
+        /// Rejection reason when `accept` is false.
+        reason: Option<RejectReason>,
+        /// Time from proposal send to this vote's arrival.
+        elapsed_us: u64,
+    },
+    /// The fast round collided (split votes, no quorum possible); the key is
+    /// being retried through its master. Observers should reset their
+    /// per-key vote tracking for the new round.
+    KeyFallback {
+        /// The key being retried.
+        key: Key,
+    },
+    /// One key reached its quorum (or failed definitively).
+    KeyResolved {
+        /// The resolved key.
+        key: Key,
+        /// Whether the key's option achieved its quorum.
+        accepted: bool,
+    },
+}
+
+/// The terminal outcome of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// All options reached quorum; the transaction is durable.
+    Committed,
+    /// Some option was rejected or could not reach quorum.
+    Aborted,
+    /// The server-side timeout expired before all votes arrived.
+    TimedOut,
+}
+
+impl Outcome {
+    /// True for `Committed`.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, Outcome::Committed)
+    }
+}
+
+/// Summary statistics the coordinator attaches to the terminal outcome.
+#[derive(Debug, Clone)]
+pub struct TxnStats {
+    /// When the coordinator accepted the transaction.
+    pub submitted_at: SimTime,
+    /// When the outcome was determined.
+    pub decided_at: SimTime,
+    /// Number of keys written.
+    pub write_keys: usize,
+    /// Votes received before the decision.
+    pub votes_received: usize,
+    /// Rejections received before the decision.
+    pub rejections: usize,
+}
+
+/// Every message in the system.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ---- client → coordinator ----
+    /// Submit a transaction; progress and the outcome flow back to `reply_to`.
+    Submit {
+        /// The transaction body.
+        spec: TxnSpec,
+        /// Actor to receive `Progress`/`TxnDone` messages.
+        reply_to: ActorId,
+        /// Client-chosen tag echoed back in every reply, letting a client
+        /// multiplex many in-flight transactions.
+        tag: u64,
+    },
+
+    // ---- coordinator → replica ----
+    /// Read a batch of keys at a replica.
+    ReadReq {
+        /// Transaction performing the read.
+        txn: TxnId,
+        /// Keys to read.
+        keys: Vec<Key>,
+    },
+    /// Fast path: propose an option directly at a replica for validation.
+    FastPropose {
+        /// Proposing transaction.
+        txn: TxnId,
+        /// Target key.
+        key: Key,
+        /// The conditional write.
+        option: RecordOption,
+        /// Per-key proposal round (0 = first attempt; bumped on fallback).
+        round: u8,
+    },
+    /// Classic/2PC: propose an option at the key's master (also used by the
+    /// fast path's collision-fallback round).
+    Propose {
+        /// Proposing transaction.
+        txn: TxnId,
+        /// Target key.
+        key: Key,
+        /// The conditional write.
+        option: RecordOption,
+        /// Coordinator to receive votes (directly on the classic path).
+        coordinator: ActorId,
+        /// Per-key proposal round.
+        round: u8,
+    },
+    /// Master → other replicas: make an accepted option durable.
+    Replicate {
+        /// Proposing transaction.
+        txn: TxnId,
+        /// Target key.
+        key: Key,
+        /// The conditional write.
+        option: RecordOption,
+        /// Coordinator (classic path: replicas vote straight back to it).
+        coordinator: ActorId,
+        /// Master that accepted the option (2PC path: acks return here).
+        master: ActorId,
+        /// Per-key proposal round.
+        round: u8,
+    },
+    /// Decision for one key, sent to the key's master (which applies and
+    /// fans out `Apply`). Carries the option so the master can force-apply
+    /// a commit it never validated (possible on the fast path).
+    Decide {
+        /// Deciding transaction.
+        txn: TxnId,
+        /// The key being decided.
+        key: Key,
+        /// The option that was voted on.
+        option: RecordOption,
+        /// Commit or abort.
+        commit: bool,
+    },
+
+    // ---- replica → coordinator / master ----
+    /// A read response.
+    ReadResp {
+        /// Transaction that asked.
+        txn: TxnId,
+        /// One entry per requested key.
+        results: Vec<KeyRead>,
+    },
+    /// A validation vote for one key's option.
+    Vote {
+        /// Voting on behalf of this transaction.
+        txn: TxnId,
+        /// The voted key.
+        key: Key,
+        /// The voting replica's site.
+        site: SiteId,
+        /// Accept or reject.
+        accept: bool,
+        /// Rejection reason when `accept` is false.
+        reason: Option<RejectReason>,
+        /// Echo of the proposal round being voted on.
+        round: u8,
+    },
+    /// 2PC path: a replica acknowledges durability of a replicated option to
+    /// the key's master.
+    ReplicateAck {
+        /// Transaction whose option was made durable.
+        txn: TxnId,
+        /// The key.
+        key: Key,
+        /// The acking replica's site.
+        site: SiteId,
+    },
+
+    // ---- master → other replicas ----
+    /// State transfer of a newly committed version. Replicas install it if
+    /// it is newer than what they have; application order is therefore the
+    /// master's order and replicas converge regardless of message timing.
+    Apply {
+        /// The key.
+        key: Key,
+        /// New committed version number (master-assigned).
+        version: VersionNo,
+        /// New committed value.
+        value: Value,
+        /// Transaction that produced it.
+        txn: TxnId,
+    },
+    /// A transaction aborted: drop its pending option (frees demarcation
+    /// headroom and physical locks at fast-path validators).
+    DropPending {
+        /// The key.
+        key: Key,
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+
+    // ---- coordinator → client ----
+    /// A progress callback event.
+    Progress {
+        /// Client-chosen tag from `Submit`.
+        tag: u64,
+        /// Transaction id assigned by the coordinator.
+        txn: TxnId,
+        /// What happened.
+        stage: ProgressStage,
+    },
+    /// Terminal outcome.
+    TxnDone {
+        /// Client-chosen tag from `Submit`.
+        tag: u64,
+        /// The transaction.
+        txn: TxnId,
+        /// Commit / abort / timeout.
+        outcome: Outcome,
+        /// Summary statistics.
+        stats: TxnStats,
+    },
+
+    // ---- fault injection (harness → replica) ----
+    /// Crash a replica: it stops processing and answering everything until
+    /// `Recover` arrives. In-memory protocol state is lost; the WAL survives.
+    Crash,
+    /// Recover a crashed replica: its storage is rebuilt by replaying the
+    /// WAL (the recovery path the storage layer guarantees), after which it
+    /// resumes serving. State committed cluster-wide while it was down
+    /// reaches it lazily via later `Apply` state transfers.
+    Recover,
+
+    // ---- timers ----
+    /// Replica-internal: the validation server finished one unit of work
+    /// (only used when `validation_service > 0`).
+    ReplicaServiceDone,
+    /// Coordinator-internal per-transaction timeout.
+    TxnTimeout {
+        /// The transaction that may have expired.
+        txn: TxnId,
+    },
+    /// Client-side timer. The protocol actors never touch this; the PLANET
+    /// layer uses it for deadlines and periodic work. `kind` is caller-defined.
+    ClientTimer {
+        /// Caller-defined discriminator.
+        kind: u32,
+        /// Caller-defined payload (e.g. a transaction tag).
+        tag: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_keys_dedups_preserving_order() {
+        let spec = TxnSpec {
+            reads: vec![Key::new("a"), Key::new("b")],
+            writes: vec![(Key::new("b"), WriteOp::add(1)), (Key::new("c"), WriteOp::add(1))],
+            read_level: ReadLevel::Local,
+        };
+        let keys = spec.touched_keys();
+        assert_eq!(keys, vec![Key::new("a"), Key::new("b"), Key::new("c")]);
+    }
+
+    #[test]
+    fn constructors() {
+        let ro = TxnSpec::read_only([Key::new("x")]);
+        assert!(ro.is_read_only());
+        let w = TxnSpec::write_one(Key::new("y"), WriteOp::add(1));
+        assert!(!w.is_read_only());
+        assert_eq!(w.touched_keys(), vec![Key::new("y")]);
+    }
+
+    #[test]
+    fn outcome_is_commit() {
+        assert!(Outcome::Committed.is_commit());
+        assert!(!Outcome::Aborted.is_commit());
+        assert!(!Outcome::TimedOut.is_commit());
+    }
+}

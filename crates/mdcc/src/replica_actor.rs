@@ -1,0 +1,470 @@
+//! The storage replica actor: one per site, holding a full copy of the
+//! keyspace.
+//!
+//! Responsibilities by protocol path:
+//!
+//! * **Fast path** — validate `FastPropose` options against local state and
+//!   vote directly to the coordinator. Conflicts surface here, at every
+//!   replica independently.
+//! * **Classic path** — when this replica masters the key, validate
+//!   `Propose`, then fan out `Replicate`; non-master replicas make the
+//!   option durable and vote straight to the coordinator.
+//! * **2PC path** — like classic, but durability acks route back to the
+//!   master, which casts one vote per key once a majority is durable.
+//! * **Apply/convergence** — the key's master serialises every committed
+//!   version and ships it by state transfer (`Apply`); replicas install
+//!   whatever is newer than what they hold, so all copies converge to the
+//!   master's order regardless of message timing.
+//!
+//! Pending options are leased: a periodic sweep drops options older than the
+//! transaction timeout, so a lost `Decide`/`DropPending` cannot wedge a
+//! record forever.
+
+use std::collections::{HashMap, VecDeque};
+
+use planet_sim::{Actor, ActorId, Context, SimDuration, SimTime, SiteId};
+use planet_storage::{Key, RecordOption, Replica, TxnId};
+
+use crate::config::{ClusterConfig, Protocol};
+use crate::messages::{KeyRead, Msg};
+
+/// Pending 2PC replication state at a master: which sites have acked.
+struct ReplState {
+    acks: Vec<SiteId>,
+    coordinator: ActorId,
+    voted: bool,
+}
+
+/// The per-site storage replica actor.
+pub struct ReplicaActor {
+    config: ClusterConfig,
+    /// Replica actor ids indexed by site.
+    peers: Vec<ActorId>,
+    storage: Replica,
+    /// 2PC: replication ack collection per (txn, key) this site masters.
+    repl_state: HashMap<(TxnId, Key), ReplState>,
+    /// Lease bookkeeping: when each pending option was accepted.
+    accepted_at: HashMap<(TxnId, Key), SimTime>,
+    /// How long a pending option may live before the sweep reclaims it.
+    lease: SimDuration,
+    /// FIFO of validation work waiting for the (single) server, used when
+    /// `validation_service > 0`.
+    service_queue: VecDeque<(ActorId, Msg)>,
+    /// True while the validation server is occupied.
+    server_busy: bool,
+    /// Fault injection: while true the replica ignores all traffic.
+    crashed: bool,
+}
+
+/// Timer discriminator for the pending-option sweep.
+const GC_TIMER: u32 = 0xC1EA;
+
+impl ReplicaActor {
+    /// Build a replica for a cluster whose replica actors are `peers`
+    /// (indexed by site).
+    pub fn new(config: ClusterConfig, peers: Vec<ActorId>) -> Self {
+        let lease = config.txn_timeout;
+        ReplicaActor {
+            config,
+            peers,
+            storage: Replica::new(),
+            repl_state: HashMap::new(),
+            accepted_at: HashMap::new(),
+            lease,
+            service_queue: VecDeque::new(),
+            server_busy: false,
+            crashed: false,
+        }
+    }
+
+    /// True while the replica is crash-injected.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Current depth of the validation queue (diagnostics).
+    pub fn service_queue_depth(&self) -> usize {
+        self.service_queue.len()
+    }
+
+    /// Read access to the underlying storage (for tests and result harvest).
+    pub fn storage(&self) -> &Replica {
+        &self.storage
+    }
+
+    /// Mutable access to storage, used by harnesses to preload data.
+    pub fn storage_mut(&mut self) -> &mut Replica {
+        &mut self.storage
+    }
+
+    fn is_master(&self, key: &Key, ctx: &Context<'_, Msg>) -> bool {
+        self.config.master_of(key) == ctx.self_site()
+    }
+
+    fn other_peers(&self, ctx: &Context<'_, Msg>) -> impl Iterator<Item = ActorId> + '_ {
+        let me = ctx.self_id();
+        self.peers.iter().copied().filter(move |&p| p != me)
+    }
+
+    fn try_accept(
+        &mut self,
+        key: &Key,
+        option: RecordOption,
+        now: SimTime,
+    ) -> Result<(), planet_storage::RejectReason> {
+        let txn = option.txn;
+        // Idempotent re-proposal: a later round (fast-path fallback, retry)
+        // may re-present an option this replica already holds.
+        if self.storage.has_pending(key, txn) {
+            return Ok(());
+        }
+        match self.storage.accept(key, option) {
+            Ok(()) => {
+                self.accepted_at.insert((txn, key.clone()), now);
+                Ok(())
+            }
+            Err(reason) => {
+                self.storage.note_rejection();
+                Err(reason)
+            }
+        }
+    }
+
+    fn handle_read(&mut self, from: ActorId, txn: TxnId, keys: Vec<Key>, ctx: &mut Context<'_, Msg>) {
+        let results = keys
+            .iter()
+            .map(|k| {
+                let r = self.storage.read(k);
+                KeyRead { key: k.clone(), version: r.version, value: r.value, pending: r.pending }
+            })
+            .collect();
+        ctx.send(from, Msg::ReadResp { txn, results });
+    }
+
+    fn handle_fast_propose(
+        &mut self,
+        from: ActorId,
+        txn: TxnId,
+        key: Key,
+        option: RecordOption,
+        round: u8,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let result = self.try_accept(&key, option, ctx.now());
+        ctx.send(
+            from,
+            Msg::Vote {
+                txn,
+                key,
+                site: ctx.self_site(),
+                accept: result.is_ok(),
+                reason: result.err(),
+                round,
+            },
+        );
+    }
+
+    fn handle_propose(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        option: RecordOption,
+        coordinator: ActorId,
+        round: u8,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        debug_assert!(self.is_master(&key, ctx), "Propose sent to non-master");
+        match self.try_accept(&key, option.clone(), ctx.now()) {
+            Err(reason) => {
+                // Master says no: the key cannot be accepted; no replication.
+                ctx.send(
+                    coordinator,
+                    Msg::Vote {
+                        txn,
+                        key,
+                        site: ctx.self_site(),
+                        accept: false,
+                        reason: Some(reason),
+                        round,
+                    },
+                );
+            }
+            Ok(()) => {
+                match self.config.protocol {
+                    // Classic proper, or a fast-path collision-fallback
+                    // round: master votes immediately; other replicas ack
+                    // directly to the coordinator.
+                    Protocol::Classic | Protocol::Fast => {
+                        ctx.send(
+                            coordinator,
+                            Msg::Vote {
+                                txn,
+                                key: key.clone(),
+                                site: ctx.self_site(),
+                                accept: true,
+                                reason: None,
+                                round,
+                            },
+                        );
+                    }
+                    Protocol::TwoPc => {
+                        // Collect acks here; vote once a majority (counting
+                        // ourselves) is durable.
+                        self.repl_state.insert(
+                            (txn, key.clone()),
+                            ReplState { acks: vec![ctx.self_site()], coordinator, voted: false },
+                        );
+                        self.maybe_vote_2pc(txn, &key, ctx);
+                    }
+                }
+                let me = ctx.self_id();
+                for peer in self.other_peers(ctx).collect::<Vec<_>>() {
+                    ctx.send(
+                        peer,
+                        Msg::Replicate {
+                            txn,
+                            key: key.clone(),
+                            option: option.clone(),
+                            coordinator,
+                            master: me,
+                            round,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
+    fn handle_replicate(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        option: RecordOption,
+        coordinator: ActorId,
+        master: ActorId,
+        round: u8,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        // The master already validated; we store the option for durability
+        // and demarcation accounting but our ack does not depend on local
+        // validation succeeding (our copy may simply be stale).
+        let _ = self.try_accept(&key, option, ctx.now());
+        match self.config.protocol {
+            // Classic proper, or a fast-path fallback round.
+            Protocol::Classic | Protocol::Fast => ctx.send(
+                coordinator,
+                Msg::Vote { txn, key, site: ctx.self_site(), accept: true, reason: None, round },
+            ),
+            Protocol::TwoPc => {
+                ctx.send(master, Msg::ReplicateAck { txn, key, site: ctx.self_site() });
+            }
+        }
+    }
+
+    fn maybe_vote_2pc(&mut self, txn: TxnId, key: &Key, ctx: &mut Context<'_, Msg>) {
+        let quorum = self.config.classic_quorum();
+        let site = ctx.self_site();
+        if let Some(state) = self.repl_state.get_mut(&(txn, key.clone())) {
+            if !state.voted && state.acks.len() >= quorum {
+                state.voted = true;
+                let coordinator = state.coordinator;
+                ctx.send(
+                    coordinator,
+                    Msg::Vote { txn, key: key.clone(), site, accept: true, reason: None, round: 0 },
+                );
+            }
+        }
+    }
+
+    fn handle_replicate_ack(&mut self, txn: TxnId, key: Key, site: SiteId, ctx: &mut Context<'_, Msg>) {
+        if let Some(state) = self.repl_state.get_mut(&(txn, key.clone())) {
+            if !state.acks.contains(&site) {
+                state.acks.push(site);
+            }
+        }
+        self.maybe_vote_2pc(txn, &key, ctx);
+    }
+
+    fn handle_decide(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        option: RecordOption,
+        commit: bool,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        debug_assert!(self.is_master(&key, ctx), "Decide sent to non-master");
+        self.accepted_at.remove(&(txn, key.clone()));
+        self.repl_state.remove(&(txn, key.clone()));
+        if commit {
+            let new_version = match self.storage.decide(&key, txn, true) {
+                Some(v) => v,
+                None => {
+                    // This master never accepted the option (fast-path commit
+                    // carried by other replicas): force-apply by state
+                    // transfer onto the current head.
+                    let cur = self.storage.read(&key);
+                    let value = option.op.apply(&cur.value);
+                    let v = cur.version + 1;
+                    self.storage.install(&key, v, value, txn);
+                    v
+                }
+            };
+            let value = self.storage.read(&key).value;
+            ctx.metrics().counter("replica.versions_committed").inc();
+            for peer in self.other_peers(ctx).collect::<Vec<_>>() {
+                ctx.send(
+                    peer,
+                    Msg::Apply { key: key.clone(), version: new_version, value: value.clone(), txn },
+                );
+            }
+        } else {
+            self.storage.decide(&key, txn, false);
+            for peer in self.other_peers(ctx).collect::<Vec<_>>() {
+                ctx.send(peer, Msg::DropPending { key: key.clone(), txn });
+            }
+        }
+    }
+
+    fn handle_apply(
+        &mut self,
+        key: Key,
+        version: planet_storage::VersionNo,
+        value: planet_storage::Value,
+        txn: TxnId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        self.accepted_at.remove(&(txn, key.clone()));
+        if self.storage.install(&key, version, value, txn) {
+            ctx.metrics().counter("replica.versions_installed").inc();
+        }
+    }
+
+    fn handle_drop_pending(&mut self, key: Key, txn: TxnId) {
+        self.accepted_at.remove(&(txn, key.clone()));
+        self.storage.decide(&key, txn, false);
+    }
+
+    fn sweep_leases(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        let lease = self.lease;
+        let mut expired: Vec<(TxnId, Key)> = self
+            .accepted_at
+            .iter()
+            .filter(|(_, &at)| now.since(at) > lease)
+            .map(|(k, _)| k.clone())
+            .collect();
+        // HashMap iteration order is nondeterministic; the decide order
+        // below has observable effects, so fix it.
+        expired.sort();
+        for (txn, key) in expired {
+            self.accepted_at.remove(&(txn, key.clone()));
+            self.repl_state.remove(&(txn, key.clone()));
+            self.storage.decide(&key, txn, false);
+            ctx.metrics().counter("replica.leases_expired").inc();
+        }
+    }
+}
+
+impl ReplicaActor {
+    /// True for messages that cost validation-server time.
+    fn is_costly(msg: &Msg) -> bool {
+        matches!(msg, Msg::FastPropose { .. } | Msg::Propose { .. } | Msg::Replicate { .. })
+    }
+
+    /// Admit one unit of validation work: run it if the server is idle,
+    /// otherwise queue it.
+    fn enqueue_work(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if self.server_busy {
+            self.service_queue.push_back((from, msg));
+            return;
+        }
+        self.server_busy = true;
+        self.dispatch(from, msg, ctx);
+        ctx.schedule(self.config.validation_service, Msg::ReplicaServiceDone);
+    }
+
+    fn service_done(&mut self, ctx: &mut Context<'_, Msg>) {
+        match self.service_queue.pop_front() {
+            Some((from, msg)) => {
+                self.dispatch(from, msg, ctx);
+                ctx.schedule(self.config.validation_service, Msg::ReplicaServiceDone);
+            }
+            None => self.server_busy = false,
+        }
+    }
+
+    fn dispatch(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::ReadReq { txn, keys } => self.handle_read(from, txn, keys, ctx),
+            Msg::FastPropose { txn, key, option, round } => {
+                self.handle_fast_propose(from, txn, key, option, round, ctx)
+            }
+            Msg::Propose { txn, key, option, coordinator, round } => {
+                self.handle_propose(txn, key, option, coordinator, round, ctx)
+            }
+            Msg::Replicate { txn, key, option, coordinator, master, round } => {
+                self.handle_replicate(txn, key, option, coordinator, master, round, ctx)
+            }
+            Msg::ReplicateAck { txn, key, site } => self.handle_replicate_ack(txn, key, site, ctx),
+            Msg::Decide { txn, key, option, commit } => {
+                self.handle_decide(txn, key, option, commit, ctx)
+            }
+            Msg::Apply { key, version, value, txn } => {
+                self.handle_apply(key, version, value, txn, ctx)
+            }
+            Msg::DropPending { key, txn } => self.handle_drop_pending(key, txn),
+            Msg::ClientTimer { kind: GC_TIMER, .. } => {
+                self.sweep_leases(ctx);
+                let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
+                ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+            }
+            other => {
+                debug_assert!(false, "replica received unexpected message: {other:?}");
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for ReplicaActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
+        ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Crash => {
+                self.crashed = true;
+                // A crash loses volatile protocol state; only the WAL (and
+                // therefore the store it reconstructs) survives.
+                self.repl_state.clear();
+                self.service_queue.clear();
+                self.server_busy = false;
+                ctx.metrics().counter("replica.crashes").inc();
+            }
+            Msg::Recover => {
+                if self.crashed {
+                    self.crashed = false;
+                    // Restart: rebuild storage from the write-ahead log.
+                    self.storage = Replica::recover(self.storage.wal().clone());
+                    ctx.metrics().counter("replica.recoveries").inc();
+                }
+            }
+            // The lease-sweep timer chain must survive a crash (it models
+            // the process restarting with its background tasks), but the
+            // sweep itself does nothing while down.
+            Msg::ClientTimer { kind: GC_TIMER, .. } if self.crashed => {
+                let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
+                ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+            }
+            _ if self.crashed => { /* down: drop everything else */ }
+            Msg::ReplicaServiceDone => self.service_done(ctx),
+            m if self.config.validation_service > SimDuration::ZERO && Self::is_costly(&m) => {
+                self.enqueue_work(from, m, ctx)
+            }
+            m => self.dispatch(from, m, ctx),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Tests for the fast path's collision fallback: when the fast round's
+//! votes split between competing options and nobody reaches the fast
+//! quorum, retrying through the master must rescue a winner.
+
+use planet_mdcc::{build_sim, ClusterConfig, Msg, Outcome, Protocol, TestClient, TxnSpec};
+use planet_sim::{ActorId, SimDuration, SimTime, Simulation, SiteId};
+use planet_storage::{Key, Value, WriteOp};
+
+fn client(sim: &Simulation<Msg>, id: ActorId) -> &TestClient {
+    sim.actor_as::<TestClient>(id).expect("not a TestClient")
+}
+
+fn set_txn(key: &str, v: i64) -> TxnSpec {
+    TxnSpec::write_one(Key::new(key), WriteOp::Set(Value::Int(v)))
+}
+
+/// Five sites race −2 decrements on a stock of 3 (each replica can accept
+/// only one option under worst-case demarcation accounting, so fast-round
+/// votes scatter). Without fallback this frequently ends with *zero*
+/// commits (the collision outcome); with fallback the master round rescues
+/// exactly one winner.
+fn race_scarce_stock(fallback: bool, seed: u64) -> usize {
+    let mut config = ClusterConfig::new(5, Protocol::Fast);
+    config.fast_fallback = fallback;
+    let (mut sim, cluster) = build_sim(planet_sim::topology::five_dc(), config, seed);
+    // Seed the stock.
+    let seeder = sim.add_actor(
+        SiteId(0),
+        Box::new(TestClient::new(
+            cluster.coordinators[0],
+            vec![(SimTime::from_millis(1), set_txn("scarce", 3))],
+        )),
+    );
+    let buyers: Vec<ActorId> = (0..5)
+        .map(|site| {
+            sim.add_actor(
+                SiteId(site as u8),
+                Box::new(TestClient::new(
+                    cluster.coordinators[site],
+                    vec![(
+                        SimTime::from_secs(2),
+                        TxnSpec::write_one(Key::new("scarce"), WriteOp::add_with_floor(-2, 0)),
+                    )],
+                )),
+            )
+        })
+        .collect();
+    sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(client(&sim, seeder).outcome(0), Some(Outcome::Committed));
+    buyers
+        .iter()
+        .filter(|b| client(&sim, **b).outcome(0) == Some(Outcome::Committed))
+        .count()
+}
+
+#[test]
+fn fallback_rescues_collision_victims() {
+    let mut rescued = 0;
+    let mut without = 0;
+    for seed in 0..8u64 {
+        without += race_scarce_stock(false, 100 + seed);
+        rescued += race_scarce_stock(true, 100 + seed);
+    }
+    // Never more than one winner per race (demarcation), in either mode.
+    assert!(without <= 8 && rescued <= 8);
+    assert!(
+        rescued > without,
+        "fallback must convert some collisions into commits: {rescued} vs {without} over 8 races"
+    );
+    assert!(rescued >= 6, "fallback should almost always find the winner, got {rescued}/8");
+}
+
+#[test]
+fn fallback_counts_in_metrics_and_preserves_atomicity() {
+    let mut config = ClusterConfig::new(5, Protocol::Fast);
+    config.fast_fallback = true;
+    let (mut sim, cluster) = build_sim(planet_sim::topology::five_dc(), config, 300);
+    // Heavy same-key racing to force collisions.
+    let clients: Vec<ActorId> = (0..5)
+        .map(|site| {
+            let script: Vec<(SimTime, TxnSpec)> = (0..10)
+                .map(|i| (SimTime::from_millis(1 + i * 100), set_txn("hot", i as i64)))
+                .collect();
+            sim.add_actor(
+                SiteId(site as u8),
+                Box::new(TestClient::new(cluster.coordinators[site], script)),
+            )
+        })
+        .collect();
+    sim.run_for(SimDuration::from_secs(60));
+    for c in &clients {
+        assert_eq!(client(&sim, *c).completed.len(), 10, "every txn terminates");
+    }
+    assert!(
+        sim.metrics().counter_value("txn.fast_fallbacks") > 0,
+        "racing must have triggered fallbacks"
+    );
+    // All replicas converge despite the mixed fast/fallback rounds.
+    let reference = sim
+        .actor_as::<planet_mdcc::ReplicaActor>(cluster.replicas[0])
+        .unwrap()
+        .storage()
+        .read(&Key::new("hot"));
+    for site in 1..5 {
+        let got = sim
+            .actor_as::<planet_mdcc::ReplicaActor>(cluster.replicas[site])
+            .unwrap()
+            .storage()
+            .read(&Key::new("hot"));
+        assert_eq!(got.value, reference.value, "site {site} diverged");
+        assert_eq!(got.version, reference.version, "site {site} version diverged");
+    }
+}
+
+#[test]
+fn fallback_costs_latency_only_on_collision() {
+    // Uncontended traffic must not pay for the fallback feature.
+    let run = |fallback: bool| {
+        let mut config = ClusterConfig::new(5, Protocol::Fast);
+        config.fast_fallback = fallback;
+        let (mut sim, cluster) = build_sim(planet_sim::topology::five_dc(), config, 301);
+        let script: Vec<(SimTime, TxnSpec)> = (0..20)
+            .map(|i| (SimTime::from_millis(1 + i * 500), set_txn(&format!("solo{i}"), 1)))
+            .collect();
+        let c = sim.add_actor(
+            SiteId(0),
+            Box::new(TestClient::new(cluster.coordinators[0], script)),
+        );
+        sim.run_for(SimDuration::from_secs(20));
+        let tc = client(&sim, c);
+        let mean: f64 = tc
+            .completed
+            .iter()
+            .map(|r| r.stats.decided_at.since(r.stats.submitted_at).as_millis_f64())
+            .sum::<f64>()
+            / tc.completed.len() as f64;
+        (tc.completed.iter().filter(|r| r.outcome.is_commit()).count(), mean)
+    };
+    let (commits_off, mean_off) = run(false);
+    let (commits_on, mean_on) = run(true);
+    assert_eq!(commits_off, 20);
+    assert_eq!(commits_on, 20);
+    assert!(
+        (mean_on - mean_off).abs() < 1.0,
+        "identical uncontended latency expected: {mean_off}ms vs {mean_on}ms"
+    );
+}

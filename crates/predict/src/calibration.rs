@@ -1,0 +1,215 @@
+//! Calibration measurement: is a predicted likelihood of *p* actually
+//! followed by a commit a fraction *p* of the time?
+//!
+//! Two standard instruments:
+//!
+//! * the **Brier score** — mean squared error of probabilistic predictions
+//!   (0 is perfect, 0.25 is an uninformed coin, 1 is perfectly wrong), and
+//! * a **reliability diagram** — predictions bucketed into bins, with the
+//!   observed commit rate per bin; a calibrated predictor lies on the
+//!   diagonal.
+//!
+//! These generate the reproduction's Figure 2 / Figure 3 outputs.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the predicted-probability bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Predictions that fell in the bin.
+    pub count: u64,
+    /// Mean predicted probability within the bin.
+    pub mean_predicted: f64,
+    /// Observed positive (commit) rate within the bin.
+    pub observed_rate: f64,
+}
+
+/// Accumulates (prediction, outcome) pairs and reports calibration metrics.
+///
+/// ```
+/// use planet_predict::Calibration;
+///
+/// let mut cal = Calibration::new(10);
+/// for i in 0..100 {
+///     cal.record(0.8, i % 10 < 8); // predicts 0.8; commits 80% of the time
+/// }
+/// assert!(cal.ece().unwrap() < 0.01, "perfectly calibrated");
+/// assert!(cal.brier().unwrap() < cal.brier_baseline().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    bins: usize,
+    // per bin: (count, sum of predictions, positives)
+    data: Vec<(u64, f64, u64)>,
+    sq_error_sum: f64,
+    n: u64,
+    positives: u64,
+}
+
+impl Calibration {
+    /// An accumulator with `bins` equal-width probability bins.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0);
+        Calibration {
+            bins,
+            data: vec![(0, 0.0, 0); bins],
+            sq_error_sum: 0.0,
+            n: 0,
+            positives: 0,
+        }
+    }
+
+    /// Record one prediction and its eventual outcome.
+    pub fn record(&mut self, predicted: f64, outcome: bool) {
+        let p = predicted.clamp(0.0, 1.0);
+        let y = if outcome { 1.0 } else { 0.0 };
+        self.sq_error_sum += (p - y) * (p - y);
+        self.n += 1;
+        if outcome {
+            self.positives += 1;
+        }
+        let idx = ((p * self.bins as f64) as usize).min(self.bins - 1);
+        let bin = &mut self.data[idx];
+        bin.0 += 1;
+        bin.1 += p;
+        bin.2 += u64::from(outcome);
+    }
+
+    /// Number of recorded predictions.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Overall positive (commit) rate.
+    pub fn base_rate(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.positives as f64 / self.n as f64)
+    }
+
+    /// The Brier score: mean (p − y)².
+    pub fn brier(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sq_error_sum / self.n as f64)
+    }
+
+    /// The Brier score of the *uninformed* predictor that always answers the
+    /// base rate — the reference a useful model must beat.
+    pub fn brier_baseline(&self) -> Option<f64> {
+        self.base_rate().map(|r| r * (1.0 - r))
+    }
+
+    /// Brier skill score: 1 − brier/baseline (1 = perfect, 0 = no better
+    /// than the base rate, negative = worse). `None` if the baseline is 0.
+    pub fn skill(&self) -> Option<f64> {
+        let brier = self.brier()?;
+        let base = self.brier_baseline()?;
+        (base > 0.0).then(|| 1.0 - brier / base)
+    }
+
+    /// The reliability diagram: one entry per non-empty bin.
+    pub fn reliability(&self) -> Vec<ReliabilityBin> {
+        let w = 1.0 / self.bins as f64;
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, (count, _, _))| *count > 0)
+            .map(|(i, &(count, pred_sum, pos))| ReliabilityBin {
+                lo: i as f64 * w,
+                hi: (i + 1) as f64 * w,
+                count,
+                mean_predicted: pred_sum / count as f64,
+                observed_rate: pos as f64 / count as f64,
+            })
+            .collect()
+    }
+
+    /// Expected calibration error: bin-count-weighted mean |predicted −
+    /// observed| over the reliability diagram.
+    pub fn ece(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let total: f64 = self
+            .reliability()
+            .iter()
+            .map(|b| b.count as f64 * (b.mean_predicted - b.observed_rate).abs())
+            .sum();
+        Some(total / self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_yields_none() {
+        let c = Calibration::new(10);
+        assert_eq!(c.brier(), None);
+        assert_eq!(c.base_rate(), None);
+        assert_eq!(c.ece(), None);
+        assert!(c.reliability().is_empty());
+    }
+
+    #[test]
+    fn perfect_predictions_score_zero() {
+        let mut c = Calibration::new(10);
+        for _ in 0..50 {
+            c.record(1.0, true);
+            c.record(0.0, false);
+        }
+        assert_eq!(c.brier(), Some(0.0));
+        assert_eq!(c.ece(), Some(0.0));
+        assert_eq!(c.skill(), Some(1.0));
+    }
+
+    #[test]
+    fn coin_flip_brier_quarter() {
+        let mut c = Calibration::new(10);
+        for i in 0..1000 {
+            c.record(0.5, i % 2 == 0);
+        }
+        assert!((c.brier().unwrap() - 0.25).abs() < 1e-12);
+        assert!((c.base_rate().unwrap() - 0.5).abs() < 1e-12);
+        // Always-0.5 on a 50% base rate is *calibrated* but unskilled.
+        assert!(c.ece().unwrap() < 1e-9);
+        assert!(c.skill().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn miscalibration_shows_in_ece() {
+        let mut c = Calibration::new(10);
+        // Predicts 0.9 but only 30% commit.
+        for i in 0..100 {
+            c.record(0.9, i % 10 < 3);
+        }
+        assert!((c.ece().unwrap() - 0.6).abs() < 1e-9);
+        assert!(c.skill().unwrap() < 0.0, "overconfidence must show negative skill");
+    }
+
+    #[test]
+    fn reliability_bins_land_correctly() {
+        let mut c = Calibration::new(10);
+        for i in 0..100 {
+            c.record(0.25, i % 4 == 0); // 25% commit at p=0.25
+        }
+        c.record(0.95, true);
+        let bins = c.reliability();
+        assert_eq!(bins.len(), 2);
+        let low = &bins[0];
+        assert_eq!(low.count, 100);
+        assert!((low.mean_predicted - 0.25).abs() < 1e-12);
+        assert!((low.observed_rate - 0.25).abs() < 1e-12);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[1].observed_rate, 1.0);
+    }
+
+    #[test]
+    fn edge_predictions_clamp() {
+        let mut c = Calibration::new(4);
+        c.record(1.7, true);
+        c.record(-0.3, false);
+        assert_eq!(c.brier(), Some(0.0));
+        assert_eq!(c.count(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Online empirical latency distributions.
+//!
+//! The likelihood model needs, for every (coordinator site → replica site)
+//! path, an answer to "what is the probability a vote from that replica
+//! arrives within *t* more microseconds?". A sliding-window empirical CDF
+//! over recently observed vote round trips answers it; the window (rather
+//! than an all-history distribution) is what lets predictions track load
+//! spikes and regime changes, which is exactly the unpredictability PLANET
+//! targets.
+
+use std::collections::VecDeque;
+
+/// A sliding-window empirical CDF of `u64` samples (microseconds).
+///
+/// ```
+/// use planet_predict::LatencyEcdf;
+///
+/// let mut ecdf = LatencyEcdf::new(128);
+/// for rtt in [80_000u64, 90_000, 100_000, 110_000] {
+///     ecdf.record(rtt);
+/// }
+/// assert_eq!(ecdf.cdf(95_000), Some(0.5));
+/// // 95ms already elapsed: only the 100ms and 110ms samples remain, and
+/// // one of those two lands within the next 10ms.
+/// assert_eq!(ecdf.conditional_within(95_000, 10_000), Some(0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyEcdf {
+    window: VecDeque<u64>,
+    capacity: usize,
+    /// Sorted copy of `window`, rebuilt lazily.
+    sorted: Vec<u64>,
+    dirty: bool,
+}
+
+impl LatencyEcdf {
+    /// An empty ECDF retaining at most `capacity` recent samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LatencyEcdf {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sorted: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Record a sample, evicting the oldest when full.
+    pub fn record(&mut self, sample: u64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(sample);
+        self.dirty = true;
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted.clear();
+            self.sorted.extend(self.window.iter().copied());
+            self.sorted.sort_unstable();
+            self.dirty = false;
+        }
+    }
+
+    /// Empirical `P(X <= x)`. Returns `None` when no samples exist.
+    pub fn cdf(&mut self, x: u64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let below = self.sorted.partition_point(|&s| s <= x);
+        Some(below as f64 / self.sorted.len() as f64)
+    }
+
+    /// Empirical quantile (`q` in `[0,1]`). Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        Some(self.sorted[idx] as f64)
+    }
+
+    /// Mean of the window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        Some(self.window.iter().sum::<u64>() as f64 / self.window.len() as f64)
+    }
+
+    /// Conditional completion probability: given that `elapsed` µs have
+    /// already passed without the event, the probability it happens within
+    /// `budget` more µs — `P(X ≤ elapsed + budget | X > elapsed)`.
+    ///
+    /// Falls back to the unconditional CDF when the condition has no support
+    /// (everything in the window is ≤ `elapsed`): the sample is then assumed
+    /// stale and the answer is a deliberately pessimistic small probability,
+    /// because a response later than everything we have ever seen suggests
+    /// loss or a partition.
+    pub fn conditional_within(&mut self, elapsed: u64, budget: u64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len() as f64;
+        let past = self.sorted.partition_point(|&s| s <= elapsed) as f64;
+        let by_deadline = self.sorted.partition_point(|&s| s <= elapsed + budget) as f64;
+        let survivors = n - past;
+        if survivors <= 0.0 {
+            // Beyond all observed samples: assume near-certain loss.
+            return Some(0.05);
+        }
+        Some((by_deadline - past) / survivors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(samples: &[u64]) -> LatencyEcdf {
+        let mut e = LatencyEcdf::new(1024);
+        for &s in samples {
+            e.record(s);
+        }
+        e
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut e = LatencyEcdf::new(8);
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(100), None);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.conditional_within(0, 10), None);
+    }
+
+    #[test]
+    fn cdf_basic() {
+        let mut e = filled(&[10, 20, 30, 40]);
+        assert_eq!(e.cdf(5), Some(0.0));
+        assert_eq!(e.cdf(10), Some(0.25));
+        assert_eq!(e.cdf(25), Some(0.5));
+        assert_eq!(e.cdf(100), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_basic() {
+        let mut e = filled(&[10, 20, 30, 40, 50]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut e = LatencyEcdf::new(3);
+        for s in [1, 2, 3, 100, 200, 300] {
+            e.record(s);
+        }
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.cdf(50), Some(0.0), "old small samples must be gone");
+        assert_eq!(e.mean(), Some(200.0));
+    }
+
+    #[test]
+    fn conditional_probability_tightens_over_time() {
+        // Bimodal: half fast (~10), half slow (~100). Once 50µs have passed
+        // the response must be in the slow mode.
+        let mut e = filled(&[10, 10, 10, 100, 100, 100]);
+        let unconditional = e.conditional_within(0, 20).unwrap();
+        assert!((unconditional - 0.5).abs() < 1e-9);
+        let conditioned = e.conditional_within(50, 60).unwrap();
+        assert!((conditioned - 1.0).abs() < 1e-9, "all survivors are ~100");
+    }
+
+    #[test]
+    fn conditional_beyond_support_is_pessimistic() {
+        let mut e = filled(&[10, 20, 30]);
+        let p = e.conditional_within(1_000, 1_000).unwrap();
+        assert!(p < 0.1, "expected pessimistic tail, got {p}");
+    }
+
+    #[test]
+    fn mean_tracks_window() {
+        let e = filled(&[10, 20, 30]);
+        assert_eq!(e.mean(), Some(20.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! # planet-predict
+//!
+//! Commit-likelihood prediction — the core novelty of PLANET (SIGMOD 2014):
+//! given a transaction's observable commit progress (which replicas have
+//! voted, how long ago the proposals went out, how contended the records
+//! were), estimate the probability that the transaction commits within a
+//! time budget.
+//!
+//! The model has three parts, each its own module:
+//!
+//! * [`ecdf`] — sliding-window empirical latency distributions per
+//!   coordinator→replica path, conditioned on elapsed time;
+//! * [`quorum`] — exact Poisson-binomial tails ("P(enough of the outstanding
+//!   replicas succeed)");
+//! * [`conflict`] — a contention-bucketed acceptance-rate estimator learned
+//!   from observed votes.
+//!
+//! [`LikelihoodModel`] combines them; [`calibration`] measures whether the
+//! resulting probabilities are honest (Brier score, reliability diagrams) —
+//! the instruments behind the reproduction's prediction-quality figures.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod conflict;
+pub mod ecdf;
+pub mod likelihood;
+pub mod quorum;
+
+pub use calibration::{Calibration, ReliabilityBin};
+pub use conflict::ConflictModel;
+pub use ecdf::LatencyEcdf;
+pub use likelihood::{KeyState, LikelihoodModel, TxnSnapshot};

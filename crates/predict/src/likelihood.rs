@@ -1,0 +1,459 @@
+//! The combined commit-likelihood model — the PLANET paper's core mechanism.
+//!
+//! At any moment during a transaction's commit phase, the probability that
+//! the transaction commits (within some remaining time budget) decomposes
+//! per written key:
+//!
+//! * a key with a quorum of accepts is settled (`p = 1`);
+//! * a key with too many rejects can never reach quorum (`p = 0`);
+//! * otherwise the missing accepts must come from the outstanding replicas,
+//!   each of which succeeds iff its vote **arrives in time** (path latency
+//!   ECDF, conditioned on the time already elapsed) **and accepts**
+//!   (contention-bucketed acceptance model). The probability that enough of
+//!   them succeed is a Poisson-binomial tail.
+//!
+//! Keys are independent in the model (they live on distinct records), so the
+//! transaction's likelihood is the product over keys. The model is learned
+//! online — every observed vote updates both the path ECDF and the conflict
+//! model — so predictions track latency spikes and contention shifts.
+
+use crate::conflict::KeyedConflictModel;
+use crate::ecdf::LatencyEcdf;
+use crate::quorum::prob_at_least;
+
+/// Arrival probability assumed for a path with no observations yet.
+const UNKNOWN_PATH_ARRIVAL: f64 = 0.9;
+
+/// The voting state of one written key, as seen by the coordinator.
+#[derive(Debug, Clone)]
+pub struct KeyState {
+    /// Sites (as indices) that accepted.
+    pub accepts: usize,
+    /// Sites that rejected.
+    pub rejects: usize,
+    /// Replica sites that have not voted yet.
+    pub outstanding: Vec<u8>,
+    /// Options pending on the record when the transaction read it — the
+    /// contention signal.
+    pub pending_at_read: usize,
+    /// Stable hash of the key (see [`KeyedConflictModel::key_hash`]),
+    /// selecting the per-record conflict history.
+    pub key_hash: u64,
+    /// Accepts required (protocol quorum).
+    pub quorum: usize,
+    /// Total replicas that will ever vote on this key.
+    pub voters: usize,
+}
+
+impl KeyState {
+    /// True once this key can no longer change outcome.
+    pub fn settled(&self) -> Option<bool> {
+        if self.accepts >= self.quorum {
+            Some(true)
+        } else if self.voters - self.rejects < self.quorum {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// A point-in-time view of a transaction's commit progress.
+#[derive(Debug, Clone, Default)]
+pub struct TxnSnapshot {
+    /// One entry per written key.
+    pub keys: Vec<KeyState>,
+    /// Microseconds since the proposals went out.
+    pub elapsed_us: u64,
+}
+
+/// The online commit-likelihood model. One instance per coordinator site
+/// (path latencies are measured from that coordinator's viewpoint).
+#[derive(Debug)]
+pub struct LikelihoodModel {
+    /// Vote round-trip ECDF per replica site.
+    paths: Vec<LatencyEcdf>,
+    conflict: KeyedConflictModel,
+}
+
+impl LikelihoodModel {
+    /// A model for a cluster of `num_sites` replicas, each path keeping a
+    /// sliding window of `window` vote samples.
+    pub fn new(num_sites: usize, window: usize) -> Self {
+        LikelihoodModel {
+            paths: (0..num_sites).map(|_| LatencyEcdf::new(window)).collect(),
+            conflict: KeyedConflictModel::new(),
+        }
+    }
+
+    /// Learn from one observed vote: replica `site` answered after
+    /// `elapsed_us`, accepting or rejecting an option that had
+    /// `pending_at_read` options already pending.
+    pub fn observe_vote(
+        &mut self,
+        site: u8,
+        elapsed_us: u64,
+        accepted: bool,
+        pending_at_read: usize,
+        key_hash: u64,
+    ) {
+        if let Some(path) = self.paths.get_mut(site as usize) {
+            path.record(elapsed_us);
+        }
+        self.conflict.observe(key_hash, pending_at_read, accepted);
+    }
+
+    /// Learn only the path latency from a vote (used for *late* votes whose
+    /// transaction already finished — the conflict context is gone but the
+    /// response time is exactly the signal the slow paths never otherwise
+    /// produce, since quorums decide before the slowest replicas answer).
+    pub fn observe_latency(&mut self, site: u8, elapsed_us: u64) {
+        if let Some(path) = self.paths.get_mut(site as usize) {
+            path.record(elapsed_us);
+        }
+    }
+
+    /// Votes observed so far (model warm-up indicator).
+    pub fn observations(&self) -> u64 {
+        self.conflict.observations()
+    }
+
+    /// The learned global acceptance probability at a given contention
+    /// level (ignoring per-key history).
+    pub fn accept_prob(&self, pending: usize) -> f64 {
+        self.conflict.global_accept_prob(pending)
+    }
+
+    /// The learned acceptance probability for a specific key.
+    pub fn accept_prob_keyed(&self, key_hash: u64, pending: usize) -> f64 {
+        self.conflict.accept_prob(key_hash, pending)
+    }
+
+    /// Votes observed for a specific key (0 = the model has never seen it).
+    pub fn key_observations(&self, key_hash: u64) -> u64 {
+        self.conflict.key_observations(key_hash)
+    }
+
+    /// Learn a transaction-level key resolution: the key's option reached
+    /// its quorum (or definitively failed).
+    pub fn observe_key_resolution(&mut self, key_hash: u64, accepted: bool) {
+        self.conflict.observe_resolution(key_hash, accepted);
+    }
+
+    /// Transaction-level probability that an option on this key reaches its
+    /// quorum (the conflict term the pre-vote prediction and admission
+    /// control use).
+    pub fn txn_accept_prob(&self, key_hash: u64) -> f64 {
+        self.conflict.txn_accept_prob(key_hash)
+    }
+
+    /// Transaction-level resolutions observed for a key (0 = never seen).
+    pub fn key_resolutions(&self, key_hash: u64) -> u64 {
+        self.conflict.key_resolutions(key_hash)
+    }
+
+    /// Median vote round trip for a replica site, if known.
+    pub fn path_median_us(&mut self, site: u8) -> Option<f64> {
+        self.paths.get_mut(site as usize)?.quantile(0.5)
+    }
+
+    /// Probability one outstanding replica answers within `budget_us` more
+    /// microseconds (regardless of verdict).
+    fn arrival_prob(&mut self, site: u8, elapsed_us: u64, budget_us: u64) -> f64 {
+        self.paths
+            .get_mut(site as usize)
+            .and_then(|p| p.conditional_within(elapsed_us, budget_us))
+            .unwrap_or(UNKNOWN_PATH_ARRIVAL)
+    }
+
+    /// Probability one outstanding replica both answers within `budget_us`
+    /// more microseconds and accepts.
+    fn success_prob(
+        &mut self,
+        site: u8,
+        elapsed_us: u64,
+        budget_us: u64,
+        pending: usize,
+        key_hash: u64,
+    ) -> f64 {
+        let arrival = self
+            .paths
+            .get_mut(site as usize)
+            .and_then(|p| p.conditional_within(elapsed_us, budget_us))
+            .unwrap_or(UNKNOWN_PATH_ARRIVAL);
+        arrival * self.conflict.accept_prob(key_hash, pending)
+    }
+
+    /// `P(key reaches quorum within budget_us)` for one key.
+    ///
+    /// Two regimes:
+    ///
+    /// * **Pre-vote** (no accepts or rejects yet): replica verdicts on one
+    ///   option are strongly *correlated* — the proposal that arrives first
+    ///   usually wins at every replica — so acceptance is modelled at the
+    ///   transaction level (the key's learned quorum-resolution rate) and
+    ///   only the *arrival* timing uses per-replica order statistics.
+    /// * **Mid-vote**: the individual votes already seen carry the
+    ///   correlation information, so the remaining replicas are modelled
+    ///   per-vote (arrival × vote-level acceptance), combined by the
+    ///   Poisson-binomial tail.
+    fn key_likelihood(&mut self, key: &KeyState, elapsed_us: u64, budget_us: u64) -> f64 {
+        if let Some(settled) = key.settled() {
+            return if settled { 1.0 } else { 0.0 };
+        }
+        let needed = key.quorum - key.accepts;
+        if key.rejects == 0 {
+            // No contrary evidence: the transaction-level estimate applies.
+            // Accepts already in hand only *raise* the probability (verdicts
+            // on one option are positively correlated), so the estimate is
+            // the txn-level acceptance times the arrival-order-statistics
+            // term, floored by the per-vote model (which dominates once most
+            // of the quorum is in hand).
+            let arrivals: Vec<f64> = key
+                .outstanding
+                .iter()
+                .map(|&s| self.arrival_prob(s, elapsed_us, budget_us))
+                .collect();
+            let txn_level =
+                prob_at_least(&arrivals, needed) * self.conflict.txn_accept_prob(key.key_hash);
+            if key.accepts == 0 {
+                return txn_level;
+            }
+            let per_vote = self.per_vote_tail(key, elapsed_us, budget_us, needed);
+            return txn_level.max(per_vote);
+        }
+        // Rejects seen: the per-vote model carries the contention evidence.
+        self.per_vote_tail(key, elapsed_us, budget_us, needed)
+    }
+
+    fn per_vote_tail(&mut self, key: &KeyState, elapsed_us: u64, budget_us: u64, needed: usize) -> f64 {
+        let probs: Vec<f64> = key
+            .outstanding
+            .iter()
+            .map(|&s| self.success_prob(s, elapsed_us, budget_us, key.pending_at_read, key.key_hash))
+            .collect();
+        prob_at_least(&probs, needed)
+    }
+
+    /// The headline number: probability the transaction commits within
+    /// `budget_us` more microseconds, given the snapshot.
+    pub fn likelihood(&mut self, snap: &TxnSnapshot, budget_us: u64) -> f64 {
+        snap.keys
+            .iter()
+            .map(|k| self.key_likelihood(k, snap.elapsed_us, budget_us))
+            .product()
+    }
+
+    /// Probability the transaction *eventually* commits (no deadline):
+    /// time drops out; only acceptance matters.
+    pub fn likelihood_eventual(&mut self, snap: &TxnSnapshot) -> f64 {
+        // A very large budget makes every arrival term ≈ its maximum.
+        self.likelihood(snap, u64::MAX / 4)
+    }
+
+    /// The inverse question an application planning its UI asks (paper §3):
+    /// *what is the smallest deadline for which this transaction's commit
+    /// likelihood is at least `target`?* Binary search over the budget;
+    /// returns `None` when even an unbounded deadline cannot reach the
+    /// target (e.g. a key with a hopeless conflict history).
+    ///
+    /// `cap_us` bounds the search (and the answer); 30 s is a reasonable
+    /// cap for interactive systems.
+    pub fn suggest_budget_us(
+        &mut self,
+        snap: &TxnSnapshot,
+        target: f64,
+        cap_us: u64,
+    ) -> Option<u64> {
+        let target = target.clamp(0.0, 1.0);
+        if self.likelihood(snap, cap_us) < target {
+            return None;
+        }
+        let (mut lo, mut hi) = (0u64, cap_us);
+        // Likelihood is monotone in the budget (property-tested), so binary
+        // search converges; 40 iterations pins a microsecond within 30 s.
+        for _ in 0..40 {
+            if hi - lo <= 1 {
+                break;
+            }
+            let mid = lo + (hi - lo) / 2;
+            if self.likelihood(snap, mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(accepts: usize, rejects: usize, outstanding: Vec<u8>, quorum: usize, voters: usize) -> KeyState {
+        KeyState { accepts, rejects, outstanding, pending_at_read: 0, key_hash: 0, quorum, voters }
+    }
+
+    fn warmed_model() -> LikelihoodModel {
+        let mut m = LikelihoodModel::new(5, 256);
+        // All paths answer around 100ms; everything accepted.
+        for round in 0..100u64 {
+            for site in 0..5u8 {
+                m.observe_vote(site, 100_000 + round * 100 + site as u64 * 500, true, 0, 1);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn settled_keys_are_certain() {
+        let mut m = warmed_model();
+        let won = TxnSnapshot { keys: vec![key(4, 0, vec![4], 4, 5)], elapsed_us: 0 };
+        assert_eq!(m.likelihood(&won, 1), 1.0);
+        let lost = TxnSnapshot { keys: vec![key(1, 2, vec![3], 4, 5)], elapsed_us: 0 };
+        assert_eq!(m.likelihood(&lost, u64::MAX / 4), 0.0);
+    }
+
+    #[test]
+    fn likelihood_rises_with_budget() {
+        let mut m = warmed_model();
+        let snap = TxnSnapshot {
+            keys: vec![key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)],
+            elapsed_us: 0,
+        };
+        // Paths answer ~100ms: a 1ms budget is hopeless, a 1s budget is not.
+        let tight = m.likelihood(&snap, 1_000);
+        let loose = m.likelihood(&snap, 1_000_000);
+        assert!(tight < 0.05, "tight budget gave {tight}");
+        assert!(loose > 0.9, "loose budget gave {loose}");
+        assert!(tight <= loose);
+    }
+
+    #[test]
+    fn likelihood_sharpens_as_votes_arrive() {
+        let mut m = warmed_model();
+        let before = TxnSnapshot {
+            keys: vec![key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)],
+            elapsed_us: 0,
+        };
+        let after3 = TxnSnapshot {
+            keys: vec![key(3, 0, vec![3, 4], 4, 5)],
+            elapsed_us: 90_000,
+        };
+        // Same absolute deadline (106 ms after proposal) for both views, so
+        // the only difference is the progress in hand. Votes land between
+        // ~101 and ~112 ms, making the deadline genuinely uncertain.
+        let p0 = m.likelihood(&before, 106_000);
+        let p3 = m.likelihood(&after3, 16_000);
+        assert!(p3 > p0, "3 accepts in hand should read higher: {p3} vs {p0}");
+        assert!(p0 < 0.6, "needing 4 arrivals by 106ms should be unlikely: {p0}");
+        assert!(p3 > 0.4, "needing 1 of 2 arrivals should be likelier: {p3}");
+    }
+
+    #[test]
+    fn contention_lowers_likelihood() {
+        let mut m = LikelihoodModel::new(5, 256);
+        for _ in 0..200 {
+            for site in 0..5u8 {
+                m.observe_vote(site, 100_000, true, 0, 1);
+                m.observe_vote(site, 100_000, false, 4, 2);
+            }
+            // Transaction-level resolutions drive the pre-vote conflict term.
+            m.observe_key_resolution(1, true);
+            m.observe_key_resolution(2, false);
+        }
+        let idle = TxnSnapshot {
+            keys: vec![KeyState { pending_at_read: 0, key_hash: 1, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            elapsed_us: 0,
+        };
+        let hot = TxnSnapshot {
+            keys: vec![KeyState { pending_at_read: 4, key_hash: 2, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            elapsed_us: 0,
+        };
+        let p_idle = m.likelihood(&idle, 1_000_000);
+        let p_hot = m.likelihood(&hot, 1_000_000);
+        assert!(p_idle > 0.8, "idle {p_idle}");
+        assert!(p_hot < 0.05, "hot {p_hot}");
+    }
+
+    #[test]
+    fn multi_key_likelihood_is_product_like() {
+        let mut m = warmed_model();
+        let one = TxnSnapshot {
+            keys: vec![key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)],
+            elapsed_us: 0,
+        };
+        let two = TxnSnapshot {
+            keys: vec![
+                key(0, 0, vec![0, 1, 2, 3, 4], 4, 5),
+                key(0, 0, vec![0, 1, 2, 3, 4], 4, 5),
+            ],
+            elapsed_us: 0,
+        };
+        let p1 = m.likelihood(&one, 500_000);
+        let p2 = m.likelihood(&two, 500_000);
+        assert!((p2 - p1 * p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_paths_use_default_arrival() {
+        let mut m = LikelihoodModel::new(5, 16);
+        let snap = TxnSnapshot {
+            keys: vec![key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)],
+            elapsed_us: 0,
+        };
+        let p = m.likelihood(&snap, 1_000);
+        // 0.9 arrival × 0.95 prior acceptance per replica, need 4 of 5.
+        assert!(p > 0.5, "cold-start prediction should be optimistic, got {p}");
+    }
+
+    #[test]
+    fn suggest_budget_brackets_the_latency_distribution() {
+        let mut m = warmed_model();
+        // Make the snapshot's key warmed at the txn level so acceptance ≈ 1.
+        for _ in 0..50 {
+            m.observe_key_resolution(1, true);
+        }
+        let snap = TxnSnapshot {
+            keys: vec![KeyState { key_hash: 1, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            elapsed_us: 0,
+        };
+        // Votes land between ~100 and ~112 ms (warmed_model); the suggested
+        // deadline for high confidence must sit in/above that band, and be
+        // monotone in the confidence target.
+        let d80 = m.suggest_budget_us(&snap, 0.80, 30_000_000).unwrap();
+        let d99 = m.suggest_budget_us(&snap, 0.99, 30_000_000).unwrap();
+        assert!(d80 <= d99, "{d80} > {d99}");
+        assert!((90_000..=130_000).contains(&d99), "d99 = {d99}us");
+        // The suggestion delivers what it promises.
+        assert!(m.likelihood(&snap, d99) >= 0.99);
+        assert!(m.likelihood(&snap, d99.saturating_sub(5_000)) < 0.999);
+    }
+
+    #[test]
+    fn suggest_budget_refuses_hopeless_targets() {
+        let mut m = warmed_model();
+        // A key with a terrible resolution history cannot reach 0.9 at any
+        // deadline.
+        for _ in 0..100 {
+            m.observe_key_resolution(66, false);
+        }
+        let snap = TxnSnapshot {
+            keys: vec![KeyState { key_hash: 66, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            elapsed_us: 0,
+        };
+        assert_eq!(m.suggest_budget_us(&snap, 0.9, 30_000_000), None);
+        // But a modest target is achievable... or not, depending on the
+        // learned rate; either way the answer must be self-consistent.
+        if let Some(budget) = m.suggest_budget_us(&snap, 0.01, 30_000_000) {
+            assert!(m.likelihood(&snap, budget) >= 0.01);
+        }
+    }
+
+    #[test]
+    fn empty_txn_commits_certainly() {
+        let mut m = warmed_model();
+        assert_eq!(m.likelihood(&TxnSnapshot::default(), 0), 1.0);
+    }
+}

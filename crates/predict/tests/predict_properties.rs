@@ -1,0 +1,123 @@
+//! Property-based tests for the prediction machinery.
+
+use proptest::prelude::*;
+
+use planet_predict::likelihood::{KeyState, LikelihoodModel, TxnSnapshot};
+use planet_predict::quorum::{pmf, prob_at_least};
+use planet_predict::{Calibration, LatencyEcdf};
+
+fn probs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Poisson-binomial tail is a probability and is monotone in k.
+    #[test]
+    fn tail_is_probability_and_monotone(probs in probs_strategy()) {
+        let mut prev = 1.0f64;
+        for k in 0..=probs.len() + 2 {
+            let p = prob_at_least(&probs, k);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p), "k={k} p={p}");
+            prop_assert!(p <= prev + 1e-9, "tail must not rise with k");
+            prev = p;
+        }
+    }
+
+    /// Raising any single success probability never lowers the tail.
+    #[test]
+    fn tail_monotone_in_each_prob(
+        mut probs in prop::collection::vec(0.0f64..=1.0, 1..8),
+        idx in 0usize..8,
+        bump in 0.0f64..=1.0,
+        k in 0usize..8,
+    ) {
+        let idx = idx % probs.len();
+        let before = prob_at_least(&probs, k);
+        probs[idx] = (probs[idx] + bump).min(1.0);
+        let after = prob_at_least(&probs, k);
+        prop_assert!(after + 1e-9 >= before);
+    }
+
+    /// The PMF sums to one and agrees with the tail.
+    #[test]
+    fn pmf_consistent(probs in probs_strategy()) {
+        let masses = pmf(&probs);
+        let total: f64 = masses.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 0..=probs.len() {
+            let tail: f64 = masses[k..].iter().sum();
+            prop_assert!((tail - prob_at_least(&probs, k)).abs() < 1e-9);
+        }
+    }
+
+    /// ECDF CDF is monotone in x and bounded in [0,1].
+    #[test]
+    fn ecdf_cdf_monotone(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut e = LatencyEcdf::new(256);
+        for &s in &samples {
+            e.record(s);
+        }
+        let mut prev = 0.0;
+        for x in [0u64, 10, 1_000, 50_000, 500_000, 2_000_000] {
+            let c = e.cdf(x).unwrap();
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    /// Likelihood is always a probability and never decreases with budget.
+    #[test]
+    fn likelihood_bounded_and_monotone_in_budget(
+        accepts in 0usize..4,
+        rejects in 0usize..2,
+        pending in 0usize..6,
+        elapsed in 0u64..300_000,
+        votes in prop::collection::vec((0u8..5, 50_000u64..250_000, any::<bool>()), 0..100),
+    ) {
+        let mut m = LikelihoodModel::new(5, 128);
+        for (site, rtt, ok) in votes {
+            m.observe_vote(site, rtt, ok, pending, 7);
+        }
+        let voted = accepts + rejects;
+        let outstanding: Vec<u8> = (voted as u8..5).collect();
+        let snap = TxnSnapshot {
+            keys: vec![KeyState {
+                accepts,
+                rejects,
+                outstanding,
+                pending_at_read: pending,
+                key_hash: 7,
+                quorum: 4,
+                voters: 5,
+            }],
+            elapsed_us: elapsed,
+        };
+        let mut prev = 0.0f64;
+        for budget in [0u64, 10_000, 100_000, 400_000, 2_000_000] {
+            let p = m.likelihood(&snap, budget);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p), "p={p}");
+            prop_assert!(p + 1e-9 >= prev, "budget monotonicity: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    /// Calibration bookkeeping: Brier in [0,1], ECE in [0,1], bin counts add
+    /// up, and the skill of a perfect predictor is 1.
+    #[test]
+    fn calibration_invariants(pairs in prop::collection::vec((0.0f64..=1.0, any::<bool>()), 1..500)) {
+        let mut c = Calibration::new(10);
+        for &(p, y) in &pairs {
+            c.record(p, y);
+        }
+        prop_assert_eq!(c.count(), pairs.len() as u64);
+        let brier = c.brier().unwrap();
+        prop_assert!((0.0..=1.0).contains(&brier));
+        let ece = c.ece().unwrap();
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&ece));
+        let total: u64 = c.reliability().iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, pairs.len() as u64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Canned topologies.
+//!
+//! The PLANET evaluation ran across five Amazon EC2 regions. The round-trip
+//! times below approximate the published inter-region latencies of that era
+//! (Virginia, California, Ireland, Tokyo, Sydney). Absolute numbers matter
+//! less than the *shape*: one cheap regional pair (US-E/US-W), one mid-range
+//! transatlantic path, and several 150–300 ms trans-Pacific paths, so that a
+//! majority quorum is markedly cheaper than unanimity and the closest-quorum
+//! choice depends on the coordinator's site.
+
+use crate::net::NetworkModel;
+
+/// The five-region names, in [`SiteId`](crate::net::SiteId) order.
+pub const FIVE_DC_NAMES: [&str; 5] = ["us-east", "us-west", "eu-west", "ap-northeast", "ap-southeast"];
+
+/// Intra-data-center round trip time in milliseconds.
+pub const LOCAL_RTT_MS: f64 = 0.5;
+
+/// Round-trip-time matrix (milliseconds) for the five-region topology.
+pub fn five_dc_rtt_ms() -> Vec<Vec<f64>> {
+    let l = LOCAL_RTT_MS;
+    vec![
+        //            us-east us-west eu-west ap-ne  ap-se
+        /* us-east */ vec![l, 70.0, 80.0, 170.0, 200.0],
+        /* us-west */ vec![70.0, l, 140.0, 110.0, 160.0],
+        /* eu-west */ vec![80.0, 140.0, l, 220.0, 280.0],
+        /* ap-ne   */ vec![170.0, 110.0, 220.0, l, 120.0],
+        /* ap-se   */ vec![200.0, 160.0, 280.0, 120.0, l],
+    ]
+}
+
+/// The standard five-data-center network model used by the experiments.
+pub fn five_dc() -> NetworkModel {
+    NetworkModel::from_rtt_ms(&five_dc_rtt_ms())
+}
+
+/// A small three-site topology (regional pair plus one distant site), handy
+/// for unit tests that need asymmetry without five sites' worth of actors.
+pub fn three_dc() -> NetworkModel {
+    let l = LOCAL_RTT_MS;
+    NetworkModel::from_rtt_ms(&[
+        vec![l, 30.0, 150.0],
+        vec![30.0, l, 170.0],
+        vec![150.0, 170.0, l],
+    ])
+}
+
+/// A single-site topology: every message is a local hop. Useful for tests
+/// that exercise protocol logic without WAN effects.
+pub fn single_dc() -> NetworkModel {
+    NetworkModel::from_rtt_ms(&[vec![LOCAL_RTT_MS]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::SiteId;
+
+    #[test]
+    fn five_dc_matrix_is_symmetric() {
+        let m = five_dc_rtt_ms();
+        assert_eq!(m.len(), 5);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i], "asymmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn five_dc_model_has_five_sites() {
+        let net = five_dc();
+        assert_eq!(net.num_sites(), 5);
+        // us-east <-> us-west is the cheapest WAN path.
+        let regional = net.base_delay(SiteId(0), SiteId(1));
+        for dst in 2..5u8 {
+            assert!(net.base_delay(SiteId(0), SiteId(dst)) > regional);
+        }
+    }
+
+    #[test]
+    fn names_align_with_matrix() {
+        assert_eq!(FIVE_DC_NAMES.len(), five_dc_rtt_ms().len());
+    }
+}

@@ -1,0 +1,166 @@
+//! MDCC-style *options*.
+//!
+//! In the optimistic commit protocol an update is not applied directly;
+//! instead the transaction proposes an **option** — "if this transaction
+//! commits, apply this write on top of version *v*". A replica *accepts* an
+//! option after validating it against its local record state, and the option
+//! is *executed* (folded into a new committed version) or *discarded* when
+//! the transaction's outcome is learned.
+//!
+//! Two flavours exist, mirroring MDCC:
+//!
+//! * **Physical** options ([`WriteOp::Set`] / [`WriteOp::Delete`]) name an
+//!   exact expected version; two pending physical options on the same record
+//!   conflict.
+//! * **Commutative** options ([`WriteOp::Add`]) are deltas with integrity
+//!   bounds (the demarcation protocol): any set of deltas may be pending
+//!   simultaneously as long as the *worst-case* outcome respects the bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{TxnId, Value, VersionNo};
+
+/// The write an option would apply if its transaction commits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Replace the value (physical update).
+    Set(Value),
+    /// Delete the record (physical update).
+    Delete,
+    /// Add `delta` to an integer value, keeping it within `[lower, upper]`
+    /// (commutative update with demarcation bounds).
+    Add {
+        /// Signed change to the integer value.
+        delta: i64,
+        /// Inclusive lower bound the value must respect, if any.
+        lower: Option<i64>,
+        /// Inclusive upper bound the value must respect, if any.
+        upper: Option<i64>,
+    },
+}
+
+impl WriteOp {
+    /// Unbounded commutative addition.
+    pub fn add(delta: i64) -> Self {
+        WriteOp::Add { delta, lower: None, upper: None }
+    }
+
+    /// Commutative addition with a lower bound (e.g. "stock never below 0").
+    pub fn add_with_floor(delta: i64, lower: i64) -> Self {
+        WriteOp::Add { delta, lower: Some(lower), upper: None }
+    }
+
+    /// True for commutative (delta) operations.
+    pub fn is_commutative(&self) -> bool {
+        matches!(self, WriteOp::Add { .. })
+    }
+
+    /// Apply this operation to a value, producing the new value. For `Add`
+    /// on a non-integer the old value is treated as 0 (the caller is expected
+    /// to have validated the type earlier).
+    pub fn apply(&self, old: &Value) -> Value {
+        match self {
+            WriteOp::Set(v) => v.clone(),
+            WriteOp::Delete => Value::None,
+            WriteOp::Add { delta, .. } => Value::Int(old.as_int().unwrap_or(0) + delta),
+        }
+    }
+}
+
+/// An option: a conditional write proposed by a transaction for one record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordOption {
+    /// The proposing transaction.
+    pub txn: TxnId,
+    /// For physical ops: the committed version this write is based on.
+    /// Commutative ops ignore it (they validate against bounds instead).
+    pub read_version: VersionNo,
+    /// The conditional write.
+    pub op: WriteOp,
+}
+
+impl RecordOption {
+    /// Build an option.
+    pub fn new(txn: TxnId, read_version: VersionNo, op: WriteOp) -> Self {
+        RecordOption { txn, read_version, op }
+    }
+
+    /// True for commutative (delta) options.
+    pub fn is_commutative(&self) -> bool {
+        self.op.is_commutative()
+    }
+}
+
+/// Why a replica refused to accept an option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Physical option based on a stale version.
+    StaleVersion {
+        /// Version the option expected.
+        expected: VersionNo,
+        /// Version the replica actually has.
+        actual: VersionNo,
+    },
+    /// Another transaction already has a pending conflicting option.
+    PendingConflict {
+        /// The transaction holding the conflicting option.
+        holder: TxnId,
+    },
+    /// A commutative option would let the value escape its integrity bounds
+    /// in the worst case.
+    BoundViolation,
+    /// A commutative option targeted a non-integer value.
+    TypeMismatch,
+    /// The same transaction proposed two options for one record.
+    DuplicateTxn,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::StaleVersion { expected, actual } => {
+                write!(f, "stale version (expected {expected}, actual {actual})")
+            }
+            RejectReason::PendingConflict { holder } => {
+                write!(f, "conflicts with pending option of {holder}")
+            }
+            RejectReason::BoundViolation => write!(f, "integrity bound violation"),
+            RejectReason::TypeMismatch => write!(f, "commutative op on non-integer value"),
+            RejectReason::DuplicateTxn => write!(f, "transaction already has a pending option"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_set_and_delete() {
+        let old = Value::Int(5);
+        assert_eq!(WriteOp::Set(Value::Int(9)).apply(&old), Value::Int(9));
+        assert_eq!(WriteOp::Delete.apply(&old), Value::None);
+    }
+
+    #[test]
+    fn apply_add() {
+        assert_eq!(WriteOp::add(-3).apply(&Value::Int(10)), Value::Int(7));
+        // Adding to an absent value treats it as zero.
+        assert_eq!(WriteOp::add(4).apply(&Value::None), Value::Int(4));
+    }
+
+    #[test]
+    fn commutativity_flag() {
+        assert!(WriteOp::add(1).is_commutative());
+        assert!(!WriteOp::Set(Value::Int(1)).is_commutative());
+        assert!(!WriteOp::Delete.is_commutative());
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        let r = RejectReason::StaleVersion { expected: 1, actual: 3 };
+        assert!(r.to_string().contains("stale"));
+        let c = RejectReason::PendingConflict { holder: TxnId::new(0, 9) };
+        assert!(c.to_string().contains("t0.9"));
+    }
+}

@@ -1,0 +1,383 @@
+//! A multi-versioned record with pending-option state.
+//!
+//! Each record keeps a chain of committed versions plus the set of options
+//! that have been accepted but whose transactions are still in flight. The
+//! validation rules here are the heart of the optimistic protocol:
+//!
+//! * a **physical** option (Set/Delete) is accepted only if it is based on
+//!   the record's current committed version *and* nothing else is pending;
+//! * a **commutative** option (Add with bounds) is accepted as long as no
+//!   physical option is pending and the *worst-case* combination of already
+//!   pending deltas keeps the value within the option's integrity bounds
+//!   (the demarcation rule).
+
+use serde::{Deserialize, Serialize};
+
+use crate::options::{RecordOption, RejectReason, WriteOp};
+use crate::types::{TxnId, Value, VersionNo};
+
+/// One committed version of a record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommittedVersion {
+    /// Version number (1 is the first write).
+    pub version: VersionNo,
+    /// The value as of this version.
+    pub value: Value,
+    /// The transaction that produced it.
+    pub txn: TxnId,
+}
+
+/// A record: committed version chain plus pending options.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VersionedRecord {
+    versions: Vec<CommittedVersion>,
+    pending: Vec<RecordOption>,
+}
+
+impl VersionedRecord {
+    /// An empty (never-written) record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current committed version number (0 if never written).
+    pub fn current_version(&self) -> VersionNo {
+        self.versions.last().map_or(0, |v| v.version)
+    }
+
+    /// Current committed value (`Value::None` if never written or deleted).
+    pub fn current_value(&self) -> &Value {
+        self.versions.last().map_or(&Value::None, |v| &v.value)
+    }
+
+    /// The committed value as of a specific version number, if retained.
+    pub fn value_at(&self, version: VersionNo) -> Option<&Value> {
+        if version == 0 {
+            return Some(&Value::None);
+        }
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.version <= version)
+            .map(|v| &v.value)
+    }
+
+    /// Number of pending (accepted, undecided) options.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if a pending physical option exists.
+    pub fn has_pending_physical(&self) -> bool {
+        self.pending.iter().any(|o| !o.is_commutative())
+    }
+
+    /// The pending options (e.g. for the likelihood model's conflict term).
+    pub fn pending(&self) -> &[RecordOption] {
+        &self.pending
+    }
+
+    /// Validate an option against the current state without accepting it.
+    pub fn validate(&self, option: &RecordOption) -> Result<(), RejectReason> {
+        if self.pending.iter().any(|o| o.txn == option.txn) {
+            return Err(RejectReason::DuplicateTxn);
+        }
+        match &option.op {
+            WriteOp::Set(_) | WriteOp::Delete => {
+                if let Some(holder) = self.pending.first() {
+                    return Err(RejectReason::PendingConflict { holder: holder.txn });
+                }
+                let actual = self.current_version();
+                if option.read_version != actual {
+                    return Err(RejectReason::StaleVersion {
+                        expected: option.read_version,
+                        actual,
+                    });
+                }
+                Ok(())
+            }
+            WriteOp::Add { delta, lower, upper } => {
+                if let Some(phys) = self.pending.iter().find(|o| !o.is_commutative()) {
+                    return Err(RejectReason::PendingConflict { holder: phys.txn });
+                }
+                let Some(cur) = self.current_value().as_int() else {
+                    return Err(RejectReason::TypeMismatch);
+                };
+                // Demarcation: the bound must hold even in the worst case —
+                // for the lower bound, assume every pending negative delta
+                // commits (and this one, if negative); symmetrically for the
+                // upper bound.
+                let pending_neg: i64 = self.pending_delta_sum(|d| d < 0);
+                let pending_pos: i64 = self.pending_delta_sum(|d| d > 0);
+                if let Some(lo) = lower {
+                    if cur + pending_neg + delta.min(&0) < *lo {
+                        return Err(RejectReason::BoundViolation);
+                    }
+                }
+                if let Some(hi) = upper {
+                    if cur + pending_pos + *delta.max(&0) > *hi {
+                        return Err(RejectReason::BoundViolation);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn pending_delta_sum(&self, filter: impl Fn(i64) -> bool) -> i64 {
+        self.pending
+            .iter()
+            .filter_map(|o| match o.op {
+                WriteOp::Add { delta, .. } if filter(delta) => Some(delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Validate and, on success, accept an option (it becomes pending).
+    pub fn accept(&mut self, option: RecordOption) -> Result<(), RejectReason> {
+        self.validate(&option)?;
+        self.pending.push(option);
+        Ok(())
+    }
+
+    /// Learn a transaction's outcome. If the transaction has a pending option
+    /// here and committed, the option is executed as a new committed version.
+    /// Returns the new version number if a version was produced.
+    pub fn decide(&mut self, txn: TxnId, commit: bool) -> Option<VersionNo> {
+        let idx = self.pending.iter().position(|o| o.txn == txn)?;
+        let option = self.pending.remove(idx);
+        if !commit {
+            return None;
+        }
+        let new_version = self.current_version() + 1;
+        let new_value = option.op.apply(self.current_value());
+        self.versions.push(CommittedVersion {
+            version: new_version,
+            value: new_value,
+            txn,
+        });
+        Some(new_version)
+    }
+
+    /// Install a committed version by state transfer (replica convergence
+    /// path): drop any pending option of `txn`, and if `version` is newer
+    /// than the current version, adopt `(version, value)` as the new head.
+    /// Returns true if the head advanced.
+    pub fn install(&mut self, version: VersionNo, value: Value, txn: TxnId) -> bool {
+        if let Some(idx) = self.pending.iter().position(|o| o.txn == txn) {
+            self.pending.remove(idx);
+        }
+        if version > self.current_version() {
+            self.versions.push(CommittedVersion { version, value, txn });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop all but the newest `keep` committed versions.
+    pub fn gc(&mut self, keep: usize) {
+        if self.versions.len() > keep {
+            let cut = self.versions.len() - keep;
+            self.versions.drain(..cut);
+        }
+    }
+
+    /// Number of retained committed versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(0, n)
+    }
+
+    fn set(t: u64, read_version: VersionNo, v: i64) -> RecordOption {
+        RecordOption::new(txn(t), read_version, WriteOp::Set(Value::Int(v)))
+    }
+
+    #[test]
+    fn fresh_record_is_version_zero_none() {
+        let r = VersionedRecord::new();
+        assert_eq!(r.current_version(), 0);
+        assert_eq!(r.current_value(), &Value::None);
+        assert_eq!(r.value_at(0), Some(&Value::None));
+    }
+
+    #[test]
+    fn physical_accept_then_commit_advances_version() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.decide(txn(1), true), Some(1));
+        assert_eq!(r.current_version(), 1);
+        assert_eq!(r.current_value(), &Value::Int(10));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn abort_discards_option() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        assert_eq!(r.decide(txn(1), false), None);
+        assert_eq!(r.current_version(), 0);
+        assert_eq!(r.current_value(), &Value::None);
+    }
+
+    #[test]
+    fn decide_unknown_txn_is_noop() {
+        let mut r = VersionedRecord::new();
+        assert_eq!(r.decide(txn(9), true), None);
+    }
+
+    #[test]
+    fn stale_physical_rejected() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        r.decide(txn(1), true);
+        let err = r.accept(set(2, 0, 20)).unwrap_err();
+        assert_eq!(err, RejectReason::StaleVersion { expected: 0, actual: 1 });
+        r.accept(set(3, 1, 20)).unwrap();
+    }
+
+    #[test]
+    fn concurrent_physical_options_conflict() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        let err = r.accept(set(2, 0, 20)).unwrap_err();
+        assert_eq!(err, RejectReason::PendingConflict { holder: txn(1) });
+    }
+
+    #[test]
+    fn duplicate_txn_rejected() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        let dup = RecordOption::new(txn(1), 0, WriteOp::add(1));
+        assert_eq!(r.accept(dup).unwrap_err(), RejectReason::DuplicateTxn);
+    }
+
+    #[test]
+    fn commutative_options_coexist() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 100)).unwrap();
+        r.decide(txn(1), true);
+        for t in 2..7 {
+            let o = RecordOption::new(txn(t), 0, WriteOp::add_with_floor(-10, 0));
+            r.accept(o).unwrap();
+        }
+        assert_eq!(r.pending_count(), 5);
+        // Commit them all; value drains to 50 across versions 2..=6.
+        for t in 2..7 {
+            r.decide(txn(t), true);
+        }
+        assert_eq!(r.current_value(), &Value::Int(50));
+        assert_eq!(r.current_version(), 6);
+    }
+
+    #[test]
+    fn demarcation_lower_bound_counts_worst_case() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 25)).unwrap();
+        r.decide(txn(1), true);
+        // Two -10s are fine (worst case 5), a third would risk -5.
+        r.accept(RecordOption::new(txn(2), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
+        r.accept(RecordOption::new(txn(3), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
+        let err = r
+            .accept(RecordOption::new(txn(4), 0, WriteOp::add_with_floor(-10, 0)))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::BoundViolation);
+        // A positive delta doesn't threaten the floor even now.
+        r.accept(RecordOption::new(txn(5), 0, WriteOp::add_with_floor(30, 0))).unwrap();
+        // And once one decrement aborts, capacity is released.
+        r.decide(txn(2), false);
+        r.accept(RecordOption::new(txn(6), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
+    }
+
+    #[test]
+    fn demarcation_upper_bound() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 90)).unwrap();
+        r.decide(txn(1), true);
+        let cap = |t: u64, d: i64| {
+            RecordOption::new(txn(t), 0, WriteOp::Add { delta: d, lower: None, upper: Some(100) })
+        };
+        r.accept(cap(2, 8)).unwrap();
+        assert_eq!(r.accept(cap(3, 8)).unwrap_err(), RejectReason::BoundViolation);
+    }
+
+    #[test]
+    fn commutative_on_bytes_is_type_mismatch() {
+        let mut r = VersionedRecord::new();
+        r.accept(RecordOption::new(txn(1), 0, WriteOp::Set(Value::from("blob")))).unwrap();
+        r.decide(txn(1), true);
+        let err = r.accept(RecordOption::new(txn(2), 0, WriteOp::add(1))).unwrap_err();
+        assert_eq!(err, RejectReason::TypeMismatch);
+    }
+
+    #[test]
+    fn physical_blocked_by_pending_commutative() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        r.decide(txn(1), true);
+        r.accept(RecordOption::new(txn(2), 0, WriteOp::add(1))).unwrap();
+        let err = r.accept(set(3, 1, 99)).unwrap_err();
+        assert_eq!(err, RejectReason::PendingConflict { holder: txn(2) });
+        assert!(!r.has_pending_physical());
+    }
+
+    #[test]
+    fn value_at_walks_history() {
+        let mut r = VersionedRecord::new();
+        for (t, v) in [(1, 10), (2, 20), (3, 30)] {
+            r.accept(set(t, (t - 1) as VersionNo, v)).unwrap();
+            r.decide(txn(t), true);
+        }
+        assert_eq!(r.value_at(1), Some(&Value::Int(10)));
+        assert_eq!(r.value_at(2), Some(&Value::Int(20)));
+        assert_eq!(r.value_at(3), Some(&Value::Int(30)));
+        assert_eq!(r.value_at(0), Some(&Value::None));
+    }
+
+    #[test]
+    fn install_advances_head_and_clears_pending() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        // State transfer from the master: version 3 produced by txn 1.
+        assert!(r.install(3, Value::Int(99), txn(1)));
+        assert_eq!(r.current_version(), 3);
+        assert_eq!(r.current_value(), &Value::Int(99));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn stale_install_only_clears_pending() {
+        let mut r = VersionedRecord::new();
+        r.accept(set(1, 0, 10)).unwrap();
+        r.decide(txn(1), true);
+        r.accept(set(2, 1, 20)).unwrap();
+        // A stale (already superseded) install must not regress the head.
+        assert!(!r.install(1, Value::Int(5), txn(2)));
+        assert_eq!(r.current_version(), 1);
+        assert_eq!(r.current_value(), &Value::Int(10));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn gc_retains_newest() {
+        let mut r = VersionedRecord::new();
+        for (t, v) in [(1, 10), (2, 20), (3, 30)] {
+            r.accept(set(t, (t - 1) as VersionNo, v)).unwrap();
+            r.decide(txn(t), true);
+        }
+        r.gc(1);
+        assert_eq!(r.version_count(), 1);
+        assert_eq!(r.current_value(), &Value::Int(30));
+        assert_eq!(r.value_at(1), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! A replica: a [`Store`] whose every transition is write-ahead logged.
+//!
+//! This is the unit the protocol layer instantiates once per site. The
+//! invariant — *replaying the WAL yields exactly the live store* — is checked
+//! by [`Replica::verify_recovery`] and by property tests.
+
+use crate::options::{RecordOption, RejectReason};
+use crate::store::{ReadResult, Store};
+use crate::types::{Key, TxnId, VersionNo};
+use crate::wal::{LogRecord, Wal};
+
+/// A write-ahead-logged store replica.
+#[derive(Debug, Default)]
+pub struct Replica {
+    store: Store,
+    wal: Wal,
+    accepted: u64,
+    rejected: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+impl Replica {
+    /// A fresh, empty replica.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild a replica from a recovered log.
+    pub fn recover(wal: Wal) -> Self {
+        let store = wal.replay();
+        Replica { store, wal, ..Default::default() }
+    }
+
+    /// Read the latest committed state of a key.
+    pub fn read(&self, key: &Key) -> ReadResult {
+        self.store.read(key)
+    }
+
+    /// Validate an option without accepting it.
+    pub fn validate(&self, key: &Key, option: &RecordOption) -> Result<(), RejectReason> {
+        self.store.validate(key, option)
+    }
+
+    /// Validate, log and accept an option.
+    pub fn accept(&mut self, key: &Key, option: RecordOption) -> Result<(), RejectReason> {
+        // Validate first so the log never contains an invalid acceptance.
+        self.store.validate(key, &option)?;
+        self.wal.append(LogRecord::OptionAccepted {
+            key: key.clone(),
+            option: option.clone(),
+        });
+        self.store
+            .accept(key, option)
+            .expect("accept after successful validate cannot fail");
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Record that an option was *rejected* (for statistics only — rejections
+    /// don't change state and are not logged).
+    pub fn note_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Log and apply a transaction decision for one key.
+    pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
+        self.wal.append(LogRecord::Decided { key: key.clone(), txn, commit });
+        let result = self.store.decide(key, txn, commit);
+        if result.is_some() {
+            self.committed += 1;
+        } else if !commit {
+            self.aborted += 1;
+        }
+        result
+    }
+
+    /// Log and apply a state-transfer install from the key's master.
+    /// Returns true if the committed head advanced.
+    pub fn install(
+        &mut self,
+        key: &Key,
+        version: VersionNo,
+        value: crate::types::Value,
+        txn: TxnId,
+    ) -> bool {
+        self.wal.append(LogRecord::Installed {
+            key: key.clone(),
+            version,
+            value: value.clone(),
+            txn,
+        });
+        self.store.install(key, version, value, txn)
+    }
+
+    /// True if `txn` currently holds a pending option on `key` — used by the
+    /// protocol layer to make re-proposals (retry/fallback rounds)
+    /// idempotent.
+    pub fn has_pending(&self, key: &Key, txn: TxnId) -> bool {
+        self.store
+            .record(key)
+            .is_some_and(|r| r.pending().iter().any(|o| o.txn == txn))
+    }
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The write-ahead log (read-only).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Lifetime counters: `(accepted, rejected, committed, aborted)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.accepted, self.rejected, self.committed, self.aborted)
+    }
+
+    /// Check the recovery invariant: replaying this replica's WAL from
+    /// scratch reproduces the live store state for every key it mentions.
+    /// Returns the keys whose state diverged (empty = invariant holds).
+    pub fn verify_recovery(&self) -> Vec<Key> {
+        let recovered = self.wal.replay();
+        let mut diverged = Vec::new();
+        for key in self.store.keys() {
+            if recovered.read(key) != self.store.read(key) {
+                diverged.push(key.clone());
+            }
+        }
+        diverged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::WriteOp;
+    use crate::types::Value;
+
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(0, n)
+    }
+
+    #[test]
+    fn accept_and_decide_are_logged() {
+        let mut r = Replica::new();
+        let k = Key::new("a");
+        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5)))).unwrap();
+        r.decide(&k, txn(1), true);
+        assert_eq!(r.wal().len(), 2);
+        assert_eq!(r.stats(), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn rejected_options_do_not_pollute_log() {
+        let mut r = Replica::new();
+        let k = Key::new("a");
+        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5)))).unwrap();
+        let err = r.accept(&k, RecordOption::new(txn(2), 0, WriteOp::Set(Value::Int(6))));
+        assert!(err.is_err());
+        r.note_rejection();
+        assert_eq!(r.wal().len(), 1);
+        assert_eq!(r.stats().1, 1);
+    }
+
+    #[test]
+    fn recovery_reproduces_live_state() {
+        let mut r = Replica::new();
+        let k = Key::new("stock");
+        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(10)))).unwrap();
+        r.decide(&k, txn(1), true);
+        r.accept(&k, RecordOption::new(txn(2), 0, WriteOp::add_with_floor(-1, 0))).unwrap();
+        assert!(r.verify_recovery().is_empty());
+
+        let recovered = Replica::recover(r.wal().clone());
+        assert_eq!(recovered.read(&k), r.read(&k));
+    }
+
+    #[test]
+    fn abort_counts() {
+        let mut r = Replica::new();
+        let k = Key::new("a");
+        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::add(1))).unwrap();
+        r.decide(&k, txn(1), false);
+        assert_eq!(r.stats(), (1, 0, 0, 1));
+    }
+}

@@ -1,0 +1,187 @@
+//! The per-replica key-value store: an ordered map of versioned records.
+
+use std::collections::BTreeMap;
+
+use crate::options::{RecordOption, RejectReason};
+use crate::record::VersionedRecord;
+use crate::types::{Key, TxnId, Value, VersionNo};
+
+/// The result of a read: the committed version and its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Committed version number (0 for never-written keys).
+    pub version: VersionNo,
+    /// The committed value.
+    pub value: Value,
+    /// How many options are pending on the record — the likelihood model
+    /// uses this as a contention signal.
+    pub pending: usize,
+}
+
+/// An in-memory ordered store of versioned records.
+#[derive(Debug, Default)]
+pub struct Store {
+    records: BTreeMap<Key, VersionedRecord>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the latest committed state of a key. Never fails: unknown keys
+    /// read as version 0, `Value::None`.
+    pub fn read(&self, key: &Key) -> ReadResult {
+        match self.records.get(key) {
+            Some(r) => ReadResult {
+                version: r.current_version(),
+                value: r.current_value().clone(),
+                pending: r.pending_count(),
+            },
+            None => ReadResult { version: 0, value: Value::None, pending: 0 },
+        }
+    }
+
+    /// Validate an option without mutating anything.
+    pub fn validate(&self, key: &Key, option: &RecordOption) -> Result<(), RejectReason> {
+        match self.records.get(key) {
+            Some(r) => r.validate(option),
+            None => VersionedRecord::new().validate(option),
+        }
+    }
+
+    /// Validate and accept an option on a key.
+    pub fn accept(&mut self, key: &Key, option: RecordOption) -> Result<(), RejectReason> {
+        self.records.entry(key.clone()).or_default().accept(option)
+    }
+
+    /// Learn a transaction outcome on a key; returns the new version if one
+    /// was committed.
+    pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
+        self.records.get_mut(key).and_then(|r| r.decide(txn, commit))
+    }
+
+    /// Install a committed version by state transfer; see
+    /// [`VersionedRecord::install`].
+    pub fn install(&mut self, key: &Key, version: VersionNo, value: Value, txn: TxnId) -> bool {
+        self.records.entry(key.clone()).or_default().install(version, value, txn)
+    }
+
+    /// Direct access to a record (e.g. pending inspection), if it exists.
+    pub fn record(&self, key: &Key) -> Option<&VersionedRecord> {
+        self.records.get(key)
+    }
+
+    /// Number of keys ever written or holding pending options.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no record exists.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.records.keys()
+    }
+
+    /// Total pending options across all records.
+    pub fn total_pending(&self) -> usize {
+        self.records.values().map(|r| r.pending_count()).sum()
+    }
+
+    /// Garbage-collect version chains, keeping the newest `keep` versions of
+    /// each record.
+    pub fn gc(&mut self, keep: usize) {
+        for r in self.records.values_mut() {
+            r.gc(keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::WriteOp;
+
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(1, n)
+    }
+
+    #[test]
+    fn read_unknown_key() {
+        let s = Store::new();
+        let r = s.read(&Key::new("missing"));
+        assert_eq!(r.version, 0);
+        assert_eq!(r.value, Value::None);
+        assert_eq!(r.pending, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn accept_decide_read_cycle() {
+        let mut s = Store::new();
+        let k = Key::new("a");
+        s.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(7)))).unwrap();
+        assert_eq!(s.read(&k).pending, 1);
+        assert_eq!(s.decide(&k, txn(1), true), Some(1));
+        let r = s.read(&k);
+        assert_eq!(r.version, 1);
+        assert_eq!(r.value, Value::Int(7));
+        assert_eq!(r.pending, 0);
+    }
+
+    #[test]
+    fn validate_does_not_mutate() {
+        let s = Store::new();
+        let k = Key::new("a");
+        let opt = RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(1)));
+        s.validate(&k, &opt).unwrap();
+        assert!(s.is_empty());
+        // Validation against a missing record behaves like an empty record:
+        // stale expected version is caught.
+        let stale = RecordOption::new(txn(1), 5, WriteOp::Set(Value::Int(1)));
+        assert!(s.validate(&k, &stale).is_err());
+    }
+
+    #[test]
+    fn decide_on_unknown_key_is_noop() {
+        let mut s = Store::new();
+        assert_eq!(s.decide(&Key::new("nope"), txn(1), true), None);
+    }
+
+    #[test]
+    fn total_pending_sums_across_keys() {
+        let mut s = Store::new();
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            s.accept(
+                &Key::new(*k),
+                RecordOption::new(txn(i as u64), 0, WriteOp::add(1)),
+            )
+            .unwrap();
+        }
+        assert_eq!(s.total_pending(), 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.keys().count(), 3);
+    }
+
+    #[test]
+    fn gc_applies_to_all_records() {
+        let mut s = Store::new();
+        let k = Key::new("a");
+        for v in 1..=5u64 {
+            s.accept(
+                &k,
+                RecordOption::new(txn(v), v - 1, WriteOp::Set(Value::Int(v as i64))),
+            )
+            .unwrap();
+            s.decide(&k, txn(v), true);
+        }
+        s.gc(2);
+        assert_eq!(s.record(&k).unwrap().version_count(), 2);
+        assert_eq!(s.read(&k).value, Value::Int(5));
+    }
+}

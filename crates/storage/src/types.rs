@@ -1,0 +1,140 @@
+//! Core identifier and value types shared across the storage and protocol
+//! layers.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A record key. Keys are short strings like `"stock:42"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub String);
+
+impl Key {
+    /// Build a key from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        Key(s.into())
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key(s.to_string())
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(s)
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A stored value. Integers get a first-class representation because
+/// commutative (demarcation-style) updates operate on them; everything else
+/// is opaque bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / deleted.
+    None,
+    /// A 64-bit integer, the domain of commutative `Add` operations.
+    Int(i64),
+    /// Opaque application bytes.
+    Bytes(Bytes),
+}
+
+impl Value {
+    /// Interpret as an integer; `None` counts as 0, bytes as no integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::None => Some(0),
+            Value::Bytes(_) => None,
+        }
+    }
+
+    /// Convenience constructor for byte values.
+    pub fn bytes(b: impl Into<Bytes>) -> Self {
+        Value::Bytes(b.into())
+    }
+
+    /// True if this value is `None` (absent).
+    pub fn is_none(&self) -> bool {
+        matches!(self, Value::None)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Bytes(Bytes::copy_from_slice(v.as_bytes()))
+    }
+}
+
+/// A globally unique transaction identifier: the originating site plus a
+/// per-site sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId {
+    /// Site (data center) where the transaction originated.
+    pub site: u8,
+    /// Per-site sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Build a transaction id.
+    pub fn new(site: u8, seq: u64) -> Self {
+        TxnId { site, seq }
+    }
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}.{}", self.site, self.seq)
+    }
+}
+
+/// A committed record version number. Version 0 is "never written".
+pub type VersionNo = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_conversions() {
+        let k: Key = "a".into();
+        assert_eq!(k, Key::new("a"));
+        assert_eq!(k.as_str(), "a");
+        assert_eq!(k.to_string(), "a");
+    }
+
+    #[test]
+    fn value_as_int() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::None.as_int(), Some(0));
+        assert_eq!(Value::from("x").as_int(), None);
+        assert!(Value::None.is_none());
+        assert!(!Value::Int(0).is_none());
+    }
+
+    #[test]
+    fn txn_id_orders_by_site_then_seq() {
+        assert!(TxnId::new(0, 5) < TxnId::new(1, 0));
+        assert!(TxnId::new(1, 1) < TxnId::new(1, 2));
+        assert_eq!(TxnId::new(2, 3).to_string(), "t2.3");
+    }
+}

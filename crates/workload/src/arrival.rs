@@ -1,0 +1,139 @@
+//! Arrival processes: when transactions are submitted.
+
+use planet_sim::{DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The inter-arrival process of an open-loop workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Arrival {
+    /// Poisson arrivals at `rate` transactions per second.
+    Poisson {
+        /// Mean arrival rate (txn/s).
+        rate: f64,
+    },
+    /// Fixed gap between submissions.
+    Uniform {
+        /// The gap.
+        gap: SimDuration,
+    },
+}
+
+impl Arrival {
+    /// Poisson arrivals at `rate` transactions per second.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Arrival::Poisson { rate }
+    }
+
+    /// One transaction every `gap`.
+    pub fn every(gap: SimDuration) -> Self {
+        Arrival::Uniform { gap }
+    }
+
+    /// Draw the next inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            Arrival::Poisson { rate } => {
+                let secs = rng.exponential(*rate);
+                SimDuration::from_micros((secs * 1e6).round().max(1.0) as u64)
+            }
+            Arrival::Uniform { gap } => *gap,
+        }
+    }
+
+    /// The mean rate in transactions per second.
+    pub fn rate(&self) -> f64 {
+        match self {
+            Arrival::Poisson { rate } => *rate,
+            Arrival::Uniform { gap } => 1.0 / gap.as_secs_f64().max(1e-12),
+        }
+    }
+}
+
+/// A time-varying rate multiplier — load spikes for the spike experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoadSchedule {
+    /// `(from, to, multiplier)` windows; overlaps take the maximum.
+    pub windows: Vec<(SimTime, SimTime, f64)>,
+}
+
+impl LoadSchedule {
+    /// No spikes.
+    pub fn flat() -> Self {
+        Self::default()
+    }
+
+    /// Add a spike window.
+    pub fn spike(mut self, from: SimTime, to: SimTime, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.windows.push((from, to, factor));
+        self
+    }
+
+    /// The rate multiplier at `now`.
+    pub fn factor_at(&self, now: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter(|(from, to, _)| now >= *from && now < *to)
+            .map(|&(_, _, f)| f)
+            .fold(1.0, f64::max)
+    }
+
+    /// Scale a gap by the inverse of the current load factor (higher load
+    /// ⇒ shorter gaps).
+    pub fn scale_gap(&self, gap: SimDuration, now: SimTime) -> SimDuration {
+        let f = self.factor_at(now);
+        SimDuration::from_micros(((gap.as_micros() as f64 / f).round() as u64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let a = Arrival::poisson(100.0); // 100 txn/s → 10ms mean gap
+        let mut rng = DetRng::new(1);
+        let n = 20_000;
+        let mean_us: f64 = (0..n)
+            .map(|_| a.next_gap(&mut rng).as_micros() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_us - 10_000.0).abs() < 300.0, "mean gap {mean_us}us");
+        assert_eq!(a.rate(), 100.0);
+    }
+
+    #[test]
+    fn uniform_gap_is_constant() {
+        let a = Arrival::every(SimDuration::from_millis(5));
+        let mut rng = DetRng::new(2);
+        assert_eq!(a.next_gap(&mut rng), SimDuration::from_millis(5));
+        assert!((a.rate() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_scales_gaps_inside_windows() {
+        let sched = LoadSchedule::flat().spike(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            4.0,
+        );
+        let gap = SimDuration::from_millis(8);
+        assert_eq!(sched.scale_gap(gap, SimTime::from_secs(5)), gap);
+        assert_eq!(
+            sched.scale_gap(gap, SimTime::from_secs(15)),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(sched.factor_at(SimTime::from_secs(25)), 1.0);
+    }
+
+    #[test]
+    fn overlapping_spikes_take_max() {
+        let sched = LoadSchedule::flat()
+            .spike(SimTime::ZERO, SimTime::from_secs(10), 2.0)
+            .spike(SimTime::from_secs(5), SimTime::from_secs(10), 3.0);
+        assert_eq!(sched.factor_at(SimTime::from_secs(7)), 3.0);
+        assert_eq!(sched.factor_at(SimTime::from_secs(2)), 2.0);
+    }
+}

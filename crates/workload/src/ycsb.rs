@@ -1,0 +1,245 @@
+//! A YCSB-style micro-workload: single- and multi-key transactions over a
+//! keyspace with configurable skew, mix and arrival process.
+
+use planet_core::{PlanetTxn, SourceMode, TxnSource};
+use planet_sim::{DetRng, SimDuration, SimTime};
+use planet_storage::{Value, WriteOp};
+
+use crate::arrival::{Arrival, LoadSchedule};
+use crate::keyspace::KeyChooser;
+
+/// What kind of write the workload issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Physical `Set` writes (conflict on concurrency).
+    Physical,
+    /// Commutative bounded decrements (`Add(-1)` with floor 0).
+    Commutative,
+}
+
+/// Configuration for [`YcsbWorkload`].
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Fraction of transactions that are read-only.
+    pub read_ratio: f64,
+    /// Keys touched per transaction.
+    pub keys_per_txn: usize,
+    /// Physical or commutative writes.
+    pub write_kind: WriteKind,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Load spikes (empty = flat).
+    pub schedule: LoadSchedule,
+    /// Per-transaction deadline, if any.
+    pub deadline: Option<SimDuration>,
+    /// Speculation threshold, if speculation is on.
+    pub speculate_at: Option<f64>,
+    /// Stop after this many transactions (`None` = unbounded).
+    pub limit: Option<u64>,
+    /// `Some(n)`: closed loop with `n` virtual users — each submits its
+    /// next transaction only after the previous finishes plus a think time
+    /// drawn from `arrival`. `None` (default): open loop.
+    pub closed_loop: Option<usize>,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            read_ratio: 0.0,
+            keys_per_txn: 1,
+            write_kind: WriteKind::Physical,
+            arrival: Arrival::poisson(10.0),
+            schedule: LoadSchedule::flat(),
+            deadline: None,
+            speculate_at: None,
+            limit: None,
+            closed_loop: None,
+        }
+    }
+}
+
+/// The YCSB-style transaction source; attach to a site with
+/// [`planet_core::Planet::attach_source`].
+pub struct YcsbWorkload {
+    config: YcsbConfig,
+    keys: KeyChooser,
+    issued: u64,
+    counter: u64,
+}
+
+impl YcsbWorkload {
+    /// Build a workload over the given key chooser.
+    pub fn new(config: YcsbConfig, keys: KeyChooser) -> Self {
+        assert!(config.keys_per_txn >= 1);
+        YcsbWorkload { config, keys, issued: 0, counter: 0 }
+    }
+
+    /// Transactions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn build_txn(&mut self, rng: &mut DetRng) -> PlanetTxn {
+        let mut b = PlanetTxn::builder();
+        let read_only = rng.bernoulli(self.config.read_ratio);
+        // Draw distinct keys for the transaction.
+        let mut chosen = Vec::with_capacity(self.config.keys_per_txn);
+        let mut guard = 0;
+        while chosen.len() < self.config.keys_per_txn && guard < 1000 {
+            let k = self.keys.sample(rng);
+            if !chosen.contains(&k) {
+                chosen.push(k);
+            }
+            guard += 1;
+        }
+        for key in chosen {
+            if read_only {
+                b = b.read(key);
+            } else {
+                self.counter += 1;
+                b = match self.config.write_kind {
+                    WriteKind::Physical => {
+                        b.write(key, WriteOp::Set(Value::Int(self.counter as i64)))
+                    }
+                    WriteKind::Commutative => b.write(key, WriteOp::add_with_floor(-1, 0)),
+                };
+            }
+        }
+        if let Some(d) = self.config.deadline {
+            b = b.deadline(d);
+        }
+        if let Some(t) = self.config.speculate_at {
+            b = b.speculate_at(t);
+        }
+        b.build()
+    }
+}
+
+impl TxnSource for YcsbWorkload {
+    fn next_txn(&mut self, now: SimTime, rng: &mut DetRng) -> Option<(PlanetTxn, SimDuration)> {
+        if let Some(limit) = self.config.limit {
+            if self.issued >= limit {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let txn = self.build_txn(rng);
+        let gap = self.config.schedule.scale_gap(self.config.arrival.next_gap(rng), now);
+        Some((txn, gap))
+    }
+
+    fn mode(&self) -> SourceMode {
+        match self.config.closed_loop {
+            Some(concurrency) => SourceMode::Closed { concurrency },
+            None => SourceMode::Open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyspace::KeyDistribution;
+
+    fn chooser(n: u64) -> KeyChooser {
+        KeyChooser::new("k", KeyDistribution::Uniform { n })
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { limit: Some(3), ..Default::default() },
+            chooser(100),
+        );
+        let mut rng = DetRng::new(1);
+        for _ in 0..3 {
+            assert!(w.next_txn(SimTime::ZERO, &mut rng).is_some());
+        }
+        assert!(w.next_txn(SimTime::ZERO, &mut rng).is_none());
+        assert_eq!(w.issued(), 3);
+    }
+
+    #[test]
+    fn builds_multi_key_write_txns() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { keys_per_txn: 3, ..Default::default() },
+            chooser(1000),
+        );
+        let mut rng = DetRng::new(2);
+        let (txn, _) = w.next_txn(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(txn.spec.writes.len(), 3);
+        // Keys are distinct.
+        let keys: std::collections::HashSet<_> =
+            txn.spec.writes.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn read_ratio_produces_read_only_txns() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { read_ratio: 1.0, ..Default::default() },
+            chooser(10),
+        );
+        let mut rng = DetRng::new(3);
+        let (txn, _) = w.next_txn(SimTime::ZERO, &mut rng).unwrap();
+        assert!(txn.spec.is_read_only());
+        assert_eq!(txn.spec.reads.len(), 1);
+    }
+
+    #[test]
+    fn commutative_kind_issues_bounded_adds() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { write_kind: WriteKind::Commutative, ..Default::default() },
+            chooser(10),
+        );
+        let mut rng = DetRng::new(4);
+        let (txn, _) = w.next_txn(SimTime::ZERO, &mut rng).unwrap();
+        match &txn.spec.writes[0].1 {
+            WriteOp::Add { delta, lower, .. } => {
+                assert_eq!(*delta, -1);
+                assert_eq!(*lower, Some(0));
+            }
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_schedule_compresses_gaps_inside_spikes() {
+        use crate::arrival::LoadSchedule;
+        use planet_sim::SimTime;
+        let sched = LoadSchedule::flat().spike(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+            4.0,
+        );
+        let mut w = YcsbWorkload::new(
+            YcsbConfig {
+                arrival: Arrival::every(SimDuration::from_millis(40)),
+                schedule: sched,
+                ..Default::default()
+            },
+            chooser(100),
+        );
+        let mut rng = DetRng::new(9);
+        let (_, calm_gap) = w.next_txn(SimTime::from_secs(10), &mut rng).unwrap();
+        let (_, spike_gap) = w.next_txn(SimTime::from_secs(150), &mut rng).unwrap();
+        assert_eq!(calm_gap, SimDuration::from_millis(40));
+        assert_eq!(spike_gap, SimDuration::from_millis(10), "4x load = 1/4 gap");
+    }
+
+    #[test]
+    fn deadline_and_speculation_flow_through() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig {
+                deadline: Some(SimDuration::from_millis(250)),
+                speculate_at: Some(0.9),
+                ..Default::default()
+            },
+            chooser(10),
+        );
+        let mut rng = DetRng::new(5);
+        let (txn, _) = w.next_txn(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(txn.deadline, Some(SimDuration::from_millis(250)));
+        assert_eq!(txn.speculation_threshold, Some(0.9));
+    }
+}

@@ -1,0 +1,159 @@
+//! Zipfian key-popularity generator.
+//!
+//! The classic YCSB/Gray construction: item ranks are drawn with
+//! `P(rank = i) ∝ 1/i^θ`. θ = 0 degenerates to uniform; θ ≈ 0.99 is the
+//! YCSB default "hot-spot" skew. The generator precomputes the harmonic
+//! normalisers so each draw is O(1).
+
+use planet_sim::DetRng;
+
+/// A Zipf-distributed integer generator over `[0, n)`.
+///
+/// ```
+/// use planet_workload::Zipf;
+/// use planet_sim::DetRng;
+///
+/// let zipf = Zipf::new(1_000, 0.9);
+/// let mut rng = DetRng::new(7);
+/// let head = (0..1_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+/// assert!(head > 200, "rank 0-9 dominate at theta=0.9, got {head}/1000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A generator over `n` items with skew `theta` (`0 ≤ theta < 1` for
+    /// this construction; use [`Zipf::uniform`] for θ = 0).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta }
+    }
+
+    /// A uniform generator (θ = 0).
+    pub fn uniform(n: u64) -> Self {
+        Self::new(n, 0.0)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact sum for small n; Euler–Maclaurin style approximation above.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{10000}^{n} x^-θ dx
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.unit_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(z: &Zipf, draws: usize, seed: u64) -> Vec<u64> {
+        let mut rng = DetRng::new(seed);
+        let mut counts = vec![0u64; z.n() as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn uniform_theta_is_flat() {
+        let z = Zipf::uniform(10);
+        let counts = histogram(&z, 100_000, 2);
+        for &c in &counts {
+            let freq = c as f64 / 100_000.0;
+            assert!((freq - 0.1).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_head() {
+        let z = Zipf::new(1000, 0.99);
+        let counts = histogram(&z, 100_000, 3);
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head as f64 / 100_000.0 > 0.35,
+            "top-10 of 1000 should draw >35% at θ=0.99, got {}",
+            head as f64 / 100_000.0
+        );
+        // And the ordering is roughly monotone: rank 0 beats rank 100.
+        assert!(counts[0] > counts[100]);
+    }
+
+    #[test]
+    fn moderate_theta_matches_zipf_ratios() {
+        // P(0)/P(1) should be ≈ 2^θ.
+        let theta = 0.8;
+        let z = Zipf::new(100, theta);
+        let counts = histogram(&z, 400_000, 4);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!(
+            (ratio - 2f64.powf(theta)).abs() < 0.25,
+            "P0/P1 ratio {ratio}, expected {}",
+            2f64.powf(theta)
+        );
+    }
+
+    #[test]
+    fn large_n_zeta_approximation_is_sane() {
+        let z = Zipf::new(10_000_000, 0.9);
+        let mut rng = DetRng::new(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn theta_one_rejected() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

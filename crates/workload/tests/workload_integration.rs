@@ -1,0 +1,201 @@
+//! End-to-end: attach generated workloads to a full deployment and check
+//! system-level behaviour.
+
+use planet_core::{FinalOutcome, Planet, Protocol, SimDuration};
+use planet_workload::{
+    preload_events, stock_key, Arrival, KeyChooser, KeyDistribution, TicketConfig,
+    TicketWorkload, WriteKind, YcsbConfig, YcsbWorkload,
+};
+
+#[test]
+fn ycsb_open_loop_runs_and_commits() {
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(1).build();
+    for site in 0..5 {
+        let w = YcsbWorkload::new(
+            YcsbConfig {
+                arrival: Arrival::poisson(5.0),
+                limit: Some(20),
+                ..Default::default()
+            },
+            KeyChooser::new(format!("s{site}"), KeyDistribution::Uniform { n: 10_000 }),
+        );
+        db.attach_source(site, Box::new(w));
+    }
+    db.run_for(SimDuration::from_secs(30));
+    let records = db.all_records();
+    assert_eq!(records.len(), 100, "all issued txns must finish");
+    let commits = records.iter().filter(|r| r.outcome.is_commit()).count();
+    assert!(commits >= 98, "uncontended YCSB should commit nearly all, got {commits}");
+}
+
+#[test]
+fn contended_ycsb_aborts_with_physical_but_not_commutative() {
+    let run = |kind: WriteKind, seed: u64| {
+        let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
+        // Seed the counters high (and first) so commutative decrements never
+        // hit the floor and never race the seeding writes.
+        let seedtxn = planet_core::PlanetTxn::builder()
+            .set("hot:0", 1_000_000i64)
+            .set("hot:1", 1_000_000i64)
+            .set("hot:2", 1_000_000i64)
+            .set("hot:3", 1_000_000i64)
+            .build();
+        db.submit(0, seedtxn);
+        db.run_for(SimDuration::from_secs(5));
+        for site in 0..5 {
+            let w = YcsbWorkload::new(
+                YcsbConfig {
+                    arrival: Arrival::poisson(8.0),
+                    write_kind: kind,
+                    limit: Some(30),
+                    ..Default::default()
+                },
+                // Tiny hot keyspace shared by all sites.
+                KeyChooser::new("hot", KeyDistribution::Zipfian { n: 4, theta: 0.9 }),
+            );
+            db.attach_source(site, Box::new(w));
+        }
+        db.run_for(SimDuration::from_secs(60));
+        let records = db.all_records();
+        let commits = records.iter().filter(|r| r.outcome.is_commit()).count();
+        (commits, records.len())
+    };
+    let (physical_commits, n1) = run(WriteKind::Physical, 7);
+    let (commutative_commits, n2) = run(WriteKind::Commutative, 7);
+    assert_eq!(n1, 151);
+    assert_eq!(n2, 151);
+    assert!(
+        physical_commits < commutative_commits,
+        "commutative options must tolerate contention: {physical_commits} vs {commutative_commits}"
+    );
+    assert!(
+        commutative_commits as f64 / n2 as f64 > 0.9,
+        "bounded adds should nearly all commit: {commutative_commits}/{n2}"
+    );
+}
+
+#[test]
+fn ticket_sales_never_oversell_and_speculate() {
+    let config = TicketConfig {
+        events: 20,
+        theta: 0.9,
+        initial_stock: 50,
+        arrival: Arrival::poisson(10.0),
+        limit: Some(40),
+        ..Default::default()
+    };
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(3).build();
+    preload_events(&mut db, &config);
+    for site in 0..5 {
+        db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+    }
+    db.run_for(SimDuration::from_secs(60));
+
+    let records = db.all_records();
+    // Only count the purchases (2-key writes), not the preload seeds.
+    let purchases: Vec<_> = records.iter().filter(|r| r.write_keys == 2).collect();
+    assert_eq!(purchases.len(), 200);
+    let commits = purchases.iter().filter(|r| r.outcome.is_commit()).count();
+    assert!(commits > 150, "most purchases should succeed, got {commits}");
+    let speculated = purchases.iter().filter(|r| r.speculated_at.is_some()).count();
+    assert!(speculated > 100, "purchases should speculate, got {speculated}");
+
+    // Stock accounting: committed purchases per event == stock consumed,
+    // and no replica ever shows negative stock.
+    for event in 0..config.events {
+        for site in 0..5 {
+            if let planet_core::Value::Int(stock) = db.read_local(site, &stock_key(event)) {
+                assert!((0..=config.initial_stock).contains(&stock));
+            }
+        }
+    }
+    // Total consumed equals committed purchases (each buys exactly 1).
+    let consumed: i64 = (0..config.events)
+        .map(|e| match db.read_local(0, &stock_key(e)) {
+            planet_core::Value::Int(s) => config.initial_stock - s,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(consumed as usize, commits, "tickets sold must equal committed purchases");
+}
+
+#[test]
+fn flash_sale_sells_out_exactly() {
+    // One event, tiny stock, heavy demand: exactly `stock` purchases commit.
+    let config = TicketConfig {
+        events: 1,
+        theta: 0.0,
+        initial_stock: 10,
+        arrival: Arrival::poisson(20.0),
+        limit: Some(30),
+        speculate_at: None,
+        deadline: None,
+        ..Default::default()
+    };
+    let mut db = Planet::builder().protocol(Protocol::Classic).seed(4).build();
+    preload_events(&mut db, &config);
+    for site in 0..5 {
+        db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+    }
+    db.run_for(SimDuration::from_secs(120));
+
+    let purchases: Vec<_> = db
+        .all_records()
+        .into_iter()
+        .filter(|r| r.write_keys == 2)
+        .collect();
+    assert_eq!(purchases.len(), 150);
+    let commits = purchases.iter().filter(|r| r.outcome.is_commit()).count();
+    assert_eq!(commits, 10, "exactly the stock must sell");
+    match db.read_local(0, &stock_key(0)) {
+        planet_core::Value::Int(s) => assert_eq!(s, 0, "sold out"),
+        other => panic!("unexpected stock value {other:?}"),
+    }
+    let aborted = purchases
+        .iter()
+        .filter(|r| r.outcome == FinalOutcome::Aborted)
+        .count();
+    assert_eq!(aborted, 140);
+}
+
+#[test]
+fn closed_loop_paces_on_completions() {
+    // 3 virtual users, zero think time, ~170ms commits from us-east: each
+    // user completes ~5-6 txns/s, so over 20 simulated seconds the client
+    // sees roughly 3 × 20/0.17 ≈ 350 txns — and crucially, never more than
+    // 3 in flight at once.
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(9).build();
+    let w = YcsbWorkload::new(
+        YcsbConfig {
+            arrival: Arrival::every(SimDuration::from_micros(1)), // ~no think time
+            closed_loop: Some(3),
+            ..Default::default()
+        },
+        KeyChooser::new("cl", KeyDistribution::Uniform { n: 100_000 }),
+    );
+    db.attach_source(0, Box::new(w));
+    db.run_for(SimDuration::from_secs(20));
+    let n = db.records(0).len();
+    assert!(
+        (250..=450).contains(&n),
+        "3 closed-loop users at ~170ms/txn over 20s should finish ~350, got {n}"
+    );
+
+    // The open-loop equivalent at a huge rate would flood far more than
+    // that; verify the contrast.
+    let mut db2 = Planet::builder().protocol(Protocol::Fast).seed(10).build();
+    let w2 = YcsbWorkload::new(
+        YcsbConfig {
+            arrival: Arrival::poisson(100.0),
+            ..Default::default()
+        },
+        KeyChooser::new("ol", KeyDistribution::Uniform { n: 100_000 }),
+    );
+    db2.attach_source(0, Box::new(w2));
+    db2.run_for(SimDuration::from_secs(20));
+    assert!(
+        db2.records(0).len() > 3 * n,
+        "open loop at 100/s must far exceed the closed loop: {} vs {n}",
+        db2.records(0).len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Admission control under a contention storm.
+//!
+//! Run with: `cargo run --release --example admission_control`
+//!
+//! All five data centers hammer ten hot keys with physical writes while
+//! every replica has finite validation capacity. Without admission control
+//! the replicas saturate on doomed work and goodput collapses; with the
+//! likelihood-based controller, transactions predicted to abort are refused
+//! up front and the system keeps committing.
+
+use planet_core::{AdmissionPolicy, Planet, Protocol, SimDuration};
+use planet_workload::{Arrival, KeyChooser, KeyDistribution, WriteKind, YcsbConfig, YcsbWorkload};
+
+fn run(admission: Option<AdmissionPolicy>, seed: u64) -> (f64, f64, u64) {
+    let mut builder = Planet::builder()
+        .protocol(Protocol::Fast)
+        .seed(seed)
+        .validation_service(SimDuration::from_millis(10));
+    if let Some(policy) = admission {
+        builder = builder.admission(policy);
+    }
+    let mut db = builder.build();
+
+    let start = db.now();
+    for site in 0..5 {
+        let w = YcsbWorkload::new(
+            YcsbConfig {
+                arrival: Arrival::poisson(30.0),
+                write_kind: WriteKind::Physical,
+                ..Default::default()
+            },
+            KeyChooser::new("hot", KeyDistribution::Zipfian { n: 10, theta: 0.9 }),
+        );
+        db.attach_source(site, Box::new(w));
+    }
+    db.run_for(SimDuration::from_secs(30));
+    let end = db.now();
+    db.run_for(SimDuration::from_secs(15));
+
+    let records: Vec<_> = db
+        .all_records()
+        .into_iter()
+        .filter(|r| r.submitted_at >= start && r.submitted_at < end)
+        .collect();
+    let commits = records.iter().filter(|r| r.outcome.is_commit()).count();
+    let goodput = commits as f64 / end.since(start).as_secs_f64();
+    let admitted = records
+        .iter()
+        .filter(|r| r.outcome != planet_core::FinalOutcome::Rejected)
+        .count();
+    let commit_rate = if admitted > 0 { commits as f64 / admitted as f64 } else { 0.0 };
+    let refused: u64 = (0..5).map(|s| db.admission_stats(s).1).sum();
+    (goodput, commit_rate, refused)
+}
+
+fn main() {
+    println!("contention storm: 5 sites × 30 txn/s of physical writes on 10 hot keys");
+    println!("replica capacity: 100 validations/s each (10ms per option)\n");
+
+    let (g0, c0, _) = run(None, 11);
+    println!("without admission control:");
+    println!("  goodput      : {g0:.1} committed txns/s");
+    println!("  commit rate  : {:.1}% of admitted transactions\n", c0 * 100.0);
+
+    let policy = AdmissionPolicy { min_likelihood: 0.2, max_inflight: 4096 };
+    let (g1, c1, refused) = run(Some(policy), 12);
+    println!("with likelihood-based admission control (refuse below p=0.2):");
+    println!("  goodput      : {g1:.1} committed txns/s");
+    println!("  commit rate  : {:.1}% of admitted transactions", c1 * 100.0);
+    println!("  refused      : {refused} transactions shed before touching the WAN\n");
+
+    println!(
+        "admission control {} goodput by {:.1}x and raised the admitted commit rate by {:.1}x",
+        if g1 > g0 { "improved" } else { "changed" },
+        g1 / g0.max(0.01),
+        c1 / c0.max(0.01),
+    );
+}

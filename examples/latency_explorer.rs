@@ -1,0 +1,77 @@
+//! Explore commit latency across origins, protocols and network weather.
+//!
+//! Run with: `cargo run --release --example latency_explorer`
+//!
+//! Prints a per-origin latency comparison of the three commit paths, then
+//! injects a trans-Pacific latency spike and shows how commits from the
+//! affected region degrade while the others hold — the "unpredictable
+//! environment" PLANET is built for.
+
+use planet_core::{Planet, PlanetTxn, Protocol, SimDuration};
+use planet_sim::topology::FIVE_DC_NAMES;
+use planet_sim::{SiteId, Spike};
+
+fn percentile(mut v: Vec<f64>, q: f64) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[((q * (v.len() - 1) as f64).round()) as usize]
+}
+
+fn measure(db: &mut Planet, label: &str, n: u64) {
+    println!("\n== {label} ==");
+    println!("{:>14}  {:>9}  {:>9}", "origin", "p50", "p95");
+    let base = db.now();
+    let mut handles = vec![Vec::new(); 5];
+    for (site, site_handles) in handles.iter_mut().enumerate() {
+        for i in 0..n {
+            let txn = PlanetTxn::builder()
+                .set(format!("{label}:{site}:{i}"), i as i64)
+                .build();
+            site_handles.push(db.submit_at(
+                site,
+                base + SimDuration::from_millis(1 + i * 400),
+                txn,
+            ));
+        }
+    }
+    db.run_for(SimDuration::from_secs(n * 400 / 1000 + 10));
+    for site in 0..5usize {
+        let lats: Vec<f64> = handles[site]
+            .iter()
+            .filter_map(|h| db.record(*h))
+            .filter(|r| r.outcome.is_commit())
+            .map(|r| r.latency.as_millis_f64())
+            .collect();
+        println!(
+            "{:>14}  {:>7.1}ms  {:>7.1}ms",
+            FIVE_DC_NAMES[site],
+            percentile(lats.clone(), 0.5),
+            percentile(lats, 0.95)
+        );
+    }
+}
+
+fn main() {
+    for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
+        let mut db = Planet::builder().protocol(protocol).seed(31).build();
+        measure(&mut db, &format!("{protocol} path, calm network"), 25);
+    }
+
+    // Now a latency storm toward Tokyo.
+    println!("\n……… injecting a 5x latency spike on all paths into ap-northeast ………");
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(32).build();
+    let from = db.now() + SimDuration::from_secs(1);
+    db.network_mut().add_spike(Spike {
+        from,
+        to: from + SimDuration::from_secs(120),
+        site: Some(SiteId(3)),
+        factor: 5.0,
+    });
+    measure(&mut db, "fast path, Tokyo storm", 25);
+    println!(
+        "\nnote: origins whose fast quorum includes ap-northeast degrade; \
+         others route around it (the 4-of-5 quorum does not need the slowest replica)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Watch PLANET's callbacks fire in wall-clock time.
+//!
+//! Run with: `cargo run --release --example live_callbacks`
+//!
+//! The same deterministic deployment the experiments use, paced against the
+//! real clock (1 simulated second = 1 wall second), with transaction events
+//! streamed over a channel. You can watch the likelihood climb as votes
+//! return from around the planet, see the speculative commit fire, and —
+//! a couple of hundred real milliseconds later — the final outcome land.
+
+use std::time::Duration;
+
+use planet_core::{Planet, PlanetTxn, Protocol, RealtimePlanet, TxnEvent};
+
+fn main() {
+    println!("launching a five-DC deployment paced at real time…");
+    let rt = RealtimePlanet::launch(Planet::builder().protocol(Protocol::Fast).seed(99), 1.0);
+
+    // Warm the model quickly (these commit in background sim time).
+    for i in 0..5u64 {
+        let txn = PlanetTxn::builder().set(format!("warm:{i}"), i as i64).build();
+        rt.submit(0, txn);
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    // Drain warm-up events.
+    while rt.events().try_recv().is_ok() {}
+
+    println!("\nsubmitting a geo-replicated write from us-east (watch the clock)…");
+    let started = std::time::Instant::now();
+    let txn = PlanetTxn::builder()
+        .set("demo:key", 1i64)
+        .speculate_at(0.99)
+        .build();
+    let handle = rt.submit(0, txn);
+
+    loop {
+        match rt.events().recv_timeout(Duration::from_secs(10)) {
+            Ok(event) if event.handle() == handle => {
+                let wall = started.elapsed().as_millis();
+                match &event {
+                    TxnEvent::Progress { stage, likelihood, .. } => {
+                        println!("  [{wall:>4}ms wall] {stage:?}: p = {likelihood:.3}");
+                    }
+                    TxnEvent::Speculative { likelihood, .. } => {
+                        println!("  [{wall:>4}ms wall] ✦ speculative commit (p = {likelihood:.3})");
+                    }
+                    TxnEvent::Final { outcome, latency, .. } => {
+                        println!("  [{wall:>4}ms wall] ✔ final outcome: {outcome:?} ({latency} simulated)");
+                        break;
+                    }
+                    other => println!("  [{wall:>4}ms wall] {other:?}"),
+                }
+            }
+            Ok(_) => {}
+            Err(_) => {
+                println!("  (timed out waiting for events)");
+                break;
+            }
+        }
+    }
+
+    let planet = rt.shutdown();
+    println!(
+        "\ndeployment processed {} transactions total",
+        planet.all_records().len()
+    );
+}

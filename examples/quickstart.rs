@@ -1,0 +1,63 @@
+//! Quickstart: a five-data-center PLANET deployment in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Submits one transaction from the us-east application server and prints
+//! every event the PLANET programming model delivers: progress callbacks
+//! carrying the live commit likelihood, the speculative-commit signal, and
+//! the final outcome.
+
+use planet_core::{Planet, PlanetTxn, Protocol, SimDuration, TxnEvent};
+
+fn main() {
+    // A deterministic five-DC deployment running the MDCC fast commit path.
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(2014).build();
+
+    // Stock the inventory and warm the latency model with a little
+    // background traffic so the first "real" transaction gets meaningful
+    // predictions.
+    db.submit(0, PlanetTxn::builder().set("stock:widget", 100i64).build());
+    for i in 0..20u64 {
+        let txn = PlanetTxn::builder().set(format!("warm:{i}"), i as i64).build();
+        db.submit_at(0, db.now() + SimDuration::from_millis(1 + i * 300), txn);
+    }
+    db.run_for(SimDuration::from_secs(10));
+
+    println!("— submitting a transaction from us-east —");
+    let txn = PlanetTxn::builder()
+        .set("user:42:cart", 3i64)
+        .add_with_floor("stock:widget", -3, 0)
+        .deadline(SimDuration::from_millis(300))
+        .speculate_at(0.95)
+        .on_event(|event| match event {
+            TxnEvent::Progress { stage, likelihood, elapsed, .. } => {
+                println!("  +{elapsed:>10} {stage:?}: commit likelihood {likelihood:.3}");
+            }
+            TxnEvent::Speculative { likelihood, elapsed, .. } => {
+                println!("  +{elapsed:>10} SPECULATIVE COMMIT (p = {likelihood:.3}) — tell the user now!");
+            }
+            TxnEvent::DeadlineExceeded { likelihood, .. } => {
+                println!("  deadline passed; still running (p = {likelihood:.3})");
+            }
+            TxnEvent::Final { outcome, latency, .. } => {
+                println!("  +{latency:>10} FINAL: {outcome:?}");
+            }
+            TxnEvent::Apology { .. } => {
+                println!("  we speculated wrongly — apologise to the user");
+            }
+            TxnEvent::CompensationSubmitted { compensation, .. } => {
+                println!("  compensation {compensation} submitted");
+            }
+        })
+        .build();
+    let handle = db.submit(0, txn);
+    db.run_for(SimDuration::from_secs(5));
+
+    let record = db.record(handle).expect("transaction finished");
+    println!("\noutcome: {:?} in {}", record.outcome, record.latency);
+    println!(
+        "stock:widget is now {:?} at every site (e.g. Tokyo: {:?})",
+        db.read_local(0, &planet_core::Key::new("stock:widget")),
+        db.read_local(3, &planet_core::Key::new("stock:widget")),
+    );
+}
