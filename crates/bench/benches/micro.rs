@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks for the hot data structures: the prediction
-//! math (these run on every progress event of every transaction), the
-//! metrics histogram, storage validation, and workload sampling.
+//! Micro-benchmarks for the hot data structures: the prediction math (these
+//! run on every progress event of every transaction), the metrics histogram,
+//! storage validation, and workload sampling. Driven by the in-repo timing
+//! harness (`planet_bench::timing`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use planet_bench::timing::{black_box, Harness};
 
 use planet_predict::likelihood::{KeyState, LikelihoodModel, TxnSnapshot};
 use planet_predict::quorum::prob_at_least;
@@ -11,18 +12,18 @@ use planet_sim::{DetRng, Histogram};
 use planet_storage::{Key, RecordOption, Store, TxnId, Value, WriteOp};
 use planet_workload::Zipf;
 
-fn bench_quorum(c: &mut Criterion) {
+fn bench_quorum(h: &mut Harness) {
     let probs5 = [0.9, 0.8, 0.95, 0.7, 0.85];
     let probs16: Vec<f64> = (0..16).map(|i| 0.5 + (i as f64) * 0.03).collect();
-    c.bench_function("quorum/poisson_binomial_5_of_4", |b| {
-        b.iter(|| prob_at_least(black_box(&probs5), black_box(4)))
+    h.bench("quorum/poisson_binomial_5_of_4", || {
+        prob_at_least(black_box(&probs5), black_box(4))
     });
-    c.bench_function("quorum/poisson_binomial_16_of_11", |b| {
-        b.iter(|| prob_at_least(black_box(&probs16), black_box(11)))
+    h.bench("quorum/poisson_binomial_16_of_11", || {
+        prob_at_least(black_box(&probs16), black_box(11))
     });
 }
 
-fn bench_likelihood(c: &mut Criterion) {
+fn bench_likelihood(h: &mut Harness) {
     let mut model = LikelihoodModel::new(5, 512);
     let mut rng = DetRng::new(7);
     for _ in 0..512 {
@@ -55,100 +56,99 @@ fn bench_likelihood(c: &mut Criterion) {
         ],
         elapsed_us: 40_000,
     };
-    c.bench_function("likelihood/two_key_snapshot", |b| {
-        b.iter(|| model.likelihood(black_box(&snap), black_box(200_000)))
+    h.bench("likelihood/two_key_snapshot", || {
+        model.likelihood(black_box(&snap), black_box(200_000))
     });
-    c.bench_function("likelihood/observe_vote", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            model.observe_vote((i % 5) as u8, 100_000 + i % 1000, true, 0, i % 64);
-        })
+    let mut i = 0u64;
+    h.bench("likelihood/observe_vote", || {
+        i += 1;
+        model.observe_vote((i % 5) as u8, 100_000 + i % 1000, true, 0, i % 64);
     });
 }
 
-fn bench_ecdf(c: &mut Criterion) {
+fn bench_ecdf(h: &mut Harness) {
     let mut ecdf = LatencyEcdf::new(512);
     for i in 0..512u64 {
         ecdf.record(100_000 + i * 37 % 50_000);
     }
-    c.bench_function("ecdf/conditional_within_warm", |b| {
-        b.iter(|| ecdf.conditional_within(black_box(40_000), black_box(150_000)))
+    h.bench("ecdf/conditional_within_warm", || {
+        ecdf.conditional_within(black_box(40_000), black_box(150_000))
     });
-    c.bench_function("ecdf/record_and_query", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            ecdf.record(100_000 + i % 10_000);
-            ecdf.cdf(black_box(120_000))
-        })
+    let mut i = 0u64;
+    h.bench("ecdf/record_and_query", || {
+        i += 1;
+        ecdf.record(100_000 + i % 10_000);
+        ecdf.cdf(black_box(120_000))
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut h = Histogram::new();
-    c.bench_function("histogram/record", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(black_box(i % 10_000_000));
-        })
+fn bench_histogram(h: &mut Harness) {
+    let mut hist = Histogram::new();
+    let mut i = 0u64;
+    h.bench("histogram/record", || {
+        i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+        hist.record(black_box(i % 10_000_000));
     });
+    let mut hist = Histogram::new();
     for v in (0..1_000_000).step_by(37) {
-        h.record(v);
+        hist.record(v);
     }
-    c.bench_function("histogram/quantile", |b| {
-        b.iter(|| h.quantile(black_box(0.99)))
-    });
+    h.bench("histogram/quantile", || hist.quantile(black_box(0.99)));
 }
 
-fn bench_storage(c: &mut Criterion) {
-    c.bench_function("storage/accept_decide_physical", |b| {
-        let mut store = Store::new();
-        let key = Key::new("bench");
-        let mut seq = 0u64;
-        b.iter(|| {
-            let read = store.read(&key);
-            let txn = TxnId::new(0, seq);
-            seq += 1;
-            let opt = RecordOption::new(txn, read.version, WriteOp::Set(Value::Int(seq as i64)));
-            store.accept(&key, opt).unwrap();
-            store.decide(&key, txn, true);
-        });
+fn bench_storage(h: &mut Harness) {
+    let mut store = Store::new();
+    let key = Key::new("bench");
+    let mut seq = 0u64;
+    h.bench("storage/accept_decide_physical", || {
+        let read = store.read(&key);
+        let txn = TxnId::new(0, seq);
+        seq += 1;
+        let opt = RecordOption::new(txn, read.version, WriteOp::Set(Value::Int(seq as i64)));
+        store.accept(&key, opt).unwrap();
+        store.decide(&key, txn, true);
         // Bound memory growth during long bench runs.
-        store.gc(4);
-    });
-    c.bench_function("storage/demarcation_validate", |b| {
-        let mut store = Store::new();
-        let key = Key::new("stock");
-        store
-            .accept(&key, RecordOption::new(TxnId::new(0, 0), 0, WriteOp::Set(Value::Int(1_000_000))))
-            .unwrap();
-        store.decide(&key, TxnId::new(0, 0), true);
-        // A standing crowd of pending deltas to sum over.
-        for i in 1..=16u64 {
-            store
-                .accept(&key, RecordOption::new(TxnId::new(0, i), 0, WriteOp::add_with_floor(-1, 0)))
-                .unwrap();
+        if seq.is_multiple_of(1024) {
+            store.gc(4);
         }
-        let probe = RecordOption::new(TxnId::new(1, 0), 0, WriteOp::add_with_floor(-1, 0));
-        b.iter(|| store.validate(&key, black_box(&probe)))
+    });
+
+    let mut store = Store::new();
+    let key = Key::new("stock");
+    store
+        .accept(
+            &key,
+            RecordOption::new(TxnId::new(0, 0), 0, WriteOp::Set(Value::Int(1_000_000))),
+        )
+        .unwrap();
+    store.decide(&key, TxnId::new(0, 0), true);
+    // A standing crowd of pending deltas to sum over.
+    for i in 1..=16u64 {
+        store
+            .accept(
+                &key,
+                RecordOption::new(TxnId::new(0, i), 0, WriteOp::add_with_floor(-1, 0)),
+            )
+            .unwrap();
+    }
+    let probe = RecordOption::new(TxnId::new(1, 0), 0, WriteOp::add_with_floor(-1, 0));
+    h.bench("storage/demarcation_validate", || {
+        store.validate(&key, black_box(&probe))
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf(h: &mut Harness) {
     let zipf = Zipf::new(1_000_000, 0.99);
     let mut rng = DetRng::new(3);
-    c.bench_function("workload/zipf_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+    h.bench("workload/zipf_sample", || zipf.sample(&mut rng));
 }
 
-criterion_group!(
-    benches,
-    bench_quorum,
-    bench_likelihood,
-    bench_ecdf,
-    bench_histogram,
-    bench_storage,
-    bench_zipf
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_quorum(&mut h);
+    bench_likelihood(&mut h);
+    bench_ecdf(&mut h);
+    bench_histogram(&mut h);
+    bench_storage(&mut h);
+    bench_zipf(&mut h);
+}

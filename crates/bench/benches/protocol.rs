@@ -1,9 +1,9 @@
-//! Criterion benchmarks of whole-protocol simulation throughput: how many
-//! simulated transactions per wall-clock second the deterministic engine
-//! sustains per commit path. These guard the *simulator's* performance —
-//! the full-scale experiments run millions of events.
+//! Benchmarks of whole-protocol simulation throughput: how many simulated
+//! transactions per wall-clock second the deterministic engine sustains per
+//! commit path. These guard the *simulator's* performance — the full-scale
+//! experiments run millions of events.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planet_bench::timing::Harness;
 
 use planet_core::{Planet, PlanetTxn, Protocol, SimDuration};
 
@@ -21,46 +21,41 @@ fn run_batch(protocol: Protocol, n: u64, seed: u64) -> Planet {
     db
 }
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_sim_throughput");
-    group.sample_size(10);
+fn bench_protocols(h: &mut Harness) {
     for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
-        group.bench_with_input(
-            BenchmarkId::new("100_txns", protocol.name()),
-            &protocol,
-            |b, &p| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    run_batch(p, 100, seed)
-                })
+        let mut seed = 0;
+        h.bench(
+            &format!("protocol_sim_throughput/100_txns/{}", protocol.name()),
+            || {
+                seed += 1;
+                run_batch(protocol, 100, seed)
             },
         );
     }
-    group.finish();
 }
 
-fn bench_contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_sim_contended");
-    group.sample_size(10);
-    group.bench_function("five_site_hot_key_batch", |b| {
-        let mut seed = 1000;
-        b.iter(|| {
-            seed += 1;
-            let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
-            let base = db.now();
-            for i in 0..20u64 {
-                for site in 0..5usize {
-                    let txn = PlanetTxn::builder().set("hot", i as i64).build();
-                    db.submit_at(site, base + SimDuration::from_millis(1 + i * 50), txn);
-                }
+fn bench_contended(h: &mut Harness) {
+    let mut seed = 1000;
+    h.bench("protocol_sim_contended/five_site_hot_key_batch", || {
+        seed += 1;
+        let mut db = Planet::builder()
+            .protocol(Protocol::Fast)
+            .seed(seed)
+            .build();
+        let base = db.now();
+        for i in 0..20u64 {
+            for site in 0..5usize {
+                let txn = PlanetTxn::builder().set("hot", i as i64).build();
+                db.submit_at(site, base + SimDuration::from_millis(1 + i * 50), txn);
             }
-            db.run_for(SimDuration::from_secs(15));
-            db
-        })
+        }
+        db.run_for(SimDuration::from_secs(15));
+        db
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_contended);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_protocols(&mut h);
+    bench_contended(&mut h);
+}

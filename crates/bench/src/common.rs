@@ -48,7 +48,9 @@ pub fn sequential_writes(
     let base = db.now();
     (0..n)
         .map(|i| {
-            let txn = PlanetTxn::builder().set(format!("{label}:{site}:{i}"), i as i64).build();
+            let txn = PlanetTxn::builder()
+                .set(format!("{label}:{site}:{i}"), i as i64)
+                .build();
             db.submit_at(site, base + SimDuration::from_millis(1 + i * gap_ms), txn)
         })
         .collect()
@@ -104,7 +106,11 @@ mod tests {
     fn rec(latency_us: u64, commit: bool, at_ms: u64) -> TxnRecord {
         TxnRecord {
             handle: planet_core::TxnHandle { site: 0, tag: 0 },
-            outcome: if commit { FinalOutcome::Committed } else { FinalOutcome::Aborted },
+            outcome: if commit {
+                FinalOutcome::Committed
+            } else {
+                FinalOutcome::Aborted
+            },
             submitted_at: SimTime::from_millis(at_ms),
             latency: SimDuration::from_micros(latency_us),
             write_keys: 1,
@@ -127,8 +133,7 @@ mod tests {
 
     #[test]
     fn commit_rate_and_goodput() {
-        let recs: Vec<TxnRecord> =
-            (0..10).map(|i| rec(1000, i % 2 == 0, i * 100)).collect();
+        let recs: Vec<TxnRecord> = (0..10).map(|i| rec(1000, i % 2 == 0, i * 100)).collect();
         let refs: Vec<&TxnRecord> = recs.iter().collect();
         assert_eq!(commit_rate(&refs), 0.5);
         // 5 commits over the 1-second window [0, 1s).

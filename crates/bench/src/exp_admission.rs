@@ -70,7 +70,11 @@ fn contended_run(
     let refused = records.len() - admitted.len();
     let g = goodput(&records, start, end);
     let cr = commit_rate(&admitted);
-    let refused_frac = if records.is_empty() { 0.0 } else { refused as f64 / records.len() as f64 };
+    let refused_frac = if records.is_empty() {
+        0.0
+    } else {
+        refused as f64 / records.len() as f64
+    };
     (g, cr, refused_frac)
 }
 
@@ -85,7 +89,10 @@ pub fn fig6_admission(scale: Scale) -> Table {
         Scale::Quick => &[2.0, 32.0],
         Scale::Full => &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
     };
-    let policy = AdmissionPolicy { min_likelihood: 0.2, max_inflight: 4096 };
+    let policy = AdmissionPolicy {
+        min_likelihood: 0.2,
+        max_inflight: 4096,
+    };
     let mut table = Table::new(
         "fig6-admission",
         "Goodput vs offered load at high contention, with/without admission control",
@@ -100,8 +107,13 @@ pub fn fig6_admission(scale: Scale) -> Table {
     );
     for (i, &rate) in rates.iter().enumerate() {
         let (g0, c0, _) = contended_run(rate, span, None, WriteKind::Physical, 400 + i as u64);
-        let (g1, c1, refused) =
-            contended_run(rate, span, Some(policy), WriteKind::Physical, 450 + i as u64);
+        let (g1, c1, refused) = contended_run(
+            rate,
+            span,
+            Some(policy),
+            WriteKind::Physical,
+            450 + i as u64,
+        );
         table.row(vec![
             format!("{rate:.0}/s"),
             format!("{g0:.1}/s"),
@@ -124,11 +136,36 @@ pub fn tab2_contention(scale: Scale) -> Table {
     // (name, protocol, write kind, fast-path collision fallback)
     let variants: &[(&str, Protocol, WriteKind, bool)] = &[
         ("fast+physical", Protocol::Fast, WriteKind::Physical, false),
-        ("fast+fallback+physical", Protocol::Fast, WriteKind::Physical, true),
-        ("fast+commutative", Protocol::Fast, WriteKind::Commutative, false),
-        ("classic+physical", Protocol::Classic, WriteKind::Physical, false),
-        ("classic+commutative", Protocol::Classic, WriteKind::Commutative, false),
-        ("twopc+physical", Protocol::TwoPc, WriteKind::Physical, false),
+        (
+            "fast+fallback+physical",
+            Protocol::Fast,
+            WriteKind::Physical,
+            true,
+        ),
+        (
+            "fast+commutative",
+            Protocol::Fast,
+            WriteKind::Commutative,
+            false,
+        ),
+        (
+            "classic+physical",
+            Protocol::Classic,
+            WriteKind::Physical,
+            false,
+        ),
+        (
+            "classic+commutative",
+            Protocol::Classic,
+            WriteKind::Commutative,
+            false,
+        ),
+        (
+            "twopc+physical",
+            Protocol::TwoPc,
+            WriteKind::Physical,
+            false,
+        ),
     ];
     let mut table = Table::new(
         "tab2-contention",
@@ -170,7 +207,11 @@ pub fn tab2_contention(scale: Scale) -> Table {
             .into_iter()
             .filter(|r| r.submitted_at >= start && r.submitted_at < end && r.write_keys > 0)
             .collect();
-        let committed: Vec<_> = records.iter().copied().filter(|r| r.outcome.is_commit()).collect();
+        let committed: Vec<_> = records
+            .iter()
+            .copied()
+            .filter(|r| r.outcome.is_commit())
+            .collect();
         let mut lats: Vec<u64> = committed.iter().map(|r| r.latency.as_micros()).collect();
         lats.sort_unstable();
         let p50 = lats.get(lats.len() / 2).copied().unwrap_or(0);

@@ -40,7 +40,9 @@ pub fn fig1_rtt(scale: Scale) -> Table {
             ms(ps[3]),
         ]);
     }
-    table.note("expected shape: each origin pays ~RTT to its 4th-closest replica (fast quorum of 4/5)");
+    table.note(
+        "expected shape: each origin pays ~RTT to its 4th-closest replica (fast quorum of 4/5)",
+    );
     table
 }
 
@@ -80,7 +82,11 @@ pub fn fig5_latency_cdf(scale: Scale) -> Table {
             .collect();
         lats.sort_unstable();
         let pick = |q: f64| {
-            if lats.is_empty() { 0 } else { lats[((q * (lats.len() - 1) as f64).round()) as usize] }
+            if lats.is_empty() {
+                0
+            } else {
+                lats[((q * (lats.len() - 1) as f64).round()) as usize]
+            }
         };
         table.row(vec![
             "planet-speculative".into(),
@@ -177,7 +183,13 @@ pub fn fig8_callbacks(scale: Scale) -> Table {
     let mut table = Table::new(
         "fig8-callbacks",
         "Median time until likelihood ≥ X (committed txns, 185ms deadline, us-east)",
-        &["threshold", "n", "median time-to-X", "median final commit", "saving"],
+        &[
+            "threshold",
+            "n",
+            "median time-to-X",
+            "median final commit",
+            "saving",
+        ],
     );
     let committed: Vec<_> = handles
         .iter()

@@ -46,14 +46,23 @@ pub fn fig2_calibration(scale: Scale) -> Table {
     let (db, handles) = mixed_workload(scale, 201);
     let mut cal = Calibration::new(10);
     for r in records(&db, &handles) {
-        if let Some(p) = r.predictions.iter().find(|p| p.votes_seen == 0 && p.elapsed_us > 0) {
+        if let Some(p) = r
+            .predictions
+            .iter()
+            .find(|p| p.votes_seen == 0 && p.elapsed_us > 0)
+        {
             cal.record(p.likelihood, r.outcome.is_commit());
         }
     }
     let mut table = Table::new(
         "fig2-calibration",
         "Reliability of the pre-vote commit-likelihood prediction",
-        &["predicted bin", "n", "mean predicted", "observed commit rate"],
+        &[
+            "predicted bin",
+            "n",
+            "mean predicted",
+            "observed commit rate",
+        ],
     );
     for bin in cal.reliability() {
         table.row(vec![
@@ -72,7 +81,8 @@ pub fn fig2_calibration(scale: Scale) -> Table {
         cal.base_rate().unwrap_or(0.0),
         cal.count(),
     ));
-    table.note("calibrated ⇔ mean predicted ≈ observed per bin; skill > 0 beats base-rate guessing");
+    table
+        .note("calibrated ⇔ mean predicted ≈ observed per bin; skill > 0 beats base-rate guessing");
     table
 }
 
@@ -99,7 +109,11 @@ pub fn fig3_progress(scale: Scale) -> Table {
             continue;
         }
         table.row(vec![
-            if votes == 10 { "10+".to_string() } else { votes.to_string() },
+            if votes == 10 {
+                "10+".to_string()
+            } else {
+                votes.to_string()
+            },
             cal.count().to_string(),
             format!("{:.4}", cal.brier().unwrap()),
             format!("{:.3}", cal.skill().unwrap_or(0.0)),

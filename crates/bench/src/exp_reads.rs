@@ -32,7 +32,9 @@ fn measure(quorum: bool, rounds: u64, seed: u64) -> (f64, u64, u64) {
         let w = db.submit_at(
             0,
             at,
-            PlanetTxn::builder().set(key.clone(), round as i64 + 1).build(),
+            PlanetTxn::builder()
+                .set(key.clone(), round as i64 + 1)
+                .build(),
         );
         write_handles.push(w);
         // The commit decides ~170ms after submission and the us-east master
@@ -59,9 +61,17 @@ fn measure(quorum: bool, rounds: u64, seed: u64) -> (f64, u64, u64) {
     }
     reads.sort_unstable();
     let pick = |q: f64| {
-        if reads.is_empty() { 0 } else { reads[((q * (reads.len() - 1) as f64).round()) as usize] }
+        if reads.is_empty() {
+            0
+        } else {
+            reads[((q * (reads.len() - 1) as f64).round()) as usize]
+        }
     };
-    (fresh as f64 / reads.len().max(1) as f64, pick(0.5), pick(0.99))
+    (
+        fresh as f64 / reads.len().max(1) as f64,
+        pick(0.5),
+        pick(0.99),
+    )
 }
 
 /// tab3-reads: freshness and latency per read level.

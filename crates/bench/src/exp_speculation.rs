@@ -52,7 +52,10 @@ pub fn fig4_speculation(scale: Scale) -> Table {
         db.run_for(SimDuration::from_secs(rounds / 3 + 30));
 
         let records: Vec<_> = handles.iter().filter_map(|h| db.record(*h)).collect();
-        let speculated: Vec<_> = records.iter().filter(|r| r.speculated_at.is_some()).collect();
+        let speculated: Vec<_> = records
+            .iter()
+            .filter(|r| r.speculated_at.is_some())
+            .collect();
         let apologies = records.iter().filter(|r| r.apologised()).count();
         let mut spec_resp: Vec<u64> = speculated
             .iter()

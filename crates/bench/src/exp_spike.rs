@@ -51,7 +51,14 @@ pub fn fig7_spike(scale: Scale) -> Table {
     let mut table = Table::new(
         "fig7-spike",
         &format!("Timeline across a {factor}x WAN latency spike ([{spike_from_s}s,{spike_to_s}s))"),
-        &["window", "txns", "commit rate", "p95 final", "p95 effective resp", "in spike"],
+        &[
+            "window",
+            "txns",
+            "commit rate",
+            "p95 final",
+            "p95 effective resp",
+            "in spike",
+        ],
     );
     let buckets = total.as_micros() / bucket.as_micros();
     for b in 0..buckets {

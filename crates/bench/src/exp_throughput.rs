@@ -1,0 +1,165 @@
+//! Live-cluster throughput: sweep closed-loop client concurrency over a
+//! thread-per-actor deployment on the in-process channel transport.
+//!
+//! Unlike every other experiment (which runs the deterministic simulation),
+//! this one measures the *live* runtime: replicas, coordinators and clients
+//! each on their own OS thread, wall-clock time, the LAN-ish network model
+//! shaping deliveries. At `Scale::Full` the sweep covers 1→256 clients and
+//! the points are also written to `BENCH_throughput.json`.
+
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{LiveCluster, LoadClient, LoadRecord};
+use planet_mdcc::{ClusterConfig, Outcome, Protocol};
+use planet_sim::metrics::Histogram;
+use planet_sim::NetworkModel;
+use planet_storage::Key;
+
+use crate::common::Scale;
+use crate::report::Table;
+
+const SITES: usize = 3;
+const KEYS: usize = 64;
+
+/// One measured sweep point.
+struct Point {
+    clients: usize,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    commit_rate: f64,
+    completions: u64,
+}
+
+/// A LAN-ish topology: the point of the sweep is scheduling and protocol
+/// cost under concurrency, not WAN geography, so cross-site RTT is 2 ms.
+fn lan() -> NetworkModel {
+    let rtt: Vec<Vec<f64>> = (0..SITES)
+        .map(|i| (0..SITES).map(|j| if i == j { 0.1 } else { 2.0 }).collect())
+        .collect();
+    NetworkModel::from_rtt_ms(&rtt)
+}
+
+fn run_point(clients: usize, warmup: Duration, window: Duration, seed: u64) -> Point {
+    let config = ClusterConfig::new(SITES, Protocol::Fast);
+    let mut cluster = LiveCluster::builder(config)
+        .network(lan())
+        .seed(seed)
+        .build();
+    let keys: Vec<Key> = (0..KEYS).map(|i| Key::new(format!("tp-{i}"))).collect();
+    let (tx, rx) = channel::<LoadRecord>();
+    for k in 0..clients {
+        let site = k % SITES;
+        let coordinator = cluster.coordinator(site);
+        cluster.spawn_client(
+            site,
+            Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone())),
+        );
+    }
+    drop(tx);
+
+    // Warm up: let every client reach steady state, discarding completions.
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        let _ = rx.recv_timeout(warm_end - Instant::now());
+    }
+
+    // Measure: count completions and latencies inside the window only.
+    let started = Instant::now();
+    let mut latencies = Histogram::new();
+    let mut committed = 0u64;
+    let mut completions = 0u64;
+    while started.elapsed() < window {
+        let remaining = window - started.elapsed();
+        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            completions += 1;
+            latencies.record(record.latency_us());
+            if record.outcome == Outcome::Committed {
+                committed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    cluster.shutdown();
+
+    Point {
+        clients,
+        ops_per_sec: completions as f64 / elapsed,
+        p50_us: latencies.quantile(0.50).unwrap_or(0),
+        p99_us: latencies.quantile(0.99).unwrap_or(0),
+        commit_rate: if completions > 0 {
+            committed as f64 / completions as f64
+        } else {
+            0.0
+        },
+        completions,
+    }
+}
+
+fn write_json(points: &[Point], window: Duration) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"throughput\",\n");
+    out.push_str(&format!("  \"sites\": {SITES},\n"));
+    out.push_str(&format!("  \"keys\": {KEYS},\n"));
+    out.push_str(&format!("  \"window_secs\": {},\n", window.as_secs_f64()));
+    out.push_str("  \"transport\": \"channel\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}}}{}\n",
+            p.clients,
+            p.ops_per_sec,
+            p.p50_us,
+            p.p99_us,
+            p.commit_rate,
+            p.completions,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_throughput.json", &out) {
+        eprintln!("throughput: could not write BENCH_throughput.json: {e}");
+    } else {
+        eprintln!("wrote BENCH_throughput.json");
+    }
+}
+
+/// The `throughput` experiment: ops/sec and latency percentiles vs client
+/// concurrency on the live cluster.
+pub fn throughput(scale: Scale) -> Table {
+    let sweep: &[usize] = match scale {
+        Scale::Quick => &[1, 4, 16],
+        Scale::Full => &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+    };
+    let (warmup, window) = match scale {
+        Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500)),
+        Scale::Full => (Duration::from_millis(500), Duration::from_secs(2)),
+    };
+
+    let mut table = Table::new(
+        "throughput",
+        "Live cluster: closed-loop throughput vs concurrency (channel transport)",
+        &["clients", "ops/sec", "p50", "p99", "commit rate"],
+    );
+    let mut points = Vec::new();
+    for &clients in sweep {
+        let point = run_point(clients, warmup, window, 42 + clients as u64);
+        table.row(vec![
+            point.clients.to_string(),
+            format!("{:.0}", point.ops_per_sec),
+            crate::report::ms(point.p50_us),
+            crate::report::ms(point.p99_us),
+            crate::report::pct(point.commit_rate),
+        ]);
+        points.push(point);
+    }
+    table.note(format!(
+        "{SITES} sites, thread-per-actor, 2ms cross-site RTT, {KEYS} keys, commutative increments, {}s window",
+        window.as_secs_f64()
+    ));
+    if scale == Scale::Full {
+        write_json(&points, window);
+    }
+    table
+}

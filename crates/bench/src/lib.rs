@@ -16,7 +16,9 @@ mod exp_prediction;
 mod exp_reads;
 mod exp_speculation;
 mod exp_spike;
+mod exp_throughput;
 pub mod report;
+pub mod timing;
 
 pub use common::Scale;
 pub use report::Table;
@@ -34,6 +36,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "tab1-percentiles",
     "tab2-contention",
     "tab3-reads",
+    "throughput",
 ];
 
 /// Run one experiment by id.
@@ -50,6 +53,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
         "tab1-percentiles" => exp_latency::tab1_percentiles(scale),
         "tab2-contention" => exp_admission::tab2_contention(scale),
         "tab3-reads" => exp_reads::tab3_reads(scale),
+        "throughput" => exp_throughput::throughput(scale),
         _ => return None,
     })
 }

@@ -56,7 +56,10 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment '{id}'. Available: {}", EXPERIMENTS.join(", "));
+                eprintln!(
+                    "unknown experiment '{id}'. Available: {}",
+                    EXPERIMENTS.join(", ")
+                );
                 std::process::exit(2);
             }
         }

@@ -93,7 +93,14 @@ impl Table {
         for note in &self.notes {
             out.push_str(&format!("# {note}\n"));
         }
-        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

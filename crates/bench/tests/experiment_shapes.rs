@@ -25,7 +25,7 @@ fn note_metric(table: &Table, key: &str) -> Option<f64> {
 #[test]
 fn every_experiment_id_runs() {
     // Cheap sanity: unknown ids are rejected; the list is complete.
-    assert_eq!(EXPERIMENTS.len(), 11);
+    assert_eq!(EXPERIMENTS.len(), 12);
     assert!(run_experiment("nope", Scale::Quick).is_none());
 }
 
@@ -35,8 +35,14 @@ fn tab3_read_levels_trade_freshness_for_latency() {
     // Row 0 = local, row 1 = quorum.
     let local_fresh = t.cell_f64(0, "fresh reads").unwrap();
     let quorum_fresh = t.cell_f64(1, "fresh reads").unwrap();
-    assert!(local_fresh < 20.0, "local reads must be mostly stale in-window: {local_fresh}%");
-    assert!(quorum_fresh > 90.0, "quorum reads must be fresh: {quorum_fresh}%");
+    assert!(
+        local_fresh < 20.0,
+        "local reads must be mostly stale in-window: {local_fresh}%"
+    );
+    assert!(
+        quorum_fresh > 90.0,
+        "quorum reads must be fresh: {quorum_fresh}%"
+    );
     let local_p50 = t.cell_f64(0, "p50 latency").unwrap();
     let quorum_p50 = t.cell_f64(1, "p50 latency").unwrap();
     assert!(local_p50 < 5.0, "local read is intra-site: {local_p50}ms");
@@ -52,11 +58,17 @@ fn fig1_rtt_matches_topology_shape() {
     assert_eq!(t.rows.len(), 5);
     // us-east commits at ~ the RTT to its 4th-closest replica (ap-ne, 170ms).
     let us_east_p50 = t.cell_f64(0, "p50").unwrap();
-    assert!((130.0..=220.0).contains(&us_east_p50), "us-east p50 {us_east_p50}ms");
+    assert!(
+        (130.0..=220.0).contains(&us_east_p50),
+        "us-east p50 {us_east_p50}ms"
+    );
     // eu-west is the worst-placed origin (its fast quorum crosses two oceans).
     let eu_west_p50 = t.cell_f64(2, "p50").unwrap();
     let us_west_p50 = t.cell_f64(1, "p50").unwrap();
-    assert!(eu_west_p50 > us_west_p50, "eu {eu_west_p50} vs usw {us_west_p50}");
+    assert!(
+        eu_west_p50 > us_west_p50,
+        "eu {eu_west_p50} vs usw {us_west_p50}"
+    );
     // Every p99 ≥ p50.
     for row in 0..5 {
         assert!(t.cell_f64(row, "p99").unwrap() >= t.cell_f64(row, "p50").unwrap());
@@ -67,7 +79,10 @@ fn fig1_rtt_matches_topology_shape() {
 fn fig2_prediction_is_calibrated_and_skilled() {
     let t = run("fig2-calibration");
     let skill = note_metric(&t, "skill").expect("skill recorded");
-    assert!(skill > 0.1, "prediction must beat base-rate guessing, skill={skill}");
+    assert!(
+        skill > 0.1,
+        "prediction must beat base-rate guessing, skill={skill}"
+    );
     let brier = note_metric(&t, "brier").expect("brier recorded");
     assert!(brier < 0.25, "brier {brier} must beat a coin");
     // Reliability: in the lowest bins almost nothing commits; in the highest
@@ -95,7 +110,10 @@ fn fig3_prediction_sharpens_with_votes() {
         last_brier < first_brier * 0.5,
         "late predictions must be much sharper: {first_brier} -> {last_brier}"
     );
-    assert!(last_brier < 0.02, "near-certainty at the end, got {last_brier}");
+    assert!(
+        last_brier < 0.02,
+        "near-certainty at the end, got {last_brier}"
+    );
 }
 
 #[test]
@@ -111,7 +129,10 @@ fn fig4_speculation_tradeoff() {
     for row in 0..6 {
         let spec = t.cell_f64(row, "p50 speculative resp").unwrap();
         let fin = t.cell_f64(row, "p50 final commit").unwrap();
-        assert!(spec < fin, "row {row}: speculative {spec}ms !< final {fin}ms");
+        assert!(
+            spec < fin,
+            "row {row}: speculative {spec}ms !< final {fin}ms"
+        );
     }
 }
 
@@ -144,7 +165,10 @@ fn fig6_admission_control_wins_past_the_knee() {
     );
     let commit_no_ac = t.cell_f64(1, "commit% (no AC)").unwrap();
     let commit_ac = t.cell_f64(1, "commit% (AC)").unwrap();
-    assert!(commit_ac > commit_no_ac + 10.0, "admitted commit% must be much higher");
+    assert!(
+        commit_ac > commit_no_ac + 10.0,
+        "admitted commit% must be much higher"
+    );
 }
 
 #[test]
@@ -199,7 +223,30 @@ fn tab1_twopc_slowest_everywhere() {
     for origin in 0..5 {
         let fast = t.cell_f64(origin, "p50").unwrap();
         let twopc = t.cell_f64(origin + 10, "p50").unwrap();
-        assert!(twopc > fast, "origin {origin}: twopc {twopc} !> fast {fast}");
+        assert!(
+            twopc > fast,
+            "origin {origin}: twopc {twopc} !> fast {fast}"
+        );
+    }
+}
+
+#[test]
+fn throughput_scales_with_concurrency() {
+    let t = run("throughput");
+    assert!(t.rows.len() >= 3);
+    let ops = |row: usize| t.cell_f64(row, "ops/sec").unwrap();
+    // More closed-loop clients must buy more throughput on a LAN-ish model
+    // (1 → 16 clients: well before any saturation knee).
+    assert!(
+        ops(t.rows.len() - 1) > ops(0) * 2.0,
+        "throughput must scale: {} ops/s at 1 client vs {} at max",
+        ops(0),
+        ops(t.rows.len() - 1)
+    );
+    // Nearly everything commits: the load is commutative increments.
+    for row in 0..t.rows.len() {
+        let rate = t.cell_f64(row, "commit rate").unwrap();
+        assert!(rate > 90.0, "row {row}: commit rate {rate}%");
     }
 }
 
@@ -211,7 +258,12 @@ fn tab2_commutative_tolerates_contention() {
     let rate = |row: usize| t.cell_f64(row, "commit rate").unwrap();
     // Commutative ≫ physical on both MDCC paths.
     assert!(rate(2) > rate(0) + 30.0, "fast: {} vs {}", rate(2), rate(0));
-    assert!(rate(4) > rate(3) + 30.0, "classic: {} vs {}", rate(4), rate(3));
+    assert!(
+        rate(4) > rate(3) + 30.0,
+        "classic: {} vs {}",
+        rate(4),
+        rate(3)
+    );
     // Commutative commits nearly everything.
     assert!(rate(2) > 90.0);
     // The collision fallback lifts the fast path's physical commit rate.

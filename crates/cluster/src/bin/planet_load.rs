@@ -1,0 +1,149 @@
+//! `planet-load` — a multi-client load driver for a `planetd` deployment.
+//!
+//! Spawns `--clients` closed-loop [`LoadClient`] actors, round-robined
+//! across the sites in `--addrs`, each driving its site's coordinator over
+//! TCP. After `--secs` of measurement the driver drains the completion
+//! channel and prints throughput and latency percentiles.
+//!
+//! ```text
+//! planet-load --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!     --clients 32 --secs 10 --keys 64
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{spawn_node, Clock, LoadClient, LoadRecord, TcpTransport, Transport};
+use planet_mdcc::{Msg, Outcome};
+use planet_sim::metrics::Histogram;
+use planet_sim::{Actor, ActorId, SiteId};
+use planet_storage::Key;
+
+struct Args {
+    addrs: Vec<SocketAddr>,
+    clients: usize,
+    secs: u64,
+    keys: usize,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut addrs = Vec::new();
+    let mut clients = 8;
+    let mut secs = 10;
+    let mut keys = 64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addrs" => {
+                let Some(list) = args.next() else { usage() };
+                addrs = list
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--clients" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => clients = v,
+                None => usage(),
+            },
+            "--secs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => secs = v,
+                None => usage(),
+            },
+            "--keys" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => keys = v,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if addrs.is_empty() || clients == 0 || keys == 0 {
+        usage();
+    }
+    Args {
+        addrs,
+        clients,
+        secs,
+        keys,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.addrs.len();
+    let clock = Clock::new();
+    let key_space: Vec<Key> = (0..args.keys)
+        .map(|i| Key::new(format!("load-{i}")))
+        .collect();
+
+    // Route only to the coordinators; replies come back down our own
+    // connections via the servers' learned-peer routes.
+    let transport = TcpTransport::new();
+    for (site, addr) in args.addrs.iter().enumerate() {
+        transport.add_route((n + site) as u32, *addr);
+    }
+
+    let (results_tx, results_rx) = channel::<LoadRecord>();
+    let mut nodes = Vec::new();
+    for k in 0..args.clients {
+        let site = k % n;
+        let id = (2 * n + k) as u32;
+        let client: Box<dyn Actor<Msg>> = Box::new(LoadClient::new(
+            ActorId((n + site) as u32),
+            key_space.clone(),
+            results_tx.clone(),
+        ));
+        let (tx, rx) = channel();
+        transport.host(id, tx.clone());
+        nodes.push(spawn_node(
+            ActorId(id),
+            SiteId(site as u8),
+            client,
+            tx,
+            rx,
+            transport.clone() as Arc<dyn Transport>,
+            clock,
+            0x10AD ^ k as u64,
+        ));
+    }
+    drop(results_tx);
+    println!(
+        "planet-load: {} clients across {n} sites, {} keys, {}s window",
+        args.clients, args.keys, args.secs
+    );
+
+    let window = Duration::from_secs(args.secs);
+    let started = Instant::now();
+    let mut latencies = Histogram::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    while started.elapsed() < window {
+        let remaining = window.saturating_sub(started.elapsed());
+        if let Ok(record) = results_rx.recv_timeout(remaining.min(Duration::from_millis(100))) {
+            latencies.record(record.latency_us());
+            match record.outcome {
+                Outcome::Committed => committed += 1,
+                _ => aborted += 1,
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    for node in nodes {
+        let _ = node.stop_and_join();
+    }
+    transport.stop();
+
+    let total = committed + aborted;
+    println!("planet-load: {total} txns in {elapsed:.2}s ({committed} committed, {aborted} other)");
+    println!("planet-load: {:.1} ops/sec", total as f64 / elapsed);
+    if let (Some(p50), Some(p99)) = (latencies.quantile(0.50), latencies.quantile(0.99)) {
+        println!("planet-load: latency p50 {p50} us, p99 {p99} us");
+    }
+}

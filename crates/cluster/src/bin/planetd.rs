@@ -1,0 +1,148 @@
+//! `planetd` — one live PLANET server process.
+//!
+//! Hosts one site's replica and coordinator on their own threads, speaking
+//! the length-prefixed wire format over TCP. Every `planetd` in a
+//! deployment is started with the same `--addrs` list (the topology) and
+//! its own `--site` index:
+//!
+//! ```text
+//! planetd --site 0 --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//! planetd --site 1 --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//! planetd --site 2 --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//! ```
+//!
+//! Drive it with `planet-load`. Actor ids follow the cluster convention:
+//! replica `i` and coordinator `n + i` live at `addrs[i]`.
+
+use std::net::SocketAddr;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use planet_cluster::{spawn_node, Clock, TcpTransport, Transport};
+use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Protocol, ReplicaActor};
+use planet_sim::{Actor, ActorId, SiteId};
+
+struct Args {
+    site: usize,
+    addrs: Vec<SocketAddr>,
+    protocol: Protocol,
+    run_secs: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--run-secs <s>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut site = None;
+    let mut addrs = Vec::new();
+    let mut protocol = Protocol::Fast;
+    let mut run_secs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--site" => site = args.next().and_then(|v| v.parse().ok()),
+            "--addrs" => {
+                let Some(list) = args.next() else { usage() };
+                addrs = list
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--protocol" => {
+                protocol = match args.next().as_deref() {
+                    Some("fast") => Protocol::Fast,
+                    Some("classic") => Protocol::Classic,
+                    Some("twopc") => Protocol::TwoPc,
+                    _ => usage(),
+                }
+            }
+            "--run-secs" => run_secs = args.next().and_then(|v| v.parse().ok()),
+            _ => usage(),
+        }
+    }
+    let Some(site) = site else { usage() };
+    if addrs.is_empty() || site >= addrs.len() {
+        usage();
+    }
+    Args {
+        site,
+        addrs,
+        protocol,
+        run_secs,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.addrs.len();
+    let config = ClusterConfig::new(n, args.protocol);
+    let clock = Clock::new();
+    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+
+    let transport = TcpTransport::new();
+    for (site, addr) in args.addrs.iter().enumerate() {
+        transport.add_route(site as u32, *addr);
+        transport.add_route((n + site) as u32, *addr);
+    }
+
+    let replica: Box<dyn Actor<Msg>> =
+        Box::new(ReplicaActor::new(config.clone(), replica_ids.clone()));
+    let coordinator: Box<dyn Actor<Msg>> = Box::new(CoordinatorActor::new(
+        config.clone(),
+        replica_ids,
+        SiteId(args.site as u8),
+    ));
+    let mut nodes = Vec::new();
+    for (id, actor) in [
+        (args.site as u32, replica),
+        ((n + args.site) as u32, coordinator),
+    ] {
+        let (tx, rx) = channel();
+        transport.host(id, tx.clone());
+        nodes.push(spawn_node(
+            ActorId(id),
+            SiteId(args.site as u8),
+            actor,
+            tx,
+            rx,
+            transport.clone() as Arc<dyn Transport>,
+            clock,
+            0x5EED ^ args.site as u64,
+        ));
+    }
+
+    let bound = match transport.listen(args.addrs[args.site]) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("planetd: cannot bind {}: {e}", args.addrs[args.site]);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "planetd: site {} of {n} serving replica {} and coordinator {} on {bound} ({:?})",
+        args.site,
+        args.site,
+        n + args.site,
+        args.protocol
+    );
+
+    match args.run_secs {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    println!("planetd: run window elapsed, shutting down");
+    for node in nodes {
+        let (_, metrics) = node.stop_and_join();
+        for (name, value) in metrics.counters() {
+            println!("planetd: {name} = {value}");
+        }
+    }
+    transport.stop();
+}

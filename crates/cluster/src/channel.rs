@@ -1,0 +1,235 @@
+//! In-process transport: mailboxes wired through a delay-injecting fabric.
+//!
+//! [`ChannelTransport`] routes [`Envelope`]s between node mailboxes in one
+//! process. With no network model attached it delivers immediately (useful
+//! for tests); with a [`NetworkModel`] every send passes through a *fabric*
+//! thread that samples the exact same delay/loss/partition model the
+//! deterministic simulator uses — base-delay matrix, log-normal jitter,
+//! heavy tails, scheduled spikes and partitions — and holds the message
+//! until its wall-clock delivery time. One configuration therefore shapes
+//! both worlds: a `NetworkModel` built for a simulation drops into a live
+//! cluster unchanged, with [`SimTime`] re-read as microseconds since cluster
+//! start.
+//!
+//! [`SimTime`]: planet_sim::SimTime
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use planet_sim::{DetRng, NetworkModel, SimTime, SiteId};
+
+use crate::node::{Clock, Packet};
+use crate::transport::{Envelope, Transport};
+
+enum FabricCmd {
+    Env(Envelope),
+    Stop,
+}
+
+struct HeldMsg {
+    at: SimTime,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for HeldMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeldMsg {}
+impl PartialOrd for HeldMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Routes {
+    mailboxes: HashMap<u32, Sender<Packet>>,
+    sites: HashMap<u32, SiteId>,
+}
+
+/// The in-process transport.
+pub struct ChannelTransport {
+    routes: Mutex<Routes>,
+    clock: Clock,
+    fabric_tx: Option<Sender<FabricCmd>>,
+    fabric_join: Mutex<Option<JoinHandle<()>>>,
+    dropped: AtomicU64,
+}
+
+impl ChannelTransport {
+    /// A transport that delivers instantly (no delay model). `clock` should
+    /// be the same clock the nodes run on.
+    pub fn direct(clock: Clock) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(ChannelTransport {
+            routes: Mutex::new(Routes {
+                mailboxes: HashMap::new(),
+                sites: HashMap::new(),
+            }),
+            clock,
+            fabric_tx: None,
+            fabric_join: Mutex::new(None),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// A transport whose deliveries are shaped by `net`: each send is held
+    /// on a fabric thread for a sampled delay (or dropped, per the model's
+    /// loss and partition rules) before reaching the destination mailbox.
+    /// `seed` feeds the fabric's deterministic jitter sampler.
+    pub fn with_network(clock: Clock, net: NetworkModel, seed: u64) -> std::sync::Arc<Self> {
+        let (tx, rx) = channel::<FabricCmd>();
+        let transport = std::sync::Arc::new(ChannelTransport {
+            routes: Mutex::new(Routes {
+                mailboxes: HashMap::new(),
+                sites: HashMap::new(),
+            }),
+            clock,
+            fabric_tx: Some(tx),
+            fabric_join: Mutex::new(None),
+            dropped: AtomicU64::new(0),
+        });
+        let fabric = transport.clone();
+        let join = std::thread::Builder::new()
+            .name("planet-fabric".into())
+            .spawn(move || fabric.run_fabric(rx, net, seed))
+            .expect("spawn fabric thread");
+        *transport.fabric_join.lock().unwrap() = Some(join);
+        transport
+    }
+
+    /// Register an actor's mailbox and site. Must happen before traffic for
+    /// that actor flows; sends to unregistered actors are counted as drops.
+    pub fn register(&self, id: u32, site: SiteId, mailbox: Sender<Packet>) {
+        let mut routes = self.routes.lock().unwrap();
+        routes.mailboxes.insert(id, mailbox);
+        routes.sites.insert(id, site);
+    }
+
+    /// Messages lost so far — to the model's loss/partition rules, or to
+    /// unregistered destinations.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stop the fabric thread, discarding messages still in flight. Called
+    /// by the cluster at shutdown, after the nodes have stopped.
+    pub fn stop(&self) {
+        if let Some(tx) = &self.fabric_tx {
+            let _ = tx.send(FabricCmd::Stop);
+        }
+        if let Some(join) = self.fabric_join.lock().unwrap().take() {
+            let _ = join.join();
+        }
+    }
+
+    fn site_of(&self, id: u32) -> Option<SiteId> {
+        self.routes.lock().unwrap().sites.get(&id).copied()
+    }
+
+    fn deliver(&self, env: Envelope) {
+        let sender = {
+            let routes = self.routes.lock().unwrap();
+            routes.mailboxes.get(&env.to.0).cloned()
+        };
+        match sender {
+            Some(tx) => {
+                if tx.send(Packet::Env(env)).is_err() {
+                    // Destination node already stopped.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The fabric loop: hold each envelope for its sampled delay, then
+    /// deliver. Per-(src, dst) delivery order is preserved the same way the
+    /// engine preserves it: a message never overtakes an earlier one on the
+    /// same directed pair (TCP gives this for free; the in-process fabric
+    /// must enforce it).
+    fn run_fabric(&self, rx: Receiver<FabricCmd>, net: NetworkModel, seed: u64) {
+        let mut rng = DetRng::new(seed ^ 0xFAB0_5EED_0000_0001);
+        let mut heap: BinaryHeap<Reverse<HeldMsg>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut fifo_high: HashMap<(u32, u32), SimTime> = HashMap::new();
+        loop {
+            // Deliver everything that is due.
+            loop {
+                let now = self.clock.now();
+                match heap.peek() {
+                    Some(Reverse(held)) if held.at <= now => {
+                        let Reverse(held) = heap.pop().expect("peeked");
+                        self.deliver(held.env);
+                    }
+                    _ => break,
+                }
+            }
+            let wait = match heap.peek() {
+                Some(Reverse(held)) => held
+                    .at
+                    .since(self.clock.now())
+                    .to_std()
+                    .min(Duration::from_millis(5)),
+                None => Duration::from_millis(50),
+            };
+            match rx.recv_timeout(wait) {
+                Ok(FabricCmd::Env(env)) => {
+                    let now = self.clock.now();
+                    let (src, dst) = match (self.site_of(env.from.0), self.site_of(env.to.0)) {
+                        (Some(s), Some(d)) => (s, d),
+                        _ => {
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    match net.sample_delay(src, dst, now, &mut rng) {
+                        None => {
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(delay) => {
+                            let pair = (env.from.0, env.to.0);
+                            let mut at = now + delay;
+                            if let Some(&high) = fifo_high.get(&pair) {
+                                if at <= high {
+                                    at = high + planet_sim::SimDuration::from_micros(1);
+                                }
+                            }
+                            fifo_high.insert(pair, at);
+                            heap.push(Reverse(HeldMsg { at, seq, env }));
+                            seq += 1;
+                        }
+                    }
+                }
+                Ok(FabricCmd::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, env: Envelope) {
+        match &self.fabric_tx {
+            Some(tx) => {
+                if tx.send(FabricCmd::Env(env)).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => self.deliver(env),
+        }
+    }
+}

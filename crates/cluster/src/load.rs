@@ -1,0 +1,108 @@
+//! A closed-loop load-generator client for live clusters.
+//!
+//! One [`LoadClient`] models one virtual user: it keeps exactly one
+//! transaction in flight, submitting the next the moment the previous one
+//! finishes. Completions stream to the driver over a channel, so the driver
+//! (the `throughput` experiment, or the `planet-load` binary) can compute
+//! ops/sec and latency percentiles over a measurement window without ever
+//! touching the actor's thread.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+
+use planet_mdcc::{Msg, Outcome, TxnSpec};
+use planet_sim::{Actor, ActorId, Context, SimTime};
+use planet_storage::{Key, WriteOp};
+
+/// One finished transaction, as reported to the driver.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadRecord {
+    /// The submitting client.
+    pub client: u32,
+    /// Client-local transaction tag.
+    pub tag: u64,
+    /// Commit / abort / timeout.
+    pub outcome: Outcome,
+    /// When the client sent the submit (cluster clock).
+    pub submitted: SimTime,
+    /// When the outcome arrived back (cluster clock).
+    pub decided: SimTime,
+}
+
+impl LoadRecord {
+    /// Submit-to-decision latency in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.decided.since(self.submitted).as_micros()
+    }
+}
+
+/// The closed-loop client actor.
+pub struct LoadClient {
+    coordinator: ActorId,
+    keys: Vec<Key>,
+    results: Sender<LoadRecord>,
+    inflight: HashMap<u64, SimTime>,
+    next_tag: u64,
+    submitted: u64,
+}
+
+impl LoadClient {
+    /// A client submitting commutative single-key increments to `coordinator`,
+    /// choosing keys uniformly from `keys`, reporting completions on
+    /// `results`.
+    pub fn new(coordinator: ActorId, keys: Vec<Key>, results: Sender<LoadRecord>) -> Self {
+        assert!(!keys.is_empty(), "load client needs at least one key");
+        LoadClient {
+            coordinator,
+            keys,
+            results,
+            inflight: HashMap::new(),
+            next_tag: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Transactions submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        let key = self.keys[ctx.rng().index(self.keys.len())].clone();
+        let spec = TxnSpec::write_one(key, WriteOp::add(1));
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.submitted += 1;
+        self.inflight.insert(tag, ctx.now());
+        let me = ctx.self_id();
+        ctx.send(
+            self.coordinator,
+            Msg::Submit {
+                spec,
+                reply_to: me,
+                tag,
+            },
+        );
+    }
+}
+
+impl Actor<Msg> for LoadClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::TxnDone { tag, outcome, .. } = msg {
+            if let Some(submitted) = self.inflight.remove(&tag) {
+                let _ = self.results.send(LoadRecord {
+                    client: ctx.self_id().0,
+                    tag,
+                    outcome,
+                    submitted,
+                    decided: ctx.now(),
+                });
+            }
+            self.submit_next(ctx);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The thread-per-actor mailbox loop.
+//!
+//! A live node owns one protocol actor (replica, coordinator or client) and
+//! runs it on its own OS thread. Events reach the node as [`Packet`]s
+//! through an in-process mailbox; every delivered message is funnelled
+//! through [`planet_sim::drive`], the same factored step function the
+//! deterministic engine uses, so the protocol logic is byte-for-byte shared
+//! between the simulated and live worlds. Only the interpretation of the
+//! emitted [`Effect`]s differs: sends go to the node's [`Transport`], timers
+//! go on a local wall-clock heap.
+//!
+//! [`Effect`]: planet_sim::Effect
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use planet_mdcc::Msg;
+use planet_sim::{
+    drive, drive_start, Actor, ActorId, DetRng, Effect, Metrics, SimTime, SiteId, TurnInputs,
+};
+
+use crate::transport::{Envelope, Transport};
+
+/// A shared wall-clock epoch. Every node and the delay fabric of a cluster
+/// share one clock, so "now" is consistent across threads and maps directly
+/// onto [`SimTime`] (microseconds since cluster start) — the same timeline
+/// the network model's spike and partition windows are expressed in.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Wall time since the epoch, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+/// A closure executed on the node's thread with exclusive access to its
+/// actor. The returned messages are delivered to the actor immediately
+/// afterwards (as if self-sent), which is how facade-level operations such
+/// as staging a transaction and firing its submit timer stay atomic with
+/// respect to protocol traffic.
+pub type CallFn = Box<dyn FnOnce(&mut dyn Actor<Msg>) -> Vec<Msg> + Send>;
+
+/// What a node's mailbox carries.
+pub enum Packet {
+    /// A protocol message from another actor.
+    Env(Envelope),
+    /// Run a closure against the actor on its own thread.
+    Call(CallFn),
+    /// Drain and stop; the thread returns its actor for harvesting.
+    Stop,
+}
+
+/// A timer pending on a node's local heap.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    msg: Msg,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// How long an idle node sleeps between mailbox polls when it has no timer
+/// due sooner. Bounds timer-firing latency; protocol timeouts in this
+/// workspace are tens of milliseconds and up, so a few milliseconds of slack
+/// is invisible.
+const IDLE_WAIT: Duration = Duration::from_millis(5);
+
+/// A handle to a spawned node: its id, its mailbox, and the join handle
+/// through which the actor (and the node's private metrics registry) is
+/// recovered at shutdown.
+pub struct NodeHandle {
+    /// The actor this node runs.
+    pub id: ActorId,
+    /// The node's mailbox.
+    pub mailbox: Sender<Packet>,
+    join: JoinHandle<(Box<dyn Actor<Msg>>, Metrics)>,
+}
+
+impl NodeHandle {
+    /// Run `f` on the node's thread with exclusive access to the actor;
+    /// messages it returns are delivered to the actor immediately after.
+    pub fn call(&self, f: impl FnOnce(&mut dyn Actor<Msg>) -> Vec<Msg> + Send + 'static) {
+        let _ = self.mailbox.send(Packet::Call(Box::new(f)));
+    }
+
+    /// Deliver a message to the actor directly (bypassing any transport
+    /// delay model), as if self-sent. Mirrors `Simulation::inject_at`.
+    pub fn inject(&self, msg: Msg) {
+        let _ = self.mailbox.send(Packet::Env(Envelope {
+            from: self.id,
+            to: self.id,
+            msg,
+        }));
+    }
+
+    /// Stop the node and recover its actor and metrics.
+    pub fn stop_and_join(self) -> (Box<dyn Actor<Msg>>, Metrics) {
+        let _ = self.mailbox.send(Packet::Stop);
+        self.join.join().expect("node thread panicked")
+    }
+}
+
+/// Spawn a node thread running `actor` as `id` at `site`.
+///
+/// The caller supplies the mailbox receiver (so it can register the matching
+/// sender with the transport *before* any thread starts — actors may emit
+/// sends from `on_start`). `seed` feeds the node's private deterministic
+/// RNG; live runs are not replayable (the OS scheduler orders events), but
+/// per-node jitter sampling stays well-defined.
+#[allow(clippy::too_many_arguments)] // a node's full wiring, spelled out
+pub fn spawn_node(
+    id: ActorId,
+    site: SiteId,
+    actor: Box<dyn Actor<Msg>>,
+    mailbox: Sender<Packet>,
+    rx: Receiver<Packet>,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    seed: u64,
+) -> NodeHandle {
+    let join = std::thread::Builder::new()
+        .name(format!("planet-node-{}", id.0))
+        .spawn(move || run_node(id, site, actor, rx, transport, clock, seed))
+        .expect("spawn node thread");
+    NodeHandle { id, mailbox, join }
+}
+
+fn run_node(
+    id: ActorId,
+    site: SiteId,
+    mut actor: Box<dyn Actor<Msg>>,
+    rx: Receiver<Packet>,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    seed: u64,
+) -> (Box<dyn Actor<Msg>>, Metrics) {
+    let mut rng = DetRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1)));
+    let mut metrics = Metrics::new();
+    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut running = true;
+
+    let inputs = |now: SimTime| TurnInputs {
+        now,
+        self_id: id,
+        self_site: site,
+    };
+
+    // Apply one turn's effects to the live fabric.
+    let apply = |effects: Vec<Effect<Msg>>,
+                 now: SimTime,
+                 timers: &mut BinaryHeap<Reverse<TimerEntry>>,
+                 timer_seq: &mut u64,
+                 running: &mut bool| {
+        for effect in effects {
+            match effect {
+                Effect::Send { dst, msg } => {
+                    transport.send(Envelope {
+                        from: id,
+                        to: dst,
+                        msg,
+                    });
+                }
+                Effect::Timer { delay, msg } => {
+                    timers.push(Reverse(TimerEntry {
+                        at: now + delay,
+                        seq: *timer_seq,
+                        msg,
+                    }));
+                    *timer_seq += 1;
+                }
+                Effect::Halt => *running = false,
+            }
+        }
+    };
+
+    let start = drive_start(actor.as_mut(), inputs(clock.now()), &mut rng, &mut metrics);
+    apply(
+        start.effects,
+        clock.now(),
+        &mut timers,
+        &mut timer_seq,
+        &mut running,
+    );
+
+    while running {
+        // Fire every due timer (self-sent, like the engine's timer path).
+        loop {
+            let now = clock.now();
+            match timers.peek() {
+                Some(Reverse(entry)) if entry.at <= now => {
+                    let Reverse(entry) = timers.pop().expect("peeked");
+                    let turn = drive(
+                        actor.as_mut(),
+                        inputs(now),
+                        id,
+                        entry.msg,
+                        &mut rng,
+                        &mut metrics,
+                    );
+                    apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
+                }
+                _ => break,
+            }
+        }
+        if !running {
+            break;
+        }
+        let wait = match timers.peek() {
+            Some(Reverse(entry)) => entry.at.since(clock.now()).to_std().min(IDLE_WAIT),
+            None => IDLE_WAIT,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Packet::Env(env)) => {
+                let now = clock.now();
+                let turn = drive(
+                    actor.as_mut(),
+                    inputs(now),
+                    env.from,
+                    env.msg,
+                    &mut rng,
+                    &mut metrics,
+                );
+                apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
+            }
+            Ok(Packet::Call(f)) => {
+                let followups = f(actor.as_mut());
+                for msg in followups {
+                    let now = clock.now();
+                    let turn = drive(actor.as_mut(), inputs(now), id, msg, &mut rng, &mut metrics);
+                    apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
+                }
+            }
+            Ok(Packet::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    (actor, metrics)
+}

@@ -1,0 +1,250 @@
+//! TCP transport: the wire-format codec over `std::net`, one process per
+//! deployment unit.
+//!
+//! A [`TcpTransport`] plays both server and client:
+//!
+//! * **Hosted actors** (registered with [`TcpTransport::host`]) receive
+//!   envelopes addressed to them from any accepted or outbound connection.
+//! * **Static routes** ([`TcpTransport::add_route`]) say which remote
+//!   address serves a given actor id — the deployment topology, identical
+//!   on every `planetd`.
+//! * **Learned routes**: when an envelope arrives from an actor with no
+//!   static route (a load-driver client behind NAT, say), the transport
+//!   remembers the connection it came in on and sends replies back down it.
+//!   This is how coordinators answer clients that never [`listen`].
+//!
+//! Frames never overtake each other on a connection (TCP is FIFO), which
+//! preserves the same per-(src, dst) ordering guarantee the simulator's
+//! scheduler and the in-process fabric enforce.
+//!
+//! [`listen`]: TcpTransport::listen
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::node::Packet;
+use crate::transport::{Envelope, Transport};
+use crate::wire;
+
+/// A write handle to one connection, shared by everyone routing to it.
+type Conn = Arc<Mutex<TcpStream>>;
+
+struct TcpInner {
+    /// Static actor → address routes (the deployment topology).
+    routes: Mutex<HashMap<u32, SocketAddr>>,
+    /// Open outbound connections by remote address.
+    conns: Mutex<HashMap<SocketAddr, Conn>>,
+    /// Learned actor → connection routes (reply paths for clients).
+    peers: Mutex<HashMap<u32, Conn>>,
+    /// Locally hosted actors' mailboxes.
+    local: Mutex<HashMap<u32, Sender<Packet>>>,
+    /// Raw clones of every stream, so `stop` can unblock reader threads.
+    streams: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    listen_addr: Mutex<Option<SocketAddr>>,
+    closed: AtomicBool,
+    dropped: AtomicU64,
+}
+
+/// The TCP transport.
+pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+}
+
+impl TcpTransport {
+    /// A transport with no routes and no listener yet.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TcpTransport {
+            inner: Arc::new(TcpInner {
+                routes: Mutex::new(HashMap::new()),
+                conns: Mutex::new(HashMap::new()),
+                peers: Mutex::new(HashMap::new()),
+                local: Mutex::new(HashMap::new()),
+                streams: Mutex::new(Vec::new()),
+                threads: Mutex::new(Vec::new()),
+                listen_addr: Mutex::new(None),
+                closed: AtomicBool::new(false),
+                dropped: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Declare that `actor` is served at `addr` (may be this process).
+    pub fn add_route(&self, actor: u32, addr: SocketAddr) {
+        self.inner.routes.lock().unwrap().insert(actor, addr);
+    }
+
+    /// Register a locally hosted actor's mailbox.
+    pub fn host(&self, actor: u32, mailbox: Sender<Packet>) {
+        self.inner.local.lock().unwrap().insert(actor, mailbox);
+    }
+
+    /// Bind `addr` (port 0 allowed) and start accepting connections.
+    /// Returns the bound address.
+    pub fn listen(&self, addr: SocketAddr) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        *self.inner.listen_addr.lock().unwrap() = Some(bound);
+        let inner = self.inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("planet-tcp-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let _ = TcpInner::adopt(&inner, stream);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        self.inner.threads.lock().unwrap().push(handle);
+        Ok(bound)
+    }
+
+    /// Messages that could not be delivered (connect/write failures,
+    /// unroutable destinations).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Close every connection and stop the acceptor and reader threads.
+    pub fn stop(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        for stream in self.inner.streams.lock().unwrap().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the acceptor with a throwaway connection.
+        if let Some(addr) = *self.inner.listen_addr.lock().unwrap() {
+            let _ = TcpStream::connect(addr);
+        }
+        let threads: Vec<_> = self.inner.threads.lock().unwrap().drain(..).collect();
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl TcpInner {
+    /// Wire up a new connection: keep a write handle, spawn a reader.
+    fn adopt(inner: &Arc<TcpInner>, stream: TcpStream) -> Option<Conn> {
+        if inner.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let _ = stream.set_nodelay(true);
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => return None,
+        };
+        inner
+            .streams
+            .lock()
+            .unwrap()
+            .push(match stream.try_clone() {
+                Ok(raw) => raw,
+                Err(_) => return None,
+            });
+        let conn: Conn = Arc::new(Mutex::new(stream));
+        let inner2 = inner.clone();
+        let conn2 = conn.clone();
+        let handle = std::thread::Builder::new()
+            .name("planet-tcp-read".into())
+            .spawn(move || inner2.read_loop(reader, conn2))
+            .ok()?;
+        inner.threads.lock().unwrap().push(handle);
+        Some(conn)
+    }
+
+    /// Decode frames off one connection until EOF, delivering locally and
+    /// learning reply routes.
+    fn read_loop(&self, mut stream: TcpStream, conn: Conn) {
+        loop {
+            match wire::read_frame(&mut stream) {
+                Ok(Some(env)) => {
+                    // Learn the reply path: the sender is reachable down
+                    // this connection (unless a static route exists).
+                    let has_route = self.routes.lock().unwrap().contains_key(&env.from.0);
+                    if !has_route {
+                        self.peers.lock().unwrap().insert(env.from.0, conn.clone());
+                    }
+                    self.deliver_local(env);
+                }
+                Ok(None) | Err(_) => return,
+            }
+        }
+    }
+
+    fn deliver_local(&self, env: Envelope) {
+        let mailbox = self.local.lock().unwrap().get(&env.to.0).cloned();
+        match mailbox {
+            Some(tx) if tx.send(Packet::Env(env)).is_ok() => {}
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn write_to(&self, conn: &Conn, env: &Envelope) -> bool {
+        let mut stream = conn.lock().unwrap();
+        wire::write_frame(&mut *stream, env).is_ok()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, env: Envelope) {
+        let inner = &self.inner;
+        // 1. Hosted locally?
+        if inner.local.lock().unwrap().contains_key(&env.to.0) {
+            inner.deliver_local(env);
+            return;
+        }
+        // 2. A learned reply route?
+        let peer = inner.peers.lock().unwrap().get(&env.to.0).cloned();
+        if let Some(conn) = peer {
+            if inner.write_to(&conn, &env) {
+                return;
+            }
+            inner.peers.lock().unwrap().remove(&env.to.0);
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // 3. A static route: reuse or open the connection to that address.
+        let addr = inner.routes.lock().unwrap().get(&env.to.0).copied();
+        let Some(addr) = addr else {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let existing = inner.conns.lock().unwrap().get(&addr).cloned();
+        let conn = match existing {
+            Some(conn) => Some(conn),
+            None => match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let conn = TcpInner::adopt(inner, stream);
+                    if let Some(conn) = &conn {
+                        inner.conns.lock().unwrap().insert(addr, conn.clone());
+                    }
+                    conn
+                }
+                Err(_) => None,
+            },
+        };
+        match conn {
+            Some(conn) if inner.write_to(&conn, &env) => {}
+            Some(_) => {
+                inner.conns.lock().unwrap().remove(&addr);
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

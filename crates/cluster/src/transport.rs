@@ -1,0 +1,23 @@
+//! The pluggable message fabric underneath a live cluster.
+
+use planet_mdcc::Msg;
+use planet_sim::ActorId;
+
+/// A protocol message in flight between two live actors.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending actor.
+    pub from: ActorId,
+    /// Destination actor.
+    pub to: ActorId,
+    /// The protocol message, identical to what the simulator schedules.
+    pub msg: Msg,
+}
+
+/// A message fabric: anything that can carry an [`Envelope`] from one live
+/// actor to another. Implementations decide delivery latency, loss, and
+/// ordering; the node loops above are transport-agnostic.
+pub trait Transport: Send + Sync {
+    /// Enqueue `env` for delivery. Must not block on the destination.
+    fn send(&self, env: Envelope);
+}

@@ -1,0 +1,1002 @@
+//! The TCP wire format: a hand-rolled, length-prefixed binary codec for
+//! [`Envelope`]s.
+//!
+//! Framing: each envelope is one frame — a little-endian `u32` payload
+//! length followed by the payload. The payload is `from: u32`, `to: u32`,
+//! then the [`Msg`] encoded with one leading tag byte per enum and
+//! fixed-width little-endian integers throughout. Strings and byte blobs
+//! are length-prefixed (`u32`). There is no external serialization
+//! dependency by design: the workspace builds offline, so the codec is
+//! written out by hand and covered by round-trip tests over every message
+//! variant.
+//!
+//! The format is symmetric (what `encode` writes, `decode` reads back) and
+//! versioned only implicitly by the enum tags — both ends of a connection
+//! are expected to run the same build, which is the deployment model of the
+//! `planetd` server and `planet-load` driver.
+
+use std::io::{self, Read, Write};
+
+use planet_mdcc::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
+use planet_sim::{ActorId, SimTime, SiteId};
+use planet_storage::{Bytes, Key, RecordOption, RejectReason, TxnId, Value, WriteOp};
+
+use crate::transport::Envelope;
+
+/// Largest frame either side will accept: guards a malformed or hostile
+/// length prefix from triggering a huge allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A decoding failure (truncated buffer, unknown tag, oversized frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+fn err<T>(what: &str) -> Result<T> {
+    Err(WireError(what.to_string()))
+}
+
+// ---------------------------------------------------------------- writer
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(128),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            None => self.bool(false),
+            Some(x) => {
+                self.bool(true);
+                self.i64(x);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return err("truncated frame");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => err("bad bool"),
+        }
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn blob(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+    fn string(&mut self) -> Result<String> {
+        let raw = self.blob()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError("bad utf8".into()))
+    }
+    fn opt_i64(&mut self) -> Result<Option<i64>> {
+        Ok(if self.bool()? {
+            Some(self.i64()?)
+        } else {
+            None
+        })
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ------------------------------------------------------------- components
+
+fn put_key(w: &mut Writer, k: &Key) {
+    w.str(k.as_str());
+}
+fn get_key(r: &mut Reader) -> Result<Key> {
+    Ok(Key::new(r.string()?))
+}
+
+fn put_txn_id(w: &mut Writer, t: TxnId) {
+    w.u8(t.site);
+    w.u64(t.seq);
+}
+fn get_txn_id(r: &mut Reader) -> Result<TxnId> {
+    Ok(TxnId {
+        site: r.u8()?,
+        seq: r.u64()?,
+    })
+}
+
+fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::None => w.u8(0),
+        Value::Int(i) => {
+            w.u8(1);
+            w.i64(*i);
+        }
+        Value::Bytes(b) => {
+            w.u8(2);
+            w.bytes(b.as_slice());
+        }
+    }
+}
+fn get_value(r: &mut Reader) -> Result<Value> {
+    match r.u8()? {
+        0 => Ok(Value::None),
+        1 => Ok(Value::Int(r.i64()?)),
+        2 => Ok(Value::Bytes(Bytes::copy_from_slice(r.blob()?))),
+        _ => err("bad Value tag"),
+    }
+}
+
+fn put_write_op(w: &mut Writer, op: &WriteOp) {
+    match op {
+        WriteOp::Set(v) => {
+            w.u8(0);
+            put_value(w, v);
+        }
+        WriteOp::Delete => w.u8(1),
+        WriteOp::Add {
+            delta,
+            lower,
+            upper,
+        } => {
+            w.u8(2);
+            w.i64(*delta);
+            w.opt_i64(*lower);
+            w.opt_i64(*upper);
+        }
+    }
+}
+fn get_write_op(r: &mut Reader) -> Result<WriteOp> {
+    match r.u8()? {
+        0 => Ok(WriteOp::Set(get_value(r)?)),
+        1 => Ok(WriteOp::Delete),
+        2 => Ok(WriteOp::Add {
+            delta: r.i64()?,
+            lower: r.opt_i64()?,
+            upper: r.opt_i64()?,
+        }),
+        _ => err("bad WriteOp tag"),
+    }
+}
+
+fn put_option(w: &mut Writer, o: &RecordOption) {
+    put_txn_id(w, o.txn);
+    w.u64(o.read_version);
+    put_write_op(w, &o.op);
+}
+fn get_option(r: &mut Reader) -> Result<RecordOption> {
+    Ok(RecordOption {
+        txn: get_txn_id(r)?,
+        read_version: r.u64()?,
+        op: get_write_op(r)?,
+    })
+}
+
+fn put_reject(w: &mut Writer, reason: &RejectReason) {
+    match reason {
+        RejectReason::StaleVersion { expected, actual } => {
+            w.u8(0);
+            w.u64(*expected);
+            w.u64(*actual);
+        }
+        RejectReason::PendingConflict { holder } => {
+            w.u8(1);
+            put_txn_id(w, *holder);
+        }
+        RejectReason::BoundViolation => w.u8(2),
+        RejectReason::TypeMismatch => w.u8(3),
+        RejectReason::DuplicateTxn => w.u8(4),
+    }
+}
+fn get_reject(r: &mut Reader) -> Result<RejectReason> {
+    Ok(match r.u8()? {
+        0 => RejectReason::StaleVersion {
+            expected: r.u64()?,
+            actual: r.u64()?,
+        },
+        1 => RejectReason::PendingConflict {
+            holder: get_txn_id(r)?,
+        },
+        2 => RejectReason::BoundViolation,
+        3 => RejectReason::TypeMismatch,
+        4 => RejectReason::DuplicateTxn,
+        _ => return err("bad RejectReason tag"),
+    })
+}
+
+fn put_opt_reject(w: &mut Writer, reason: &Option<RejectReason>) {
+    match reason {
+        None => w.bool(false),
+        Some(x) => {
+            w.bool(true);
+            put_reject(w, x);
+        }
+    }
+}
+fn get_opt_reject(r: &mut Reader) -> Result<Option<RejectReason>> {
+    Ok(if r.bool()? {
+        Some(get_reject(r)?)
+    } else {
+        None
+    })
+}
+
+fn put_spec(w: &mut Writer, spec: &TxnSpec) {
+    w.u32(spec.reads.len() as u32);
+    for k in &spec.reads {
+        put_key(w, k);
+    }
+    w.u32(spec.writes.len() as u32);
+    for (k, op) in &spec.writes {
+        put_key(w, k);
+        put_write_op(w, op);
+    }
+    w.u8(match spec.read_level {
+        ReadLevel::Local => 0,
+        ReadLevel::Quorum => 1,
+    });
+}
+fn get_spec(r: &mut Reader) -> Result<TxnSpec> {
+    let n = r.u32()? as usize;
+    let mut reads = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        reads.push(get_key(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut writes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        writes.push((get_key(r)?, get_write_op(r)?));
+    }
+    let read_level = match r.u8()? {
+        0 => ReadLevel::Local,
+        1 => ReadLevel::Quorum,
+        _ => return err("bad ReadLevel tag"),
+    };
+    Ok(TxnSpec {
+        reads,
+        writes,
+        read_level,
+    })
+}
+
+fn put_key_read(w: &mut Writer, kr: &KeyRead) {
+    put_key(w, &kr.key);
+    w.u64(kr.version);
+    put_value(w, &kr.value);
+    w.u64(kr.pending as u64);
+}
+fn get_key_read(r: &mut Reader) -> Result<KeyRead> {
+    Ok(KeyRead {
+        key: get_key(r)?,
+        version: r.u64()?,
+        value: get_value(r)?,
+        pending: r.u64()? as usize,
+    })
+}
+
+fn put_stage(w: &mut Writer, stage: &ProgressStage) {
+    match stage {
+        ProgressStage::Started => w.u8(0),
+        ProgressStage::ReadsDone { reads } => {
+            w.u8(1);
+            w.u32(reads.len() as u32);
+            for kr in reads {
+                put_key_read(w, kr);
+            }
+        }
+        ProgressStage::Vote {
+            key,
+            site,
+            accept,
+            reason,
+            elapsed_us,
+        } => {
+            w.u8(2);
+            put_key(w, key);
+            w.u8(site.0);
+            w.bool(*accept);
+            put_opt_reject(w, reason);
+            w.u64(*elapsed_us);
+        }
+        ProgressStage::KeyFallback { key } => {
+            w.u8(3);
+            put_key(w, key);
+        }
+        ProgressStage::KeyResolved { key, accepted } => {
+            w.u8(4);
+            put_key(w, key);
+            w.bool(*accepted);
+        }
+    }
+}
+fn get_stage(r: &mut Reader) -> Result<ProgressStage> {
+    Ok(match r.u8()? {
+        0 => ProgressStage::Started,
+        1 => {
+            let n = r.u32()? as usize;
+            let mut reads = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                reads.push(get_key_read(r)?);
+            }
+            ProgressStage::ReadsDone { reads }
+        }
+        2 => ProgressStage::Vote {
+            key: get_key(r)?,
+            site: SiteId(r.u8()?),
+            accept: r.bool()?,
+            reason: get_opt_reject(r)?,
+            elapsed_us: r.u64()?,
+        },
+        3 => ProgressStage::KeyFallback { key: get_key(r)? },
+        4 => ProgressStage::KeyResolved {
+            key: get_key(r)?,
+            accepted: r.bool()?,
+        },
+        _ => return err("bad ProgressStage tag"),
+    })
+}
+
+fn put_outcome(w: &mut Writer, o: Outcome) {
+    w.u8(match o {
+        Outcome::Committed => 0,
+        Outcome::Aborted => 1,
+        Outcome::TimedOut => 2,
+    });
+}
+fn get_outcome(r: &mut Reader) -> Result<Outcome> {
+    Ok(match r.u8()? {
+        0 => Outcome::Committed,
+        1 => Outcome::Aborted,
+        2 => Outcome::TimedOut,
+        _ => return err("bad Outcome tag"),
+    })
+}
+
+fn put_stats(w: &mut Writer, s: &TxnStats) {
+    w.u64(s.submitted_at.as_micros());
+    w.u64(s.decided_at.as_micros());
+    w.u64(s.write_keys as u64);
+    w.u64(s.votes_received as u64);
+    w.u64(s.rejections as u64);
+}
+fn get_stats(r: &mut Reader) -> Result<TxnStats> {
+    Ok(TxnStats {
+        submitted_at: SimTime::from_micros(r.u64()?),
+        decided_at: SimTime::from_micros(r.u64()?),
+        write_keys: r.u64()? as usize,
+        votes_received: r.u64()? as usize,
+        rejections: r.u64()? as usize,
+    })
+}
+
+// ------------------------------------------------------------------ msg
+
+fn put_msg(w: &mut Writer, msg: &Msg) {
+    match msg {
+        Msg::Submit {
+            spec,
+            reply_to,
+            tag,
+        } => {
+            w.u8(0);
+            put_spec(w, spec);
+            w.u32(reply_to.0);
+            w.u64(*tag);
+        }
+        Msg::ReadReq { txn, keys } => {
+            w.u8(1);
+            put_txn_id(w, *txn);
+            w.u32(keys.len() as u32);
+            for k in keys {
+                put_key(w, k);
+            }
+        }
+        Msg::FastPropose {
+            txn,
+            key,
+            option,
+            round,
+        } => {
+            w.u8(2);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            put_option(w, option);
+            w.u8(*round);
+        }
+        Msg::Propose {
+            txn,
+            key,
+            option,
+            coordinator,
+            round,
+        } => {
+            w.u8(3);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            put_option(w, option);
+            w.u32(coordinator.0);
+            w.u8(*round);
+        }
+        Msg::Replicate {
+            txn,
+            key,
+            option,
+            coordinator,
+            master,
+            round,
+        } => {
+            w.u8(4);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            put_option(w, option);
+            w.u32(coordinator.0);
+            w.u32(master.0);
+            w.u8(*round);
+        }
+        Msg::Decide {
+            txn,
+            key,
+            option,
+            commit,
+        } => {
+            w.u8(5);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            put_option(w, option);
+            w.bool(*commit);
+        }
+        Msg::ReadResp { txn, results } => {
+            w.u8(6);
+            put_txn_id(w, *txn);
+            w.u32(results.len() as u32);
+            for kr in results {
+                put_key_read(w, kr);
+            }
+        }
+        Msg::Vote {
+            txn,
+            key,
+            site,
+            accept,
+            reason,
+            round,
+        } => {
+            w.u8(7);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            w.u8(site.0);
+            w.bool(*accept);
+            put_opt_reject(w, reason);
+            w.u8(*round);
+        }
+        Msg::ReplicateAck { txn, key, site } => {
+            w.u8(8);
+            put_txn_id(w, *txn);
+            put_key(w, key);
+            w.u8(site.0);
+        }
+        Msg::Apply {
+            key,
+            version,
+            value,
+            txn,
+        } => {
+            w.u8(9);
+            put_key(w, key);
+            w.u64(*version);
+            put_value(w, value);
+            put_txn_id(w, *txn);
+        }
+        Msg::DropPending { key, txn } => {
+            w.u8(10);
+            put_key(w, key);
+            put_txn_id(w, *txn);
+        }
+        Msg::Progress { tag, txn, stage } => {
+            w.u8(11);
+            w.u64(*tag);
+            put_txn_id(w, *txn);
+            put_stage(w, stage);
+        }
+        Msg::TxnDone {
+            tag,
+            txn,
+            outcome,
+            stats,
+        } => {
+            w.u8(12);
+            w.u64(*tag);
+            put_txn_id(w, *txn);
+            put_outcome(w, *outcome);
+            put_stats(w, stats);
+        }
+        Msg::Crash => w.u8(13),
+        Msg::Recover => w.u8(14),
+        Msg::ReplicaServiceDone => w.u8(15),
+        Msg::TxnTimeout { txn } => {
+            w.u8(16);
+            put_txn_id(w, *txn);
+        }
+        Msg::ClientTimer { kind, tag } => {
+            w.u8(17);
+            w.u32(*kind);
+            w.u64(*tag);
+        }
+    }
+}
+
+fn get_msg(r: &mut Reader) -> Result<Msg> {
+    Ok(match r.u8()? {
+        0 => Msg::Submit {
+            spec: get_spec(r)?,
+            reply_to: ActorId(r.u32()?),
+            tag: r.u64()?,
+        },
+        1 => {
+            let txn = get_txn_id(r)?;
+            let n = r.u32()? as usize;
+            let mut keys = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                keys.push(get_key(r)?);
+            }
+            Msg::ReadReq { txn, keys }
+        }
+        2 => Msg::FastPropose {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            option: get_option(r)?,
+            round: r.u8()?,
+        },
+        3 => Msg::Propose {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            option: get_option(r)?,
+            coordinator: ActorId(r.u32()?),
+            round: r.u8()?,
+        },
+        4 => Msg::Replicate {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            option: get_option(r)?,
+            coordinator: ActorId(r.u32()?),
+            master: ActorId(r.u32()?),
+            round: r.u8()?,
+        },
+        5 => Msg::Decide {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            option: get_option(r)?,
+            commit: r.bool()?,
+        },
+        6 => {
+            let txn = get_txn_id(r)?;
+            let n = r.u32()? as usize;
+            let mut results = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                results.push(get_key_read(r)?);
+            }
+            Msg::ReadResp { txn, results }
+        }
+        7 => Msg::Vote {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            site: SiteId(r.u8()?),
+            accept: r.bool()?,
+            reason: get_opt_reject(r)?,
+            round: r.u8()?,
+        },
+        8 => Msg::ReplicateAck {
+            txn: get_txn_id(r)?,
+            key: get_key(r)?,
+            site: SiteId(r.u8()?),
+        },
+        9 => Msg::Apply {
+            key: get_key(r)?,
+            version: r.u64()?,
+            value: get_value(r)?,
+            txn: get_txn_id(r)?,
+        },
+        10 => Msg::DropPending {
+            key: get_key(r)?,
+            txn: get_txn_id(r)?,
+        },
+        11 => Msg::Progress {
+            tag: r.u64()?,
+            txn: get_txn_id(r)?,
+            stage: get_stage(r)?,
+        },
+        12 => Msg::TxnDone {
+            tag: r.u64()?,
+            txn: get_txn_id(r)?,
+            outcome: get_outcome(r)?,
+            stats: get_stats(r)?,
+        },
+        13 => Msg::Crash,
+        14 => Msg::Recover,
+        15 => Msg::ReplicaServiceDone,
+        16 => Msg::TxnTimeout {
+            txn: get_txn_id(r)?,
+        },
+        17 => Msg::ClientTimer {
+            kind: r.u32()?,
+            tag: r.u64()?,
+        },
+        _ => return err("bad Msg tag"),
+    })
+}
+
+// ------------------------------------------------------------- envelopes
+
+/// Encode an envelope into a payload (no frame header).
+pub fn encode(env: &Envelope) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(env.from.0);
+    w.u32(env.to.0);
+    put_msg(&mut w, &env.msg);
+    w.buf
+}
+
+/// Decode a payload produced by [`encode`]. The whole buffer must be
+/// consumed — trailing bytes indicate a framing bug.
+pub fn decode(buf: &[u8]) -> Result<Envelope> {
+    let mut r = Reader::new(buf);
+    let from = ActorId(r.u32()?);
+    let to = ActorId(r.u32()?);
+    let msg = get_msg(&mut r)?;
+    if !r.finished() {
+        return err("trailing bytes");
+    }
+    Ok(Envelope { from, to, msg })
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, env: &Envelope) -> io::Result<()> {
+    let payload = encode(env);
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF (the
+/// peer closed between frames).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Envelope>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode(&payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(env: Envelope) {
+        let encoded = encode(&env);
+        let decoded = decode(&encoded).expect("decode");
+        // Msg has no PartialEq (it carries closures-free but heterogeneous
+        // payloads); compare via Debug, which prints every field.
+        assert_eq!(format!("{env:?}"), format!("{decoded:?}"));
+    }
+
+    fn envelope(msg: Msg) -> Envelope {
+        Envelope {
+            from: ActorId(3),
+            to: ActorId(9),
+            msg,
+        }
+    }
+
+    fn sample_option() -> RecordOption {
+        RecordOption::new(
+            TxnId::new(2, 77),
+            5,
+            WriteOp::Add {
+                delta: -3,
+                lower: Some(0),
+                upper: Some(100),
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_every_msg_variant() {
+        let spec = TxnSpec {
+            reads: vec![Key::new("r1"), Key::new("r2")],
+            writes: vec![
+                (Key::new("w1"), WriteOp::Set(Value::Int(42))),
+                (Key::new("w2"), WriteOp::Delete),
+                (Key::new("w3"), WriteOp::Set(Value::bytes(&b"blob"[..]))),
+            ],
+            read_level: ReadLevel::Quorum,
+        };
+        let reads = vec![
+            KeyRead {
+                key: Key::new("a"),
+                version: 7,
+                value: Value::Int(1),
+                pending: 3,
+            },
+            KeyRead {
+                key: Key::new("b"),
+                version: 0,
+                value: Value::None,
+                pending: 0,
+            },
+        ];
+        let stats = TxnStats {
+            submitted_at: SimTime::from_micros(123),
+            decided_at: SimTime::from_micros(456),
+            write_keys: 2,
+            votes_received: 9,
+            rejections: 1,
+        };
+        let variants = vec![
+            Msg::Submit {
+                spec,
+                reply_to: ActorId(12),
+                tag: 99,
+            },
+            Msg::ReadReq {
+                txn: TxnId::new(1, 5),
+                keys: vec![Key::new("x"), Key::new("y")],
+            },
+            Msg::FastPropose {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                option: sample_option(),
+                round: 1,
+            },
+            Msg::Propose {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                option: sample_option(),
+                coordinator: ActorId(4),
+                round: 2,
+            },
+            Msg::Replicate {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                option: sample_option(),
+                coordinator: ActorId(4),
+                master: ActorId(2),
+                round: 0,
+            },
+            Msg::Decide {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                option: sample_option(),
+                commit: true,
+            },
+            Msg::ReadResp {
+                txn: TxnId::new(1, 5),
+                results: reads.clone(),
+            },
+            Msg::Vote {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                site: SiteId(3),
+                accept: false,
+                reason: Some(RejectReason::StaleVersion {
+                    expected: 4,
+                    actual: 6,
+                }),
+                round: 1,
+            },
+            Msg::ReplicateAck {
+                txn: TxnId::new(1, 5),
+                key: Key::new("k"),
+                site: SiteId(2),
+            },
+            Msg::Apply {
+                key: Key::new("k"),
+                version: 8,
+                value: Value::Int(-5),
+                txn: TxnId::new(1, 5),
+            },
+            Msg::DropPending {
+                key: Key::new("k"),
+                txn: TxnId::new(1, 5),
+            },
+            Msg::Progress {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                stage: ProgressStage::Started,
+            },
+            Msg::Progress {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                stage: ProgressStage::ReadsDone { reads },
+            },
+            Msg::Progress {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                stage: ProgressStage::Vote {
+                    key: Key::new("k"),
+                    site: SiteId(1),
+                    accept: true,
+                    reason: None,
+                    elapsed_us: 1234,
+                },
+            },
+            Msg::Progress {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                stage: ProgressStage::KeyFallback { key: Key::new("k") },
+            },
+            Msg::Progress {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                stage: ProgressStage::KeyResolved {
+                    key: Key::new("k"),
+                    accepted: true,
+                },
+            },
+            Msg::TxnDone {
+                tag: 7,
+                txn: TxnId::new(1, 5),
+                outcome: Outcome::Aborted,
+                stats,
+            },
+            Msg::Crash,
+            Msg::Recover,
+            Msg::ReplicaServiceDone,
+            Msg::TxnTimeout {
+                txn: TxnId::new(1, 5),
+            },
+            Msg::ClientTimer { kind: 101, tag: 55 },
+        ];
+        for msg in variants {
+            round_trip(envelope(msg));
+        }
+    }
+
+    #[test]
+    fn round_trips_every_reject_reason() {
+        let reasons = vec![
+            RejectReason::StaleVersion {
+                expected: 1,
+                actual: 2,
+            },
+            RejectReason::PendingConflict {
+                holder: TxnId::new(3, 9),
+            },
+            RejectReason::BoundViolation,
+            RejectReason::TypeMismatch,
+            RejectReason::DuplicateTxn,
+        ];
+        for reason in reasons {
+            round_trip(envelope(Msg::Vote {
+                txn: TxnId::new(0, 1),
+                key: Key::new("k"),
+                site: SiteId(0),
+                accept: false,
+                reason: Some(reason),
+                round: 0,
+            }));
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_over_a_buffer() {
+        let env = envelope(Msg::ClientTimer { kind: 1, tag: 2 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env).unwrap();
+        write_frame(&mut buf, &env).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let a = read_frame(&mut cursor).unwrap().expect("first frame");
+        let b = read_frame(&mut cursor).unwrap().expect("second frame");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        assert_eq!(format!("{env:?}"), format!("{a:?}"));
+        assert_eq!(format!("{env:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn truncated_and_malformed_payloads_are_rejected() {
+        let env = envelope(Msg::Recover);
+        let encoded = encode(&env);
+        assert!(
+            decode(&encoded[..encoded.len() - 1]).is_err(),
+            "truncation detected"
+        );
+        let mut trailing = encoded.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err(), "trailing bytes detected");
+        let mut bad_tag = encoded;
+        *bad_tag.last_mut().unwrap() = 200;
+        assert!(decode(&bad_tag).is_err(), "unknown tag detected");
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

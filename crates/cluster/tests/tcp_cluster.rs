@@ -1,0 +1,129 @@
+//! End-to-end commit over the TCP transport.
+//!
+//! Three "processes" (three `TcpTransport`s with their own listeners, as
+//! three `planetd` instances would be) each host one replica and one
+//! coordinator. A bare TCP client — no transport at all, just the wire
+//! format, exactly what `planet-load` speaks — connects to site 0, submits
+//! a transaction and reads its progress and outcome off the same
+//! connection, exercising the learned-reply-route path.
+
+use std::net::TcpStream;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use planet_cluster::wire;
+use planet_cluster::{spawn_node, Clock, Envelope, TcpTransport, Transport};
+use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Outcome, Protocol, ReplicaActor, TxnSpec};
+use planet_sim::{Actor, ActorId, SiteId};
+use planet_storage::{Key, WriteOp};
+
+#[test]
+fn commit_round_trips_over_tcp() {
+    let n = 3usize;
+    let config = ClusterConfig::new(n, Protocol::Fast);
+    let clock = Clock::new();
+    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+
+    // One transport + listener per site.
+    let transports: Vec<Arc<TcpTransport>> = (0..n).map(|_| TcpTransport::new()).collect();
+    let addrs: Vec<_> = transports
+        .iter()
+        .map(|t| t.listen("127.0.0.1:0".parse().unwrap()).expect("bind"))
+        .collect();
+    for t in &transports {
+        for (site, addr) in addrs.iter().enumerate() {
+            t.add_route(site as u32, *addr);
+            t.add_route((n + site) as u32, *addr);
+        }
+    }
+
+    // Site i hosts replica i and coordinator n+i.
+    let mut nodes = Vec::new();
+    for (site, transport) in transports.iter().enumerate() {
+        let replica: Box<dyn Actor<Msg>> =
+            Box::new(ReplicaActor::new(config.clone(), replica_ids.clone()));
+        let coordinator: Box<dyn Actor<Msg>> = Box::new(CoordinatorActor::new(
+            config.clone(),
+            replica_ids.clone(),
+            SiteId(site as u8),
+        ));
+        for (id, actor) in [(site as u32, replica), ((n + site) as u32, coordinator)] {
+            let (tx, rx) = channel();
+            transport.host(id, tx.clone());
+            nodes.push(spawn_node(
+                ActorId(id),
+                SiteId(site as u8),
+                actor,
+                tx,
+                rx,
+                transport.clone() as Arc<dyn Transport>,
+                clock,
+                7,
+            ));
+        }
+    }
+
+    // The bare wire-format client.
+    let client_id = ActorId(100);
+    let coordinator0 = ActorId(n as u32); // coordinator of site 0
+    let mut conn = TcpStream::connect(addrs[0]).expect("connect to site 0");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let spec = TxnSpec::write_one(Key::new("tcp-key"), WriteOp::add(5));
+    wire::write_frame(
+        &mut conn,
+        &Envelope {
+            from: client_id,
+            to: coordinator0,
+            msg: Msg::Submit {
+                spec,
+                reply_to: client_id,
+                tag: 42,
+            },
+        },
+    )
+    .expect("submit over tcp");
+
+    let mut outcome = None;
+    let mut progress_events = 0;
+    while outcome.is_none() {
+        let env = wire::read_frame(&mut conn)
+            .expect("read reply frame")
+            .expect("connection stays open until the outcome");
+        assert_eq!(env.to, client_id, "replies are addressed to the client");
+        match env.msg {
+            Msg::Progress { tag, .. } => {
+                assert_eq!(tag, 42);
+                progress_events += 1;
+            }
+            Msg::TxnDone {
+                tag, outcome: o, ..
+            } => {
+                assert_eq!(tag, 42);
+                outcome = Some(o);
+            }
+            other => panic!("unexpected message for client: {other:?}"),
+        }
+    }
+    assert_eq!(outcome, Some(Outcome::Committed), "the write must commit");
+    assert!(progress_events > 0, "progress flows before the outcome");
+
+    // The committed value must have propagated to every replica.
+    std::thread::sleep(Duration::from_millis(200));
+    for node in nodes {
+        let (actor, _metrics) = node.stop_and_join();
+        let any: &dyn std::any::Any = actor.as_ref();
+        if let Some(replica) = any.downcast_ref::<ReplicaActor>() {
+            let value = replica.storage().read(&Key::new("tcp-key")).value;
+            assert_eq!(
+                value.as_int(),
+                Some(5),
+                "replica converged to the committed value"
+            );
+        }
+    }
+    for t in &transports {
+        t.stop();
+    }
+}

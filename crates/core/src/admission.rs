@@ -21,7 +21,10 @@ pub struct AdmissionPolicy {
 
 impl Default for AdmissionPolicy {
     fn default() -> Self {
-        AdmissionPolicy { min_likelihood: 0.3, max_inflight: 256 }
+        AdmissionPolicy {
+            min_likelihood: 0.3,
+            max_inflight: 256,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ pub struct AdmissionController {
 impl AdmissionController {
     /// A controller with the given policy, or a pass-through when `None`.
     pub fn new(policy: Option<AdmissionPolicy>) -> Self {
-        AdmissionController { policy, ambient_pending: 0.0, admitted: 0, refused: 0 }
+        AdmissionController {
+            policy,
+            ambient_pending: 0.0,
+            admitted: 0,
+            refused: 0,
+        }
     }
 
     /// Feed an observed pending count (from a transaction's reads).
@@ -94,8 +102,7 @@ impl AdmissionController {
             return Err(RefusalReason::Overload);
         }
         if !write_key_hashes.is_empty() {
-            let likelihood =
-                self.a_priori_likelihood(model, write_key_hashes, quorum, voters);
+            let likelihood = self.a_priori_likelihood(model, write_key_hashes, quorum, voters);
             if likelihood < policy.min_likelihood {
                 self.refused += 1;
                 return Err(RefusalReason::LowLikelihood);
@@ -169,7 +176,10 @@ mod tests {
             max_inflight: 4,
         }));
         assert!(a.admit(&idle_model(), &[1], 3, 4, 5).is_ok());
-        assert_eq!(a.admit(&idle_model(), &[1], 4, 4, 5), Err(RefusalReason::Overload));
+        assert_eq!(
+            a.admit(&idle_model(), &[1], 4, 4, 5),
+            Err(RefusalReason::Overload)
+        );
     }
 
     #[test]

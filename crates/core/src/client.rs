@@ -183,13 +183,21 @@ impl ClientActor {
         let tag = self.next_tag;
         self.next_tag += 1;
         self.staged.insert(tag, txn);
-        TxnHandle { site: self.site, tag }
+        TxnHandle {
+            site: self.site,
+            tag,
+        }
     }
 
     /// Stage a transaction to be submitted automatically when its
     /// predecessor reaches `trigger` (and cancelled if the predecessor
     /// fails). Returns the successor's handle.
-    pub fn stage_chained(&mut self, txn: PlanetTxn, after_tag: u64, trigger: ChainTrigger) -> TxnHandle {
+    pub fn stage_chained(
+        &mut self,
+        txn: PlanetTxn,
+        after_tag: u64,
+        trigger: ChainTrigger,
+    ) -> TxnHandle {
         let handle = self.stage(txn);
         self.chains.push((after_tag, trigger, handle.tag));
         handle
@@ -229,8 +237,13 @@ impl ClientActor {
     /// Cancel a staged (never submitted) transaction and, recursively, its
     /// own successors.
     fn cancel_staged(&mut self, tag: u64, ctx: &mut Context<'_, Msg>) {
-        let Some(mut txn) = self.staged.remove(&tag) else { return };
-        let handle = TxnHandle { site: self.site, tag };
+        let Some(mut txn) = self.staged.remove(&tag) else {
+            return;
+        };
+        let handle = TxnHandle {
+            site: self.site,
+            tag,
+        };
         txn.fire(&TxnEvent::Final {
             handle,
             outcome: FinalOutcome::Cancelled,
@@ -294,12 +307,17 @@ impl ClientActor {
     }
 
     fn submit_staged(&mut self, tag: u64, ctx: &mut Context<'_, Msg>) {
-        let Some(txn) = self.staged.remove(&tag) else { return };
+        let Some(txn) = self.staged.remove(&tag) else {
+            return;
+        };
         self.submit_txn(tag, txn, ctx);
     }
 
     fn submit_txn(&mut self, tag: u64, mut txn: PlanetTxn, ctx: &mut Context<'_, Msg>) {
-        let handle = TxnHandle { site: self.site, tag };
+        let handle = TxnHandle {
+            site: self.site,
+            tag,
+        };
         let write_keys = txn.spec.writes.len();
         let (quorum, voters, _) = if let Some((key, _)) = txn.spec.writes.first() {
             self.key_shape(key)
@@ -316,7 +334,13 @@ impl ClientActor {
         // Admission decision.
         if self
             .admission
-            .admit(&self.model, &write_key_hashes, self.live.len(), quorum.max(1), voters.max(1))
+            .admit(
+                &self.model,
+                &write_key_hashes,
+                self.live.len(),
+                quorum.max(1),
+                voters.max(1),
+            )
             .is_err()
         {
             let event = TxnEvent::Final {
@@ -368,7 +392,13 @@ impl ClientActor {
             .collect();
 
         if let Some(deadline) = txn.deadline {
-            ctx.schedule(deadline, Msg::ClientTimer { kind: TIMER_DEADLINE, tag });
+            ctx.schedule(
+                deadline,
+                Msg::ClientTimer {
+                    kind: TIMER_DEADLINE,
+                    tag,
+                },
+            );
         }
         let spec = txn.spec.clone();
         self.live.insert(
@@ -387,14 +417,19 @@ impl ClientActor {
             },
         );
         let me = ctx.self_id();
-        ctx.send(self.coordinator, Msg::Submit { spec, reply_to: me, tag });
+        ctx.send(
+            self.coordinator,
+            Msg::Submit {
+                spec,
+                reply_to: me,
+                tag,
+            },
+        );
     }
 
     /// Current likelihood for a live transaction (budget-aware).
     fn likelihood_of(model: &mut LikelihoodModel, live: &LiveTxn, now: SimTime) -> f64 {
-        let elapsed_proposal = live
-            .proposals_at
-            .map_or(0, |at| now.since(at).as_micros());
+        let elapsed_proposal = live.proposals_at.map_or(0, |at| now.since(at).as_micros());
         let snap = TxnSnapshot {
             keys: live.keys.iter().map(|(_, ks)| ks.clone()).collect(),
             elapsed_us: elapsed_proposal,
@@ -418,7 +453,9 @@ impl ClientActor {
     /// event, and fire the speculative event if the threshold was crossed.
     fn on_progress_point(&mut self, tag: u64, stage: Stage, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
-        let Some(live) = self.live.get_mut(&tag) else { return };
+        let Some(live) = self.live.get_mut(&tag) else {
+            return;
+        };
         let likelihood = Self::likelihood_of(&mut self.model, live, now);
         let elapsed = now.since(live.submitted_at);
         live.predictions.push(PredictionPoint {
@@ -427,12 +464,21 @@ impl ClientActor {
             votes_seen: live.votes_seen,
         });
         let handle = live.handle;
-        live.txn.fire(&TxnEvent::Progress { handle, stage, likelihood, elapsed });
+        live.txn.fire(&TxnEvent::Progress {
+            handle,
+            stage,
+            likelihood,
+            elapsed,
+        });
         let mut speculated_now = false;
         if let Some(threshold) = live.txn.speculation_threshold {
             if live.speculated_at.is_none() && likelihood >= threshold {
                 live.speculated_at = Some(elapsed);
-                live.txn.fire(&TxnEvent::Speculative { handle, likelihood, elapsed });
+                live.txn.fire(&TxnEvent::Speculative {
+                    handle,
+                    likelihood,
+                    elapsed,
+                });
                 ctx.metrics().counter("planet.speculated").inc();
                 ctx.metrics()
                     .histogram("planet.speculative_latency")
@@ -445,7 +491,13 @@ impl ClientActor {
         }
     }
 
-    fn handle_progress(&mut self, tag: u64, _txn: TxnId, stage: ProgressStage, ctx: &mut Context<'_, Msg>) {
+    fn handle_progress(
+        &mut self,
+        tag: u64,
+        _txn: TxnId,
+        stage: ProgressStage,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         match stage {
             ProgressStage::Started => self.on_progress_point(tag, Stage::Reading, ctx),
             ProgressStage::ReadsDone { reads } => {
@@ -458,12 +510,19 @@ impl ClientActor {
                                 ks.pending_at_read = read.pending;
                             }
                         }
-                        live.reads.push((read.key.clone(), read.value.clone(), read.version));
+                        live.reads
+                            .push((read.key.clone(), read.value.clone(), read.version));
                     }
                 }
                 self.on_progress_point(tag, Stage::Voting, ctx);
             }
-            ProgressStage::Vote { key, site, accept, elapsed_us, .. } => {
+            ProgressStage::Vote {
+                key,
+                site,
+                accept,
+                elapsed_us,
+                ..
+            } => {
                 if !self.live.contains_key(&tag) {
                     // A late vote for a finished transaction: its conflict
                     // context is gone, but the response time still teaches
@@ -490,7 +549,8 @@ impl ClientActor {
                             key_hash = ks.key_hash;
                         }
                     }
-                    self.model.observe_vote(site.0, elapsed_us, accept, pending_hint, key_hash);
+                    self.model
+                        .observe_vote(site.0, elapsed_us, accept, pending_hint, key_hash);
                 }
                 self.on_progress_point(tag, Stage::VoteArrived, ctx);
             }
@@ -517,8 +577,7 @@ impl ClientActor {
                 // Transaction-level learning: did this key's option reach its
                 // quorum? This is the statistic the pre-vote conflict term
                 // and admission control are built on.
-                let key_hash =
-                    planet_predict::conflict::KeyedConflictModel::key_hash(key.as_str());
+                let key_hash = planet_predict::conflict::KeyedConflictModel::key_hash(key.as_str());
                 self.model.observe_key_resolution(key_hash, accepted);
                 self.on_progress_point(tag, Stage::KeyResolved, ctx);
             }
@@ -526,7 +585,9 @@ impl ClientActor {
     }
 
     fn handle_done(&mut self, tag: u64, outcome: Outcome, ctx: &mut Context<'_, Msg>) {
-        let Some(mut live) = self.live.remove(&tag) else { return };
+        let Some(mut live) = self.live.remove(&tag) else {
+            return;
+        };
         let now = ctx.now();
         let latency = now.since(live.submitted_at);
         let final_outcome = match outcome {
@@ -535,7 +596,12 @@ impl ClientActor {
             Outcome::TimedOut => FinalOutcome::TimedOut,
         };
         let handle = live.handle;
-        live.txn.fire(&TxnEvent::Final { handle, outcome: final_outcome, latency, decided_at: now });
+        live.txn.fire(&TxnEvent::Final {
+            handle,
+            outcome: final_outcome,
+            latency,
+            decided_at: now,
+        });
         if live.speculated_at.is_some() && !final_outcome.is_commit() {
             live.txn.fire(&TxnEvent::Apology { handle });
             ctx.metrics().counter("planet.apologies").inc();
@@ -543,14 +609,22 @@ impl ClientActor {
             if let Some(compensation) = live.txn.compensation.take() {
                 let comp_tag = self.next_tag;
                 self.next_tag += 1;
-                let comp_handle = TxnHandle { site: self.site, tag: comp_tag };
-                live.txn
-                    .fire(&TxnEvent::CompensationSubmitted { handle, compensation: comp_handle });
+                let comp_handle = TxnHandle {
+                    site: self.site,
+                    tag: comp_tag,
+                };
+                live.txn.fire(&TxnEvent::CompensationSubmitted {
+                    handle,
+                    compensation: comp_handle,
+                });
                 ctx.metrics().counter("planet.compensations").inc();
                 self.staged.insert(comp_tag, *compensation);
                 ctx.schedule(
                     SimDuration::from_micros(1),
-                    Msg::ClientTimer { kind: TIMER_SUBMIT, tag: comp_tag },
+                    Msg::ClientTimer {
+                        kind: TIMER_SUBMIT,
+                        tag: comp_tag,
+                    },
                 );
             }
         }
@@ -558,7 +632,9 @@ impl ClientActor {
             FinalOutcome::Committed => {
                 ctx.metrics().counter("planet.committed").inc();
                 if !live.keys.is_empty() {
-                    ctx.metrics().histogram("planet.commit_latency").record(latency.as_micros());
+                    ctx.metrics()
+                        .histogram("planet.commit_latency")
+                        .record(latency.as_micros());
                 }
             }
             FinalOutcome::Aborted => ctx.metrics().counter("planet.aborted").inc(),
@@ -587,14 +663,17 @@ impl ClientActor {
 
     fn handle_deadline(&mut self, tag: u64, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
-        let Some(live) = self.live.get_mut(&tag) else { return };
+        let Some(live) = self.live.get_mut(&tag) else {
+            return;
+        };
         if live.deadline_likelihood.is_some() {
             return;
         }
         let likelihood = Self::likelihood_of(&mut self.model, live, now);
         live.deadline_likelihood = Some(likelihood);
         let handle = live.handle;
-        live.txn.fire(&TxnEvent::DeadlineExceeded { handle, likelihood });
+        live.txn
+            .fire(&TxnEvent::DeadlineExceeded { handle, likelihood });
         ctx.metrics().counter("planet.deadline_exceeded").inc();
     }
 
@@ -624,14 +703,22 @@ impl ClientActor {
     /// Pull one transaction from the source and submit it; in open loop,
     /// also schedule the next arrival.
     fn issue_from_source(&mut self, ctx: &mut Context<'_, Msg>) {
-        let Some(source) = self.source.as_mut() else { return };
+        let Some(source) = self.source.as_mut() else {
+            return;
+        };
         let mode = source.mode();
         if let Some((txn, gap)) = source.next_txn(ctx.now(), ctx.rng()) {
             let tag = self.next_tag;
             self.next_tag += 1;
             match mode {
                 SourceMode::Open => {
-                    ctx.schedule(gap, Msg::ClientTimer { kind: TIMER_ARRIVAL, tag: 1 });
+                    ctx.schedule(
+                        gap,
+                        Msg::ClientTimer {
+                            kind: TIMER_ARRIVAL,
+                            tag: 1,
+                        },
+                    );
                 }
                 SourceMode::Closed { .. } => {
                     self.source_think.insert(tag, gap);
@@ -645,7 +732,13 @@ impl ClientActor {
     /// think time, this virtual user submits the next one.
     fn source_txn_finished(&mut self, tag: u64, ctx: &mut Context<'_, Msg>) {
         if let Some(think) = self.source_think.remove(&tag) {
-            ctx.schedule(think, Msg::ClientTimer { kind: TIMER_ARRIVAL, tag: 1 });
+            ctx.schedule(
+                think,
+                Msg::ClientTimer {
+                    kind: TIMER_ARRIVAL,
+                    tag: 1,
+                },
+            );
         }
     }
 }
@@ -654,16 +747,34 @@ impl Actor<Msg> for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         if self.source.is_some() {
             // First arrival fires immediately; the source paces the rest.
-            ctx.schedule(SimDuration::from_micros(1), Msg::ClientTimer { kind: TIMER_ARRIVAL, tag: 0 });
+            ctx.schedule(
+                SimDuration::from_micros(1),
+                Msg::ClientTimer {
+                    kind: TIMER_ARRIVAL,
+                    tag: 0,
+                },
+            );
         }
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
-            Msg::ClientTimer { kind: TIMER_SUBMIT, tag } => self.submit_staged(tag, ctx),
-            Msg::ClientTimer { kind: TIMER_CANCEL, tag } => self.cancel_staged(tag, ctx),
-            Msg::ClientTimer { kind: TIMER_DEADLINE, tag } => self.handle_deadline(tag, ctx),
-            Msg::ClientTimer { kind: TIMER_ARRIVAL, tag } => self.next_arrival(tag == 0, ctx),
+            Msg::ClientTimer {
+                kind: TIMER_SUBMIT,
+                tag,
+            } => self.submit_staged(tag, ctx),
+            Msg::ClientTimer {
+                kind: TIMER_CANCEL,
+                tag,
+            } => self.cancel_staged(tag, ctx),
+            Msg::ClientTimer {
+                kind: TIMER_DEADLINE,
+                tag,
+            } => self.handle_deadline(tag, ctx),
+            Msg::ClientTimer {
+                kind: TIMER_ARRIVAL,
+                tag,
+            } => self.next_arrival(tag == 0, ctx),
             Msg::Progress { tag, txn, stage } => self.handle_progress(tag, txn, stage, ctx),
             Msg::TxnDone { tag, outcome, .. } => self.handle_done(tag, outcome, ctx),
             _ => {}

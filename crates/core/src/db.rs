@@ -17,9 +17,7 @@
 //! ```
 
 use planet_mdcc::{build_cluster, Cluster, ClusterConfig, Msg, Protocol};
-use planet_sim::{
-    ActorId, Metrics, NetworkModel, SimDuration, SimTime, Simulation, SiteId,
-};
+use planet_sim::{ActorId, Metrics, NetworkModel, SimDuration, SimTime, Simulation, SiteId};
 use planet_storage::{Key, Value};
 
 use crate::admission::AdmissionPolicy;
@@ -119,7 +117,11 @@ impl PlanetBuilder {
                 sim.add_actor(SiteId(site as u8), Box::new(actor))
             })
             .collect();
-        Planet { sim, cluster, clients }
+        Planet {
+            sim,
+            cluster,
+            clients,
+        }
     }
 }
 
@@ -156,8 +158,14 @@ impl Planet {
             .actor_as_mut::<ClientActor>(client_id)
             .expect("client actor")
             .stage(txn);
-        self.sim
-            .inject_at(at, client_id, Msg::ClientTimer { kind: TIMER_SUBMIT, tag: handle.tag });
+        self.sim.inject_at(
+            at,
+            client_id,
+            Msg::ClientTimer {
+                kind: TIMER_SUBMIT,
+                tag: handle.tag,
+            },
+        );
         handle
     }
 
@@ -196,7 +204,10 @@ impl Planet {
                 self.sim.inject_at(
                     at,
                     client_id,
-                    Msg::ClientTimer { kind: TIMER_SUBMIT, tag: handle.tag },
+                    Msg::ClientTimer {
+                        kind: TIMER_SUBMIT,
+                        tag: handle.tag,
+                    },
                 );
                 handle
             }
@@ -208,7 +219,10 @@ impl Planet {
                 self.sim.inject_at(
                     at,
                     client_id,
-                    Msg::ClientTimer { kind: crate::client::TIMER_CANCEL, tag: handle.tag },
+                    Msg::ClientTimer {
+                        kind: crate::client::TIMER_CANCEL,
+                        tag: handle.tag,
+                    },
                 );
                 handle
             }
@@ -227,8 +241,14 @@ impl Planet {
         // Kick the arrival chain; a duplicate kick (e.g. the client's own
         // on_start) is ignored by the arming guard.
         let at = self.sim.now() + SimDuration::from_micros(1);
-        self.sim
-            .inject_at(at, client_id, Msg::ClientTimer { kind: crate::client::TIMER_ARRIVAL, tag: 0 });
+        self.sim.inject_at(
+            at,
+            client_id,
+            Msg::ClientTimer {
+                kind: crate::client::TIMER_ARRIVAL,
+                tag: 0,
+            },
+        );
     }
 
     /// Advance the simulation by `span`.
@@ -253,7 +273,9 @@ impl Planet {
 
     /// All finished-transaction records across sites.
     pub fn all_records(&self) -> Vec<&TxnRecord> {
-        (0..self.num_sites()).flat_map(|s| self.records(s).iter()).collect()
+        (0..self.num_sites())
+            .flat_map(|s| self.records(s).iter())
+            .collect()
     }
 
     /// The likelihood model of one site's client (diagnostics, experiments).
@@ -310,7 +332,10 @@ impl Planet {
                 }
             })
             .collect();
-        let snap = TxnSnapshot { keys, elapsed_us: 0 };
+        let snap = TxnSnapshot {
+            keys,
+            elapsed_us: 0,
+        };
         self.model_mut(site)
             .suggest_budget_us(&snap, confidence, 30_000_000)
             .map(SimDuration::from_micros)
@@ -340,14 +365,16 @@ impl Planet {
     /// Fault injection: crash a site's replica at absolute time `at`. It
     /// stops serving until [`Planet::recover_site_at`]; its WAL survives.
     pub fn crash_site_at(&mut self, site: usize, at: SimTime) {
-        self.sim.inject_at(at, self.cluster.replicas[site], Msg::Crash);
+        self.sim
+            .inject_at(at, self.cluster.replicas[site], Msg::Crash);
     }
 
     /// Fault injection: recover a crashed replica at absolute time `at`
     /// (restart + WAL replay; it catches up on later writes via state
     /// transfer).
     pub fn recover_site_at(&mut self, site: usize, at: SimTime) {
-        self.sim.inject_at(at, self.cluster.replicas[site], Msg::Recover);
+        self.sim
+            .inject_at(at, self.cluster.replicas[site], Msg::Recover);
     }
 
     /// Mutable access to the network model (inject spikes/partitions).

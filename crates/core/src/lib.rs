@@ -20,22 +20,27 @@
 //!   submission, protecting goodput under contention.
 //!
 //! Entry points: [`Planet`] (deterministic simulated deployment, used by all
-//! experiments) and [`RealtimePlanet`] (the same stack paced against the
-//! wall clock, for interactive demos).
+//! experiments), [`RealtimePlanet`] (the same simulation paced against the
+//! wall clock, for interactive demos), and [`LivePlanet`] (the same stack
+//! deployed thread-per-actor on `planet-cluster`'s live transport).
 
 #![warn(missing_docs)]
 
 mod admission;
 mod client;
 mod db;
+mod live;
 mod runtime;
 mod txn;
 
 pub use admission::{AdmissionController, AdmissionPolicy, RefusalReason};
 pub use client::{ClientActor, PredictionPoint, SourceMode, TxnRecord, TxnSource};
 pub use db::{Planet, PlanetBuilder};
+pub use live::{LiveHarvest, LivePlanet, LivePlanetBuilder};
 pub use runtime::RealtimePlanet;
-pub use txn::{ChainTrigger, EventCallback, FinalOutcome, PlanetTxn, Stage, TxnBuilder, TxnEvent, TxnHandle};
+pub use txn::{
+    ChainTrigger, EventCallback, FinalOutcome, PlanetTxn, Stage, TxnBuilder, TxnEvent, TxnHandle,
+};
 
 // Re-export the vocabulary types applications need.
 pub use planet_mdcc::{Protocol, TxnSpec};

@@ -7,20 +7,23 @@
 //! firing tens of milliseconds before the final outcome — while every
 //! protocol byte still flows through the same deterministic simulation the
 //! experiments use. (The repro hint suggested an async runtime for
-//! callbacks; a paced thread plus `crossbeam` channels delivers the same
-//! observable behaviour without the extra dependency — see DESIGN.md.)
+//! callbacks; a paced thread plus std mpsc channels delivers the same
+//! observable behaviour without any extra dependency — see DESIGN.md.)
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::db::{Planet, PlanetBuilder};
 use crate::txn::{PlanetTxn, TxnEvent, TxnHandle};
 use planet_sim::SimTime;
 
 enum Command {
-    Submit { site: usize, txn: PlanetTxn, reply: Sender<TxnHandle> },
+    Submit {
+        site: usize,
+        txn: PlanetTxn,
+        reply: Sender<TxnHandle>,
+    },
     Shutdown,
 }
 
@@ -37,8 +40,8 @@ impl RealtimePlanet {
     /// seconds per wall second.
     pub fn launch(builder: PlanetBuilder, speed: f64) -> Self {
         assert!(speed > 0.0);
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        let (event_tx, event_rx) = unbounded::<TxnEvent>();
+        let (cmd_tx, cmd_rx) = channel::<Command>();
+        let (event_tx, event_rx) = channel::<TxnEvent>();
         let join = std::thread::spawn(move || {
             let mut planet = builder.build();
             let start = Instant::now();
@@ -65,15 +68,23 @@ impl RealtimePlanet {
                 std::thread::sleep(Duration::from_millis(2));
             }
         });
-        RealtimePlanet { commands: cmd_tx, events: event_rx, join: Some(join) }
+        RealtimePlanet {
+            commands: cmd_tx,
+            events: event_rx,
+            join: Some(join),
+        }
     }
 
     /// Submit a transaction; its events (and those of every other live
     /// transaction) appear on [`RealtimePlanet::events`].
     pub fn submit(&self, site: usize, txn: PlanetTxn) -> TxnHandle {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.commands
-            .send(Command::Submit { site, txn, reply: reply_tx })
+            .send(Command::Submit {
+                site,
+                txn,
+                reply: reply_tx,
+            })
             .expect("runtime thread gone");
         reply_rx.recv().expect("runtime thread gone")
     }
@@ -86,7 +97,11 @@ impl RealtimePlanet {
     /// Stop the runtime and recover the deployment for inspection.
     pub fn shutdown(mut self) -> Planet {
         let _ = self.commands.send(Command::Shutdown);
-        self.join.take().expect("already shut down").join().expect("runtime panicked")
+        self.join
+            .take()
+            .expect("already shut down")
+            .join()
+            .expect("runtime panicked")
     }
 }
 
@@ -116,28 +131,28 @@ mod tests {
 
     #[test]
     fn drop_without_shutdown_does_not_hang() {
-        let rt = RealtimePlanet::launch(
-            Planet::builder().protocol(Protocol::Fast).seed(6),
-            1000.0,
-        );
+        let rt = RealtimePlanet::launch(Planet::builder().protocol(Protocol::Fast).seed(6), 1000.0);
         let _ = rt.submit(0, PlanetTxn::builder().set("x", 1i64).build());
         drop(rt); // Drop impl must join the thread cleanly.
     }
 
     #[test]
     fn multiple_inflight_transactions_multiplex() {
-        let rt = RealtimePlanet::launch(
-            Planet::builder().protocol(Protocol::Fast).seed(7),
-            500.0,
-        );
+        let rt = RealtimePlanet::launch(Planet::builder().protocol(Protocol::Fast).seed(7), 500.0);
         let handles: Vec<_> = (0..4)
-            .map(|i| rt.submit(i % 5, PlanetTxn::builder().set(format!("m{i}"), i as i64).build()))
+            .map(|i| {
+                rt.submit(
+                    i % 5,
+                    PlanetTxn::builder().set(format!("m{i}"), i as i64).build(),
+                )
+            })
             .collect();
         let mut finished = std::collections::HashSet::new();
         let deadline = Instant::now() + Duration::from_secs(30);
         while finished.len() < handles.len() && Instant::now() < deadline {
-            if let Ok(TxnEvent::Final { handle, outcome, .. }) =
-                rt.events().recv_timeout(Duration::from_secs(5))
+            if let Ok(TxnEvent::Final {
+                handle, outcome, ..
+            }) = rt.events().recv_timeout(Duration::from_secs(5))
             {
                 assert!(outcome.is_commit());
                 finished.insert(handle);
@@ -151,18 +166,22 @@ mod tests {
     #[test]
     fn realtime_commit_streams_events() {
         // 100x speed: a ~200ms simulated commit takes ~2ms of wall time.
-        let rt = RealtimePlanet::launch(
-            Planet::builder().protocol(Protocol::Fast).seed(5),
-            100.0,
-        );
-        let txn = PlanetTxn::builder().set("rt-key", 9i64).speculate_at(0.9).build();
+        let rt = RealtimePlanet::launch(Planet::builder().protocol(Protocol::Fast).seed(5), 100.0);
+        let txn = PlanetTxn::builder()
+            .set("rt-key", 9i64)
+            .speculate_at(0.9)
+            .build();
         let handle = rt.submit(0, txn);
 
         let mut outcome = None;
         let deadline = Instant::now() + Duration::from_secs(20);
         while Instant::now() < deadline {
             match rt.events().recv_timeout(Duration::from_secs(5)) {
-                Ok(TxnEvent::Final { handle: h, outcome: o, .. }) if h == handle => {
+                Ok(TxnEvent::Final {
+                    handle: h,
+                    outcome: o,
+                    ..
+                }) if h == handle => {
                     outcome = Some(o);
                     break;
                 }

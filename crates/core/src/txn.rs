@@ -299,7 +299,10 @@ impl TxnBuilder {
     /// Observe progress events only (stage + likelihood).
     pub fn on_progress(self, mut cb: impl FnMut(Stage, f64) + Send + 'static) -> Self {
         self.on_event(move |e| {
-            if let TxnEvent::Progress { stage, likelihood, .. } = e {
+            if let TxnEvent::Progress {
+                stage, likelihood, ..
+            } = e
+            {
                 cb(*stage, *likelihood);
             }
         })

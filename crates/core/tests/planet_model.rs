@@ -14,7 +14,9 @@ use planet_storage::{Key, Value};
 fn warm(db: &mut Planet, site: usize, n: u64) {
     let base = db.now();
     for i in 0..n {
-        let txn = PlanetTxn::builder().set(format!("warm:{site}:{i}"), i as i64).build();
+        let txn = PlanetTxn::builder()
+            .set(format!("warm:{site}:{i}"), i as i64)
+            .build();
         db.submit_at(site, base + SimDuration::from_millis(1 + i * 400), txn);
     }
     db.run_for(SimDuration::from_secs(n / 2 + 5));
@@ -36,7 +38,11 @@ fn commit_with_progress_callbacks_and_rising_likelihood() {
     // With a warmed model, the likelihood right before the decision must be
     // near 1 and the trace must end above where it started.
     let last = record.predictions.last().unwrap();
-    assert!(last.likelihood > 0.9, "final likelihood {}", last.likelihood);
+    assert!(
+        last.likelihood > 0.9,
+        "final likelihood {}",
+        last.likelihood
+    );
     assert_eq!(db.read_local(0, &Key::new("answer")), Value::Int(42));
 }
 
@@ -70,7 +76,10 @@ fn speculation_fires_before_final_and_is_usually_right() {
             assert!(!r.apologised());
         }
     }
-    assert!(speculated >= 15, "uncontended txns should mostly speculate, got {speculated}/20");
+    assert!(
+        speculated >= 15,
+        "uncontended txns should mostly speculate, got {speculated}/20"
+    );
 }
 
 #[test]
@@ -100,7 +109,10 @@ fn apology_fires_when_speculation_goes_wrong() {
     }
     db.run_for(SimDuration::from_secs(60));
 
-    let records: Vec<_> = handles.iter().map(|h| db.record(*h).expect("finished")).collect();
+    let records: Vec<_> = handles
+        .iter()
+        .map(|h| db.record(*h).expect("finished"))
+        .collect();
     let aborted = records.iter().filter(|r| !r.outcome.is_commit()).count();
     assert!(aborted > 10, "contention must abort many, got {aborted}/50");
     let apologised = records.iter().filter(|r| r.apologised()).count();
@@ -109,7 +121,10 @@ fn apology_fires_when_speculation_goes_wrong() {
     // Apologies must be rare relative to aborts only when the threshold is
     // high; at 0.5 we just require they happened and were counted in the
     // metrics too.
-    assert_eq!(db.metrics().counter_value("planet.apologies") as usize, apologised);
+    assert_eq!(
+        db.metrics().counter_value("planet.apologies") as usize,
+        apologised
+    );
 }
 
 #[test]
@@ -136,7 +151,11 @@ fn deadline_returns_control_with_likelihood() {
 
     assert_eq!(deadline_seen.load(Ordering::SeqCst), 1);
     let r = db.record(handle).unwrap();
-    assert_eq!(r.outcome, FinalOutcome::Committed, "txn finishes in the background");
+    assert_eq!(
+        r.outcome,
+        FinalOutcome::Committed,
+        "txn finishes in the background"
+    );
     assert!(r.deadline_likelihood.is_some());
     assert!(r.latency > SimDuration::from_millis(60));
 }
@@ -146,7 +165,10 @@ fn admission_control_rejects_under_synthetic_overload() {
     let mut db = Planet::builder()
         .protocol(Protocol::Fast)
         .seed(5)
-        .admission(AdmissionPolicy { min_likelihood: 0.0, max_inflight: 1 })
+        .admission(AdmissionPolicy {
+            min_likelihood: 0.0,
+            max_inflight: 1,
+        })
         .build();
     // Submit 5 at once: the first occupies the single in-flight slot for
     // ~200ms; the rest are refused on arrival.
@@ -157,8 +179,14 @@ fn admission_control_rejects_under_synthetic_overload() {
         })
         .collect();
     db.run_for(SimDuration::from_secs(5));
-    let outcomes: Vec<_> = handles.iter().map(|h| db.record(*h).unwrap().outcome).collect();
-    let rejected = outcomes.iter().filter(|o| **o == FinalOutcome::Rejected).count();
+    let outcomes: Vec<_> = handles
+        .iter()
+        .map(|h| db.record(*h).unwrap().outcome)
+        .collect();
+    let rejected = outcomes
+        .iter()
+        .filter(|o| **o == FinalOutcome::Rejected)
+        .count();
     let committed = outcomes.iter().filter(|o| o.is_commit()).count();
     assert_eq!(committed, 1);
     assert_eq!(rejected, 4);
@@ -173,7 +201,10 @@ fn admission_control_sheds_doomed_transactions_under_contention() {
     let mut db = Planet::builder()
         .protocol(Protocol::Fast)
         .seed(6)
-        .admission(AdmissionPolicy { min_likelihood: 0.5, max_inflight: 10_000 })
+        .admission(AdmissionPolicy {
+            min_likelihood: 0.5,
+            max_inflight: 10_000,
+        })
         .build();
     for round in 0..60u64 {
         for site in 0..5usize {
@@ -184,7 +215,10 @@ fn admission_control_sheds_doomed_transactions_under_contention() {
     }
     db.run_for(SimDuration::from_secs(60));
     let refused: u64 = (0..5).map(|s| db.admission_stats(s).1).sum();
-    assert!(refused > 20, "admission control must kick in, refused only {refused}");
+    assert!(
+        refused > 20,
+        "admission control must kick in, refused only {refused}"
+    );
     assert_eq!(db.metrics().counter_value("planet.rejected"), refused);
 }
 
@@ -193,7 +227,10 @@ fn rejected_transactions_fail_fast() {
     let mut db = Planet::builder()
         .protocol(Protocol::Fast)
         .seed(7)
-        .admission(AdmissionPolicy { min_likelihood: 0.0, max_inflight: 0 })
+        .admission(AdmissionPolicy {
+            min_likelihood: 0.0,
+            max_inflight: 0,
+        })
         .build();
     let txn = PlanetTxn::builder().set("x", 1i64).build();
     let h = db.submit_at(0, SimTime::from_millis(1), txn);
@@ -208,7 +245,10 @@ fn read_only_transactions_bypass_admission_likelihood() {
     let mut db = Planet::builder()
         .protocol(Protocol::Fast)
         .seed(8)
-        .admission(AdmissionPolicy { min_likelihood: 0.99, max_inflight: 100 })
+        .admission(AdmissionPolicy {
+            min_likelihood: 0.99,
+            max_inflight: 100,
+        })
         .build();
     let txn = PlanetTxn::builder().read("anything").build();
     let h = db.submit_at(0, SimTime::from_millis(1), txn);
@@ -230,7 +270,11 @@ fn predictions_are_calibrated_on_mixed_workload() {
     for round in 0..80u64 {
         for site in 0..5usize {
             let hot = round % 2 == 0;
-            let key = if hot { "hot".to_string() } else { format!("cold:{site}:{round}") };
+            let key = if hot {
+                "hot".to_string()
+            } else {
+                format!("cold:{site}:{round}")
+            };
             let txn = PlanetTxn::builder().set(key, round as i64).build();
             let at = db.now() + SimDuration::from_millis(10 + round * 250);
             handles.push(db.submit_at(site, at, txn));
@@ -242,15 +286,29 @@ fn predictions_are_calibrated_on_mixed_workload() {
     for h in &handles {
         let r = db.record(*h).expect("finished");
         // Prediction at the moment proposals went out (pre-vote).
-        if let Some(p) = r.predictions.iter().find(|p| p.votes_seen == 0 && p.elapsed_us > 0) {
+        if let Some(p) = r
+            .predictions
+            .iter()
+            .find(|p| p.votes_seen == 0 && p.elapsed_us > 0)
+        {
             cal.record(p.likelihood, r.outcome.is_commit());
         }
     }
-    assert!(cal.count() > 300, "need most txns measured, got {}", cal.count());
+    assert!(
+        cal.count() > 300,
+        "need most txns measured, got {}",
+        cal.count()
+    );
     let base = cal.base_rate().unwrap();
-    assert!(base > 0.2 && base < 0.98, "workload must mix outcomes, base {base}");
+    assert!(
+        base > 0.2 && base < 0.98,
+        "workload must mix outcomes, base {base}"
+    );
     let skill = cal.skill().unwrap();
-    assert!(skill > 0.15, "prediction must beat the base-rate guesser, skill {skill}");
+    assert!(
+        skill > 0.15,
+        "prediction must beat the base-rate guesser, skill {skill}"
+    );
     let ece = cal.ece().unwrap();
     assert!(ece < 0.25, "expected calibration error too high: {ece}");
 }
@@ -258,9 +316,14 @@ fn predictions_are_calibrated_on_mixed_workload() {
 #[test]
 fn runs_replay_identically() {
     let run = |seed: u64| {
-        let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
+        let mut db = Planet::builder()
+            .protocol(Protocol::Fast)
+            .seed(seed)
+            .build();
         for i in 0..20u64 {
-            let txn = PlanetTxn::builder().set(format!("k{}", i % 3), i as i64).build();
+            let txn = PlanetTxn::builder()
+                .set(format!("k{}", i % 3), i as i64)
+                .build();
             db.submit_at((i % 5) as usize, SimTime::from_millis(1 + i * 97), txn);
         }
         db.run_for(SimDuration::from_secs(30));
@@ -284,6 +347,10 @@ fn works_on_every_protocol() {
         db.run_for(SimDuration::from_secs(5));
         let r = db.record(h).unwrap();
         assert_eq!(r.outcome, FinalOutcome::Committed, "{protocol}");
-        assert_eq!(db.read_local(2, &Key::new("w2")), Value::Int(5), "{protocol}");
+        assert_eq!(
+            db.read_local(2, &Key::new("w2")),
+            Value::Int(5),
+            "{protocol}"
+        );
     }
 }

@@ -11,15 +11,26 @@ fn records_expose_read_results() {
     db.run_for(SimDuration::from_secs(3));
     assert!(db.record(w).unwrap().outcome.is_commit());
 
-    let r = db.submit(0, PlanetTxn::builder().read("answer").read("absent").build());
+    let r = db.submit(
+        0,
+        PlanetTxn::builder().read("answer").read("absent").build(),
+    );
     db.run_for(SimDuration::from_secs(1));
     let record = db.record(r).unwrap();
     assert_eq!(record.outcome, FinalOutcome::Committed);
     assert_eq!(record.reads.len(), 2);
-    let answer = record.reads.iter().find(|(k, _, _)| k.as_str() == "answer").unwrap();
+    let answer = record
+        .reads
+        .iter()
+        .find(|(k, _, _)| k.as_str() == "answer")
+        .unwrap();
     assert_eq!(answer.1, Value::Int(42));
     assert_eq!(answer.2, 1, "first committed version");
-    let absent = record.reads.iter().find(|(k, _, _)| k.as_str() == "absent").unwrap();
+    let absent = record
+        .reads
+        .iter()
+        .find(|(k, _, _)| k.as_str() == "absent")
+        .unwrap();
     assert_eq!(absent.1, Value::None);
     assert_eq!(absent.2, 0);
 }
@@ -41,8 +52,7 @@ fn quorum_reads_cost_a_wan_round_trip() {
     // The majority (3rd of 5) response from us-east arrives at ~us-west or
     // eu-west RTT (70–80ms).
     assert!(
-        quorum_lat > SimDuration::from_millis(50)
-            && quorum_lat < SimDuration::from_millis(150),
+        quorum_lat > SimDuration::from_millis(50) && quorum_lat < SimDuration::from_millis(150),
         "quorum read should cost ~1 regional WAN RTT: {quorum_lat}"
     );
 }
@@ -68,13 +78,21 @@ fn quorum_reads_see_past_a_stale_replica() {
     assert_eq!(db.read_local(4, &Key::new("fresh")), Value::Int(1));
     let local = db.submit(4, PlanetTxn::builder().read("fresh").build());
     db.run_for(SimDuration::from_secs(1));
-    assert_eq!(db.record(local).unwrap().reads[0].1, Value::Int(1), "local read is stale");
+    assert_eq!(
+        db.record(local).unwrap().reads[0].1,
+        Value::Int(1),
+        "local read is stale"
+    );
 
     // Quorum read from the same site: the majority includes fresh replicas.
     let quorum = db.submit(4, PlanetTxn::builder().read("fresh").quorum_reads().build());
     db.run_for(SimDuration::from_secs(2));
     let record = db.record(quorum).unwrap();
-    assert_eq!(record.reads[0].1, Value::Int(2), "quorum read must see version 2");
+    assert_eq!(
+        record.reads[0].1,
+        Value::Int(2),
+        "quorum read must see version 2"
+    );
     assert_eq!(record.reads[0].2, 2);
 }
 
@@ -83,14 +101,21 @@ fn quorum_read_versions_feed_writes() {
     // A physical write based on a quorum read must carry the fresh version,
     // so it does not abort with a stale-version rejection at up-to-date
     // replicas.
-    let mut db = Planet::builder().protocol(Protocol::Classic).seed(4).build();
+    let mut db = Planet::builder()
+        .protocol(Protocol::Classic)
+        .seed(4)
+        .build();
     let w1 = db.submit(0, PlanetTxn::builder().set("base", 1i64).build());
     db.run_for(SimDuration::from_secs(3));
     assert!(db.record(w1).unwrap().outcome.is_commit());
 
     let w2 = db.submit(
         2,
-        PlanetTxn::builder().read("base").set("base", 2i64).quorum_reads().build(),
+        PlanetTxn::builder()
+            .read("base")
+            .set("base", 2i64)
+            .quorum_reads()
+            .build(),
     );
     db.run_for(SimDuration::from_secs(3));
     assert_eq!(db.record(w2).unwrap().outcome, FinalOutcome::Committed);

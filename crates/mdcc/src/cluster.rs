@@ -37,21 +37,36 @@ pub fn build_cluster(sim: &mut Simulation<Msg>, config: ClusterConfig) -> Cluste
         let id = sim.add_actor(SiteId(site as u8), Box::new(actor));
         actual_ids.push(id);
     }
-    assert_eq!(actual_ids, replica_ids, "build_cluster requires a fresh simulation");
+    assert_eq!(
+        actual_ids, replica_ids,
+        "build_cluster requires a fresh simulation"
+    );
 
     let coordinators: Vec<ActorId> = (0..n)
         .map(|site| {
-            let actor = CoordinatorActor::new(config.clone(), replica_ids.clone(), SiteId(site as u8));
+            let actor =
+                CoordinatorActor::new(config.clone(), replica_ids.clone(), SiteId(site as u8));
             sim.add_actor(SiteId(site as u8), Box::new(actor))
         })
         .collect();
 
-    Cluster { replicas: replica_ids, coordinators, config }
+    Cluster {
+        replicas: replica_ids,
+        coordinators,
+        config,
+    }
 }
 
 /// Convenience: a fresh simulation plus a cluster over the given topology.
-pub fn build_sim(net: NetworkModel, config: ClusterConfig, seed: u64) -> (Simulation<Msg>, Cluster) {
-    assert!(net.num_sites() >= config.num_sites, "topology too small for cluster");
+pub fn build_sim(
+    net: NetworkModel,
+    config: ClusterConfig,
+    seed: u64,
+) -> (Simulation<Msg>, Cluster) {
+    assert!(
+        net.num_sites() >= config.num_sites,
+        "topology too small for cluster"
+    );
     let mut sim = Simulation::new(net, seed);
     let cluster = build_cluster(&mut sim, config);
     (sim, cluster)
@@ -84,12 +99,20 @@ pub struct TestClient {
 impl TestClient {
     /// A client that will submit `script` (times must be non-decreasing).
     pub fn new(coordinator: ActorId, script: Vec<(SimTime, TxnSpec)>) -> Self {
-        TestClient { coordinator, script, completed: Vec::new(), progress_counts: 0 }
+        TestClient {
+            coordinator,
+            script,
+            completed: Vec::new(),
+            progress_counts: 0,
+        }
     }
 
     /// The outcome recorded for submission `tag`, if finished.
     pub fn outcome(&self, tag: u64) -> Option<Outcome> {
-        self.completed.iter().find(|c| c.tag == tag).map(|c| c.outcome)
+        self.completed
+            .iter()
+            .find(|c| c.tag == tag)
+            .map(|c| c.outcome)
     }
 }
 
@@ -97,7 +120,13 @@ impl Actor<Msg> for TestClient {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         for (i, (at, _)) in self.script.iter().enumerate() {
             let delay = at.since(SimTime::ZERO);
-            ctx.schedule(delay, Msg::ClientTimer { kind: 0, tag: i as u64 });
+            ctx.schedule(
+                delay,
+                Msg::ClientTimer {
+                    kind: 0,
+                    tag: i as u64,
+                },
+            );
         }
     }
 
@@ -106,11 +135,27 @@ impl Actor<Msg> for TestClient {
             Msg::ClientTimer { kind: 0, tag } => {
                 let spec = self.script[tag as usize].1.clone();
                 let me = ctx.self_id();
-                ctx.send(self.coordinator, Msg::Submit { spec, reply_to: me, tag });
+                ctx.send(
+                    self.coordinator,
+                    Msg::Submit {
+                        spec,
+                        reply_to: me,
+                        tag,
+                    },
+                );
             }
             Msg::Progress { .. } => self.progress_counts += 1,
-            Msg::TxnDone { tag, outcome, stats, .. } => {
-                self.completed.push(CompletedTxn { tag, outcome, stats });
+            Msg::TxnDone {
+                tag,
+                outcome,
+                stats,
+                ..
+            } => {
+                self.completed.push(CompletedTxn {
+                    tag,
+                    outcome,
+                    stats,
+                });
             }
             _ => {}
         }

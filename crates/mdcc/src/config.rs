@@ -2,10 +2,9 @@
 
 use planet_sim::{SimDuration, SiteId};
 use planet_storage::Key;
-use serde::{Deserialize, Serialize};
 
 /// Which commit protocol the cluster runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// MDCC fast path: the coordinator proposes options directly to every
     /// replica; each replica validates independently; a *fast quorum*
@@ -41,7 +40,7 @@ impl std::fmt::Display for Protocol {
 }
 
 /// Static cluster configuration shared by every actor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of sites; one full replica lives at each.
     pub num_sites: usize,
@@ -122,7 +121,10 @@ mod tests {
         assert_eq!(c.classic_quorum(), 3);
         assert_eq!(c.fast_quorum(), 4);
         assert_eq!(c.required_quorum(), 4);
-        assert_eq!(ClusterConfig::new(5, Protocol::Classic).required_quorum(), 3);
+        assert_eq!(
+            ClusterConfig::new(5, Protocol::Classic).required_quorum(),
+            3
+        );
         assert_eq!(ClusterConfig::new(5, Protocol::TwoPc).required_quorum(), 1);
     }
 

@@ -110,11 +110,30 @@ impl CoordinatorActor {
         }
     }
 
-    fn progress(&self, state: &TxnState, txn: TxnId, stage: ProgressStage, ctx: &mut Context<'_, Msg>) {
-        ctx.send(state.reply_to, Msg::Progress { tag: state.tag, txn, stage });
+    fn progress(
+        &self,
+        state: &TxnState,
+        txn: TxnId,
+        stage: ProgressStage,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        ctx.send(
+            state.reply_to,
+            Msg::Progress {
+                tag: state.tag,
+                txn,
+                stage,
+            },
+        );
     }
 
-    fn handle_submit(&mut self, spec: TxnSpec, reply_to: ActorId, tag: u64, ctx: &mut Context<'_, Msg>) {
+    fn handle_submit(
+        &mut self,
+        spec: TxnSpec,
+        reply_to: ActorId,
+        tag: u64,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         let txn = TxnId::new(self.site.0, self.next_seq);
         self.next_seq += 1;
         let keys = spec.touched_keys();
@@ -147,7 +166,13 @@ impl CoordinatorActor {
             }
             ReadLevel::Quorum => {
                 for &replica in &self.replicas {
-                    ctx.send(replica, Msg::ReadReq { txn, keys: keys.clone() });
+                    ctx.send(
+                        replica,
+                        Msg::ReadReq {
+                            txn,
+                            keys: keys.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -176,7 +201,9 @@ impl CoordinatorActor {
     }
 
     fn handle_read_resp(&mut self, txn: TxnId, results: Vec<KeyRead>, ctx: &mut Context<'_, Msg>) {
-        let Some(state) = self.inflight.get_mut(&txn) else { return };
+        let Some(state) = self.inflight.get_mut(&txn) else {
+            return;
+        };
         if state.reads_done {
             return; // late response from a quorum read already satisfied
         }
@@ -195,15 +222,16 @@ impl CoordinatorActor {
         self.progress(
             self.inflight.get(&txn).unwrap(),
             txn,
-            ProgressStage::ReadsDone { reads: results.clone() },
+            ProgressStage::ReadsDone {
+                reads: results.clone(),
+            },
             ctx,
         );
         if writes.is_empty() {
             self.finish(txn, Outcome::Committed, ctx);
             return;
         }
-        let versions: HashMap<&Key, u64> =
-            results.iter().map(|r| (&r.key, r.version)).collect();
+        let versions: HashMap<&Key, u64> = results.iter().map(|r| (&r.key, r.version)).collect();
 
         let state = self.inflight.get_mut(&txn).unwrap();
         state.proposals_sent_at = Some(ctx.now());
@@ -235,7 +263,13 @@ impl CoordinatorActor {
                     let master = self.replicas[self.config.master_of(&key).0 as usize];
                     ctx.send(
                         master,
-                        Msg::Propose { txn, key, option, coordinator: me, round: 0 },
+                        Msg::Propose {
+                            txn,
+                            key,
+                            option,
+                            coordinator: me,
+                            round: 0,
+                        },
                     );
                 }
             }
@@ -266,7 +300,13 @@ impl CoordinatorActor {
                     Msg::Progress {
                         tag: recent.tag,
                         txn,
-                        stage: ProgressStage::Vote { key, site, accept, reason, elapsed_us },
+                        stage: ProgressStage::Vote {
+                            key,
+                            site,
+                            accept,
+                            reason,
+                            elapsed_us,
+                        },
                     },
                 );
             }
@@ -275,7 +315,9 @@ impl CoordinatorActor {
         let elapsed_us = state
             .proposals_sent_at
             .map_or(0, |at| ctx.now().since(at).as_micros());
-        let Some(kv) = state.votes.get_mut(&key) else { return };
+        let Some(kv) = state.votes.get_mut(&key) else {
+            return;
+        };
         // Stale votes from a superseded round are meaningless for the tally.
         if round != kv.round {
             return;
@@ -334,21 +376,46 @@ impl CoordinatorActor {
             let option = state.options.get(&key).expect("option exists").clone();
             let master = self.replicas[self.config.master_of(&key).0 as usize];
             let me = ctx.self_id();
-            ctx.send(master, Msg::Propose { txn, key: key.clone(), option, coordinator: me, round: 1 });
+            ctx.send(
+                master,
+                Msg::Propose {
+                    txn,
+                    key: key.clone(),
+                    option,
+                    coordinator: me,
+                    round: 1,
+                },
+            );
             ctx.metrics().counter("txn.fast_fallbacks").inc();
             let state = self.inflight.get(&txn).unwrap();
-            self.progress(state, txn, ProgressStage::KeyFallback { key: key.clone() }, ctx);
+            self.progress(
+                state,
+                txn,
+                ProgressStage::KeyFallback { key: key.clone() },
+                ctx,
+            );
         }
 
         let state = self.inflight.get(&txn).unwrap();
         self.progress(
             state,
             txn,
-            ProgressStage::Vote { key: key.clone(), site, accept, reason, elapsed_us },
+            ProgressStage::Vote {
+                key: key.clone(),
+                site,
+                accept,
+                reason,
+                elapsed_us,
+            },
             ctx,
         );
         if let Some(ok) = resolved_now {
-            self.progress(state, txn, ProgressStage::KeyResolved { key, accepted: ok }, ctx);
+            self.progress(
+                state,
+                txn,
+                ProgressStage::KeyResolved { key, accepted: ok },
+                ctx,
+            );
         }
 
         // Decide as soon as every key has resolved, or any key failed.
@@ -374,13 +441,20 @@ impl CoordinatorActor {
 
     /// Broadcast per-key decisions, emit the terminal event, drop state.
     fn finish(&mut self, txn: TxnId, outcome: Outcome, ctx: &mut Context<'_, Msg>) {
-        let Some(state) = self.inflight.remove(&txn) else { return };
+        let Some(state) = self.inflight.remove(&txn) else {
+            return;
+        };
         let commit = outcome.is_commit();
         for (key, option) in &state.options {
             let master = self.replicas[self.config.master_of(key).0 as usize];
             ctx.send(
                 master,
-                Msg::Decide { txn, key: key.clone(), option: option.clone(), commit },
+                Msg::Decide {
+                    txn,
+                    key: key.clone(),
+                    option: option.clone(),
+                    commit,
+                },
             );
         }
         let stats = TxnStats {
@@ -402,7 +476,9 @@ impl CoordinatorActor {
         let proto = self.config.protocol.name();
         match outcome {
             Outcome::Committed => {
-                ctx.metrics().counter(&format!("txn.committed.{proto}")).inc();
+                ctx.metrics()
+                    .counter(&format!("txn.committed.{proto}"))
+                    .inc();
                 if !state.options.is_empty() {
                     ctx.metrics()
                         .histogram(&format!("txn.commit_latency.{proto}"))
@@ -417,21 +493,40 @@ impl CoordinatorActor {
                 ctx.metrics().counter(&format!("txn.aborted.{proto}")).inc();
             }
             Outcome::TimedOut => {
-                ctx.metrics().counter(&format!("txn.timedout.{proto}")).inc();
+                ctx.metrics()
+                    .counter(&format!("txn.timedout.{proto}"))
+                    .inc();
             }
         }
-        ctx.send(state.reply_to, Msg::TxnDone { tag: state.tag, txn, outcome, stats });
+        ctx.send(
+            state.reply_to,
+            Msg::TxnDone {
+                tag: state.tag,
+                txn,
+                outcome,
+                stats,
+            },
+        );
     }
 }
 
 impl Actor<Msg> for CoordinatorActor {
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
-            Msg::Submit { spec, reply_to, tag } => self.handle_submit(spec, reply_to, tag, ctx),
+            Msg::Submit {
+                spec,
+                reply_to,
+                tag,
+            } => self.handle_submit(spec, reply_to, tag, ctx),
             Msg::ReadResp { txn, results } => self.handle_read_resp(txn, results, ctx),
-            Msg::Vote { txn, key, site, accept, reason, round } => {
-                self.handle_vote(txn, key, site, accept, reason, round, ctx)
-            }
+            Msg::Vote {
+                txn,
+                key,
+                site,
+                accept,
+                reason,
+                round,
+            } => self.handle_vote(txn, key, site, accept, reason, round, ctx),
             Msg::TxnTimeout { txn } => self.handle_timeout(txn, ctx),
             other => {
                 debug_assert!(false, "coordinator received unexpected message: {other:?}");

@@ -355,7 +355,10 @@ mod tests {
     fn touched_keys_dedups_preserving_order() {
         let spec = TxnSpec {
             reads: vec![Key::new("a"), Key::new("b")],
-            writes: vec![(Key::new("b"), WriteOp::add(1)), (Key::new("c"), WriteOp::add(1))],
+            writes: vec![
+                (Key::new("b"), WriteOp::add(1)),
+                (Key::new("c"), WriteOp::add(1)),
+            ],
             read_level: ReadLevel::Local,
         };
         let keys = spec.touched_keys();

@@ -130,12 +130,23 @@ impl ReplicaActor {
         }
     }
 
-    fn handle_read(&mut self, from: ActorId, txn: TxnId, keys: Vec<Key>, ctx: &mut Context<'_, Msg>) {
+    fn handle_read(
+        &mut self,
+        from: ActorId,
+        txn: TxnId,
+        keys: Vec<Key>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         let results = keys
             .iter()
             .map(|k| {
                 let r = self.storage.read(k);
-                KeyRead { key: k.clone(), version: r.version, value: r.value, pending: r.pending }
+                KeyRead {
+                    key: k.clone(),
+                    version: r.version,
+                    value: r.value,
+                    pending: r.pending,
+                }
             })
             .collect();
         ctx.send(from, Msg::ReadResp { txn, results });
@@ -212,7 +223,11 @@ impl ReplicaActor {
                         // ourselves) is durable.
                         self.repl_state.insert(
                             (txn, key.clone()),
-                            ReplState { acks: vec![ctx.self_site()], coordinator, voted: false },
+                            ReplState {
+                                acks: vec![ctx.self_site()],
+                                coordinator,
+                                voted: false,
+                            },
                         );
                         self.maybe_vote_2pc(txn, &key, ctx);
                     }
@@ -254,10 +269,24 @@ impl ReplicaActor {
             // Classic proper, or a fast-path fallback round.
             Protocol::Classic | Protocol::Fast => ctx.send(
                 coordinator,
-                Msg::Vote { txn, key, site: ctx.self_site(), accept: true, reason: None, round },
+                Msg::Vote {
+                    txn,
+                    key,
+                    site: ctx.self_site(),
+                    accept: true,
+                    reason: None,
+                    round,
+                },
             ),
             Protocol::TwoPc => {
-                ctx.send(master, Msg::ReplicateAck { txn, key, site: ctx.self_site() });
+                ctx.send(
+                    master,
+                    Msg::ReplicateAck {
+                        txn,
+                        key,
+                        site: ctx.self_site(),
+                    },
+                );
             }
         }
     }
@@ -271,13 +300,26 @@ impl ReplicaActor {
                 let coordinator = state.coordinator;
                 ctx.send(
                     coordinator,
-                    Msg::Vote { txn, key: key.clone(), site, accept: true, reason: None, round: 0 },
+                    Msg::Vote {
+                        txn,
+                        key: key.clone(),
+                        site,
+                        accept: true,
+                        reason: None,
+                        round: 0,
+                    },
                 );
             }
         }
     }
 
-    fn handle_replicate_ack(&mut self, txn: TxnId, key: Key, site: SiteId, ctx: &mut Context<'_, Msg>) {
+    fn handle_replicate_ack(
+        &mut self,
+        txn: TxnId,
+        key: Key,
+        site: SiteId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         if let Some(state) = self.repl_state.get_mut(&(txn, key.clone())) {
             if !state.acks.contains(&site) {
                 state.acks.push(site);
@@ -316,13 +358,24 @@ impl ReplicaActor {
             for peer in self.other_peers(ctx).collect::<Vec<_>>() {
                 ctx.send(
                     peer,
-                    Msg::Apply { key: key.clone(), version: new_version, value: value.clone(), txn },
+                    Msg::Apply {
+                        key: key.clone(),
+                        version: new_version,
+                        value: value.clone(),
+                        txn,
+                    },
                 );
             }
         } else {
             self.storage.decide(&key, txn, false);
             for peer in self.other_peers(ctx).collect::<Vec<_>>() {
-                ctx.send(peer, Msg::DropPending { key: key.clone(), txn });
+                ctx.send(
+                    peer,
+                    Msg::DropPending {
+                        key: key.clone(),
+                        txn,
+                    },
+                );
             }
         }
     }
@@ -370,7 +423,10 @@ impl ReplicaActor {
 impl ReplicaActor {
     /// True for messages that cost validation-server time.
     fn is_costly(msg: &Msg) -> bool {
-        matches!(msg, Msg::FastPropose { .. } | Msg::Propose { .. } | Msg::Replicate { .. })
+        matches!(
+            msg,
+            Msg::FastPropose { .. } | Msg::Propose { .. } | Msg::Replicate { .. }
+        )
     }
 
     /// Admit one unit of validation work: run it if the server is idle,
@@ -398,27 +454,51 @@ impl ReplicaActor {
     fn dispatch(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
             Msg::ReadReq { txn, keys } => self.handle_read(from, txn, keys, ctx),
-            Msg::FastPropose { txn, key, option, round } => {
-                self.handle_fast_propose(from, txn, key, option, round, ctx)
-            }
-            Msg::Propose { txn, key, option, coordinator, round } => {
-                self.handle_propose(txn, key, option, coordinator, round, ctx)
-            }
-            Msg::Replicate { txn, key, option, coordinator, master, round } => {
-                self.handle_replicate(txn, key, option, coordinator, master, round, ctx)
-            }
+            Msg::FastPropose {
+                txn,
+                key,
+                option,
+                round,
+            } => self.handle_fast_propose(from, txn, key, option, round, ctx),
+            Msg::Propose {
+                txn,
+                key,
+                option,
+                coordinator,
+                round,
+            } => self.handle_propose(txn, key, option, coordinator, round, ctx),
+            Msg::Replicate {
+                txn,
+                key,
+                option,
+                coordinator,
+                master,
+                round,
+            } => self.handle_replicate(txn, key, option, coordinator, master, round, ctx),
             Msg::ReplicateAck { txn, key, site } => self.handle_replicate_ack(txn, key, site, ctx),
-            Msg::Decide { txn, key, option, commit } => {
-                self.handle_decide(txn, key, option, commit, ctx)
-            }
-            Msg::Apply { key, version, value, txn } => {
-                self.handle_apply(key, version, value, txn, ctx)
-            }
+            Msg::Decide {
+                txn,
+                key,
+                option,
+                commit,
+            } => self.handle_decide(txn, key, option, commit, ctx),
+            Msg::Apply {
+                key,
+                version,
+                value,
+                txn,
+            } => self.handle_apply(key, version, value, txn, ctx),
             Msg::DropPending { key, txn } => self.handle_drop_pending(key, txn),
             Msg::ClientTimer { kind: GC_TIMER, .. } => {
                 self.sweep_leases(ctx);
                 let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
-                ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+                ctx.schedule(
+                    period,
+                    Msg::ClientTimer {
+                        kind: GC_TIMER,
+                        tag: 0,
+                    },
+                );
             }
             other => {
                 debug_assert!(false, "replica received unexpected message: {other:?}");
@@ -430,7 +510,13 @@ impl ReplicaActor {
 impl Actor<Msg> for ReplicaActor {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
-        ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+        ctx.schedule(
+            period,
+            Msg::ClientTimer {
+                kind: GC_TIMER,
+                tag: 0,
+            },
+        );
     }
 
     fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
@@ -457,7 +543,13 @@ impl Actor<Msg> for ReplicaActor {
             // sweep itself does nothing while down.
             Msg::ClientTimer { kind: GC_TIMER, .. } if self.crashed => {
                 let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
-                ctx.schedule(period, Msg::ClientTimer { kind: GC_TIMER, tag: 0 });
+                ctx.schedule(
+                    period,
+                    Msg::ClientTimer {
+                        kind: GC_TIMER,
+                        tag: 0,
+                    },
+                );
             }
             _ if self.crashed => { /* down: drop everything else */ }
             Msg::ReplicaServiceDone => self.service_done(ctx),

@@ -21,7 +21,12 @@ fn fast_path_survives_one_crashed_replica() {
     // Crash ap-southeast before traffic starts.
     sim.inject_at(SimTime::from_micros(1), cluster.replicas[4], Msg::Crash);
     let script: Vec<(SimTime, TxnSpec)> = (0..10)
-        .map(|i| (SimTime::from_millis(5 + i * 500), set_txn(&format!("k{i}"), 1)))
+        .map(|i| {
+            (
+                SimTime::from_millis(5 + i * 500),
+                set_txn(&format!("k{i}"), 1),
+            )
+        })
         .collect();
     let c = sim.add_actor(
         SiteId(0),
@@ -29,7 +34,9 @@ fn fast_path_survives_one_crashed_replica() {
     );
     sim.run_for(SimDuration::from_secs(15));
     let tc = client(&sim, c);
-    let commits = (0..10).filter(|i| tc.outcome(*i) == Some(Outcome::Committed)).count();
+    let commits = (0..10)
+        .filter(|i| tc.outcome(*i) == Some(Outcome::Committed))
+        .count();
     assert_eq!(commits, 10, "a 4/5 fast quorum exists without ap-southeast");
 }
 
@@ -61,7 +68,11 @@ fn fast_path_stalls_with_two_crashed_replicas_but_classic_survives() {
         sim.run_for(SimDuration::from_secs(10));
         let outcome = client(&sim, c).outcome(0).unwrap();
         if expect_commit {
-            assert_eq!(outcome, Outcome::Committed, "{protocol} should survive 2 crashes");
+            assert_eq!(
+                outcome,
+                Outcome::Committed,
+                "{protocol} should survive 2 crashes"
+            );
         } else {
             assert_eq!(
                 outcome,
@@ -124,7 +135,12 @@ fn commits_during_crash_count_rejoiner_as_absent_voter() {
     // Crash ap-ne: the quorum must now include ap-se (200ms RTT).
     sim.inject_at(SimTime::from_micros(1), cluster.replicas[3], Msg::Crash);
     let script: Vec<(SimTime, TxnSpec)> = (0..10)
-        .map(|i| (SimTime::from_millis(5 + i * 500), set_txn(&format!("c{i}"), 1)))
+        .map(|i| {
+            (
+                SimTime::from_millis(5 + i * 500),
+                set_txn(&format!("c{i}"), 1),
+            )
+        })
         .collect();
     let c = sim.add_actor(
         SiteId(0),
@@ -136,7 +152,12 @@ fn commits_during_crash_count_rejoiner_as_absent_voter() {
         .completed
         .iter()
         .filter(|r| r.outcome.is_commit())
-        .map(|r| r.stats.decided_at.since(r.stats.submitted_at).as_millis_f64())
+        .map(|r| {
+            r.stats
+                .decided_at
+                .since(r.stats.submitted_at)
+                .as_millis_f64()
+        })
         .sum::<f64>()
         / 10.0;
     assert!(

@@ -67,7 +67,10 @@ fn fallback_rescues_collision_victims() {
         rescued > without,
         "fallback must convert some collisions into commits: {rescued} vs {without} over 8 races"
     );
-    assert!(rescued >= 6, "fallback should almost always find the winner, got {rescued}/8");
+    assert!(
+        rescued >= 6,
+        "fallback should almost always find the winner, got {rescued}/8"
+    );
 }
 
 #[test]
@@ -108,7 +111,10 @@ fn fallback_counts_in_metrics_and_preserves_atomicity() {
             .storage()
             .read(&Key::new("hot"));
         assert_eq!(got.value, reference.value, "site {site} diverged");
-        assert_eq!(got.version, reference.version, "site {site} version diverged");
+        assert_eq!(
+            got.version, reference.version,
+            "site {site} version diverged"
+        );
     }
 }
 
@@ -120,7 +126,12 @@ fn fallback_costs_latency_only_on_collision() {
         config.fast_fallback = fallback;
         let (mut sim, cluster) = build_sim(planet_sim::topology::five_dc(), config, 301);
         let script: Vec<(SimTime, TxnSpec)> = (0..20)
-            .map(|i| (SimTime::from_millis(1 + i * 500), set_txn(&format!("solo{i}"), 1)))
+            .map(|i| {
+                (
+                    SimTime::from_millis(1 + i * 500),
+                    set_txn(&format!("solo{i}"), 1),
+                )
+            })
             .collect();
         let c = sim.add_actor(
             SiteId(0),
@@ -131,10 +142,21 @@ fn fallback_costs_latency_only_on_collision() {
         let mean: f64 = tc
             .completed
             .iter()
-            .map(|r| r.stats.decided_at.since(r.stats.submitted_at).as_millis_f64())
+            .map(|r| {
+                r.stats
+                    .decided_at
+                    .since(r.stats.submitted_at)
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / tc.completed.len() as f64;
-        (tc.completed.iter().filter(|r| r.outcome.is_commit()).count(), mean)
+        (
+            tc.completed
+                .iter()
+                .filter(|r| r.outcome.is_commit())
+                .count(),
+            mean,
+        )
     };
     let (commits_off, mean_off) = run(false);
     let (commits_on, mean_on) = run(true);

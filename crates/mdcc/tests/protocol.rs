@@ -1,16 +1,18 @@
 //! End-to-end protocol tests: commit/abort behaviour, latency shape per
 //! commit path, replica convergence, fault handling.
 
-use planet_mdcc::{
-    build_sim, Cluster, ClusterConfig, Msg, Outcome, Protocol, TestClient, TxnSpec,
-};
+use planet_mdcc::{build_sim, Cluster, ClusterConfig, Msg, Outcome, Protocol, TestClient, TxnSpec};
 use planet_sim::{ActorId, Partition, SimDuration, SimTime, Simulation, SiteId};
 use planet_storage::{Key, Value, WriteOp};
 
 const FIVE: usize = 5;
 
 fn five_dc(protocol: Protocol, seed: u64) -> (Simulation<Msg>, Cluster) {
-    build_sim(planet_sim::topology::five_dc(), ClusterConfig::new(FIVE, protocol), seed)
+    build_sim(
+        planet_sim::topology::five_dc(),
+        ClusterConfig::new(FIVE, protocol),
+        seed,
+    )
 }
 
 fn add_client(
@@ -42,7 +44,11 @@ fn single_write_commits_on_every_protocol() {
         );
         sim.run_for(SimDuration::from_secs(5));
         let tc = client(&sim, c);
-        assert_eq!(tc.outcome(0), Some(Outcome::Committed), "protocol {protocol}");
+        assert_eq!(
+            tc.outcome(0),
+            Some(Outcome::Committed),
+            "protocol {protocol}"
+        );
         assert!(tc.progress_counts > 0, "progress events must flow");
     }
 }
@@ -54,7 +60,12 @@ fn commit_latency_orders_fast_below_classic_below_twopc() {
     for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
         let (mut sim, cluster) = five_dc(protocol, 21);
         let script: Vec<(SimTime, TxnSpec)> = (0..10)
-            .map(|i| (SimTime::from_millis(1 + i * 2_000), set_txn("hot", i as i64)))
+            .map(|i| {
+                (
+                    SimTime::from_millis(1 + i * 2_000),
+                    set_txn("hot", i as i64),
+                )
+            })
             .collect();
         add_client(&mut sim, SiteId(0), cluster.coordinators[0], script);
         sim.run_for(SimDuration::from_secs(30));
@@ -67,11 +78,17 @@ fn commit_latency_orders_fast_below_classic_below_twopc() {
     }
     let (fast, classic, twopc) = (means[0], means[1], means[2]);
     assert!(fast < classic, "fast {fast} should beat classic {classic}");
-    assert!(classic < twopc, "classic {classic} should beat twopc {twopc}");
+    assert!(
+        classic < twopc,
+        "classic {classic} should beat twopc {twopc}"
+    );
     // Fast path from us-east: quorum of 4 needs the 3 fastest remote
     // one-way replies — round trip to the 4th fastest site (ap-ne, 170ms
     // RTT) dominates; allow generous slack for jitter.
-    assert!(fast > 100_000.0 && fast < 260_000.0, "fast mean {fast}us out of range");
+    assert!(
+        fast > 100_000.0 && fast < 260_000.0,
+        "fast mean {fast}us out of range"
+    );
 }
 
 #[test]
@@ -94,7 +111,10 @@ fn conflicting_physical_writes_abort_one() {
     let o0 = client(&sim, c0).outcome(0).unwrap();
     let o1 = client(&sim, c1).outcome(0).unwrap();
     let commits = [o0, o1].iter().filter(|o| o.is_commit()).count();
-    assert!(commits <= 1, "at most one of two racing physical writes may commit");
+    assert!(
+        commits <= 1,
+        "at most one of two racing physical writes may commit"
+    );
     assert!(
         [o0, o1].iter().any(|o| !o.is_commit()),
         "at least one must abort: {o0:?} {o1:?}"
@@ -145,9 +165,10 @@ fn commutative_writes_all_commit_under_contention() {
 /// through the master, so exactly one buyer commits.
 #[test]
 fn demarcation_floor_rejects_oversell() {
-    for (protocol, seed, exactly_one) in
-        [(Protocol::Fast, 43u64, false), (Protocol::Classic, 44, true)]
-    {
+    for (protocol, seed, exactly_one) in [
+        (Protocol::Fast, 43u64, false),
+        (Protocol::Classic, 44, true),
+    ] {
         let (mut sim, cluster) = five_dc(protocol, seed);
         add_client(
             &mut sim,
@@ -173,13 +194,21 @@ fn demarcation_floor_rejects_oversell() {
             .iter()
             .filter(|b| client(&sim, **b).outcome(0) == Some(Outcome::Committed))
             .count();
-        assert!(commits <= 1, "{protocol}: one -2 fits worst-case in stock of 3, got {commits}");
+        assert!(
+            commits <= 1,
+            "{protocol}: one -2 fits worst-case in stock of 3, got {commits}"
+        );
         if exactly_one {
-            assert_eq!(commits, 1, "{protocol}: the master must admit exactly one buyer");
+            assert_eq!(
+                commits, 1,
+                "{protocol}: the master must admit exactly one buyer"
+            );
         }
         // The invariant that matters: no replica ever holds negative stock.
         for (site, replica) in cluster.replicas.iter().enumerate() {
-            let v = replica_storage(&sim, *replica).read(&Key::new("scarce")).value;
+            let v = replica_storage(&sim, *replica)
+                .read(&Key::new("scarce"))
+                .value;
             if let Value::Int(stock) = v {
                 assert!(stock >= 0, "{protocol}: site {site} oversold to {stock}");
             }
@@ -194,7 +223,10 @@ fn read_only_txn_commits_locally_fast() {
         &mut sim,
         SiteId(3),
         cluster.coordinators[3],
-        vec![(SimTime::from_millis(1), TxnSpec::read_only([Key::new("whatever")]))],
+        vec![(
+            SimTime::from_millis(1),
+            TxnSpec::read_only([Key::new("whatever")]),
+        )],
     );
     sim.run_for(SimDuration::from_secs(2));
     let tc = client(&sim, c);
@@ -216,11 +248,19 @@ fn replicas_converge_after_quiescence() {
             .map(|i| {
                 (
                     SimTime::from_millis(1 + i * 700),
-                    set_txn(&format!("k{}", (site + i as usize) % 3), (site * 100 + i as usize) as i64),
+                    set_txn(
+                        &format!("k{}", (site + i as usize) % 3),
+                        (site * 100 + i as usize) as i64,
+                    ),
                 )
             })
             .collect();
-        add_client(&mut sim, SiteId(site as u8), cluster.coordinators[site], script);
+        add_client(
+            &mut sim,
+            SiteId(site as u8),
+            cluster.coordinators[site],
+            script,
+        );
     }
     sim.run_for(SimDuration::from_secs(60));
 
@@ -241,7 +281,10 @@ fn replicas_converge_after_quiescence() {
                 "site {site} diverged on {key}: {:?} vs {:?}",
                 got.value, expect.value
             );
-            assert_eq!(got.version, expect.version, "site {site} version diverged on {key}");
+            assert_eq!(
+                got.version, expect.version,
+                "site {site} version diverged on {key}"
+            );
         }
     }
 }
@@ -293,7 +336,11 @@ fn partition_triggers_timeout_or_abort_then_recovers() {
             "partitioned txn should time out"
         );
     }
-    assert_eq!(tc.outcome(1), Some(Outcome::Committed), "post-heal txn commits");
+    assert_eq!(
+        tc.outcome(1),
+        Some(Outcome::Committed),
+        "post-heal txn commits"
+    );
 }
 
 #[test]
@@ -304,7 +351,12 @@ fn runs_are_deterministic() {
             let script: Vec<(SimTime, TxnSpec)> = (0..5)
                 .map(|i| (SimTime::from_millis(1 + i * 300), set_txn("hot", i as i64)))
                 .collect();
-            add_client(&mut sim, SiteId(site as u8), cluster.coordinators[site], script);
+            add_client(
+                &mut sim,
+                SiteId(site as u8),
+                cluster.coordinators[site],
+                script,
+            );
         }
         sim.run_for(SimDuration::from_secs(30));
         (
@@ -316,7 +368,10 @@ fn runs_are_deterministic() {
     assert_eq!(run(99), run(99));
     let a = run(99);
     let b = run(100);
-    assert!(a != b || a.1 + a.2 > 0, "different seeds should usually differ");
+    assert!(
+        a != b || a.1 + a.2 > 0,
+        "different seeds should usually differ"
+    );
 }
 
 #[test]
@@ -330,7 +385,12 @@ fn commit_rate_degrades_with_physical_contention() {
             let script: Vec<(SimTime, TxnSpec)> = (0..10)
                 .map(|i| (SimTime::from_millis(1 + i * 100), set_txn("one", i as i64)))
                 .collect();
-            add_client(&mut sim, SiteId(site as u8), cluster.coordinators[site], script);
+            add_client(
+                &mut sim,
+                SiteId(site as u8),
+                cluster.coordinators[site],
+                script,
+            );
         }
         sim.run_for(SimDuration::from_secs(60));
         sim.metrics().counter_value("txn.committed.fast")
@@ -346,7 +406,12 @@ fn commit_rate_degrades_with_physical_contention() {
                     )
                 })
                 .collect();
-            add_client(&mut sim, SiteId(site as u8), cluster.coordinators[site], script);
+            add_client(
+                &mut sim,
+                SiteId(site as u8),
+                cluster.coordinators[site],
+                script,
+            );
         }
         sim.run_for(SimDuration::from_secs(60));
         sim.metrics().counter_value("txn.committed.fast")

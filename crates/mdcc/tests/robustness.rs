@@ -23,7 +23,12 @@ fn fast_path_tolerates_one_lost_vote() {
     sim.network_mut().loss_prob = 0.02;
 
     let script: Vec<(SimTime, TxnSpec)> = (0..50)
-        .map(|i| (SimTime::from_millis(1 + i * 500), set_txn(&format!("k{i}"), i as i64)))
+        .map(|i| {
+            (
+                SimTime::from_millis(1 + i * 500),
+                set_txn(&format!("k{i}"), i as i64),
+            )
+        })
         .collect();
     let c = sim.add_actor(
         SiteId(0),
@@ -31,9 +36,17 @@ fn fast_path_tolerates_one_lost_vote() {
     );
     sim.run_for(SimDuration::from_secs(40));
     let tc = client(&sim, c);
-    let commits = (0..50).filter(|i| tc.outcome(*i) == Some(Outcome::Committed)).count();
-    assert!(commits >= 40, "2% loss should rarely break a 4/5 quorum, got {commits}/50");
-    assert!(sim.dropped_messages() > 0, "loss must actually have occurred");
+    let commits = (0..50)
+        .filter(|i| tc.outcome(*i) == Some(Outcome::Committed))
+        .count();
+    assert!(
+        commits >= 40,
+        "2% loss should rarely break a 4/5 quorum, got {commits}/50"
+    );
+    assert!(
+        sim.dropped_messages() > 0,
+        "loss must actually have occurred"
+    );
 }
 
 #[test]
@@ -44,7 +57,12 @@ fn heavy_loss_times_out_rather_than_wedging() {
     sim.network_mut().loss_prob = 0.6;
 
     let script: Vec<(SimTime, TxnSpec)> = (0..10)
-        .map(|i| (SimTime::from_millis(1 + i * 100), set_txn(&format!("k{i}"), 1)))
+        .map(|i| {
+            (
+                SimTime::from_millis(1 + i * 100),
+                set_txn(&format!("k{i}"), 1),
+            )
+        })
         .collect();
     let c = sim.add_actor(
         SiteId(0),
@@ -53,7 +71,11 @@ fn heavy_loss_times_out_rather_than_wedging() {
     sim.run_for(SimDuration::from_secs(10));
     let tc = client(&sim, c);
     // Every transaction terminates — committed or timed out, never stuck.
-    assert_eq!(tc.completed.len(), 10, "all txns must reach a terminal state");
+    assert_eq!(
+        tc.completed.len(),
+        10,
+        "all txns must reach a terminal state"
+    );
 }
 
 #[test]
@@ -94,8 +116,11 @@ fn lease_sweep_unwedges_a_record_after_lost_decides() {
 fn three_site_cluster_commits_with_majority_quorums() {
     // N=3: classic quorum 2, fast quorum 3 (fast Paxos needs all three).
     for protocol in [Protocol::Fast, Protocol::Classic, Protocol::TwoPc] {
-        let (mut sim, cluster) =
-            build_sim(planet_sim::topology::three_dc(), ClusterConfig::new(3, protocol), 8);
+        let (mut sim, cluster) = build_sim(
+            planet_sim::topology::three_dc(),
+            ClusterConfig::new(3, protocol),
+            8,
+        );
         let c = sim.add_actor(
             SiteId(0),
             Box::new(TestClient::new(
@@ -104,14 +129,21 @@ fn three_site_cluster_commits_with_majority_quorums() {
             )),
         );
         sim.run_for(SimDuration::from_secs(5));
-        assert_eq!(client(&sim, c).outcome(0), Some(Outcome::Committed), "{protocol}");
+        assert_eq!(
+            client(&sim, c).outcome(0),
+            Some(Outcome::Committed),
+            "{protocol}"
+        );
     }
 }
 
 #[test]
 fn single_site_cluster_is_a_local_database() {
-    let (mut sim, cluster) =
-        build_sim(planet_sim::topology::single_dc(), ClusterConfig::new(1, Protocol::Fast), 9);
+    let (mut sim, cluster) = build_sim(
+        planet_sim::topology::single_dc(),
+        ClusterConfig::new(1, Protocol::Fast),
+        9,
+    );
     let c = sim.add_actor(
         SiteId(0),
         Box::new(TestClient::new(
@@ -126,18 +158,29 @@ fn single_site_cluster_is_a_local_database() {
         .stats
         .decided_at
         .since(tc.completed[0].stats.submitted_at);
-    assert!(latency < SimDuration::from_millis(10), "single-site commit is local: {latency}");
+    assert!(
+        latency < SimDuration::from_millis(10),
+        "single-site commit is local: {latency}"
+    );
 }
 
 #[test]
 fn multi_key_txn_with_mixed_masters_is_atomic() {
     // A transaction writing several keys mastered at different sites either
     // installs all of its writes or none.
-    let (mut sim, cluster) =
-        build_sim(planet_sim::topology::five_dc(), ClusterConfig::new(5, Protocol::Classic), 10);
+    let (mut sim, cluster) = build_sim(
+        planet_sim::topology::five_dc(),
+        ClusterConfig::new(5, Protocol::Classic),
+        10,
+    );
     let spec = TxnSpec {
         writes: (0..6)
-            .map(|i| (Key::new(format!("atomic:{i}")), WriteOp::Set(Value::Int(77))))
+            .map(|i| {
+                (
+                    Key::new(format!("atomic:{i}")),
+                    WriteOp::Set(Value::Int(77)),
+                )
+            })
             .collect(),
         ..Default::default()
     };
@@ -186,10 +229,21 @@ fn validation_service_queue_adds_delay_under_burst() {
         let mean: f64 = tc
             .completed
             .iter()
-            .map(|r| r.stats.decided_at.since(r.stats.submitted_at).as_millis_f64())
+            .map(|r| {
+                r.stats
+                    .decided_at
+                    .since(r.stats.submitted_at)
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / tc.completed.len() as f64;
-        (tc.completed.iter().filter(|r| r.outcome.is_commit()).count(), mean)
+        (
+            tc.completed
+                .iter()
+                .filter(|r| r.outcome.is_commit())
+                .count(),
+            mean,
+        )
     };
     let (commits_free, mean_free) = run(0, 11);
     let (commits_busy, mean_busy) = run(20, 12);

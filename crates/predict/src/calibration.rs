@@ -184,7 +184,10 @@ mod tests {
             c.record(0.9, i % 10 < 3);
         }
         assert!((c.ece().unwrap() - 0.6).abs() < 1e-9);
-        assert!(c.skill().unwrap() < 0.0, "overconfidence must show negative skill");
+        assert!(
+            c.skill().unwrap() < 0.0,
+            "overconfidence must show negative skill"
+        );
     }
 
     #[test]

@@ -124,7 +124,12 @@ struct KeyStats {
 
 impl Default for KeyStats {
     fn default() -> Self {
-        KeyStats { rate: 0.0, count: 0, txn_rate: 0.95, txn_count: 0 }
+        KeyStats {
+            rate: 0.0,
+            count: 0,
+            txn_rate: 0.95,
+            txn_count: 0,
+        }
     }
 }
 
@@ -174,10 +179,20 @@ impl KeyedConflictModel {
         let x = if accepted { 1.0 } else { 0.0 };
         let stats = self.per_key.entry(key_hash).or_default();
         if stats.txn_count == 0 {
-            ewma_update(&mut self.fresh_txn.txn_rate, &mut self.fresh_txn.txn_count, x, 0.02);
+            ewma_update(
+                &mut self.fresh_txn.txn_rate,
+                &mut self.fresh_txn.txn_count,
+                x,
+                0.02,
+            );
         }
         ewma_update(&mut stats.txn_rate, &mut stats.txn_count, x, KEY_ALPHA);
-        ewma_update(&mut self.global_txn.txn_rate, &mut self.global_txn.txn_count, x, 0.02);
+        ewma_update(
+            &mut self.global_txn.txn_rate,
+            &mut self.global_txn.txn_count,
+            x,
+            0.02,
+        );
     }
 
     /// Transaction-level probability that an option on this key reaches its
@@ -297,7 +312,11 @@ mod tests {
             m.observe(cold, 0, true);
         }
         assert!(m.accept_prob(hot, 0) < 0.1, "hot {}", m.accept_prob(hot, 0));
-        assert!(m.accept_prob(cold, 0) > 0.9, "cold {}", m.accept_prob(cold, 0));
+        assert!(
+            m.accept_prob(cold, 0) > 0.9,
+            "cold {}",
+            m.accept_prob(cold, 0)
+        );
         // An unseen key gets the (mixed) global estimate, strictly between.
         let unseen = m.accept_prob(KeyedConflictModel::key_hash("new"), 0);
         assert!(unseen > 0.2 && unseen < 0.8, "unseen {unseen}");
@@ -324,7 +343,11 @@ mod tests {
         for _ in 0..20 {
             m.observe(k, 0, false);
         }
-        assert!(m.accept_prob(k, 0) < 0.2, "warmed key: {}", m.accept_prob(k, 0));
+        assert!(
+            m.accept_prob(k, 0) < 0.2,
+            "warmed key: {}",
+            m.accept_prob(k, 0)
+        );
     }
 
     #[test]
@@ -345,6 +368,9 @@ mod tests {
         for _ in 0..5 {
             m.observe(0, false);
         }
-        assert!(m.accept_prob(0) < 0.2, "5 straight rejects must dent the prior");
+        assert!(
+            m.accept_prob(0) < 0.2,
+            "5 straight rejects must dent the prior"
+        );
     }
 }

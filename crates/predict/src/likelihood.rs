@@ -226,11 +226,19 @@ impl LikelihoodModel {
         self.per_vote_tail(key, elapsed_us, budget_us, needed)
     }
 
-    fn per_vote_tail(&mut self, key: &KeyState, elapsed_us: u64, budget_us: u64, needed: usize) -> f64 {
+    fn per_vote_tail(
+        &mut self,
+        key: &KeyState,
+        elapsed_us: u64,
+        budget_us: u64,
+        needed: usize,
+    ) -> f64 {
         let probs: Vec<f64> = key
             .outstanding
             .iter()
-            .map(|&s| self.success_prob(s, elapsed_us, budget_us, key.pending_at_read, key.key_hash))
+            .map(|&s| {
+                self.success_prob(s, elapsed_us, budget_us, key.pending_at_read, key.key_hash)
+            })
             .collect();
         prob_at_least(&probs, needed)
     }
@@ -291,8 +299,22 @@ impl LikelihoodModel {
 mod tests {
     use super::*;
 
-    fn key(accepts: usize, rejects: usize, outstanding: Vec<u8>, quorum: usize, voters: usize) -> KeyState {
-        KeyState { accepts, rejects, outstanding, pending_at_read: 0, key_hash: 0, quorum, voters }
+    fn key(
+        accepts: usize,
+        rejects: usize,
+        outstanding: Vec<u8>,
+        quorum: usize,
+        voters: usize,
+    ) -> KeyState {
+        KeyState {
+            accepts,
+            rejects,
+            outstanding,
+            pending_at_read: 0,
+            key_hash: 0,
+            quorum,
+            voters,
+        }
     }
 
     fn warmed_model() -> LikelihoodModel {
@@ -309,9 +331,15 @@ mod tests {
     #[test]
     fn settled_keys_are_certain() {
         let mut m = warmed_model();
-        let won = TxnSnapshot { keys: vec![key(4, 0, vec![4], 4, 5)], elapsed_us: 0 };
+        let won = TxnSnapshot {
+            keys: vec![key(4, 0, vec![4], 4, 5)],
+            elapsed_us: 0,
+        };
         assert_eq!(m.likelihood(&won, 1), 1.0);
-        let lost = TxnSnapshot { keys: vec![key(1, 2, vec![3], 4, 5)], elapsed_us: 0 };
+        let lost = TxnSnapshot {
+            keys: vec![key(1, 2, vec![3], 4, 5)],
+            elapsed_us: 0,
+        };
         assert_eq!(m.likelihood(&lost, u64::MAX / 4), 0.0);
     }
 
@@ -346,8 +374,14 @@ mod tests {
         // ~101 and ~112 ms, making the deadline genuinely uncertain.
         let p0 = m.likelihood(&before, 106_000);
         let p3 = m.likelihood(&after3, 16_000);
-        assert!(p3 > p0, "3 accepts in hand should read higher: {p3} vs {p0}");
-        assert!(p0 < 0.6, "needing 4 arrivals by 106ms should be unlikely: {p0}");
+        assert!(
+            p3 > p0,
+            "3 accepts in hand should read higher: {p3} vs {p0}"
+        );
+        assert!(
+            p0 < 0.6,
+            "needing 4 arrivals by 106ms should be unlikely: {p0}"
+        );
         assert!(p3 > 0.4, "needing 1 of 2 arrivals should be likelier: {p3}");
     }
 
@@ -364,11 +398,19 @@ mod tests {
             m.observe_key_resolution(2, false);
         }
         let idle = TxnSnapshot {
-            keys: vec![KeyState { pending_at_read: 0, key_hash: 1, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            keys: vec![KeyState {
+                pending_at_read: 0,
+                key_hash: 1,
+                ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)
+            }],
             elapsed_us: 0,
         };
         let hot = TxnSnapshot {
-            keys: vec![KeyState { pending_at_read: 4, key_hash: 2, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            keys: vec![KeyState {
+                pending_at_read: 4,
+                key_hash: 2,
+                ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)
+            }],
             elapsed_us: 0,
         };
         let p_idle = m.likelihood(&idle, 1_000_000);
@@ -405,7 +447,10 @@ mod tests {
         };
         let p = m.likelihood(&snap, 1_000);
         // 0.9 arrival × 0.95 prior acceptance per replica, need 4 of 5.
-        assert!(p > 0.5, "cold-start prediction should be optimistic, got {p}");
+        assert!(
+            p > 0.5,
+            "cold-start prediction should be optimistic, got {p}"
+        );
     }
 
     #[test]
@@ -416,7 +461,10 @@ mod tests {
             m.observe_key_resolution(1, true);
         }
         let snap = TxnSnapshot {
-            keys: vec![KeyState { key_hash: 1, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            keys: vec![KeyState {
+                key_hash: 1,
+                ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)
+            }],
             elapsed_us: 0,
         };
         // Votes land between ~100 and ~112 ms (warmed_model); the suggested
@@ -440,7 +488,10 @@ mod tests {
             m.observe_key_resolution(66, false);
         }
         let snap = TxnSnapshot {
-            keys: vec![KeyState { key_hash: 66, ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5) }],
+            keys: vec![KeyState {
+                key_hash: 66,
+                ..key(0, 0, vec![0, 1, 2, 3, 4], 4, 5)
+            }],
             elapsed_us: 0,
         };
         assert_eq!(m.suggest_budget_us(&snap, 0.9, 30_000_000), None);

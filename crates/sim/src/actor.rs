@@ -53,14 +53,108 @@ pub struct Context<'a, M> {
 }
 
 /// A side effect emitted by an actor handler.
-pub(crate) enum Effect<M> {
-    /// Send `msg` to `dst` over the network (delay applied by the engine).
-    Send { dst: ActorId, msg: M },
+///
+/// Public so that *drivers other than the simulation engine* — the live
+/// cluster's thread-per-actor mailbox loops in `planet-cluster` — can apply
+/// the effects of a [`drive`] call to their own fabric. Within the
+/// deterministic engine, effects are still applied in emission order by the
+/// scheduler.
+#[derive(Debug)]
+pub enum Effect<M> {
+    /// Send `msg` to `dst` over the network (delay applied by the driver).
+    Send {
+        /// Destination actor.
+        dst: ActorId,
+        /// The message.
+        msg: M,
+    },
     /// Deliver `msg` back to the sender after exactly `delay` (a timer; the
     /// network model is not involved).
-    Timer { delay: SimDuration, msg: M },
+    Timer {
+        /// How long from now the timer fires.
+        delay: SimDuration,
+        /// The message delivered back to the emitting actor.
+        msg: M,
+    },
     /// Stop the whole simulation after the current event drains.
     Halt,
+}
+
+/// The observable result of driving one actor event: every effect the
+/// handler emitted, in emission order.
+///
+/// This is the factored "step function" of the actor model. The simulation
+/// engine and a live thread's mailbox loop both funnel events through
+/// [`drive`] / [`drive_start`], so one body of protocol logic serves both
+/// worlds; only the interpretation of the effects differs (scheduler heap
+/// vs. transport + local timer heap).
+#[derive(Debug)]
+pub struct Turn<M> {
+    /// Effects in the order the handler emitted them.
+    pub effects: Vec<Effect<M>>,
+}
+
+impl<M> Turn<M> {
+    /// True if the handler requested a halt.
+    pub fn halted(&self) -> bool {
+        self.effects.iter().any(|e| matches!(e, Effect::Halt))
+    }
+}
+
+/// Identity and clock inputs for one [`drive`] call — everything the
+/// [`Context`] needs that is not borrowed state.
+#[derive(Debug, Clone, Copy)]
+pub struct TurnInputs {
+    /// Current time (simulated, or wall-clock mapped to [`SimTime`]).
+    pub now: SimTime,
+    /// The actor being driven.
+    pub self_id: ActorId,
+    /// The site the actor lives at.
+    pub self_site: SiteId,
+}
+
+/// Deliver one message to `actor` outside any engine, returning the effects
+/// it emitted.
+pub fn drive<M: 'static>(
+    actor: &mut dyn Actor<M>,
+    inputs: TurnInputs,
+    from: ActorId,
+    msg: M,
+    rng: &mut DetRng,
+    metrics: &mut crate::metrics::Metrics,
+) -> Turn<M> {
+    let mut effects = Vec::new();
+    let mut ctx = Context {
+        now: inputs.now,
+        self_id: inputs.self_id,
+        self_site: inputs.self_site,
+        rng,
+        outbox: &mut effects,
+        metrics,
+    };
+    actor.on_message(from, msg, &mut ctx);
+    Turn { effects }
+}
+
+/// Run an actor's `on_start` hook outside any engine, returning the effects
+/// it emitted.
+pub fn drive_start<M: 'static>(
+    actor: &mut dyn Actor<M>,
+    inputs: TurnInputs,
+    rng: &mut DetRng,
+    metrics: &mut crate::metrics::Metrics,
+) -> Turn<M> {
+    let mut effects = Vec::new();
+    let mut ctx = Context {
+        now: inputs.now,
+        self_id: inputs.self_id,
+        self_site: inputs.self_site,
+        rng,
+        outbox: &mut effects,
+        metrics,
+    };
+    actor.on_start(&mut ctx);
+    Turn { effects }
 }
 
 impl<'a, M> Context<'a, M> {

@@ -8,7 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use crate::actor::{Actor, ActorId, Context, Effect};
+use crate::actor::{drive, drive_start, Actor, ActorId, Effect, TurnInputs};
 use crate::metrics::Metrics;
 use crate::net::{NetworkModel, SiteId};
 use crate::rng::DetRng;
@@ -85,7 +85,10 @@ impl<M: 'static> Simulation<M> {
     /// Register an actor at a site, returning its id. All actors must be
     /// registered before the first call to a `run_*` method.
     pub fn add_actor(&mut self, site: SiteId, actor: Box<dyn Actor<M>>) -> ActorId {
-        assert!(!self.started, "cannot add actors after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add actors after the simulation started"
+        );
         assert!(
             (site.0 as usize) < self.net.num_sites(),
             "site {site} not in topology"
@@ -136,7 +139,13 @@ impl<M: 'static> Simulation<M> {
     pub fn inject_at(&mut self, at: SimTime, dst: ActorId, msg: M) {
         assert!(at >= self.time, "cannot inject into the past");
         let seq = self.next_seq();
-        self.queue.push(Reverse(Scheduled { at, seq, from: dst, dst, msg }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            from: dst,
+            dst,
+            msg,
+        }));
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -157,20 +166,14 @@ impl<M: 'static> Simulation<M> {
 
     fn dispatch_start(&mut self, id: ActorId) {
         let mut actor = self.actors[id.0 as usize].take().expect("actor missing");
-        let mut outbox = Vec::new();
-        {
-            let mut ctx = Context {
-                now: self.time,
-                self_id: id,
-                self_site: self.sites[id.0 as usize],
-                rng: &mut self.rng,
-                outbox: &mut outbox,
-                metrics: &mut self.metrics,
-            };
-            actor.on_start(&mut ctx);
-        }
+        let inputs = TurnInputs {
+            now: self.time,
+            self_id: id,
+            self_site: self.sites[id.0 as usize],
+        };
+        let turn = drive_start(actor.as_mut(), inputs, &mut self.rng, &mut self.metrics);
         self.actors[id.0 as usize] = Some(actor);
-        self.apply_effects(id, outbox);
+        self.apply_effects(id, turn.effects);
     }
 
     fn apply_effects(&mut self, src: ActorId, effects: Vec<Effect<M>>) {
@@ -179,7 +182,10 @@ impl<M: 'static> Simulation<M> {
                 Effect::Send { dst, msg } => {
                     let src_site = self.sites[src.0 as usize];
                     let dst_site = self.sites[dst.0 as usize];
-                    match self.net.sample_delay(src_site, dst_site, self.time, &mut self.rng) {
+                    match self
+                        .net
+                        .sample_delay(src_site, dst_site, self.time, &mut self.rng)
+                    {
                         Some(delay) => {
                             let mut at = self.time + delay;
                             // FIFO per ordered pair: a message never
@@ -193,7 +199,13 @@ impl<M: 'static> Simulation<M> {
                             }
                             *hw = at;
                             let seq = self.next_seq();
-                            self.queue.push(Reverse(Scheduled { at, seq, from: src, dst, msg }));
+                            self.queue.push(Reverse(Scheduled {
+                                at,
+                                seq,
+                                from: src,
+                                dst,
+                                msg,
+                            }));
                         }
                         None => self.dropped_messages += 1,
                     }
@@ -201,7 +213,13 @@ impl<M: 'static> Simulation<M> {
                 Effect::Timer { delay, msg } => {
                     let at = self.time + delay;
                     let seq = self.next_seq();
-                    self.queue.push(Reverse(Scheduled { at, seq, from: src, dst: src, msg }));
+                    self.queue.push(Reverse(Scheduled {
+                        at,
+                        seq,
+                        from: src,
+                        dst: src,
+                        msg,
+                    }));
                 }
                 Effect::Halt => self.halted = true,
             }
@@ -223,21 +241,24 @@ impl<M: 'static> Simulation<M> {
         self.events_processed += 1;
 
         let idx = ev.dst.0 as usize;
-        let mut actor = self.actors[idx].take().expect("actor missing (re-entrant dispatch?)");
-        let mut outbox = Vec::new();
-        {
-            let mut ctx = Context {
-                now: self.time,
-                self_id: ev.dst,
-                self_site: self.sites[idx],
-                rng: &mut self.rng,
-                outbox: &mut outbox,
-                metrics: &mut self.metrics,
-            };
-            actor.on_message(ev.from, ev.msg, &mut ctx);
-        }
+        let mut actor = self.actors[idx]
+            .take()
+            .expect("actor missing (re-entrant dispatch?)");
+        let inputs = TurnInputs {
+            now: self.time,
+            self_id: ev.dst,
+            self_site: self.sites[idx],
+        };
+        let turn = drive(
+            actor.as_mut(),
+            inputs,
+            ev.from,
+            ev.msg,
+            &mut self.rng,
+            &mut self.metrics,
+        );
         self.actors[idx] = Some(actor);
-        self.apply_effects(ev.dst, outbox);
+        self.apply_effects(ev.dst, turn.effects);
         !self.halted
     }
 
@@ -283,12 +304,16 @@ impl<M: 'static> Simulation<M> {
     /// Borrow a registered actor (e.g. to read results after a run). Panics
     /// if the id is unknown.
     pub fn actor(&self, id: ActorId) -> &dyn Actor<M> {
-        self.actors[id.0 as usize].as_deref().expect("actor missing")
+        self.actors[id.0 as usize]
+            .as_deref()
+            .expect("actor missing")
     }
 
     /// Mutably borrow a registered actor.
     pub fn actor_mut(&mut self, id: ActorId) -> &mut (dyn Actor<M> + 'static) {
-        self.actors[id.0 as usize].as_deref_mut().expect("actor missing")
+        self.actors[id.0 as usize]
+            .as_deref_mut()
+            .expect("actor missing")
     }
 
     /// Borrow a registered actor downcast to its concrete type, or `None`
@@ -314,6 +339,7 @@ impl<M: 'static> Simulation<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
     use crate::topology;
 
     #[derive(Debug, Clone, PartialEq)]

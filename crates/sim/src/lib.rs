@@ -41,7 +41,7 @@ mod rng;
 mod time;
 pub mod topology;
 
-pub use actor::{Actor, ActorId, Context};
+pub use actor::{drive, drive_start, Actor, ActorId, Context, Effect, Turn, TurnInputs};
 pub use engine::Simulation;
 pub use metrics::{Counter, Histogram, Metrics, TimeSeries};
 pub use net::{JitterModel, NetworkModel, Partition, SiteId, Spike};

@@ -62,8 +62,8 @@ impl Histogram {
             return value as usize;
         }
         let major = 63 - value.leading_zeros() as usize; // floor(log2(value))
-        // Values in major bucket m span [2^m, 2^(m+1)); divide that span into
-        // SUB_BUCKETS linear slices.
+                                                         // Values in major bucket m span [2^m, 2^(m+1)); divide that span into
+                                                         // SUB_BUCKETS linear slices.
         let shift = major.saturating_sub(SUB_BUCKETS.trailing_zeros() as usize);
         let sub = (value >> shift) as usize - SUB_BUCKETS;
         let base = (major - SUB_BUCKETS.trailing_zeros() as usize + 1) * SUB_BUCKETS;

@@ -12,13 +12,11 @@
 //! * scheduled *partitions* (a time window during which a pair of sites
 //!   cannot exchange messages at all).
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a site (data center).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u8);
 
 impl std::fmt::Display for SiteId {
@@ -28,7 +26,7 @@ impl std::fmt::Display for SiteId {
 }
 
 /// Jitter applied multiplicatively to every base delay.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct JitterModel {
     /// Sigma of the log-normal multiplier (mu = 0, so the median factor is 1).
     pub sigma: f64,
@@ -50,7 +48,7 @@ impl Default for JitterModel {
 
 /// A window during which delays on matching paths are multiplied — models a
 /// load spike, a congested link, or a slow replica.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Spike {
     /// Start of the window (inclusive).
     pub from: SimTime,
@@ -64,7 +62,7 @@ pub struct Spike {
 
 /// A window during which two sites cannot exchange messages in either
 /// direction.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Partition {
     /// Start of the window (inclusive).
     pub from: SimTime,
@@ -77,7 +75,7 @@ pub struct Partition {
 }
 
 /// The full network model: topology plus stochastic behaviour.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkModel {
     /// `base_owd_us[src][dst]` = base one-way delay in microseconds.
     base_owd_us: Vec<Vec<u64>>,
@@ -97,10 +95,17 @@ impl NetworkModel {
     pub fn from_rtt_ms(rtt_ms: &[Vec<f64>]) -> Self {
         let n = rtt_ms.len();
         assert!(n > 0, "need at least one site");
-        assert!(rtt_ms.iter().all(|row| row.len() == n), "matrix must be square");
+        assert!(
+            rtt_ms.iter().all(|row| row.len() == n),
+            "matrix must be square"
+        );
         let base_owd_us = rtt_ms
             .iter()
-            .map(|row| row.iter().map(|&rtt| (rtt * 500.0).round() as u64).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|&rtt| (rtt * 500.0).round() as u64)
+                    .collect()
+            })
             .collect();
         NetworkModel {
             base_owd_us,
@@ -173,7 +178,9 @@ impl NetworkModel {
         factor *= self.spike_factor(dst, now);
         // Never deliver instantaneously: a minimum of 50µs keeps event
         // ordering realistic even intra-site.
-        Some(SimDuration::from_micros(base.mul_f64(factor).as_micros().max(50)))
+        Some(SimDuration::from_micros(
+            base.mul_f64(factor).as_micros().max(50),
+        ))
     }
 }
 
@@ -215,8 +222,12 @@ mod tests {
         net.loss_prob = 1.0;
         let mut rng = DetRng::new(7);
         for _ in 0..100 {
-            assert!(net.sample_delay(SiteId(0), SiteId(0), SimTime::ZERO, &mut rng).is_some());
-            assert!(net.sample_delay(SiteId(0), SiteId(1), SimTime::ZERO, &mut rng).is_none());
+            assert!(net
+                .sample_delay(SiteId(0), SiteId(0), SimTime::ZERO, &mut rng)
+                .is_some());
+            assert!(net
+                .sample_delay(SiteId(0), SiteId(1), SimTime::ZERO, &mut rng)
+                .is_none());
         }
     }
 
@@ -246,15 +257,25 @@ mod tests {
         let mut rng = DetRng::new(3);
         let inside = SimTime::from_millis(1_500);
         let outside = SimTime::from_millis(2_500);
-        assert!(net.sample_delay(SiteId(0), SiteId(1), inside, &mut rng).is_none());
-        assert!(net.sample_delay(SiteId(1), SiteId(0), inside, &mut rng).is_none());
-        assert!(net.sample_delay(SiteId(0), SiteId(1), outside, &mut rng).is_some());
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), inside, &mut rng)
+            .is_none());
+        assert!(net
+            .sample_delay(SiteId(1), SiteId(0), inside, &mut rng)
+            .is_none());
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), outside, &mut rng)
+            .is_some());
     }
 
     #[test]
     fn spikes_multiply_delay() {
         let mut net = two_site_model();
-        net.jitter = JitterModel { sigma: 0.0, tail_prob: 0.0, tail_factor: 1.0 };
+        net.jitter = JitterModel {
+            sigma: 0.0,
+            tail_prob: 0.0,
+            tail_factor: 1.0,
+        };
         net.add_spike(Spike {
             from: SimTime::ZERO,
             to: SimTime::from_secs(10),
@@ -276,7 +297,11 @@ mod tests {
     #[test]
     fn overlapping_spikes_take_max_not_product() {
         let mut net = two_site_model();
-        net.jitter = JitterModel { sigma: 0.0, tail_prob: 0.0, tail_factor: 1.0 };
+        net.jitter = JitterModel {
+            sigma: 0.0,
+            tail_prob: 0.0,
+            tail_factor: 1.0,
+        };
         for factor in [2.0, 3.0] {
             net.add_spike(Spike {
                 from: SimTime::ZERO,
@@ -290,6 +315,175 @@ mod tests {
             .sample_delay(SiteId(0), SiteId(1), SimTime::from_secs(1), &mut rng)
             .unwrap();
         assert_eq!(d.as_micros(), 120_000);
+    }
+
+    #[test]
+    fn partition_window_is_inclusive_exclusive() {
+        let mut net = two_site_model();
+        net.add_partition(Partition {
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(2),
+            a: SiteId(0),
+            b: SiteId(1),
+        });
+        let mut rng = DetRng::new(8);
+        // The instant before the window opens, traffic still flows.
+        let before = SimTime::from_micros(999_999);
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), before, &mut rng)
+            .is_some());
+        // `from` is inclusive: the first instant of the window cuts.
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), SimTime::from_secs(1), &mut rng)
+            .is_none());
+        // `to` is exclusive: the window's end instant is already healed.
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), SimTime::from_secs(2), &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn partition_cuts_only_the_named_pair() {
+        let mut net = NetworkModel::from_rtt_ms(&[
+            vec![0.5, 80.0, 80.0],
+            vec![80.0, 0.5, 80.0],
+            vec![80.0, 80.0, 0.5],
+        ]);
+        net.add_partition(Partition {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(10),
+            a: SiteId(0),
+            b: SiteId(1),
+        });
+        let mut rng = DetRng::new(9);
+        let now = SimTime::from_secs(5);
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), now, &mut rng)
+            .is_none());
+        // Both endpoints still reach the third site, and each other's
+        // intra-site traffic is untouched: the cluster can route around a
+        // single cut link (what makes quorum protocols interesting).
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(2), now, &mut rng)
+            .is_some());
+        assert!(net
+            .sample_delay(SiteId(1), SiteId(2), now, &mut rng)
+            .is_some());
+        assert!(net
+            .sample_delay(SiteId(2), SiteId(0), now, &mut rng)
+            .is_some());
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(0), now, &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn disjoint_partitions_each_cut_their_own_window() {
+        let mut net = two_site_model();
+        for (from_s, to_s) in [(1, 2), (4, 5)] {
+            net.add_partition(Partition {
+                from: SimTime::from_secs(from_s),
+                to: SimTime::from_secs(to_s),
+                a: SiteId(0),
+                b: SiteId(1),
+            });
+        }
+        let mut rng = DetRng::new(10);
+        for (t_s, expect_cut) in [(0, false), (1, true), (3, false), (4, true), (6, false)] {
+            let now = SimTime::from_millis(t_s * 1000 + 500);
+            let cut = net
+                .sample_delay(SiteId(0), SiteId(1), now, &mut rng)
+                .is_none();
+            assert_eq!(cut, expect_cut, "at {t_s}.5s");
+        }
+    }
+
+    #[test]
+    fn spike_window_is_inclusive_exclusive() {
+        let mut net = two_site_model();
+        net.jitter = JitterModel {
+            sigma: 0.0,
+            tail_prob: 0.0,
+            tail_factor: 1.0,
+        };
+        net.add_spike(Spike {
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(2),
+            site: None,
+            factor: 4.0,
+        });
+        let mut rng = DetRng::new(11);
+        let d = |net: &NetworkModel, now, rng: &mut DetRng| {
+            net.sample_delay(SiteId(0), SiteId(1), now, rng)
+                .unwrap()
+                .as_micros()
+        };
+        assert_eq!(d(&net, SimTime::from_micros(999_999), &mut rng), 40_000);
+        assert_eq!(d(&net, SimTime::from_secs(1), &mut rng), 160_000);
+        assert_eq!(d(&net, SimTime::from_secs(2), &mut rng), 40_000);
+    }
+
+    #[test]
+    fn site_spike_hits_inbound_paths_only() {
+        // A spike models an overloaded *destination*: everything flowing into
+        // the slow site — including its own intra-site hops — is delayed;
+        // its outbound paths toward healthy sites are not.
+        let mut net = two_site_model();
+        net.jitter = JitterModel {
+            sigma: 0.0,
+            tail_prob: 0.0,
+            tail_factor: 1.0,
+        };
+        net.add_spike(Spike {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(10),
+            site: Some(SiteId(1)),
+            factor: 10.0,
+        });
+        let mut rng = DetRng::new(12);
+        let now = SimTime::from_secs(1);
+        let into = net
+            .sample_delay(SiteId(0), SiteId(1), now, &mut rng)
+            .unwrap();
+        assert_eq!(into.as_micros(), 400_000);
+        let within = net
+            .sample_delay(SiteId(1), SiteId(1), now, &mut rng)
+            .unwrap();
+        assert_eq!(
+            within.as_micros(),
+            2_500,
+            "intra-site path of the spiked site"
+        );
+        let out_of = net
+            .sample_delay(SiteId(1), SiteId(0), now, &mut rng)
+            .unwrap();
+        assert_eq!(
+            out_of.as_micros(),
+            40_000,
+            "outbound path of the spiked site"
+        );
+    }
+
+    #[test]
+    fn spike_never_beats_partition() {
+        // A path that is both spiked and partitioned is down, not slow.
+        let mut net = two_site_model();
+        net.add_spike(Spike {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(10),
+            site: None,
+            factor: 2.0,
+        });
+        net.add_partition(Partition {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(10),
+            a: SiteId(0),
+            b: SiteId(1),
+        });
+        let mut rng = DetRng::new(13);
+        assert!(net
+            .sample_delay(SiteId(0), SiteId(1), SimTime::from_secs(5), &mut rng)
+            .is_none());
     }
 
     #[test]

@@ -4,27 +4,47 @@
 //! arrivals, key choice — draws from a single [`DetRng`] seeded at
 //! construction, so a run is a pure function of `(seed, config)`.
 //!
-//! `rand_distr` is not part of the approved dependency set, so the handful of
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna), seeded through SplitMix64 so that nearby seeds produce
+//! decorrelated streams. No external crates are involved: the repository must
+//! build in fully offline environments, and determinism across toolchain
+//! updates matters more than having the fanciest generator. The handful of
 //! distributions the simulator needs (normal, log-normal, exponential) are
 //! implemented here directly.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded deterministic random number generator with the sampling helpers
 /// the simulator and workloads need.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = splitmix64(&mut sm);
+        }
+        // All-zero state is the one fixed point of xoshiro; SplitMix64 cannot
+        // produce four zero outputs in a row, but guard anyway.
+        if state == [0; 4] {
+            state = [0x9E3779B97F4A7C15, 1, 2, 3];
+        }
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state,
             spare_normal: None,
         }
     }
@@ -32,29 +52,50 @@ impl DetRng {
     /// Derive an independent child generator. Used to give subsystems their
     /// own streams so adding draws in one subsystem does not perturb another.
     pub fn fork(&mut self) -> DetRng {
-        DetRng::new(self.inner.gen::<u64>())
+        DetRng::new(self.next_u64())
     }
 
-    /// A uniform `u64`.
+    /// A uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniform float in the half-open interval `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // The top 53 bits give a uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire). For spans that divide 2^64 the
+        // fast path never loops.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let hi128 = ((x as u128 * span as u128) >> 64) as u64;
+            let lo128 = (x as u128 * span as u128) as u64;
+            if lo128 >= threshold {
+                return lo + hi128;
+            }
+        }
     }
 
     /// A uniform index in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -137,6 +178,18 @@ mod tests {
             let x = rng.unit_f64();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn range_u64_covers_and_stays_inside() {
+        let mut rng = DetRng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = rng.range_u64(3, 10);
+            assert!((3..10).contains(&x));
+            seen[(x - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in [3,10) must appear");
     }
 
     #[test]

@@ -8,18 +8,12 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, in microseconds since the start of the run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -118,6 +112,19 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
+
+    /// Convert to a wall-clock [`std::time::Duration`]. Used by the live
+    /// cluster runtime, where the same delay-model configuration that shapes
+    /// simulated delivery shapes real sleeps.
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
+    }
+
+    /// Build from a wall-clock [`std::time::Duration`], truncating to whole
+    /// microseconds.
+    pub const fn from_std(d: std::time::Duration) -> Self {
+        SimDuration(d.as_micros() as u64)
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -200,7 +207,10 @@ mod tests {
 
     #[test]
     fn mul_f64_scales() {
-        assert_eq!(SimDuration::from_millis(10).mul_f64(2.5).as_micros(), 25_000);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(2.5).as_micros(),
+            25_000
+        );
         assert_eq!(SimDuration::from_millis(10).mul_f64(0.0), SimDuration::ZERO);
     }
 

@@ -11,7 +11,13 @@
 use crate::net::NetworkModel;
 
 /// The five-region names, in [`SiteId`](crate::net::SiteId) order.
-pub const FIVE_DC_NAMES: [&str; 5] = ["us-east", "us-west", "eu-west", "ap-northeast", "ap-southeast"];
+pub const FIVE_DC_NAMES: [&str; 5] = [
+    "us-east",
+    "us-west",
+    "eu-west",
+    "ap-northeast",
+    "ap-southeast",
+];
 
 /// Intra-data-center round trip time in milliseconds.
 pub const LOCAL_RTT_MS: f64 = 0.5;
@@ -21,7 +27,8 @@ pub fn five_dc_rtt_ms() -> Vec<Vec<f64>> {
     let l = LOCAL_RTT_MS;
     vec![
         //            us-east us-west eu-west ap-ne  ap-se
-        /* us-east */ vec![l, 70.0, 80.0, 170.0, 200.0],
+        /* us-east */
+        vec![l, 70.0, 80.0, 170.0, 200.0],
         /* us-west */ vec![70.0, l, 140.0, 110.0, 160.0],
         /* eu-west */ vec![80.0, 140.0, l, 220.0, 280.0],
         /* ap-ne   */ vec![170.0, 110.0, 220.0, l, 120.0],

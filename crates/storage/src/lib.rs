@@ -23,5 +23,5 @@ pub use options::{RecordOption, RejectReason, WriteOp};
 pub use record::{CommittedVersion, VersionedRecord};
 pub use replica::Replica;
 pub use store::{ReadResult, Store};
-pub use types::{Key, TxnId, Value, VersionNo};
+pub use types::{Bytes, Key, TxnId, Value, VersionNo};
 pub use wal::{LogRecord, Wal};

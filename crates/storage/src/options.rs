@@ -16,12 +16,10 @@
 //!   bounds (the demarcation protocol): any set of deltas may be pending
 //!   simultaneously as long as the *worst-case* outcome respects the bounds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{TxnId, Value, VersionNo};
 
 /// The write an option would apply if its transaction commits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WriteOp {
     /// Replace the value (physical update).
     Set(Value),
@@ -42,12 +40,20 @@ pub enum WriteOp {
 impl WriteOp {
     /// Unbounded commutative addition.
     pub fn add(delta: i64) -> Self {
-        WriteOp::Add { delta, lower: None, upper: None }
+        WriteOp::Add {
+            delta,
+            lower: None,
+            upper: None,
+        }
     }
 
     /// Commutative addition with a lower bound (e.g. "stock never below 0").
     pub fn add_with_floor(delta: i64, lower: i64) -> Self {
-        WriteOp::Add { delta, lower: Some(lower), upper: None }
+        WriteOp::Add {
+            delta,
+            lower: Some(lower),
+            upper: None,
+        }
     }
 
     /// True for commutative (delta) operations.
@@ -68,7 +74,7 @@ impl WriteOp {
 }
 
 /// An option: a conditional write proposed by a transaction for one record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordOption {
     /// The proposing transaction.
     pub txn: TxnId,
@@ -82,7 +88,11 @@ pub struct RecordOption {
 impl RecordOption {
     /// Build an option.
     pub fn new(txn: TxnId, read_version: VersionNo, op: WriteOp) -> Self {
-        RecordOption { txn, read_version, op }
+        RecordOption {
+            txn,
+            read_version,
+            op,
+        }
     }
 
     /// True for commutative (delta) options.
@@ -92,7 +102,7 @@ impl RecordOption {
 }
 
 /// Why a replica refused to accept an option.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// Physical option based on a stale version.
     StaleVersion {
@@ -158,9 +168,14 @@ mod tests {
 
     #[test]
     fn reject_reason_display() {
-        let r = RejectReason::StaleVersion { expected: 1, actual: 3 };
+        let r = RejectReason::StaleVersion {
+            expected: 1,
+            actual: 3,
+        };
         assert!(r.to_string().contains("stale"));
-        let c = RejectReason::PendingConflict { holder: TxnId::new(0, 9) };
+        let c = RejectReason::PendingConflict {
+            holder: TxnId::new(0, 9),
+        };
         assert!(c.to_string().contains("t0.9"));
     }
 }

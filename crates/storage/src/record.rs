@@ -11,13 +11,11 @@
 //!   pending deltas keeps the value within the option's integrity bounds
 //!   (the demarcation rule).
 
-use serde::{Deserialize, Serialize};
-
 use crate::options::{RecordOption, RejectReason, WriteOp};
 use crate::types::{TxnId, Value, VersionNo};
 
 /// One committed version of a record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommittedVersion {
     /// Version number (1 is the first write).
     pub version: VersionNo,
@@ -28,7 +26,7 @@ pub struct CommittedVersion {
 }
 
 /// A record: committed version chain plus pending options.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VersionedRecord {
     versions: Vec<CommittedVersion>,
     pending: Vec<RecordOption>,
@@ -96,7 +94,11 @@ impl VersionedRecord {
                 }
                 Ok(())
             }
-            WriteOp::Add { delta, lower, upper } => {
+            WriteOp::Add {
+                delta,
+                lower,
+                upper,
+            } => {
                 if let Some(phys) = self.pending.iter().find(|o| !o.is_commutative()) {
                     return Err(RejectReason::PendingConflict { holder: phys.txn });
                 }
@@ -169,7 +171,11 @@ impl VersionedRecord {
             self.pending.remove(idx);
         }
         if version > self.current_version() {
-            self.versions.push(CommittedVersion { version, value, txn });
+            self.versions.push(CommittedVersion {
+                version,
+                value,
+                txn,
+            });
             true
         } else {
             false
@@ -242,7 +248,13 @@ mod tests {
         r.accept(set(1, 0, 10)).unwrap();
         r.decide(txn(1), true);
         let err = r.accept(set(2, 0, 20)).unwrap_err();
-        assert_eq!(err, RejectReason::StaleVersion { expected: 0, actual: 1 });
+        assert_eq!(
+            err,
+            RejectReason::StaleVersion {
+                expected: 0,
+                actual: 1
+            }
+        );
         r.accept(set(3, 1, 20)).unwrap();
     }
 
@@ -286,17 +298,37 @@ mod tests {
         r.accept(set(1, 0, 25)).unwrap();
         r.decide(txn(1), true);
         // Two -10s are fine (worst case 5), a third would risk -5.
-        r.accept(RecordOption::new(txn(2), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
-        r.accept(RecordOption::new(txn(3), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
+        r.accept(RecordOption::new(
+            txn(2),
+            0,
+            WriteOp::add_with_floor(-10, 0),
+        ))
+        .unwrap();
+        r.accept(RecordOption::new(
+            txn(3),
+            0,
+            WriteOp::add_with_floor(-10, 0),
+        ))
+        .unwrap();
         let err = r
-            .accept(RecordOption::new(txn(4), 0, WriteOp::add_with_floor(-10, 0)))
+            .accept(RecordOption::new(
+                txn(4),
+                0,
+                WriteOp::add_with_floor(-10, 0),
+            ))
             .unwrap_err();
         assert_eq!(err, RejectReason::BoundViolation);
         // A positive delta doesn't threaten the floor even now.
-        r.accept(RecordOption::new(txn(5), 0, WriteOp::add_with_floor(30, 0))).unwrap();
+        r.accept(RecordOption::new(txn(5), 0, WriteOp::add_with_floor(30, 0)))
+            .unwrap();
         // And once one decrement aborts, capacity is released.
         r.decide(txn(2), false);
-        r.accept(RecordOption::new(txn(6), 0, WriteOp::add_with_floor(-10, 0))).unwrap();
+        r.accept(RecordOption::new(
+            txn(6),
+            0,
+            WriteOp::add_with_floor(-10, 0),
+        ))
+        .unwrap();
     }
 
     #[test]
@@ -305,18 +337,36 @@ mod tests {
         r.accept(set(1, 0, 90)).unwrap();
         r.decide(txn(1), true);
         let cap = |t: u64, d: i64| {
-            RecordOption::new(txn(t), 0, WriteOp::Add { delta: d, lower: None, upper: Some(100) })
+            RecordOption::new(
+                txn(t),
+                0,
+                WriteOp::Add {
+                    delta: d,
+                    lower: None,
+                    upper: Some(100),
+                },
+            )
         };
         r.accept(cap(2, 8)).unwrap();
-        assert_eq!(r.accept(cap(3, 8)).unwrap_err(), RejectReason::BoundViolation);
+        assert_eq!(
+            r.accept(cap(3, 8)).unwrap_err(),
+            RejectReason::BoundViolation
+        );
     }
 
     #[test]
     fn commutative_on_bytes_is_type_mismatch() {
         let mut r = VersionedRecord::new();
-        r.accept(RecordOption::new(txn(1), 0, WriteOp::Set(Value::from("blob")))).unwrap();
+        r.accept(RecordOption::new(
+            txn(1),
+            0,
+            WriteOp::Set(Value::from("blob")),
+        ))
+        .unwrap();
         r.decide(txn(1), true);
-        let err = r.accept(RecordOption::new(txn(2), 0, WriteOp::add(1))).unwrap_err();
+        let err = r
+            .accept(RecordOption::new(txn(2), 0, WriteOp::add(1)))
+            .unwrap_err();
         assert_eq!(err, RejectReason::TypeMismatch);
     }
 
@@ -325,7 +375,8 @@ mod tests {
         let mut r = VersionedRecord::new();
         r.accept(set(1, 0, 10)).unwrap();
         r.decide(txn(1), true);
-        r.accept(RecordOption::new(txn(2), 0, WriteOp::add(1))).unwrap();
+        r.accept(RecordOption::new(txn(2), 0, WriteOp::add(1)))
+            .unwrap();
         let err = r.accept(set(3, 1, 99)).unwrap_err();
         assert_eq!(err, RejectReason::PendingConflict { holder: txn(2) });
         assert!(!r.has_pending_physical());

@@ -29,7 +29,11 @@ impl Replica {
     /// Rebuild a replica from a recovered log.
     pub fn recover(wal: Wal) -> Self {
         let store = wal.replay();
-        Replica { store, wal, ..Default::default() }
+        Replica {
+            store,
+            wal,
+            ..Default::default()
+        }
     }
 
     /// Read the latest committed state of a key.
@@ -65,7 +69,11 @@ impl Replica {
 
     /// Log and apply a transaction decision for one key.
     pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
-        self.wal.append(LogRecord::Decided { key: key.clone(), txn, commit });
+        self.wal.append(LogRecord::Decided {
+            key: key.clone(),
+            txn,
+            commit,
+        });
         let result = self.store.decide(key, txn, commit);
         if result.is_some() {
             self.committed += 1;
@@ -146,7 +154,11 @@ mod tests {
     fn accept_and_decide_are_logged() {
         let mut r = Replica::new();
         let k = Key::new("a");
-        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5)))).unwrap();
+        r.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5))),
+        )
+        .unwrap();
         r.decide(&k, txn(1), true);
         assert_eq!(r.wal().len(), 2);
         assert_eq!(r.stats(), (1, 0, 1, 0));
@@ -156,8 +168,15 @@ mod tests {
     fn rejected_options_do_not_pollute_log() {
         let mut r = Replica::new();
         let k = Key::new("a");
-        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5)))).unwrap();
-        let err = r.accept(&k, RecordOption::new(txn(2), 0, WriteOp::Set(Value::Int(6))));
+        r.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(5))),
+        )
+        .unwrap();
+        let err = r.accept(
+            &k,
+            RecordOption::new(txn(2), 0, WriteOp::Set(Value::Int(6))),
+        );
         assert!(err.is_err());
         r.note_rejection();
         assert_eq!(r.wal().len(), 1);
@@ -168,9 +187,17 @@ mod tests {
     fn recovery_reproduces_live_state() {
         let mut r = Replica::new();
         let k = Key::new("stock");
-        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(10)))).unwrap();
+        r.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(10))),
+        )
+        .unwrap();
         r.decide(&k, txn(1), true);
-        r.accept(&k, RecordOption::new(txn(2), 0, WriteOp::add_with_floor(-1, 0))).unwrap();
+        r.accept(
+            &k,
+            RecordOption::new(txn(2), 0, WriteOp::add_with_floor(-1, 0)),
+        )
+        .unwrap();
         assert!(r.verify_recovery().is_empty());
 
         let recovered = Replica::recover(r.wal().clone());
@@ -181,7 +208,8 @@ mod tests {
     fn abort_counts() {
         let mut r = Replica::new();
         let k = Key::new("a");
-        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::add(1))).unwrap();
+        r.accept(&k, RecordOption::new(txn(1), 0, WriteOp::add(1)))
+            .unwrap();
         r.decide(&k, txn(1), false);
         assert_eq!(r.stats(), (1, 0, 0, 1));
     }

@@ -39,7 +39,11 @@ impl Store {
                 value: r.current_value().clone(),
                 pending: r.pending_count(),
             },
-            None => ReadResult { version: 0, value: Value::None, pending: 0 },
+            None => ReadResult {
+                version: 0,
+                value: Value::None,
+                pending: 0,
+            },
         }
     }
 
@@ -59,13 +63,18 @@ impl Store {
     /// Learn a transaction outcome on a key; returns the new version if one
     /// was committed.
     pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
-        self.records.get_mut(key).and_then(|r| r.decide(txn, commit))
+        self.records
+            .get_mut(key)
+            .and_then(|r| r.decide(txn, commit))
     }
 
     /// Install a committed version by state transfer; see
     /// [`VersionedRecord::install`].
     pub fn install(&mut self, key: &Key, version: VersionNo, value: Value, txn: TxnId) -> bool {
-        self.records.entry(key.clone()).or_default().install(version, value, txn)
+        self.records
+            .entry(key.clone())
+            .or_default()
+            .install(version, value, txn)
     }
 
     /// Direct access to a record (e.g. pending inspection), if it exists.
@@ -125,7 +134,11 @@ mod tests {
     fn accept_decide_read_cycle() {
         let mut s = Store::new();
         let k = Key::new("a");
-        s.accept(&k, RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(7)))).unwrap();
+        s.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(7))),
+        )
+        .unwrap();
         assert_eq!(s.read(&k).pending, 1);
         assert_eq!(s.decide(&k, txn(1), true), Some(1));
         let r = s.read(&k);

@@ -6,14 +6,12 @@
 //! recovery story and a powerful testing oracle (see the property tests in
 //! `replica.rs`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::options::RecordOption;
 use crate::store::Store;
 use crate::types::{Key, TxnId};
 
 /// One logged state transition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogRecord {
     /// An option was validated and accepted on `key`.
     OptionAccepted {
@@ -61,7 +59,7 @@ pub enum LogRecord {
 /// let store = wal.replay();
 /// assert_eq!(store.read(&key).value, Value::Int(7));
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Wal {
     records: Vec<LogRecord>,
 }
@@ -113,7 +111,12 @@ impl Wal {
                 LogRecord::Decided { key, txn, commit } => {
                     let _ = store.decide(key, *txn, *commit);
                 }
-                LogRecord::Installed { key, version, value, txn } => {
+                LogRecord::Installed {
+                    key,
+                    version,
+                    value,
+                    txn,
+                } => {
                     let _ = store.install(key, *version, value.clone(), *txn);
                 }
             }
@@ -137,9 +140,19 @@ mod tests {
         let mut wal = Wal::new();
         let k = Key::new("a");
         let o = RecordOption::new(txn(1), 0, WriteOp::add(1));
-        assert_eq!(wal.append(LogRecord::OptionAccepted { key: k.clone(), option: o }), 0);
         assert_eq!(
-            wal.append(LogRecord::Decided { key: k, txn: txn(1), commit: true }),
+            wal.append(LogRecord::OptionAccepted {
+                key: k.clone(),
+                option: o
+            }),
+            0
+        );
+        assert_eq!(
+            wal.append(LogRecord::Decided {
+                key: k,
+                txn: txn(1),
+                commit: true
+            }),
             1
         );
         assert_eq!(wal.len(), 2);
@@ -154,12 +167,20 @@ mod tests {
             key: k.clone(),
             option: RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(100))),
         });
-        wal.append(LogRecord::Decided { key: k.clone(), txn: txn(1), commit: true });
+        wal.append(LogRecord::Decided {
+            key: k.clone(),
+            txn: txn(1),
+            commit: true,
+        });
         wal.append(LogRecord::OptionAccepted {
             key: k.clone(),
             option: RecordOption::new(txn(2), 0, WriteOp::add(-30)),
         });
-        wal.append(LogRecord::Decided { key: k.clone(), txn: txn(2), commit: true });
+        wal.append(LogRecord::Decided {
+            key: k.clone(),
+            txn: txn(2),
+            commit: true,
+        });
         wal.append(LogRecord::OptionAccepted {
             key: k.clone(),
             option: RecordOption::new(txn(3), 0, WriteOp::add(-30)),
@@ -180,7 +201,11 @@ mod tests {
             key: k.clone(),
             option: RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(1))),
         });
-        wal.append(LogRecord::Decided { key: k.clone(), txn: txn(1), commit: true });
+        wal.append(LogRecord::Decided {
+            key: k.clone(),
+            txn: txn(1),
+            commit: true,
+        });
         wal.truncate(1);
         let store = wal.replay();
         let r = store.read(&k);

@@ -5,9 +5,13 @@
 //!    commutative options.
 //! 3. Version numbers increase by exactly one per commit and values follow
 //!    the applied operations.
+//!
+//! The cases are generated from a seeded [`DetRng`] rather than an external
+//! property-testing framework (the repo builds fully offline); each test
+//! drives a fixed number of random scripts, and a failing case prints the
+//! seed that reproduces it.
 
-use proptest::prelude::*;
-
+use planet_sim::DetRng;
 use planet_storage::{Key, RecordOption, Replica, TxnId, Value, WriteOp};
 
 /// A randomly generated action against a replica.
@@ -18,13 +22,29 @@ enum Action {
     DecideOldest { key: u8, commit: bool },
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..6, -50i64..50).prop_map(|(key, value)| Action::ProposeSet { key, value }),
-        (0u8..6, -20i64..20).prop_map(|(key, delta)| Action::ProposeAdd { key, delta }),
-        (0u8..6, any::<bool>()).prop_map(|(key, commit)| Action::DecideOldest { key, commit }),
-    ]
+fn random_action(rng: &mut DetRng) -> Action {
+    match rng.index(3) {
+        0 => Action::ProposeSet {
+            key: rng.range_u64(0, 6) as u8,
+            value: rng.range_u64(0, 100) as i64 - 50,
+        },
+        1 => Action::ProposeAdd {
+            key: rng.range_u64(0, 6) as u8,
+            delta: rng.range_u64(0, 40) as i64 - 20,
+        },
+        _ => Action::DecideOldest {
+            key: rng.range_u64(0, 6) as u8,
+            commit: rng.bernoulli(0.5),
+        },
+    }
 }
+
+fn random_script(rng: &mut DetRng) -> Vec<Action> {
+    let len = rng.index(199) + 1; // 1..200
+    (0..len).map(|_| random_action(rng)).collect()
+}
+
+const CASES: u64 = 128;
 
 fn key(k: u8) -> Key {
     Key::new(format!("k{k}"))
@@ -61,7 +81,11 @@ fn run_script(actions: &[Action]) -> Replica {
                 let opt = RecordOption::new(
                     txn,
                     0,
-                    WriteOp::Add { delta: *delta, lower: Some(FLOOR), upper: Some(CEIL) },
+                    WriteOp::Add {
+                        delta: *delta,
+                        lower: Some(FLOOR),
+                        upper: Some(CEIL),
+                    },
                 );
                 if replica.accept(&key(*k), opt).is_ok() {
                     pending.entry(*k).or_default().push(txn);
@@ -82,28 +106,36 @@ fn run_script(actions: &[Action]) -> Replica {
     replica
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Replaying the WAL always reproduces the live store.
-    #[test]
-    fn wal_replay_matches_live_state(actions in prop::collection::vec(action_strategy(), 1..200)) {
+/// Replaying the WAL always reproduces the live store.
+#[test]
+fn wal_replay_matches_live_state() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x57A7_0000 + case);
+        let actions = random_script(&mut rng);
         let replica = run_script(&actions);
-        prop_assert!(replica.verify_recovery().is_empty());
+        assert!(replica.verify_recovery().is_empty(), "case {case}");
         // And a recovered replica serves identical reads.
         let recovered = Replica::recover(replica.wal().clone());
         for k in 0u8..6 {
-            prop_assert_eq!(recovered.read(&key(k)), replica.read(&key(k)));
+            assert_eq!(
+                recovered.read(&key(k)),
+                replica.read(&key(k)),
+                "case {case} key k{k}"
+            );
         }
     }
+}
 
-    /// No committed integer value ever escapes the demarcation bounds that
-    /// every Add option carried — regardless of which subset of options
-    /// commits. (Sets can place the value anywhere, so only check keys whose
-    /// history is purely adds; the script encodes that by checking the final
-    /// value when no Set ever committed on the key.)
-    #[test]
-    fn demarcation_bounds_hold(actions in prop::collection::vec(action_strategy(), 1..200)) {
+/// No committed integer value ever escapes the demarcation bounds that
+/// every Add option carried — regardless of which subset of options
+/// commits. (Sets can place the value anywhere, so only check keys whose
+/// history is purely adds; the script encodes that by checking the final
+/// value when no Set ever committed on the key.)
+#[test]
+fn demarcation_bounds_hold() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x57A7_1000 + case);
+        let actions = random_script(&mut rng);
         // Filter the script to adds + decides so bounds are the only writes.
         let adds_only: Vec<Action> = actions
             .into_iter()
@@ -113,19 +145,22 @@ proptest! {
         for k in 0u8..6 {
             let r = replica.read(&key(k));
             if let Value::Int(v) = r.value {
-                prop_assert!(
+                assert!(
                     (FLOOR..=CEIL).contains(&v),
-                    "key k{} committed value {} outside [{}, {}]",
-                    k, v, FLOOR, CEIL
+                    "case {case}: key k{k} committed value {v} outside [{FLOOR}, {CEIL}]"
                 );
             }
         }
     }
+}
 
-    /// Version numbers count commits exactly: the final version of each key
-    /// equals the number of committed decisions applied to it.
-    #[test]
-    fn versions_count_commits(actions in prop::collection::vec(action_strategy(), 1..200)) {
+/// Version numbers count commits exactly: the final version of each key
+/// equals the number of committed decisions applied to it.
+#[test]
+fn versions_count_commits() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x57A7_2000 + case);
+        let actions = random_script(&mut rng);
         let replica = run_script(&actions);
         for k in 0u8..6 {
             let kk = key(k);
@@ -134,13 +169,11 @@ proptest! {
                 .records()
                 .iter()
                 .filter(|rec| match rec {
-                    planet_storage::LogRecord::Decided { key, commit, .. } => {
-                        *commit && key == &kk
-                    }
+                    planet_storage::LogRecord::Decided { key, commit, .. } => *commit && key == &kk,
                     _ => false,
                 })
                 .count() as u64;
-            prop_assert_eq!(replica.read(&kk).version, commits);
+            assert_eq!(replica.read(&kk).version, commits, "case {case} key k{k}");
         }
     }
 }

@@ -1,10 +1,9 @@
 //! Arrival processes: when transactions are submitted.
 
 use planet_sim::{DetRng, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The inter-arrival process of an open-loop workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Arrival {
     /// Poisson arrivals at `rate` transactions per second.
     Poisson {
@@ -51,7 +50,7 @@ impl Arrival {
 }
 
 /// A time-varying rate multiplier — load spikes for the spike experiments.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LoadSchedule {
     /// `(from, to, multiplier)` windows; overlaps take the maximum.
     pub windows: Vec<(SimTime, SimTime, f64)>,
@@ -114,11 +113,7 @@ mod tests {
 
     #[test]
     fn schedule_scales_gaps_inside_windows() {
-        let sched = LoadSchedule::flat().spike(
-            SimTime::from_secs(10),
-            SimTime::from_secs(20),
-            4.0,
-        );
+        let sched = LoadSchedule::flat().spike(SimTime::from_secs(10), SimTime::from_secs(20), 4.0);
         let gap = SimDuration::from_millis(8);
         assert_eq!(sched.scale_gap(gap, SimTime::from_secs(5)), gap);
         assert_eq!(

@@ -2,12 +2,11 @@
 
 use planet_sim::DetRng;
 use planet_storage::Key;
-use serde::{Deserialize, Serialize};
 
 use crate::zipf::Zipf;
 
 /// How keys are drawn from the keyspace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum KeyDistribution {
     /// Uniform over `[0, n)`.
     Uniform {
@@ -48,7 +47,11 @@ impl KeyChooser {
             KeyDistribution::Zipfian { n, theta } => Some(Zipf::new(*n, *theta)),
             _ => None,
         };
-        KeyChooser { prefix: prefix.into(), dist, sampler }
+        KeyChooser {
+            prefix: prefix.into(),
+            dist,
+            sampler,
+        }
     }
 
     /// Keyspace size.
@@ -64,10 +67,16 @@ impl KeyChooser {
     pub fn sample_index(&self, rng: &mut DetRng) -> u64 {
         match &self.dist {
             KeyDistribution::Uniform { n } => rng.range_u64(0, *n),
-            KeyDistribution::Zipfian { .. } => {
-                self.sampler.as_ref().expect("sampler built in new").sample(rng)
-            }
-            KeyDistribution::HotSpot { n, hot_keys, hot_prob } => {
+            KeyDistribution::Zipfian { .. } => self
+                .sampler
+                .as_ref()
+                .expect("sampler built in new")
+                .sample(rng),
+            KeyDistribution::HotSpot {
+                n,
+                hot_keys,
+                hot_prob,
+            } => {
                 if rng.bernoulli(*hot_prob) {
                     rng.range_u64(0, (*hot_keys).min(*n))
                 } else if *hot_keys >= *n {
@@ -110,10 +119,16 @@ mod tests {
     fn hotspot_favors_hot_set() {
         let c = KeyChooser::new(
             "h",
-            KeyDistribution::HotSpot { n: 1000, hot_keys: 10, hot_prob: 0.9 },
+            KeyDistribution::HotSpot {
+                n: 1000,
+                hot_keys: 10,
+                hot_prob: 0.9,
+            },
         );
         let mut rng = DetRng::new(2);
-        let hot = (0..10_000).filter(|_| c.sample_index(&mut rng) < 10).count();
+        let hot = (0..10_000)
+            .filter(|_| c.sample_index(&mut rng) < 10)
+            .count();
         assert!((8_500..9_500).contains(&hot), "hot draws {hot}");
     }
 
@@ -137,7 +152,11 @@ mod tests {
     fn degenerate_hotspot_with_full_hot_set() {
         let c = KeyChooser::new(
             "h",
-            KeyDistribution::HotSpot { n: 5, hot_keys: 10, hot_prob: 0.1 },
+            KeyDistribution::HotSpot {
+                n: 5,
+                hot_keys: 10,
+                hot_prob: 0.1,
+            },
         );
         let mut rng = DetRng::new(5);
         for _ in 0..100 {

@@ -84,9 +84,17 @@ impl TicketWorkload {
     pub fn new(config: TicketConfig, site: u8) -> Self {
         let events = KeyChooser::new(
             "event",
-            KeyDistribution::Zipfian { n: config.events, theta: config.theta },
+            KeyDistribution::Zipfian {
+                n: config.events,
+                theta: config.theta,
+            },
         );
-        TicketWorkload { config, events, site, issued: 0 }
+        TicketWorkload {
+            config,
+            events,
+            site,
+            issued: 0,
+        }
     }
 
     /// Purchases issued so far.
@@ -103,10 +111,7 @@ impl TicketWorkload {
                 stock_key(event),
                 WriteOp::add_with_floor(-self.config.tickets_per_purchase, 0),
             )
-            .write(
-                order_key,
-                WriteOp::Set(Value::Int(event as i64)),
-            );
+            .write(order_key, WriteOp::Set(Value::Int(event as i64)));
         if let Some(d) = self.config.deadline {
             b = b.deadline(d);
         }
@@ -145,7 +150,14 @@ mod tests {
         // First write is a bounded decrement on a stock key.
         let (key, op) = &txn.spec.writes[0];
         assert!(key.as_str().starts_with("event:"));
-        assert!(matches!(op, WriteOp::Add { delta: -1, lower: Some(0), .. }));
+        assert!(matches!(
+            op,
+            WriteOp::Add {
+                delta: -1,
+                lower: Some(0),
+                ..
+            }
+        ));
         // Second write is the unique order insert.
         let (okey, oop) = &txn.spec.writes[1];
         assert_eq!(okey.as_str(), "order:3:0");
@@ -163,7 +175,10 @@ mod tests {
 
     #[test]
     fn limit_is_respected() {
-        let cfg = TicketConfig { limit: Some(2), ..Default::default() };
+        let cfg = TicketConfig {
+            limit: Some(2),
+            ..Default::default()
+        };
         let mut w = TicketWorkload::new(cfg, 0);
         let mut rng = DetRng::new(3);
         assert!(w.next_txn(SimTime::ZERO, &mut rng).is_some());
@@ -173,7 +188,11 @@ mod tests {
 
     #[test]
     fn popularity_is_skewed() {
-        let cfg = TicketConfig { events: 50, theta: 0.95, ..Default::default() };
+        let cfg = TicketConfig {
+            events: 50,
+            theta: 0.95,
+            ..Default::default()
+        };
         let mut w = TicketWorkload::new(cfg, 0);
         let mut rng = DetRng::new(4);
         let mut head = 0;

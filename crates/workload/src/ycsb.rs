@@ -71,7 +71,12 @@ impl YcsbWorkload {
     /// Build a workload over the given key chooser.
     pub fn new(config: YcsbConfig, keys: KeyChooser) -> Self {
         assert!(config.keys_per_txn >= 1);
-        YcsbWorkload { config, keys, issued: 0, counter: 0 }
+        YcsbWorkload {
+            config,
+            keys,
+            issued: 0,
+            counter: 0,
+        }
     }
 
     /// Transactions issued so far.
@@ -124,7 +129,10 @@ impl TxnSource for YcsbWorkload {
         }
         self.issued += 1;
         let txn = self.build_txn(rng);
-        let gap = self.config.schedule.scale_gap(self.config.arrival.next_gap(rng), now);
+        let gap = self
+            .config
+            .schedule
+            .scale_gap(self.config.arrival.next_gap(rng), now);
         Some((txn, gap))
     }
 
@@ -148,7 +156,10 @@ mod tests {
     #[test]
     fn respects_limit() {
         let mut w = YcsbWorkload::new(
-            YcsbConfig { limit: Some(3), ..Default::default() },
+            YcsbConfig {
+                limit: Some(3),
+                ..Default::default()
+            },
             chooser(100),
         );
         let mut rng = DetRng::new(1);
@@ -162,7 +173,10 @@ mod tests {
     #[test]
     fn builds_multi_key_write_txns() {
         let mut w = YcsbWorkload::new(
-            YcsbConfig { keys_per_txn: 3, ..Default::default() },
+            YcsbConfig {
+                keys_per_txn: 3,
+                ..Default::default()
+            },
             chooser(1000),
         );
         let mut rng = DetRng::new(2);
@@ -177,7 +191,10 @@ mod tests {
     #[test]
     fn read_ratio_produces_read_only_txns() {
         let mut w = YcsbWorkload::new(
-            YcsbConfig { read_ratio: 1.0, ..Default::default() },
+            YcsbConfig {
+                read_ratio: 1.0,
+                ..Default::default()
+            },
             chooser(10),
         );
         let mut rng = DetRng::new(3);
@@ -189,7 +206,10 @@ mod tests {
     #[test]
     fn commutative_kind_issues_bounded_adds() {
         let mut w = YcsbWorkload::new(
-            YcsbConfig { write_kind: WriteKind::Commutative, ..Default::default() },
+            YcsbConfig {
+                write_kind: WriteKind::Commutative,
+                ..Default::default()
+            },
             chooser(10),
         );
         let mut rng = DetRng::new(4);
@@ -207,11 +227,8 @@ mod tests {
     fn load_schedule_compresses_gaps_inside_spikes() {
         use crate::arrival::LoadSchedule;
         use planet_sim::SimTime;
-        let sched = LoadSchedule::flat().spike(
-            SimTime::from_secs(100),
-            SimTime::from_secs(200),
-            4.0,
-        );
+        let sched =
+            LoadSchedule::flat().spike(SimTime::from_secs(100), SimTime::from_secs(200), 4.0);
         let mut w = YcsbWorkload::new(
             YcsbConfig {
                 arrival: Arrival::every(SimDuration::from_millis(40)),

@@ -3,8 +3,8 @@
 
 use planet_core::{FinalOutcome, Planet, Protocol, SimDuration};
 use planet_workload::{
-    preload_events, stock_key, Arrival, KeyChooser, KeyDistribution, TicketConfig,
-    TicketWorkload, WriteKind, YcsbConfig, YcsbWorkload,
+    preload_events, stock_key, Arrival, KeyChooser, KeyDistribution, TicketConfig, TicketWorkload,
+    WriteKind, YcsbConfig, YcsbWorkload,
 };
 
 #[test]
@@ -25,13 +25,19 @@ fn ycsb_open_loop_runs_and_commits() {
     let records = db.all_records();
     assert_eq!(records.len(), 100, "all issued txns must finish");
     let commits = records.iter().filter(|r| r.outcome.is_commit()).count();
-    assert!(commits >= 98, "uncontended YCSB should commit nearly all, got {commits}");
+    assert!(
+        commits >= 98,
+        "uncontended YCSB should commit nearly all, got {commits}"
+    );
 }
 
 #[test]
 fn contended_ycsb_aborts_with_physical_but_not_commutative() {
     let run = |kind: WriteKind, seed: u64| {
-        let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
+        let mut db = Planet::builder()
+            .protocol(Protocol::Fast)
+            .seed(seed)
+            .build();
         // Seed the counters high (and first) so commutative decrements never
         // hit the floor and never race the seeding writes.
         let seedtxn = planet_core::PlanetTxn::builder()
@@ -87,7 +93,10 @@ fn ticket_sales_never_oversell_and_speculate() {
     let mut db = Planet::builder().protocol(Protocol::Fast).seed(3).build();
     preload_events(&mut db, &config);
     for site in 0..5 {
-        db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+        db.attach_source(
+            site,
+            Box::new(TicketWorkload::new(config.clone(), site as u8)),
+        );
     }
     db.run_for(SimDuration::from_secs(60));
 
@@ -96,9 +105,18 @@ fn ticket_sales_never_oversell_and_speculate() {
     let purchases: Vec<_> = records.iter().filter(|r| r.write_keys == 2).collect();
     assert_eq!(purchases.len(), 200);
     let commits = purchases.iter().filter(|r| r.outcome.is_commit()).count();
-    assert!(commits > 150, "most purchases should succeed, got {commits}");
-    let speculated = purchases.iter().filter(|r| r.speculated_at.is_some()).count();
-    assert!(speculated > 100, "purchases should speculate, got {speculated}");
+    assert!(
+        commits > 150,
+        "most purchases should succeed, got {commits}"
+    );
+    let speculated = purchases
+        .iter()
+        .filter(|r| r.speculated_at.is_some())
+        .count();
+    assert!(
+        speculated > 100,
+        "purchases should speculate, got {speculated}"
+    );
 
     // Stock accounting: committed purchases per event == stock consumed,
     // and no replica ever shows negative stock.
@@ -116,7 +134,10 @@ fn ticket_sales_never_oversell_and_speculate() {
             _ => 0,
         })
         .sum();
-    assert_eq!(consumed as usize, commits, "tickets sold must equal committed purchases");
+    assert_eq!(
+        consumed as usize, commits,
+        "tickets sold must equal committed purchases"
+    );
 }
 
 #[test]
@@ -132,10 +153,16 @@ fn flash_sale_sells_out_exactly() {
         deadline: None,
         ..Default::default()
     };
-    let mut db = Planet::builder().protocol(Protocol::Classic).seed(4).build();
+    let mut db = Planet::builder()
+        .protocol(Protocol::Classic)
+        .seed(4)
+        .build();
     preload_events(&mut db, &config);
     for site in 0..5 {
-        db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+        db.attach_source(
+            site,
+            Box::new(TicketWorkload::new(config.clone(), site as u8)),
+        );
     }
     db.run_for(SimDuration::from_secs(120));
 

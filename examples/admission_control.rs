@@ -48,7 +48,11 @@ fn run(admission: Option<AdmissionPolicy>, seed: u64) -> (f64, f64, u64) {
         .iter()
         .filter(|r| r.outcome != planet_core::FinalOutcome::Rejected)
         .count();
-    let commit_rate = if admitted > 0 { commits as f64 / admitted as f64 } else { 0.0 };
+    let commit_rate = if admitted > 0 {
+        commits as f64 / admitted as f64
+    } else {
+        0.0
+    };
     let refused: u64 = (0..5).map(|s| db.admission_stats(s).1).sum();
     (goodput, commit_rate, refused)
 }
@@ -60,13 +64,22 @@ fn main() {
     let (g0, c0, _) = run(None, 11);
     println!("without admission control:");
     println!("  goodput      : {g0:.1} committed txns/s");
-    println!("  commit rate  : {:.1}% of admitted transactions\n", c0 * 100.0);
+    println!(
+        "  commit rate  : {:.1}% of admitted transactions\n",
+        c0 * 100.0
+    );
 
-    let policy = AdmissionPolicy { min_likelihood: 0.2, max_inflight: 4096 };
+    let policy = AdmissionPolicy {
+        min_likelihood: 0.2,
+        max_inflight: 4096,
+    };
     let (g1, c1, refused) = run(Some(policy), 12);
     println!("with likelihood-based admission control (refuse below p=0.2):");
     println!("  goodput      : {g1:.1} committed txns/s");
-    println!("  commit rate  : {:.1}% of admitted transactions", c1 * 100.0);
+    println!(
+        "  commit rate  : {:.1}% of admitted transactions",
+        c1 * 100.0
+    );
     println!("  refused      : {refused} transactions shed before touching the WAN\n");
 
     println!(

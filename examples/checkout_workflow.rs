@@ -64,12 +64,10 @@ fn checkout(
     // honest end-to-end time is the sum of the three commit latencies.
     // Chained strategies are measured wall-to-wall.
     match trigger {
-        None => {
-            [h1, h2, h3]
-                .iter()
-                .map(|h| db.record(*h).unwrap().latency)
-                .fold(SimDuration::ZERO, |a, b| a + b)
-        }
+        None => [h1, h2, h3]
+            .iter()
+            .map(|h| db.record(*h).unwrap().latency)
+            .fold(SimDuration::ZERO, |a, b| a + b),
         Some(_) => {
             let first = db.record(h1).unwrap();
             let last = db.record(h3).unwrap();

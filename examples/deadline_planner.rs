@@ -16,14 +16,19 @@ use planet_sim::{SiteId, Spike};
 fn warm_site(db: &mut Planet, site: usize, n: u64) {
     let base = db.now();
     for i in 0..n {
-        let txn = PlanetTxn::builder().set(format!("warm:{site}:{i}"), i as i64).build();
+        let txn = PlanetTxn::builder()
+            .set(format!("warm:{site}:{i}"), i as i64)
+            .build();
         db.submit_at(site, base + SimDuration::from_millis(1 + i * 350), txn);
     }
 }
 
 fn print_plan(db: &mut Planet, label: &str) {
     println!("\n== suggested deadlines, {label} ==");
-    println!("{:>14}  {:>10}  {:>10}  {:>10}", "origin", "p=0.50", "p=0.95", "p=0.99");
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>10}",
+        "origin", "p=0.50", "p=0.95", "p=0.99"
+    );
     for (site, name) in FIVE_DC_NAMES.iter().enumerate() {
         let txn = PlanetTxn::builder().set("planning-probe", 0i64).build();
         let fmt = |p: f64, db: &mut Planet| match db.suggest_deadline(site, &txn, p) {
@@ -41,7 +46,10 @@ fn print_plan(db: &mut Planet, label: &str) {
 }
 
 fn main() {
-    let mut db = Planet::builder().protocol(Protocol::Fast).seed(2014).build();
+    let mut db = Planet::builder()
+        .protocol(Protocol::Fast)
+        .seed(2014)
+        .build();
     for site in 0..5 {
         warm_site(&mut db, site, 30);
     }

@@ -18,7 +18,9 @@ fn main() {
 
     // Warm the model quickly (these commit in background sim time).
     for i in 0..5u64 {
-        let txn = PlanetTxn::builder().set(format!("warm:{i}"), i as i64).build();
+        let txn = PlanetTxn::builder()
+            .set(format!("warm:{i}"), i as i64)
+            .build();
         rt.submit(0, txn);
         std::thread::sleep(Duration::from_millis(300));
     }
@@ -38,13 +40,17 @@ fn main() {
             Ok(event) if event.handle() == handle => {
                 let wall = started.elapsed().as_millis();
                 match &event {
-                    TxnEvent::Progress { stage, likelihood, .. } => {
+                    TxnEvent::Progress {
+                        stage, likelihood, ..
+                    } => {
                         println!("  [{wall:>4}ms wall] {stage:?}: p = {likelihood:.3}");
                     }
                     TxnEvent::Speculative { likelihood, .. } => {
                         println!("  [{wall:>4}ms wall] ✦ speculative commit (p = {likelihood:.3})");
                     }
-                    TxnEvent::Final { outcome, latency, .. } => {
+                    TxnEvent::Final {
+                        outcome, latency, ..
+                    } => {
                         println!("  [{wall:>4}ms wall] ✔ final outcome: {outcome:?} ({latency} simulated)");
                         break;
                     }

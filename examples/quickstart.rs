@@ -11,14 +11,19 @@ use planet_core::{Planet, PlanetTxn, Protocol, SimDuration, TxnEvent};
 
 fn main() {
     // A deterministic five-DC deployment running the MDCC fast commit path.
-    let mut db = Planet::builder().protocol(Protocol::Fast).seed(2014).build();
+    let mut db = Planet::builder()
+        .protocol(Protocol::Fast)
+        .seed(2014)
+        .build();
 
     // Stock the inventory and warm the latency model with a little
     // background traffic so the first "real" transaction gets meaningful
     // predictions.
     db.submit(0, PlanetTxn::builder().set("stock:widget", 100i64).build());
     for i in 0..20u64 {
-        let txn = PlanetTxn::builder().set(format!("warm:{i}"), i as i64).build();
+        let txn = PlanetTxn::builder()
+            .set(format!("warm:{i}"), i as i64)
+            .build();
         db.submit_at(0, db.now() + SimDuration::from_millis(1 + i * 300), txn);
     }
     db.run_for(SimDuration::from_secs(10));

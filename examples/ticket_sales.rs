@@ -26,19 +26,32 @@ fn main() {
     };
 
     let mut db = Planet::builder().protocol(Protocol::Fast).seed(7).build();
-    println!("stocking {} events with {} tickets each…", config.events, config.initial_stock);
+    println!(
+        "stocking {} events with {} tickets each…",
+        config.events, config.initial_stock
+    );
     preload_events(&mut db, &config);
 
     println!("opening the sale at all five data centers…");
     for site in 0..5 {
-        db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+        db.attach_source(
+            site,
+            Box::new(TicketWorkload::new(config.clone(), site as u8)),
+        );
     }
     db.run_for(SimDuration::from_secs(60));
 
     // Audit.
-    let purchases: Vec<_> = db.all_records().into_iter().filter(|r| r.write_keys == 2).collect();
+    let purchases: Vec<_> = db
+        .all_records()
+        .into_iter()
+        .filter(|r| r.write_keys == 2)
+        .collect();
     let commits = purchases.iter().filter(|r| r.outcome.is_commit()).count();
-    let speculated = purchases.iter().filter(|r| r.speculated_at.is_some()).count();
+    let speculated = purchases
+        .iter()
+        .filter(|r| r.speculated_at.is_some())
+        .count();
     let apologies = purchases.iter().filter(|r| r.apologised()).count();
     let mut spec_ms: Vec<f64> = purchases
         .iter()
@@ -78,6 +91,9 @@ fn main() {
     }
     let expected_sold = config.events as i64 * config.initial_stock - total_remaining;
     println!("\ntickets gone from inventory: {expected_sold} (committed purchases: {commits})");
-    assert_eq!(expected_sold as usize, commits, "inventory must balance the order book");
+    assert_eq!(
+        expected_sold as usize, commits,
+        "inventory must balance the order book"
+    );
     println!("inventory balances ✓");
 }

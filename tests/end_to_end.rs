@@ -47,8 +47,15 @@ fn callbacks_and_speculation_through_facade() {
     db.run_for(SimDuration::from_secs(3));
 
     assert!(db.record(handle).unwrap().outcome.is_commit());
-    assert!(events.load(Ordering::SeqCst) >= 5, "progress events must flow");
-    assert_eq!(speculated.load(Ordering::SeqCst), 1, "speculation fires exactly once");
+    assert!(
+        events.load(Ordering::SeqCst) >= 5,
+        "progress events must flow"
+    );
+    assert_eq!(
+        speculated.load(Ordering::SeqCst),
+        1,
+        "speculation fires exactly once"
+    );
 }
 
 #[test]
@@ -65,12 +72,18 @@ fn ticket_sale_inventory_balances_across_protocols() {
         let mut db = Planet::builder().protocol(protocol).seed(seed).build();
         preload_events(&mut db, &config);
         for site in 0..5 {
-            db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+            db.attach_source(
+                site,
+                Box::new(TicketWorkload::new(config.clone(), site as u8)),
+            );
         }
         db.run_for(SimDuration::from_secs(60));
 
-        let purchases: Vec<_> =
-            db.all_records().into_iter().filter(|r| r.write_keys == 2).collect();
+        let purchases: Vec<_> = db
+            .all_records()
+            .into_iter()
+            .filter(|r| r.write_keys == 2)
+            .collect();
         assert_eq!(purchases.len(), 75);
         let commits = purchases.iter().filter(|r| r.outcome.is_commit()).count();
         let consumed: i64 = (0..config.events)
@@ -82,7 +95,10 @@ fn ticket_sale_inventory_balances_across_protocols() {
                 _ => 0,
             })
             .sum();
-        assert_eq!(consumed as usize, commits, "{protocol}: inventory must balance");
+        assert_eq!(
+            consumed as usize, commits,
+            "{protocol}: inventory must balance"
+        );
     }
 }
 
@@ -123,7 +139,13 @@ fn admission_control_improves_goodput_in_a_storm() {
             .count()
     };
     let without = run(None, 10);
-    let with = run(Some(AdmissionPolicy { min_likelihood: 0.2, max_inflight: 4096 }), 11);
+    let with = run(
+        Some(AdmissionPolicy {
+            min_likelihood: 0.2,
+            max_inflight: 4096,
+        }),
+        11,
+    );
     assert!(
         with > without * 2,
         "admission control must multiply goodput in the collapse regime: {with} vs {without}"
@@ -133,7 +155,10 @@ fn admission_control_improves_goodput_in_a_storm() {
 #[test]
 fn deterministic_replay_through_the_full_stack() {
     let fingerprint = |seed: u64| {
-        let mut db = Planet::builder().protocol(Protocol::Fast).seed(seed).build();
+        let mut db = Planet::builder()
+            .protocol(Protocol::Fast)
+            .seed(seed)
+            .build();
         let config = TicketConfig {
             events: 3,
             initial_stock: 10,
@@ -143,7 +168,10 @@ fn deterministic_replay_through_the_full_stack() {
         };
         preload_events(&mut db, &config);
         for site in 0..5 {
-            db.attach_source(site, Box::new(TicketWorkload::new(config.clone(), site as u8)));
+            db.attach_source(
+                site,
+                Box::new(TicketWorkload::new(config.clone(), site as u8)),
+            );
         }
         db.run_for(SimDuration::from_secs(30));
         let commits = db.metrics().counter_value("planet.committed");
@@ -164,7 +192,11 @@ fn wal_recovery_invariant_holds_after_real_traffic() {
             .set(format!("k{}", i % 4), i as i64)
             .add("counter", 1)
             .build();
-        db.submit_at((i % 5) as usize, db.now() + SimDuration::from_millis(1 + i * 200), txn);
+        db.submit_at(
+            (i % 5) as usize,
+            db.now() + SimDuration::from_millis(1 + i * 200),
+            txn,
+        );
     }
     db.run_for(SimDuration::from_secs(30));
 

@@ -9,9 +9,12 @@
 //! 4. WAL replay reproduces every replica's live state;
 //! 5. the commit counter equals the number of committed records;
 //! 6. apologies only ever happen to transactions that speculated.
+//!
+//! Cases are generated from a seeded [`DetRng`] (the repo builds fully
+//! offline, so no external property-testing framework); a failing case's
+//! label and case number reproduce it deterministically.
 
-use proptest::prelude::*;
-
+use planet::sim::DetRng;
 use planet::{FinalOutcome, Key, Planet, PlanetTxn, Protocol, SimDuration, Value};
 
 #[derive(Debug, Clone)]
@@ -27,21 +30,29 @@ struct Op {
     deadline: bool,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (0usize..5, 0u8..6, 0u8..3, 0u16..400, any::<bool>(), any::<bool>()).prop_map(
-        |(site, key, kind, gap_ms, speculate, deadline)| Op {
-            site,
-            key,
-            kind,
-            gap_ms,
-            speculate,
-            deadline,
-        },
-    )
+fn random_op(rng: &mut DetRng) -> Op {
+    Op {
+        site: rng.index(5),
+        key: rng.range_u64(0, 6) as u8,
+        kind: rng.range_u64(0, 3) as u8,
+        gap_ms: rng.range_u64(0, 400) as u16,
+        speculate: rng.bernoulli(0.5),
+        deadline: rng.bernoulli(0.5),
+    }
+}
+
+fn random_ops(rng: &mut DetRng, max_len: usize) -> Vec<Op> {
+    let len = rng.index(max_len - 1) + 1; // 1..max_len
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 const FLOOR: i64 = 0;
 const INITIAL: i64 = 50;
+
+/// Whole-system runs are comparatively expensive; a couple dozen cases
+/// per configuration still explores thousands of interleavings thanks to
+/// the random gaps and sites.
+const CASES: u64 = 24;
 
 fn run_system(protocol: Protocol, fallback: bool, seed: u64, ops: &[Op]) -> Planet {
     let mut db = Planet::builder()
@@ -84,7 +95,11 @@ fn run_system(protocol: Protocol, fallback: bool, seed: u64, ops: &[Op]) -> Plan
 fn check_invariants(db: &mut Planet, n_ops: usize, label: &str) {
     // (1) Every submission (ops + 1 seed txn) reached a terminal state.
     let records = db.all_records();
-    assert_eq!(records.len(), n_ops + 1, "{label}: every txn must terminate");
+    assert_eq!(
+        records.len(),
+        n_ops + 1,
+        "{label}: every txn must terminate"
+    );
 
     // (6) Apologies imply speculation.
     for r in &records {
@@ -94,8 +109,15 @@ fn check_invariants(db: &mut Planet, n_ops: usize, label: &str) {
     }
 
     // (5) Metrics agree with records.
-    let commits = records.iter().filter(|r| r.outcome == FinalOutcome::Committed).count();
-    assert_eq!(db.metrics().counter_value("planet.committed") as usize, commits, "{label}");
+    let commits = records
+        .iter()
+        .filter(|r| r.outcome == FinalOutcome::Committed)
+        .count();
+    assert_eq!(
+        db.metrics().counter_value("planet.committed") as usize,
+        commits,
+        "{label}"
+    );
 
     // (2) Bounds hold at every replica; (3) replicas agree.
     let reference: Vec<Value> = (0..6)
@@ -129,33 +151,32 @@ fn check_invariants(db: &mut Planet, n_ops: usize, label: &str) {
     }
 }
 
-proptest! {
-    // Whole-system runs are comparatively expensive; a couple dozen cases
-    // per configuration still explores thousands of interleavings thanks to
-    // the random gaps and sites.
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    #[test]
-    fn invariants_hold_on_fast_path(ops in prop::collection::vec(op_strategy(), 1..60), seed in 0u64..1000) {
-        let mut db = run_system(Protocol::Fast, false, seed, &ops);
-        check_invariants(&mut db, ops.len(), "fast");
+fn run_cases(protocol: Protocol, fallback: bool, max_ops: usize, gen_base: u64, label: &str) {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(gen_base + case);
+        let ops = random_ops(&mut rng, max_ops);
+        let seed = rng.range_u64(0, 1000);
+        let mut db = run_system(protocol, fallback, seed, &ops);
+        check_invariants(&mut db, ops.len(), &format!("{label} case {case}"));
     }
+}
 
-    #[test]
-    fn invariants_hold_with_fallback(ops in prop::collection::vec(op_strategy(), 1..60), seed in 0u64..1000) {
-        let mut db = run_system(Protocol::Fast, true, seed, &ops);
-        check_invariants(&mut db, ops.len(), "fast+fallback");
-    }
+#[test]
+fn invariants_hold_on_fast_path() {
+    run_cases(Protocol::Fast, false, 60, 0x5E5_000, "fast");
+}
 
-    #[test]
-    fn invariants_hold_on_classic_path(ops in prop::collection::vec(op_strategy(), 1..40), seed in 0u64..1000) {
-        let mut db = run_system(Protocol::Classic, false, seed, &ops);
-        check_invariants(&mut db, ops.len(), "classic");
-    }
+#[test]
+fn invariants_hold_with_fallback() {
+    run_cases(Protocol::Fast, true, 60, 0x5E5_100, "fast+fallback");
+}
 
-    #[test]
-    fn invariants_hold_on_twopc(ops in prop::collection::vec(op_strategy(), 1..40), seed in 0u64..1000) {
-        let mut db = run_system(Protocol::TwoPc, false, seed, &ops);
-        check_invariants(&mut db, ops.len(), "twopc");
-    }
+#[test]
+fn invariants_hold_on_classic_path() {
+    run_cases(Protocol::Classic, false, 40, 0x5E5_200, "classic");
+}
+
+#[test]
+fn invariants_hold_on_twopc() {
+    run_cases(Protocol::TwoPc, false, 40, 0x5E5_300, "twopc");
 }
