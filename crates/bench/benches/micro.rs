@@ -105,7 +105,7 @@ fn bench_storage(h: &mut Harness) {
         let txn = TxnId::new(0, seq);
         seq += 1;
         let opt = RecordOption::new(txn, read.version, WriteOp::Set(Value::Int(seq as i64)));
-        store.accept(&key, opt).unwrap();
+        store.accept(&key, opt).expect("bench accept");
         store.decide(&key, txn, true);
         // Bound memory growth during long bench runs.
         if seq.is_multiple_of(1024) {
@@ -120,7 +120,7 @@ fn bench_storage(h: &mut Harness) {
             &key,
             RecordOption::new(TxnId::new(0, 0), 0, WriteOp::Set(Value::Int(1_000_000))),
         )
-        .unwrap();
+        .expect("bench accept");
     store.decide(&key, TxnId::new(0, 0), true);
     // A standing crowd of pending deltas to sum over.
     for i in 1..=16u64 {
@@ -129,7 +129,7 @@ fn bench_storage(h: &mut Harness) {
                 &key,
                 RecordOption::new(TxnId::new(0, i), 0, WriteOp::add_with_floor(-1, 0)),
             )
-            .unwrap();
+            .expect("bench accept");
     }
     let probe = RecordOption::new(TxnId::new(1, 0), 0, WriteOp::add_with_floor(-1, 0));
     h.bench("storage/demarcation_validate", || {

@@ -115,7 +115,7 @@ pub fn fig3_progress(scale: Scale) -> Table {
                 votes.to_string()
             },
             cal.count().to_string(),
-            format!("{:.4}", cal.brier().unwrap()),
+            format!("{:.4}", cal.brier().expect("calibration has samples")),
             format!("{:.3}", cal.skill().unwrap_or(0.0)),
         ]);
     }

@@ -50,10 +50,15 @@ fn measure(quorum: bool, rounds: u64, seed: u64) -> (f64, u64, u64) {
     db.run_for(SimDuration::from_secs(rounds * 700 / 1000 + 10));
 
     for (round, (w, r)) in write_handles.iter().zip(read_handles.iter()).enumerate() {
-        if !db.record(*w).unwrap().outcome.is_commit() {
+        if !db
+            .record(*w)
+            .expect("transaction was recorded")
+            .outcome
+            .is_commit()
+        {
             continue;
         }
-        let record = db.record(*r).unwrap();
+        let record = db.record(*r).expect("transaction was recorded");
         reads.push(record.latency.as_micros());
         if record.reads.first().map(|(_, v, _)| v) == Some(&Value::Int(round as i64 + 1)) {
             fresh += 1;

@@ -59,7 +59,11 @@ pub fn fig4_speculation(scale: Scale) -> Table {
         let apologies = records.iter().filter(|r| r.apologised()).count();
         let mut spec_resp: Vec<u64> = speculated
             .iter()
-            .map(|r| r.speculated_at.unwrap().as_micros())
+            .map(|r| {
+                r.speculated_at
+                    .expect("filtered to speculated records")
+                    .as_micros()
+            })
             .collect();
         spec_resp.sort_unstable();
         let mut finals: Vec<u64> = records

@@ -68,7 +68,7 @@ impl Harness {
                 t.elapsed().as_nanos() as f64 / iters as f64
             })
             .collect();
-        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
         let median = per_iter[SAMPLES / 2];
         let (lo, hi) = (per_iter[0], per_iter[SAMPLES - 1]);
         println!(

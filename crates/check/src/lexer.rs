@@ -1,0 +1,333 @@
+//! A minimal Rust lexer: enough token structure for protocol-shape analysis.
+//!
+//! The workspace builds offline, so `planet-check` cannot lean on `syn`;
+//! instead it tokenises source files by hand. The lexer understands
+//! identifiers, punctuation, all literal forms (including raw strings and
+//! the lifetime/char-literal ambiguity), and comments. Comments are dropped
+//! from the token stream, but `// check:allow(<lint>)` markers are recorded
+//! per line so passes can honour suppression requests.
+
+use std::collections::{HashMap, HashSet};
+
+/// What a token is. Literal payloads are never interpreted by the passes,
+/// so literals collapse into a single kind carrying their raw text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `match`, `Msg`, ...).
+    Ident,
+    /// A single punctuation character (`{`, `:`, `.`, ...). Multi-character
+    /// operators are left as character sequences; passes match on the
+    /// characters they care about.
+    Punct,
+    /// Any literal: integer, float, string, raw string, byte string, char.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's class.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// The lexed form of one file: its tokens plus the `check:allow` markers
+/// found in comments, keyed by lint name → set of 1-based line numbers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub toks: Vec<Tok>,
+    /// `check:allow(<lint>)` markers: lint name → lines carrying the marker.
+    pub allows: HashMap<String, HashSet<u32>>,
+}
+
+/// Record any `check:allow(lint)` markers inside a comment's text.
+fn scan_allows(comment: &str, line: u32, allows: &mut HashMap<String, HashSet<u32>>) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("check:allow(") {
+        rest = &rest[at + "check:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            let lint = rest[..end].trim().to_string();
+            allows.entry(lint).or_default().insert(line);
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Tokenise `src`. Never fails: unrecognised bytes are skipped, which is the
+/// right behaviour for an analysis that must not block the build on exotic
+/// syntax it does not understand.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = HashMap::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                scan_allows(&src[start..i], line, &mut allows);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                scan_allows(&src[start..i.min(src.len())], start_line, &mut allows);
+            }
+            b'"' => {
+                let (text, consumed, newlines) = lex_string(&src[i..], false);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'r' | b'b'
+                if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+                    || (b == b'b' && matches!(bytes.get(i + 1), Some(&b'r'))) =>
+            {
+                // r"..", r#".."#, b"..", br"..", b'..'
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    let raw = b == b'r' || bytes[i + 1] == b'r';
+                    if raw {
+                        // Raw string: ends at `"` followed by `hashes` hashes.
+                        j += 1;
+                        let closer = format!("\"{}", "#".repeat(hashes));
+                        let rel = src[j..].find(&closer).map_or(src.len() - j, |p| p);
+                        let end = j + rel + closer.len();
+                        let text = src[i..end.min(src.len())].to_string();
+                        let newlines = text.bytes().filter(|&c| c == b'\n').count() as u32;
+                        toks.push(Tok {
+                            kind: TokKind::Literal,
+                            text,
+                            line,
+                        });
+                        line += newlines;
+                        i = end.min(src.len());
+                    } else {
+                        // b"..": plain string with a byte prefix.
+                        let (text, consumed, newlines) = lex_string(&src[i + 1..], false);
+                        toks.push(Tok {
+                            kind: TokKind::Literal,
+                            text: format!("b{text}"),
+                            line,
+                        });
+                        line += newlines;
+                        i += 1 + consumed;
+                    }
+                } else {
+                    // Just an identifier starting with r/b.
+                    let start = i;
+                    while i < bytes.len() && is_ident_cont(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                let after = bytes.get(i + 2).copied().unwrap_or(0);
+                if is_ident_start(next) && after != b'\'' {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_cont(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let (text, consumed, newlines) = lex_string(&src[i..], true);
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                    });
+                    line += newlines;
+                    i += consumed;
+                }
+            }
+            b if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a float-literal scan from eating `..` or a method
+                    // call on a literal (`1.max(2)`).
+                    if bytes[i] == b'.' && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, allows }
+}
+
+/// Lex a quoted string or char literal starting at `src[0]`. Returns the
+/// token text, bytes consumed, and newlines crossed.
+fn lex_string(src: &str, char_lit: bool) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let quote = if char_lit { b'\'' } else { b'"' };
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b if b == quote => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        src[..i.min(src.len())].to_string(),
+        i.min(src.len()),
+        newlines,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_puncts_and_lines() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}\n");
+        let texts: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "main", "(", ")", "{", "let", "x", "=", "1", ";", "}"]
+        );
+        assert_eq!(lexed.toks[5].line, 2); // `let`
+    }
+
+    #[test]
+    fn comments_are_dropped_but_allows_recorded() {
+        let lexed = lex("let a = 1; // check:allow(determinism) ok\nlet b = 2;\n");
+        assert!(lexed.toks.iter().all(|t| !t.text.contains("check")));
+        assert!(lexed.allows["determinism"].contains(&1));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("&'a str; let c = 'x'; let n = '\\n';");
+        assert_eq!(lexed.toks[1].kind, TokKind::Lifetime);
+        let lits: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let lexed = lex("let s = \"fn bogus() { Instant::now() }\"; done");
+        assert!(lexed.toks.iter().filter(|t| t.is_ident("fn")).count() == 0);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let lexed = lex("a /* x /* y */ z */ b");
+        let texts: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,38 @@
+//! `planet-check`: protocol-aware static analysis for the PLANET workspace.
+//!
+//! The generic Rust toolchain cannot see the workspace's protocol
+//! invariants: that the hand-rolled wire codec covers every message variant
+//! on both sides, that transaction handlers only produce legal state-machine
+//! edges, that the live-cluster runtime acquires its locks in one global
+//! order, and that the simulation-deterministic crates never read a wall
+//! clock. This crate is a small compiler-shaped pipeline that checks exactly
+//! those four things and nothing else.
+//!
+//! Architecture (front to back):
+//!
+//! * [`lexer`] — a hand-rolled Rust tokeniser (the workspace builds
+//!   offline, so `syn` is unavailable); records `// check:allow(<lint>)`
+//!   suppression markers.
+//! * [`parse`] — structural recovery of the item shapes passes need: enums
+//!   with per-variant field counts, function bodies as token ranges, struct
+//!   fields with type text.
+//! * [`model`] — the shared [`model::Workspace`] every pass reads, plus the
+//!   [`model::Pass`] trait and pipeline driver.
+//! * [`passes`] — the four analyses: `wire`, `state`, `locks`,
+//!   `determinism`.
+//! * [`diag`] — span-carrying diagnostics with stable codes, rendered as a
+//!   compiler-style text report or JSON for CI.
+//!
+//! Adding a pass is: implement [`model::Pass`], register it in
+//! [`model::all_passes`]. Passes are pure functions of the workspace model,
+//! so fixture tests drive them with in-memory sources via
+//! [`model::Workspace::from_sources`].
+
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod passes;
+
+pub use diag::{Diagnostic, Severity};
+pub use model::{all_passes, run_passes, Pass, Workspace};

@@ -1,0 +1,394 @@
+//! Structural parsing over the token stream: enough shape recovery to feed
+//! the passes — enum definitions with per-variant field counts, function
+//! bodies as token ranges, struct fields with their type text, and
+//! explicitly-typed `let` bindings.
+//!
+//! This is deliberately not a full Rust parser. It recovers the handful of
+//! item shapes the passes reason about and ignores everything else; any
+//! construct it cannot follow is skipped, never an error.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One variant of an enum.
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the variant.
+    pub line: u32,
+    /// Number of fields: `None` for a unit variant, `Some(n)` for struct or
+    /// tuple variants.
+    pub fields: Option<usize>,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// The variants, in declaration order.
+    pub variants: Vec<VariantDef>,
+}
+
+/// A function item: its name and the token range of its body (the tokens
+/// strictly between the outer `{` and `}`).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, excluding the outer braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// A struct field with its declared type, flattened to text.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// The type, as space-joined token text (e.g. `HashMap < u32 , SiteId >`).
+    pub ty: String,
+}
+
+/// Advance past a balanced `open`/`close` group. `i` must point at the
+/// opening token; returns the index just past the matching closer.
+pub fn skip_group(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    debug_assert!(toks[i].is_punct(open));
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Split the token range of a braced group body into top-level,
+/// comma-separated element ranges. Empty elements are dropped.
+fn split_top_level_commas(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = range.start;
+    for j in range.clone() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'{') | Some(b'(') | Some(b'[') => depth += 1,
+                Some(b'}') | Some(b')') | Some(b']') => depth -= 1,
+                Some(b',') if depth == 0 => {
+                    if j > start {
+                        out.push(start..j);
+                    }
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if range.end > start {
+        out.push(start..range.end);
+    }
+    out
+}
+
+/// Extract every enum definition in the file.
+pub fn enums(toks: &[Tok]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("enum") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Find the opening brace (skipping generics on the name).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is_punct(';') {
+                i = j + 1;
+                continue;
+            }
+            let end = skip_group(toks, j, '{', '}');
+            let mut variants = Vec::new();
+            let mut k = j + 1;
+            while k < end - 1 {
+                // Skip attributes on the variant.
+                while k < end - 1 && toks[k].is_punct('#') {
+                    if k + 1 < end && toks[k + 1].is_punct('[') {
+                        k = skip_group(toks, k + 1, '[', ']');
+                    } else {
+                        k += 1;
+                    }
+                }
+                if k >= end - 1 {
+                    break;
+                }
+                if toks[k].kind != TokKind::Ident {
+                    k += 1;
+                    continue;
+                }
+                let vname = toks[k].text.clone();
+                let vline = toks[k].line;
+                let mut fields = None;
+                let mut m = k + 1;
+                if m < end - 1 && toks[m].is_punct('{') {
+                    let close = skip_group(toks, m, '{', '}');
+                    fields = Some(split_top_level_commas(toks, m + 1..close - 1).len());
+                    m = close;
+                } else if m < end - 1 && toks[m].is_punct('(') {
+                    let close = skip_group(toks, m, '(', ')');
+                    fields = Some(split_top_level_commas(toks, m + 1..close - 1).len());
+                    m = close;
+                }
+                // Skip an explicit discriminant (`= expr`).
+                while m < end - 1 && !toks[m].is_punct(',') {
+                    m += 1;
+                }
+                variants.push(VariantDef {
+                    name: vname,
+                    line: vline,
+                    fields,
+                });
+                k = m + 1;
+            }
+            out.push(EnumDef {
+                name,
+                line,
+                variants,
+            });
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extract every function item (free or in an impl) with its body range.
+pub fn fns(toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Scan to the body `{`, tracking (), [] and <> nesting so a
+            // brace inside a where-clause bound or generic default does not
+            // fool us. A `;` at depth 0 means a bodyless declaration.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut angle = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes()[0] {
+                        b'(' | b'[' => paren += 1,
+                        b')' | b']' => paren -= 1,
+                        b'<' => angle += 1,
+                        b'>' => angle = (angle - 1).max(0),
+                        b'{' if paren == 0 && angle == 0 => break,
+                        b';' if paren == 0 && angle == 0 => break,
+                        // `->`: the `>` of the arrow must not close an
+                        // angle bracket.
+                        b'-' if j + 1 < toks.len() && toks[j + 1].is_punct('>') => {
+                            j += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = skip_group(toks, j, '{', '}');
+                out.push(FnDef {
+                    name,
+                    line,
+                    body: j + 1..end - 1,
+                });
+                // Do not skip the body: nested fns (closures do not use
+                // `fn`) are rare, but scanning on is harmless.
+                i = j + 1;
+            } else {
+                i = j + 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Extract struct fields (`name: Type`) from every struct in the file.
+pub fn struct_fields(toks: &[Tok]) -> Vec<FieldDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is_punct(';') {
+                i = j + 1;
+                continue;
+            }
+            let end = skip_group(toks, j, '{', '}');
+            for elem in split_top_level_commas(toks, j + 1..end - 1) {
+                // Shape: [attrs] [pub [(..)]] name : Type
+                let mut k = elem.start;
+                while k < elem.end {
+                    if toks[k].is_punct('#') && k + 1 < elem.end && toks[k + 1].is_punct('[') {
+                        k = skip_group(toks, k + 1, '[', ']');
+                    } else if toks[k].is_ident("pub") {
+                        k += 1;
+                        if k < elem.end && toks[k].is_punct('(') {
+                            k = skip_group(toks, k, '(', ')');
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if k + 1 < elem.end && toks[k].kind == TokKind::Ident && toks[k + 1].is_punct(':') {
+                    let ty = toks[k + 2..elem.end]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push(FieldDef {
+                        name: toks[k].text.clone(),
+                        ty,
+                    });
+                }
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Names of `let` bindings in the file whose declared or constructed type
+/// mentions any of `type_names` (e.g. `HashMap`). Catches both
+/// `let x: HashMap<..> = ..` and `let x = HashMap::new()`.
+pub fn typed_lets(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                // Scan the rest of the statement for a type-name mention.
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut mentions = false;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_bytes()[0] {
+                            b'{' | b'(' | b'[' => depth += 1,
+                            b'}' | b')' | b']' => depth -= 1,
+                            b';' if depth <= 0 => break,
+                            _ => {}
+                        }
+                    } else if t.kind == TokKind::Ident && type_names.iter().any(|n| t.text == *n) {
+                        mentions = true;
+                    }
+                    k += 1;
+                }
+                if mentions {
+                    out.push(name);
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn enum_variants_and_field_counts() {
+        let src = r#"
+            pub enum Msg {
+                Submit { spec: TxnSpec, reply_to: ActorId, tag: u64 },
+                Pair(u32, u64),
+                Crash,
+                #[default]
+                Idle,
+            }
+        "#;
+        let lexed = lex(src);
+        let es = enums(&lexed.toks);
+        assert_eq!(es.len(), 1);
+        let e = &es[0];
+        assert_eq!(e.name, "Msg");
+        let v: Vec<(&str, Option<usize>)> = e
+            .variants
+            .iter()
+            .map(|v| (v.name.as_str(), v.fields))
+            .collect();
+        assert_eq!(
+            v,
+            vec![
+                ("Submit", Some(3)),
+                ("Pair", Some(2)),
+                ("Crash", None),
+                ("Idle", None)
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_bodies_are_ranged() {
+        let src = "fn a(x: u32) -> Vec<u8> { x; } fn b() { a(1); }";
+        let lexed = lex(src);
+        let fs = fns(&lexed.toks);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].name, "a");
+        assert!(lexed.toks[fs[1].body.clone()]
+            .iter()
+            .any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn struct_fields_capture_types() {
+        let src = "struct S { pub routes: Mutex<HashMap<u32, Addr>>, n: u64 }";
+        let lexed = lex(src);
+        let fields = struct_fields(&lexed.toks);
+        assert_eq!(fields.len(), 2);
+        assert!(fields[0].ty.contains("Mutex"));
+        assert!(fields[0].ty.contains("HashMap"));
+    }
+
+    #[test]
+    fn typed_lets_find_hashmaps() {
+        let src = "fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); let n = HashMap::with_capacity(4); let k = 3; }";
+        let lexed = lex(src);
+        let names = typed_lets(&lexed.toks, &["HashMap"]);
+        assert_eq!(names, vec!["m", "n"]);
+    }
+}

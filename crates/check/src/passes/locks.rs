@@ -1,0 +1,437 @@
+//! Lock-order race detection: build an acquisition-order graph of
+//! `Mutex`/`RwLock` uses across `planet-cluster` and report cycles as
+//! potential deadlocks.
+//!
+//! Lock identity is the receiver's final field name (`self.inner.routes
+//! .lock()` → `routes`), which matches how the transport structs name their
+//! locks. Hold scopes follow Rust's temporary rules, approximated:
+//!
+//! * `let guard = x.lock().unwrap();` — held to the end of the enclosing
+//!   block (only when the chain ends at the guard, modulo
+//!   `unwrap`/`expect`/`?`; `let v = x.lock().unwrap().get(..).cloned();`
+//!   drops the guard at the end of the statement).
+//! * a lock in a `for`/`while let`/`if let`/`match` head — held through the
+//!   construct's block (scrutinee temporaries live that long).
+//! * any other use — held to the end of the statement.
+//!
+//! While a lock is held, every later acquisition adds an edge, including
+//! through calls to same-file functions (one level of interprocedural
+//! propagation, iterated to a fixed point over the file's call graph).
+//! A cycle in the resulting graph is a lock-order inversion; re-acquiring a
+//! lock already held is an immediate self-deadlock with `std::sync` locks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::model::{Pass, SourceFile, Workspace};
+
+/// Directory whose files are analysed. The protocol crates are lock-free by
+/// construction (actors own their state); the live-cluster runtime is where
+/// shared-memory concurrency lives.
+const SCOPE: &str = "crates/cluster/src/";
+
+/// One observed acquisition-order edge: `from` was held when `to` was
+/// acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// How long an acquisition stays active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum End {
+    /// Until the end of the current statement.
+    Stmt,
+    /// Until the block at this depth closes (pop when depth < value).
+    Block(i32),
+    /// A head-position acquisition waiting for its construct's `{`.
+    PendingHead,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    name: String,
+    end: End,
+    depth: i32,
+}
+
+/// Names of RwLock-typed struct fields (for `.read()`/`.write()`
+/// recognition; bare `.lock()` is always treated as a Mutex).
+fn rwlock_names(file: &SourceFile) -> BTreeSet<String> {
+    file.fields()
+        .iter()
+        .filter(|f| f.ty.contains("RwLock"))
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+/// True when `toks[i]` is the method ident of a zero-argument lock
+/// acquisition (`.lock()`, or `.read()`/`.write()` on a known RwLock).
+fn is_lock_call(toks: &[Tok], i: usize, rwlocks: &BTreeSet<String>, receiver: &str) -> bool {
+    if i == 0 || !toks[i - 1].is_punct('.') || toks[i].kind != TokKind::Ident {
+        return false;
+    }
+    let zero_arg = toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+    if !zero_arg {
+        return false;
+    }
+    match toks[i].text.as_str() {
+        "lock" => true,
+        "read" | "write" => rwlocks.contains(receiver),
+        _ => false,
+    }
+}
+
+/// The receiver's final field name: the identifier immediately before the
+/// `.` of the lock call.
+fn receiver_name(toks: &[Tok], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let prev = &toks[dot - 1];
+    if prev.kind == TokKind::Ident {
+        Some(prev.text.clone())
+    } else if prev.is_punct(')') {
+        // `routes.lock().unwrap()` chains: walk back over the group to the
+        // method name — the lock itself; skip (the chained call is not an
+        // acquisition receiver we can name).
+        None
+    } else {
+        None
+    }
+}
+
+/// True if the method chain following the lock call (after its `()`)
+/// consists only of `.unwrap()` / `.expect(<lit>)` / `?` before the
+/// statement ends — i.e. a `let` binding of this chain binds the guard.
+fn chain_binds_guard(toks: &[Tok], after_call: usize) -> bool {
+    let mut i = after_call;
+    loop {
+        match toks.get(i) {
+            Some(t) if t.is_punct('?') => i += 1,
+            Some(t) if t.is_punct('.') => {
+                let m = match toks.get(i + 1) {
+                    Some(m) if m.kind == TokKind::Ident => m.text.as_str(),
+                    _ => return false,
+                };
+                if m != "unwrap" && m != "expect" {
+                    return false;
+                }
+                match toks.get(i + 2) {
+                    Some(t) if t.is_punct('(') => {
+                        i = crate::parse::skip_group(toks, i + 2, '(', ')');
+                    }
+                    _ => return false,
+                }
+            }
+            Some(t) if t.is_punct(';') => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Per-function analysis: record acquisition-order edges and return the set
+/// of locks this function acquires anywhere (for call-through propagation).
+#[allow(clippy::too_many_lines)]
+fn scan_fn(
+    file: &SourceFile,
+    fn_name: &str,
+    body: std::ops::Range<usize>,
+    rwlocks: &BTreeSet<String>,
+    fn_locks: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut BTreeSet<Edge>,
+    acquired: &mut BTreeSet<String>,
+) {
+    let toks = file.toks();
+    let mut active: Vec<Active> = Vec::new();
+    let mut depth = 0i32;
+    // Statement context: set at `;`, `{`, `}`, `=>` and body start.
+    let mut stmt_kws: (bool, bool) = (false, false); // (saw_let, saw_head_kw)
+    let mut stmt_fresh = true;
+
+    let mut i = body.start;
+    while i < body.end.min(toks.len()) {
+        let t = &toks[i];
+        if stmt_fresh && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "let" => stmt_kws.0 = true,
+                // `for`/`match` scrutinee temporaries live through the
+                // construct's block (the desugaring binds them in a
+                // `match`).
+                "for" | "match" => stmt_kws.1 = true,
+                "if" | "while" => {
+                    // Only `if let`/`while let` extend scrutinee
+                    // temporaries through the block; a plain condition
+                    // drops them before the block runs.
+                    if toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+                        stmt_kws.1 = true;
+                    }
+                }
+                _ => stmt_fresh = false,
+            }
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'{' => {
+                    // Statement-scoped temporaries (plain `if`/`while`
+                    // conditions, most commonly) are dropped before the
+                    // block they guard runs.
+                    active.retain(|a| a.end != End::Stmt);
+                    depth += 1;
+                    for a in active.iter_mut() {
+                        if a.end == End::PendingHead {
+                            a.end = End::Block(depth);
+                        }
+                    }
+                    stmt_kws = (false, false);
+                    stmt_fresh = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    active.retain(|a| match a.end {
+                        End::Block(d) => d <= depth,
+                        // Tail expressions end at the block close too.
+                        End::Stmt => a.depth <= depth,
+                        End::PendingHead => true,
+                    });
+                    stmt_kws = (false, false);
+                    stmt_fresh = true;
+                }
+                b';' | b',' => {
+                    active.retain(|a| a.end != End::Stmt || a.depth < depth);
+                    stmt_kws = (false, false);
+                    stmt_fresh = true;
+                }
+                b'=' if toks.get(i + 1).is_some_and(|n| n.is_punct('>')) => {
+                    // Match-arm arrow: a new (arm-body) statement begins.
+                    stmt_kws = (false, false);
+                    stmt_fresh = true;
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        // A lock acquisition?
+        if i > body.start && toks[i - 1].is_punct('.') {
+            let receiver = receiver_name(toks, i - 1).unwrap_or_default();
+            if is_lock_call(toks, i, rwlocks, &receiver) && !receiver.is_empty() {
+                let line = toks[i].line;
+                for a in &active {
+                    edges.insert(Edge {
+                        from: a.name.clone(),
+                        to: receiver.clone(),
+                        file: file.path.clone(),
+                        line,
+                        via: fn_name.to_string(),
+                    });
+                }
+                acquired.insert(receiver.clone());
+                let end = if stmt_kws.1 {
+                    End::PendingHead
+                } else if stmt_kws.0 && chain_binds_guard(toks, i + 3) {
+                    End::Block(depth)
+                } else {
+                    End::Stmt
+                };
+                active.push(Active {
+                    name: receiver,
+                    end,
+                    depth,
+                });
+                i += 3; // past `lock ( )`
+                continue;
+            }
+        }
+
+        // A call into a same-file function while holding locks?
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !active.is_empty()
+        {
+            if let Some(callee_locks) = fn_locks.get(&t.text) {
+                for a in &active {
+                    for callee_lock in callee_locks {
+                        edges.insert(Edge {
+                            from: a.name.clone(),
+                            to: callee_lock.clone(),
+                            file: file.path.clone(),
+                            line: t.line,
+                            via: format!("{fn_name} -> {}", t.text),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Find one cycle in the edge graph, if any, as the list of edges forming
+/// it. Deterministic: nodes are visited in sorted order.
+fn find_cycle(edges: &BTreeSet<Edge>) -> Option<Vec<Edge>> {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in &nodes {
+        if done.contains(start) {
+            continue;
+        }
+        // Iterative DFS tracking the path of edges.
+        let mut path: Vec<&Edge> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        on_path.insert(start);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let out_edges = adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *next < out_edges.len() {
+                let e = out_edges[*next];
+                *next += 1;
+                if on_path.contains(e.to.as_str()) {
+                    // Found a cycle: slice the path from the repeated node.
+                    path.push(e);
+                    let from = path
+                        .iter()
+                        .position(|pe| pe.from == e.to)
+                        .unwrap_or(path.len() - 1);
+                    return Some(path[from..].iter().map(|&pe| pe.clone()).collect());
+                }
+                if !done.contains(e.to.as_str()) {
+                    path.push(e);
+                    on_path.insert(e.to.as_str());
+                    stack.push((e.to.as_str(), 0));
+                }
+            } else {
+                done.insert(node);
+                stack.pop();
+                on_path.remove(node);
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// The lock-order pass.
+pub struct LockOrderPass;
+
+impl Pass for LockOrderPass {
+    fn name(&self) -> &'static str {
+        "locks"
+    }
+
+    fn description(&self) -> &'static str {
+        "Mutex/RwLock acquisition order is acyclic across the live-cluster runtime"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let mut edges: BTreeSet<Edge> = BTreeSet::new();
+        for file in ws.files_under(SCOPE) {
+            let rwlocks = rwlock_names(file);
+            // Fixed point over the same-file call graph: which locks does
+            // each function acquire, transitively?
+            let mut fn_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            for _ in 0..3 {
+                let prev = fn_locks.clone();
+                for f in file.fns() {
+                    let mut acquired = fn_locks.get(&f.name).cloned().unwrap_or_default();
+                    let mut scratch = BTreeSet::new();
+                    scan_fn(
+                        file,
+                        &f.name,
+                        f.body.clone(),
+                        &rwlocks,
+                        &prev,
+                        &mut scratch,
+                        &mut acquired,
+                    );
+                    // Call-through: also absorb callees' lock sets.
+                    for tok in &file.toks()[f.body.clone()] {
+                        if let Some(callee) = prev.get(&tok.text) {
+                            acquired.extend(callee.iter().cloned());
+                        }
+                    }
+                    fn_locks.insert(f.name.clone(), acquired);
+                }
+                if fn_locks == prev {
+                    break;
+                }
+            }
+            for f in file.fns() {
+                let mut acquired = BTreeSet::new();
+                scan_fn(
+                    file,
+                    &f.name,
+                    f.body.clone(),
+                    &rwlocks,
+                    &fn_locks,
+                    &mut edges,
+                    &mut acquired,
+                );
+            }
+        }
+
+        // Self-edges: re-acquiring a held std::sync lock deadlocks at once.
+        for e in &edges {
+            if e.from == e.to {
+                out.push(
+                    Diagnostic::error(
+                        "LOCK002",
+                        &e.file,
+                        e.line,
+                        format!(
+                            "self-deadlock: `{}` is acquired in `{}` while already held",
+                            e.to, e.via
+                        ),
+                    )
+                    .with_suggestion(
+                        "clone or copy what you need out of the first guard and drop it before re-locking",
+                    ),
+                );
+            }
+        }
+        let edges: BTreeSet<Edge> = edges.into_iter().filter(|e| e.from != e.to).collect();
+
+        if let Some(cycle) = find_cycle(&edges) {
+            let order = cycle
+                .iter()
+                .map(|e| e.from.as_str())
+                .chain(cycle.first().map(|e| e.from.as_str()))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let witness = &cycle[0];
+            let sites = cycle
+                .iter()
+                .map(|e| format!("{}:{} ({})", e.file, e.line, e.via))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::error(
+                    "LOCK001",
+                    &witness.file,
+                    witness.line,
+                    format!(
+                        "lock-order cycle (potential deadlock): {order}; acquisition sites: {sites}"
+                    ),
+                )
+                .with_suggestion(
+                    "pick one global acquisition order for these locks and re-order the nested acquisitions to follow it",
+                ),
+            );
+        }
+    }
+}

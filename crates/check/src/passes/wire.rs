@@ -1,0 +1,182 @@
+//! Wire-codec completeness: every variant of each protocol enum must have a
+//! matching encode arm and decode arm in the hand-rolled codec, with field
+//! counts cross-checked against the enum declaration.
+//!
+//! The codec in `crates/cluster/src/wire.rs` is written by hand (the
+//! workspace builds offline, so there is no derive-based serializer whose
+//! exhaustive `match` the compiler would police on *both* sides: encode is a
+//! `match` — exhaustive — but decode is a tag dispatch that silently loses a
+//! variant). This pass restores the missing compiler guarantee: adding a
+//! message variant without wiring the codec fails CI with a named variant.
+
+use crate::diag::Diagnostic;
+use crate::model::{Pass, Workspace};
+use crate::passes::{find_paths, group_field_count};
+
+/// One enum ↔ codec-function binding.
+struct CodecRule {
+    enum_name: &'static str,
+    enum_file: &'static str,
+    codec_file: &'static str,
+    encode_fn: &'static str,
+    decode_fn: &'static str,
+}
+
+/// The protocol surface: every enum that crosses the wire, and the pair of
+/// codec functions responsible for it.
+const RULES: &[CodecRule] = &[
+    CodecRule {
+        enum_name: "Msg",
+        enum_file: "crates/mdcc/src/messages.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_msg",
+        decode_fn: "get_msg",
+    },
+    CodecRule {
+        enum_name: "ProgressStage",
+        enum_file: "crates/mdcc/src/messages.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_stage",
+        decode_fn: "get_stage",
+    },
+    CodecRule {
+        enum_name: "Outcome",
+        enum_file: "crates/mdcc/src/messages.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_outcome",
+        decode_fn: "get_outcome",
+    },
+    CodecRule {
+        enum_name: "ReadLevel",
+        enum_file: "crates/mdcc/src/messages.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_spec",
+        decode_fn: "get_spec",
+    },
+    CodecRule {
+        enum_name: "Value",
+        enum_file: "crates/storage/src/types.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_value",
+        decode_fn: "get_value",
+    },
+    CodecRule {
+        enum_name: "WriteOp",
+        enum_file: "crates/storage/src/options.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_write_op",
+        decode_fn: "get_write_op",
+    },
+    CodecRule {
+        enum_name: "RejectReason",
+        enum_file: "crates/storage/src/options.rs",
+        codec_file: "crates/cluster/src/wire.rs",
+        encode_fn: "put_reject",
+        decode_fn: "get_reject",
+    },
+];
+
+/// The wire-codec completeness pass.
+pub struct WireCodecPass;
+
+impl Pass for WireCodecPass {
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+
+    fn description(&self) -> &'static str {
+        "protocol enums have matching encode/decode arms with consistent field counts"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for rule in RULES {
+            // A fixture workspace may carry only some files; a rule whose
+            // enum file is absent simply does not apply.
+            let Some(enum_file) = ws.file(rule.enum_file) else {
+                continue;
+            };
+            let Some(codec_file) = ws.file(rule.codec_file) else {
+                continue;
+            };
+            let Some(enum_def) = enum_file.enum_named(rule.enum_name) else {
+                out.push(Diagnostic::error(
+                    "WIRE005",
+                    rule.enum_file,
+                    1,
+                    format!(
+                        "protocol enum `{}` not found (renamed? update the codec rules in planet-check)",
+                        rule.enum_name
+                    ),
+                ));
+                continue;
+            };
+            for (side, fn_name, missing_code, count_code) in [
+                ("encode", rule.encode_fn, "WIRE001", "WIRE003"),
+                ("decode", rule.decode_fn, "WIRE002", "WIRE004"),
+            ] {
+                let Some(fn_def) = codec_file.fn_named(fn_name) else {
+                    out.push(Diagnostic::error(
+                        "WIRE006",
+                        rule.codec_file,
+                        1,
+                        format!(
+                            "codec function `{fn_name}` for enum `{}` not found (renamed? update the codec rules in planet-check)",
+                            rule.enum_name
+                        ),
+                    ));
+                    continue;
+                };
+                let hits = find_paths(codec_file.toks(), fn_def.body.clone(), rule.enum_name);
+                for variant in &enum_def.variants {
+                    let uses: Vec<_> = hits.iter().filter(|h| h.name == variant.name).collect();
+                    if uses.is_empty() {
+                        out.push(
+                            Diagnostic::error(
+                                missing_code,
+                                rule.enum_file,
+                                variant.line,
+                                format!(
+                                    "wire-codec drift: `{}::{}` has no {side} arm in `{}` ({})",
+                                    rule.enum_name,
+                                    variant.name,
+                                    fn_name,
+                                    rule.codec_file,
+                                ),
+                            )
+                            .with_suggestion(format!(
+                                "add a `{}::{}` arm to `{fn_name}` — and a matching arm on the other side — or the live cluster cannot carry this message",
+                                rule.enum_name, variant.name
+                            )),
+                        );
+                        continue;
+                    }
+                    // Field-count cross-check at every use site.
+                    for hit in uses {
+                        let Some(seen) = group_field_count(codec_file.toks(), hit.idx) else {
+                            continue; // `..` rest pattern: count unknowable
+                        };
+                        let declared = variant.fields.unwrap_or(0);
+                        let seen_n = seen.unwrap_or(0);
+                        if seen_n != declared {
+                            out.push(
+                                Diagnostic::error(
+                                    count_code,
+                                    rule.codec_file,
+                                    hit.line,
+                                    format!(
+                                        "wire-codec drift: {side} arm for `{}::{}` handles {seen_n} field(s) but the enum declares {declared}",
+                                        rule.enum_name, variant.name
+                                    ),
+                                )
+                                .with_suggestion(format!(
+                                    "see the declaration at {}:{}",
+                                    rule.enum_file, variant.line
+                                )),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

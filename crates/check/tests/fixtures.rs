@@ -1,0 +1,400 @@
+//! Fixture tests: prove each pass actually fires, with file:line anchored
+//! diagnostics, by feeding the pipeline deliberately broken in-memory
+//! workspaces via `Workspace::from_sources`.
+
+use planet_check::{run_passes, Workspace};
+
+fn ws(files: &[(&str, &str)]) -> Workspace {
+    Workspace::from_sources(
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+    )
+}
+
+fn run(ws: &Workspace, pass: &str) -> Vec<planet_check::Diagnostic> {
+    run_passes(ws, &[pass.to_string()])
+}
+
+// ---- wire ----
+
+const FIXTURE_MESSAGES: &str = r#"
+pub enum Msg {
+    Submit { spec: u32, reply_to: u64, tag: u64 },
+    Crash,
+    Decide(u32, u64),
+}
+"#;
+
+#[test]
+fn wire_missing_decode_arm_fires_with_variant_name() {
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", FIXTURE_MESSAGES),
+        (
+            "crates/cluster/src/wire.rs",
+            r#"
+pub fn put_msg(buf: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Submit { spec, reply_to, tag } => {}
+        Msg::Crash => {}
+        Msg::Decide(a, b) => {}
+    }
+}
+pub fn get_msg(buf: &[u8]) -> Msg {
+    match tag {
+        0 => Msg::Submit { spec: s, reply_to: r, tag: t },
+        2 => Msg::Decide(a, b),
+        _ => panic!(),
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "wire");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "WIRE002")
+        .expect("WIRE002 must fire");
+    assert!(hit.message.contains("Msg::Crash"), "{}", hit.message);
+    assert!(hit.message.contains("get_msg"));
+    // Anchored at the variant's declaration line in the enum file.
+    assert_eq!(hit.file, "crates/mdcc/src/messages.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn wire_field_count_mismatch_fires_at_codec_line() {
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", FIXTURE_MESSAGES),
+        (
+            "crates/cluster/src/wire.rs",
+            r#"
+pub fn put_msg(buf: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Submit { spec, reply_to } => {}
+        Msg::Crash => {}
+        Msg::Decide(a, b) => {}
+    }
+}
+pub fn get_msg(buf: &[u8]) -> Msg {
+    match tag {
+        0 => Msg::Submit { spec: s, reply_to: r, tag: t },
+        1 => Msg::Crash,
+        2 => Msg::Decide(a, b),
+        _ => panic!(),
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "wire");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "WIRE003")
+        .expect("WIRE003 must fire for the 2-field encode of a 3-field variant");
+    assert!(hit.message.contains("Msg::Submit"));
+    assert!(hit.message.contains("handles 2 field(s)"));
+    assert_eq!(hit.file, "crates/cluster/src/wire.rs");
+    assert_eq!(hit.line, 4);
+    // The complete decode side is clean.
+    assert!(!diags
+        .iter()
+        .any(|d| d.code == "WIRE002" || d.code == "WIRE004"));
+}
+
+#[test]
+fn wire_clean_codec_is_quiet() {
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", FIXTURE_MESSAGES),
+        (
+            "crates/cluster/src/wire.rs",
+            r#"
+pub fn put_msg(buf: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Submit { spec, reply_to, tag } => {}
+        Msg::Crash => {}
+        Msg::Decide(a, b) => {}
+    }
+}
+pub fn get_msg(buf: &[u8]) -> Msg {
+    match tag {
+        0 => Msg::Submit { spec: s, reply_to: r, tag: t },
+        1 => Msg::Crash,
+        2 => Msg::Decide(a, b),
+        _ => panic!(),
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "wire");
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.code.starts_with("WIRE00") && d.code <= "WIRE004"),
+        "clean codec must not produce arm/field diagnostics: {diags:?}"
+    );
+}
+
+// ---- state ----
+
+#[test]
+fn state_illegal_transition_fires() {
+    // A timeout handler that commits: `Committed` is outside handle_timeout's
+    // legal-edge set (votes may still be in flight).
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn handle_timeout(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        self.finish(txn, Outcome::Committed, ctx);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "STATE001")
+        .expect("STATE001 must fire");
+    assert!(hit.message.contains("handle_timeout"));
+    assert!(hit.message.contains("outcome:Committed"));
+    assert_eq!(hit.file, "crates/mdcc/src/coordinator.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn state_missing_required_edge_fires() {
+    // An apply handler that no longer installs anything has silently dropped
+    // a protocol edge.
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn handle_apply(&mut self, key: Key) {
+        let _ = key;
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "STATE002")
+        .expect("STATE002 must fire");
+    assert!(hit.message.contains("handle_apply"));
+    assert!(hit.message.contains("install"));
+}
+
+#[test]
+fn state_speculative_commit_guard_fires() {
+    // Proposal validation deciding/installing = a commit from an unprepared
+    // state.
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn handle_fast_propose(&mut self, key: Key, txn: TxnId) {
+        self.storage.decide(&key, txn, true);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "STATE001")
+        .expect("STATE001 must fire for decide in a propose handler");
+    assert!(hit.message.contains("handle_fast_propose"));
+    assert!(hit.message.contains("decide:commit"));
+    assert_eq!(hit.line, 4);
+}
+
+// ---- locks ----
+
+#[test]
+fn lock_order_cycle_fires() {
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+impl Node {
+    fn route_then_conn(&self) {
+        let g = self.routes.lock().unwrap();
+        self.conns.lock().unwrap().clear();
+    }
+    fn conn_then_route(&self) {
+        let g = self.conns.lock().unwrap();
+        self.routes.lock().unwrap().clear();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "locks");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "LOCK001")
+        .expect("LOCK001 must fire on an order inversion");
+    assert!(hit.message.contains("routes") && hit.message.contains("conns"));
+    assert_eq!(hit.file, "crates/cluster/src/node.rs");
+    assert!(hit.line > 1);
+}
+
+#[test]
+fn lock_self_reacquisition_fires() {
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+impl Node {
+    fn double_lock(&self) {
+        let g = self.routes.lock().unwrap();
+        self.routes.lock().unwrap().clear();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "locks");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "LOCK002")
+        .expect("LOCK002 must fire on re-locking a held lock");
+    assert!(hit.message.contains("routes"));
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn lock_cycle_through_same_file_call_fires() {
+    // a holds `routes` and calls helper; helper locks `conns`; b orders them
+    // the other way round directly.
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+impl Node {
+    fn helper(&self) {
+        self.conns.lock().unwrap().clear();
+    }
+    fn a(&self) {
+        let g = self.routes.lock().unwrap();
+        helper();
+    }
+    fn b(&self) {
+        let g = self.conns.lock().unwrap();
+        self.routes.lock().unwrap().clear();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "locks");
+    assert!(
+        diags.iter().any(|d| d.code == "LOCK001"),
+        "call-through edge must close the cycle: {diags:?}"
+    );
+}
+
+#[test]
+fn lock_plain_if_condition_guard_is_not_held() {
+    // The tcp.rs send() shape: a plain `if` condition's guard temporary is
+    // dropped before the block runs, so re-locking inside is fine.
+    let w = ws(&[(
+        "crates/cluster/src/tcp.rs",
+        r#"
+impl Transport {
+    fn send(&self) {
+        if self.local.lock().unwrap().contains_key(&k) {
+            self.deliver(env);
+        }
+    }
+    fn deliver(&self) {
+        let mailbox = self.local.lock().unwrap().get(&k).cloned();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "locks");
+    assert!(
+        diags.is_empty(),
+        "plain-if condition must not count as held: {diags:?}"
+    );
+}
+
+// ---- determinism ----
+
+#[test]
+fn determinism_instant_now_fires() {
+    let w = ws(&[(
+        "crates/sim/src/engine.rs",
+        r#"
+fn tick() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+"#,
+    )]);
+    let diags = run(&w, "determinism");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "DET001")
+        .expect("DET001 must fire on Instant in a sim crate");
+    assert_eq!(hit.file, "crates/sim/src/engine.rs");
+    assert_eq!(hit.line, 3);
+}
+
+#[test]
+fn determinism_allow_marker_suppresses() {
+    let w = ws(&[(
+        "crates/sim/src/engine.rs",
+        r#"
+fn tick() -> u64 {
+    // check:allow(determinism): diagnostics only, never affects replay
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+"#,
+    )]);
+    let diags = run(&w, "determinism");
+    assert!(diags.is_empty(), "allow marker must suppress: {diags:?}");
+}
+
+#[test]
+fn determinism_hash_iteration_fires_and_cfg_test_is_exempt() {
+    let w = ws(&[(
+        "crates/mdcc/src/some_actor.rs",
+        r#"
+struct S {
+    pending: HashMap<u64, u32>,
+}
+impl S {
+    fn drain_all(&mut self) {
+        for k in self.pending.keys() {
+            emit(k);
+        }
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for k in m.keys() {}
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "determinism");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "DET004").collect();
+    assert_eq!(hits.len(), 1, "exactly the non-test site: {diags:?}");
+    assert_eq!(hits[0].line, 7);
+    assert!(hits[0].message.contains("pending"));
+}
+
+#[test]
+fn determinism_thread_rng_fires() {
+    let w = ws(&[(
+        "crates/workload/src/gen.rs",
+        "fn pick() -> u64 { thread_rng().gen() }\n",
+    )]);
+    let diags = run(&w, "determinism");
+    assert!(
+        diags.iter().any(|d| d.code == "DET003"),
+        "DET003 must fire on thread_rng: {diags:?}"
+    );
+}

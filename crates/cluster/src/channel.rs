@@ -105,14 +105,14 @@ impl ChannelTransport {
             .name("planet-fabric".into())
             .spawn(move || fabric.run_fabric(rx, net, seed))
             .expect("spawn fabric thread");
-        *transport.fabric_join.lock().unwrap() = Some(join);
+        *transport.fabric_join.lock().expect("lock poisoned") = Some(join);
         transport
     }
 
     /// Register an actor's mailbox and site. Must happen before traffic for
     /// that actor flows; sends to unregistered actors are counted as drops.
     pub fn register(&self, id: u32, site: SiteId, mailbox: Sender<Packet>) {
-        let mut routes = self.routes.lock().unwrap();
+        let mut routes = self.routes.lock().expect("lock poisoned");
         routes.mailboxes.insert(id, mailbox);
         routes.sites.insert(id, site);
     }
@@ -129,18 +129,23 @@ impl ChannelTransport {
         if let Some(tx) = &self.fabric_tx {
             let _ = tx.send(FabricCmd::Stop);
         }
-        if let Some(join) = self.fabric_join.lock().unwrap().take() {
+        if let Some(join) = self.fabric_join.lock().expect("lock poisoned").take() {
             let _ = join.join();
         }
     }
 
     fn site_of(&self, id: u32) -> Option<SiteId> {
-        self.routes.lock().unwrap().sites.get(&id).copied()
+        self.routes
+            .lock()
+            .expect("lock poisoned")
+            .sites
+            .get(&id)
+            .copied()
     }
 
     fn deliver(&self, env: Envelope) {
         let sender = {
-            let routes = self.routes.lock().unwrap();
+            let routes = self.routes.lock().expect("lock poisoned");
             routes.mailboxes.get(&env.to.0).cloned()
         };
         match sender {

@@ -76,12 +76,20 @@ impl TcpTransport {
 
     /// Declare that `actor` is served at `addr` (may be this process).
     pub fn add_route(&self, actor: u32, addr: SocketAddr) {
-        self.inner.routes.lock().unwrap().insert(actor, addr);
+        self.inner
+            .routes
+            .lock()
+            .expect("lock poisoned")
+            .insert(actor, addr);
     }
 
     /// Register a locally hosted actor's mailbox.
     pub fn host(&self, actor: u32, mailbox: Sender<Packet>) {
-        self.inner.local.lock().unwrap().insert(actor, mailbox);
+        self.inner
+            .local
+            .lock()
+            .expect("lock poisoned")
+            .insert(actor, mailbox);
     }
 
     /// Bind `addr` (port 0 allowed) and start accepting connections.
@@ -89,7 +97,7 @@ impl TcpTransport {
     pub fn listen(&self, addr: SocketAddr) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
-        *self.inner.listen_addr.lock().unwrap() = Some(bound);
+        *self.inner.listen_addr.lock().expect("lock poisoned") = Some(bound);
         let inner = self.inner.clone();
         let handle = std::thread::Builder::new()
             .name("planet-tcp-accept".into())
@@ -106,7 +114,11 @@ impl TcpTransport {
                     }
                 }
             })?;
-        self.inner.threads.lock().unwrap().push(handle);
+        self.inner
+            .threads
+            .lock()
+            .expect("lock poisoned")
+            .push(handle);
         Ok(bound)
     }
 
@@ -119,14 +131,20 @@ impl TcpTransport {
     /// Close every connection and stop the acceptor and reader threads.
     pub fn stop(&self) {
         self.inner.closed.store(true, Ordering::SeqCst);
-        for stream in self.inner.streams.lock().unwrap().drain(..) {
+        for stream in self.inner.streams.lock().expect("lock poisoned").drain(..) {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the acceptor with a throwaway connection.
-        if let Some(addr) = *self.inner.listen_addr.lock().unwrap() {
+        if let Some(addr) = *self.inner.listen_addr.lock().expect("lock poisoned") {
             let _ = TcpStream::connect(addr);
         }
-        let threads: Vec<_> = self.inner.threads.lock().unwrap().drain(..).collect();
+        let threads: Vec<_> = self
+            .inner
+            .threads
+            .lock()
+            .expect("lock poisoned")
+            .drain(..)
+            .collect();
         for handle in threads {
             let _ = handle.join();
         }
@@ -147,7 +165,7 @@ impl TcpInner {
         inner
             .streams
             .lock()
-            .unwrap()
+            .expect("lock poisoned")
             .push(match stream.try_clone() {
                 Ok(raw) => raw,
                 Err(_) => return None,
@@ -159,7 +177,7 @@ impl TcpInner {
             .name("planet-tcp-read".into())
             .spawn(move || inner2.read_loop(reader, conn2))
             .ok()?;
-        inner.threads.lock().unwrap().push(handle);
+        inner.threads.lock().expect("lock poisoned").push(handle);
         Some(conn)
     }
 
@@ -171,9 +189,16 @@ impl TcpInner {
                 Ok(Some(env)) => {
                     // Learn the reply path: the sender is reachable down
                     // this connection (unless a static route exists).
-                    let has_route = self.routes.lock().unwrap().contains_key(&env.from.0);
+                    let has_route = self
+                        .routes
+                        .lock()
+                        .expect("lock poisoned")
+                        .contains_key(&env.from.0);
                     if !has_route {
-                        self.peers.lock().unwrap().insert(env.from.0, conn.clone());
+                        self.peers
+                            .lock()
+                            .expect("lock poisoned")
+                            .insert(env.from.0, conn.clone());
                     }
                     self.deliver_local(env);
                 }
@@ -183,7 +208,12 @@ impl TcpInner {
     }
 
     fn deliver_local(&self, env: Envelope) {
-        let mailbox = self.local.lock().unwrap().get(&env.to.0).cloned();
+        let mailbox = self
+            .local
+            .lock()
+            .expect("lock poisoned")
+            .get(&env.to.0)
+            .cloned();
         match mailbox {
             Some(tx) if tx.send(Packet::Env(env)).is_ok() => {}
             _ => {
@@ -193,7 +223,7 @@ impl TcpInner {
     }
 
     fn write_to(&self, conn: &Conn, env: &Envelope) -> bool {
-        let mut stream = conn.lock().unwrap();
+        let mut stream = conn.lock().expect("lock poisoned");
         wire::write_frame(&mut *stream, env).is_ok()
     }
 }
@@ -202,34 +232,58 @@ impl Transport for TcpTransport {
     fn send(&self, env: Envelope) {
         let inner = &self.inner;
         // 1. Hosted locally?
-        if inner.local.lock().unwrap().contains_key(&env.to.0) {
+        if inner
+            .local
+            .lock()
+            .expect("lock poisoned")
+            .contains_key(&env.to.0)
+        {
             inner.deliver_local(env);
             return;
         }
         // 2. A learned reply route?
-        let peer = inner.peers.lock().unwrap().get(&env.to.0).cloned();
+        let peer = inner
+            .peers
+            .lock()
+            .expect("lock poisoned")
+            .get(&env.to.0)
+            .cloned();
         if let Some(conn) = peer {
             if inner.write_to(&conn, &env) {
                 return;
             }
-            inner.peers.lock().unwrap().remove(&env.to.0);
+            inner.peers.lock().expect("lock poisoned").remove(&env.to.0);
             inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // 3. A static route: reuse or open the connection to that address.
-        let addr = inner.routes.lock().unwrap().get(&env.to.0).copied();
+        let addr = inner
+            .routes
+            .lock()
+            .expect("lock poisoned")
+            .get(&env.to.0)
+            .copied();
         let Some(addr) = addr else {
             inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        let existing = inner.conns.lock().unwrap().get(&addr).cloned();
+        let existing = inner
+            .conns
+            .lock()
+            .expect("lock poisoned")
+            .get(&addr)
+            .cloned();
         let conn = match existing {
             Some(conn) => Some(conn),
             None => match TcpStream::connect(addr) {
                 Ok(stream) => {
                     let conn = TcpInner::adopt(inner, stream);
                     if let Some(conn) = &conn {
-                        inner.conns.lock().unwrap().insert(addr, conn.clone());
+                        inner
+                            .conns
+                            .lock()
+                            .expect("lock poisoned")
+                            .insert(addr, conn.clone());
                     }
                     conn
                 }
@@ -239,7 +293,7 @@ impl Transport for TcpTransport {
         match conn {
             Some(conn) if inner.write_to(&conn, &env) => {}
             Some(_) => {
-                inner.conns.lock().unwrap().remove(&addr);
+                inner.conns.lock().expect("lock poisoned").remove(&addr);
                 inner.dropped.fetch_add(1, Ordering::Relaxed);
             }
             None => {

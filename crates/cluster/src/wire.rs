@@ -120,13 +120,19 @@ impl<'a> Reader<'a> {
         }
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) returns 4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) returns 8 bytes"),
+        ))
     }
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) returns 8 bytes"),
+        ))
     }
     fn blob(&mut self) -> Result<&'a [u8]> {
         let n = self.u32()? as usize;

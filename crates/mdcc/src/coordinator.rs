@@ -220,7 +220,9 @@ impl CoordinatorActor {
         state.reads_done = true;
         let writes = state.spec.writes.clone();
         self.progress(
-            self.inflight.get(&txn).unwrap(),
+            self.inflight
+                .get(&txn)
+                .expect("txn checked in-flight above"),
             txn,
             ProgressStage::ReadsDone {
                 reads: results.clone(),
@@ -233,7 +235,10 @@ impl CoordinatorActor {
         }
         let versions: HashMap<&Key, u64> = results.iter().map(|r| (&r.key, r.version)).collect();
 
-        let state = self.inflight.get_mut(&txn).unwrap();
+        let state = self
+            .inflight
+            .get_mut(&txn)
+            .expect("txn checked in-flight above");
         state.proposals_sent_at = Some(ctx.now());
         let mut proposals = Vec::new();
         for (key, op) in &writes {
@@ -387,7 +392,10 @@ impl CoordinatorActor {
                 },
             );
             ctx.metrics().counter("txn.fast_fallbacks").inc();
-            let state = self.inflight.get(&txn).unwrap();
+            let state = self
+                .inflight
+                .get(&txn)
+                .expect("txn checked in-flight above");
             self.progress(
                 state,
                 txn,
@@ -396,7 +404,10 @@ impl CoordinatorActor {
             );
         }
 
-        let state = self.inflight.get(&txn).unwrap();
+        let state = self
+            .inflight
+            .get(&txn)
+            .expect("txn checked in-flight above");
         self.progress(
             state,
             txn,
@@ -419,7 +430,10 @@ impl CoordinatorActor {
         }
 
         // Decide as soon as every key has resolved, or any key failed.
-        let state = self.inflight.get(&txn).unwrap();
+        let state = self
+            .inflight
+            .get(&txn)
+            .expect("txn checked in-flight above");
         let any_failed = state.votes.values().any(|kv| kv.resolved == Some(false));
         let all_ok = state.votes.values().all(|kv| kv.resolved == Some(true));
         if any_failed {

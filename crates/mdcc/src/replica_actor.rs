@@ -404,7 +404,7 @@ impl ReplicaActor {
         let lease = self.lease;
         let mut expired: Vec<(TxnId, Key)> = self
             .accepted_at
-            .iter()
+            .iter() // check:allow(determinism): order is fixed by the sort below
             .filter(|(_, &at)| now.since(at) > lease)
             .map(|(k, _)| k.clone())
             .collect();

@@ -162,9 +162,9 @@ impl Histogram {
                 "n={} mean={:.2}ms p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
                 self.total,
                 mean / 1_000.0,
-                self.quantile(0.50).unwrap() as f64 / 1_000.0,
-                self.quantile(0.90).unwrap() as f64 / 1_000.0,
-                self.quantile(0.99).unwrap() as f64 / 1_000.0,
+                self.quantile(0.50).expect("histogram is non-empty") as f64 / 1_000.0,
+                self.quantile(0.90).expect("histogram is non-empty") as f64 / 1_000.0,
+                self.quantile(0.99).expect("histogram is non-empty") as f64 / 1_000.0,
                 self.max as f64 / 1_000.0,
             ),
         }

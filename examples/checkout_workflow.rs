@@ -44,10 +44,18 @@ fn checkout(
         None => {
             // Sequential baseline: wait for durability at each step.
             db.run_for(SimDuration::from_secs(3));
-            assert!(db.record(h1).unwrap().outcome.is_commit());
+            assert!(db
+                .record(h1)
+                .expect("transaction was recorded")
+                .outcome
+                .is_commit());
             let h2 = db.submit(0, order);
             db.run_for(SimDuration::from_secs(3));
-            assert!(db.record(h2).unwrap().outcome.is_commit());
+            assert!(db
+                .record(h2)
+                .expect("transaction was recorded")
+                .outcome
+                .is_commit());
             let h3 = db.submit(0, charge);
             (h2, h3)
         }
@@ -55,7 +63,7 @@ fn checkout(
     db.run_for(SimDuration::from_secs(5));
     for (step, h) in [(1, h1), (2, h2), (3, h3)] {
         assert_eq!(
-            db.record(h).unwrap().outcome,
+            db.record(h).expect("transaction was recorded").outcome,
             FinalOutcome::Committed,
             "step {step} must commit"
         );
@@ -66,11 +74,11 @@ fn checkout(
     match trigger {
         None => [h1, h2, h3]
             .iter()
-            .map(|h| db.record(*h).unwrap().latency)
+            .map(|h| db.record(*h).expect("transaction was recorded").latency)
             .fold(SimDuration::ZERO, |a, b| a + b),
         Some(_) => {
-            let first = db.record(h1).unwrap();
-            let last = db.record(h3).unwrap();
+            let first = db.record(h1).expect("transaction was recorded");
+            let last = db.record(h3).expect("transaction was recorded");
             last.submitted_at + last.latency - first.submitted_at
         }
     }

@@ -15,7 +15,7 @@ fn percentile(mut v: Vec<f64>, q: f64) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
     v[((q * (v.len() - 1) as f64).round()) as usize]
 }
 

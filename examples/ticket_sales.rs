@@ -57,13 +57,13 @@ fn main() {
         .iter()
         .filter_map(|r| r.speculated_at.map(|d| d.as_millis_f64()))
         .collect();
-    spec_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    spec_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
     let mut final_ms: Vec<f64> = purchases
         .iter()
         .filter(|r| r.outcome.is_commit())
         .map(|r| r.latency.as_millis_f64())
         .collect();
-    final_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    final_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
 
     println!("\n== sale results ==");
     println!("purchases attempted : {}", purchases.len());
