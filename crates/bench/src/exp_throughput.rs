@@ -4,13 +4,17 @@
 //! Unlike every other experiment (which runs the deterministic simulation),
 //! this one measures the *live* runtime: replicas, coordinators and clients
 //! each on their own OS thread, wall-clock time, the LAN-ish network model
-//! shaping deliveries. At `Scale::Full` the sweep covers 1→256 clients and
-//! the points are also written to `BENCH_throughput.json`.
+//! shaping deliveries. Every point warms up before the measured window and
+//! reports the plane's own telemetry (mean drain batch, mailbox high-water)
+//! alongside throughput and latency. At `Scale::Full` the batched sweep
+//! covers 1→256 clients and is written to `BENCH_throughput.json`, then the
+//! whole sweep is repeated with [`PlaneConfig::unbatched`] as an ablation
+//! and both curves land in `BENCH_throughput_batched.json`.
 
 use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
 
-use planet_cluster::{LiveCluster, LoadClient, LoadRecord};
+use planet_cluster::{LiveCluster, LoadClient, LoadRecord, PlaneConfig};
 use planet_mdcc::{ClusterConfig, Outcome, Protocol};
 use planet_sim::metrics::Histogram;
 use planet_sim::NetworkModel;
@@ -30,6 +34,9 @@ struct Point {
     p99_us: u64,
     commit_rate: f64,
     completions: u64,
+    mean_batch: f64,
+    mailbox_hwm: u64,
+    shed: u64,
 }
 
 /// A LAN-ish topology: the point of the sweep is scheduling and protocol
@@ -41,21 +48,36 @@ fn lan() -> NetworkModel {
     NetworkModel::from_rtt_ms(&rtt)
 }
 
-fn run_point(clients: usize, warmup: Duration, window: Duration, seed: u64) -> Point {
+fn run_point(
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    plane: PlaneConfig,
+) -> Point {
     let config = ClusterConfig::new(SITES, Protocol::Fast);
     let mut cluster = LiveCluster::builder(config)
         .network(lan())
         .seed(seed)
+        .plane(plane)
         .build();
     let keys: Vec<Key> = (0..KEYS).map(|i| Key::new(format!("tp-{i}"))).collect();
     let (tx, rx) = channel::<LoadRecord>();
-    for k in 0..clients {
-        let site = k % SITES;
+    // One client *pool* per site: hundreds of closed-loop clients ride on
+    // three driver threads, so the sweep measures the cluster, not the OS
+    // scheduler juggling hundreds of client threads on a small host.
+    for site in 0..SITES {
         let coordinator = cluster.coordinator(site);
-        cluster.spawn_client(
-            site,
-            Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone())),
-        );
+        let actors: Vec<Box<dyn planet_sim::Actor<planet_mdcc::Msg>>> = (0..clients)
+            .filter(|k| k % SITES == site)
+            .map(|_| {
+                Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone()))
+                    as Box<dyn planet_sim::Actor<planet_mdcc::Msg>>
+            })
+            .collect();
+        if !actors.is_empty() {
+            cluster.spawn_client_pool(site, actors);
+        }
     }
     drop(tx);
 
@@ -81,7 +103,17 @@ fn run_point(clients: usize, warmup: Duration, window: Duration, seed: u64) -> P
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
-    cluster.shutdown();
+    let harvest = cluster.shutdown();
+    let metrics = harvest.merged_metrics();
+    let mut mean_batch = 0.0;
+    let mut mailbox_hwm = 0;
+    for (name, hist) in metrics.histograms() {
+        match name {
+            "plane.batch" => mean_batch = hist.mean().unwrap_or(0.0),
+            "plane.mailbox.depth" => mailbox_hwm = hist.max().unwrap_or(0),
+            _ => {}
+        }
+    }
 
     Point {
         clients,
@@ -94,35 +126,125 @@ fn run_point(clients: usize, warmup: Duration, window: Duration, seed: u64) -> P
             0.0
         },
         completions,
+        mean_batch,
+        mailbox_hwm,
+        shed: harvest.shed,
     }
 }
 
-fn write_json(points: &[Point], window: Duration) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"throughput\",\n");
-    out.push_str(&format!("  \"sites\": {SITES},\n"));
-    out.push_str(&format!("  \"keys\": {KEYS},\n"));
-    out.push_str(&format!("  \"window_secs\": {},\n", window.as_secs_f64()));
-    out.push_str("  \"transport\": \"channel\",\n");
-    out.push_str("  \"points\": [\n");
+fn points_json(points: &[Point], indent: &str) -> String {
+    let mut out = String::new();
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}}}{}\n",
+            "{indent}{{\"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}, \"mean_batch\": {:.2}, \"mailbox_hwm\": {}, \"shed\": {}}}{}\n",
             p.clients,
             p.ops_per_sec,
             p.p50_us,
             p.p99_us,
             p.commit_rate,
             p.completions,
+            p.mean_batch,
+            p.mailbox_hwm,
+            p.shed,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
+    out
+}
+
+fn header_json(warmup: Duration, window: Duration, trials: usize) -> String {
+    format!(
+        "  \"sites\": {SITES},\n  \"keys\": {KEYS},\n  \"warmup_secs\": {},\n  \"window_secs\": {},\n  \"trials\": {trials},\n  \"transport\": \"channel\",\n",
+        warmup.as_secs_f64(),
+        window.as_secs_f64()
+    )
+}
+
+fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usize) {
+    let mut out = String::from("{\n  \"experiment\": \"throughput\",\n");
+    out.push_str(&header_json(warmup, window, trials));
+    out.push_str("  \"points\": [\n");
+    out.push_str(&points_json(points, "    "));
     out.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write("BENCH_throughput.json", &out) {
         eprintln!("throughput: could not write BENCH_throughput.json: {e}");
     } else {
         eprintln!("wrote BENCH_throughput.json");
     }
+}
+
+fn write_ablation_json(
+    batched: &[Point],
+    unbatched: &[Point],
+    warmup: Duration,
+    window: Duration,
+    trials: usize,
+) {
+    let mut out = String::from("{\n  \"experiment\": \"throughput_batched_vs_unbatched\",\n");
+    out.push_str(&header_json(warmup, window, trials));
+    out.push_str("  \"batched\": [\n");
+    out.push_str(&points_json(batched, "    "));
+    out.push_str("  ],\n  \"unbatched\": [\n");
+    out.push_str(&points_json(unbatched, "    "));
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_throughput_batched.json", &out) {
+        eprintln!("throughput: could not write BENCH_throughput_batched.json: {e}");
+    } else {
+        eprintln!("wrote BENCH_throughput_batched.json");
+    }
+}
+
+/// Run `trials` independent deployments of one point and keep the median
+/// by ops/sec. Throughput on a loaded host is noisy (±15% run-to-run at
+/// high concurrency on one core); the median keeps one descheduled trial
+/// from deciding the shape of the whole curve.
+fn run_trials(
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    plane: PlaneConfig,
+    trials: usize,
+) -> Point {
+    let mut points: Vec<Point> = (0..trials)
+        .map(|t| {
+            run_point(
+                clients,
+                warmup,
+                window,
+                42 + clients as u64 + 1000 * t as u64,
+                plane,
+            )
+        })
+        .collect();
+    points.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+    points.remove(points.len() / 2)
+}
+
+fn run_sweep(
+    sweep: &[usize],
+    warmup: Duration,
+    window: Duration,
+    plane: PlaneConfig,
+    trials: usize,
+    mut table: Option<&mut Table>,
+) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &clients in sweep {
+        let point = run_trials(clients, warmup, window, plane, trials);
+        if let Some(table) = table.as_mut() {
+            table.row(vec![
+                point.clients.to_string(),
+                format!("{:.0}", point.ops_per_sec),
+                crate::report::ms(point.p50_us),
+                crate::report::ms(point.p99_us),
+                crate::report::pct(point.commit_rate),
+                format!("{:.1}", point.mean_batch),
+                point.mailbox_hwm.to_string(),
+            ]);
+        }
+        points.push(point);
+    }
+    points
 }
 
 /// The `throughput` experiment: ops/sec and latency percentiles vs client
@@ -132,34 +254,49 @@ pub fn throughput(scale: Scale) -> Table {
         Scale::Quick => &[1, 4, 16],
         Scale::Full => &[1, 2, 4, 8, 16, 32, 64, 128, 256],
     };
-    let (warmup, window) = match scale {
-        Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500)),
-        Scale::Full => (Duration::from_millis(500), Duration::from_secs(2)),
+    let (warmup, window, trials) = match scale {
+        Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500), 1),
+        Scale::Full => (Duration::from_millis(500), Duration::from_secs(3), 3),
     };
 
     let mut table = Table::new(
         "throughput",
         "Live cluster: closed-loop throughput vs concurrency (channel transport)",
-        &["clients", "ops/sec", "p50", "p99", "commit rate"],
+        &[
+            "clients",
+            "ops/sec",
+            "p50",
+            "p99",
+            "commit rate",
+            "batch",
+            "mbox hwm",
+        ],
     );
-    let mut points = Vec::new();
-    for &clients in sweep {
-        let point = run_point(clients, warmup, window, 42 + clients as u64);
-        table.row(vec![
-            point.clients.to_string(),
-            format!("{:.0}", point.ops_per_sec),
-            crate::report::ms(point.p50_us),
-            crate::report::ms(point.p99_us),
-            crate::report::pct(point.commit_rate),
-        ]);
-        points.push(point);
-    }
+    let batched = run_sweep(
+        sweep,
+        warmup,
+        window,
+        PlaneConfig::default(),
+        trials,
+        Some(&mut table),
+    );
     table.note(format!(
-        "{SITES} sites, thread-per-actor, 2ms cross-site RTT, {KEYS} keys, commutative increments, {}s window",
+        "{SITES} sites, thread-per-actor, 2ms cross-site RTT, {KEYS} keys, commutative increments, {}s warmup, {}s window, median of {trials}",
+        warmup.as_secs_f64(),
         window.as_secs_f64()
     ));
     if scale == Scale::Full {
-        write_json(&points, window);
+        write_json(&batched, warmup, window, trials);
+        // Ablation: same sweep with batching, sharding and coalescing off.
+        let unbatched = run_sweep(
+            sweep,
+            warmup,
+            window,
+            PlaneConfig::unbatched(),
+            trials,
+            None,
+        );
+        write_ablation_json(&batched, &unbatched, warmup, window, trials);
     }
     table
 }

@@ -1,0 +1,137 @@
+//! Smoke-scale live-cluster throughput gate for CI.
+//!
+//! Runs the closed-loop load harness at small concurrency on the in-process
+//! channel transport and enforces two floors: every completion commits
+//! (`commit_rate == 1.0` — commutative increments under Fast Paxos must
+//! never abort or time out at this scale), and throughput stays above a
+//! deliberately loose ops/s floor that only a scheduling regression (e.g.
+//! reintroducing a polling tick in the node loop) would trip. Results land
+//! in `BENCH_throughput_smoke.json` as a CI artifact.
+//!
+//! `#[ignore]`d because it is wall-clock-sensitive: run it explicitly with
+//! `cargo test --release -p planet-bench --test throughput_smoke -- --ignored`.
+
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{LiveCluster, LoadClient, LoadRecord, PlaneConfig};
+use planet_mdcc::{ClusterConfig, Outcome, Protocol};
+use planet_sim::NetworkModel;
+use planet_storage::Key;
+
+const SITES: usize = 3;
+const KEYS: usize = 64;
+const OPS_FLOOR: f64 = 100.0;
+
+struct SmokePoint {
+    clients: usize,
+    ops_per_sec: f64,
+    commit_rate: f64,
+    completions: u64,
+    shed: u64,
+}
+
+fn lan() -> NetworkModel {
+    let rtt: Vec<Vec<f64>> = (0..SITES)
+        .map(|i| (0..SITES).map(|j| if i == j { 0.1 } else { 2.0 }).collect())
+        .collect();
+    NetworkModel::from_rtt_ms(&rtt)
+}
+
+fn run_point(clients: usize) -> SmokePoint {
+    let config = ClusterConfig::new(SITES, Protocol::Fast);
+    let mut cluster = LiveCluster::builder(config)
+        .network(lan())
+        .seed(0x540C ^ clients as u64)
+        .plane(PlaneConfig::default())
+        .build();
+    let keys: Vec<Key> = (0..KEYS).map(|i| Key::new(format!("smoke-{i}"))).collect();
+    let (tx, rx) = channel::<LoadRecord>();
+    for k in 0..clients {
+        let site = k % SITES;
+        let coordinator = cluster.coordinator(site);
+        cluster.spawn_client(
+            site,
+            Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone())),
+        );
+    }
+    drop(tx);
+
+    let warm_end = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < warm_end {
+        let _ = rx.recv_timeout(warm_end - Instant::now());
+    }
+
+    let window = Duration::from_secs(1);
+    let started = Instant::now();
+    let mut committed = 0u64;
+    let mut completions = 0u64;
+    while started.elapsed() < window {
+        let remaining = window - started.elapsed();
+        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            completions += 1;
+            if record.outcome == Outcome::Committed {
+                committed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let harvest = cluster.shutdown();
+
+    SmokePoint {
+        clients,
+        ops_per_sec: completions as f64 / elapsed,
+        commit_rate: if completions > 0 {
+            committed as f64 / completions as f64
+        } else {
+            0.0
+        },
+        completions,
+        shed: harvest.shed,
+    }
+}
+
+#[test]
+#[ignore = "wall-clock throughput gate; run explicitly in the CI smoke job"]
+fn smoke_scale_throughput_holds_the_floor() {
+    let points: Vec<SmokePoint> = [4usize, 8].iter().map(|&c| run_point(c)).collect();
+
+    let mut out = String::from("{\n  \"experiment\": \"throughput_smoke\",\n");
+    out.push_str(&format!(
+        "  \"sites\": {SITES},\n  \"keys\": {KEYS},\n  \"ops_floor\": {OPS_FLOOR},\n  \"transport\": \"channel\",\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"ops_per_sec\": {:.1}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}}}{}\n",
+            p.clients,
+            p.ops_per_sec,
+            p.commit_rate,
+            p.completions,
+            p.shed,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput_smoke.json", &out).expect("write smoke artifact");
+    eprintln!("wrote BENCH_throughput_smoke.json:\n{out}");
+
+    for p in &points {
+        assert!(
+            p.completions > 0,
+            "{} clients: no transactions completed",
+            p.clients
+        );
+        assert_eq!(
+            p.commit_rate, 1.0,
+            "{} clients: commutative increments must all commit",
+            p.clients
+        );
+        assert_eq!(p.shed, 0, "{} clients: nothing should shed", p.clients);
+        assert!(
+            p.ops_per_sec >= OPS_FLOOR,
+            "{} clients: {:.1} ops/s under the {OPS_FLOOR} floor",
+            p.clients,
+            p.ops_per_sec
+        );
+    }
+}

@@ -15,7 +15,9 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use planet_cluster::{spawn_node, Clock, LoadClient, LoadRecord, TcpTransport, Transport};
+use planet_cluster::{
+    mailbox, spawn_node, Clock, LoadClient, LoadRecord, PlaneConfig, TcpTransport, Transport,
+};
 use planet_mdcc::{Msg, Outcome};
 use planet_sim::metrics::Histogram;
 use planet_sim::{Actor, ActorId, SiteId};
@@ -89,6 +91,7 @@ fn main() {
         transport.add_route((n + site) as u32, *addr);
     }
 
+    let plane = PlaneConfig::default();
     let (results_tx, results_rx) = channel::<LoadRecord>();
     let mut nodes = Vec::new();
     for k in 0..args.clients {
@@ -99,7 +102,7 @@ fn main() {
             key_space.clone(),
             results_tx.clone(),
         ));
-        let (tx, rx) = channel();
+        let (tx, rx) = mailbox(plane.mailbox_capacity);
         transport.host(id, tx.clone());
         nodes.push(spawn_node(
             ActorId(id),
@@ -110,6 +113,7 @@ fn main() {
             transport.clone() as Arc<dyn Transport>,
             clock,
             0x10AD ^ k as u64,
+            plane,
         ));
     }
     drop(results_tx);
@@ -135,9 +139,19 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
 
+    let mut batch = Histogram::new();
+    let mut depth = Histogram::new();
     for node in nodes {
-        let _ = node.stop_and_join();
+        let (_, metrics) = node.stop_and_join();
+        for (name, hist) in metrics.histograms() {
+            match name {
+                "plane.batch" => batch.merge(hist),
+                "plane.mailbox.depth" => depth.merge(hist),
+                _ => {}
+            }
+        }
     }
+    let (flushes, bytes) = transport.io_stats();
     transport.stop();
 
     let total = committed + aborted;
@@ -145,5 +159,17 @@ fn main() {
     println!("planet-load: {:.1} ops/sec", total as f64 / elapsed);
     if let (Some(p50), Some(p99)) = (latencies.quantile(0.50), latencies.quantile(0.99)) {
         println!("planet-load: latency p50 {p50} us, p99 {p99} us");
+    }
+    if let (Some(mean), Some(max)) = (batch.mean(), batch.max()) {
+        println!("planet-load: drain batch mean {mean:.2}, max {max}");
+    }
+    if let Some(hwm) = depth.max() {
+        println!("planet-load: mailbox depth high-water {hwm}");
+    }
+    if flushes > 0 {
+        println!(
+            "planet-load: {flushes} socket flushes, {bytes} bytes ({:.1} bytes/flush)",
+            bytes as f64 / flushes as f64
+        );
     }
 }

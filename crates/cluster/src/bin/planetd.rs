@@ -15,11 +15,10 @@
 //! replica `i` and coordinator `n + i` live at `addrs[i]`.
 
 use std::net::SocketAddr;
-use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
-use planet_cluster::{spawn_node, Clock, TcpTransport, Transport};
+use planet_cluster::{mailbox, spawn_node, Clock, PlaneConfig, TcpTransport, Transport};
 use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Protocol, ReplicaActor};
 use planet_sim::{Actor, ActorId, SiteId};
 
@@ -97,12 +96,13 @@ fn main() {
         replica_ids,
         SiteId(args.site as u8),
     ));
+    let plane = PlaneConfig::default();
     let mut nodes = Vec::new();
     for (id, actor) in [
         (args.site as u32, replica),
         ((n + args.site) as u32, coordinator),
     ] {
-        let (tx, rx) = channel();
+        let (tx, rx) = mailbox(plane.mailbox_capacity);
         transport.host(id, tx.clone());
         nodes.push(spawn_node(
             ActorId(id),
@@ -113,6 +113,7 @@ fn main() {
             transport.clone() as Arc<dyn Transport>,
             clock,
             0x5EED ^ args.site as u64,
+            plane,
         ));
     }
 
@@ -143,6 +144,19 @@ fn main() {
         for (name, value) in metrics.counters() {
             println!("planetd: {name} = {value}");
         }
+        for (name, hist) in metrics.histograms() {
+            if let (Some(mean), Some(max)) = (hist.mean(), hist.max()) {
+                println!("planetd: {name} mean {mean:.1}, max {max}");
+            }
+        }
+    }
+    let (flushes, bytes) = transport.io_stats();
+    if flushes > 0 {
+        println!(
+            "planetd: {flushes} socket flushes, {bytes} bytes ({:.1} bytes/flush), {} submits shed",
+            bytes as f64 / flushes as f64,
+            transport.shed(),
+        );
     }
     transport.stop();
 }

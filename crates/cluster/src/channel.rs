@@ -11,9 +11,34 @@
 //! cluster unchanged, with [`SimTime`] re-read as microseconds since cluster
 //! start.
 //!
+//! The fabric is *sharded*: deliveries are spread over
+//! [`PlaneConfig::fabric_shards`] threads by destination actor, so one
+//! overloaded thread is not the serialization point of the whole cluster.
+//! Sharding by destination keeps per-(src, dst) FIFO intact — a directed
+//! pair always lands on the same shard, whose delivery heap enforces
+//! no-overtaking exactly as the single-threaded fabric did. Batches handed
+//! over via [`Transport::send_many`] reach each shard as one channel send,
+//! and each shard wakeup delivers every message due within the next
+//! [`PlaneConfig::fabric_slack_us`] (the *coalescing horizon*) rather than
+//! exactly one — messages arrive at most that much early, in exchange for
+//! one sleep/wake cycle per window instead of per message.
+//!
+//! Backpressure and shedding: destination mailboxes are bounded
+//! ([`PlaneConfig::mailbox_capacity`]). Protocol traffic *blocks* at a full
+//! mailbox — loss is confined to the network model, never to queueing. A
+//! client `Msg::Submit`, however, is *shed*: bounced straight back to its
+//! `reply_to` as a `TxnDone { outcome: TimedOut }`, so an overdriven
+//! coordinator pushes load back to clients (who count it like any other
+//! timeout) instead of wedging the plane. [`ChannelTransport::shed`] counts
+//! the bounces.
+//!
 //! [`SimTime`]: planet_sim::SimTime
+//! [`PlaneConfig::fabric_shards`]: crate::plane::PlaneConfig::fabric_shards
+//! [`PlaneConfig::fabric_slack_us`]: crate::plane::PlaneConfig::fabric_slack_us
+//! [`PlaneConfig::mailbox_capacity`]: crate::plane::PlaneConfig::mailbox_capacity
 
 use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -21,13 +46,17 @@ use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use planet_mdcc::{Msg, Outcome, TxnStats};
 use planet_sim::{DetRng, NetworkModel, SimTime, SiteId};
+use planet_storage::TxnId;
 
 use crate::node::{Clock, Packet};
+use crate::plane::{MailboxSender, TrySendError};
 use crate::transport::{Envelope, Transport};
 
 enum FabricCmd {
     Env(Envelope),
+    Batch(Vec<Envelope>),
     Stop,
 }
 
@@ -35,6 +64,11 @@ struct HeldMsg {
     at: SimTime,
     seq: u64,
     env: Envelope,
+    /// Destination mailbox, resolved at admission so the delivery path
+    /// touches no shared route lock. If the node stops before delivery the
+    /// send fails on the closed gate and counts as a drop, exactly as a
+    /// delivery-time lookup would have.
+    tx: MailboxSender,
 }
 
 impl PartialEq for HeldMsg {
@@ -54,18 +88,29 @@ impl Ord for HeldMsg {
     }
 }
 
-struct Routes {
-    mailboxes: HashMap<u32, Sender<Packet>>,
-    sites: HashMap<u32, SiteId>,
+/// Route table shards: actor id → (site, mailbox). Sharded so the hot
+/// delivery path never funnels every thread through one mutex.
+const ROUTE_SHARDS: usize = 16;
+
+struct RouteEntry {
+    site: SiteId,
+    mailbox: MailboxSender,
 }
 
 /// The in-process transport.
 pub struct ChannelTransport {
-    routes: Mutex<Routes>,
+    routes: Vec<Mutex<HashMap<u32, RouteEntry>>>,
     clock: Clock,
-    fabric_tx: Option<Sender<FabricCmd>>,
-    fabric_join: Mutex<Option<JoinHandle<()>>>,
+    fabric_txs: Vec<Sender<FabricCmd>>,
+    fabric_joins: Mutex<Vec<JoinHandle<()>>>,
     dropped: AtomicU64,
+    shed: AtomicU64,
+}
+
+fn route_shards() -> Vec<Mutex<HashMap<u32, RouteEntry>>> {
+    (0..ROUTE_SHARDS)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect()
 }
 
 impl ChannelTransport {
@@ -73,150 +118,271 @@ impl ChannelTransport {
     /// be the same clock the nodes run on.
     pub fn direct(clock: Clock) -> std::sync::Arc<Self> {
         std::sync::Arc::new(ChannelTransport {
-            routes: Mutex::new(Routes {
-                mailboxes: HashMap::new(),
-                sites: HashMap::new(),
-            }),
+            routes: route_shards(),
             clock,
-            fabric_tx: None,
-            fabric_join: Mutex::new(None),
+            fabric_txs: Vec::new(),
+            fabric_joins: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         })
     }
 
     /// A transport whose deliveries are shaped by `net`: each send is held
     /// on a fabric thread for a sampled delay (or dropped, per the model's
     /// loss and partition rules) before reaching the destination mailbox.
-    /// `seed` feeds the fabric's deterministic jitter sampler.
-    pub fn with_network(clock: Clock, net: NetworkModel, seed: u64) -> std::sync::Arc<Self> {
-        let (tx, rx) = channel::<FabricCmd>();
+    /// `seed` feeds the fabric's deterministic jitter sampler. Deliveries
+    /// are sharded over `shards` fabric threads by destination actor
+    /// (per-(src, dst) FIFO is preserved; see the module docs).
+    ///
+    /// `slack_us` is the delivery coalescing horizon: each fabric wakeup
+    /// delivers everything due within the next `slack_us` microseconds, so
+    /// a sleep/wake cycle covers a window of messages instead of one.
+    /// Messages may arrive up to `slack_us` early; pass 0 for exact-time
+    /// delivery.
+    pub fn with_network(
+        clock: Clock,
+        net: NetworkModel,
+        seed: u64,
+        shards: usize,
+        slack_us: u64,
+    ) -> std::sync::Arc<Self> {
+        let shards = shards.max(1);
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::<FabricCmd>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
         let transport = std::sync::Arc::new(ChannelTransport {
-            routes: Mutex::new(Routes {
-                mailboxes: HashMap::new(),
-                sites: HashMap::new(),
-            }),
+            routes: route_shards(),
             clock,
-            fabric_tx: Some(tx),
-            fabric_join: Mutex::new(None),
+            fabric_txs: txs,
+            fabric_joins: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
-        let fabric = transport.clone();
-        let join = std::thread::Builder::new()
-            .name("planet-fabric".into())
-            .spawn(move || fabric.run_fabric(rx, net, seed))
-            .expect("spawn fabric thread");
-        *transport.fabric_join.lock().expect("lock poisoned") = Some(join);
+        let mut joins = Vec::with_capacity(shards);
+        for (shard, rx) in rxs.into_iter().enumerate() {
+            let fabric = transport.clone();
+            let net = net.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("planet-fabric-{shard}"))
+                .spawn(move || fabric.run_fabric(rx, net, seed ^ (shard as u64), slack_us))
+                .expect("spawn fabric thread");
+            joins.push(join);
+        }
+        *transport.fabric_joins.lock().expect("lock poisoned") = joins;
         transport
     }
 
     /// Register an actor's mailbox and site. Must happen before traffic for
     /// that actor flows; sends to unregistered actors are counted as drops.
-    pub fn register(&self, id: u32, site: SiteId, mailbox: Sender<Packet>) {
-        let mut routes = self.routes.lock().expect("lock poisoned");
-        routes.mailboxes.insert(id, mailbox);
-        routes.sites.insert(id, site);
+    pub fn register(&self, id: u32, site: SiteId, mailbox: MailboxSender) {
+        let shard = id as usize % ROUTE_SHARDS;
+        self.routes[shard]
+            .lock()
+            .expect("lock poisoned")
+            .insert(id, RouteEntry { site, mailbox });
     }
 
-    /// Messages lost so far — to the model's loss/partition rules, or to
-    /// unregistered destinations.
+    /// Messages lost so far — to the model's loss/partition rules, to
+    /// unregistered destinations, or to already-stopped nodes.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Stop the fabric thread, discarding messages still in flight. Called
+    /// Client submits shed so far: bounced back as timed-out `TxnDone`s
+    /// because the destination mailbox was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Stop the fabric threads, discarding messages still in flight. Called
     /// by the cluster at shutdown, after the nodes have stopped.
     pub fn stop(&self) {
-        if let Some(tx) = &self.fabric_tx {
+        for tx in &self.fabric_txs {
             let _ = tx.send(FabricCmd::Stop);
         }
-        if let Some(join) = self.fabric_join.lock().expect("lock poisoned").take() {
+        for join in self.fabric_joins.lock().expect("lock poisoned").drain(..) {
             let _ = join.join();
         }
     }
 
-    fn site_of(&self, id: u32) -> Option<SiteId> {
-        self.routes
+    fn mailbox_of(&self, id: u32) -> Option<MailboxSender> {
+        let shard = id as usize % ROUTE_SHARDS;
+        self.routes[shard]
             .lock()
             .expect("lock poisoned")
-            .sites
             .get(&id)
-            .copied()
+            .map(|entry| entry.mailbox.clone())
     }
 
+    /// Resolve a route through a fabric-thread-local cache, falling back to
+    /// the shared (locked) table on a miss. Registration happens before
+    /// traffic for an actor flows and routes are never replaced, so a
+    /// cached entry stays valid for the life of the cluster; misses are not
+    /// cached, so an actor registered later (clients) is still found.
+    fn route_cached<'a>(
+        &self,
+        cache: &'a mut HashMap<u32, (SiteId, MailboxSender)>,
+        id: u32,
+    ) -> Option<&'a (SiteId, MailboxSender)> {
+        match cache.entry(id) {
+            Entry::Occupied(e) => Some(e.into_mut()),
+            Entry::Vacant(v) => {
+                let shard = id as usize % ROUTE_SHARDS;
+                let found = self.routes[shard]
+                    .lock()
+                    .expect("lock poisoned")
+                    .get(&id)
+                    .map(|entry| (entry.site, entry.mailbox.clone()))?;
+                Some(v.insert(found))
+            }
+        }
+    }
+
+    /// Hand an envelope to its destination mailbox, applying the plane's
+    /// backpressure policy. The route lock is released before any mailbox
+    /// operation (sends may block).
     fn deliver(&self, env: Envelope) {
-        let sender = {
-            let routes = self.routes.lock().expect("lock poisoned");
-            routes.mailboxes.get(&env.to.0).cloned()
+        let Some(tx) = self.mailbox_of(env.to.0) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         };
-        match sender {
-            Some(tx) => {
-                if tx.send(Packet::Env(env)).is_err() {
-                    // Destination node already stopped.
+        self.deliver_to(&tx, env);
+    }
+
+    /// [`deliver`](Self::deliver) with the destination mailbox already in
+    /// hand (the fabric resolves routes once, at admission).
+    fn deliver_to(&self, tx: &MailboxSender, env: Envelope) {
+        if matches!(env.msg, Msg::Submit { .. }) {
+            // Client load: shed rather than block — a full coordinator
+            // bounces the submit back as a timeout.
+            match tx.try_send(Packet::Env(env)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(Packet::Env(env))) => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    self.bounce_submit(env);
+                }
+                Err(_) => {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            None => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-            }
+        } else if tx.send(Packet::Env(env)).is_err() {
+            // Destination node already stopped.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Turn a shed `Submit` into a synthetic timed-out `TxnDone` to its
+    /// `reply_to`, so closed-loop clients observe the shed the same way
+    /// they observe any other timeout.
+    fn bounce_submit(&self, env: Envelope) {
+        let Msg::Submit { reply_to, tag, .. } = env.msg else {
+            return;
+        };
+        let now = self.clock.now();
+        let bounce = Envelope {
+            from: env.to,
+            to: reply_to,
+            msg: Msg::TxnDone {
+                tag,
+                txn: TxnId::new(0, 0),
+                outcome: Outcome::TimedOut,
+                stats: TxnStats {
+                    submitted_at: now,
+                    decided_at: now,
+                    write_keys: 0,
+                    votes_received: 0,
+                    rejections: 0,
+                },
+            },
+        };
+        self.deliver(bounce);
     }
 
     /// The fabric loop: hold each envelope for its sampled delay, then
     /// deliver. Per-(src, dst) delivery order is preserved the same way the
     /// engine preserves it: a message never overtakes an earlier one on the
     /// same directed pair (TCP gives this for free; the in-process fabric
-    /// must enforce it).
-    fn run_fabric(&self, rx: Receiver<FabricCmd>, net: NetworkModel, seed: u64) {
+    /// must enforce it). Each shard owns its heap, RNG and FIFO map — no
+    /// state is shared between fabric threads.
+    fn run_fabric(&self, rx: Receiver<FabricCmd>, net: NetworkModel, seed: u64, slack_us: u64) {
+        let slack = planet_sim::SimDuration::from_micros(slack_us);
         let mut rng = DetRng::new(seed ^ 0xFAB0_5EED_0000_0001);
         let mut heap: BinaryHeap<Reverse<HeldMsg>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut fifo_high: HashMap<(u32, u32), SimTime> = HashMap::new();
-        loop {
-            // Deliver everything that is due.
-            loop {
+        let mut routes: HashMap<u32, (SiteId, MailboxSender)> = HashMap::new();
+        let mut admit =
+            |env: Envelope,
+             heap: &mut BinaryHeap<Reverse<HeldMsg>>,
+             fifo_high: &mut HashMap<(u32, u32), SimTime>,
+             routes: &mut HashMap<u32, (SiteId, MailboxSender)>| {
                 let now = self.clock.now();
+                let src = match self.route_cached(routes, env.from.0) {
+                    Some(&(site, _)) => site,
+                    None => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let (dst, tx) = match self.route_cached(routes, env.to.0) {
+                    Some(&(site, ref mailbox)) => (site, mailbox.clone()),
+                    None => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                match net.sample_delay(src, dst, now, &mut rng) {
+                    None => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(delay) => {
+                        let pair = (env.from.0, env.to.0);
+                        let mut at = now + delay;
+                        if let Some(&high) = fifo_high.get(&pair) {
+                            if at <= high {
+                                at = high + planet_sim::SimDuration::from_micros(1);
+                            }
+                        }
+                        fifo_high.insert(pair, at);
+                        heap.push(Reverse(HeldMsg { at, seq, env, tx }));
+                        seq += 1;
+                    }
+                }
+            };
+        loop {
+            // Deliver everything due within the coalescing horizon. Without
+            // the horizon each µs-distinct due time costs its own futex
+            // sleep/wake (~the whole per-message fabric budget at scale);
+            // with it one wakeup clears a `slack`-wide window and the
+            // destination mailboxes receive bursts their node loop drains
+            // in a single wakeup. Heap order is due-time order, so early
+            // delivery cannot reorder a (src, dst) pair.
+            let horizon = self.clock.now() + slack;
+            loop {
                 match heap.peek() {
-                    Some(Reverse(held)) if held.at <= now => {
+                    Some(Reverse(held)) if held.at <= horizon => {
                         let Reverse(held) = heap.pop().expect("peeked");
-                        self.deliver(held.env);
+                        self.deliver_to(&held.tx, held.env);
                     }
                     _ => break,
                 }
             }
+            // Sleep exactly until the next held message is due (it is, by
+            // construction, more than `slack` away); a new command wakes
+            // the channel immediately, so no polling cap is needed.
             let wait = match heap.peek() {
-                Some(Reverse(held)) => held
-                    .at
-                    .since(self.clock.now())
-                    .to_std()
-                    .min(Duration::from_millis(5)),
-                None => Duration::from_millis(50),
+                Some(Reverse(held)) => held.at.since(self.clock.now()).to_std(),
+                None => Duration::from_millis(500),
             };
             match rx.recv_timeout(wait) {
-                Ok(FabricCmd::Env(env)) => {
-                    let now = self.clock.now();
-                    let (src, dst) = match (self.site_of(env.from.0), self.site_of(env.to.0)) {
-                        (Some(s), Some(d)) => (s, d),
-                        _ => {
-                            self.dropped.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                    };
-                    match net.sample_delay(src, dst, now, &mut rng) {
-                        None => {
-                            self.dropped.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Some(delay) => {
-                            let pair = (env.from.0, env.to.0);
-                            let mut at = now + delay;
-                            if let Some(&high) = fifo_high.get(&pair) {
-                                if at <= high {
-                                    at = high + planet_sim::SimDuration::from_micros(1);
-                                }
-                            }
-                            fifo_high.insert(pair, at);
-                            heap.push(Reverse(HeldMsg { at, seq, env }));
-                            seq += 1;
-                        }
+                Ok(FabricCmd::Env(env)) => admit(env, &mut heap, &mut fifo_high, &mut routes),
+                Ok(FabricCmd::Batch(envs)) => {
+                    for env in envs {
+                        admit(env, &mut heap, &mut fifo_high, &mut routes);
                     }
                 }
                 Ok(FabricCmd::Stop) | Err(RecvTimeoutError::Disconnected) => return,
@@ -224,17 +390,60 @@ impl ChannelTransport {
             }
         }
     }
+
+    fn fabric_shard(&self, dst: u32) -> &Sender<FabricCmd> {
+        &self.fabric_txs[dst as usize % self.fabric_txs.len()]
+    }
 }
 
 impl Transport for ChannelTransport {
     fn send(&self, env: Envelope) {
-        match &self.fabric_tx {
-            Some(tx) => {
-                if tx.send(FabricCmd::Env(env)).is_err() {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                }
+        if self.fabric_txs.is_empty() {
+            self.deliver(env);
+        } else if self
+            .fabric_shard(env.to.0)
+            .send(FabricCmd::Env(env))
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn send_many(&self, envs: &mut Vec<Envelope>) {
+        if self.fabric_txs.is_empty() {
+            for env in envs.drain(..) {
+                self.deliver(env);
             }
-            None => self.deliver(env),
+            return;
+        }
+        if self.fabric_txs.len() == 1 {
+            // One shard: the whole batch is one channel handoff. Drain
+            // rather than `mem::take` so the caller keeps its outbox
+            // allocation for the next batch.
+            #[allow(clippy::drain_collect)]
+            let batch: Vec<Envelope> = envs.drain(..).collect();
+            if self.fabric_txs[0].send(FabricCmd::Batch(batch)).is_err() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        // Group by destination shard, preserving within-shard order, then
+        // hand each shard its sub-batch in one send.
+        let n = self.fabric_txs.len();
+        let mut per_shard: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+        for env in envs.drain(..) {
+            per_shard[env.to.0 as usize % n].push(env);
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if self.fabric_txs[shard]
+                .send(FabricCmd::Batch(batch))
+                .is_err()
+            {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }

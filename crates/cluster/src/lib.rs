@@ -27,18 +27,21 @@
 pub mod channel;
 pub mod load;
 pub mod node;
+pub mod plane;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use channel::ChannelTransport;
 pub use load::{LoadClient, LoadRecord};
-pub use node::{spawn_node, CallFn, Clock, NodeHandle, Packet};
+pub use node::{
+    spawn_node, spawn_pool, CallFn, Clock, NodeHandle, Packet, PoolHandle, PoolMembers,
+};
+pub use plane::{mailbox, MailboxReceiver, MailboxSender, PlaneConfig, TrySendError};
 pub use tcp::TcpTransport;
 pub use transport::{Envelope, Transport};
 
 use std::collections::HashMap;
-use std::sync::mpsc::channel as mpsc_channel;
 use std::sync::Arc;
 
 use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, ReplicaActor};
@@ -49,6 +52,7 @@ pub struct LiveClusterBuilder {
     config: ClusterConfig,
     net: Option<NetworkModel>,
     seed: u64,
+    plane: PlaneConfig,
 }
 
 impl LiveClusterBuilder {
@@ -58,7 +62,15 @@ impl LiveClusterBuilder {
             config,
             net: None,
             seed: 42,
+            plane: PlaneConfig::default(),
         }
+    }
+
+    /// Tune the message plane (drain batch size, mailbox capacity, fabric
+    /// shard count). Defaults to [`PlaneConfig::default`].
+    pub fn plane(mut self, plane: PlaneConfig) -> Self {
+        self.plane = plane;
+        self
     }
 
     /// Shape deliveries with a network model (default: instant delivery).
@@ -86,7 +98,13 @@ impl LiveClusterBuilder {
     pub fn build(self) -> LiveCluster {
         let clock = Clock::new();
         let transport = match self.net {
-            Some(net) => ChannelTransport::with_network(clock, net, self.seed),
+            Some(net) => ChannelTransport::with_network(
+                clock,
+                net,
+                self.seed,
+                self.plane.fabric_shards,
+                self.plane.fabric_slack_us,
+            ),
             None => ChannelTransport::direct(clock),
         };
         let n = self.config.num_sites;
@@ -111,7 +129,7 @@ impl LiveClusterBuilder {
         }
         let mut channels = Vec::new();
         for (id, site, actor) in pending {
-            let (tx, rx) = mpsc_channel();
+            let (tx, rx) = mailbox(self.plane.mailbox_capacity);
             transport.register(id.0, site, tx.clone());
             channels.push((id, site, actor, tx, rx));
         }
@@ -127,6 +145,7 @@ impl LiveClusterBuilder {
                     transport.clone() as Arc<dyn Transport>,
                     clock,
                     self.seed,
+                    self.plane,
                 )
             })
             .collect();
@@ -136,8 +155,10 @@ impl LiveClusterBuilder {
             config: self.config,
             nodes,
             clients: Vec::new(),
+            pools: Vec::new(),
             next_client: (2 * n) as u32,
             seed: self.seed,
+            plane: self.plane,
         }
     }
 }
@@ -150,6 +171,9 @@ pub struct Harvest {
     /// Messages the transport dropped (loss model, partitions, or sends to
     /// stopped nodes during shutdown).
     pub dropped: u64,
+    /// Client submits the transport shed at full mailboxes (each bounced
+    /// back to its client as a timed-out `TxnDone`).
+    pub shed: u64,
 }
 
 impl Harvest {
@@ -187,8 +211,11 @@ pub struct LiveCluster {
     nodes: Vec<NodeHandle>,
     /// Client nodes, spawned on demand.
     clients: Vec<NodeHandle>,
+    /// Pooled client groups (many actors per thread), spawned on demand.
+    pools: Vec<PoolHandle>,
     next_client: u32,
     seed: u64,
+    plane: PlaneConfig,
 }
 
 impl LiveCluster {
@@ -226,7 +253,7 @@ impl LiveCluster {
     pub fn spawn_client(&mut self, site: usize, actor: Box<dyn Actor<Msg>>) -> ActorId {
         let id = ActorId(self.next_client);
         self.next_client += 1;
-        let (tx, rx) = mpsc_channel();
+        let (tx, rx) = mailbox(self.plane.mailbox_capacity);
         self.transport
             .register(id.0, SiteId(site as u8), tx.clone());
         let handle = spawn_node(
@@ -238,9 +265,47 @@ impl LiveCluster {
             self.transport.clone() as Arc<dyn Transport>,
             self.clock,
             self.seed,
+            self.plane,
         );
         self.clients.push(handle);
         id
+    }
+
+    /// Spawn a *pool* of client actors at `site` sharing one thread and one
+    /// mailbox, returning their ids in order. Load generators use this
+    /// instead of [`spawn_client`](Self::spawn_client): hundreds of tiny
+    /// closed-loop clients on one thread per site keep a concurrency sweep
+    /// measuring the cluster rather than the OS scheduler. Pooled actors
+    /// cannot be addressed through [`NodeHandle::call`] / `inject`.
+    pub fn spawn_client_pool(
+        &mut self,
+        site: usize,
+        actors: Vec<Box<dyn Actor<Msg>>>,
+    ) -> Vec<ActorId> {
+        let (tx, rx) = mailbox(self.plane.mailbox_capacity);
+        let members: PoolMembers = actors
+            .into_iter()
+            .map(|actor| {
+                let id = ActorId(self.next_client);
+                self.next_client += 1;
+                self.transport
+                    .register(id.0, SiteId(site as u8), tx.clone());
+                (id, actor)
+            })
+            .collect();
+        let handle = spawn_pool(
+            members,
+            SiteId(site as u8),
+            tx,
+            rx,
+            self.transport.clone() as Arc<dyn Transport>,
+            self.clock,
+            self.seed,
+            self.plane,
+        );
+        let ids = handle.ids.clone();
+        self.pools.push(handle);
+        ids
     }
 
     /// The node handle of a spawned client (for [`NodeHandle::call`] /
@@ -258,6 +323,15 @@ impl LiveCluster {
             let harvested = handle.stop_and_join();
             actors.insert(id, harvested);
         }
+        for pool in self.pools {
+            // The pool's shared metrics registry rides on its first member;
+            // the rest carry empty registries so merges count it once.
+            let (members, metrics) = pool.stop_and_join();
+            let mut metrics = Some(metrics);
+            for (id, actor) in members {
+                actors.insert(id.0, (actor, metrics.take().unwrap_or_else(Metrics::new)));
+            }
+        }
         // Coordinators before replicas, so in-flight transactions stop
         // generating replica traffic first.
         for handle in self.nodes.into_iter().rev() {
@@ -269,6 +343,7 @@ impl LiveCluster {
         Harvest {
             actors,
             dropped: self.transport.dropped(),
+            shed: self.transport.shed(),
         }
     }
 }
@@ -318,6 +393,44 @@ mod tests {
         // One replica + one coordinator per site were harvested.
         assert!(harvest.actor_as::<ReplicaActor>(ActorId(0)).is_some());
         assert!(harvest.actor_as::<CoordinatorActor>(ActorId(3)).is_some());
+    }
+
+    #[test]
+    fn pooled_clients_complete_transactions() {
+        // A pool drives many closed-loop clients on one thread per site;
+        // every member must make progress and be harvested under its own
+        // id, with the pool's shared metrics counted exactly once.
+        let config = ClusterConfig::new(3, Protocol::Fast);
+        let mut cluster = LiveCluster::builder(config).seed(9).build();
+        let (tx, rx) = channel();
+        let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("k{i}"))).collect();
+        let mut all_ids = Vec::new();
+        for site in 0..3 {
+            let coord = cluster.coordinator(site);
+            let actors: Vec<Box<dyn Actor<Msg>>> = (0..4)
+                .map(|_| {
+                    Box::new(LoadClient::new(coord, keys.clone(), tx.clone()))
+                        as Box<dyn Actor<Msg>>
+                })
+                .collect();
+            all_ids.extend(cluster.spawn_client_pool(site, actors));
+        }
+        drop(tx);
+        assert_eq!(all_ids.len(), 12);
+        let records = drain_until(&rx, 36, Duration::from_secs(20));
+        assert!(
+            records.len() >= 36,
+            "expected 36 completions from 12 pooled clients, got {}",
+            records.len()
+        );
+        assert!(records.iter().any(|r| r.outcome == Outcome::Committed));
+        let harvest = cluster.shutdown();
+        for id in all_ids {
+            assert!(
+                harvest.actor_as::<LoadClient>(id).is_some(),
+                "pooled client {id:?} missing from harvest"
+            );
+        }
     }
 
     #[test]

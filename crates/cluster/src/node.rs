@@ -2,27 +2,38 @@
 //!
 //! A live node owns one protocol actor (replica, coordinator or client) and
 //! runs it on its own OS thread. Events reach the node as [`Packet`]s
-//! through an in-process mailbox; every delivered message is funnelled
-//! through [`planet_sim::drive`], the same factored step function the
-//! deterministic engine uses, so the protocol logic is byte-for-byte shared
-//! between the simulated and live worlds. Only the interpretation of the
-//! emitted [`Effect`]s differs: sends go to the node's [`Transport`], timers
-//! go on a local wall-clock heap.
+//! through a bounded in-process mailbox; every delivered message is
+//! funnelled through [`planet_sim::drive_into`], the same factored step
+//! function the deterministic engine uses, so the protocol logic is
+//! byte-for-byte shared between the simulated and live worlds. Only the
+//! interpretation of the emitted [`Effect`]s differs: sends go to the
+//! node's [`Transport`], timers go on a local wall-clock heap.
+//!
+//! The loop is *batched*: one wakeup drains every ready packet (bounded by
+//! [`PlaneConfig::max_batch`]), drives the whole batch as one turn-group
+//! into a reused effect buffer, and flushes the accumulated sends with a
+//! single [`Transport::send_many`] call — one wakeup, zero steady-state
+//! allocations and one coalesced transport handoff per batch instead of one
+//! of each per message. Sleeps are exact: because a mailbox arrival wakes
+//! `recv_timeout` immediately, the node sleeps all the way to its next
+//! timer deadline instead of polling on a fixed tick (at 256 clients the
+//! old 5 ms tick alone cost tens of thousands of wakeups per second).
 //!
 //! [`Effect`]: planet_sim::Effect
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use planet_mdcc::Msg;
 use planet_sim::{
-    drive, drive_start, Actor, ActorId, DetRng, Effect, Metrics, SimTime, SiteId, TurnInputs,
+    drive_into, drive_start, Actor, ActorId, DetRng, Effect, Metrics, SimTime, SiteId, TurnInputs,
 };
 
+use crate::plane::{MailboxReceiver, MailboxSender, PlaneConfig};
 use crate::transport::{Envelope, Transport};
 
 /// A shared wall-clock epoch. Every node and the delay fabric of a cluster
@@ -95,11 +106,11 @@ impl Ord for TimerEntry {
     }
 }
 
-/// How long an idle node sleeps between mailbox polls when it has no timer
-/// due sooner. Bounds timer-firing latency; protocol timeouts in this
-/// workspace are tens of milliseconds and up, so a few milliseconds of slack
-/// is invisible.
-const IDLE_WAIT: Duration = Duration::from_millis(5);
+/// How long a node with no pending timer sleeps before re-checking its
+/// world. Purely a liveness backstop: packets (including `Stop`) wake the
+/// blocked `recv_timeout` immediately, and a pending timer always bounds
+/// the sleep by its exact deadline, so this tick does no latency work.
+const IDLE_WAIT: Duration = Duration::from_millis(500);
 
 /// A handle to a spawned node: its id, its mailbox, and the join handle
 /// through which the actor (and the node's private metrics registry) is
@@ -108,7 +119,7 @@ pub struct NodeHandle {
     /// The actor this node runs.
     pub id: ActorId,
     /// The node's mailbox.
-    pub mailbox: Sender<Packet>,
+    pub mailbox: MailboxSender,
     join: JoinHandle<(Box<dyn Actor<Msg>>, Metrics)>,
 }
 
@@ -142,39 +153,146 @@ impl NodeHandle {
 /// sender with the transport *before* any thread starts — actors may emit
 /// sends from `on_start`). `seed` feeds the node's private deterministic
 /// RNG; live runs are not replayable (the OS scheduler orders events), but
-/// per-node jitter sampling stays well-defined.
+/// per-node jitter sampling stays well-defined. `plane` sets the drain
+/// batch bound.
 #[allow(clippy::too_many_arguments)] // a node's full wiring, spelled out
 pub fn spawn_node(
     id: ActorId,
     site: SiteId,
     actor: Box<dyn Actor<Msg>>,
-    mailbox: Sender<Packet>,
-    rx: Receiver<Packet>,
+    mailbox: MailboxSender,
+    rx: MailboxReceiver,
     transport: Arc<dyn Transport>,
     clock: Clock,
     seed: u64,
+    plane: PlaneConfig,
 ) -> NodeHandle {
     let join = std::thread::Builder::new()
         .name(format!("planet-node-{}", id.0))
-        .spawn(move || run_node(id, site, actor, rx, transport, clock, seed))
+        .spawn(move || run_node(id, site, actor, rx, transport, clock, seed, plane))
         .expect("spawn node thread");
     NodeHandle { id, mailbox, join }
 }
 
+/// A pool's member list: each actor with its id. What [`spawn_pool`]
+/// consumes and [`PoolHandle::stop_and_join`] gives back.
+pub type PoolMembers = Vec<(ActorId, Box<dyn Actor<Msg>>)>;
+
+/// A handle to a spawned actor pool: the member ids, the shared mailbox,
+/// and the join handle through which the actors (and the pool's metrics
+/// registry) are recovered at shutdown.
+pub struct PoolHandle {
+    /// Ids of the pooled actors, in spawn order.
+    pub ids: Vec<ActorId>,
+    /// The pool's shared mailbox (every member id routes here).
+    pub mailbox: MailboxSender,
+    join: JoinHandle<(PoolMembers, Metrics)>,
+}
+
+impl PoolHandle {
+    /// Stop the pool and recover every member actor plus the pool's shared
+    /// metrics registry.
+    pub fn stop_and_join(self) -> (PoolMembers, Metrics) {
+        let _ = self.mailbox.send(Packet::Stop);
+        self.join.join().expect("pool thread panicked")
+    }
+}
+
+/// Spawn one thread driving a *pool* of actors at `site` behind a single
+/// shared mailbox.
+///
+/// Thread-per-actor is the right shape for the handful of stateful server
+/// nodes, but a load generator wants hundreds of tiny closed-loop clients —
+/// and one OS thread per client makes a concurrency sweep measure the
+/// kernel scheduler instead of the system (256 runnable threads on a small
+/// host is all context-switch and cache churn). A pool keeps the actor
+/// model intact — every member keeps its own id, RNG and mailbox-ordered
+/// delivery — while one wakeup drains the whole pool's traffic and flushes
+/// every member's sends as one coalesced transport batch.
+///
+/// The caller registers each member id against the shared mailbox before
+/// any traffic flows. `Packet::Call` is not routable to a member (it names
+/// no addressee) and is counted and dropped — pools are for headless load
+/// actors; facade clients that need `call`/`inject` get their own node via
+/// [`spawn_node`].
+#[allow(clippy::too_many_arguments)] // a pool's full wiring, spelled out
+pub fn spawn_pool(
+    members: PoolMembers,
+    site: SiteId,
+    mailbox: MailboxSender,
+    rx: MailboxReceiver,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    seed: u64,
+    plane: PlaneConfig,
+) -> PoolHandle {
+    assert!(!members.is_empty(), "a pool needs at least one member");
+    let ids: Vec<ActorId> = members.iter().map(|(id, _)| *id).collect();
+    let first = ids[0].0;
+    let join = std::thread::Builder::new()
+        .name(format!("planet-pool-{first}"))
+        .spawn(move || run_pool(site, members, rx, transport, clock, seed, plane))
+        .expect("spawn pool thread");
+    PoolHandle { ids, mailbox, join }
+}
+
+/// Everything one turn-group mutates: the timer heap, the pending send
+/// batch, and the run flag. Effects drain into it after every drive.
+struct NodeState {
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    outbox: Vec<Envelope>,
+    running: bool,
+}
+
+impl NodeState {
+    /// Apply one turn's effects: sends accumulate in the outbox for the
+    /// next coalesced flush, timers go on the local heap.
+    fn absorb(&mut self, effects: &mut Vec<Effect<Msg>>, id: ActorId, now: SimTime) {
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { dst, msg } => self.outbox.push(Envelope {
+                    from: id,
+                    to: dst,
+                    msg,
+                }),
+                Effect::Timer { delay, msg } => {
+                    self.timers.push(Reverse(TimerEntry {
+                        at: now + delay,
+                        seq: self.timer_seq,
+                        msg,
+                    }));
+                    self.timer_seq += 1;
+                }
+                Effect::Halt => self.running = false,
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_node(
     id: ActorId,
     site: SiteId,
     mut actor: Box<dyn Actor<Msg>>,
-    rx: Receiver<Packet>,
+    rx: MailboxReceiver,
     transport: Arc<dyn Transport>,
     clock: Clock,
     seed: u64,
+    plane: PlaneConfig,
 ) -> (Box<dyn Actor<Msg>>, Metrics) {
     let mut rng = DetRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1)));
     let mut metrics = Metrics::new();
-    let mut timers: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
-    let mut running = true;
+    let max_batch = plane.max_batch.max(1);
+    let mut state = NodeState {
+        timers: BinaryHeap::new(),
+        timer_seq: 0,
+        outbox: Vec::new(),
+        running: true,
+    };
+    // Reused across every turn: zero steady-state allocation per message.
+    let mut effects: Vec<Effect<Msg>> = Vec::new();
+    let mut batch: Vec<Packet> = Vec::with_capacity(max_batch);
 
     let inputs = |now: SimTime| TurnInputs {
         now,
@@ -182,94 +300,346 @@ fn run_node(
         self_site: site,
     };
 
-    // Apply one turn's effects to the live fabric.
-    let apply = |effects: Vec<Effect<Msg>>,
-                 now: SimTime,
-                 timers: &mut BinaryHeap<Reverse<TimerEntry>>,
-                 timer_seq: &mut u64,
-                 running: &mut bool| {
-        for effect in effects {
-            match effect {
-                Effect::Send { dst, msg } => {
-                    transport.send(Envelope {
-                        from: id,
-                        to: dst,
-                        msg,
-                    });
-                }
-                Effect::Timer { delay, msg } => {
-                    timers.push(Reverse(TimerEntry {
-                        at: now + delay,
-                        seq: *timer_seq,
-                        msg,
-                    }));
-                    *timer_seq += 1;
-                }
-                Effect::Halt => *running = false,
-            }
-        }
-    };
-
     let start = drive_start(actor.as_mut(), inputs(clock.now()), &mut rng, &mut metrics);
-    apply(
-        start.effects,
-        clock.now(),
-        &mut timers,
-        &mut timer_seq,
-        &mut running,
-    );
+    effects.extend(start.effects);
+    state.absorb(&mut effects, id, clock.now());
 
-    while running {
+    while state.running {
         // Fire every due timer (self-sent, like the engine's timer path).
         loop {
             let now = clock.now();
-            match timers.peek() {
+            match state.timers.peek() {
                 Some(Reverse(entry)) if entry.at <= now => {
-                    let Reverse(entry) = timers.pop().expect("peeked");
-                    let turn = drive(
+                    let Reverse(entry) = state.timers.pop().expect("peeked");
+                    drive_into(
                         actor.as_mut(),
                         inputs(now),
                         id,
                         entry.msg,
                         &mut rng,
                         &mut metrics,
+                        &mut effects,
                     );
-                    apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
+                    state.absorb(&mut effects, id, now);
                 }
                 _ => break,
             }
+        }
+        // Flush the turn-group's sends as one coalesced transport batch.
+        if !state.outbox.is_empty() {
+            transport.send_many(&mut state.outbox);
+        }
+        if !state.running {
+            break;
+        }
+        // Sleep exactly until the next timer deadline (a packet arrival
+        // wakes the channel immediately, so long waits are safe), or the
+        // idle backstop when no timer is pending.
+        let wait = match state.timers.peek() {
+            Some(Reverse(entry)) => entry.at.since(clock.now()).to_std(),
+            None => IDLE_WAIT,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(first) => {
+                batch.push(first);
+                while batch.len() < max_batch {
+                    match rx.try_recv() {
+                        Ok(packet) => batch.push(packet),
+                        Err(_) => break,
+                    }
+                }
+                metrics.histogram("plane.batch").record(batch.len() as u64);
+                metrics
+                    .histogram("plane.mailbox.depth")
+                    .record(rx.depth() as u64);
+                for packet in batch.drain(..) {
+                    match packet {
+                        Packet::Env(env) => {
+                            let now = clock.now();
+                            drive_into(
+                                actor.as_mut(),
+                                inputs(now),
+                                env.from,
+                                env.msg,
+                                &mut rng,
+                                &mut metrics,
+                                &mut effects,
+                            );
+                            state.absorb(&mut effects, id, now);
+                        }
+                        Packet::Call(f) => {
+                            let followups = f(actor.as_mut());
+                            for msg in followups {
+                                let now = clock.now();
+                                drive_into(
+                                    actor.as_mut(),
+                                    inputs(now),
+                                    id,
+                                    msg,
+                                    &mut rng,
+                                    &mut metrics,
+                                    &mut effects,
+                                );
+                                state.absorb(&mut effects, id, now);
+                            }
+                        }
+                        Packet::Stop => {
+                            state.running = false;
+                        }
+                    }
+                    if !state.running {
+                        break;
+                    }
+                }
+                if !state.outbox.is_empty() {
+                    transport.send_many(&mut state.outbox);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    // The mailbox's deepest point, preserved as the histogram max so merged
+    // registries report a cluster-wide high-water mark.
+    metrics
+        .histogram("plane.mailbox.depth")
+        .record(rx.high_water() as u64);
+    (actor, metrics)
+}
+
+/// A timer pending on a pool's shared heap, tagged with the member it
+/// belongs to.
+struct PoolTimer {
+    at: SimTime,
+    seq: u64,
+    member: usize,
+    msg: Msg,
+}
+
+impl PartialEq for PoolTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PoolTimer {}
+impl PartialOrd for PoolTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PoolTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One pooled actor: id, state, and a private RNG seeded exactly as a
+/// dedicated node's would be.
+struct PoolMember {
+    id: ActorId,
+    actor: Box<dyn Actor<Msg>>,
+    rng: DetRng,
+}
+
+/// Apply one pooled turn's effects: sends accumulate in the shared outbox,
+/// timers go on the shared heap tagged with the member index.
+#[allow(clippy::too_many_arguments)]
+fn absorb_pool(
+    effects: &mut Vec<Effect<Msg>>,
+    outbox: &mut Vec<Envelope>,
+    timers: &mut BinaryHeap<Reverse<PoolTimer>>,
+    timer_seq: &mut u64,
+    member: usize,
+    id: ActorId,
+    now: SimTime,
+    running: &mut bool,
+) {
+    for effect in effects.drain(..) {
+        match effect {
+            Effect::Send { dst, msg } => outbox.push(Envelope {
+                from: id,
+                to: dst,
+                msg,
+            }),
+            Effect::Timer { delay, msg } => {
+                timers.push(Reverse(PoolTimer {
+                    at: now + delay,
+                    seq: *timer_seq,
+                    member,
+                    msg,
+                }));
+                *timer_seq += 1;
+            }
+            Effect::Halt => *running = false,
+        }
+    }
+}
+
+fn run_pool(
+    site: SiteId,
+    members: PoolMembers,
+    rx: MailboxReceiver,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    seed: u64,
+    plane: PlaneConfig,
+) -> (PoolMembers, Metrics) {
+    let mut metrics = Metrics::new();
+    let max_batch = plane.max_batch.max(1);
+    let mut pool: Vec<PoolMember> = members
+        .into_iter()
+        .map(|(id, actor)| PoolMember {
+            id,
+            actor,
+            rng: DetRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1))),
+        })
+        .collect();
+    let by_id: std::collections::HashMap<u32, usize> = pool
+        .iter()
+        .enumerate()
+        .map(|(idx, m)| (m.id.0, idx))
+        .collect();
+    let mut timers: BinaryHeap<Reverse<PoolTimer>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut outbox: Vec<Envelope> = Vec::new();
+    let mut running = true;
+    // Reused across every turn: zero steady-state allocation per message.
+    let mut effects: Vec<Effect<Msg>> = Vec::new();
+    let mut batch: Vec<Packet> = Vec::with_capacity(max_batch);
+
+    let inputs = |id: ActorId, now: SimTime| TurnInputs {
+        now,
+        self_id: id,
+        self_site: site,
+    };
+
+    for (idx, member) in pool.iter_mut().enumerate() {
+        let now = clock.now();
+        let start = drive_start(
+            member.actor.as_mut(),
+            inputs(member.id, now),
+            &mut member.rng,
+            &mut metrics,
+        );
+        effects.extend(start.effects);
+        absorb_pool(
+            &mut effects,
+            &mut outbox,
+            &mut timers,
+            &mut timer_seq,
+            idx,
+            member.id,
+            now,
+            &mut running,
+        );
+    }
+
+    while running {
+        // Fire every due timer across the pool.
+        loop {
+            let now = clock.now();
+            match timers.peek() {
+                Some(Reverse(entry)) if entry.at <= now => {
+                    let Reverse(entry) = timers.pop().expect("peeked");
+                    let member = &mut pool[entry.member];
+                    drive_into(
+                        member.actor.as_mut(),
+                        inputs(member.id, now),
+                        member.id,
+                        entry.msg,
+                        &mut member.rng,
+                        &mut metrics,
+                        &mut effects,
+                    );
+                    absorb_pool(
+                        &mut effects,
+                        &mut outbox,
+                        &mut timers,
+                        &mut timer_seq,
+                        entry.member,
+                        member.id,
+                        now,
+                        &mut running,
+                    );
+                }
+                _ => break,
+            }
+        }
+        // One coalesced flush for the whole pool's turn-group.
+        if !outbox.is_empty() {
+            transport.send_many(&mut outbox);
         }
         if !running {
             break;
         }
         let wait = match timers.peek() {
-            Some(Reverse(entry)) => entry.at.since(clock.now()).to_std().min(IDLE_WAIT),
+            Some(Reverse(entry)) => entry.at.since(clock.now()).to_std(),
             None => IDLE_WAIT,
         };
         match rx.recv_timeout(wait) {
-            Ok(Packet::Env(env)) => {
-                let now = clock.now();
-                let turn = drive(
-                    actor.as_mut(),
-                    inputs(now),
-                    env.from,
-                    env.msg,
-                    &mut rng,
-                    &mut metrics,
-                );
-                apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
-            }
-            Ok(Packet::Call(f)) => {
-                let followups = f(actor.as_mut());
-                for msg in followups {
-                    let now = clock.now();
-                    let turn = drive(actor.as_mut(), inputs(now), id, msg, &mut rng, &mut metrics);
-                    apply(turn.effects, now, &mut timers, &mut timer_seq, &mut running);
+            Ok(first) => {
+                batch.push(first);
+                while batch.len() < max_batch {
+                    match rx.try_recv() {
+                        Ok(packet) => batch.push(packet),
+                        Err(_) => break,
+                    }
+                }
+                metrics.histogram("plane.batch").record(batch.len() as u64);
+                metrics
+                    .histogram("plane.mailbox.depth")
+                    .record(rx.depth() as u64);
+                for packet in batch.drain(..) {
+                    match packet {
+                        Packet::Env(env) => {
+                            let Some(&idx) = by_id.get(&env.to.0) else {
+                                metrics.counter("plane.pool.misrouted").add(1);
+                                continue;
+                            };
+                            let now = clock.now();
+                            let member = &mut pool[idx];
+                            drive_into(
+                                member.actor.as_mut(),
+                                inputs(member.id, now),
+                                env.from,
+                                env.msg,
+                                &mut member.rng,
+                                &mut metrics,
+                                &mut effects,
+                            );
+                            absorb_pool(
+                                &mut effects,
+                                &mut outbox,
+                                &mut timers,
+                                &mut timer_seq,
+                                idx,
+                                member.id,
+                                now,
+                                &mut running,
+                            );
+                        }
+                        Packet::Call(_) => {
+                            // A call names no member; see `spawn_pool` docs.
+                            metrics.counter("plane.pool.dropped_call").add(1);
+                        }
+                        Packet::Stop => {
+                            running = false;
+                        }
+                    }
+                    if !running {
+                        break;
+                    }
+                }
+                if !outbox.is_empty() {
+                    transport.send_many(&mut outbox);
                 }
             }
-            Ok(Packet::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
             Err(RecvTimeoutError::Timeout) => {}
         }
     }
-    (actor, metrics)
+    metrics
+        .histogram("plane.mailbox.depth")
+        .record(rx.high_water() as u64);
+    (pool.into_iter().map(|m| (m.id, m.actor)).collect(), metrics)
 }

@@ -17,22 +17,50 @@
 //! preserves the same per-(src, dst) ordering guarantee the simulator's
 //! scheduler and the in-process fabric enforce.
 //!
+//! Writes are *coalesced*: a batch handed over via
+//! [`Transport::send_many`] is grouped by destination connection, each
+//! group is encoded back-to-back into one pooled buffer
+//! ([`wire::BufPool`] — no allocation once warm), and the whole group goes
+//! out as a single `write_all` under a single stream lock. One syscall and
+//! one lock acquisition per destination per flush, instead of per message.
+//! [`TcpTransport::io_stats`] reports the resulting flush and byte counts,
+//! from which `bytes / flush` falls out directly.
+//!
+//! Local delivery applies the plane's backpressure policy: hosted
+//! mailboxes are bounded, protocol traffic blocks at a full one, and a
+//! client `Msg::Submit` is shed — bounced back to its `reply_to` as a
+//! timed-out `TxnDone` (see the module docs on [`crate::channel`] for the
+//! rationale; both transports implement the identical policy).
+//!
 //! [`listen`]: TcpTransport::listen
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use planet_mdcc::{Msg, Outcome, TxnStats};
+use planet_sim::SimTime;
+use planet_storage::TxnId;
+
 use crate::node::Packet;
+use crate::plane::{MailboxSender, TrySendError};
 use crate::transport::{Envelope, Transport};
 use crate::wire;
 
 /// A write handle to one connection, shared by everyone routing to it.
 type Conn = Arc<Mutex<TcpStream>>;
+
+/// Which table a resolved connection came from, so a failed write can
+/// invalidate the right entry.
+enum ConnKey {
+    /// A learned reply route (keyed by actor id).
+    Peer(u32),
+    /// A static-route connection (keyed by remote address).
+    Addr(SocketAddr),
+}
 
 struct TcpInner {
     /// Static actor → address routes (the deployment topology).
@@ -42,13 +70,20 @@ struct TcpInner {
     /// Learned actor → connection routes (reply paths for clients).
     peers: Mutex<HashMap<u32, Conn>>,
     /// Locally hosted actors' mailboxes.
-    local: Mutex<HashMap<u32, Sender<Packet>>>,
+    local: Mutex<HashMap<u32, MailboxSender>>,
     /// Raw clones of every stream, so `stop` can unblock reader threads.
     streams: Mutex<Vec<TcpStream>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     listen_addr: Mutex<Option<SocketAddr>>,
     closed: AtomicBool,
     dropped: AtomicU64,
+    shed: AtomicU64,
+    /// Reused encode buffers for the coalesced write path.
+    pool: wire::BufPool,
+    /// Successful coalesced writes (one per destination per flush).
+    flushes: AtomicU64,
+    /// Payload bytes across those writes.
+    bytes: AtomicU64,
 }
 
 /// The TCP transport.
@@ -70,6 +105,10 @@ impl TcpTransport {
                 listen_addr: Mutex::new(None),
                 closed: AtomicBool::new(false),
                 dropped: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                pool: wire::BufPool::new(),
+                flushes: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
             }),
         })
     }
@@ -84,7 +123,7 @@ impl TcpTransport {
     }
 
     /// Register a locally hosted actor's mailbox.
-    pub fn host(&self, actor: u32, mailbox: Sender<Packet>) {
+    pub fn host(&self, actor: u32, mailbox: MailboxSender) {
         self.inner
             .local
             .lock()
@@ -126,6 +165,22 @@ impl TcpTransport {
     /// unroutable destinations).
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Client submits shed so far: bounced back as timed-out `TxnDone`s
+    /// because a hosted mailbox was full.
+    pub fn shed(&self) -> u64 {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// `(flushes, bytes)` written so far: coalesced socket writes and the
+    /// total frame bytes they carried. `bytes / flushes` is the mean flush
+    /// size — the direct measure of how well writes are batching.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (
+            self.inner.flushes.load(Ordering::Relaxed),
+            self.inner.bytes.load(Ordering::Relaxed),
+        )
     }
 
     /// Close every connection and stop the acceptor and reader threads.
@@ -175,7 +230,7 @@ impl TcpInner {
         let conn2 = conn.clone();
         let handle = std::thread::Builder::new()
             .name("planet-tcp-read".into())
-            .spawn(move || inner2.read_loop(reader, conn2))
+            .spawn(move || TcpInner::read_loop(&inner2, reader, conn2))
             .ok()?;
         inner.threads.lock().expect("lock poisoned").push(handle);
         Some(conn)
@@ -183,89 +238,109 @@ impl TcpInner {
 
     /// Decode frames off one connection until EOF, delivering locally and
     /// learning reply routes.
-    fn read_loop(&self, mut stream: TcpStream, conn: Conn) {
+    fn read_loop(inner: &Arc<TcpInner>, mut stream: TcpStream, conn: Conn) {
         loop {
             match wire::read_frame(&mut stream) {
                 Ok(Some(env)) => {
                     // Learn the reply path: the sender is reachable down
                     // this connection (unless a static route exists).
-                    let has_route = self
+                    let has_route = inner
                         .routes
                         .lock()
                         .expect("lock poisoned")
                         .contains_key(&env.from.0);
                     if !has_route {
-                        self.peers
+                        inner
+                            .peers
                             .lock()
                             .expect("lock poisoned")
                             .insert(env.from.0, conn.clone());
                     }
-                    self.deliver_local(env);
+                    TcpInner::deliver_local(inner, env);
                 }
                 Ok(None) | Err(_) => return,
             }
         }
     }
 
-    fn deliver_local(&self, env: Envelope) {
-        let mailbox = self
+    /// Deliver into a hosted mailbox under the plane's backpressure
+    /// policy: block for protocol traffic, shed `Submit`s. The table lock
+    /// is released before any mailbox operation (sends may block).
+    fn deliver_local(inner: &Arc<TcpInner>, env: Envelope) {
+        let mailbox = inner
             .local
             .lock()
             .expect("lock poisoned")
             .get(&env.to.0)
             .cloned();
-        match mailbox {
-            Some(tx) if tx.send(Packet::Env(env)).is_ok() => {}
-            _ => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    fn write_to(&self, conn: &Conn, env: &Envelope) -> bool {
-        let mut stream = conn.lock().expect("lock poisoned");
-        wire::write_frame(&mut *stream, env).is_ok()
-    }
-}
-
-impl Transport for TcpTransport {
-    fn send(&self, env: Envelope) {
-        let inner = &self.inner;
-        // 1. Hosted locally?
-        if inner
-            .local
-            .lock()
-            .expect("lock poisoned")
-            .contains_key(&env.to.0)
-        {
-            inner.deliver_local(env);
+        let Some(tx) = mailbox else {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
+        };
+        if matches!(env.msg, Msg::Submit { .. }) {
+            match tx.try_send(Packet::Env(env)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(Packet::Env(env))) => {
+                    inner.shed.fetch_add(1, Ordering::Relaxed);
+                    TcpInner::bounce_submit(inner, env);
+                }
+                Err(_) => {
+                    inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else if tx.send(Packet::Env(env)).is_err() {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        // 2. A learned reply route?
+    }
+
+    /// Turn a shed `Submit` into a synthetic timed-out `TxnDone` to its
+    /// `reply_to` — routed like any other send, so a remote load driver
+    /// sees the shed as a timeout down its own connection.
+    fn bounce_submit(inner: &Arc<TcpInner>, env: Envelope) {
+        let Msg::Submit { reply_to, tag, .. } = env.msg else {
+            return;
+        };
+        let bounce = Envelope {
+            from: env.to,
+            to: reply_to,
+            msg: Msg::TxnDone {
+                tag,
+                txn: TxnId::new(0, 0),
+                outcome: Outcome::TimedOut,
+                stats: TxnStats {
+                    submitted_at: SimTime::from_micros(0),
+                    decided_at: SimTime::from_micros(0),
+                    write_keys: 0,
+                    votes_received: 0,
+                    rejections: 0,
+                },
+            },
+        };
+        TcpInner::send_env(inner, bounce);
+    }
+
+    /// Resolve the connection an envelope to `dst` should go down: learned
+    /// reply route first, then static route (connecting on demand).
+    /// Returns `None` (and counts a drop) if `dst` is unroutable.
+    fn resolve(inner: &Arc<TcpInner>, dst: u32) -> Option<(Conn, ConnKey)> {
         let peer = inner
             .peers
             .lock()
             .expect("lock poisoned")
-            .get(&env.to.0)
+            .get(&dst)
             .cloned();
         if let Some(conn) = peer {
-            if inner.write_to(&conn, &env) {
-                return;
-            }
-            inner.peers.lock().expect("lock poisoned").remove(&env.to.0);
-            inner.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return Some((conn, ConnKey::Peer(dst)));
         }
-        // 3. A static route: reuse or open the connection to that address.
         let addr = inner
             .routes
             .lock()
             .expect("lock poisoned")
-            .get(&env.to.0)
+            .get(&dst)
             .copied();
         let Some(addr) = addr else {
             inner.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return None;
         };
         let existing = inner
             .conns
@@ -291,13 +366,102 @@ impl Transport for TcpTransport {
             },
         };
         match conn {
-            Some(conn) if inner.write_to(&conn, &env) => {}
-            Some(_) => {
-                inner.conns.lock().expect("lock poisoned").remove(&addr);
-                inner.dropped.fetch_add(1, Ordering::Relaxed);
-            }
+            Some(conn) => Some((conn, ConnKey::Addr(addr))),
             None => {
                 inner.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Forget a connection after a failed write, so the next send
+    /// re-resolves (and, for static routes, reconnects).
+    fn invalidate(&self, key: &ConnKey) {
+        match key {
+            ConnKey::Peer(id) => {
+                self.peers.lock().expect("lock poisoned").remove(id);
+            }
+            ConnKey::Addr(addr) => {
+                self.conns.lock().expect("lock poisoned").remove(addr);
+            }
+        }
+    }
+
+    /// Encode `envs` back-to-back into one pooled buffer and write the lot
+    /// with a single `write_all` under a single stream lock.
+    fn write_batch(&self, conn: &Conn, envs: &[Envelope]) -> bool {
+        let mut buf = self.pool.get();
+        for env in envs {
+            wire::encode_frame_into(env, &mut buf);
+        }
+        let ok = {
+            let mut stream = conn.lock().expect("lock poisoned");
+            stream.write_all(&buf).and_then(|()| stream.flush()).is_ok()
+        };
+        if ok {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+        self.pool.put(buf);
+        ok
+    }
+
+    /// Deliver one envelope: hosted mailbox, or down a resolved connection.
+    fn send_env(inner: &Arc<TcpInner>, env: Envelope) {
+        if inner
+            .local
+            .lock()
+            .expect("lock poisoned")
+            .contains_key(&env.to.0)
+        {
+            TcpInner::deliver_local(inner, env);
+            return;
+        }
+        let Some((conn, key)) = TcpInner::resolve(inner, env.to.0) else {
+            return; // drop already counted
+        };
+        if !inner.write_batch(&conn, std::slice::from_ref(&env)) {
+            inner.invalidate(&key);
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, env: Envelope) {
+        TcpInner::send_env(&self.inner, env);
+    }
+
+    fn send_many(&self, envs: &mut Vec<Envelope>) {
+        let inner = &self.inner;
+        // Group the batch by destination connection (order within a group
+        // follows batch order, so per-pair FIFO is untouched). Local
+        // deliveries happen inline.
+        let mut groups: Vec<(Conn, ConnKey, Vec<Envelope>)> = Vec::new();
+        for env in envs.drain(..) {
+            if inner
+                .local
+                .lock()
+                .expect("lock poisoned")
+                .contains_key(&env.to.0)
+            {
+                TcpInner::deliver_local(inner, env);
+                continue;
+            }
+            let Some((conn, key)) = TcpInner::resolve(inner, env.to.0) else {
+                continue; // drop already counted
+            };
+            match groups.iter_mut().find(|(c, _, _)| Arc::ptr_eq(c, &conn)) {
+                Some((_, _, group)) => group.push(env),
+                None => groups.push((conn, key, vec![env])),
+            }
+        }
+        for (conn, key, group) in groups {
+            if !inner.write_batch(&conn, &group) {
+                inner.invalidate(&key);
+                inner
+                    .dropped
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
             }
         }
     }

@@ -17,7 +17,28 @@ pub struct Envelope {
 /// A message fabric: anything that can carry an [`Envelope`] from one live
 /// actor to another. Implementations decide delivery latency, loss, and
 /// ordering; the node loops above are transport-agnostic.
+///
+/// Backpressure: a send *may* block while the destination's bounded mailbox
+/// is full — that is the mechanism that keeps queues (and therefore queueing
+/// latency) bounded. The one exception is `Msg::Submit`, which transports
+/// shed rather than block on (see [`ChannelTransport`]), so client load can
+/// never wedge the protocol plane.
+///
+/// [`ChannelTransport`]: crate::ChannelTransport
 pub trait Transport: Send + Sync {
-    /// Enqueue `env` for delivery. Must not block on the destination.
+    /// Enqueue `env` for delivery.
     fn send(&self, env: Envelope);
+
+    /// Enqueue a batch of envelopes, draining `envs` (the caller keeps the
+    /// vector's capacity for reuse). Implementations coalesce: one fabric
+    /// handoff per shard, one socket write per destination. Per-(src, dst)
+    /// delivery order follows the order within `envs`, exactly as a loop of
+    /// [`send`]s would.
+    ///
+    /// [`send`]: Transport::send
+    fn send_many(&self, envs: &mut Vec<Envelope>) {
+        for env in envs.drain(..) {
+            self.send(env);
+        }
+    }
 }

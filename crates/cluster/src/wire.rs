@@ -10,12 +10,20 @@
 //! written out by hand and covered by round-trip tests over every message
 //! variant.
 //!
+//! The encoder is generic over a byte [`Sink`], which gives three shapes
+//! from one set of putters: [`encode_into`] appends to a caller-owned
+//! buffer (the batched TCP path reuses pooled buffers via [`BufPool`], so
+//! steady-state encoding allocates nothing), [`encoded_len`] runs the same
+//! putters against a counting sink to size a frame without materialising
+//! it, and [`encode`] is the allocate-a-fresh-`Vec` convenience.
+//!
 //! The format is symmetric (what `encode` writes, `decode` reads back) and
 //! versioned only implicitly by the enum tags — both ends of a connection
 //! are expected to run the same build, which is the deployment model of the
 //! `planetd` server and `planet-load` driver.
 
 use std::io::{self, Read, Write};
+use std::sync::Mutex;
 
 use planet_mdcc::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
 use planet_sim::{ActorId, SimTime, SiteId};
@@ -45,36 +53,32 @@ fn err<T>(what: &str) -> Result<T> {
     Err(WireError(what.to_string()))
 }
 
-// ---------------------------------------------------------------- writer
+// ----------------------------------------------------------------- sinks
 
-struct Writer {
-    buf: Vec<u8>,
-}
+/// Where encoded bytes go. One implementation appends to a `Vec<u8>`
+/// (actual encoding); one just counts ([`encoded_len`]). The putters below
+/// are written once against this trait, so the two can never disagree.
+trait Sink {
+    fn raw(&mut self, bytes: &[u8]);
 
-impl Writer {
-    fn new() -> Self {
-        Writer {
-            buf: Vec::with_capacity(128),
-        }
-    }
     fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.raw(&[v]);
     }
     fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
     fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.raw(&v.to_le_bytes());
     }
     fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.raw(&v.to_le_bytes());
     }
     fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.raw(&v.to_le_bytes());
     }
     fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+        self.raw(v);
     }
     fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
@@ -87,6 +91,21 @@ impl Writer {
                 self.i64(x);
             }
         }
+    }
+}
+
+impl Sink for Vec<u8> {
+    fn raw(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// A sink that discards bytes and keeps only their count.
+struct Measure(usize);
+
+impl Sink for Measure {
+    fn raw(&mut self, bytes: &[u8]) {
+        self.0 += bytes.len();
     }
 }
 
@@ -156,14 +175,14 @@ impl<'a> Reader<'a> {
 
 // ------------------------------------------------------------- components
 
-fn put_key(w: &mut Writer, k: &Key) {
+fn put_key(w: &mut impl Sink, k: &Key) {
     w.str(k.as_str());
 }
 fn get_key(r: &mut Reader) -> Result<Key> {
     Ok(Key::new(r.string()?))
 }
 
-fn put_txn_id(w: &mut Writer, t: TxnId) {
+fn put_txn_id(w: &mut impl Sink, t: TxnId) {
     w.u8(t.site);
     w.u64(t.seq);
 }
@@ -174,7 +193,7 @@ fn get_txn_id(r: &mut Reader) -> Result<TxnId> {
     })
 }
 
-fn put_value(w: &mut Writer, v: &Value) {
+fn put_value(w: &mut impl Sink, v: &Value) {
     match v {
         Value::None => w.u8(0),
         Value::Int(i) => {
@@ -196,7 +215,7 @@ fn get_value(r: &mut Reader) -> Result<Value> {
     }
 }
 
-fn put_write_op(w: &mut Writer, op: &WriteOp) {
+fn put_write_op(w: &mut impl Sink, op: &WriteOp) {
     match op {
         WriteOp::Set(v) => {
             w.u8(0);
@@ -228,7 +247,7 @@ fn get_write_op(r: &mut Reader) -> Result<WriteOp> {
     }
 }
 
-fn put_option(w: &mut Writer, o: &RecordOption) {
+fn put_option(w: &mut impl Sink, o: &RecordOption) {
     put_txn_id(w, o.txn);
     w.u64(o.read_version);
     put_write_op(w, &o.op);
@@ -241,7 +260,7 @@ fn get_option(r: &mut Reader) -> Result<RecordOption> {
     })
 }
 
-fn put_reject(w: &mut Writer, reason: &RejectReason) {
+fn put_reject(w: &mut impl Sink, reason: &RejectReason) {
     match reason {
         RejectReason::StaleVersion { expected, actual } => {
             w.u8(0);
@@ -273,7 +292,7 @@ fn get_reject(r: &mut Reader) -> Result<RejectReason> {
     })
 }
 
-fn put_opt_reject(w: &mut Writer, reason: &Option<RejectReason>) {
+fn put_opt_reject(w: &mut impl Sink, reason: &Option<RejectReason>) {
     match reason {
         None => w.bool(false),
         Some(x) => {
@@ -290,7 +309,7 @@ fn get_opt_reject(r: &mut Reader) -> Result<Option<RejectReason>> {
     })
 }
 
-fn put_spec(w: &mut Writer, spec: &TxnSpec) {
+fn put_spec(w: &mut impl Sink, spec: &TxnSpec) {
     w.u32(spec.reads.len() as u32);
     for k in &spec.reads {
         put_key(w, k);
@@ -328,7 +347,7 @@ fn get_spec(r: &mut Reader) -> Result<TxnSpec> {
     })
 }
 
-fn put_key_read(w: &mut Writer, kr: &KeyRead) {
+fn put_key_read(w: &mut impl Sink, kr: &KeyRead) {
     put_key(w, &kr.key);
     w.u64(kr.version);
     put_value(w, &kr.value);
@@ -343,7 +362,7 @@ fn get_key_read(r: &mut Reader) -> Result<KeyRead> {
     })
 }
 
-fn put_stage(w: &mut Writer, stage: &ProgressStage) {
+fn put_stage(w: &mut impl Sink, stage: &ProgressStage) {
     match stage {
         ProgressStage::Started => w.u8(0),
         ProgressStage::ReadsDone { reads } => {
@@ -405,7 +424,7 @@ fn get_stage(r: &mut Reader) -> Result<ProgressStage> {
     })
 }
 
-fn put_outcome(w: &mut Writer, o: Outcome) {
+fn put_outcome(w: &mut impl Sink, o: Outcome) {
     w.u8(match o {
         Outcome::Committed => 0,
         Outcome::Aborted => 1,
@@ -421,7 +440,7 @@ fn get_outcome(r: &mut Reader) -> Result<Outcome> {
     })
 }
 
-fn put_stats(w: &mut Writer, s: &TxnStats) {
+fn put_stats(w: &mut impl Sink, s: &TxnStats) {
     w.u64(s.submitted_at.as_micros());
     w.u64(s.decided_at.as_micros());
     w.u64(s.write_keys as u64);
@@ -440,7 +459,7 @@ fn get_stats(r: &mut Reader) -> Result<TxnStats> {
 
 // ------------------------------------------------------------------ msg
 
-fn put_msg(w: &mut Writer, msg: &Msg) {
+fn put_msg(w: &mut impl Sink, msg: &Msg) {
     match msg {
         Msg::Submit {
             spec,
@@ -696,13 +715,41 @@ fn get_msg(r: &mut Reader) -> Result<Msg> {
 
 // ------------------------------------------------------------- envelopes
 
-/// Encode an envelope into a payload (no frame header).
+/// Exact payload size [`encode`] would produce for `env`, computed without
+/// writing a byte. Lets framing code reserve buffer space ahead of encoding
+/// and write the length prefix before the payload exists.
+pub fn encoded_len(env: &Envelope) -> usize {
+    let mut m = Measure(0);
+    m.u32(env.from.0);
+    m.u32(env.to.0);
+    put_msg(&mut m, &env.msg);
+    m.0
+}
+
+/// Append the payload encoding of `env` (no frame header) to `buf`.
+pub fn encode_into(env: &Envelope, buf: &mut Vec<u8>) {
+    buf.u32(env.from.0);
+    buf.u32(env.to.0);
+    put_msg(buf, &env.msg);
+}
+
+/// Append one length-prefixed frame for `env` to `buf`. The batched TCP
+/// send path calls this repeatedly on a pooled buffer, then issues a single
+/// socket write for the whole batch.
+pub fn encode_frame_into(env: &Envelope, buf: &mut Vec<u8>) {
+    let len = encoded_len(env);
+    buf.reserve(4 + len);
+    buf.u32(len as u32);
+    let start = buf.len();
+    encode_into(env, buf);
+    debug_assert_eq!(buf.len() - start, len, "encoded_len disagrees with encode");
+}
+
+/// Encode an envelope into a fresh payload `Vec` (no frame header).
 pub fn encode(env: &Envelope) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.u32(env.from.0);
-    w.u32(env.to.0);
-    put_msg(&mut w, &env.msg);
-    w.buf
+    let mut buf = Vec::with_capacity(encoded_len(env));
+    encode_into(env, &mut buf);
+    buf
 }
 
 /// Decode a payload produced by [`encode`]. The whole buffer must be
@@ -718,12 +765,13 @@ pub fn decode(buf: &[u8]) -> Result<Envelope> {
     Ok(Envelope { from, to, msg })
 }
 
-/// Write one length-prefixed frame.
+/// Write one length-prefixed frame as a single `write_all` (header and
+/// payload together — one syscall on an unbuffered stream, and no partial
+/// frame is ever observable from another writer's perspective).
 pub fn write_frame(w: &mut impl Write, env: &Envelope) -> io::Result<()> {
-    let payload = encode(env);
-    let len = payload.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(&payload)?;
+    let mut frame = Vec::with_capacity(4 + encoded_len(env));
+    encode_frame_into(env, &mut frame);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -758,9 +806,57 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Envelope>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+// ------------------------------------------------------------------ pool
+
+/// A small free-list of encode buffers, shared by every sender thread of a
+/// transport. `get` hands out a cleared buffer that keeps its previous
+/// capacity, so after warm-up the encode path performs no allocation at
+/// all; `put` returns it (the pool keeps at most a handful, dropping the
+/// rest so a burst can't pin memory forever).
+pub struct BufPool {
+    pool: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Most buffers the pool retains; beyond this, returned buffers are freed.
+const POOL_CAP: usize = 8;
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a cleared buffer (reusing a pooled allocation when available).
+    pub fn get(&self) -> Vec<u8> {
+        self.pool
+            .lock()
+            .expect("buffer pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a buffer for reuse.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.pool.lock().expect("buffer pool lock poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use planet_sim::DetRng;
 
     fn round_trip(env: Envelope) {
         let encoded = encode(&env);
@@ -790,8 +886,10 @@ mod tests {
         )
     }
 
-    #[test]
-    fn round_trips_every_msg_variant() {
+    /// One instance of every `Msg` variant (every `ProgressStage` included),
+    /// with payloads exercising nested components. Shared by the round-trip
+    /// and `encoded_len` tests so new variants are covered by both.
+    fn all_variants() -> Vec<Msg> {
         let spec = TxnSpec {
             reads: vec![Key::new("r1"), Key::new("r2")],
             writes: vec![
@@ -822,7 +920,7 @@ mod tests {
             votes_received: 9,
             rejections: 1,
         };
-        let variants = vec![
+        vec![
             Msg::Submit {
                 spec,
                 reply_to: ActorId(12),
@@ -936,9 +1034,114 @@ mod tests {
                 txn: TxnId::new(1, 5),
             },
             Msg::ClientTimer { kind: 101, tag: 55 },
-        ];
-        for msg in variants {
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_msg_variant() {
+        for msg in all_variants() {
             round_trip(envelope(msg));
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_every_variant() {
+        for msg in all_variants() {
+            let env = envelope(msg);
+            let encoded = encode(&env);
+            assert_eq!(
+                encoded_len(&env),
+                encoded.len(),
+                "encoded_len mismatch for {env:?}"
+            );
+            let mut framed = Vec::new();
+            encode_frame_into(&env, &mut framed);
+            assert_eq!(framed.len(), 4 + encoded.len());
+            assert_eq!(&framed[4..], &encoded[..], "frame body differs");
+        }
+    }
+
+    /// Property: `encoded_len` matches the materialised encoding for
+    /// randomised payloads too — variable-length keys, blobs and
+    /// collection sizes, not just the fixed samples above.
+    #[test]
+    fn encoded_len_matches_encode_for_random_payloads() {
+        for trial in 0..200u64 {
+            let mut rng = DetRng::new(0x57AB_1E00 + trial);
+            let key_of = |r: &mut DetRng| {
+                let len = (r.next_u64() % 40) as usize;
+                Key::new("k".repeat(len.max(1)))
+            };
+            let value_of = |r: &mut DetRng| match r.next_u64() % 3 {
+                0 => Value::None,
+                1 => Value::Int(r.next_u64() as i64),
+                _ => {
+                    let len = (r.next_u64() % 300) as usize;
+                    Value::bytes(vec![0xAB; len])
+                }
+            };
+            let msg = match trial % 4 {
+                0 => {
+                    let reads = (0..(rng.next_u64() % 8))
+                        .map(|_| key_of(&mut rng))
+                        .collect();
+                    let writes = (0..(rng.next_u64() % 8))
+                        .map(|_| (key_of(&mut rng), WriteOp::Set(value_of(&mut rng))))
+                        .collect();
+                    Msg::Submit {
+                        spec: TxnSpec {
+                            reads,
+                            writes,
+                            read_level: ReadLevel::Local,
+                        },
+                        reply_to: ActorId(rng.next_u64() as u32),
+                        tag: rng.next_u64(),
+                    }
+                }
+                1 => Msg::ReadResp {
+                    txn: TxnId::new(1, rng.next_u64()),
+                    results: (0..(rng.next_u64() % 6))
+                        .map(|_| KeyRead {
+                            key: key_of(&mut rng),
+                            version: rng.next_u64(),
+                            value: value_of(&mut rng),
+                            pending: (rng.next_u64() % 10) as usize,
+                        })
+                        .collect(),
+                },
+                2 => Msg::Apply {
+                    key: key_of(&mut rng),
+                    version: rng.next_u64(),
+                    value: value_of(&mut rng),
+                    txn: TxnId::new(2, rng.next_u64()),
+                },
+                _ => Msg::Vote {
+                    txn: TxnId::new(3, rng.next_u64()),
+                    key: key_of(&mut rng),
+                    site: SiteId((rng.next_u64() % 5) as u8),
+                    accept: rng.next_u64().is_multiple_of(2),
+                    reason: if rng.next_u64().is_multiple_of(2) {
+                        Some(RejectReason::PendingConflict {
+                            holder: TxnId::new(0, rng.next_u64()),
+                        })
+                    } else {
+                        None
+                    },
+                    round: (rng.next_u64() % 4) as u8,
+                },
+            };
+            let env = Envelope {
+                from: ActorId(rng.next_u64() as u32),
+                to: ActorId(rng.next_u64() as u32),
+                msg,
+            };
+            let encoded = encode(&env);
+            assert_eq!(
+                encoded_len(&env),
+                encoded.len(),
+                "encoded_len mismatch for {env:?}"
+            );
+            round_trip(env);
         }
     }
 
@@ -980,6 +1183,31 @@ mod tests {
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
         assert_eq!(format!("{env:?}"), format!("{a:?}"));
         assert_eq!(format!("{env:?}"), format!("{b:?}"));
+    }
+
+    /// Steady-state batch encoding is allocation-free: a pooled buffer,
+    /// once warmed, is reused in place — same capacity, same allocation.
+    #[test]
+    fn pooled_frame_encode_reuses_the_allocation() {
+        let pool = BufPool::new();
+        let batch: Vec<Envelope> = all_variants().into_iter().map(envelope).collect();
+
+        let mut buf = pool.get();
+        for env in &batch {
+            encode_frame_into(env, &mut buf);
+        }
+        let warmed_capacity = buf.capacity();
+        pool.put(buf);
+
+        let mut buf = pool.get();
+        assert_eq!(buf.capacity(), warmed_capacity, "pool returned our buffer");
+        let base = buf.as_ptr();
+        for env in &batch {
+            encode_frame_into(env, &mut buf);
+        }
+        assert_eq!(buf.capacity(), warmed_capacity, "no regrowth on reuse");
+        assert_eq!(buf.as_ptr(), base, "no reallocation on reuse");
+        pool.put(buf);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Message-plane behavior through a live node: exact timer wakeups,
+//! transport-level backpressure, and submit shedding.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use planet_cluster::node::{Clock, Packet};
+use planet_cluster::plane::{mailbox, PlaneConfig};
+use planet_cluster::transport::{Envelope, Transport};
+use planet_cluster::{spawn_node, ChannelTransport};
+use planet_mdcc::{Msg, Outcome, TxnSpec};
+use planet_sim::{Actor, ActorId, Context, SimDuration, SiteId};
+use planet_storage::{Key, WriteOp};
+
+/// Records the wall-clock instant each message reaches it; schedules one
+/// long timer at start so the node loop has a distant deadline to sleep
+/// toward.
+struct Probe {
+    started: Instant,
+    timer_delay: SimDuration,
+    events: Sender<(Duration, u32)>,
+}
+
+impl Actor<Msg> for Probe {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.schedule(self.timer_delay, Msg::ClientTimer { kind: 0, tag: 0 });
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+        if let Msg::ClientTimer { kind, .. } = msg {
+            let _ = self.events.send((self.started.elapsed(), kind));
+        }
+    }
+}
+
+/// A message arriving while the node sleeps toward a distant timer deadline
+/// must be handled immediately — not after the timer, and not on the next
+/// tick of some polling interval. Guards the removal of the old 5 ms
+/// `recv_timeout` cap (the fix here is that the sleep is *exact*, bounded
+/// only by the next deadline, because a mailbox arrival interrupts it).
+#[test]
+fn message_mid_timer_wait_is_handled_before_the_timer() {
+    let clock = Clock::new();
+    let transport = ChannelTransport::direct(clock);
+    let (events_tx, events_rx) = channel();
+    let probe: Box<dyn Actor<Msg>> = Box::new(Probe {
+        started: Instant::now(),
+        timer_delay: SimDuration::from_millis(400),
+        events: events_tx,
+    });
+    let plane = PlaneConfig::default();
+    let (tx, rx) = mailbox(plane.mailbox_capacity);
+    transport.register(1, SiteId(0), tx.clone());
+    let node = spawn_node(
+        ActorId(1),
+        SiteId(0),
+        probe,
+        tx,
+        rx,
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        clock,
+        1,
+        plane,
+    );
+
+    // Let the node settle into its 400 ms sleep, then poke it.
+    thread::sleep(Duration::from_millis(100));
+    transport.send(Envelope {
+        from: ActorId(2),
+        to: ActorId(1),
+        msg: Msg::ClientTimer { kind: 7, tag: 0 },
+    });
+
+    let (env_at, kind) = events_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("the mid-wait message arrives");
+    assert_eq!(kind, 7, "the injected message is handled first");
+    assert!(
+        env_at < Duration::from_millis(300),
+        "handled at {env_at:?}, i.e. only after the timer deadline — the node was not woken"
+    );
+
+    let (timer_at, kind) = events_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("the timer still fires");
+    assert_eq!(kind, 0, "the scheduled timer fires second");
+    assert!(
+        timer_at >= Duration::from_millis(390),
+        "timer fired early at {timer_at:?}"
+    );
+    node.stop_and_join();
+}
+
+/// Protocol (non-`Submit`) traffic into a full mailbox blocks the sender —
+/// backpressure, not loss.
+#[test]
+fn full_mailbox_applies_backpressure_to_protocol_traffic() {
+    let transport = ChannelTransport::direct(Clock::new());
+    let (tx, rx) = mailbox(1);
+    transport.register(1, SiteId(0), tx);
+
+    let env = |tag| Envelope {
+        from: ActorId(2),
+        to: ActorId(1),
+        msg: Msg::ClientTimer { kind: 0, tag },
+    };
+    transport.send(env(0)); // fills the mailbox
+    let t = {
+        let transport = Arc::clone(&transport);
+        thread::spawn(move || {
+            let started = Instant::now();
+            transport.send(env(1)); // must block until the drain below
+            started.elapsed()
+        })
+    };
+    thread::sleep(Duration::from_millis(80));
+    rx.recv_timeout(Duration::from_secs(1)).expect("first");
+    let blocked_for = t.join().expect("sender thread");
+    assert!(
+        blocked_for >= Duration::from_millis(60),
+        "sender only blocked {blocked_for:?}"
+    );
+    rx.recv_timeout(Duration::from_secs(1)).expect("second");
+    assert_eq!(transport.dropped(), 0);
+    assert_eq!(transport.shed(), 0);
+}
+
+/// `Submit`s into a full mailbox are shed, and the shed surfaces to the
+/// submitting client as a timed-out `TxnDone` carrying the submit's tag —
+/// a closed-loop client keyed on tags keeps running instead of hanging.
+#[test]
+fn shed_submit_bounces_as_timed_out_txn_done() {
+    let transport = ChannelTransport::direct(Clock::new());
+    // An overloaded server: capacity 2, nobody draining.
+    let (server_tx, _server_rx) = mailbox(2);
+    transport.register(1, SiteId(0), server_tx);
+    // The client mailbox receives the bounces.
+    let (client_tx, client_rx) = mailbox(64);
+    transport.register(9, SiteId(0), client_tx);
+
+    let submit = |tag| Envelope {
+        from: ActorId(9),
+        to: ActorId(1),
+        msg: Msg::Submit {
+            spec: TxnSpec::write_one(Key::new("shed"), WriteOp::add(1)),
+            reply_to: ActorId(9),
+            tag,
+        },
+    };
+    for tag in 0..6 {
+        transport.send(submit(tag));
+    }
+    assert_eq!(transport.shed(), 4, "capacity 2 admits 2, sheds the rest");
+
+    for expected_tag in 2..6 {
+        let packet = client_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("bounce arrives");
+        let Packet::Env(env) = packet else {
+            panic!("unexpected packet for client");
+        };
+        match env.msg {
+            Msg::TxnDone { tag, outcome, .. } => {
+                assert_eq!(tag, expected_tag, "bounce carries the submit's tag");
+                assert_eq!(outcome, Outcome::TimedOut);
+            }
+            other => panic!("expected a timed-out TxnDone, got {other:?}"),
+        }
+    }
+}

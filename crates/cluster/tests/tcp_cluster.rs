@@ -8,12 +8,11 @@
 //! connection, exercising the learned-reply-route path.
 
 use std::net::TcpStream;
-use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
 use planet_cluster::wire;
-use planet_cluster::{spawn_node, Clock, Envelope, TcpTransport, Transport};
+use planet_cluster::{mailbox, spawn_node, Clock, Envelope, PlaneConfig, TcpTransport, Transport};
 use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Outcome, Protocol, ReplicaActor, TxnSpec};
 use planet_sim::{Actor, ActorId, SiteId};
 use planet_storage::{Key, WriteOp};
@@ -39,6 +38,7 @@ fn commit_round_trips_over_tcp() {
     }
 
     // Site i hosts replica i and coordinator n+i.
+    let plane = PlaneConfig::default();
     let mut nodes = Vec::new();
     for (site, transport) in transports.iter().enumerate() {
         let replica: Box<dyn Actor<Msg>> =
@@ -49,7 +49,7 @@ fn commit_round_trips_over_tcp() {
             SiteId(site as u8),
         ));
         for (id, actor) in [(site as u32, replica), ((n + site) as u32, coordinator)] {
-            let (tx, rx) = channel();
+            let (tx, rx) = mailbox(plane.mailbox_capacity);
             transport.host(id, tx.clone());
             nodes.push(spawn_node(
                 ActorId(id),
@@ -60,6 +60,7 @@ fn commit_round_trips_over_tcp() {
                 transport.clone() as Arc<dyn Transport>,
                 clock,
                 7,
+                plane,
             ));
         }
     }

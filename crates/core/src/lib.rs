@@ -37,6 +37,7 @@ pub use admission::{AdmissionController, AdmissionPolicy, RefusalReason};
 pub use client::{ClientActor, PredictionPoint, SourceMode, TxnRecord, TxnSource};
 pub use db::{Planet, PlanetBuilder};
 pub use live::{LiveHarvest, LivePlanet, LivePlanetBuilder};
+pub use planet_cluster::PlaneConfig;
 pub use runtime::RealtimePlanet;
 pub use txn::{
     ChainTrigger, EventCallback, FinalOutcome, PlanetTxn, Stage, TxnBuilder, TxnEvent, TxnHandle,

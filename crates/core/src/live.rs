@@ -29,7 +29,7 @@
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 
-use planet_cluster::{Harvest, LiveCluster};
+use planet_cluster::{Harvest, LiveCluster, PlaneConfig};
 use planet_mdcc::{ClusterConfig, Msg, Protocol};
 use planet_sim::{ActorId, Metrics, NetworkModel, SimDuration};
 
@@ -48,6 +48,7 @@ pub struct LivePlanetBuilder {
     txn_timeout: SimDuration,
     validation_service: SimDuration,
     fast_fallback: bool,
+    plane: PlaneConfig,
 }
 
 impl Default for LivePlanetBuilder {
@@ -60,6 +61,7 @@ impl Default for LivePlanetBuilder {
             txn_timeout: SimDuration::from_secs(10),
             validation_service: SimDuration::ZERO,
             fast_fallback: false,
+            plane: PlaneConfig::default(),
         }
     }
 }
@@ -111,6 +113,15 @@ impl LivePlanetBuilder {
         self
     }
 
+    /// Tune the message plane (drain batch size, mailbox capacity, fabric
+    /// shard count). Defaults to [`PlaneConfig::default`]. Shed submits
+    /// surface to clients as timed-out outcomes, exactly like
+    /// admission-refused transactions.
+    pub fn plane(mut self, plane: PlaneConfig) -> Self {
+        self.plane = plane;
+        self
+    }
+
     /// Spawn the cluster: replica, coordinator and client threads at every
     /// site of the topology.
     pub fn build(self) -> LivePlanet {
@@ -122,6 +133,7 @@ impl LivePlanetBuilder {
         let mut cluster = LiveCluster::builder(config.clone())
             .network(self.topology)
             .seed(self.seed)
+            .plane(self.plane)
             .build();
         let (event_tx, event_rx) = channel();
         let clients: Vec<ActorId> = (0..num_sites)

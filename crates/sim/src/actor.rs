@@ -124,16 +124,36 @@ pub fn drive<M: 'static>(
     metrics: &mut crate::metrics::Metrics,
 ) -> Turn<M> {
     let mut effects = Vec::new();
+    drive_into(actor, inputs, from, msg, rng, metrics, &mut effects);
+    Turn { effects }
+}
+
+/// Deliver one message to `actor`, appending its effects to `effects`
+/// instead of allocating a fresh [`Turn`].
+///
+/// This is the turn-group entry point used by batching drivers (the live
+/// cluster's mailbox loop): a whole batch of delivered messages is driven
+/// back to back into one reused effect buffer, so steady-state message
+/// handling performs no per-message allocation and the driver can flush the
+/// accumulated sends as a single coalesced transport batch.
+pub fn drive_into<M: 'static>(
+    actor: &mut dyn Actor<M>,
+    inputs: TurnInputs,
+    from: ActorId,
+    msg: M,
+    rng: &mut DetRng,
+    metrics: &mut crate::metrics::Metrics,
+    effects: &mut Vec<Effect<M>>,
+) {
     let mut ctx = Context {
         now: inputs.now,
         self_id: inputs.self_id,
         self_site: inputs.self_site,
         rng,
-        outbox: &mut effects,
+        outbox: effects,
         metrics,
     };
     actor.on_message(from, msg, &mut ctx);
-    Turn { effects }
 }
 
 /// Run an actor's `on_start` hook outside any engine, returning the effects

@@ -41,7 +41,9 @@ mod rng;
 mod time;
 pub mod topology;
 
-pub use actor::{drive, drive_start, Actor, ActorId, Context, Effect, Turn, TurnInputs};
+pub use actor::{
+    drive, drive_into, drive_start, Actor, ActorId, Context, Effect, Turn, TurnInputs,
+};
 pub use engine::Simulation;
 pub use metrics::{Counter, Histogram, Metrics, TimeSeries};
 pub use net::{JitterModel, NetworkModel, Partition, SiteId, Spike};
