@@ -55,9 +55,16 @@ impl Store {
         }
     }
 
-    /// Validate and accept an option on a key.
+    /// Validate and accept an option on a key. The key is only cloned the
+    /// first time it is seen; the steady-state path is a plain lookup.
     pub fn accept(&mut self, key: &Key, option: RecordOption) -> Result<(), RejectReason> {
-        self.records.entry(key.clone()).or_default().accept(option)
+        if let Some(r) = self.records.get_mut(key) {
+            return r.accept(option);
+        }
+        let mut r = VersionedRecord::new();
+        r.accept(option)?;
+        self.records.insert(key.clone(), r);
+        Ok(())
     }
 
     /// Learn a transaction outcome on a key; returns the new version if one
@@ -71,10 +78,15 @@ impl Store {
     /// Install a committed version by state transfer; see
     /// [`VersionedRecord::install`].
     pub fn install(&mut self, key: &Key, version: VersionNo, value: Value, txn: TxnId) -> bool {
-        self.records
-            .entry(key.clone())
-            .or_default()
-            .install(version, value, txn)
+        if let Some(r) = self.records.get_mut(key) {
+            return r.install(version, value, txn);
+        }
+        let mut r = VersionedRecord::new();
+        let advanced = r.install(version, value, txn);
+        if advanced {
+            self.records.insert(key.clone(), r);
+        }
+        advanced
     }
 
     /// Direct access to a record (e.g. pending inspection), if it exists.
