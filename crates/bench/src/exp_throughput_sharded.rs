@@ -1,0 +1,387 @@
+//! Sharded-replica throughput: the same closed-loop concurrency sweep as
+//! [`crate::exp_throughput`], but varying the number of replica shards per
+//! site (`ClusterConfig::with_shards`) on both live transports:
+//!
+//! * **channel** — the in-process [`LiveCluster`], thread per shard, the
+//!   delay fabric shaping deliveries;
+//! * **tcp** — three in-process [`TcpTransport`]s (one per "planetd"), each
+//!   hosting its site's shard replicas and coordinator, clients driving
+//!   load through a fourth client-side transport over real sockets.
+//!
+//! Each point reports the host's core count alongside the numbers: shards
+//! only buy parallel commit work when the host actually has cores to run
+//! them on, so `cores` is part of the result, not a footnote. At
+//! `Scale::Full` the sweep lands in `BENCH_throughput_sharded.json`.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{
+    mailbox, spawn_node, spawn_pool, Clock, LiveCluster, LoadClient, LoadRecord, PlaneConfig,
+    PoolMembers, TcpTransport, Transport,
+};
+use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Outcome, Protocol, ReplicaActor};
+use planet_sim::metrics::Histogram;
+use planet_sim::{Actor, ActorId, NetworkModel, SiteId};
+use planet_storage::Key;
+
+use crate::common::Scale;
+use crate::report::Table;
+
+const SITES: usize = 3;
+const KEYS: usize = 64;
+
+/// One measured point of the sharded sweep.
+struct Point {
+    shards: usize,
+    transport: &'static str,
+    clients: usize,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    commit_rate: f64,
+    completions: u64,
+    shed: u64,
+}
+
+/// Same LAN-ish model as the base throughput sweep: 2 ms cross-site RTT.
+fn lan() -> NetworkModel {
+    let rtt: Vec<Vec<f64>> = (0..SITES)
+        .map(|i| (0..SITES).map(|j| if i == j { 0.1 } else { 2.0 }).collect())
+        .collect();
+    NetworkModel::from_rtt_ms(&rtt)
+}
+
+fn keys() -> Vec<Key> {
+    (0..KEYS).map(|i| Key::new(format!("sh-{i}"))).collect()
+}
+
+/// Drain the completion channel through a warmup, then a measured window.
+/// Returns `(ops_per_sec, p50, p99, commit_rate, completions)`.
+fn measure(
+    rx: &std::sync::mpsc::Receiver<LoadRecord>,
+    warmup: Duration,
+    window: Duration,
+) -> (f64, u64, u64, f64, u64) {
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        let _ = rx.recv_timeout(warm_end - Instant::now());
+    }
+    let started = Instant::now();
+    let mut latencies = Histogram::new();
+    let mut committed = 0u64;
+    let mut completions = 0u64;
+    while started.elapsed() < window {
+        let remaining = window - started.elapsed();
+        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            completions += 1;
+            latencies.record(record.latency_us());
+            if record.outcome == Outcome::Committed {
+                committed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (
+        completions as f64 / elapsed,
+        latencies.quantile(0.50).unwrap_or(0),
+        latencies.quantile(0.99).unwrap_or(0),
+        if completions > 0 {
+            committed as f64 / completions as f64
+        } else {
+            0.0
+        },
+        completions,
+    )
+}
+
+/// One point on the in-process channel transport: [`LiveCluster`] already
+/// spawns a thread per shard replica, so this only varies the config.
+fn run_channel_point(
+    shards: usize,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> Point {
+    let config = ClusterConfig::new(SITES, Protocol::Fast).with_shards(shards);
+    let mut cluster = LiveCluster::builder(config)
+        .network(lan())
+        .seed(seed)
+        .plane(PlaneConfig::default())
+        .build();
+    let keys = keys();
+    let (tx, rx) = channel::<LoadRecord>();
+    for site in 0..SITES {
+        let coordinator = cluster.coordinator(site);
+        let actors: Vec<Box<dyn Actor<Msg>>> = (0..clients)
+            .filter(|k| k % SITES == site)
+            .map(|_| Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone())) as _)
+            .collect();
+        if !actors.is_empty() {
+            cluster.spawn_client_pool(site, actors);
+        }
+    }
+    drop(tx);
+    let (ops_per_sec, p50_us, p99_us, commit_rate, completions) = measure(&rx, warmup, window);
+    let harvest = cluster.shutdown();
+    Point {
+        shards,
+        transport: "channel",
+        clients,
+        ops_per_sec,
+        p50_us,
+        p99_us,
+        commit_rate,
+        completions,
+        shed: harvest.shed,
+    }
+}
+
+/// One point over real sockets: three server transports (one per
+/// "planetd", hosting that site's shard replicas and coordinator with the
+/// shard-major id layout) plus one client-side transport whose pooled
+/// [`LoadClient`]s reach coordinators through static routes and receive
+/// replies down the learned connections — exactly the planetd/planet-load
+/// split, inside one process.
+fn run_tcp_point(
+    shards: usize,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> Point {
+    let n = SITES;
+    let config = ClusterConfig::new(n, Protocol::Fast).with_shards(shards);
+    let clock = Clock::new();
+    let plane = PlaneConfig::default();
+    let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
+    let server_ids: Vec<u32> = (0..(shards + 1) * n).map(|i| i as u32).collect();
+
+    let transports: Vec<Arc<TcpTransport>> = (0..n).map(|_| TcpTransport::new()).collect();
+    let addrs: Vec<_> = transports
+        .iter()
+        .map(|t| {
+            let any = "127.0.0.1:0".parse().expect("loopback addr");
+            t.listen(any).expect("bind")
+        })
+        .collect();
+    let client_transport = TcpTransport::new();
+    for t in transports.iter().chain(std::iter::once(&client_transport)) {
+        for &id in &server_ids {
+            // Replica (site, shard) = shard*n + site and coordinator
+            // shards*n + site are both served by site's transport.
+            t.add_route(id, addrs[id as usize % n]);
+        }
+    }
+
+    let mut nodes = Vec::new();
+    for (site, transport) in transports.iter().enumerate() {
+        let mut hosted: Vec<(u32, Box<dyn Actor<Msg>>)> = Vec::new();
+        for shard in 0..shards {
+            let peers = replica_ids[shard * n..(shard + 1) * n].to_vec();
+            hosted.push((
+                (shard * n + site) as u32,
+                Box::new(ReplicaActor::new(config.clone(), peers, shard)),
+            ));
+        }
+        hosted.push((
+            (shards * n + site) as u32,
+            Box::new(CoordinatorActor::new(
+                config.clone(),
+                replica_ids.clone(),
+                SiteId(site as u8),
+            )),
+        ));
+        for (id, actor) in hosted {
+            let (tx, rx) = mailbox(plane.mailbox_capacity);
+            transport.host(id, tx.clone());
+            nodes.push(spawn_node(
+                ActorId(id),
+                SiteId(site as u8),
+                actor,
+                tx,
+                rx,
+                transport.clone() as Arc<dyn Transport>,
+                clock,
+                seed,
+                plane,
+            ));
+        }
+    }
+
+    let keys = keys();
+    let (tx, rx) = channel::<LoadRecord>();
+    let mut next_client = ((shards + 1) * n) as u32;
+    let mut pools = Vec::new();
+    for site in 0..n {
+        let coordinator = ActorId((shards * n + site) as u32);
+        let (mtx, mrx) = mailbox(plane.mailbox_capacity);
+        let members: PoolMembers = (0..clients)
+            .filter(|k| k % n == site)
+            .map(|_| {
+                let id = ActorId(next_client);
+                next_client += 1;
+                client_transport.host(id.0, mtx.clone());
+                let actor: Box<dyn Actor<Msg>> =
+                    Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone()));
+                (id, actor)
+            })
+            .collect();
+        if !members.is_empty() {
+            pools.push(spawn_pool(
+                members,
+                SiteId(site as u8),
+                mtx,
+                mrx,
+                client_transport.clone() as Arc<dyn Transport>,
+                clock,
+                seed,
+                plane,
+            ));
+        }
+    }
+    drop(tx);
+
+    let (ops_per_sec, p50_us, p99_us, commit_rate, completions) = measure(&rx, warmup, window);
+
+    for pool in pools {
+        pool.stop_and_join();
+    }
+    // Coordinators before replicas, as LiveCluster::shutdown does.
+    for node in nodes.into_iter().rev() {
+        node.stop_and_join();
+    }
+    let mut shed = client_transport.shed();
+    client_transport.stop();
+    for t in &transports {
+        shed += t.shed();
+        t.stop();
+    }
+
+    Point {
+        shards,
+        transport: "tcp",
+        clients,
+        ops_per_sec,
+        p50_us,
+        p99_us,
+        commit_rate,
+        completions,
+        shed,
+    }
+}
+
+/// Median-of-`trials` by ops/sec, as the base throughput sweep does.
+fn run_trials(
+    transport: &'static str,
+    shards: usize,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    trials: usize,
+) -> Point {
+    let mut points: Vec<Point> = (0..trials)
+        .map(|t| {
+            let seed = 9000 + shards as u64 * 100 + clients as u64 + 1000 * t as u64;
+            match transport {
+                "tcp" => run_tcp_point(shards, clients, warmup, window, seed),
+                _ => run_channel_point(shards, clients, warmup, window, seed),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+    points.remove(points.len() / 2)
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usize) {
+    let mut out = String::from("{\n  \"experiment\": \"throughput_sharded\",\n");
+    out.push_str(&format!(
+        "  \"sites\": {SITES},\n  \"keys\": {KEYS},\n  \"cores\": {},\n  \"warmup_secs\": {},\n  \"window_secs\": {},\n  \"trials\": {trials},\n  \"points\": [\n",
+        cores(),
+        warmup.as_secs_f64(),
+        window.as_secs_f64()
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"transport\": \"{}\", \"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}}}{}\n",
+            p.shards,
+            p.transport,
+            p.clients,
+            p.ops_per_sec,
+            p.p50_us,
+            p.p99_us,
+            p.commit_rate,
+            p.completions,
+            p.shed,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_throughput_sharded.json", &out) {
+        eprintln!("throughput-sharded: could not write BENCH_throughput_sharded.json: {e}");
+    } else {
+        eprintln!("wrote BENCH_throughput_sharded.json");
+    }
+}
+
+/// The `throughput-sharded` experiment: ops/sec vs shard count and client
+/// concurrency, on both live transports.
+pub fn throughput_sharded(scale: Scale) -> Table {
+    let shard_counts: &[usize] = &[1, 2, 4];
+    let client_points: &[usize] = match scale {
+        Scale::Quick => &[8],
+        Scale::Full => &[64, 256],
+    };
+    let (warmup, window, trials) = match scale {
+        Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500), 1),
+        Scale::Full => (Duration::from_millis(500), Duration::from_secs(2), 3),
+    };
+
+    let mut table = Table::new(
+        "throughput-sharded",
+        "Live cluster: throughput vs replica shards per site (channel + tcp transports)",
+        &[
+            "shards",
+            "transport",
+            "clients",
+            "ops/sec",
+            "p50",
+            "p99",
+            "commit rate",
+        ],
+    );
+    let mut points = Vec::new();
+    for &transport in &["channel", "tcp"] {
+        for &shards in shard_counts {
+            for &clients in client_points {
+                let point = run_trials(transport, shards, clients, warmup, window, trials);
+                table.row(vec![
+                    point.shards.to_string(),
+                    point.transport.to_string(),
+                    point.clients.to_string(),
+                    format!("{:.0}", point.ops_per_sec),
+                    crate::report::ms(point.p50_us),
+                    crate::report::ms(point.p99_us),
+                    crate::report::pct(point.commit_rate),
+                ]);
+                points.push(point);
+            }
+        }
+    }
+    table.note(format!(
+        "{SITES} sites, shard-per-thread, {KEYS} keys, commutative increments, {} host core(s), median of {trials}; channel points ride the 2ms-RTT fabric, tcp points raw loopback sockets",
+        cores()
+    ));
+    if scale == Scale::Full {
+        write_json(&points, warmup, window, trials);
+    }
+    table
+}

@@ -17,6 +17,7 @@ mod exp_reads;
 mod exp_speculation;
 mod exp_spike;
 mod exp_throughput;
+mod exp_throughput_sharded;
 pub mod report;
 pub mod timing;
 
@@ -37,6 +38,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "tab2-contention",
     "tab3-reads",
     "throughput",
+    "throughput-sharded",
 ];
 
 /// Run one experiment by id.
@@ -54,6 +56,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
         "tab2-contention" => exp_admission::tab2_contention(scale),
         "tab3-reads" => exp_reads::tab3_reads(scale),
         "throughput" => exp_throughput::throughput(scale),
+        "throughput-sharded" => exp_throughput_sharded::throughput_sharded(scale),
         _ => return None,
     })
 }

@@ -25,6 +25,7 @@ const OPS_FLOOR: f64 = 100.0;
 
 struct SmokePoint {
     clients: usize,
+    shards: usize,
     ops_per_sec: f64,
     commit_rate: f64,
     completions: u64,
@@ -38,11 +39,11 @@ fn lan() -> NetworkModel {
     NetworkModel::from_rtt_ms(&rtt)
 }
 
-fn run_point(clients: usize) -> SmokePoint {
-    let config = ClusterConfig::new(SITES, Protocol::Fast);
+fn run_point(clients: usize, shards: usize) -> SmokePoint {
+    let config = ClusterConfig::new(SITES, Protocol::Fast).with_shards(shards);
     let mut cluster = LiveCluster::builder(config)
         .network(lan())
-        .seed(0x540C ^ clients as u64)
+        .seed(0x540C ^ clients as u64 ^ (shards as u64) << 32)
         .plane(PlaneConfig::default())
         .build();
     let keys: Vec<Key> = (0..KEYS).map(|i| Key::new(format!("smoke-{i}"))).collect();
@@ -80,6 +81,7 @@ fn run_point(clients: usize) -> SmokePoint {
 
     SmokePoint {
         clients,
+        shards,
         ops_per_sec: completions as f64 / elapsed,
         commit_rate: if completions > 0 {
             committed as f64 / completions as f64
@@ -94,7 +96,13 @@ fn run_point(clients: usize) -> SmokePoint {
 #[test]
 #[ignore = "wall-clock throughput gate; run explicitly in the CI smoke job"]
 fn smoke_scale_throughput_holds_the_floor() {
-    let points: Vec<SmokePoint> = [4usize, 8].iter().map(|&c| run_point(c)).collect();
+    // Unsharded ladder plus one sharded point: the key-partitioned cluster
+    // must hold the exact same floors (commutative increments never abort
+    // regardless of how the keyspace is split across shard actors).
+    let points: Vec<SmokePoint> = [(4usize, 1usize), (8, 1), (8, 2)]
+        .iter()
+        .map(|&(c, s)| run_point(c, s))
+        .collect();
 
     let mut out = String::from("{\n  \"experiment\": \"throughput_smoke\",\n");
     out.push_str(&format!(
@@ -102,8 +110,9 @@ fn smoke_scale_throughput_holds_the_floor() {
     ));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"clients\": {}, \"ops_per_sec\": {:.1}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}}}{}\n",
+            "    {{\"clients\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}}}{}\n",
             p.clients,
+            p.shards,
             p.ops_per_sec,
             p.commit_rate,
             p.completions,

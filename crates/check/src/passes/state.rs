@@ -170,6 +170,35 @@ const ROUTES: &[RouteRule] = &[
 /// protocol actor; they complete the routing table.
 const CLIENT_INBOUND: &[&str] = &["Progress", "TxnDone", "ClientTimer"];
 
+/// `Msg` variants that carry a key and therefore must be routed to the
+/// key's replica shard. (`Vote` and `ReplicateAck` also carry keys but are
+/// replies — they route back to an explicit requester, never by key.)
+const KEY_ROUTED: &[&str] = &[
+    "ReadReq",
+    "FastPropose",
+    "Propose",
+    "Replicate",
+    "Decide",
+    "Apply",
+    "DropPending",
+];
+
+/// Identifiers that witness shard-aware destination resolution in a sending
+/// function: the shard map itself, the coordinator's group helpers, or the
+/// replica's same-shard peer iterator.
+const ROUTING_MARKERS: &[&str] = &[
+    "shard_of",
+    "shard_replicas",
+    "master_replica_for",
+    "other_peers",
+];
+
+/// Files whose senders are subject to the shard-routing check.
+const ROUTED_FILES: &[&str] = &[
+    "crates/mdcc/src/coordinator.rs",
+    "crates/mdcc/src/replica_actor.rs",
+];
+
 /// Extract the transition markers present in a function body.
 fn markers(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<(String, u32)> {
     let mut out = Vec::new();
@@ -180,6 +209,8 @@ fn markers(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<(String, u32)> {
         out.push((format!("stage:{}", hit.name), hit.line));
     }
     // storage-mutation calls: `.decide(...)`, `.install(...)`, `.accept(...)`
+    // and their interned-id twins (`.decide_id(...)` etc.) — same FSM edge,
+    // different key representation.
     let mut i = body.start;
     while i + 2 < body.end.min(toks.len()) {
         if toks[i].is_punct('.')
@@ -190,9 +221,9 @@ fn markers(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<(String, u32)> {
             let method = toks[i + 1].text.as_str();
             let line = toks[i + 1].line;
             match method {
-                "install" => out.push(("install".into(), line)),
-                "accept" => out.push(("accept".into(), line)),
-                "decide" => {
+                "install" | "install_id" => out.push(("install".into(), line)),
+                "accept" | "accept_id" => out.push(("accept".into(), line)),
+                "decide" | "decide_id" => {
                     let end = skip_group(toks, i + 2, '(', ')');
                     let args = &toks[i + 3..end.saturating_sub(1)];
                     let marker = if args.iter().any(|t| t.is_ident("true")) {
@@ -212,6 +243,70 @@ fn markers(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<(String, u32)> {
     out
 }
 
+/// True if the body contains a `ctx.send` call (as opposed to only
+/// pattern-matching message variants, as the dispatch functions do).
+fn body_sends(toks: &[Tok], body: std::ops::Range<usize>) -> bool {
+    let end = body.end.min(toks.len());
+    (body.start..end.saturating_sub(2)).any(|i| {
+        toks[i].is_ident("ctx") && toks[i + 1].is_punct('.') && toks[i + 2].is_ident("send")
+    })
+}
+
+/// STATE006: every function that *sends* a key-carrying message must resolve
+/// its destination through the shard map. Per-key ordering rests on a key
+/// only ever talking to its one shard; a send that picks a replica without a
+/// routing witness (`shard_of` / `shard_replicas` / `master_replica_for` /
+/// `other_peers`) can silently split a key's history across stores.
+fn check_shard_routing(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for path in ROUTED_FILES {
+        let Some(file) = ws.file(path) else {
+            continue;
+        };
+        let toks = file.toks();
+        for fn_def in file.fns() {
+            let body = fn_def.body.clone();
+            if !body_sends(toks, body.clone()) {
+                continue;
+            }
+            let routed: Vec<_> = find_paths(toks, body.clone(), "Msg")
+                .into_iter()
+                .filter(|hit| KEY_ROUTED.contains(&hit.name.as_str()))
+                .collect();
+            if routed.is_empty() {
+                continue;
+            }
+            let end = body.end.min(toks.len());
+            let has_marker = (body.start..end).any(|i| {
+                toks[i].kind == TokKind::Ident && ROUTING_MARKERS.contains(&toks[i].text.as_str())
+            });
+            if has_marker {
+                continue;
+            }
+            for hit in routed {
+                if file.allowed("shard_routing", hit.line) {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::error(
+                        "STATE006",
+                        path,
+                        hit.line,
+                        format!(
+                            "unrouted key-carrying send: `{}` sends `Msg::{}` without resolving the destination through the shard map ({})",
+                            fn_def.name,
+                            hit.name,
+                            ROUTING_MARKERS.join(" / "),
+                        ),
+                    )
+                    .with_suggestion(
+                        "route the send through shard_of/shard_replicas/master_replica_for (or other_peers on the replica); if the destination is genuinely shard-independent, mark the line `check:allow(shard_routing)`",
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// The state-machine legality pass.
 pub struct StateMachinePass;
 
@@ -225,6 +320,7 @@ impl Pass for StateMachinePass {
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        check_shard_routing(ws, out);
         for rule in HANDLERS {
             let Some(file) = ws.file(rule.file) else {
                 continue;

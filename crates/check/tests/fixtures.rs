@@ -211,6 +211,83 @@ impl ReplicaActor {
     assert_eq!(hit.line, 4);
 }
 
+#[test]
+fn state_unrouted_key_send_fires() {
+    // A coordinator helper that fans a key-carrying Decide out to a replica
+    // picked without consulting the shard map: per-key ordering is gone.
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn finish(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        let target = self.replicas[0];
+        ctx.send(target, Msg::Decide { txn, key, commit: true });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "STATE006")
+        .expect("STATE006 must fire for an unrouted Decide send");
+    assert!(hit.message.contains("finish"), "{}", hit.message);
+    assert!(hit.message.contains("Msg::Decide"));
+    assert_eq!(hit.file, "crates/mdcc/src/coordinator.rs");
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn state_shard_routed_send_is_quiet() {
+    // The same send resolved through the shard map is legal, and so are
+    // reply-routed messages (Vote) and dispatchers that only pattern-match.
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn finish(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        let target = self.master_replica_for(&key);
+        ctx.send(target, Msg::Decide { txn, key, commit: true });
+    }
+    fn reply(&mut self, coordinator: ActorId, ctx: &mut Ctx) {
+        ctx.send(coordinator, Msg::Vote { txn, key, accept: true });
+    }
+    fn dispatch(&mut self, msg: Msg) {
+        match msg {
+            Msg::Decide { txn, key, commit } => self.on_decide(txn, key, commit),
+            _ => {}
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    assert!(
+        !diags.iter().any(|d| d.code == "STATE006"),
+        "routed/reply/dispatch-only code must be quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn state_allow_marker_silences_shard_routing() {
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn resend(&mut self, target: ActorId, ctx: &mut Ctx) {
+        // check:allow(shard_routing)
+        ctx.send(target, Msg::Replicate { txn, key });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "state");
+    assert!(
+        !diags.iter().any(|d| d.code == "STATE006"),
+        "allow marker must silence STATE006: {diags:?}"
+    );
+}
+
 // ---- locks ----
 
 #[test]

@@ -28,10 +28,13 @@ struct Args {
     clients: usize,
     secs: u64,
     keys: usize,
+    shards: usize,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>]");
+    eprintln!(
+        "usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>] [--shards <s>]"
+    );
     std::process::exit(2);
 }
 
@@ -40,6 +43,7 @@ fn parse_args() -> Args {
     let mut clients = 8;
     let mut secs = 10;
     let mut keys = 64;
+    let mut shards = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +66,12 @@ fn parse_args() -> Args {
                 Some(v) => keys = v,
                 None => usage(),
             },
+            // Must match the servers' --shards: coordinator ids sit above
+            // the shards*n replica id block.
+            "--shards" => match args.next().and_then(|v| v.parse().ok()).filter(|&s| s >= 1) {
+                Some(v) => shards = v,
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -73,6 +83,7 @@ fn parse_args() -> Args {
         clients,
         secs,
         keys,
+        shards,
     }
 }
 
@@ -85,10 +96,12 @@ fn main() {
         .collect();
 
     // Route only to the coordinators; replies come back down our own
-    // connections via the servers' learned-peer routes.
+    // connections via the servers' learned-peer routes. Coordinator ids
+    // depend on the deployment's shard count (replicas occupy 0..shards*n).
+    let coord_base = args.shards * n;
     let transport = TcpTransport::new();
     for (site, addr) in args.addrs.iter().enumerate() {
-        transport.add_route((n + site) as u32, *addr);
+        transport.add_route((coord_base + site) as u32, *addr);
     }
 
     let plane = PlaneConfig::default();
@@ -96,9 +109,9 @@ fn main() {
     let mut nodes = Vec::new();
     for k in 0..args.clients {
         let site = k % n;
-        let id = (2 * n + k) as u32;
+        let id = (coord_base + n + k) as u32;
         let client: Box<dyn Actor<Msg>> = Box::new(LoadClient::new(
-            ActorId((n + site) as u32),
+            ActorId((coord_base + site) as u32),
             key_space.clone(),
             results_tx.clone(),
         ));

@@ -12,7 +12,9 @@
 //! ```
 //!
 //! Drive it with `planet-load`. Actor ids follow the cluster convention:
-//! replica `i` and coordinator `n + i` live at `addrs[i]`.
+//! replica shard `s` of site `i` is `s*n + i` and coordinator `shards*n + i`,
+//! all living at `addrs[i]`. Every process must be started with the same
+//! `--shards` (defaults to `min(4, cores)`) or routing ids disagree.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -26,20 +28,30 @@ struct Args {
     site: usize,
     addrs: Vec<SocketAddr>,
     protocol: Protocol,
+    shards: usize,
     run_secs: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--run-secs <s>]"
+        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--shards <s>] [--run-secs <s>]"
     );
     std::process::exit(2);
+}
+
+/// Default shard count: one per core up to 4 (the point of diminishing
+/// returns for a single site's validation work).
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Args {
     let mut site = None;
     let mut addrs = Vec::new();
     let mut protocol = Protocol::Fast;
+    let mut shards = default_shards();
     let mut run_secs = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +72,13 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--run-secs" => run_secs = args.next().and_then(|v| v.parse().ok()),
             _ => usage(),
         }
@@ -72,6 +91,7 @@ fn parse_args() -> Args {
         site,
         addrs,
         protocol,
+        shards,
         run_secs,
     }
 }
@@ -79,29 +99,38 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let n = args.addrs.len();
-    let config = ClusterConfig::new(n, args.protocol);
+    let shards = args.shards;
+    let config = ClusterConfig::new(n, args.protocol).with_shards(shards);
     let clock = Clock::new();
-    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+    let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
 
     let transport = TcpTransport::new();
     for (site, addr) in args.addrs.iter().enumerate() {
-        transport.add_route(site as u32, *addr);
-        transport.add_route((n + site) as u32, *addr);
+        for shard in 0..shards {
+            transport.add_route((shard * n + site) as u32, *addr);
+        }
+        transport.add_route((shards * n + site) as u32, *addr);
     }
 
-    let replica: Box<dyn Actor<Msg>> =
-        Box::new(ReplicaActor::new(config.clone(), replica_ids.clone()));
+    // This site's actors: one replica per shard (each its own thread, with
+    // the shard's cross-site replication group as peers), plus the
+    // coordinator.
+    let mut local: Vec<(u32, Box<dyn Actor<Msg>>)> = Vec::new();
+    for shard in 0..shards {
+        let peers: Vec<ActorId> = replica_ids[shard * n..(shard + 1) * n].to_vec();
+        let replica: Box<dyn Actor<Msg>> =
+            Box::new(ReplicaActor::new(config.clone(), peers, shard));
+        local.push(((shard * n + args.site) as u32, replica));
+    }
     let coordinator: Box<dyn Actor<Msg>> = Box::new(CoordinatorActor::new(
         config.clone(),
         replica_ids,
         SiteId(args.site as u8),
     ));
+    local.push(((shards * n + args.site) as u32, coordinator));
     let plane = PlaneConfig::default();
     let mut nodes = Vec::new();
-    for (id, actor) in [
-        (args.site as u32, replica),
-        ((n + args.site) as u32, coordinator),
-    ] {
+    for (id, actor) in local {
         let (tx, rx) = mailbox(plane.mailbox_capacity);
         transport.host(id, tx.clone());
         nodes.push(spawn_node(
@@ -125,10 +154,9 @@ fn main() {
         }
     };
     println!(
-        "planetd: site {} of {n} serving replica {} and coordinator {} on {bound} ({:?})",
+        "planetd: site {} of {n} serving {shards} replica shard(s) and coordinator {} on {bound} ({:?})",
         args.site,
-        args.site,
-        n + args.site,
+        shards * n + args.site,
         args.protocol
     );
 

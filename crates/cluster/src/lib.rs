@@ -92,9 +92,12 @@ impl LiveClusterBuilder {
         self
     }
 
-    /// Spawn the server threads: one replica and one coordinator per site,
-    /// with the same dense actor-id layout the simulated cluster uses
-    /// (replicas `0..n`, coordinators `n..2n`).
+    /// Spawn the server threads: `num_shards` replicas and one coordinator
+    /// per site, with the same dense shard-major actor-id layout the
+    /// simulated cluster uses (replica `(site, shard)` at `shard*n + site`,
+    /// coordinators at `shards*n .. shards*n + n`). Each replica shard gets
+    /// its own thread, so a multi-core host executes a site's shards in
+    /// parallel.
     pub fn build(self) -> LiveCluster {
         let clock = Clock::new();
         let transport = match self.net {
@@ -108,16 +111,24 @@ impl LiveClusterBuilder {
             None => ChannelTransport::direct(clock),
         };
         let n = self.config.num_sites;
-        let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+        let shards = self.config.num_shards.max(1);
+        let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
 
         // Build every actor and mailbox first, register them all with the
         // transport, and only then spawn threads: an actor's on_start may
         // send to peers that would otherwise not be routable yet.
         let mut pending = Vec::new();
-        for site in 0..n {
-            let actor: Box<dyn Actor<Msg>> =
-                Box::new(ReplicaActor::new(self.config.clone(), replica_ids.clone()));
-            pending.push((ActorId(site as u32), SiteId(site as u8), actor));
+        for shard in 0..shards {
+            let peers: Vec<ActorId> = replica_ids[shard * n..(shard + 1) * n].to_vec();
+            for site in 0..n {
+                let actor: Box<dyn Actor<Msg>> =
+                    Box::new(ReplicaActor::new(self.config.clone(), peers.clone(), shard));
+                pending.push((
+                    ActorId((shard * n + site) as u32),
+                    SiteId(site as u8),
+                    actor,
+                ));
+            }
         }
         for site in 0..n {
             let actor: Box<dyn Actor<Msg>> = Box::new(CoordinatorActor::new(
@@ -125,7 +136,11 @@ impl LiveClusterBuilder {
                 replica_ids.clone(),
                 SiteId(site as u8),
             ));
-            pending.push((ActorId((n + site) as u32), SiteId(site as u8), actor));
+            pending.push((
+                ActorId((shards * n + site) as u32),
+                SiteId(site as u8),
+                actor,
+            ));
         }
         let mut channels = Vec::new();
         for (id, site, actor) in pending {
@@ -156,7 +171,7 @@ impl LiveClusterBuilder {
             nodes,
             clients: Vec::new(),
             pools: Vec::new(),
-            next_client: (2 * n) as u32,
+            next_client: ((shards + 1) * n) as u32,
             seed: self.seed,
             plane: self.plane,
         }
@@ -207,7 +222,8 @@ pub struct LiveCluster {
     transport: Arc<ChannelTransport>,
     clock: Clock,
     config: ClusterConfig,
-    /// Server nodes: replicas `0..n`, then coordinators `n..2n`.
+    /// Server nodes: replicas `0..shards*n` shard-major, then coordinators
+    /// `shards*n .. shards*n + n`.
     nodes: Vec<NodeHandle>,
     /// Client nodes, spawned on demand.
     clients: Vec<NodeHandle>,
@@ -234,14 +250,15 @@ impl LiveCluster {
         self.clock
     }
 
-    /// The replica actor id at `site`.
-    pub fn replica(&self, site: usize) -> ActorId {
-        ActorId(site as u32)
+    /// The replica actor id for `(site, shard)`.
+    pub fn replica(&self, site: usize, shard: usize) -> ActorId {
+        ActorId((shard * self.config.num_sites + site) as u32)
     }
 
     /// The coordinator actor id at `site`.
     pub fn coordinator(&self, site: usize) -> ActorId {
-        ActorId((self.config.num_sites + site) as u32)
+        let shards = self.config.num_shards.max(1);
+        ActorId((shards * self.config.num_sites + site) as u32)
     }
 
     /// The transport (drop counters, direct sends from harness code).

@@ -42,7 +42,7 @@ fn commit_round_trips_over_tcp() {
     let mut nodes = Vec::new();
     for (site, transport) in transports.iter().enumerate() {
         let replica: Box<dyn Actor<Msg>> =
-            Box::new(ReplicaActor::new(config.clone(), replica_ids.clone()));
+            Box::new(ReplicaActor::new(config.clone(), replica_ids.clone(), 0));
         let coordinator: Box<dyn Actor<Msg>> = Box::new(CoordinatorActor::new(
             config.clone(),
             replica_ids.clone(),

@@ -33,6 +33,7 @@ pub struct PlanetBuilder {
     txn_timeout: SimDuration,
     validation_service: SimDuration,
     fast_fallback: bool,
+    shards: usize,
 }
 
 impl Default for PlanetBuilder {
@@ -45,6 +46,7 @@ impl Default for PlanetBuilder {
             txn_timeout: SimDuration::from_secs(10),
             validation_service: SimDuration::ZERO,
             fast_fallback: false,
+            shards: 1,
         }
     }
 }
@@ -97,10 +99,19 @@ impl PlanetBuilder {
         self
     }
 
+    /// Partition each site's keyspace across this many replica shards
+    /// (default 1). The simulation runs the sharded actors on its single
+    /// deterministic thread; live deployments give each shard a thread.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1);
+        self.shards = shards;
+        self
+    }
+
     /// Assemble the database.
     pub fn build(self) -> Planet {
         let num_sites = self.topology.num_sites();
-        let mut config = ClusterConfig::new(num_sites, self.protocol);
+        let mut config = ClusterConfig::new(num_sites, self.protocol).with_shards(self.shards);
         config.txn_timeout = self.txn_timeout;
         config.validation_service = self.validation_service;
         config.fast_fallback = self.fast_fallback;
@@ -347,9 +358,11 @@ impl Planet {
     }
 
     /// Read the committed value of a key at a site's local replica —
-    /// a diagnostic read outside any transaction.
+    /// a diagnostic read outside any transaction. Routed to the key's
+    /// shard, like every other key-carrying access.
     pub fn read_local(&self, site: usize, key: &Key) -> Value {
-        self.replica(site).read(key).value
+        let shard = self.cluster.config.shard_of(key);
+        self.replica(site, shard).read(key).value
     }
 
     /// The shared metrics registry.
@@ -362,19 +375,23 @@ impl Planet {
         &self.cluster.config
     }
 
-    /// Fault injection: crash a site's replica at absolute time `at`. It
-    /// stops serving until [`Planet::recover_site_at`]; its WAL survives.
+    /// Fault injection: crash a site's replica at absolute time `at` —
+    /// every shard of the site goes down together, as a host failure
+    /// would take them. They stop serving until
+    /// [`Planet::recover_site_at`]; their WALs survive.
     pub fn crash_site_at(&mut self, site: usize, at: SimTime) {
-        self.sim
-            .inject_at(at, self.cluster.replicas[site], Msg::Crash);
+        for replica in self.cluster.site_replicas(site) {
+            self.sim.inject_at(at, replica, Msg::Crash);
+        }
     }
 
     /// Fault injection: recover a crashed replica at absolute time `at`
-    /// (restart + WAL replay; it catches up on later writes via state
-    /// transfer).
+    /// (restart + WAL replay on every shard; they catch up on later writes
+    /// via state transfer).
     pub fn recover_site_at(&mut self, site: usize, at: SimTime) {
-        self.sim
-            .inject_at(at, self.cluster.replicas[site], Msg::Recover);
+        for replica in self.cluster.site_replicas(site) {
+            self.sim.inject_at(at, replica, Msg::Recover);
+        }
     }
 
     /// Mutable access to the network model (inject spikes/partitions).
@@ -393,9 +410,9 @@ impl Planet {
             .expect("client actor")
     }
 
-    fn replica(&self, site: usize) -> &planet_storage::Replica {
+    fn replica(&self, site: usize, shard: usize) -> &planet_storage::Replica {
         self.sim
-            .actor_as::<planet_mdcc::ReplicaActor>(self.cluster.replicas[site])
+            .actor_as::<planet_mdcc::ReplicaActor>(self.cluster.replica(site, shard))
             .expect("replica actor")
             .storage()
     }

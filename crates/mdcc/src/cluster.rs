@@ -12,7 +12,8 @@ use crate::replica_actor::ReplicaActor;
 /// Ids of the actors a built cluster consists of.
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    /// Replica actor per site, indexed by site.
+    /// Replica actors, shard-major: `replicas[shard * num_sites + site]`.
+    /// With one shard (the default) this is simply "indexed by site".
     pub replicas: Vec<ActorId>,
     /// Coordinator actor per site, indexed by site.
     pub coordinators: Vec<ActorId>,
@@ -20,22 +21,43 @@ pub struct Cluster {
     pub config: ClusterConfig,
 }
 
-/// Build a cluster into `sim`: one replica and one coordinator per site.
+impl Cluster {
+    /// The replica actor for `(site, shard)`.
+    pub fn replica(&self, site: usize, shard: usize) -> ActorId {
+        self.replicas[shard * self.config.num_sites + site]
+    }
+
+    /// All of `site`'s replica shards, in shard order.
+    pub fn site_replicas(&self, site: usize) -> Vec<ActorId> {
+        (0..self.config.num_shards.max(1))
+            .map(|s| self.replica(site, s))
+            .collect()
+    }
+}
+
+/// Build a cluster into `sim`: `num_shards` replicas and one coordinator per
+/// site. The sim runs the sharded actors on its single deterministic thread,
+/// so seed experiments are reproducible at any shard count.
 ///
 /// Panics if the network model has fewer sites than the configuration.
 pub fn build_cluster(sim: &mut Simulation<Msg>, config: ClusterConfig) -> Cluster {
     let n = config.num_sites;
-    // Replica actors need each other's ids before they are constructed, so
+    let shards = config.num_shards.max(1);
+    // Replica actors need their peer ids before they are constructed, so
     // they are predicted from the engine's dense assignment order. That
     // prediction is only valid on a fresh simulation (asserted below):
-    // replicas take ids 0..n, coordinators n..2n.
-    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+    // replicas take ids 0..shards*n shard-major (shard s's replication
+    // group is the contiguous slice [s*n, s*n + n)), coordinators follow.
+    let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
 
-    let mut actual_ids = Vec::with_capacity(n);
-    for site in 0..n {
-        let actor = ReplicaActor::new(config.clone(), replica_ids.clone());
-        let id = sim.add_actor(SiteId(site as u8), Box::new(actor));
-        actual_ids.push(id);
+    let mut actual_ids = Vec::with_capacity(shards * n);
+    for shard in 0..shards {
+        let peers: Vec<ActorId> = replica_ids[shard * n..(shard + 1) * n].to_vec();
+        for site in 0..n {
+            let actor = ReplicaActor::new(config.clone(), peers.clone(), shard);
+            let id = sim.add_actor(SiteId(site as u8), Box::new(actor));
+            actual_ids.push(id);
+        }
     }
     assert_eq!(
         actual_ids, replica_ids,

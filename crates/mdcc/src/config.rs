@@ -61,6 +61,20 @@ pub struct ClusterConfig {
     /// explodes — the resource dimension the admission-control experiments
     /// need. `ZERO` (the default) disables the model.
     pub validation_service: SimDuration,
+    /// Number of replica shards per site. Each site's keyspace is
+    /// partitioned by [`ClusterConfig::shard_of`] across `num_shards`
+    /// independent replica actors (each with its own store + WAL); in live
+    /// mode each shard runs on its own thread. Every key-carrying message
+    /// routes to the key's shard, so per-key ordering is exactly what a
+    /// single replica would produce. Default 1 (unsharded — the simulation
+    /// seed experiments are bit-identical).
+    pub num_shards: usize,
+    /// Checkpoint a shard's WAL once its retained tail reaches this many
+    /// records (0 disables). Checked on the periodic GC sweep.
+    pub checkpoint_every: usize,
+    /// Committed versions to keep per record when the periodic GC sweep
+    /// trims version chains (0 disables trimming).
+    pub gc_keep_versions: usize,
 }
 
 impl ClusterConfig {
@@ -74,7 +88,17 @@ impl ClusterConfig {
             txn_timeout: SimDuration::from_secs(10),
             fast_fallback: false,
             validation_service: SimDuration::ZERO,
+            num_shards: 1,
+            checkpoint_every: 4096,
+            gc_keep_versions: 64,
         }
+    }
+
+    /// Same configuration with `num_shards` replica shards per site.
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "at least one shard per site");
+        self.num_shards = num_shards;
+        self
     }
 
     /// Classic (majority) quorum size: ⌊N/2⌋ + 1.
@@ -108,6 +132,32 @@ impl ClusterConfig {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         SiteId((h % self.num_sites as u64) as u8)
+    }
+
+    /// The replica shard owning a key at every site. Deterministic and
+    /// decorrelated from [`ClusterConfig::master_of`] (the hash runs over
+    /// the key bytes twice, so shard and mastership assignments do not
+    /// align), identical across sites so a shard's peer group replicates
+    /// exactly its own keyspace slice. Every key-carrying message must be
+    /// routed with this — it is the per-key ordering invariant the sharded
+    /// hot path rests on (planet-check STATE006).
+    pub fn shard_of(&self, key: &Key) -> usize {
+        if self.num_shards == 1 {
+            return 0;
+        }
+        // Double-rounded FNV-1a: feed the first pass's digest back through
+        // so the shard index is independent of `master_of`'s residue, then
+        // xor-fold — FNV's low bits alone disperse poorly under
+        // power-of-two shard counts.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for _ in 0..2 {
+            for b in key.as_str().as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h ^= h >> 32;
+        (h % self.num_shards as u64) as usize
     }
 }
 
@@ -155,6 +205,39 @@ mod tests {
             seen.insert(c.master_of(&Key::new(format!("key:{i}"))));
         }
         assert_eq!(seen.len(), 5, "200 keys should hit all 5 masters");
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_spread_and_in_range() {
+        let c = ClusterConfig::new(3, Protocol::Fast).with_shards(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let k = Key::new(format!("key:{i}"));
+            let s1 = c.shard_of(&k);
+            assert_eq!(s1, c.shard_of(&k), "stable");
+            assert!(s1 < 4);
+            seen.insert(s1);
+        }
+        assert_eq!(seen.len(), 4, "200 keys should hit all 4 shards");
+        // Unsharded config: everything lands on shard 0.
+        let c1 = ClusterConfig::new(3, Protocol::Fast);
+        assert_eq!(c1.num_shards, 1);
+        assert_eq!(c1.shard_of(&Key::new("anything")), 0);
+    }
+
+    #[test]
+    fn shard_and_mastership_do_not_align() {
+        // With num_shards == num_sites a single-hash assignment would pin
+        // every key's shard to its master site; the double-rounded hash
+        // must decorrelate them.
+        let c = ClusterConfig::new(4, Protocol::Fast).with_shards(4);
+        let disagree = (0..200)
+            .filter(|i| {
+                let k = Key::new(format!("key:{i}"));
+                c.shard_of(&k) != c.master_of(&k).0 as usize
+            })
+            .count();
+        assert!(disagree > 100, "only {disagree}/200 keys decorrelated");
     }
 
     #[test]

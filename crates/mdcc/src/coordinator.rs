@@ -50,8 +50,11 @@ struct TxnState {
     votes: BTreeMap<Key, KeyVotes>,
     votes_received: usize,
     rejections: usize,
-    /// Quorum reads: responses collected so far (one entry per replica).
+    /// Read responses collected so far (one entry per responding replica).
     read_buffer: Vec<Vec<KeyRead>>,
+    /// Responses still required per touched shard before reads complete
+    /// (1 per shard for local reads, a classic quorum for quorum reads).
+    reads_outstanding: BTreeMap<usize, usize>,
     /// True once reads completed and proposals went out (late `ReadResp`s
     /// are then ignored).
     reads_done: bool,
@@ -71,7 +74,9 @@ struct RecentTxn {
 /// coordinator.
 pub struct CoordinatorActor {
     config: ClusterConfig,
-    /// Replica actor ids indexed by site.
+    /// Replica actor ids, shard-major: `replicas[shard * num_sites + site]`.
+    /// Every key-carrying send resolves its destination through
+    /// [`ClusterConfig::shard_of`] so a key only ever talks to its shard.
     replicas: Vec<ActorId>,
     site: SiteId,
     next_seq: u64,
@@ -80,9 +85,15 @@ pub struct CoordinatorActor {
 }
 
 impl CoordinatorActor {
-    /// Build a coordinator for `site` over the given replicas (indexed by
-    /// site).
+    /// Build a coordinator for `site` over the given replicas, laid out
+    /// shard-major (`replicas[shard * num_sites + site]`; with one shard
+    /// this is simply "indexed by site").
     pub fn new(config: ClusterConfig, replicas: Vec<ActorId>, site: SiteId) -> Self {
+        assert_eq!(
+            replicas.len(),
+            config.num_sites * config.num_shards.max(1),
+            "one replica per (site, shard)"
+        );
         CoordinatorActor {
             config,
             replicas,
@@ -98,8 +109,18 @@ impl CoordinatorActor {
         self.inflight.len()
     }
 
-    fn local_replica(&self) -> ActorId {
-        self.replicas[self.site.0 as usize]
+    /// The replication group of `key`'s shard: the same-shard replica at
+    /// every site, indexed by site.
+    fn shard_replicas(&self, key: &Key) -> &[ActorId] {
+        let n = self.config.num_sites;
+        let shard = self.config.shard_of(key);
+        &self.replicas[shard * n..(shard + 1) * n]
+    }
+
+    /// The replica mastering `key`: the master site's member of the key's
+    /// shard group.
+    fn master_replica_for(&self, key: &Key) -> ActorId {
+        self.shard_replicas(key)[self.config.master_of(key).0 as usize]
     }
 
     /// How many voters will ever speak for a key under the current protocol.
@@ -137,7 +158,15 @@ impl CoordinatorActor {
         let txn = TxnId::new(self.site.0, self.next_seq);
         self.next_seq += 1;
         let keys = spec.touched_keys();
-        let state = TxnState {
+        // Partition the touched keys by shard: one ReadReq per shard group
+        // (spec order preserved within a group), since each shard's replica
+        // only holds its own keyspace slice.
+        let mut groups: BTreeMap<usize, Vec<Key>> = BTreeMap::new();
+        for key in keys {
+            let shard = self.config.shard_of(&key);
+            groups.entry(shard).or_default().push(key);
+        }
+        let mut state = TxnState {
             tag,
             reply_to,
             spec,
@@ -148,31 +177,45 @@ impl CoordinatorActor {
             votes_received: 0,
             rejections: 0,
             read_buffer: Vec::new(),
+            reads_outstanding: BTreeMap::new(),
             reads_done: false,
         };
         let read_level = state.spec.read_level;
+        let need = match read_level {
+            ReadLevel::Local => 1,
+            ReadLevel::Quorum => self.config.classic_quorum(),
+        };
+        for &shard in groups.keys() {
+            state.reads_outstanding.insert(shard, need);
+        }
         self.progress(&state, txn, ProgressStage::Started, ctx);
         let timeout = self.config.txn_timeout;
         self.inflight.insert(txn, state);
         ctx.schedule(timeout, Msg::TxnTimeout { txn });
 
-        if keys.is_empty() {
+        if groups.is_empty() {
             self.finish(txn, Outcome::Committed, ctx);
             return;
         }
-        match read_level {
-            ReadLevel::Local => {
-                ctx.send(self.local_replica(), Msg::ReadReq { txn, keys });
-            }
-            ReadLevel::Quorum => {
-                for &replica in &self.replicas {
-                    ctx.send(
-                        replica,
-                        Msg::ReadReq {
-                            txn,
-                            keys: keys.clone(),
-                        },
-                    );
+        let n = self.config.num_sites;
+        let site = self.site.0 as usize;
+        for (shard, keys) in groups {
+            match read_level {
+                ReadLevel::Local => {
+                    // This site's member of the key group's shard (shard_of
+                    // routed: the group was keyed by `shard_of` above).
+                    ctx.send(self.replicas[shard * n + site], Msg::ReadReq { txn, keys });
+                }
+                ReadLevel::Quorum => {
+                    for &replica in &self.replicas[shard * n..(shard + 1) * n] {
+                        ctx.send(
+                            replica,
+                            Msg::ReadReq {
+                                txn,
+                                keys: keys.clone(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -201,21 +244,33 @@ impl CoordinatorActor {
     }
 
     fn handle_read_resp(&mut self, txn: TxnId, results: Vec<KeyRead>, ctx: &mut Context<'_, Msg>) {
+        // A response covers exactly one shard group (ReadReqs were
+        // partitioned by `shard_of`), so its first key identifies the group.
+        let Some(shard) = results.first().map(|r| self.config.shard_of(&r.key)) else {
+            return;
+        };
         let Some(state) = self.inflight.get_mut(&txn) else {
             return;
         };
         if state.reads_done {
             return; // late response from a quorum read already satisfied
         }
-        let results = match state.spec.read_level {
-            ReadLevel::Local => results,
-            ReadLevel::Quorum => {
-                state.read_buffer.push(results);
-                if state.read_buffer.len() < self.config.classic_quorum() {
-                    return; // keep waiting for the majority
-                }
-                Self::merge_reads(&state.read_buffer)
-            }
+        let Some(remaining) = state.reads_outstanding.get_mut(&shard) else {
+            return; // this shard group is already satisfied
+        };
+        state.read_buffer.push(results);
+        *remaining -= 1;
+        if *remaining == 0 {
+            state.reads_outstanding.remove(&shard);
+        }
+        if !state.reads_outstanding.is_empty() {
+            return; // keep waiting for the remaining groups / quorums
+        }
+        // Single local response: pass it through in spec order. Anything
+        // buffered from several replicas or shards merges to key order.
+        let results = match (state.spec.read_level, state.read_buffer.len()) {
+            (ReadLevel::Local, 1) => state.read_buffer.pop().expect("one buffered response"),
+            _ => Self::merge_reads(&state.read_buffer),
         };
         state.reads_done = true;
         let writes = state.spec.writes.clone();
@@ -252,7 +307,7 @@ impl CoordinatorActor {
         for (key, option) in proposals {
             match self.config.protocol {
                 Protocol::Fast => {
-                    for &replica in &self.replicas {
+                    for &replica in self.shard_replicas(&key) {
                         ctx.send(
                             replica,
                             Msg::FastPropose {
@@ -265,7 +320,7 @@ impl CoordinatorActor {
                     }
                 }
                 Protocol::Classic | Protocol::TwoPc => {
-                    let master = self.replicas[self.config.master_of(&key).0 as usize];
+                    let master = self.master_replica_for(&key);
                     ctx.send(
                         master,
                         Msg::Propose {
@@ -379,7 +434,7 @@ impl CoordinatorActor {
         }
         if fallback_now {
             let option = state.options.get(&key).expect("option exists").clone();
-            let master = self.replicas[self.config.master_of(&key).0 as usize];
+            let master = self.master_replica_for(&key);
             let me = ctx.self_id();
             ctx.send(
                 master,
@@ -460,7 +515,7 @@ impl CoordinatorActor {
         };
         let commit = outcome.is_commit();
         for (key, option) in &state.options {
-            let master = self.replicas[self.config.master_of(key).0 as usize];
+            let master = self.master_replica_for(key);
             ctx.send(
                 master,
                 Msg::Decide {

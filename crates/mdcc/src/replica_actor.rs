@@ -1,5 +1,13 @@
-//! The storage replica actor: one per site, holding a full copy of the
-//! keyspace.
+//! The storage replica actor: one per site *and shard*, holding the shard's
+//! slice of the keyspace.
+//!
+//! A site runs `config.num_shards` replica actors; [`ClusterConfig::shard_of`]
+//! partitions the keyspace among them, and every key-carrying message is
+//! routed to the key's shard by the sender (coordinators fan out per shard;
+//! a shard's `peers` are the same-shard replicas at the other sites). Each
+//! shard owns an independent [`Replica`] (store + WAL), so in live mode the
+//! per-site validation hot path runs on `num_shards` threads while per-key
+//! ordering stays exactly what a single replica would produce.
 //!
 //! Responsibilities by protocol path:
 //!
@@ -23,7 +31,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use planet_sim::{Actor, ActorId, Context, SimDuration, SimTime, SiteId};
-use planet_storage::{Key, RecordOption, Replica, TxnId};
+use planet_storage::{Key, KeyId, RecordOption, Replica, TxnId};
 
 use crate::config::{ClusterConfig, Protocol};
 use crate::messages::{KeyRead, Msg};
@@ -35,16 +43,20 @@ struct ReplState {
     voted: bool,
 }
 
-/// The per-site storage replica actor.
+/// The per-site, per-shard storage replica actor.
 pub struct ReplicaActor {
     config: ClusterConfig,
-    /// Replica actor ids indexed by site.
+    /// Same-shard replica actor ids indexed by site (this shard's
+    /// replication group).
     peers: Vec<ActorId>,
+    /// Which keyspace shard this replica owns (`config.shard_of`).
+    shard: usize,
     storage: Replica,
     /// 2PC: replication ack collection per (txn, key) this site masters.
-    repl_state: HashMap<(TxnId, Key), ReplState>,
+    /// Keys are interned ids — valid within this shard's store only.
+    repl_state: HashMap<(TxnId, KeyId), ReplState>,
     /// Lease bookkeeping: when each pending option was accepted.
-    accepted_at: HashMap<(TxnId, Key), SimTime>,
+    accepted_at: HashMap<(TxnId, KeyId), SimTime>,
     /// How long a pending option may live before the sweep reclaims it.
     lease: SimDuration,
     /// FIFO of validation work waiting for the (single) server, used when
@@ -60,13 +72,16 @@ pub struct ReplicaActor {
 const GC_TIMER: u32 = 0xC1EA;
 
 impl ReplicaActor {
-    /// Build a replica for a cluster whose replica actors are `peers`
-    /// (indexed by site).
-    pub fn new(config: ClusterConfig, peers: Vec<ActorId>) -> Self {
+    /// Build the `shard`-th replica of a site. `peers` are the same-shard
+    /// replica actor ids at every site (indexed by site) — the group this
+    /// shard replicates with.
+    pub fn new(config: ClusterConfig, peers: Vec<ActorId>, shard: usize) -> Self {
+        debug_assert!(shard < config.num_shards.max(1));
         let lease = config.txn_timeout;
         ReplicaActor {
             config,
             peers,
+            shard,
             storage: Replica::new(),
             repl_state: HashMap::new(),
             accepted_at: HashMap::new(),
@@ -80,6 +95,17 @@ impl ReplicaActor {
     /// True while the replica is crash-injected.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The keyspace shard this replica owns.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Routing invariant: every key-carrying message this replica handles
+    /// must be for a key in its shard.
+    fn owns(&self, key: &Key) -> bool {
+        self.config.shard_of(key) == self.shard
     }
 
     /// Current depth of the validation queue (diagnostics).
@@ -112,15 +138,18 @@ impl ReplicaActor {
         option: RecordOption,
         now: SimTime,
     ) -> Result<(), planet_storage::RejectReason> {
+        debug_assert!(self.owns(key), "option for {key} routed to wrong shard");
         let txn = option.txn;
+        // One string hash at the boundary; everything below runs on the id.
+        let id = self.storage.intern(key);
         // Idempotent re-proposal: a later round (fast-path fallback, retry)
         // may re-present an option this replica already holds.
-        if self.storage.has_pending(key, txn) {
+        if self.storage.has_pending_id(id, txn) {
             return Ok(());
         }
-        match self.storage.accept(key, option) {
+        match self.storage.accept_id(id, option) {
             Ok(()) => {
-                self.accepted_at.insert((txn, key.clone()), now);
+                self.accepted_at.insert((txn, id), now);
                 Ok(())
             }
             Err(reason) => {
@@ -138,11 +167,12 @@ impl ReplicaActor {
         ctx: &mut Context<'_, Msg>,
     ) {
         let results = keys
-            .iter()
+            .into_iter()
             .map(|k| {
-                let r = self.storage.read(k);
+                debug_assert!(self.owns(&k), "read of {k} routed to wrong shard");
+                let r = self.storage.read(&k);
                 KeyRead {
-                    key: k.clone(),
+                    key: k,
                     version: r.version,
                     value: r.value,
                     pending: r.pending,
@@ -221,15 +251,16 @@ impl ReplicaActor {
                     Protocol::TwoPc => {
                         // Collect acks here; vote once a majority (counting
                         // ourselves) is durable.
+                        let id = self.storage.intern(&key);
                         self.repl_state.insert(
-                            (txn, key.clone()),
+                            (txn, id),
                             ReplState {
                                 acks: vec![ctx.self_site()],
                                 coordinator,
                                 voted: false,
                             },
                         );
-                        self.maybe_vote_2pc(txn, &key, ctx);
+                        self.maybe_vote_2pc(txn, id, &key, ctx);
                     }
                 }
                 let me = ctx.self_id();
@@ -291,10 +322,10 @@ impl ReplicaActor {
         }
     }
 
-    fn maybe_vote_2pc(&mut self, txn: TxnId, key: &Key, ctx: &mut Context<'_, Msg>) {
+    fn maybe_vote_2pc(&mut self, txn: TxnId, id: KeyId, key: &Key, ctx: &mut Context<'_, Msg>) {
         let quorum = self.config.classic_quorum();
         let site = ctx.self_site();
-        if let Some(state) = self.repl_state.get_mut(&(txn, key.clone())) {
+        if let Some(state) = self.repl_state.get_mut(&(txn, id)) {
             if !state.voted && state.acks.len() >= quorum {
                 state.voted = true;
                 let coordinator = state.coordinator;
@@ -320,12 +351,13 @@ impl ReplicaActor {
         site: SiteId,
         ctx: &mut Context<'_, Msg>,
     ) {
-        if let Some(state) = self.repl_state.get_mut(&(txn, key.clone())) {
+        let id = self.storage.intern(&key);
+        if let Some(state) = self.repl_state.get_mut(&(txn, id)) {
             if !state.acks.contains(&site) {
                 state.acks.push(site);
             }
         }
-        self.maybe_vote_2pc(txn, &key, ctx);
+        self.maybe_vote_2pc(txn, id, &key, ctx);
     }
 
     fn handle_decide(
@@ -337,23 +369,25 @@ impl ReplicaActor {
         ctx: &mut Context<'_, Msg>,
     ) {
         debug_assert!(self.is_master(&key, ctx), "Decide sent to non-master");
-        self.accepted_at.remove(&(txn, key.clone()));
-        self.repl_state.remove(&(txn, key.clone()));
+        debug_assert!(self.owns(&key), "Decide for {key} routed to wrong shard");
+        let id = self.storage.intern(&key);
+        self.accepted_at.remove(&(txn, id));
+        self.repl_state.remove(&(txn, id));
         if commit {
-            let new_version = match self.storage.decide(&key, txn, true) {
+            let new_version = match self.storage.decide_id(id, txn, true) {
                 Some(v) => v,
                 None => {
                     // This master never accepted the option (fast-path commit
                     // carried by other replicas): force-apply by state
                     // transfer onto the current head.
-                    let cur = self.storage.read(&key);
+                    let cur = self.storage.read_id(id);
                     let value = option.op.apply(&cur.value);
                     let v = cur.version + 1;
-                    self.storage.install(&key, v, value, txn);
+                    self.storage.install_id(id, v, value, txn);
                     v
                 }
             };
-            let value = self.storage.read(&key).value;
+            let value = self.storage.read_id(id).value;
             ctx.metrics().counter("replica.versions_committed").inc();
             for peer in self.other_peers(ctx).collect::<Vec<_>>() {
                 ctx.send(
@@ -367,7 +401,7 @@ impl ReplicaActor {
                 );
             }
         } else {
-            self.storage.decide(&key, txn, false);
+            self.storage.decide_id(id, txn, false);
             for peer in self.other_peers(ctx).collect::<Vec<_>>() {
                 ctx.send(
                     peer,
@@ -388,34 +422,57 @@ impl ReplicaActor {
         txn: TxnId,
         ctx: &mut Context<'_, Msg>,
     ) {
-        self.accepted_at.remove(&(txn, key.clone()));
-        if self.storage.install(&key, version, value, txn) {
+        debug_assert!(self.owns(&key), "Apply for {key} routed to wrong shard");
+        let id = self.storage.intern(&key);
+        self.accepted_at.remove(&(txn, id));
+        if self.storage.install_id(id, version, value, txn) {
             ctx.metrics().counter("replica.versions_installed").inc();
         }
     }
 
     fn handle_drop_pending(&mut self, key: Key, txn: TxnId) {
-        self.accepted_at.remove(&(txn, key.clone()));
-        self.storage.decide(&key, txn, false);
+        debug_assert!(
+            self.owns(&key),
+            "DropPending for {key} routed to wrong shard"
+        );
+        let id = self.storage.intern(&key);
+        self.accepted_at.remove(&(txn, id));
+        self.storage.decide_id(id, txn, false);
     }
 
     fn sweep_leases(&mut self, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
         let lease = self.lease;
-        let mut expired: Vec<(TxnId, Key)> = self
+        let mut expired: Vec<(TxnId, KeyId)> = self
             .accepted_at
             .iter() // check:allow(determinism): order is fixed by the sort below
             .filter(|(_, &at)| now.since(at) > lease)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         // HashMap iteration order is nondeterministic; the decide order
-        // below has observable effects, so fix it.
+        // below has observable effects, so fix it. Interned ids are
+        // assigned in (deterministic) arrival order, so sorting by id is
+        // as reproducible as sorting by key name.
         expired.sort();
-        for (txn, key) in expired {
-            self.accepted_at.remove(&(txn, key.clone()));
-            self.repl_state.remove(&(txn, key.clone()));
-            self.storage.decide(&key, txn, false);
+        for (txn, id) in expired {
+            self.accepted_at.remove(&(txn, id));
+            self.repl_state.remove(&(txn, id));
+            self.storage.decide_id(id, txn, false);
             ctx.metrics().counter("replica.leases_expired").inc();
+        }
+    }
+
+    /// Periodic maintenance riding the lease-sweep timer: trim committed
+    /// version chains and checkpoint the WAL once its tail has grown past
+    /// the configured threshold. Both keep sustained-load memory bounded;
+    /// neither changes observable state (reads see the chain head, and
+    /// replay restarts from the checkpoint snapshot).
+    fn maintain_storage(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.config.gc_keep_versions > 0 {
+            self.storage.gc(self.config.gc_keep_versions);
+        }
+        if self.storage.maybe_checkpoint(self.config.checkpoint_every) {
+            ctx.metrics().counter("replica.checkpoints").inc();
         }
     }
 }
@@ -491,6 +548,7 @@ impl ReplicaActor {
             Msg::DropPending { key, txn } => self.handle_drop_pending(key, txn),
             Msg::ClientTimer { kind: GC_TIMER, .. } => {
                 self.sweep_leases(ctx);
+                self.maintain_storage(ctx);
                 let period = SimDuration::from_micros((self.lease.as_micros() / 2).max(1));
                 ctx.schedule(
                     period,

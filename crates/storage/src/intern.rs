@@ -1,0 +1,103 @@
+//! Key interning: map wire-form [`Key`]s to dense store-local [`KeyId`]s.
+//!
+//! Every store operation used to hash (and often clone) the key string.
+//! Interning pays that hash exactly once per message — at the boundary where
+//! a key enters the replica — and hands back a `u32` index that the hot path
+//! (validate / accept / decide / read) uses for direct vector addressing.
+//!
+//! Determinism note: the interner assigns ids in first-seen order, which in
+//! the simulation is the (deterministic) message order. The internal
+//! `HashMap` is only ever *probed*, never iterated, so no hash-order
+//! nondeterminism can escape; ordered key traversal goes through
+//! [`KeyInterner::keys_sorted`].
+
+use std::collections::HashMap;
+
+use crate::types::{Key, KeyId};
+
+/// A per-store (and therefore per-site, per-shard) key interner.
+#[derive(Debug, Default, Clone)]
+pub struct KeyInterner {
+    ids: HashMap<Key, KeyId>,
+    names: Vec<Key>,
+}
+
+impl KeyInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `key`, assigning the next dense id on first sight. The key is
+    /// only cloned (a refcount bump) the first time it is seen.
+    pub fn intern(&mut self, key: &Key) -> KeyId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = KeyId(u32::try_from(self.names.len()).expect("more than u32::MAX keys interned"));
+        self.names.push(key.clone());
+        self.ids.insert(key.clone(), id);
+        id
+    }
+
+    /// Look up the id of an already-interned key.
+    pub fn get(&self, key: &Key) -> Option<KeyId> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key a given id stands for.
+    ///
+    /// # Panics
+    /// If `id` was not issued by this interner.
+    pub fn name(&self, id: KeyId) -> &Key {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned keys in sorted (not insertion) order, for deterministic
+    /// traversal regardless of arrival order.
+    pub fn keys_sorted(&self) -> Vec<&Key> {
+        let mut keys: Vec<&Key> = self.names.iter().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_dense_ids_in_first_seen_order() {
+        let mut i = KeyInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern(&Key::new("a"));
+        let b = i.intern(&Key::new("b"));
+        assert_eq!(a, KeyId(0));
+        assert_eq!(b, KeyId(1));
+        assert_eq!(i.intern(&Key::new("a")), a, "re-intern is stable");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(b).as_str(), "b");
+        assert_eq!(i.get(&Key::new("b")), Some(b));
+        assert_eq!(i.get(&Key::new("zz")), None);
+    }
+
+    #[test]
+    fn keys_sorted_ignores_insertion_order() {
+        let mut i = KeyInterner::new();
+        for k in ["m", "a", "z"] {
+            i.intern(&Key::new(k));
+        }
+        let sorted: Vec<&str> = i.keys_sorted().iter().map(|k| k.as_str()).collect();
+        assert_eq!(sorted, vec!["a", "m", "z"]);
+    }
+}

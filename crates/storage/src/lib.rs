@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod options;
 pub mod record;
 mod replica;
@@ -19,9 +20,10 @@ mod store;
 pub mod types;
 pub mod wal;
 
+pub use intern::KeyInterner;
 pub use options::{RecordOption, RejectReason, WriteOp};
 pub use record::{CommittedVersion, VersionedRecord};
 pub use replica::Replica;
 pub use store::{ReadResult, Store};
-pub use types::{Bytes, Key, TxnId, Value, VersionNo};
+pub use types::{Bytes, Key, KeyId, TxnId, Value, VersionNo};
 pub use wal::{LogRecord, Wal};

@@ -6,7 +6,7 @@
 
 use crate::options::{RecordOption, RejectReason};
 use crate::store::{ReadResult, Store};
-use crate::types::{Key, TxnId, VersionNo};
+use crate::types::{Key, KeyId, TxnId, VersionNo};
 use crate::wal::{LogRecord, Wal};
 
 /// A write-ahead-logged store replica.
@@ -36,9 +36,21 @@ impl Replica {
         }
     }
 
+    /// Intern a key, returning the dense id the `*_id` hot-path methods
+    /// take. The protocol layer resolves each message's key once and runs
+    /// the whole validate/log/accept sequence on the id.
+    pub fn intern(&mut self, key: &Key) -> KeyId {
+        self.store.intern(key)
+    }
+
     /// Read the latest committed state of a key.
     pub fn read(&self, key: &Key) -> ReadResult {
         self.store.read(key)
+    }
+
+    /// Read the latest committed state by interned id.
+    pub fn read_id(&self, id: KeyId) -> ReadResult {
+        self.store.read_id(id)
     }
 
     /// Validate an option without accepting it.
@@ -46,16 +58,27 @@ impl Replica {
         self.store.validate(key, option)
     }
 
+    /// Validate an option by interned id without accepting it.
+    pub fn validate_id(&self, id: KeyId, option: &RecordOption) -> Result<(), RejectReason> {
+        self.store.validate_id(id, option)
+    }
+
     /// Validate, log and accept an option.
     pub fn accept(&mut self, key: &Key, option: RecordOption) -> Result<(), RejectReason> {
+        let id = self.store.intern(key);
+        self.accept_id(id, option)
+    }
+
+    /// Validate, log and accept an option by interned id.
+    pub fn accept_id(&mut self, id: KeyId, option: RecordOption) -> Result<(), RejectReason> {
         // Validate first so the log never contains an invalid acceptance.
-        self.store.validate(key, &option)?;
+        self.store.validate_id(id, &option)?;
         self.wal.append(LogRecord::OptionAccepted {
-            key: key.clone(),
+            key: self.store.key_name(id).clone(),
             option: option.clone(),
         });
         self.store
-            .accept(key, option)
+            .accept_id(id, option)
             .expect("accept after successful validate cannot fail");
         self.accepted += 1;
         Ok(())
@@ -69,12 +92,32 @@ impl Replica {
 
     /// Log and apply a transaction decision for one key.
     pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
+        match self.store.key_id(key) {
+            Some(id) => self.decide_id(id, txn, commit),
+            None => {
+                // Unknown key: the decision is still logged (the log is the
+                // history of everything learned), but nothing applies.
+                self.wal.append(LogRecord::Decided {
+                    key: key.clone(),
+                    txn,
+                    commit,
+                });
+                if !commit {
+                    self.aborted += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Log and apply a transaction decision by interned id.
+    pub fn decide_id(&mut self, id: KeyId, txn: TxnId, commit: bool) -> Option<VersionNo> {
         self.wal.append(LogRecord::Decided {
-            key: key.clone(),
+            key: self.store.key_name(id).clone(),
             txn,
             commit,
         });
-        let result = self.store.decide(key, txn, commit);
+        let result = self.store.decide_id(id, txn, commit);
         if result.is_some() {
             self.committed += 1;
         } else if !commit {
@@ -92,13 +135,25 @@ impl Replica {
         value: crate::types::Value,
         txn: TxnId,
     ) -> bool {
+        let id = self.store.intern(key);
+        self.install_id(id, version, value, txn)
+    }
+
+    /// Log and apply a state-transfer install by interned id.
+    pub fn install_id(
+        &mut self,
+        id: KeyId,
+        version: VersionNo,
+        value: crate::types::Value,
+        txn: TxnId,
+    ) -> bool {
         self.wal.append(LogRecord::Installed {
-            key: key.clone(),
+            key: self.store.key_name(id).clone(),
             version,
             value: value.clone(),
             txn,
         });
-        self.store.install(key, version, value, txn)
+        self.store.install_id(id, version, value, txn)
     }
 
     /// True if `txn` currently holds a pending option on `key` — used by the
@@ -108,6 +163,41 @@ impl Replica {
         self.store
             .record(key)
             .is_some_and(|r| r.pending().iter().any(|o| o.txn == txn))
+    }
+
+    /// [`Replica::has_pending`] by interned id.
+    pub fn has_pending_id(&self, id: KeyId, txn: TxnId) -> bool {
+        self.store
+            .record_id(id)
+            .pending()
+            .iter()
+            .any(|o| o.txn == txn)
+    }
+
+    /// Checkpoint the WAL: install a snapshot of the live store and drop
+    /// the retained log tail. The recovery invariant is preserved — replay
+    /// restarts from the snapshot — which [`Replica::verify_recovery`]
+    /// continues to check afterwards.
+    pub fn checkpoint(&mut self) {
+        self.wal.checkpoint(&self.store);
+    }
+
+    /// Checkpoint if the retained WAL tail holds at least `threshold`
+    /// records (`threshold` 0 disables). Returns true if one was taken.
+    pub fn maybe_checkpoint(&mut self, threshold: usize) -> bool {
+        if threshold > 0 && self.wal.len() >= threshold {
+            self.checkpoint();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Garbage-collect committed version chains, keeping the newest `keep`
+    /// versions per record. Reads and validation only ever look at the
+    /// chain head, so this never changes observable state.
+    pub fn gc(&mut self, keep: usize) {
+        self.store.gc(keep);
     }
 
     /// The underlying store (read-only).
@@ -202,6 +292,45 @@ mod tests {
 
         let recovered = Replica::recover(r.wal().clone());
         assert_eq!(recovered.read(&k), r.read(&k));
+    }
+
+    #[test]
+    fn recovery_holds_across_checkpoint() {
+        let mut r = Replica::new();
+        let k = Key::new("a");
+        r.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(1))),
+        )
+        .unwrap();
+        r.decide(&k, txn(1), true);
+        r.checkpoint();
+        assert_eq!(r.wal().len(), 0);
+        assert!(r.verify_recovery().is_empty(), "post-checkpoint, pre-tail");
+        r.accept(&k, RecordOption::new(txn(2), 1, WriteOp::add(4)))
+            .unwrap();
+        r.decide(&k, txn(2), true);
+        assert!(r.verify_recovery().is_empty(), "snapshot + tail replay");
+        let recovered = Replica::recover(r.wal().clone());
+        assert_eq!(recovered.read(&k), r.read(&k));
+        assert_eq!(recovered.read(&k).value, Value::Int(5));
+    }
+
+    #[test]
+    fn maybe_checkpoint_honors_threshold() {
+        let mut r = Replica::new();
+        let k = Key::new("a");
+        r.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(1))),
+        )
+        .unwrap();
+        assert!(!r.maybe_checkpoint(0), "0 disables");
+        assert!(!r.maybe_checkpoint(5), "below threshold");
+        r.decide(&k, txn(1), true);
+        assert!(r.maybe_checkpoint(2));
+        assert_eq!(r.wal().len(), 0);
+        assert!(r.verify_recovery().is_empty());
     }
 
     #[test]

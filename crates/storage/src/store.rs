@@ -1,10 +1,17 @@
-//! The per-replica key-value store: an ordered map of versioned records.
+//! The per-replica key-value store: interned keys addressing a dense vector
+//! of versioned records.
+//!
+//! The store keeps two representations of its keyspace: the wire-form
+//! [`Key`] (an `Arc<str>`), and a dense [`KeyId`] assigned by a per-store
+//! [`KeyInterner`]. The `*_id` methods are the hot path — one vector index,
+//! no hashing — and the [`Key`]-addressed methods are boundary conveniences
+//! that resolve the id first. A replica handling a message resolves each
+//! key once and runs the whole validate/log/accept sequence on the id.
 
-use std::collections::BTreeMap;
-
+use crate::intern::KeyInterner;
 use crate::options::{RecordOption, RejectReason};
 use crate::record::VersionedRecord;
-use crate::types::{Key, TxnId, Value, VersionNo};
+use crate::types::{Key, KeyId, TxnId, Value, VersionNo};
 
 /// The result of a read: the committed version and its value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,10 +25,26 @@ pub struct ReadResult {
     pub pending: usize,
 }
 
-/// An in-memory ordered store of versioned records.
-#[derive(Debug, Default)]
+impl ReadResult {
+    fn absent() -> Self {
+        ReadResult {
+            version: 0,
+            value: Value::None,
+            pending: 0,
+        }
+    }
+}
+
+/// An in-memory store of versioned records with interned keys.
+///
+/// `Clone` is intentional: a cloned store is a point-in-time snapshot
+/// (records are value types, keys are refcounted), which is exactly what
+/// [`Wal::checkpoint`](crate::Wal::checkpoint) persists.
+#[derive(Debug, Default, Clone)]
 pub struct Store {
-    records: BTreeMap<Key, VersionedRecord>,
+    interner: KeyInterner,
+    /// Indexed by [`KeyId`]; always the same length as the interner.
+    records: Vec<VersionedRecord>,
 }
 
 impl Store {
@@ -30,94 +53,139 @@ impl Store {
         Self::default()
     }
 
+    // ---- key interning -------------------------------------------------
+
+    /// Intern `key`, creating its (empty) record slot on first sight. This
+    /// is the one place the hot path pays a string hash; everything after
+    /// runs on the returned id.
+    pub fn intern(&mut self, key: &Key) -> KeyId {
+        let id = self.interner.intern(key);
+        if self.records.len() <= id.0 as usize {
+            self.records.push(VersionedRecord::new());
+        }
+        id
+    }
+
+    /// The id of an already-interned key, if any.
+    pub fn key_id(&self, key: &Key) -> Option<KeyId> {
+        self.interner.get(key)
+    }
+
+    /// The key an id stands for.
+    pub fn key_name(&self, id: KeyId) -> &Key {
+        self.interner.name(id)
+    }
+
+    // ---- id-addressed hot path -----------------------------------------
+
+    /// Read the latest committed state by id.
+    pub fn read_id(&self, id: KeyId) -> ReadResult {
+        let r = &self.records[id.0 as usize];
+        ReadResult {
+            version: r.current_version(),
+            value: r.current_value().clone(),
+            pending: r.pending_count(),
+        }
+    }
+
+    /// Validate an option against a record by id without mutating anything.
+    pub fn validate_id(&self, id: KeyId, option: &RecordOption) -> Result<(), RejectReason> {
+        self.records[id.0 as usize].validate(option)
+    }
+
+    /// Validate and accept an option by id.
+    pub fn accept_id(&mut self, id: KeyId, option: RecordOption) -> Result<(), RejectReason> {
+        self.records[id.0 as usize].accept(option)
+    }
+
+    /// Learn a transaction outcome by id; returns the new version if one
+    /// was committed.
+    pub fn decide_id(&mut self, id: KeyId, txn: TxnId, commit: bool) -> Option<VersionNo> {
+        self.records[id.0 as usize].decide(txn, commit)
+    }
+
+    /// Install a committed version by state transfer, by id.
+    pub fn install_id(&mut self, id: KeyId, version: VersionNo, value: Value, txn: TxnId) -> bool {
+        self.records[id.0 as usize].install(version, value, txn)
+    }
+
+    /// Direct access to a record by id.
+    pub fn record_id(&self, id: KeyId) -> &VersionedRecord {
+        &self.records[id.0 as usize]
+    }
+
+    // ---- key-addressed boundary API ------------------------------------
+
     /// Read the latest committed state of a key. Never fails: unknown keys
     /// read as version 0, `Value::None`.
     pub fn read(&self, key: &Key) -> ReadResult {
-        match self.records.get(key) {
-            Some(r) => ReadResult {
-                version: r.current_version(),
-                value: r.current_value().clone(),
-                pending: r.pending_count(),
-            },
-            None => ReadResult {
-                version: 0,
-                value: Value::None,
-                pending: 0,
-            },
+        match self.key_id(key) {
+            Some(id) => self.read_id(id),
+            None => ReadResult::absent(),
         }
     }
 
     /// Validate an option without mutating anything.
     pub fn validate(&self, key: &Key, option: &RecordOption) -> Result<(), RejectReason> {
-        match self.records.get(key) {
-            Some(r) => r.validate(option),
+        match self.key_id(key) {
+            Some(id) => self.validate_id(id, option),
             None => VersionedRecord::new().validate(option),
         }
     }
 
-    /// Validate and accept an option on a key. The key is only cloned the
-    /// first time it is seen; the steady-state path is a plain lookup.
+    /// Validate and accept an option on a key.
     pub fn accept(&mut self, key: &Key, option: RecordOption) -> Result<(), RejectReason> {
-        if let Some(r) = self.records.get_mut(key) {
-            return r.accept(option);
-        }
-        let mut r = VersionedRecord::new();
-        r.accept(option)?;
-        self.records.insert(key.clone(), r);
-        Ok(())
+        let id = self.intern(key);
+        self.accept_id(id, option)
     }
 
     /// Learn a transaction outcome on a key; returns the new version if one
     /// was committed.
     pub fn decide(&mut self, key: &Key, txn: TxnId, commit: bool) -> Option<VersionNo> {
-        self.records
-            .get_mut(key)
-            .and_then(|r| r.decide(txn, commit))
+        self.key_id(key)
+            .and_then(|id| self.decide_id(id, txn, commit))
     }
 
     /// Install a committed version by state transfer; see
     /// [`VersionedRecord::install`].
     pub fn install(&mut self, key: &Key, version: VersionNo, value: Value, txn: TxnId) -> bool {
-        if let Some(r) = self.records.get_mut(key) {
-            return r.install(version, value, txn);
-        }
-        let mut r = VersionedRecord::new();
-        let advanced = r.install(version, value, txn);
-        if advanced {
-            self.records.insert(key.clone(), r);
-        }
-        advanced
+        let id = self.intern(key);
+        self.install_id(id, version, value, txn)
     }
 
-    /// Direct access to a record (e.g. pending inspection), if it exists.
+    /// Direct access to a record (e.g. pending inspection), if its key has
+    /// been interned.
     pub fn record(&self, key: &Key) -> Option<&VersionedRecord> {
-        self.records.get(key)
+        self.key_id(key).map(|id| self.record_id(id))
     }
 
-    /// Number of keys ever written or holding pending options.
+    // ---- whole-store traversal -----------------------------------------
+
+    /// Number of interned keys.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.interner.len()
     }
 
     /// True if no record exists.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.interner.is_empty()
     }
 
-    /// Iterate keys in order.
+    /// Iterate keys in sorted order (deterministic regardless of the order
+    /// keys arrived in).
     pub fn keys(&self) -> impl Iterator<Item = &Key> {
-        self.records.keys()
+        self.interner.keys_sorted().into_iter()
     }
 
     /// Total pending options across all records.
     pub fn total_pending(&self) -> usize {
-        self.records.values().map(|r| r.pending_count()).sum()
+        self.records.iter().map(|r| r.pending_count()).sum()
     }
 
     /// Garbage-collect version chains, keeping the newest `keep` versions of
     /// each record.
     pub fn gc(&mut self, keep: usize) {
-        for r in self.records.values_mut() {
+        for r in &mut self.records {
             r.gc(keep);
         }
     }
@@ -160,6 +228,24 @@ mod tests {
     }
 
     #[test]
+    fn id_path_matches_key_path() {
+        let mut s = Store::new();
+        let k = Key::new("a");
+        let id = s.intern(&k);
+        assert_eq!(s.intern(&k), id, "intern is idempotent");
+        assert_eq!(s.key_id(&k), Some(id));
+        assert_eq!(s.key_name(id), &k);
+        s.accept_id(
+            id,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(7))),
+        )
+        .unwrap();
+        assert_eq!(s.decide_id(id, txn(1), true), Some(1));
+        assert_eq!(s.read_id(id), s.read(&k));
+        assert_eq!(s.record_id(id).version_count(), 1);
+    }
+
+    #[test]
     fn validate_does_not_mutate() {
         let s = Store::new();
         let k = Key::new("a");
@@ -191,6 +277,35 @@ mod tests {
         assert_eq!(s.total_pending(), 3);
         assert_eq!(s.len(), 3);
         assert_eq!(s.keys().count(), 3);
+    }
+
+    #[test]
+    fn keys_iterate_sorted_not_in_arrival_order() {
+        let mut s = Store::new();
+        for k in ["z", "a", "m"] {
+            s.accept(&Key::new(k), RecordOption::new(txn(1), 0, WriteOp::add(1)))
+                .unwrap();
+        }
+        let order: Vec<&str> = s.keys().map(|k| k.as_str()).collect();
+        assert_eq!(order, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let mut s = Store::new();
+        let k = Key::new("a");
+        s.accept(
+            &k,
+            RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(1))),
+        )
+        .unwrap();
+        s.decide(&k, txn(1), true);
+        let snap = s.clone();
+        s.accept(&k, RecordOption::new(txn(2), 1, WriteOp::add(5)))
+            .unwrap();
+        s.decide(&k, txn(2), true);
+        assert_eq!(s.read(&k).value, Value::Int(6));
+        assert_eq!(snap.read(&k).value, Value::Int(1), "snapshot unaffected");
     }
 
     #[test]

@@ -56,14 +56,18 @@ impl From<&str> for Bytes {
     }
 }
 
-/// A record key. Keys are short strings like `"stock:42"`.
+/// A record key. Keys are short strings like `"stock:42"`, shared behind an
+/// `Arc<str>` so cloning one (message fan-out, WAL records) is a refcount
+/// bump rather than a heap copy. Inside a store the hot path goes further
+/// and works on interned [`KeyId`]s; the `Arc<str>` form is for the wire
+/// and API boundary.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Key(pub String);
+pub struct Key(Arc<str>);
 
 impl Key {
     /// Build a key from anything string-like.
     pub fn new(s: impl Into<String>) -> Self {
-        Key(s.into())
+        Key(Arc::from(s.into()))
     }
 
     /// The key as a string slice.
@@ -74,15 +78,27 @@ impl Key {
 
 impl From<&str> for Key {
     fn from(s: &str) -> Self {
-        Key(s.to_string())
+        Key(Arc::from(s))
     }
 }
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key(s)
+        Key(Arc::from(s))
     }
 }
+
+/// A store-local dense handle for an interned [`Key`]: index into the
+/// owning [`KeyInterner`](crate::KeyInterner). Resolving a key to its id
+/// costs one hash at the message boundary; every subsequent store
+/// operation on the id is a plain vector index — no string hashing, no
+/// comparisons, no cloning.
+///
+/// Ids are meaningful only within the interner (and thus the store/replica)
+/// that issued them: they never cross the wire and are never compared
+/// across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub u32);
 
 impl std::fmt::Display for Key {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -43,7 +43,15 @@ pub enum LogRecord {
     },
 }
 
-/// An append-only log with a durable high-water mark.
+/// An append-only log with a durable high-water mark and an optional
+/// checkpoint base.
+///
+/// Without checkpoints the log grows without bound under sustained load.
+/// [`Wal::checkpoint`] snapshots the live store and drops every record at
+/// or below the durable mark; [`Wal::replay`] then starts from the snapshot
+/// and applies only the retained tail. Log sequence numbers are global and
+/// monotonic across checkpoints (`base_lsn` remembers how many records were
+/// folded into the snapshot).
 ///
 /// ```
 /// use planet_storage::{Key, LogRecord, RecordOption, TxnId, Value, Wal, WriteOp};
@@ -61,6 +69,11 @@ pub enum LogRecord {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct Wal {
+    /// Store state as of `base_lsn` (everything below it, applied).
+    snapshot: Option<Store>,
+    /// Global lsn of the first record in `records`.
+    base_lsn: u64,
+    /// The retained log tail.
     records: Vec<LogRecord>,
 }
 
@@ -70,39 +83,84 @@ impl Wal {
         Self::default()
     }
 
-    /// Append a record, returning its log sequence number.
+    /// Append a record, returning its (global) log sequence number.
     pub fn append(&mut self, record: LogRecord) -> u64 {
         self.records.push(record);
-        self.records.len() as u64 - 1
+        self.base_lsn + self.records.len() as u64 - 1
     }
 
-    /// Number of records logged.
+    /// Number of records in the retained tail (records folded into the
+    /// checkpoint snapshot no longer count).
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// True if nothing has been logged.
+    /// True if the retained tail is empty.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
 
-    /// The logged records, in order.
+    /// The retained records, in order.
     pub fn records(&self) -> &[LogRecord] {
         &self.records
     }
 
-    /// Truncate to the first `len` records — models losing the un-flushed
-    /// tail in a crash.
+    /// The global lsn the next [`Wal::append`] will be assigned.
+    pub fn next_lsn(&self) -> u64 {
+        self.base_lsn + self.records.len() as u64
+    }
+
+    /// The global lsn of the first retained record (records below this live
+    /// only inside the checkpoint snapshot).
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// Truncate the *tail* to the first `len` retained records — models
+    /// losing the un-flushed tail in a crash.
     pub fn truncate(&mut self, len: usize) {
         self.records.truncate(len);
     }
 
-    /// Replay the log into a fresh store. Replay is forgiving: records that
+    /// Drop every retained record with lsn below `mark` (exclusive). The
+    /// caller asserts that state up to `mark` is durable elsewhere — i.e. a
+    /// snapshot installed via [`Wal::install_snapshot`] covers it. Marks
+    /// below the current base are a no-op; marks beyond the durable end are
+    /// clamped.
+    pub fn truncate_to(&mut self, mark: u64) {
+        let mark = mark.clamp(self.base_lsn, self.next_lsn());
+        let drop_n = (mark - self.base_lsn) as usize;
+        self.records.drain(..drop_n);
+        self.base_lsn = mark;
+    }
+
+    /// Install a point-in-time store snapshot covering everything below the
+    /// current base lsn. Replay starts from it instead of an empty store.
+    pub fn install_snapshot(&mut self, store: Store) {
+        self.snapshot = Some(store);
+    }
+
+    /// Checkpoint: install `store` (cloned) as the snapshot of everything
+    /// logged so far and drop the entire retained tail. After this,
+    /// [`Wal::replay`] returns the snapshot plus any records appended later.
+    pub fn checkpoint(&mut self, store: &Store) {
+        let mark = self.next_lsn();
+        self.install_snapshot(store.clone());
+        self.truncate_to(mark);
+    }
+
+    /// True if a checkpoint snapshot is installed.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Replay the log into a store: the checkpoint snapshot (or a fresh
+    /// store), plus the retained tail. Replay is forgiving: records that
     /// no longer validate (possible only with a corrupted/truncated log) are
     /// skipped rather than panicking, matching how a recovering replica must
     /// treat a torn log tail.
     pub fn replay(&self) -> Store {
-        let mut store = Store::new();
+        let mut store = self.snapshot.clone().unwrap_or_default();
         for rec in &self.records {
             match rec {
                 LogRecord::OptionAccepted { key, option } => {
@@ -211,5 +269,72 @@ mod tests {
         let r = store.read(&k);
         assert_eq!(r.version, 0);
         assert_eq!(r.pending, 1);
+    }
+
+    #[test]
+    fn checkpoint_preserves_replay_and_frees_tail() {
+        let mut wal = Wal::new();
+        let k = Key::new("a");
+        wal.append(LogRecord::OptionAccepted {
+            key: k.clone(),
+            option: RecordOption::new(txn(1), 0, WriteOp::Set(Value::Int(10))),
+        });
+        wal.append(LogRecord::Decided {
+            key: k.clone(),
+            txn: txn(1),
+            commit: true,
+        });
+        let live = wal.replay();
+        wal.checkpoint(&live);
+        assert_eq!(wal.len(), 0, "tail dropped");
+        assert_eq!(wal.base_lsn(), 2);
+        assert!(wal.has_snapshot());
+        // Lsns stay global and monotonic across the checkpoint.
+        let lsn = wal.append(LogRecord::OptionAccepted {
+            key: k.clone(),
+            option: RecordOption::new(txn(2), 1, WriteOp::add(5)),
+        });
+        assert_eq!(lsn, 2);
+        wal.append(LogRecord::Decided {
+            key: k.clone(),
+            txn: txn(2),
+            commit: true,
+        });
+        let r = wal.replay().read(&k);
+        assert_eq!(r.version, 2);
+        assert_eq!(r.value, Value::Int(15));
+    }
+
+    #[test]
+    fn truncate_to_clamps_and_drops_prefix() {
+        let mut wal = Wal::new();
+        let k = Key::new("a");
+        let log_version = |wal: &mut Wal, v: u64| {
+            wal.append(LogRecord::OptionAccepted {
+                key: k.clone(),
+                option: RecordOption::new(txn(v), v - 1, WriteOp::Set(Value::Int(v as i64))),
+            });
+            wal.append(LogRecord::Decided {
+                key: k.clone(),
+                txn: txn(v),
+                commit: true,
+            });
+        };
+        log_version(&mut wal, 1);
+        log_version(&mut wal, 2);
+        let durable = wal.replay(); // state as of lsn 4
+        log_version(&mut wal, 3);
+        wal.install_snapshot(durable);
+        wal.truncate_to(4);
+        assert_eq!(wal.base_lsn(), 4);
+        assert_eq!(wal.len(), 2, "undurable tail retained");
+        let r = wal.replay().read(&k);
+        assert_eq!((r.version, r.value), (3, Value::Int(3)));
+        // Below-base and beyond-end marks are clamped, not panics.
+        wal.truncate_to(0);
+        assert_eq!(wal.base_lsn(), 4);
+        wal.truncate_to(1_000);
+        assert_eq!(wal.base_lsn(), 6);
+        assert!(wal.is_empty());
     }
 }
