@@ -1,0 +1,143 @@
+//! Per-file call graph and reachability, used by the panic/time/callback
+//! passes to follow handler code into the helper functions it calls.
+//!
+//! Resolution is *name-based and file-local*: a call site `foo(...)` or
+//! `self.foo(...)` / `Self::foo(...)` resolves to a function named `foo`
+//! defined in the same file. Cross-file calls (into other crates or
+//! modules) are treated as opaque — the protocol crates keep each actor's
+//! helpers in the actor's own file, so this is exact where it matters and
+//! conservative elsewhere.
+
+use crate::lexer::Tok;
+use crate::parse::{fns, FnDef};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+
+/// The call graph of one source file.
+pub struct CallGraph {
+    /// All function definitions in the file, keyed by name. Rust allows
+    /// duplicate method names across impl blocks; later definitions are
+    /// kept too (a call to the name reaches *all* of them — conservative).
+    pub fns: Vec<FnDef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// callees[i] = indices of functions called (by name) from fns[i].
+    pub callees: Vec<BTreeSet<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from a file's token stream.
+    pub fn build(toks: &[Tok]) -> CallGraph {
+        let defs = fns(toks);
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in defs.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let mut callees = vec![BTreeSet::new(); defs.len()];
+        for (i, f) in defs.iter().enumerate() {
+            for name in call_names(toks, f.body.clone()) {
+                if let Some(targets) = by_name.get(&name) {
+                    for &t in targets {
+                        if t != i {
+                            callees[i].insert(t);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph {
+            fns: defs,
+            by_name,
+            callees,
+        }
+    }
+
+    /// Indices of functions with the given name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Transitive closure of callees from the given roots (roots included).
+    pub fn reachable(&self, roots: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: VecDeque<usize> = roots.into_iter().collect();
+        while let Some(i) = queue.pop_front() {
+            if !seen.insert(i) {
+                continue;
+            }
+            for &c in &self.callees[i] {
+                if !seen.contains(&c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Names that appear in call position within `range`: `name(`,
+/// `self.name(`, `Self::name(`. Field accesses and paths into other types
+/// (`other.name(`, `Type::name(`) are included too — they only matter if a
+/// same-file fn shares the name, which over-approximates safely.
+pub fn call_names(toks: &[Tok], range: Range<usize>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut i = range.start;
+    while i + 1 < range.end {
+        let t = &toks[i];
+        if t.kind == crate::lexer::TokKind::Ident && toks[i + 1].is_punct('(') {
+            // Exclude definitions (`fn name(`) and control keywords.
+            let is_def = i > range.start && toks[i - 1].is_ident("fn");
+            let kw = matches!(t.text.as_str(), "if" | "while" | "for" | "match" | "loop");
+            if !is_def && !kw {
+                names.insert(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn resolves_local_calls_transitively() {
+        let src = r#"
+            fn a() { b(); }
+            fn b() { self.c(1); }
+            fn c(x: u32) { external(x); }
+            fn lonely() {}
+        "#;
+        let lexed = lex(src);
+        let cg = CallGraph::build(&lexed.toks);
+        let a = cg.named("a")[0];
+        let reach = cg.reachable([a]);
+        let names: Vec<&str> = reach.iter().map(|&i| cg.fns[i].name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_method_names_reach_all() {
+        let src = r#"
+            fn root() { self.step(); }
+            fn step() { one(); }
+            fn step(x: u32) { two(); }
+        "#;
+        let lexed = lex(src);
+        let cg = CallGraph::build(&lexed.toks);
+        let root = cg.named("root")[0];
+        let reach = cg.reachable([root]);
+        assert_eq!(reach.len(), 3, "both `step` defs reached");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = "fn f() { f(); g(); } fn g() { f(); }";
+        let lexed = lex(src);
+        let cg = CallGraph::build(&lexed.toks);
+        let f = cg.named("f")[0];
+        let reach = cg.reachable([f]);
+        assert_eq!(reach.len(), 2);
+    }
+}

@@ -6,7 +6,11 @@
 //! edges, that the live-cluster runtime acquires its locks in one global
 //! order, and that the simulation-deterministic crates never read a wall
 //! clock. This crate is a small compiler-shaped pipeline that checks exactly
-//! those four things and nothing else.
+//! those protocol-specific properties and nothing else. On top of the
+//! lexical passes, a structural CFG + dataflow layer checks path-sensitive
+//! properties: every quorum wait reaches a timeout edge (`time`), progress
+//! callbacks never block the drive loop (`callback`), and no panic source
+//! is reachable from an actor drive loop (`panic`).
 //!
 //! Architecture (front to back):
 //!
@@ -16,18 +20,26 @@
 //! * [`parse`] — structural recovery of the item shapes passes need: enums
 //!   with per-variant field counts, function bodies as token ranges, struct
 //!   fields with type text.
+//! * [`cfg`] — per-function control-flow graphs over the parser's token
+//!   ranges plus a bitset must/may dataflow solver; [`callgraph`] adds
+//!   file-local call resolution and reachability on top.
 //! * [`model`] — the shared [`model::Workspace`] every pass reads, plus the
 //!   [`model::Pass`] trait and pipeline driver.
-//! * [`passes`] — the four analyses: `wire`, `state`, `locks`,
-//!   `determinism`.
+//! * [`passes`] — the analyses: lexical (`wire`, `state`, `locks`,
+//!   `determinism`) and dataflow-based (`time`, `callback`, `panic`).
 //! * [`diag`] — span-carrying diagnostics with stable codes, rendered as a
 //!   compiler-style text report or JSON for CI.
+//! * [`baseline`] — findings snapshots so new passes can ship strict while
+//!   CI fails only on findings *not* in the committed baseline.
 //!
 //! Adding a pass is: implement [`model::Pass`], register it in
 //! [`model::all_passes`]. Passes are pure functions of the workspace model,
 //! so fixture tests drive them with in-memory sources via
 //! [`model::Workspace::from_sources`].
 
+pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
 pub mod diag;
 pub mod lexer;
 pub mod model;

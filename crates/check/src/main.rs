@@ -6,15 +6,19 @@
 //! cargo run -p planet-check -- --json      # JSON for CI
 //! cargo run -p planet-check -- --pass wire # a single pass
 //! cargo run -p planet-check -- --fix-allow # append allow-markers at findings
+//! cargo run -p planet-check -- --baseline check-baseline.tsv   # CI gate
 //! ```
 //!
 //! Exit status is 0 when no error-severity diagnostics were produced, 1
-//! otherwise — the CI gate is just the exit code.
+//! otherwise — the CI gate is just the exit code. With `--baseline`, known
+//! findings recorded in the baseline file are reported separately and only
+//! *new* errors fail the run, so a legacy debt list can be burned down
+//! without blocking unrelated changes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use planet_check::{all_passes, diag, run_passes, Severity, Workspace};
+use planet_check::{all_passes, baseline::Baseline, diag, run_passes, Severity, Workspace};
 
 struct Opts {
     root: PathBuf,
@@ -22,6 +26,8 @@ struct Opts {
     fix_allow: bool,
     list: bool,
     passes: Vec<String>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -31,6 +37,8 @@ fn parse_args() -> Result<Opts, String> {
         fix_allow: false,
         list: false,
         passes: Vec::new(),
+        baseline: None,
+        write_baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,15 +58,31 @@ fn parse_args() -> Result<Opts, String> {
                         .ok_or_else(|| "--pass needs a name".to_string())?,
                 );
             }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--baseline needs a path".to_string())?,
+                ));
+            }
+            "--write-baseline" => {
+                opts.write_baseline =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        "--write-baseline needs a path".to_string()
+                    })?));
+            }
             "--help" | "-h" => {
                 println!(
                     "planet-check: protocol-aware static analysis\n\n\
-                     USAGE: planet-check [--root <dir>] [--pass <name>]... [--json] [--fix-allow] [--list]\n\n\
-                     --root <dir>   workspace root (default: current directory)\n\
-                     --pass <name>  run only the named pass (repeatable); see --list\n\
-                     --json         machine-readable output\n\
-                     --fix-allow    append `// check:allow(determinism)` at DET findings\n\
-                     --list         list the registered passes and exit"
+                     USAGE: planet-check [--root <dir>] [--pass <name>]... [--json] [--fix-allow] [--list]\n\
+                     \x20                   [--baseline <file>] [--write-baseline <file>]\n\n\
+                     --root <dir>           workspace root (default: current directory)\n\
+                     --pass <name>          run only the named pass (repeatable); see --list\n\
+                     --json                 machine-readable output\n\
+                     --fix-allow            append `// check:allow(determinism)` at DET findings\n\
+                     --list                 list the registered passes and exit\n\
+                     --baseline <file>      suppress findings recorded in <file>; only NEW\n\
+                     \x20                       errors fail the run\n\
+                     --write-baseline <file> snapshot current findings to <file> and exit 0"
                 );
                 std::process::exit(0);
             }
@@ -151,13 +175,65 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.json {
-        print!("{}", diag::render_json(&diags));
-    } else {
-        print!("{}", diag::render_text(&diags));
+    if let Some(path) = &opts.write_baseline {
+        let baseline = Baseline::from_diags(diags.iter());
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!(
+                "planet-check: cannot write baseline {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "planet-check: wrote {} baseline entr{} to {}",
+            baseline.len(),
+            if baseline.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
-    let errors = diags.iter().any(|d| d.severity == Severity::Error);
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("planet-check: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("planet-check: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    let gated: Vec<diag::Diagnostic> = match &baseline {
+        Some(b) => {
+            let (fresh, old) = b.filter(&diags);
+            if !old.is_empty() {
+                eprintln!(
+                    "planet-check: {} baselined finding(s) suppressed",
+                    old.len()
+                );
+            }
+            fresh.into_iter().cloned().collect()
+        }
+        None => diags.clone(),
+    };
+
+    if opts.json {
+        print!("{}", diag::render_json(&gated));
+    } else {
+        print!("{}", diag::render_text(&gated));
+    }
+
+    let errors = gated.iter().any(|d| d.severity == Severity::Error);
     if errors && !opts.fix_allow {
         ExitCode::FAILURE
     } else {

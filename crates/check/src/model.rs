@@ -186,6 +186,9 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(crate::passes::state::StateMachinePass),
         Box::new(crate::passes::locks::LockOrderPass),
         Box::new(crate::passes::determinism::DeterminismPass),
+        Box::new(crate::passes::time::TimePass),
+        Box::new(crate::passes::callback::CallbackPass),
+        Box::new(crate::passes::panic::PanicPass),
     ]
 }
 

@@ -1,0 +1,183 @@
+//! Progress-callback safety: code reachable from a registered progress
+//! callback must never block or re-enter the engine.
+//!
+//! `PlanetTxn::fire` invokes every registered callback synchronously from
+//! whatever thread is driving the transaction — in simulation that is the
+//! event loop itself, live it is the runtime's forwarder thread. A callback
+//! that takes a drive-loop lock deadlocks the driver; one that blocks on a
+//! channel stalls every other transaction's events; one that submits new
+//! work re-enters `Db`/engine paths that are not re-entrant. Codes:
+//!
+//! * **CB001** — callback-reachable code calls `.lock()`.
+//! * **CB002** — callback-reachable code blocks: `recv()`, `recv_timeout()`,
+//!   `join()`, or constructs a bounded `sync_channel` (whose `send` blocks).
+//! * **CB003** — callback-reachable code re-enters the engine: `submit`,
+//!   `submit_at`, `submit_after`, `run_for`, `run_until`,
+//!   `run_to_completion`, or `commit` calls.
+//!
+//! Roots are the closure expressions registered via `callbacks.push(..)` /
+//! `.on_progress(..)` in `crates/core/src`, plus every same-file function
+//! they call (transitively). Suppress with `// check:allow(callback)`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::callgraph::{call_names, CallGraph};
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::model::{Pass, SourceFile, Workspace};
+use crate::parse::skip_group;
+
+/// Method calls that block the calling thread (CB002).
+const BLOCKING_METHODS: &[&str] = &["recv", "recv_timeout", "join"];
+
+/// Calls that re-enter engine/commit paths (CB003).
+const REENTRY_METHODS: &[&str] = &[
+    "submit",
+    "submit_at",
+    "submit_after",
+    "run_for",
+    "run_until",
+    "run_to_completion",
+    "commit",
+];
+
+/// Argument ranges of callback registrations: `callbacks.push(..)` and
+/// `.on_progress(..)` call sites.
+fn registration_args(toks: &[Tok]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        let is_push_reg = i >= 2
+            && toks[i].is_ident("push")
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].is_ident("callbacks");
+        let is_on_progress = toks[i].is_ident("on_progress") && i >= 1 && toks[i - 1].is_punct('.');
+        if (is_push_reg || is_on_progress) && toks[i + 1].is_punct('(') {
+            let end = skip_group(toks, i + 1, '(', ')');
+            out.push(i + 2..end - 1);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(name, line)` of calls matching `methods` (as `.name(` or bare
+/// `name(`) inside `range`.
+fn offending_calls(toks: &[Tok], range: Range<usize>, methods: &[&str]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i + 1 < range.end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && methods.contains(&t.text.as_str())
+            && toks[i + 1].is_punct('(')
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            out.push((t.text.clone(), t.line));
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag(
+    out: &mut Vec<Diagnostic>,
+    file: &SourceFile,
+    code: &'static str,
+    line: u32,
+    message: String,
+    suggestion: &str,
+) {
+    if file.allowed("callback", line) {
+        return;
+    }
+    out.push(Diagnostic::error(code, &file.path, line, message).with_suggestion(suggestion));
+}
+
+/// The callback-safety pass.
+pub struct CallbackPass;
+
+impl Pass for CallbackPass {
+    fn name(&self) -> &'static str {
+        "callback"
+    }
+
+    fn description(&self) -> &'static str {
+        "progress callbacks never lock, block, or re-enter the engine"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files_under("crates/core/src/") {
+            let toks = file.toks();
+            let regs = registration_args(toks);
+            if regs.is_empty() {
+                continue;
+            }
+            let cg = CallGraph::build(toks);
+            // Callback-reachable code: the registration arguments (the
+            // closures themselves) plus every same-file function they call.
+            let mut roots: BTreeSet<usize> = BTreeSet::new();
+            for r in &regs {
+                for name in call_names(toks, r.clone()) {
+                    roots.extend(cg.named(&name).iter().copied());
+                }
+            }
+            let reach = cg.reachable(roots);
+            let mut regions: Vec<Range<usize>> = regs.clone();
+            regions.extend(reach.iter().map(|&f| cg.fns[f].body.clone()));
+
+            for region in regions {
+                for (name, line) in offending_calls(toks, region.clone(), &["lock"]) {
+                    flag(
+                        out,
+                        file,
+                        "CB001",
+                        line,
+                        format!("progress callback takes a lock via `.{name}()`"),
+                        "callbacks run on the driver thread; hand the event to a channel and do locked work elsewhere, or annotate with `// check:allow(callback)`",
+                    );
+                }
+                for (name, line) in offending_calls(toks, region.clone(), BLOCKING_METHODS) {
+                    flag(
+                        out,
+                        file,
+                        "CB002",
+                        line,
+                        format!("progress callback blocks on `.{name}()`"),
+                        "never block in a callback — forward through a non-blocking channel send instead, or annotate with `// check:allow(callback)`",
+                    );
+                }
+                // `sync_channel` creation inside a callback means its
+                // blocking `send` end is about to be used there.
+                let mut i = region.start;
+                while i < region.end.min(toks.len()) {
+                    if toks[i].is_ident("sync_channel") || toks[i].is_ident("SyncSender") {
+                        flag(
+                            out,
+                            file,
+                            "CB002",
+                            toks[i].line,
+                            "progress callback uses a bounded sync channel whose send blocks"
+                                .to_string(),
+                            "use an unbounded `mpsc::channel` from callbacks, or annotate with `// check:allow(callback)`",
+                        );
+                    }
+                    i += 1;
+                }
+                for (name, line) in offending_calls(toks, region.clone(), REENTRY_METHODS) {
+                    flag(
+                        out,
+                        file,
+                        "CB003",
+                        line,
+                        format!("progress callback re-enters the engine via `{name}(..)`"),
+                        "engine/commit paths are not re-entrant from callbacks; record the intent and submit from the driver loop, or annotate with `// check:allow(callback)`",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -50,8 +50,9 @@ const ORDER_METHODS: &[&str] = &[
 ];
 
 /// Token index ranges covered by `#[cfg(test)]` items (test modules may use
-/// real time and unordered iteration freely).
-fn cfg_test_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
+/// real time and unordered iteration freely). Shared with the panic pass,
+/// which likewise exempts test code.
+pub(crate) fn cfg_test_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 6 < toks.len() {

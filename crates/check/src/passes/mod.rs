@@ -1,9 +1,14 @@
-//! The pass pipeline: four protocol-aware analyses over the shared model,
-//! plus token-scanning helpers they have in common.
+//! The pass pipeline: protocol-aware analyses over the shared model, plus
+//! token-scanning helpers they have in common. `wire`/`state`/`locks`/
+//! `determinism` are lexical; `time`/`callback`/`panic` run on the CFG +
+//! dataflow layer in [`crate::cfg`].
 
+pub mod callback;
 pub mod determinism;
 pub mod locks;
+pub mod panic;
 pub mod state;
+pub mod time;
 pub mod wire;
 
 use crate::lexer::{Tok, TokKind};

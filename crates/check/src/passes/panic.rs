@@ -1,0 +1,172 @@
+//! Panic-reachability lints: no panic source may be reachable from an
+//! actor drive loop.
+//!
+//! A panic inside `Actor::on_message` tears down the whole single-threaded
+//! simulation; live, it kills the node thread and the site goes dark
+//! without the failure-injection machinery ever seeing it. The drive loops
+//! are the roots:
+//!
+//! * `crates/mdcc/src`: every `on_message` / `on_start` body (the actor
+//!   handlers `planet_sim::drive` calls), plus everything they reach in the
+//!   same file.
+//! * `crates/cluster/src`: `run_node` / `run_pool` (the live node drive
+//!   loops), plus same-file reachability.
+//!
+//! Codes:
+//!
+//! * **PANIC001** — `.unwrap()` / `.expect(..)` reachable from a root.
+//! * **PANIC002** — slice/array indexing (`x[i]`, which panics out of
+//!   bounds) or an explicit `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` reachable from a root.
+//!
+//! `assert!`-family macros are deliberately *not* flagged: a failed
+//! invariant assertion is a bug the protocol wants loud, whereas an
+//! `unwrap` on a lookup is a latent crash on a legal-but-unexpected
+//! message. Arithmetic overflow is also out of scope (release builds wrap;
+//! debug panics there are covered by the assert rationale). Sites that are
+//! provably in-bounds (e.g. indexing a layout asserted at construction)
+//! carry `// check:allow(panic)` with a justification.
+//!
+//! Test code (`#[cfg(test)]` items) is exempt.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::model::{Pass, SourceFile, Workspace};
+use crate::passes::determinism::cfg_test_ranges;
+
+/// Scope → root function names.
+const SCOPES: &[(&str, &[&str])] = &[
+    ("crates/mdcc/src/", &["on_message", "on_start"]),
+    ("crates/cluster/src/", &["run_node", "run_pool"]),
+];
+
+/// Panic-family macros flagged by PANIC002.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn in_ranges(ranges: &[Range<usize>], idx: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&idx))
+}
+
+/// True when `toks[i]` is a `[` used as an index expression: preceded by an
+/// identifier, `)`, or `]` (a value), not by `#`/`!`/type syntax.
+fn is_index_bracket(toks: &[Tok], i: usize) -> bool {
+    if !toks[i].is_punct('[') || i == 0 {
+        return false;
+    }
+    let p = &toks[i - 1];
+    p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']')
+}
+
+fn flag(
+    out: &mut Vec<Diagnostic>,
+    file: &SourceFile,
+    code: &'static str,
+    line: u32,
+    message: String,
+    suggestion: &str,
+) {
+    if file.allowed("panic", line) {
+        return;
+    }
+    out.push(Diagnostic::error(code, &file.path, line, message).with_suggestion(suggestion));
+}
+
+/// The panic-reachability pass.
+pub struct PanicPass;
+
+impl Pass for PanicPass {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/index/panic reachable from an actor drive loop"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (scope, root_names) in SCOPES {
+            for file in ws.files_under(scope) {
+                let toks = file.toks();
+                let skip = cfg_test_ranges(toks);
+                let cg = CallGraph::build(toks);
+                let mut roots: BTreeSet<usize> = BTreeSet::new();
+                for name in *root_names {
+                    roots.extend(
+                        cg.named(name)
+                            .iter()
+                            .filter(|&&f| !in_ranges(&skip, cg.fns[f].body.start))
+                            .copied(),
+                    );
+                }
+                if roots.is_empty() {
+                    continue;
+                }
+                let reach = cg.reachable(roots);
+                for &fi in &reach {
+                    let f = &cg.fns[fi];
+                    if in_ranges(&skip, f.body.start) {
+                        continue; // helper defined inside a test module
+                    }
+                    let mut i = f.body.start;
+                    while i < f.body.end.min(toks.len()) {
+                        let t = &toks[i];
+                        // PANIC001: .unwrap() / .expect(..)
+                        if (t.is_ident("unwrap") || t.is_ident("expect"))
+                            && i > f.body.start
+                            && toks[i - 1].is_punct('.')
+                            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                        {
+                            flag(
+                                out,
+                                file,
+                                "PANIC001",
+                                t.line,
+                                format!(
+                                    "`.{}()` reachable from actor drive loop (via `{}`)",
+                                    t.text, f.name
+                                ),
+                                "a lost or reordered message makes this a crash, not a protocol retry — use `let .. else`/`match` and drop or log the unexpected case, or annotate with `// check:allow(panic)` and justify",
+                            );
+                        }
+                        // PANIC002: panic-family macros.
+                        if t.kind == TokKind::Ident
+                            && PANIC_MACROS.contains(&t.text.as_str())
+                            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                        {
+                            flag(
+                                out,
+                                file,
+                                "PANIC002",
+                                t.line,
+                                format!(
+                                    "`{}!` reachable from actor drive loop (via `{}`)",
+                                    t.text, f.name
+                                ),
+                                "drive loops must stay up through unexpected input; handle the case or annotate with `// check:allow(panic)`",
+                            );
+                        }
+                        // PANIC002: slice/array indexing.
+                        if is_index_bracket(toks, i) {
+                            flag(
+                                out,
+                                file,
+                                "PANIC002",
+                                t.line,
+                                format!(
+                                    "slice index reachable from actor drive loop (via `{}`) panics out of bounds",
+                                    f.name
+                                ),
+                                "use `.get(..)` and handle `None`, or annotate with `// check:allow(panic)` citing the invariant that bounds the index",
+                            );
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}

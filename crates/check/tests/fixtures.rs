@@ -475,3 +475,467 @@ fn determinism_thread_rng_fires() {
         "DET003 must fire on thread_rng: {diags:?}"
     );
 }
+
+// ---- time ----
+
+#[test]
+fn time_unarmed_wait_insert_fires_on_bare_branch() {
+    // One branch arms TxnTimeout next to the inflight insert, the other
+    // registers the wait bare: only the bare one is a liveness hole.
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn submit(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        if fast {
+            self.inflight.insert(txn, state);
+            ctx.schedule(delay, Msg::TxnTimeout { txn });
+        } else {
+            self.inflight.insert(txn, state);
+        }
+    }
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::TxnTimeout { txn } => self.reap(txn),
+            _ => {}
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "TIME001").collect();
+    assert_eq!(hits.len(), 1, "exactly the unarmed insert: {diags:?}");
+    assert_eq!(hits[0].file, "crates/mdcc/src/coordinator.rs");
+    assert_eq!(hits[0].line, 8);
+    assert!(hits[0].message.contains("inflight"));
+    assert!(hits[0].message.contains("TxnTimeout"));
+}
+
+#[test]
+fn time_armed_wait_insert_is_quiet() {
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn submit(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        self.inflight.insert(txn, state);
+        ctx.schedule(delay, Msg::TxnTimeout { txn });
+    }
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::TxnTimeout { txn } => self.reap(txn),
+            _ => {}
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    assert!(
+        !diags.iter().any(|d| d.code == "TIME001"),
+        "insert and schedule share a path: {diags:?}"
+    );
+}
+
+#[test]
+fn time_allow_marker_silences_unarmed_insert() {
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn adopt(&mut self, txn: TxnId) {
+        // check:allow(time): adopted entries are swept by the lease GC
+        self.inflight.insert(txn, state);
+    }
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        ctx.schedule(delay, Msg::TxnTimeout { txn });
+        match msg {
+            Msg::TxnTimeout { txn } => self.reap(txn),
+            _ => {}
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    assert!(
+        !diags.iter().any(|d| d.code == "TIME001"),
+        "allow marker must silence TIME001: {diags:?}"
+    );
+}
+
+#[test]
+fn time_scheduled_but_unhandled_timer_fires() {
+    let w = ws(&[(
+        "crates/mdcc/src/gc.rs",
+        r#"
+impl GcActor {
+    fn arm(&mut self, ctx: &mut Ctx) {
+        ctx.schedule(delay, Msg::GcTick);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "TIME002")
+        .expect("TIME002 must fire for an unhandled timer");
+    assert!(hit.message.contains("Msg::GcTick"));
+    assert_eq!(hit.file, "crates/mdcc/src/gc.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn time_handled_timer_is_quiet() {
+    let w = ws(&[(
+        "crates/mdcc/src/gc.rs",
+        r#"
+impl GcActor {
+    fn arm(&mut self, ctx: &mut Ctx) {
+        ctx.schedule(delay, Msg::GcTick);
+    }
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::GcTick => self.sweep(),
+            _ => {}
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    assert!(
+        !diags.iter().any(|d| d.code == "TIME002"),
+        "handled timer must be quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn time_oneshot_handler_insert_without_rearm_fires() {
+    // The `recent` map shape: only the TxnTimeout handler reclaims it, and
+    // the handler path inserts after consuming the one-shot timer.
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn begin(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        self.inflight.insert(txn, state);
+        ctx.schedule(delay, Msg::TxnTimeout { txn });
+    }
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        match msg {
+            Msg::TxnTimeout { txn } => self.handle_timeout(txn, ctx),
+            _ => {}
+        }
+    }
+    fn handle_timeout(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        let gone = self.recent.remove(&txn);
+        self.recent.insert(txn, gone);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "TIME003")
+        .expect("TIME003 must fire for the starved one-shot sweep");
+    assert!(hit.message.contains("recent"));
+    assert!(hit.message.contains("TxnTimeout"));
+    assert!(hit.message.contains("handle_timeout"));
+    assert_eq!(hit.file, "crates/mdcc/src/coordinator.rs");
+    assert_eq!(hit.line, 15);
+}
+
+#[test]
+fn time_oneshot_handler_that_rearms_is_quiet() {
+    let w = ws(&[(
+        "crates/mdcc/src/coordinator.rs",
+        r#"
+impl CoordinatorActor {
+    fn begin(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        self.inflight.insert(txn, state);
+        ctx.schedule(delay, Msg::TxnTimeout { txn });
+    }
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        match msg {
+            Msg::TxnTimeout { txn } => self.handle_timeout(txn, ctx),
+            _ => {}
+        }
+    }
+    fn handle_timeout(&mut self, txn: TxnId, ctx: &mut Ctx) {
+        let gone = self.recent.remove(&txn);
+        self.recent.insert(txn, gone);
+        ctx.schedule(delay, Msg::TxnTimeout { txn });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "time");
+    assert!(
+        !diags.iter().any(|d| d.code == "TIME003"),
+        "re-armed handler must be quiet: {diags:?}"
+    );
+}
+
+// ---- callback ----
+
+#[test]
+fn callback_lock_in_registered_closure_fires() {
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.callbacks.push(Box::new(move |ev| {
+            let g = state.lock();
+            g.record(ev);
+        }));
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "CB001")
+        .expect("CB001 must fire on a lock in a callback");
+    assert_eq!(hit.file, "crates/core/src/txn.rs");
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn callback_lock_via_same_file_helper_fires() {
+    // The closure itself is clean; the helper it calls takes the lock.
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.on_progress(move |ev| apply(ev));
+    }
+}
+fn apply(ev: Event) {
+    let g = STATE.lock();
+    g.record(ev);
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "CB001")
+        .expect("CB001 must follow the call into the helper");
+    assert_eq!(hit.line, 8);
+}
+
+#[test]
+fn callback_blocking_recv_and_sync_channel_fire() {
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.callbacks.push(Box::new(move |ev| {
+            let ack = reply_rx.recv();
+            let (tx, rx) = sync_channel(1);
+        }));
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "CB002").collect();
+    assert_eq!(hits.len(), 2, "recv + sync_channel: {diags:?}");
+    assert_eq!(hits[0].line, 5);
+    assert_eq!(hits[1].line, 6);
+}
+
+#[test]
+fn callback_engine_reentry_fires() {
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.on_progress(move |ev| {
+            engine.submit(follow_up(ev));
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "CB003")
+        .expect("CB003 must fire on submit from a callback");
+    assert!(hit.message.contains("submit"));
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn callback_nonblocking_forward_is_quiet() {
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.callbacks.push(Box::new(move |ev| {
+            let _ = tx.send(ev);
+        }));
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    assert!(
+        diags.is_empty(),
+        "an unbounded-channel forward is the sanctioned shape: {diags:?}"
+    );
+}
+
+#[test]
+fn callback_allow_marker_suppresses() {
+    let w = ws(&[(
+        "crates/core/src/txn.rs",
+        r#"
+impl PlanetTxn {
+    fn register(&mut self) {
+        self.callbacks.push(Box::new(move |ev| {
+            // check:allow(callback): metrics mutex is never held across fire
+            let g = metrics.lock();
+            g.bump(ev);
+        }));
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "callback");
+    assert!(diags.is_empty(), "allow marker must suppress: {diags:?}");
+}
+
+// ---- panic ----
+
+#[test]
+fn panic_unwrap_reachable_from_on_message_fires() {
+    // The unwrap is two hops from the drive loop; reachability must find it.
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        self.handle(msg);
+    }
+    fn handle(&mut self, msg: Msg) {
+        let rec = self.store.get(&key).unwrap();
+        rec.bump();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "panic");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "PANIC001")
+        .expect("PANIC001 must fire on the reachable unwrap");
+    assert!(hit.message.contains("handle"));
+    assert_eq!(hit.file, "crates/mdcc/src/replica_actor.rs");
+    assert_eq!(hit.line, 7);
+}
+
+#[test]
+fn panic_expect_in_cluster_drive_loop_fires() {
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+fn run_node(rx: Receiver<Msg>) {
+    loop {
+        let msg = rx.recv().expect("channel closed");
+        dispatch(msg);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "panic");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "PANIC001")
+        .expect("PANIC001 must fire in run_node");
+    assert!(hit.message.contains("run_node"));
+    assert_eq!(hit.file, "crates/cluster/src/node.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn panic_macro_and_index_fire_as_panic002() {
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::Decide { txn } => self.decide(txn),
+            _ => unreachable!(),
+        }
+        let first = self.peers[0];
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "panic");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "PANIC002").collect();
+    assert_eq!(hits.len(), 2, "macro + index: {diags:?}");
+    assert_eq!(hits[0].line, 6);
+    assert_eq!(hits[1].line, 8);
+}
+
+#[test]
+fn panic_checked_get_is_quiet_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        let Some(rec) = self.store.get(&key) else {
+            return;
+        };
+        // check:allow(panic): shard index asserted at construction
+        let peer = self.peers[rec.shard];
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "panic");
+    assert!(
+        diags.is_empty(),
+        "checked lookup + allowed index must be quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_unwrap_in_test_module_is_exempt() {
+    let w = ws(&[(
+        "crates/mdcc/src/replica_actor.rs",
+        r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        self.apply(msg);
+    }
+    fn apply(&mut self, msg: Msg) {
+        let _ = msg;
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn on_message(h: &mut Harness) {
+        h.queue.pop().unwrap();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "panic");
+    assert!(diags.is_empty(), "test-module roots are exempt: {diags:?}");
+}

@@ -310,7 +310,9 @@ fn run_node(
             let now = clock.now();
             match state.timers.peek() {
                 Some(Reverse(entry)) if entry.at <= now => {
-                    let Reverse(entry) = state.timers.pop().expect("peeked");
+                    let Some(Reverse(entry)) = state.timers.pop() else {
+                        break;
+                    };
                     drive_into(
                         actor.as_mut(),
                         inputs(now),
@@ -540,8 +542,12 @@ fn run_pool(
             let now = clock.now();
             match timers.peek() {
                 Some(Reverse(entry)) if entry.at <= now => {
-                    let Reverse(entry) = timers.pop().expect("peeked");
-                    let member = &mut pool[entry.member];
+                    let Some(Reverse(entry)) = timers.pop() else {
+                        break;
+                    };
+                    let Some(member) = pool.get_mut(entry.member) else {
+                        break; // timer for a member that was never pooled
+                    };
                     drive_into(
                         member.actor.as_mut(),
                         inputs(member.id, now),
@@ -597,7 +603,10 @@ fn run_pool(
                                 continue;
                             };
                             let now = clock.now();
-                            let member = &mut pool[idx];
+                            let Some(member) = pool.get_mut(idx) else {
+                                metrics.counter("plane.pool.misrouted").add(1);
+                                continue;
+                            };
                             drive_into(
                                 member.actor.as_mut(),
                                 inputs(member.id, now),

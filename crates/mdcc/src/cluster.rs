@@ -155,7 +155,12 @@ impl Actor<Msg> for TestClient {
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
             Msg::ClientTimer { kind: 0, tag } => {
-                let spec = self.script[tag as usize].1.clone();
+                // Timers are only armed for script entries, but a forged or
+                // duplicated timer tag must not crash the client actor.
+                let Some((_, spec)) = self.script.get(tag as usize) else {
+                    return;
+                };
+                let spec = spec.clone();
                 let me = ctx.self_id();
                 ctx.send(
                     self.coordinator,

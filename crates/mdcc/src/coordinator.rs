@@ -109,17 +109,78 @@ impl CoordinatorActor {
         self.inflight.len()
     }
 
+    /// Digest every piece of protocol-visible state into `h`, remapping
+    /// site/actor ids through `map` (see [`crate::digest`]). Hash-map
+    /// contents are visited in txn-id order so the digest is independent of
+    /// insertion history.
+    pub fn mck_digest<H: std::hash::Hasher>(&self, map: &crate::digest::DigestMap, h: &mut H) {
+        use std::hash::Hash;
+        map.site(self.site).hash(h);
+        self.next_seq.hash(h);
+        // check:allow(determinism): sorted by txn id before hashing
+        let mut inflight: Vec<(&TxnId, &TxnState)> = self.inflight.iter().collect();
+        inflight.sort_by_key(|(t, _)| **t);
+        // check:allow(determinism): iterates the sorted Vec, not the map
+        for (txn, st) in inflight {
+            txn.hash(h);
+            st.tag.hash(h);
+            map.actor(st.reply_to).hash(h);
+            crate::digest::dbg_hash(&st.spec, h);
+            st.submitted_at.hash(h);
+            st.proposals_sent_at.hash(h);
+            for (key, option) in &st.options {
+                key.hash(h);
+                crate::digest::digest_option(option, h);
+            }
+            for (key, votes) in &st.votes {
+                key.hash(h);
+                let mut accepts: Vec<u8> = votes.accepts.iter().map(|s| map.site(*s)).collect();
+                accepts.sort_unstable();
+                accepts.hash(h);
+                let mut rejects: Vec<u8> = votes.rejects.iter().map(|s| map.site(*s)).collect();
+                rejects.sort_unstable();
+                rejects.hash(h);
+                votes.resolved.hash(h);
+                votes.round.hash(h);
+            }
+            st.votes_received.hash(h);
+            st.rejections.hash(h);
+            crate::digest::dbg_hash(&st.read_buffer, h);
+            for (shard, need) in &st.reads_outstanding {
+                shard.hash(h);
+                need.hash(h);
+            }
+            st.reads_done.hash(h);
+        }
+        // check:allow(determinism): sorted by txn id before hashing
+        let mut recent: Vec<(&TxnId, &RecentTxn)> = self.recent.iter().collect();
+        recent.sort_by_key(|(t, _)| **t);
+        // check:allow(determinism): iterates the sorted Vec, not the map
+        for (txn, r) in recent {
+            txn.hash(h);
+            r.tag.hash(h);
+            map.actor(r.reply_to).hash(h);
+            r.proposals_sent_at.hash(h);
+        }
+    }
+
     /// The replication group of `key`'s shard: the same-shard replica at
     /// every site, indexed by site.
     fn shard_replicas(&self, key: &Key) -> &[ActorId] {
         let n = self.config.num_sites;
         let shard = self.config.shard_of(key);
+        // In bounds: the constructor asserts `replicas.len() == shards * n`
+        // and `shard_of` ranges over `0..shards`.
+        // check:allow(panic)
         &self.replicas[shard * n..(shard + 1) * n]
     }
 
     /// The replica mastering `key`: the master site's member of the key's
     /// shard group.
     fn master_replica_for(&self, key: &Key) -> ActorId {
+        // In bounds: the group has `num_sites` members and `master_of`
+        // ranges over `0..num_sites`.
+        // check:allow(panic)
         self.shard_replicas(key)[self.config.master_of(key).0 as usize]
     }
 
@@ -204,9 +265,13 @@ impl CoordinatorActor {
                 ReadLevel::Local => {
                     // This site's member of the key group's shard (shard_of
                     // routed: the group was keyed by `shard_of` above).
+                    // In bounds: constructor-asserted shard-major layout.
+                    // check:allow(panic)
                     ctx.send(self.replicas[shard * n + site], Msg::ReadReq { txn, keys });
                 }
                 ReadLevel::Quorum => {
+                    // In bounds: constructor-asserted shard-major layout.
+                    // check:allow(panic)
                     for &replica in &self.replicas[shard * n..(shard + 1) * n] {
                         ctx.send(
                             replica,
@@ -269,15 +334,16 @@ impl CoordinatorActor {
         // Single local response: pass it through in spec order. Anything
         // buffered from several replicas or shards merges to key order.
         let results = match (state.spec.read_level, state.read_buffer.len()) {
-            (ReadLevel::Local, 1) => state.read_buffer.pop().expect("one buffered response"),
+            (ReadLevel::Local, 1) => state.read_buffer.pop().unwrap_or_default(),
             _ => Self::merge_reads(&state.read_buffer),
         };
         state.reads_done = true;
         let writes = state.spec.writes.clone();
+        let Some(state) = self.inflight.get(&txn) else {
+            return;
+        };
         self.progress(
-            self.inflight
-                .get(&txn)
-                .expect("txn checked in-flight above"),
+            state,
             txn,
             ProgressStage::ReadsDone {
                 reads: results.clone(),
@@ -290,10 +356,9 @@ impl CoordinatorActor {
         }
         let versions: HashMap<&Key, u64> = results.iter().map(|r| (&r.key, r.version)).collect();
 
-        let state = self
-            .inflight
-            .get_mut(&txn)
-            .expect("txn checked in-flight above");
+        let Some(state) = self.inflight.get_mut(&txn) else {
+            return;
+        };
         state.proposals_sent_at = Some(ctx.now());
         let mut proposals = Vec::new();
         for (key, op) in &writes {
@@ -433,36 +498,38 @@ impl CoordinatorActor {
             }
         }
         if fallback_now {
-            let option = state.options.get(&key).expect("option exists").clone();
-            let master = self.master_replica_for(&key);
-            let me = ctx.self_id();
-            ctx.send(
-                master,
-                Msg::Propose {
+            // The votes entry implies the option was recorded with it; if it
+            // somehow is not there, skip the retry rather than crash the
+            // coordinator — the txn then resolves through the timeout path.
+            if let Some(option) = state.options.get(&key).cloned() {
+                let master = self.master_replica_for(&key);
+                let me = ctx.self_id();
+                ctx.send(
+                    master,
+                    Msg::Propose {
+                        txn,
+                        key: key.clone(),
+                        option,
+                        coordinator: me,
+                        round: 1,
+                    },
+                );
+                ctx.metrics().counter("txn.fast_fallbacks").inc();
+                let Some(state) = self.inflight.get(&txn) else {
+                    return;
+                };
+                self.progress(
+                    state,
                     txn,
-                    key: key.clone(),
-                    option,
-                    coordinator: me,
-                    round: 1,
-                },
-            );
-            ctx.metrics().counter("txn.fast_fallbacks").inc();
-            let state = self
-                .inflight
-                .get(&txn)
-                .expect("txn checked in-flight above");
-            self.progress(
-                state,
-                txn,
-                ProgressStage::KeyFallback { key: key.clone() },
-                ctx,
-            );
+                    ProgressStage::KeyFallback { key: key.clone() },
+                    ctx,
+                );
+            }
         }
 
-        let state = self
-            .inflight
-            .get(&txn)
-            .expect("txn checked in-flight above");
+        let Some(state) = self.inflight.get(&txn) else {
+            return;
+        };
         self.progress(
             state,
             txn,
@@ -485,10 +552,9 @@ impl CoordinatorActor {
         }
 
         // Decide as soon as every key has resolved, or any key failed.
-        let state = self
-            .inflight
-            .get(&txn)
-            .expect("txn checked in-flight above");
+        let Some(state) = self.inflight.get(&txn) else {
+            return;
+        };
         let any_failed = state.votes.values().any(|kv| kv.resolved == Some(false));
         let all_ok = state.votes.values().all(|kv| kv.resolved == Some(true));
         if any_failed {
@@ -501,6 +567,11 @@ impl CoordinatorActor {
     fn handle_timeout(&mut self, txn: TxnId, ctx: &mut Context<'_, Msg>) {
         if self.inflight.contains_key(&txn) {
             self.finish(txn, Outcome::TimedOut, ctx);
+            // `finish` just parked the txn in `recent` to keep the late-vote
+            // forwarding window open, but the timer that expires that window
+            // was consumed by this very firing — re-arm it, or the entry
+            // leaks forever.
+            ctx.schedule(self.config.txn_timeout, Msg::TxnTimeout { txn });
         } else {
             // The timeout doubles as the expiry of the late-vote forwarding
             // window.

@@ -30,6 +30,7 @@
 mod cluster;
 mod config;
 mod coordinator;
+pub mod digest;
 mod messages;
 mod replica_actor;
 

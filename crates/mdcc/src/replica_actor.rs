@@ -123,6 +123,67 @@ impl ReplicaActor {
         &mut self.storage
     }
 
+    /// Digest every piece of protocol-visible state into `h`, remapping
+    /// site/actor ids through `map` (see [`crate::digest`]). Hash-map
+    /// contents are visited in sorted order so the digest is independent of
+    /// insertion history; interned key ids are resolved to key names because
+    /// intern order varies with message arrival order.
+    pub fn mck_digest<H: std::hash::Hasher>(&self, map: &crate::digest::DigestMap, h: &mut H) {
+        use std::hash::Hash;
+        self.shard.hash(h);
+        self.crashed.hash(h);
+        self.server_busy.hash(h);
+        self.lease.hash(h);
+        let store = self.storage.store();
+        let mut keys: Vec<&Key> = store.keys().collect();
+        keys.sort();
+        for k in keys {
+            k.hash(h);
+            let Some(rec) = store.record(k) else { continue };
+            for v in rec.versions() {
+                v.version.hash(h);
+                crate::digest::dbg_hash(&v.value, h);
+                v.txn.hash(h);
+            }
+            let mut pending: Vec<&RecordOption> = rec.pending().iter().collect();
+            pending.sort_by_key(|o| o.txn);
+            for o in pending {
+                crate::digest::digest_option(o, h);
+            }
+        }
+        let mut repl: Vec<((TxnId, &Key), &ReplState)> = self
+            .repl_state
+            .iter() // check:allow(determinism): sorted by (txn, key) below
+            .map(|((t, kid), st)| ((*t, store.key_name(*kid)), st))
+            .collect();
+        repl.sort_by_key(|(k, _)| *k);
+        for ((txn, key), st) in repl {
+            txn.hash(h);
+            key.hash(h);
+            let mut acks: Vec<u8> = st.acks.iter().map(|s| map.site(*s)).collect();
+            acks.sort_unstable();
+            acks.hash(h);
+            map.actor(st.coordinator).hash(h);
+            st.voted.hash(h);
+        }
+        let mut leases: Vec<((TxnId, &Key), SimTime)> = self
+            .accepted_at
+            .iter() // check:allow(determinism): sorted by (txn, key) below
+            .map(|((t, kid), at)| ((*t, store.key_name(*kid)), *at))
+            .collect();
+        leases.sort_by_key(|(k, _)| *k);
+        for ((txn, key), at) in leases {
+            txn.hash(h);
+            key.hash(h);
+            at.hash(h);
+        }
+        self.service_queue.len().hash(h);
+        for (from, msg) in &self.service_queue {
+            map.actor(*from).hash(h);
+            crate::digest::digest_msg(msg, map, h);
+        }
+    }
+
     fn is_master(&self, key: &Key, ctx: &Context<'_, Msg>) -> bool {
         self.config.master_of(key) == ctx.self_site()
     }

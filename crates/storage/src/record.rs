@@ -75,6 +75,12 @@ impl VersionedRecord {
         &self.pending
     }
 
+    /// The full retained committed-version chain, oldest first. Used by the
+    /// model checker to compare value histories across replicas.
+    pub fn versions(&self) -> &[CommittedVersion] {
+        &self.versions
+    }
+
     /// Validate an option against the current state without accepting it.
     pub fn validate(&self, option: &RecordOption) -> Result<(), RejectReason> {
         if self.pending.iter().any(|o| o.txn == option.txn) {
