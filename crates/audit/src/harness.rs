@@ -1,0 +1,239 @@
+//! Deterministic sim-run harness: execute a named workload from
+//! `planet-workload`'s anomaly registry on a traced in-process cluster and
+//! return the captured trace.
+//!
+//! This is what `planet-audit --run <workload>` (and CI) uses: no external
+//! processes, one seed, bit-identical traces on every run. Transactions are
+//! scheduled in overlapping waves across the sites' coordinators so the
+//! conflict windows the anomaly recipes need actually occur — consecutive
+//! transactions (e.g. a write-skew mirror pair) land on *different* sites at
+//! the *same* submit time, well inside one WAN round trip of each other.
+
+use std::sync::Arc;
+
+use planet_mdcc::{
+    build_sim, ClusterConfig, Outcome, Protocol, TestClient, Trace, TraceEvent, TxnSpec, VecSink,
+};
+use planet_sim::{DetRng, NetworkModel, SimTime};
+use planet_workload::SpecGen;
+
+/// Configuration for one harness run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Workload name (see [`planet_workload::ANOMALY_WORKLOADS`]).
+    pub workload: String,
+    /// Transactions to submit.
+    pub txns: usize,
+    /// Sites in the cluster.
+    pub sites: usize,
+    /// Replica shards per site.
+    pub shards: usize,
+    /// Commit protocol.
+    pub protocol: Protocol,
+    /// Seed for both workload generation and the network model.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workload: "ycsb".to_string(),
+            txns: 200,
+            sites: 3,
+            shards: 1,
+            protocol: Protocol::Fast,
+            seed: 0xA0D17,
+        }
+    }
+}
+
+/// What a harness run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The captured trace, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Transactions that aborted or timed out.
+    pub aborted: usize,
+    /// The anomaly the workload is designed to provoke, if any.
+    pub expected_anomaly: Option<&'static str>,
+}
+
+/// Submission cadence: one wave of (one txn per site) every 5 ms. Far inside
+/// the ~80 ms WAN commit latency, so tens of transactions overlap (the
+/// conflict windows the recipes need) — but long enough that a few-hundred-txn
+/// run outlasts commit+apply propagation, so late transactions *read* earlier
+/// committed versions (`wr`/`rw` edges and fractured-read windows need that).
+const WAVE_GAP_MS: u64 = 5;
+
+/// Run `cfg.workload` on a traced sim cluster and capture the trace.
+///
+/// Returns `Err` for an unknown workload name.
+pub fn run_workload(cfg: &RunConfig) -> Result<RunOutcome, String> {
+    let mut gen = SpecGen::by_name(&cfg.workload).ok_or_else(|| {
+        format!(
+            "unknown workload {:?} (expected one of {})",
+            cfg.workload,
+            planet_workload::ANOMALY_WORKLOADS.join(", ")
+        )
+    })?;
+    let expected_anomaly = gen.expected_anomaly();
+    assert!(cfg.sites >= 1 && cfg.txns >= 1);
+
+    // A WAN-ish topology: 80 ms RTT between sites, 0.5 ms locally, with the
+    // default jitter model — the apply-propagation raciness that local
+    // reads (and therefore fractured reads) depend on.
+    let rtt: Vec<Vec<f64>> = (0..cfg.sites)
+        .map(|i| {
+            (0..cfg.sites)
+                .map(|j| if i == j { 0.5 } else { 80.0 })
+                .collect()
+        })
+        .collect();
+    let net = NetworkModel::from_rtt_ms(&rtt);
+
+    let sink = Arc::new(VecSink::new());
+    let mut config = ClusterConfig::new(cfg.sites, cfg.protocol).with_shards(cfg.shards.max(1));
+    config.trace = Trace::to(sink.clone());
+
+    let (mut sim, cluster) = build_sim(net, config, cfg.seed);
+
+    // Scripts: txn i goes to site (i % sites) at wave (i / sites).
+    let mut rng = DetRng::new(cfg.seed ^ 0x5EC5);
+    let mut scripts: Vec<Vec<(SimTime, TxnSpec)>> = vec![Vec::new(); cfg.sites];
+    let mut last_wave = 0;
+    for i in 0..cfg.txns {
+        let wave = (i / cfg.sites) as u64;
+        last_wave = wave;
+        let at = SimTime::from_millis(wave * WAVE_GAP_MS);
+        scripts[i % cfg.sites].push((at, gen.next_spec(&mut rng)));
+    }
+    let clients: Vec<_> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(site, script)| {
+            let client = TestClient::new(cluster.coordinators[site], script);
+            sim.add_actor(planet_sim::SiteId(site as u8), Box::new(client))
+        })
+        .collect();
+
+    // Every transaction resolves within the 10 s server-side timeout; one
+    // extra timeout covers the stragglers' Decide/Apply propagation.
+    sim.run_until(SimTime::from_millis(last_wave * WAVE_GAP_MS).add_secs(22));
+
+    let (mut committed, mut aborted) = (0, 0);
+    for id in clients {
+        let client = sim
+            .actor_as::<TestClient>(id)
+            .ok_or("client actor vanished")?;
+        for done in &client.completed {
+            match done.outcome {
+                Outcome::Committed => committed += 1,
+                _ => aborted += 1,
+            }
+        }
+    }
+    Ok(RunOutcome {
+        events: sink.take(),
+        committed,
+        aborted,
+        expected_anomaly,
+    })
+}
+
+/// Tiny helper: `SimTime + whole seconds` (keeps the call site readable).
+trait AddSecs {
+    fn add_secs(self, s: u64) -> SimTime;
+}
+
+impl AddSecs for SimTime {
+    fn add_secs(self, s: u64) -> SimTime {
+        SimTime::from_micros(self.as_micros() + s * 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit;
+
+    #[test]
+    fn harness_runs_are_deterministic() {
+        let cfg = RunConfig {
+            workload: "write-skew".into(),
+            txns: 24,
+            ..RunConfig::default()
+        };
+        let a = run_workload(&cfg).expect("known workload");
+        let b = run_workload(&cfg).expect("known workload");
+        assert_eq!(a.events, b.events, "same seed, same trace");
+        assert!(a.committed > 0);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let cfg = RunConfig {
+            workload: "nope".into(),
+            ..RunConfig::default()
+        };
+        assert!(run_workload(&cfg).is_err());
+    }
+
+    #[test]
+    fn write_skew_run_provokes_write_skew() {
+        let out = run_workload(&RunConfig {
+            workload: "write-skew".into(),
+            txns: 60,
+            ..RunConfig::default()
+        })
+        .expect("known workload");
+        let v = audit(&out.events);
+        assert!(
+            v.has("write-skew"),
+            "expected a write-skew witness; verdict: {}",
+            v.summary()
+        );
+    }
+
+    #[test]
+    fn snapshot_mix_run_provokes_fractured_reads() {
+        let out = run_workload(&RunConfig {
+            workload: "snapshot-mix".into(),
+            txns: 300,
+            ..RunConfig::default()
+        })
+        .expect("known workload");
+        let v = audit(&out.events);
+        assert!(
+            v.has("fractured-read"),
+            "expected a fractured-read witness; verdict: {}",
+            v.summary()
+        );
+    }
+
+    #[test]
+    fn counter_fanout_run_provokes_g2() {
+        let out = run_workload(&RunConfig {
+            workload: "counter-fanout".into(),
+            txns: 120,
+            ..RunConfig::default()
+        })
+        .expect("known workload");
+        let v = audit(&out.events);
+        assert!(v.has("g2"), "expected a G2 cycle; verdict: {}", v.summary());
+    }
+
+    #[test]
+    fn ycsb_control_run_is_clean() {
+        let out = run_workload(&RunConfig {
+            workload: "ycsb".into(),
+            txns: 120,
+            ..RunConfig::default()
+        })
+        .expect("known workload");
+        let v = audit(&out.events);
+        assert!(v.clean(), "serializable control flagged: {}", v.summary());
+        assert!(v.committed_txns > 0);
+    }
+}

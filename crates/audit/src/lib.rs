@@ -1,0 +1,888 @@
+//! # planet-audit
+//!
+//! A dynamic isolation auditor for MDCC executions, in the spirit of
+//! IsoPredict-style dependency analysis: replay a recorded
+//! [`TraceEvent`] stream into an Adya-style direct serialization graph
+//! (DSG) and search it for unserializable behavior.
+//!
+//! The pipeline:
+//!
+//! 1. **History** ([`History::build`]) — fold the events into per-key
+//!    committed version orders (`Commit`/`Install`), per-transaction read
+//!    and write sets, and the committed-transaction set (`Finish` plus any
+//!    transaction that minted a version: a committed version implies a
+//!    commit decision even if the coordinator's `Finish` line was lost).
+//! 2. **Edges** ([`History::edges`]) — derive the three Adya dependencies
+//!    between distinct committed transactions:
+//!    * `wr` (read-from): W committed version `v` of `k`, R read `(k, v)`;
+//!    * `ww` (version order): W1's version of `k` immediately precedes
+//!      W2's;
+//!    * `rw` (anti-dependency): R read `(k, v)` and W wrote the first
+//!      committed version after `v` — R logically ran before the write it
+//!      failed to see.
+//! 3. **Verdict** ([`audit`]) — strongly connected components of the edge
+//!    graph give the unserializable cycles: a cycle with no `rw` edge is
+//!    Adya's **G1c**, with an `rw` edge **G2**, and the special two-cycle of
+//!    pure anti-dependencies is reported as **write-skew**. A separate
+//!    read-atomicity pass flags **fractured-read**: a reader that observed
+//!    some of a multi-key writer's versions at full freshness and another
+//!    of its keys at an older version.
+//!
+//! Everything is deterministic (`BTreeMap`-ordered) so the same trace
+//! always produces the identical verdict, byte for byte — the property the
+//! CI gate and the mck reachability predicate rest on.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use planet_mdcc::{Outcome, TraceEvent};
+use planet_storage::{Key, TxnId, VersionNo};
+
+/// The kind of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Read-from: the writer's version was read by the target.
+    Wr,
+    /// Version order: the writer's version immediately precedes the
+    /// target's on the same key.
+    Ww,
+    /// Anti-dependency: the reader missed the target's later version.
+    Rw,
+}
+
+impl EdgeKind {
+    /// Lowercase name used in JSON ("wr" / "ww" / "rw").
+    pub fn name(&self) -> &'static str {
+        match self {
+            EdgeKind::Wr => "wr",
+            EdgeKind::Ww => "ww",
+            EdgeKind::Rw => "rw",
+        }
+    }
+}
+
+/// One dependency edge of the serialization graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source transaction.
+    pub from: TxnId,
+    /// Target transaction.
+    pub to: TxnId,
+    /// Dependency kind.
+    pub kind: EdgeKind,
+    /// The key the dependency runs through.
+    pub key: Key,
+}
+
+/// One detected anomaly, with a replayable transaction/edge witness.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// `"g1c"`, `"g2"`, `"write-skew"` or `"fractured-read"`.
+    pub kind: &'static str,
+    /// The offending transactions (cycle order for cycles; `[writer,
+    /// reader]` for fractured reads).
+    pub txns: Vec<TxnId>,
+    /// The witness edges: the dependency cycle, or for fractured reads the
+    /// read-from edges that were observed fresh.
+    pub edges: Vec<Edge>,
+    /// Human-readable explanation of the witness.
+    pub note: String,
+}
+
+/// The rebuilt execution history.
+#[derive(Debug, Default)]
+pub struct History {
+    /// Transactions known to have committed.
+    pub committed: BTreeSet<TxnId>,
+    /// Transactions that finished without committing (abort/timeout).
+    pub not_committed: BTreeSet<TxnId>,
+    /// Per-transaction reads: key → committed version observed.
+    pub reads: BTreeMap<TxnId, BTreeMap<Key, VersionNo>>,
+    /// Per-transaction committed writes: key → version minted.
+    pub writes: BTreeMap<TxnId, BTreeMap<Key, VersionNo>>,
+    /// Per-key committed version order: version → writer.
+    pub versions: BTreeMap<Key, BTreeMap<VersionNo, TxnId>>,
+    /// Events folded in (diagnostic).
+    pub events: usize,
+}
+
+impl History {
+    /// Fold a trace (any event order, traces from several processes
+    /// concatenated) into a history.
+    pub fn build(events: &[TraceEvent]) -> Self {
+        let mut h = History {
+            events: events.len(),
+            ..History::default()
+        };
+        for e in events {
+            match e {
+                TraceEvent::Read {
+                    txn, key, version, ..
+                } => {
+                    h.reads
+                        .entry(*txn)
+                        .or_default()
+                        .entry(key.clone())
+                        .or_insert(*version);
+                }
+                // A minted or installed version is commit evidence even if
+                // the coordinator's Finish line is missing (per-site trace
+                // files): masters only commit on a commit decision.
+                TraceEvent::Commit {
+                    txn, key, version, ..
+                }
+                | TraceEvent::Install {
+                    txn, key, version, ..
+                } => {
+                    h.versions
+                        .entry(key.clone())
+                        .or_default()
+                        .insert(*version, *txn);
+                    h.writes
+                        .entry(*txn)
+                        .or_default()
+                        .insert(key.clone(), *version);
+                    h.committed.insert(*txn);
+                }
+                TraceEvent::Finish { txn, outcome, .. } => match outcome {
+                    Outcome::Committed => {
+                        h.committed.insert(*txn);
+                    }
+                    Outcome::Aborted | Outcome::TimedOut => {
+                        h.not_committed.insert(*txn);
+                    }
+                },
+            }
+        }
+        // Commit evidence (a version in the committed order) outranks a
+        // Finish(Aborted/TimedOut) line — it cannot happen in a well-formed
+        // trace, but merged partial traces should resolve deterministically.
+        for txn in &h.committed {
+            h.not_committed.remove(txn);
+        }
+        h
+    }
+
+    /// Derive the dependency edges between distinct committed transactions,
+    /// deduplicated and deterministically ordered.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = BTreeSet::new();
+        // ww: consecutive committed versions of each key.
+        for (key, order) in &self.versions {
+            let mut prev: Option<TxnId> = None;
+            for txn in order.values() {
+                if let Some(p) = prev {
+                    if p != *txn {
+                        edges.insert(Edge {
+                            from: p,
+                            to: *txn,
+                            kind: EdgeKind::Ww,
+                            key: key.clone(),
+                        });
+                    }
+                }
+                prev = Some(*txn);
+            }
+        }
+        // wr and rw from each committed reader's observations.
+        for (reader, reads) in &self.reads {
+            if !self.committed.contains(reader) {
+                continue;
+            }
+            for (key, version) in reads {
+                let Some(order) = self.versions.get(key) else {
+                    continue;
+                };
+                if *version > 0 {
+                    if let Some(writer) = order.get(version) {
+                        if writer != reader {
+                            edges.insert(Edge {
+                                from: *writer,
+                                to: *reader,
+                                kind: EdgeKind::Wr,
+                                key: key.clone(),
+                            });
+                        }
+                    }
+                }
+                // The first committed version after the one read: the write
+                // this reader failed to observe. If that writer is the
+                // reader itself (it read its own base version) there is no
+                // anti-dependency.
+                if let Some((_, writer)) = order.range(version + 1..).next() {
+                    if writer != reader {
+                        edges.insert(Edge {
+                            from: *reader,
+                            to: *writer,
+                            kind: EdgeKind::Rw,
+                            key: key.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        edges.into_iter().collect()
+    }
+}
+
+/// The auditor's report over one trace.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Events folded in.
+    pub events: usize,
+    /// Committed transactions in the history.
+    pub committed_txns: usize,
+    /// Finished-without-commit transactions (context, not part of the DSG).
+    pub aborted_txns: usize,
+    /// Edge counts by kind: (wr, ww, rw).
+    pub edge_counts: (usize, usize, usize),
+    /// Detected anomalies, most fundamental first (cycles, then fractured
+    /// reads), capped at [`ANOMALY_CAP`] per class.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// Reported anomalies are capped per class so a pathological trace cannot
+/// produce an unbounded report; the counts still reflect the full graph.
+pub const ANOMALY_CAP: usize = 16;
+
+impl Verdict {
+    /// True if no anomaly was detected.
+    pub fn clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// True if an anomaly of `kind` was detected.
+    pub fn has(&self, kind: &str) -> bool {
+        self.anomalies.iter().any(|a| a.kind == kind)
+    }
+
+    /// Render as JSON (stable field order, deterministic content).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"committed_txns\": {},\n", self.committed_txns));
+        out.push_str(&format!("  \"aborted_txns\": {},\n", self.aborted_txns));
+        let (wr, ww, rw) = self.edge_counts;
+        out.push_str(&format!(
+            "  \"edges\": {{ \"wr\": {wr}, \"ww\": {ww}, \"rw\": {rw} }},\n"
+        ));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"anomalies\": [");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { \"kind\": \"");
+            out.push_str(a.kind);
+            out.push_str("\", \"txns\": [");
+            for (j, t) in a.txns.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{t}\""));
+            }
+            out.push_str("], \"witness\": [");
+            for (j, e) in a.edges.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{ \"from\": \"{}\", \"to\": \"{}\", \"kind\": \"{}\", \"key\": \"{}\" }}",
+                    e.from,
+                    e.to,
+                    e.kind.name(),
+                    json_escape(e.key.as_str())
+                ));
+            }
+            out.push_str("], \"note\": \"");
+            out.push_str(&json_escape(&a.note));
+            out.push_str("\" }");
+        }
+        if !self.anomalies.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let (wr, ww, rw) = self.edge_counts;
+        if self.clean() {
+            format!(
+                "clean: {} committed txns, {} events, edges wr={wr} ww={ww} rw={rw}, no anomalies",
+                self.committed_txns, self.events
+            )
+        } else {
+            let kinds: Vec<&str> = self.anomalies.iter().map(|a| a.kind).collect();
+            format!(
+                "ANOMALIES [{}]: {} committed txns, {} events, edges wr={wr} ww={ww} rw={rw}",
+                kinds.join(", "),
+                self.committed_txns,
+                self.events
+            )
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Audit a trace: rebuild the history, derive the dependency graph, search
+/// for cycles and fractured reads.
+pub fn audit(events: &[TraceEvent]) -> Verdict {
+    let history = History::build(events);
+    audit_history(&history)
+}
+
+/// Audit an already-built [`History`].
+pub fn audit_history(history: &History) -> Verdict {
+    let edges = history.edges();
+    let mut counts = (0usize, 0usize, 0usize);
+    for e in &edges {
+        match e.kind {
+            EdgeKind::Wr => counts.0 += 1,
+            EdgeKind::Ww => counts.1 += 1,
+            EdgeKind::Rw => counts.2 += 1,
+        }
+    }
+    let mut anomalies = cycle_anomalies(&edges);
+    anomalies.extend(fractured_reads(history));
+    Verdict {
+        events: history.events,
+        committed_txns: history.committed.len(),
+        aborted_txns: history.not_committed.len(),
+        edge_counts: counts,
+        anomalies,
+    }
+}
+
+// ---- cycle search ------------------------------------------------------
+
+/// Dense node indexing for the SCC passes.
+struct Graph {
+    nodes: Vec<TxnId>,
+    /// Outgoing edge indices per node.
+    out: Vec<Vec<usize>>,
+    /// Incoming edge indices per node.
+    inc: Vec<Vec<usize>>,
+    /// (from, to) as node indices, parallel to `edges`.
+    ends: Vec<(usize, usize)>,
+}
+
+fn build_graph(edges: &[Edge]) -> Graph {
+    let mut index: BTreeMap<TxnId, usize> = BTreeMap::new();
+    for e in edges {
+        let n = index.len();
+        index.entry(e.from).or_insert(n);
+        let n = index.len();
+        index.entry(e.to).or_insert(n);
+    }
+    let nodes: Vec<TxnId> = {
+        let mut v = vec![TxnId::new(0, 0); index.len()];
+        for (t, i) in &index {
+            v[*i] = *t;
+        }
+        v
+    };
+    let mut out = vec![Vec::new(); nodes.len()];
+    let mut inc = vec![Vec::new(); nodes.len()];
+    let mut ends = Vec::with_capacity(edges.len());
+    for (ei, e) in edges.iter().enumerate() {
+        let (f, t) = (index[&e.from], index[&e.to]);
+        out[f].push(ei);
+        inc[t].push(ei);
+        ends.push((f, t));
+    }
+    Graph {
+        nodes,
+        out,
+        inc,
+        ends,
+    }
+}
+
+/// Kosaraju SCC with explicit stacks (no recursion — a long serializable
+/// history is a deep DAG). Returns each node's component id.
+fn sccs(g: &Graph) -> Vec<usize> {
+    let n = g.nodes.len();
+    // Pass 1: forward DFS finish order.
+    let mut finish = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Stack of (node, next out-edge position).
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            if *pos < g.out[v].len() {
+                let ei = g.out[v][*pos];
+                *pos += 1;
+                let (_, w) = g.ends[ei];
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                finish.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse DFS in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut next_comp = 0;
+    for &start in finish.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next_comp;
+        while let Some(v) = stack.pop() {
+            for &ei in &g.inc[v] {
+                let (w, _) = g.ends[ei];
+                if comp[w] == usize::MAX {
+                    comp[w] = next_comp;
+                    stack.push(w);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    comp
+}
+
+/// Find a shortest cycle through `start` using only `allowed` edges
+/// (BFS over edge indices); returns the edge index path.
+fn shortest_cycle(g: &Graph, start: usize, allowed: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+    use std::collections::VecDeque;
+    let n = g.nodes.len();
+    let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &ei in &g.out[v] {
+            if !allowed(ei) {
+                continue;
+            }
+            let (_, w) = g.ends[ei];
+            if w == start {
+                // Close the cycle: walk parents back to start.
+                let mut path = vec![ei];
+                let mut cur = v;
+                while cur != start {
+                    let pe = parent_edge[cur]?;
+                    path.push(pe);
+                    cur = g.ends[pe].0;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !visited[w] {
+                visited[w] = true;
+                parent_edge[w] = Some(ei);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Classify every non-trivial SCC into one anomaly with a witness cycle.
+fn cycle_anomalies(edges: &[Edge]) -> Vec<Anomaly> {
+    let g = build_graph(edges);
+    let comp = sccs(&g);
+    // Group nodes per component.
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (v, &c) in comp.iter().enumerate() {
+        members.entry(c).or_default().push(v);
+    }
+    let mut anomalies = Vec::new();
+    // Deterministic order: by smallest member txn.
+    let mut groups: Vec<Vec<usize>> = members.into_values().filter(|m| m.len() > 1).collect();
+    groups.sort_by_key(|m| m.iter().map(|&v| g.nodes[v]).min());
+    for group in groups {
+        if anomalies.len() >= ANOMALY_CAP {
+            break;
+        }
+        let in_scc: BTreeSet<usize> = group.iter().copied().collect();
+        let scc_edge = |ei: usize| {
+            let (f, t) = g.ends[ei];
+            in_scc.contains(&f) && in_scc.contains(&t)
+        };
+        // Prefer the sharpest witness: a pure anti-dependency two-cycle.
+        let mut witness: Option<(Vec<usize>, &'static str)> = None;
+        'skew: for &v in &group {
+            for &ei in &g.out[v] {
+                if edges[ei].kind != EdgeKind::Rw || !scc_edge(ei) {
+                    continue;
+                }
+                let (_, w) = g.ends[ei];
+                for &back in &g.out[w] {
+                    if edges[back].kind == EdgeKind::Rw && g.ends[back].1 == v && v < w {
+                        witness = Some((vec![ei, back], "write-skew"));
+                        break 'skew;
+                    }
+                }
+            }
+        }
+        let (path, kind) = match witness {
+            Some(w) => w,
+            None => {
+                let start = group
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| g.nodes[v])
+                    .unwrap_or(group[0]);
+                let Some(path) = shortest_cycle(&g, start, &scc_edge) else {
+                    continue; // unreachable for a >1-node SCC
+                };
+                let kind = if path.iter().any(|&ei| edges[ei].kind == EdgeKind::Rw) {
+                    "g2"
+                } else {
+                    "g1c"
+                };
+                (path, kind)
+            }
+        };
+        let cycle: Vec<Edge> = path.iter().map(|&ei| edges[ei].clone()).collect();
+        let txns: Vec<TxnId> = cycle.iter().map(|e| e.from).collect();
+        let note = format!(
+            "{} transactions in an unserializable cycle: {}",
+            txns.len(),
+            cycle
+                .iter()
+                .map(|e| format!("{} -{}-> {} (key {})", e.from, e.kind.name(), e.to, e.key))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        anomalies.push(Anomaly {
+            kind,
+            txns,
+            edges: cycle,
+            note,
+        });
+    }
+    anomalies
+}
+
+// ---- read atomicity ----------------------------------------------------
+
+/// Fractured (non-atomic) reads: R observed some of multi-key writer W's
+/// versions fresh and another of W's keys at an older version.
+fn fractured_reads(h: &History) -> Vec<Anomaly> {
+    // key → committed readers of that key (candidate pruning).
+    let mut readers_of: BTreeMap<&Key, Vec<TxnId>> = BTreeMap::new();
+    for (reader, reads) in &h.reads {
+        if !h.committed.contains(reader) {
+            continue;
+        }
+        for key in reads.keys() {
+            readers_of.entry(key).or_default().push(*reader);
+        }
+    }
+    let mut anomalies = Vec::new();
+    for (writer, writes) in &h.writes {
+        if writes.len() < 2 || anomalies.len() >= ANOMALY_CAP {
+            continue;
+        }
+        let mut candidates: BTreeSet<TxnId> = BTreeSet::new();
+        for key in writes.keys() {
+            if let Some(rs) = readers_of.get(key) {
+                candidates.extend(rs.iter().copied());
+            }
+        }
+        candidates.remove(writer);
+        for reader in candidates {
+            if anomalies.len() >= ANOMALY_CAP {
+                break;
+            }
+            let reads = &h.reads[&reader];
+            let mut fresh: Vec<(&Key, VersionNo)> = Vec::new();
+            let mut stale: Vec<(&Key, VersionNo, VersionNo)> = Vec::new();
+            for (key, wv) in writes {
+                match reads.get(key) {
+                    Some(rv) if rv == wv => fresh.push((key, *wv)),
+                    Some(rv) if rv < wv => stale.push((key, *rv, *wv)),
+                    _ => {}
+                }
+            }
+            if fresh.is_empty() || stale.is_empty() {
+                continue;
+            }
+            let edges: Vec<Edge> = fresh
+                .iter()
+                .map(|(key, _)| Edge {
+                    from: *writer,
+                    to: reader,
+                    kind: EdgeKind::Wr,
+                    key: (*key).clone(),
+                })
+                .collect();
+            let (sk, srv, swv) = stale[0];
+            let note = format!(
+                "{reader} read {}@v{} from {writer} but {sk}@v{srv} predates {writer}'s v{swv}: \
+                 non-atomic observation of a {}-key transaction",
+                fresh[0].0,
+                fresh[0].1,
+                writes.len()
+            );
+            anomalies.push(Anomaly {
+                kind: "fractured-read",
+                txns: vec![*writer, reader],
+                edges,
+                note,
+            });
+        }
+    }
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planet_sim::{SimTime, SiteId};
+
+    fn t(site: u8, seq: u64) -> TxnId {
+        TxnId::new(site, seq)
+    }
+
+    fn commit(txn: TxnId, key: &str, version: VersionNo) -> TraceEvent {
+        TraceEvent::Commit {
+            txn,
+            key: Key::new(key),
+            version,
+            site: SiteId(0),
+            shard: 0,
+            at: SimTime::ZERO,
+        }
+    }
+
+    fn read(txn: TxnId, key: &str, version: VersionNo) -> TraceEvent {
+        TraceEvent::Read {
+            txn,
+            key: Key::new(key),
+            version,
+            site: SiteId(0),
+            shard: 0,
+            at: SimTime::ZERO,
+        }
+    }
+
+    fn finish(txn: TxnId, outcome: Outcome) -> TraceEvent {
+        TraceEvent::Finish {
+            txn,
+            outcome,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn serializable_history_is_clean() {
+        // T1 writes a@1; T2 reads a@1 and writes a@2; T3 reads a@2.
+        let (t1, t2, t3) = (t(0, 1), t(0, 2), t(1, 1));
+        let events = vec![
+            read(t1, "a", 0),
+            commit(t1, "a", 1),
+            finish(t1, Outcome::Committed),
+            read(t2, "a", 1),
+            commit(t2, "a", 2),
+            finish(t2, Outcome::Committed),
+            read(t3, "a", 2),
+            finish(t3, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(v.clean(), "{:?}", v.anomalies);
+        assert_eq!(v.committed_txns, 3);
+        // wr: t1→t2 (a@1), t2→t3 (a@2); ww: t1→t2; rw: t1→t2? t1 read a@0,
+        // next version is its own → skipped; no rw from t3 (nothing newer).
+        assert_eq!(v.edge_counts, (2, 1, 0));
+    }
+
+    #[test]
+    fn write_skew_two_cycle_detected() {
+        // T1 reads b@0 writes a@1; T2 reads a@0 writes b@1: rw both ways.
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            read(t1, "b", 0),
+            read(t1, "a", 0),
+            commit(t1, "a", 1),
+            finish(t1, Outcome::Committed),
+            read(t2, "a", 0),
+            read(t2, "b", 0),
+            commit(t2, "b", 1),
+            finish(t2, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(v.has("write-skew"), "{:?}", v.anomalies);
+        let a = &v.anomalies[0];
+        assert_eq!(a.edges.len(), 2);
+        assert!(a.edges.iter().all(|e| e.kind == EdgeKind::Rw));
+        let names: BTreeSet<TxnId> = a.txns.iter().copied().collect();
+        assert_eq!(names, BTreeSet::from([t1, t2]));
+    }
+
+    #[test]
+    fn lost_update_cycle_is_g2() {
+        // Classic lost update: both read a@0, both commit (v1, v2).
+        // ww t1→t2 plus rw t2→t1 (t2 read 0, missed t1's v1).
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            read(t1, "a", 0),
+            read(t2, "a", 0),
+            commit(t1, "a", 1),
+            commit(t2, "a", 2),
+            finish(t1, Outcome::Committed),
+            finish(t2, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(v.has("g2"), "{:?}", v.anomalies);
+        assert!(!v.has("write-skew"));
+    }
+
+    #[test]
+    fn wr_ww_only_cycle_is_g1c() {
+        // Force a pure ww/wr cycle: t1 writes a then t2 overwrites a
+        // (ww t1→t2) and t1 reads t2's write of b (wr t2→t1). Not a real
+        // MDCC execution — a codec-level graph test.
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            commit(t1, "a", 1),
+            commit(t2, "a", 2),
+            read(t1, "b", 1),
+            commit(t2, "b", 1),
+            finish(t1, Outcome::Committed),
+            finish(t2, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(v.has("g1c"), "{:?}", v.anomalies);
+    }
+
+    #[test]
+    fn fractured_read_detected() {
+        // W writes a@1 and b@1 atomically; R reads a@1 but b@0.
+        let (w, r) = (t(0, 1), t(1, 1));
+        let events = vec![
+            commit(w, "a", 1),
+            commit(w, "b", 1),
+            finish(w, Outcome::Committed),
+            read(r, "a", 1),
+            read(r, "b", 0),
+            finish(r, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(v.has("fractured-read"), "{:?}", v.anomalies);
+        let a = v
+            .anomalies
+            .iter()
+            .find(|a| a.kind == "fractured-read")
+            .expect("checked above");
+        assert_eq!(a.txns, vec![w, r]);
+    }
+
+    #[test]
+    fn atomic_observation_is_not_fractured() {
+        // R sees both of W's keys fresh — atomic, clean. R2 sees both at
+        // the old versions — also atomic (reads a consistent prefix).
+        let (w, r, r2) = (t(0, 1), t(1, 1), t(2, 1));
+        let events = vec![
+            commit(w, "a", 1),
+            commit(w, "b", 1),
+            finish(w, Outcome::Committed),
+            read(r, "a", 1),
+            read(r, "b", 1),
+            finish(r, Outcome::Committed),
+            read(r2, "a", 0),
+            read(r2, "b", 0),
+            finish(r2, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        assert!(!v.has("fractured-read"), "{:?}", v.anomalies);
+    }
+
+    #[test]
+    fn aborted_transactions_are_excluded() {
+        // The aborted reader's observations must not create edges.
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            read(t1, "a", 0),
+            commit(t1, "a", 1),
+            finish(t1, Outcome::Committed),
+            read(t2, "a", 0),
+            finish(t2, Outcome::Aborted),
+        ];
+        let v = audit(&events);
+        assert!(v.clean());
+        assert_eq!(v.committed_txns, 1);
+        assert_eq!(v.aborted_txns, 1);
+        assert_eq!(v.edge_counts, (0, 0, 0));
+    }
+
+    #[test]
+    fn commit_evidence_implies_committed_without_finish() {
+        let t1 = t(0, 1);
+        let v = audit(&[commit(t1, "a", 1)]);
+        assert_eq!(v.committed_txns, 1);
+    }
+
+    #[test]
+    fn verdict_json_is_well_formed_and_stable() {
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            read(t1, "b", 0),
+            commit(t1, "a", 1),
+            finish(t1, Outcome::Committed),
+            read(t2, "a", 0),
+            commit(t2, "b", 1),
+            finish(t2, Outcome::Committed),
+        ];
+        let v = audit(&events);
+        let json = v.to_json();
+        assert_eq!(json, audit(&events).to_json(), "deterministic");
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"kind\": \"write-skew\""));
+        assert!(json.contains("\"witness\""));
+        // Crude balance check on the hand-rolled JSON.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn summary_names_kinds() {
+        let (t1, t2) = (t(0, 1), t(1, 1));
+        let events = vec![
+            read(t1, "b", 0),
+            commit(t1, "a", 1),
+            finish(t1, Outcome::Committed),
+            read(t2, "a", 0),
+            commit(t2, "b", 1),
+            finish(t2, Outcome::Committed),
+        ];
+        assert!(audit(&events).summary().contains("write-skew"));
+        assert!(audit(&[]).summary().starts_with("clean"));
+    }
+}

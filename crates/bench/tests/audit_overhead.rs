@@ -1,0 +1,163 @@
+//! Trace-overhead gate for the isolation auditor.
+//!
+//! Runs the same smoke-scale closed-loop harness as `throughput_smoke`
+//! twice — tracing off, then tracing into a live `VecSink` — and enforces
+//! that the traced run keeps at least 95% of the untraced throughput. The
+//! trace layer sits on the coordinator/replica hot paths (reads, commits,
+//! applies), so this is the gate that keeps it honest: one mutex push per
+//! event, and nothing at all when no sink is attached.
+//!
+//! Both points land in `BENCH_audit.json` as a CI artifact. Each
+//! configuration takes the best of three 1-second windows to damp scheduler
+//! noise; the 5% envelope is on those bests.
+//!
+//! `#[ignore]`d because it is wall-clock-sensitive: run it explicitly with
+//! `cargo test --release -p planet-bench --test audit_overhead -- --ignored`.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{LiveCluster, LoadClient, LoadRecord, PlaneConfig};
+use planet_mdcc::{ClusterConfig, Outcome, Protocol, Trace, VecSink};
+use planet_sim::NetworkModel;
+use planet_storage::Key;
+
+const SITES: usize = 3;
+const KEYS: usize = 64;
+const CLIENTS: usize = 8;
+const REPS: usize = 3;
+/// Traced throughput must stay within 5% of untraced.
+const MIN_RATIO: f64 = 0.95;
+
+struct Point {
+    traced: bool,
+    ops_per_sec: f64,
+    commit_rate: f64,
+    completions: u64,
+    trace_events: usize,
+}
+
+fn lan() -> NetworkModel {
+    let rtt: Vec<Vec<f64>> = (0..SITES)
+        .map(|i| (0..SITES).map(|j| if i == j { 0.1 } else { 2.0 }).collect())
+        .collect();
+    NetworkModel::from_rtt_ms(&rtt)
+}
+
+fn run_window(traced: bool) -> Point {
+    let mut config = ClusterConfig::new(SITES, Protocol::Fast).with_shards(1);
+    let sink = Arc::new(VecSink::new());
+    if traced {
+        config.trace = Trace::to(sink.clone());
+    }
+    let mut cluster = LiveCluster::builder(config)
+        .network(lan())
+        .seed(0xA0D1 ^ traced as u64)
+        .plane(PlaneConfig::default())
+        .build();
+    let keys: Vec<Key> = (0..KEYS).map(|i| Key::new(format!("audit-{i}"))).collect();
+    let (tx, rx) = channel::<LoadRecord>();
+    for k in 0..CLIENTS {
+        let site = k % SITES;
+        let coordinator = cluster.coordinator(site);
+        cluster.spawn_client(
+            site,
+            Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone())),
+        );
+    }
+    drop(tx);
+
+    let warm_end = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < warm_end {
+        let _ = rx.recv_timeout(warm_end - Instant::now());
+    }
+
+    let window = Duration::from_secs(1);
+    let started = Instant::now();
+    let mut committed = 0u64;
+    let mut completions = 0u64;
+    while started.elapsed() < window {
+        let remaining = window - started.elapsed();
+        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            completions += 1;
+            if record.outcome == Outcome::Committed {
+                committed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    cluster.shutdown();
+
+    Point {
+        traced,
+        ops_per_sec: completions as f64 / elapsed,
+        commit_rate: if completions > 0 {
+            committed as f64 / completions as f64
+        } else {
+            0.0
+        },
+        completions,
+        trace_events: sink.len(),
+    }
+}
+
+fn best_of(traced: bool) -> Point {
+    (0..REPS)
+        .map(|_| run_window(traced))
+        .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
+        .expect("REPS >= 1")
+}
+
+#[test]
+#[ignore = "wall-clock overhead gate; run explicitly in the CI smoke job"]
+fn tracing_overhead_stays_inside_the_envelope() {
+    let off = best_of(false);
+    let on = best_of(true);
+    let ratio = if off.ops_per_sec > 0.0 {
+        on.ops_per_sec / off.ops_per_sec
+    } else {
+        0.0
+    };
+
+    let mut out = String::from("{\n  \"experiment\": \"audit_overhead\",\n");
+    out.push_str(&format!(
+        "  \"sites\": {SITES},\n  \"clients\": {CLIENTS},\n  \"keys\": {KEYS},\n  \
+         \"reps\": {REPS},\n  \"min_ratio\": {MIN_RATIO},\n  \"ratio\": {ratio:.4},\n  \"points\": [\n"
+    ));
+    for (i, p) in [&off, &on].iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"traced\": {}, \"ops_per_sec\": {:.1}, \"commit_rate\": {:.4}, \"completions\": {}, \"trace_events\": {}}}{}\n",
+            p.traced,
+            p.ops_per_sec,
+            p.commit_rate,
+            p.completions,
+            p.trace_events,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    std::fs::write(path, &out).expect("write audit overhead artifact");
+    eprintln!("wrote BENCH_audit.json:\n{out}");
+
+    for p in [&off, &on] {
+        assert!(p.completions > 0, "traced={}: nothing completed", p.traced);
+        assert_eq!(
+            p.commit_rate, 1.0,
+            "traced={}: commutative increments must all commit",
+            p.traced
+        );
+    }
+    assert_eq!(off.trace_events, 0, "no sink, no events");
+    assert!(
+        on.trace_events > 0,
+        "traced run must actually record events"
+    );
+    assert!(
+        ratio >= MIN_RATIO,
+        "tracing costs too much: {:.1} -> {:.1} ops/s (ratio {ratio:.3} < {MIN_RATIO})",
+        off.ops_per_sec,
+        on.ops_per_sec
+    );
+}

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use planet_cluster::{mailbox, spawn_node, Clock, PlaneConfig, TcpTransport, Transport};
-use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Protocol, ReplicaActor};
+use planet_mdcc::{ClusterConfig, CoordinatorActor, FileSink, Msg, Protocol, ReplicaActor, Trace};
 use planet_sim::{Actor, ActorId, SiteId};
 
 struct Args {
@@ -30,11 +30,14 @@ struct Args {
     protocol: Protocol,
     shards: usize,
     run_secs: Option<u64>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--shards <s>] [--run-secs <s>]"
+        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--shards <s>] [--run-secs <s>] [--trace <path>]\n\
+         \x20 --trace: record this site's reads/commits/applies for planet-audit\n\
+         \x20          (flushed on shutdown; use --run-secs for complete traces)"
     );
     std::process::exit(2);
 }
@@ -53,6 +56,7 @@ fn parse_args() -> Args {
     let mut protocol = Protocol::Fast;
     let mut shards = default_shards();
     let mut run_secs = None;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +84,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--run-secs" => run_secs = args.next().and_then(|v| v.parse().ok()),
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -93,6 +101,7 @@ fn parse_args() -> Args {
         protocol,
         shards,
         run_secs,
+        trace,
     }
 }
 
@@ -100,7 +109,21 @@ fn main() {
     let args = parse_args();
     let n = args.addrs.len();
     let shards = args.shards;
-    let config = ClusterConfig::new(n, args.protocol).with_shards(shards);
+    let mut config = ClusterConfig::new(n, args.protocol).with_shards(shards);
+    let trace_sink = match &args.trace {
+        Some(path) => match FileSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                config.trace = Trace::to(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("planetd: cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
     let clock = Clock::new();
     let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
 
@@ -185,6 +208,11 @@ fn main() {
             bytes as f64 / flushes as f64,
             transport.shed(),
         );
+    }
+    if let Some(sink) = &trace_sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("planetd: trace flush failed: {e}");
+        }
     }
     transport.stop();
 }

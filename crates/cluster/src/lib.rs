@@ -33,7 +33,7 @@ pub mod transport;
 pub mod wire;
 
 pub use channel::ChannelTransport;
-pub use load::{LoadClient, LoadRecord};
+pub use load::{LoadClient, LoadRecord, SpecSource};
 pub use node::{
     spawn_node, spawn_pool, CallFn, Clock, NodeHandle, Packet, PoolHandle, PoolMembers,
 };

@@ -10,9 +10,13 @@
 use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 
-use planet_mdcc::{Msg, Outcome, TxnSpec};
-use planet_sim::{Actor, ActorId, Context, SimTime};
+use planet_mdcc::{Msg, Outcome, Trace, TraceEvent, TxnSpec};
+use planet_sim::{Actor, ActorId, Context, DetRng, SimTime};
 use planet_storage::{Key, WriteOp};
+
+/// A pluggable transaction source for [`LoadClient`]: called with the
+/// client's deterministic RNG, returns the next spec to submit.
+pub type SpecSource = Box<dyn FnMut(&mut DetRng) -> TxnSpec + Send>;
 
 /// One finished transaction, as reported to the driver.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +48,12 @@ pub struct LoadClient {
     inflight: HashMap<u64, SimTime>,
     next_tag: u64,
     submitted: u64,
+    /// Overrides the default single-key-increment mix when set.
+    spec_source: Option<SpecSource>,
+    /// Client-side trace: records the `Finish` the coordinator reported,
+    /// stamped with the client's clock. Complements the server-side trace
+    /// (which has the reads and commits); off by default.
+    trace: Trace,
 }
 
 impl LoadClient {
@@ -59,7 +69,22 @@ impl LoadClient {
             inflight: HashMap::new(),
             next_tag: 0,
             submitted: 0,
+            spec_source: None,
+            trace: Trace::off(),
         }
+    }
+
+    /// Replace the default increment mix with a custom transaction source
+    /// (e.g. one of `planet-workload`'s anomaly generators).
+    pub fn with_spec_source(mut self, source: SpecSource) -> Self {
+        self.spec_source = Some(source);
+        self
+    }
+
+    /// Record client-observed transaction outcomes to `trace`.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Transactions submitted so far.
@@ -68,8 +93,13 @@ impl LoadClient {
     }
 
     fn submit_next(&mut self, ctx: &mut Context<'_, Msg>) {
-        let key = self.keys[ctx.rng().index(self.keys.len())].clone();
-        let spec = TxnSpec::write_one(key, WriteOp::add(1));
+        let spec = match &mut self.spec_source {
+            Some(source) => source(ctx.rng()),
+            None => {
+                let key = self.keys[ctx.rng().index(self.keys.len())].clone();
+                TxnSpec::write_one(key, WriteOp::add(1))
+            }
+        };
         let tag = self.next_tag;
         self.next_tag += 1;
         self.submitted += 1;
@@ -92,7 +122,17 @@ impl Actor<Msg> for LoadClient {
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
-        if let Msg::TxnDone { tag, outcome, .. } = msg {
+        if let Msg::TxnDone {
+            tag, txn, outcome, ..
+        } = msg
+        {
+            if self.trace.is_on() {
+                self.trace.emit(TraceEvent::Finish {
+                    txn,
+                    outcome,
+                    at: ctx.now(),
+                });
+            }
             if let Some(submitted) = self.inflight.remove(&tag) {
                 let _ = self.results.send(LoadRecord {
                     client: ctx.self_id().0,

@@ -68,9 +68,13 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
+use std::sync::Arc;
+
+use planet_audit::audit;
 use planet_mdcc::digest::{digest_msg, DigestMap};
 use planet_mdcc::{
-    ClusterConfig, CoordinatorActor, Msg, Outcome, ProgressStage, Protocol, ReplicaActor, TxnSpec,
+    ClusterConfig, CoordinatorActor, Msg, Outcome, ProgressStage, Protocol, ReplicaActor, Trace,
+    TxnSpec, VecSink,
 };
 use planet_sim::{
     drive, drive_start, Actor, ActorId, Context, DetRng, Effect, Metrics, SimTime, SiteId,
@@ -102,6 +106,29 @@ pub struct MckConfig {
     pub max_states: usize,
     /// Optional seeded protocol corruption.
     pub mutation: Option<Mutation>,
+    /// The scripted workload shape.
+    pub scenario: Scenario,
+    /// Record a trace per explored path and run the isolation auditor at
+    /// every all-decided state, certifying which anomalies are *reachable*
+    /// (as opposed to merely observed in one simulation run). Tracing rides
+    /// in [`ClusterConfig`] and is never part of `mck_digest`, so the
+    /// explored state graph is identical with this on or off.
+    pub audit: bool,
+}
+
+/// Which scripted workload the clients submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scenario {
+    /// The original conflict workload: client 0 writes key A, client 1
+    /// writes A and B, further clients alternate single-key writes.
+    #[default]
+    Conflict,
+    /// The write-skew pair: even clients read A and write B, odd clients
+    /// read B and write A. No write-write conflict exists, so every
+    /// interleaving commits both — the checker certifies whether an
+    /// interleaving exists in which both read the *initial* versions
+    /// (the unserializable all-`rw` cycle the auditor names `write-skew`).
+    WriteSkew,
 }
 
 impl MckConfig {
@@ -120,6 +147,8 @@ impl MckConfig {
             symmetry: true,
             max_states: 250_000,
             mutation: None,
+            scenario: Scenario::default(),
+            audit: false,
         }
     }
 }
@@ -174,6 +203,9 @@ pub struct Report {
     pub complete_verdicts: BTreeSet<String>,
     /// Invariant violations (subtrees below a violation are pruned).
     pub violations: Vec<PathViolation>,
+    /// Isolation-anomaly kinds the auditor certified *reachable* (seen at
+    /// some all-decided state). Empty when `audit` is off.
+    pub anomalies: BTreeSet<String>,
 }
 
 impl Report {
@@ -208,11 +240,12 @@ impl Report {
                 )
             })
             .collect();
+        let anomalies: Vec<String> = self.anomalies.iter().map(|a| format!("\"{a}\"")).collect();
         format!(
             "{{\"unique_states\":{},\"steps\":{},\"revisits\":{},\"dedup_rate\":{:.4},\
              \"truncated\":{},\"terminals\":{},\"max_depth\":{},\"capped\":{},\
              \"verdicts\":[{}],\"complete_verdicts\":[{}],\
-             \"violation_count\":{},\"violations\":[{}]}}",
+             \"violation_count\":{},\"violations\":[{}],\"anomalies\":[{}]}}",
             self.unique_states,
             self.steps,
             self.revisits,
@@ -224,7 +257,8 @@ impl Report {
             verdicts.join(","),
             complete.join(","),
             self.violations.len(),
-            violations.join(",")
+            violations.join(","),
+            anomalies.join(",")
         )
     }
 }
@@ -248,8 +282,21 @@ pub fn workload_keys() -> (Key, Key) {
 
 /// The scripted workload: client 0 writes key A; client 1 writes A and B
 /// (write-write conflict on A plus a cross-shard transaction); further
-/// clients alternate single-key writes.
-fn client_specs(clients: usize, a: &Key, b: &Key) -> Vec<TxnSpec> {
+/// clients alternate single-key writes. The write-skew scenario instead
+/// mirrors read/write sets across clients (no write-write conflict at all).
+fn client_specs(scenario: Scenario, clients: usize, a: &Key, b: &Key) -> Vec<TxnSpec> {
+    if scenario == Scenario::WriteSkew {
+        return (0..clients)
+            .map(|i| {
+                let (read, write) = if i % 2 == 0 { (a, b) } else { (b, a) };
+                TxnSpec {
+                    reads: vec![read.clone()],
+                    writes: vec![(write.clone(), WriteOp::Set(Value::Int(100 + i as i64)))],
+                    ..TxnSpec::default()
+                }
+            })
+            .collect();
+    }
     (0..clients)
         .map(|i| match i {
             0 if clients == 1 => TxnSpec {
@@ -452,6 +499,9 @@ struct World {
     client_violations_seen: usize,
     steps: u64,
     metrics: Metrics,
+    /// Captures this path's trace when `cfg.audit` is on. Deliberately not
+    /// part of the fingerprint: tracing must never perturb the state graph.
+    trace_sink: Option<Arc<VecSink>>,
 }
 
 impl World {
@@ -460,6 +510,13 @@ impl World {
         let shards = cfg.shards.max(1);
         let mut cluster = ClusterConfig::new(n, cfg.protocol);
         cluster.num_shards = shards;
+        let trace_sink = if cfg.audit {
+            let sink = Arc::new(VecSink::new());
+            cluster.trace = Trace::to(sink.clone());
+            Some(sink)
+        } else {
+            None
+        };
 
         let (a, b) = workload_keys();
         let mut actors: Vec<Slot> = Vec::new();
@@ -488,7 +545,7 @@ impl World {
                 ))),
             });
         }
-        let specs = client_specs(cfg.clients, &a, &b);
+        let specs = client_specs(cfg.scenario, cfg.clients, &a, &b);
         let mut client_sites = Vec::new();
         for (i, spec) in specs.into_iter().enumerate() {
             let site = (i % n) as u8;
@@ -525,6 +582,7 @@ impl World {
             client_violations_seen: 0,
             steps: 0,
             metrics: Metrics::new(),
+            trace_sink,
         };
         for idx in 0..w.actors.len() {
             let inputs = TurnInputs {
@@ -955,6 +1013,7 @@ struct Explorer {
     verdicts: BTreeSet<String>,
     complete_verdicts: BTreeSet<String>,
     violations: Vec<PathViolation>,
+    anomalies: BTreeSet<String>,
 }
 
 /// How many violating paths to record before stopping the exploration —
@@ -983,6 +1042,21 @@ impl Explorer {
         self.verdicts.insert(verdict.clone());
         if w.all_decided() {
             self.complete_verdicts.insert(verdict);
+        }
+        // Certify reachable anomalies: audit this path's trace at EVERY
+        // state, not just all-decided ones. The fingerprint is history-blind
+        // — once per-txn protocol state is cleaned up, an anomalous
+        // interleaving converges with a serial one and is pruned as a
+        // revisit — but commit facts in a trace prefix are stable under
+        // extension, so the auditor sees the cycle at the first state where
+        // it is in evidence, before the fingerprints merge.
+        if let Some(sink) = &w.trace_sink {
+            let events = sink.snapshot();
+            if !events.is_empty() {
+                for a in &audit(&events).anomalies {
+                    self.anomalies.insert(a.kind.to_string());
+                }
+            }
         }
         if !w.violations.is_empty() {
             for v in &w.violations {
@@ -1039,6 +1113,7 @@ pub fn explore(cfg: &MckConfig) -> Report {
         verdicts: BTreeSet::new(),
         complete_verdicts: BTreeSet::new(),
         violations: Vec::new(),
+        anomalies: BTreeSet::new(),
     };
     let mut path = Vec::new();
     ex.dfs(&mut path);
@@ -1053,6 +1128,7 @@ pub fn explore(cfg: &MckConfig) -> Report {
         verdicts: ex.verdicts,
         complete_verdicts: ex.complete_verdicts,
         violations: ex.violations,
+        anomalies: ex.anomalies,
     }
 }
 
@@ -1128,6 +1204,101 @@ mod tests {
             w.step(c);
         }
         assert_eq!(w1.fingerprint(true), w2.fingerprint(true));
+    }
+
+    /// Walk one world with a fixed strategy until every client decided (or
+    /// the step cap runs out); returns the world for inspection.
+    fn walk(cfg: &MckConfig, pick: impl Fn(usize, usize) -> usize) -> World {
+        let mut w = World::build(cfg);
+        for k in 0..500 {
+            let cs = w.choices();
+            if cs.is_empty() || w.all_decided() {
+                break;
+            }
+            w.step(cs[pick(k, cs.len())]);
+        }
+        w
+    }
+
+    #[test]
+    fn write_skew_is_reachable_and_audited() {
+        // Round-robin delivery interleaves the two mirrored transactions, so
+        // both read the initial versions before either commits — the
+        // interleaving MDCC admits and serializability would forbid. The
+        // auditor must certify it from the recorded trace.
+        let mut cfg = MckConfig::new(2, 2, 64);
+        cfg.scenario = Scenario::WriteSkew;
+        cfg.audit = true;
+        let w = walk(&cfg, |k, n| k % n);
+        assert!(w.all_decided(), "walk did not finish: {}", w.verdict());
+        assert_eq!(w.verdict(), "CC", "no write-write conflict: both commit");
+        assert!(w.violations.is_empty(), "{:?}", w.violations);
+        let sink = w.trace_sink.as_ref().expect("audit is on");
+        let v = audit(&sink.snapshot());
+        assert!(
+            v.has("write-skew"),
+            "expected write-skew certificate; verdict: {}",
+            v.summary()
+        );
+        let skew = v
+            .anomalies
+            .iter()
+            .find(|a| a.kind == "write-skew")
+            .expect("has() implies present");
+        assert_eq!(skew.txns.len(), 2, "witness names both transactions");
+        assert_eq!(skew.edges.len(), 2, "witness carries the rw 2-cycle");
+    }
+
+    #[test]
+    fn serial_write_skew_schedule_is_clean() {
+        // Greedy deliver-first runs the two transactions back-to-back: the
+        // second reads the first's committed write, which is serializable —
+        // the auditor must NOT cry wolf.
+        let mut cfg = MckConfig::new(2, 2, 64);
+        cfg.scenario = Scenario::WriteSkew;
+        cfg.audit = true;
+        let w = walk(&cfg, |_, _| 0);
+        assert!(w.all_decided(), "walk did not finish: {}", w.verdict());
+        let sink = w.trace_sink.as_ref().expect("audit is on");
+        let v = audit(&sink.snapshot());
+        assert!(v.clean(), "serial schedule flagged: {}", v.summary());
+    }
+
+    #[test]
+    fn explore_certifies_write_skew_reachable() {
+        // The real certification path: bounded exhaustive exploration over
+        // the write-skew scenario must find an interleaving exhibiting the
+        // anomaly and surface it in the report.
+        let mut cfg = MckConfig::new(2, 2, 26);
+        cfg.scenario = Scenario::WriteSkew;
+        cfg.audit = true;
+        cfg.max_states = 40_000;
+        let rep = explore(&cfg);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert!(
+            rep.anomalies.contains("write-skew"),
+            "write-skew not certified reachable: anomalies {:?}, complete {:?}",
+            rep.anomalies,
+            rep.complete_verdicts
+        );
+    }
+
+    #[test]
+    fn audit_is_digest_neutral() {
+        // Tracing rides in ClusterConfig and is never hashed: the explored
+        // state graph with auditing on must be node-for-node identical to
+        // the one with auditing off.
+        let mut base = MckConfig::new(2, 2, 10);
+        base.scenario = Scenario::WriteSkew;
+        let mut audited = base.clone();
+        audited.audit = true;
+        let off = explore(&base);
+        let on = explore(&audited);
+        assert_eq!(off.unique_states, on.unique_states);
+        assert_eq!(off.revisits, on.revisits);
+        assert_eq!(off.verdicts, on.verdicts);
+        assert_eq!(off.complete_verdicts, on.complete_verdicts);
+        assert!(off.anomalies.is_empty(), "no auditing, no anomalies");
     }
 
     #[test]

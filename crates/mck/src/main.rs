@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use planet_mck::{explore, routing_check, MckConfig, Mutation, Report};
+use planet_mck::{explore, routing_check, MckConfig, Mutation, Report, Scenario};
 use planet_mdcc::Protocol;
 
 struct Opts {
@@ -53,6 +53,14 @@ fn parse_args() -> Result<Opts, String> {
                     other => return Err(format!("--protocol: bad value {other:?}")),
                 }
             }
+            "--scenario" => {
+                cfg.scenario = match args.next().as_deref() {
+                    Some("conflict") => Scenario::Conflict,
+                    Some("write-skew") => Scenario::WriteSkew,
+                    other => return Err(format!("--scenario: bad value {other:?}")),
+                }
+            }
+            "--audit" => cfg.audit = true,
             "--mutation" => {
                 cfg.mutation = match args.next().as_deref() {
                     Some("tamper-apply") => Some(Mutation::TamperApply),
@@ -66,6 +74,7 @@ fn parse_args() -> Result<Opts, String> {
                      USAGE: planet-mck [--sites N] [--clients N] [--shards N] [--depth K]\n\
                      \x20               [--drops N] [--dups N] [--protocol fast|classic|2pc]\n\
                      \x20               [--mutation tamper-apply|drop-decide] [--max-states N]\n\
+                     \x20               [--scenario conflict|write-skew] [--audit]\n\
                      \x20               [--no-symmetry] [--routing-check] [--json]\n\n\
                      --sites N         sites / replication-group size (default 2)\n\
                      --clients N       concurrent clients, one txn each (default 1)\n\
@@ -75,6 +84,8 @@ fn parse_args() -> Result<Opts, String> {
                      --dups N          per-path duplication budget (default 0)\n\
                      --protocol P      commit path under test (default fast)\n\
                      --mutation M      seeded corruption; the run SHOULD report a violation\n\
+                     --scenario S      workload shape: conflict (default) or write-skew\n\
+                     --audit           trace every path and certify reachable isolation anomalies\n\
                      --max-states N    unique-state cap (default 250000)\n\
                      --no-symmetry     disable the site-symmetry reduction\n\
                      --routing-check   compare S=1 vs S=2 verdicts (invariant 4)\n\
@@ -107,6 +118,9 @@ fn print_text(r: &Report, label: &str) {
             "{label}: VIOLATION [{}] {} (path {:?})",
             v.invariant, v.detail, v.path
         );
+    }
+    if !r.anomalies.is_empty() {
+        println!("{label}: reachable isolation anomalies {:?}", r.anomalies);
     }
 }
 

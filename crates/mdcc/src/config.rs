@@ -3,6 +3,8 @@
 use planet_sim::{SimDuration, SiteId};
 use planet_storage::Key;
 
+use crate::trace::Trace;
+
 /// Which commit protocol the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
@@ -75,6 +77,12 @@ pub struct ClusterConfig {
     /// Committed versions to keep per record when the periodic GC sweep
     /// trims version chains (0 disables trimming).
     pub gc_keep_versions: usize,
+    /// Execution-trace handle for the isolation auditor (see
+    /// [`crate::trace`]). Rides in the config because every actor already
+    /// receives a config clone; [`Trace::off`] by default, and never part of
+    /// `mck_digest` (the digests hash protocol state, not configuration), so
+    /// attaching a sink is digest-neutral by construction.
+    pub trace: Trace,
 }
 
 impl ClusterConfig {
@@ -91,6 +99,7 @@ impl ClusterConfig {
             num_shards: 1,
             checkpoint_every: 4096,
             gc_keep_versions: 64,
+            trace: Trace::off(),
         }
     }
 

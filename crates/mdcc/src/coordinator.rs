@@ -339,6 +339,18 @@ impl CoordinatorActor {
         };
         state.reads_done = true;
         let writes = state.spec.writes.clone();
+        if self.config.trace.is_on() {
+            for r in &results {
+                self.config.trace.emit(crate::trace::TraceEvent::Read {
+                    txn,
+                    key: r.key.clone(),
+                    version: r.version,
+                    site: self.site,
+                    shard: self.config.shard_of(&r.key),
+                    at: ctx.now(),
+                });
+            }
+        }
         let Some(state) = self.inflight.get(&txn) else {
             return;
         };
@@ -637,6 +649,13 @@ impl CoordinatorActor {
                     .counter(&format!("txn.timedout.{proto}"))
                     .inc();
             }
+        }
+        if self.config.trace.is_on() {
+            self.config.trace.emit(crate::trace::TraceEvent::Finish {
+                txn,
+                outcome,
+                at: ctx.now(),
+            });
         }
         ctx.send(
             state.reply_to,

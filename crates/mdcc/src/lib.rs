@@ -33,9 +33,13 @@ mod coordinator;
 pub mod digest;
 mod messages;
 mod replica_actor;
+pub mod trace;
 
 pub use cluster::{build_cluster, build_sim, set_spec, Cluster, CompletedTxn, TestClient};
 pub use config::{ClusterConfig, Protocol};
 pub use coordinator::CoordinatorActor;
 pub use messages::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
 pub use replica_actor::ReplicaActor;
+#[cfg(feature = "trace")]
+pub use trace::{FileSink, TraceSink, VecSink};
+pub use trace::{Trace, TraceEvent};

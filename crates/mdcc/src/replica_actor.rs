@@ -450,6 +450,16 @@ impl ReplicaActor {
             };
             let value = self.storage.read_id(id).value;
             ctx.metrics().counter("replica.versions_committed").inc();
+            if self.config.trace.is_on() {
+                self.config.trace.emit(crate::trace::TraceEvent::Commit {
+                    txn,
+                    key: key.clone(),
+                    version: new_version,
+                    site: ctx.self_site(),
+                    shard: self.shard,
+                    at: ctx.now(),
+                });
+            }
             for peer in self.other_peers(ctx).collect::<Vec<_>>() {
                 ctx.send(
                     peer,
@@ -488,6 +498,16 @@ impl ReplicaActor {
         self.accepted_at.remove(&(txn, id));
         if self.storage.install_id(id, version, value, txn) {
             ctx.metrics().counter("replica.versions_installed").inc();
+            if self.config.trace.is_on() {
+                self.config.trace.emit(crate::trace::TraceEvent::Install {
+                    txn,
+                    key: key.clone(),
+                    version,
+                    site: ctx.self_site(),
+                    shard: self.shard,
+                    at: ctx.now(),
+                });
+            }
         }
     }
 

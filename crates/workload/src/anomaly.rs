@@ -1,0 +1,294 @@
+//! Anomaly-provoking workloads for the isolation auditor.
+//!
+//! MDCC's option-based commit sits below serializability, and each generator
+//! here is a minimal recipe for one of the anomalies it admits:
+//!
+//! * **`counter-fanout`** — concurrent commutative `Add(+1)`s on a tiny set
+//!   of counters, mixed with fan-out reads over all of them. Two adds that
+//!   both read base version `v` both commit (demarcation validation is
+//!   order-free), producing versions `v+1` and `v+2`: a `ww` edge one way
+//!   and an `rw` anti-dependency back — a G2 cycle.
+//! * **`snapshot-mix`** — multi-key writers pairing `a_i`/`b_i` updates,
+//!   with local-read fan-out readers. A reader whose replica has applied
+//!   `a_i`'s new version but not yet `b_i`'s observes a fractured
+//!   (non-atomic) read of the writer.
+//! * **`write-skew`** — the classic pair: one transaction reads `a` and
+//!   writes `b`, its mirror reads `b` and writes `a`. Their options touch
+//!   different keys, so both pass validation and commit; the two `rw`
+//!   anti-dependencies form the textbook all-`rw` two-cycle.
+//! * **`ycsb`** — the serializable control: single-key reads and
+//!   version-conditioned single-key `Set`s. Every dependency between two
+//!   transactions agrees with the key's committed version order, so the
+//!   dependency graph is provably acyclic and the auditor must report a
+//!   clean verdict.
+//!
+//! Generators produce raw [`TxnSpec`]s (not [`planet_core::PlanetTxn`]s) so
+//! the same recipes drive the sim-level audit harness, the mck scenarios and
+//! the live `planet-load --workload` driver.
+
+use planet_mdcc::{ReadLevel, TxnSpec};
+use planet_sim::DetRng;
+use planet_storage::{Key, Value, WriteOp};
+
+/// Workload names accepted by [`SpecGen::by_name`] (and therefore by
+/// `planet-load --workload` / `planet-audit --run`).
+pub const ANOMALY_WORKLOADS: &[&str] = &["counter-fanout", "snapshot-mix", "write-skew", "ycsb"];
+
+#[derive(Debug, Clone)]
+enum Kind {
+    CounterFanout { counters: Vec<Key> },
+    SnapshotMix { pairs: Vec<(Key, Key)> },
+    WriteSkew,
+    Ycsb { keys: Vec<Key> },
+}
+
+/// A deterministic [`TxnSpec`] generator for one of the anomaly recipes.
+#[derive(Debug, Clone)]
+pub struct SpecGen {
+    kind: Kind,
+    /// Monotonic counter: makes `Set` payloads distinct and alternates the
+    /// write-skew orientation.
+    seq: u64,
+}
+
+impl SpecGen {
+    /// Commutative `Add(+1)`s and fan-out reads over `counters` counters.
+    pub fn counter_fanout(counters: usize) -> Self {
+        assert!(counters >= 1);
+        SpecGen {
+            kind: Kind::CounterFanout {
+                counters: (0..counters)
+                    .map(|i| Key::new(format!("ctr-{i}")))
+                    .collect(),
+            },
+            seq: 0,
+        }
+    }
+
+    /// Multi-key pair writers and local-read fan-out readers over `pairs`
+    /// key pairs.
+    pub fn snapshot_mix(pairs: usize) -> Self {
+        assert!(pairs >= 1);
+        SpecGen {
+            kind: Kind::SnapshotMix {
+                pairs: Self::key_pairs(pairs),
+            },
+            seq: 0,
+        }
+    }
+
+    /// Mirrored read-`a`-write-`b` / read-`b`-write-`a` transactions.
+    ///
+    /// Each consecutive pair of transactions gets its *own* fresh key pair:
+    /// the mirror twins are the only writers of those keys, so neither can
+    /// fail write validation — both commit whenever they overlap, and the
+    /// two `rw` anti-dependencies between them are guaranteed. (A shared key
+    /// pool would instead make same-orientation transactions write-conflict
+    /// and abort each other, suppressing the very anomaly we're provoking.)
+    pub fn write_skew() -> Self {
+        SpecGen {
+            kind: Kind::WriteSkew,
+            seq: 0,
+        }
+    }
+
+    /// The serializable control: single-key reads/writes over `keys` keys.
+    pub fn ycsb(keys: usize) -> Self {
+        assert!(keys >= 1);
+        SpecGen {
+            kind: Kind::Ycsb {
+                keys: (0..keys).map(|i| Key::new(format!("y-{i}"))).collect(),
+            },
+            seq: 0,
+        }
+    }
+
+    /// Look a generator up by its registered name (see
+    /// [`ANOMALY_WORKLOADS`]), with each recipe's default keyspace size —
+    /// small enough that a few dozen overlapping transactions collide.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "counter-fanout" => Some(Self::counter_fanout(2)),
+            "snapshot-mix" => Some(Self::snapshot_mix(8)),
+            "write-skew" => Some(Self::write_skew()),
+            "ycsb" => Some(Self::ycsb(8)),
+            _ => None,
+        }
+    }
+
+    /// The anomaly this workload is built to provoke, as the auditor names
+    /// it (`None` for the serializable control). What `--expect-anomaly`
+    /// should be given in CI.
+    pub fn expected_anomaly(&self) -> Option<&'static str> {
+        match &self.kind {
+            Kind::CounterFanout { .. } => Some("g2"),
+            Kind::SnapshotMix { .. } => Some("fractured-read"),
+            Kind::WriteSkew => Some("write-skew"),
+            Kind::Ycsb { .. } => None,
+        }
+    }
+
+    /// The registered name of this generator.
+    pub fn name(&self) -> &'static str {
+        match &self.kind {
+            Kind::CounterFanout { .. } => "counter-fanout",
+            Kind::SnapshotMix { .. } => "snapshot-mix",
+            Kind::WriteSkew => "write-skew",
+            Kind::Ycsb { .. } => "ycsb",
+        }
+    }
+
+    fn key_pairs(pairs: usize) -> Vec<(Key, Key)> {
+        (0..pairs)
+            .map(|i| (Key::new(format!("pa-{i}")), Key::new(format!("pb-{i}"))))
+            .collect()
+    }
+
+    /// The next transaction. Deterministic given the caller's RNG state.
+    pub fn next_spec(&mut self, rng: &mut DetRng) -> TxnSpec {
+        self.seq += 1;
+        let seq = self.seq;
+        match &self.kind {
+            Kind::CounterFanout { counters } => {
+                if rng.bernoulli(0.5) {
+                    let key = counters[rng.index(counters.len())].clone();
+                    TxnSpec::write_one(key, WriteOp::add(1))
+                } else {
+                    TxnSpec::read_only(counters.iter().cloned())
+                }
+            }
+            Kind::SnapshotMix { pairs } => {
+                if rng.bernoulli(0.5) {
+                    // Writers round-robin over the pool, so consecutive
+                    // writers touch different pairs and same-pair writers are
+                    // spaced far enough apart in time to commit (a random
+                    // pair choice makes concurrent writers ww-conflict and
+                    // abort, suppressing the anomaly).
+                    let (a, b) = pairs[seq as usize % pairs.len()].clone();
+                    TxnSpec {
+                        reads: Vec::new(),
+                        writes: vec![
+                            (a, WriteOp::Set(Value::Int(seq as i64))),
+                            (b, WriteOp::Set(Value::Int(seq as i64))),
+                        ],
+                        read_level: ReadLevel::Local,
+                    }
+                } else {
+                    // Readers snapshot the *whole* pool with local reads: any
+                    // pair whose two Applies have not both landed at this
+                    // replica yet is caught fractured.
+                    TxnSpec {
+                        reads: pairs
+                            .iter()
+                            .flat_map(|(a, b)| [a.clone(), b.clone()])
+                            .collect(),
+                        writes: Vec::new(),
+                        read_level: ReadLevel::Local,
+                    }
+                }
+            }
+            Kind::WriteSkew => {
+                // Transactions 2p-1 and 2p are the mirror twins over the
+                // private pair `sk{p}a`/`sk{p}b`.
+                let pair = (seq - 1) / 2;
+                let a = Key::new(format!("sk{pair}a"));
+                let b = Key::new(format!("sk{pair}b"));
+                let (read, write) = if seq % 2 == 1 { (a, b) } else { (b, a) };
+                TxnSpec {
+                    reads: vec![read],
+                    writes: vec![(write, WriteOp::Set(Value::Int(seq as i64)))],
+                    read_level: ReadLevel::Local,
+                }
+            }
+            Kind::Ycsb { keys } => {
+                let key = keys[rng.index(keys.len())].clone();
+                if rng.bernoulli(0.5) {
+                    TxnSpec::read_only([key])
+                } else {
+                    TxnSpec::write_one(key, WriteOp::Set(Value::Int(seq as i64)))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_the_registry() {
+        for name in ANOMALY_WORKLOADS {
+            let g = SpecGen::by_name(name).expect("registered name must resolve");
+            assert_eq!(g.name(), *name);
+        }
+        assert!(SpecGen::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn write_skew_alternates_orientation() {
+        let mut g = SpecGen::write_skew();
+        let mut rng = DetRng::new(7);
+        let s1 = g.next_spec(&mut rng);
+        let s2 = g.next_spec(&mut rng);
+        assert_eq!(s1.reads.len(), 1);
+        assert_eq!(s1.writes.len(), 1);
+        // Mirrored pair: each reads what the other writes.
+        assert_eq!(s1.reads[0], s2.writes[0].0);
+        assert_eq!(s2.reads[0], s1.writes[0].0);
+    }
+
+    #[test]
+    fn counter_fanout_issues_adds_and_fanout_reads() {
+        let mut g = SpecGen::counter_fanout(2);
+        let mut rng = DetRng::new(1);
+        let (mut adds, mut fanouts) = (0, 0);
+        for _ in 0..64 {
+            let s = g.next_spec(&mut rng);
+            if s.is_read_only() {
+                assert_eq!(s.reads.len(), 2, "fan-out reads every counter");
+                fanouts += 1;
+            } else {
+                assert!(matches!(s.writes[0].1, WriteOp::Add { delta: 1, .. }));
+                adds += 1;
+            }
+        }
+        assert!(adds > 10 && fanouts > 10, "mix should be balanced-ish");
+    }
+
+    #[test]
+    fn snapshot_mix_writers_pair_keys() {
+        let mut g = SpecGen::snapshot_mix(1);
+        let mut rng = DetRng::new(2);
+        let writer = loop {
+            let s = g.next_spec(&mut rng);
+            if !s.is_read_only() {
+                break s;
+            }
+        };
+        assert_eq!(writer.writes.len(), 2, "writers touch both pair keys");
+    }
+
+    #[test]
+    fn ycsb_control_is_single_key() {
+        let mut g = SpecGen::ycsb(4);
+        let mut rng = DetRng::new(3);
+        for _ in 0..32 {
+            let s = g.next_spec(&mut rng);
+            assert_eq!(s.touched_keys().len(), 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = |seed| {
+            let mut g = SpecGen::by_name("counter-fanout").unwrap();
+            let mut rng = DetRng::new(seed);
+            (0..16)
+                .map(|_| format!("{:?}", g.next_spec(&mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -9,19 +9,29 @@
 //! planet-load --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
 //!     --clients 32 --secs 10 --keys 64
 //! ```
+//!
+//! `--workload <name>` swaps the default single-key-increment mix for one of
+//! the anomaly recipes registered in `planet-workload` (one shared generator
+//! feeds all clients, so e.g. write-skew mirror twins land on different
+//! clients concurrently). `--trace <path>` appends client-observed outcome
+//! events in `planet-audit`'s trace format; pair it with the servers'
+//! `planetd --trace` files for a full audit.
 
 use std::net::SocketAddr;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+// check:allow(determinism) — live closed-loop driver; wall-clock windows are the point
 use std::time::{Duration, Instant};
 
 use planet_cluster::{
-    mailbox, spawn_node, Clock, LoadClient, LoadRecord, PlaneConfig, TcpTransport, Transport,
+    mailbox, spawn_node, Clock, LoadClient, LoadRecord, PlaneConfig, SpecSource, TcpTransport,
+    Transport,
 };
-use planet_mdcc::{Msg, Outcome};
+use planet_mdcc::{FileSink, Msg, Outcome, Trace};
 use planet_sim::metrics::Histogram;
 use planet_sim::{Actor, ActorId, SiteId};
 use planet_storage::Key;
+use planet_workload::{SpecGen, ANOMALY_WORKLOADS};
 
 struct Args {
     addrs: Vec<SocketAddr>,
@@ -29,11 +39,17 @@ struct Args {
     secs: u64,
     keys: usize,
     shards: usize,
+    workload: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>] [--shards <s>]"
+        "usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>] [--shards <s>]\n\
+         \x20                 [--workload <name>] [--trace <path>]\n\
+         \x20 --workload: replace the increment mix with an anomaly recipe ({})\n\
+         \x20 --trace: append client-observed outcomes in planet-audit trace format",
+        ANOMALY_WORKLOADS.join(", ")
     );
     std::process::exit(2);
 }
@@ -44,6 +60,8 @@ fn parse_args() -> Args {
     let mut secs = 10;
     let mut keys = 64;
     let mut shards = 1;
+    let mut workload = None;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,6 +90,14 @@ fn parse_args() -> Args {
                 Some(v) => shards = v,
                 None => usage(),
             },
+            "--workload" => match args.next() {
+                Some(w) if SpecGen::by_name(&w).is_some() => workload = Some(w),
+                _ => usage(),
+            },
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -84,6 +110,8 @@ fn parse_args() -> Args {
         secs,
         keys,
         shards,
+        workload,
+        trace,
     }
 }
 
@@ -104,17 +132,47 @@ fn main() {
         transport.add_route((coord_base + site) as u32, *addr);
     }
 
+    // One shared generator behind a mutex: clients pull specs interleaved,
+    // so paired transactions (write-skew twins, snapshot pairs) go to
+    // *different* clients and genuinely overlap.
+    let spec_gen: Option<Arc<Mutex<SpecGen>>> = args
+        .workload
+        .as_deref()
+        .and_then(SpecGen::by_name)
+        .map(|g| Arc::new(Mutex::new(g)));
+    let (trace, trace_sink) = match &args.trace {
+        Some(path) => {
+            let sink = match FileSink::create(std::path::Path::new(path)) {
+                Ok(sink) => Arc::new(sink),
+                Err(e) => {
+                    eprintln!("planet-load: cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            (Trace::to(sink.clone()), Some(sink))
+        }
+        None => (Trace::off(), None),
+    };
+
     let plane = PlaneConfig::default();
     let (results_tx, results_rx) = channel::<LoadRecord>();
     let mut nodes = Vec::new();
     for k in 0..args.clients {
         let site = k % n;
         let id = (coord_base + n + k) as u32;
-        let client: Box<dyn Actor<Msg>> = Box::new(LoadClient::new(
+        let mut load = LoadClient::new(
             ActorId((coord_base + site) as u32),
             key_space.clone(),
             results_tx.clone(),
-        ));
+        )
+        .with_trace(trace.clone());
+        if let Some(gen) = &spec_gen {
+            let gen = gen.clone();
+            let source: SpecSource =
+                Box::new(move |rng| gen.lock().expect("spec generator poisoned").next_spec(rng));
+            load = load.with_spec_source(source);
+        }
+        let client: Box<dyn Actor<Msg>> = Box::new(load);
         let (tx, rx) = mailbox(plane.mailbox_capacity);
         transport.host(id, tx.clone());
         nodes.push(spawn_node(
@@ -131,11 +189,15 @@ fn main() {
     }
     drop(results_tx);
     println!(
-        "planet-load: {} clients across {n} sites, {} keys, {}s window",
-        args.clients, args.keys, args.secs
+        "planet-load: {} clients across {n} sites, {} keys, {}s window, {} mix",
+        args.clients,
+        args.keys,
+        args.secs,
+        args.workload.as_deref().unwrap_or("increment")
     );
 
     let window = Duration::from_secs(args.secs);
+    // check:allow(determinism) — measurement window of the live run
     let started = Instant::now();
     let mut latencies = Histogram::new();
     let mut committed = 0u64;
@@ -166,6 +228,11 @@ fn main() {
     }
     let (flushes, bytes) = transport.io_stats();
     transport.stop();
+    if let Some(sink) = &trace_sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("planet-load: trace flush failed: {e}");
+        }
+    }
 
     let total = committed + aborted;
     println!("planet-load: {total} txns in {elapsed:.2}s ({committed} committed, {aborted} other)");

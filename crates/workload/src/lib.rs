@@ -10,12 +10,14 @@
 
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod arrival;
 pub mod keyspace;
 pub mod ticket;
 pub mod ycsb;
 pub mod zipf;
 
+pub use anomaly::{SpecGen, ANOMALY_WORKLOADS};
 pub use arrival::{Arrival, LoadSchedule};
 pub use keyspace::{KeyChooser, KeyDistribution};
 pub use ticket::{preload_events, stock_key, TicketConfig, TicketWorkload};
