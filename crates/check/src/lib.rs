@@ -10,7 +10,12 @@
 //! lexical passes, a structural CFG + dataflow layer checks path-sensitive
 //! properties: every quorum wait reaches a timeout edge (`time`), progress
 //! callbacks never block the drive loop (`callback`), and no panic source
-//! is reachable from an actor drive loop (`panic`).
+//! is reachable from an actor drive loop (`panic`). Since v3 the pipeline
+//! is interprocedural: a workspace-wide call graph closes reachability
+//! across files and crates, the `flow` pass proves every message variant
+//! sent has a handler and every request reaches a reply or an armed
+//! timeout, and the `race` pass finds actor state escaping node threads
+//! and blocking calls reachable while a lock is held.
 //!
 //! Architecture (front to back):
 //!
@@ -22,11 +27,15 @@
 //!   fields with type text.
 //! * [`cfg`] — per-function control-flow graphs over the parser's token
 //!   ranges plus a bitset must/may dataflow solver; [`callgraph`] adds
-//!   file-local call resolution and reachability on top.
+//!   file-local call resolution and, since v3, the workspace-wide
+//!   interprocedural [`callgraph::WorkspaceGraph`] (cross-file and
+//!   cross-crate call resolution through `use` imports, qualified paths,
+//!   and typed method receivers).
 //! * [`model`] — the shared [`model::Workspace`] every pass reads, plus the
 //!   [`model::Pass`] trait and pipeline driver.
 //! * [`passes`] — the analyses: lexical (`wire`, `state`, `locks`,
-//!   `determinism`) and dataflow-based (`time`, `callback`, `panic`).
+//!   `determinism`), dataflow-based (`time`), and interprocedural
+//!   (`callback`, `panic`, `flow`, `race`).
 //! * [`diag`] — span-carrying diagnostics with stable codes, rendered as a
 //!   compiler-style text report or JSON for CI.
 //! * [`baseline`] — findings snapshots so new passes can ship strict while
@@ -47,4 +56,4 @@ pub mod parse;
 pub mod passes;
 
 pub use diag::{Diagnostic, Severity};
-pub use model::{all_passes, run_passes, Pass, Workspace};
+pub use model::{all_passes, run_passes, run_passes_timed, Pass, PassTiming, Workspace};

@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use planet_check::{all_passes, baseline::Baseline, diag, run_passes, Severity, Workspace};
+use planet_check::{all_passes, baseline::Baseline, diag, run_passes_timed, PassTiming, Severity, Workspace};
 
 struct Opts {
     root: PathBuf,
@@ -125,6 +125,35 @@ fn apply_fix_allow(root: &std::path::Path, diags: &[diag::Diagnostic]) -> std::i
     Ok(fixed)
 }
 
+/// The `--json` report: the findings array (unchanged shape, as
+/// `"findings"`) plus per-pass wall time so CI can track the self-check's
+/// time budget per pass.
+fn render_json_report(diags: &[diag::Diagnostic], timings: &[PassTiming]) -> String {
+    let mut s = String::from("{\n  \"findings\": ");
+    let findings = diag::render_json(diags);
+    for (i, line) in findings.trim_end().lines().enumerate() {
+        if i > 0 {
+            s.push_str("\n  ");
+        }
+        s.push_str(line);
+    }
+    s.push_str(",\n  \"timings\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"micros\": {}, \"findings\": {}}}{}\n",
+            t.name,
+            t.micros,
+            t.findings,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"total_micros\": {}\n}}\n",
+        timings.iter().map(|t| t.micros).sum::<u128>()
+    ));
+    s
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -163,7 +192,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = run_passes(&ws, &opts.passes);
+    let (diags, timings) = run_passes_timed(&ws, &opts.passes);
 
     if opts.fix_allow {
         match apply_fix_allow(&opts.root, &diags) {
@@ -228,7 +257,7 @@ fn main() -> ExitCode {
     };
 
     if opts.json {
-        print!("{}", diag::render_json(&gated));
+        print!("{}", render_json_report(&gated, &timings));
     } else {
         print!("{}", diag::render_text(&gated));
     }

@@ -8,10 +8,13 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
 
+use crate::callgraph::WorkspaceGraph;
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Lexed, Tok};
-use crate::parse::{self, EnumDef, FieldDef, FnDef};
+use crate::parse::{self, EnumDef, FieldDef, FnDef, ImplDef, UseDecl};
 
 /// One analysed source file.
 pub struct SourceFile {
@@ -23,6 +26,9 @@ pub struct SourceFile {
     enums: Vec<EnumDef>,
     fns: Vec<FnDef>,
     fields: Vec<FieldDef>,
+    impls: Vec<ImplDef>,
+    uses: Vec<UseDecl>,
+    types: Vec<String>,
 }
 
 impl SourceFile {
@@ -32,12 +38,18 @@ impl SourceFile {
         let enums = parse::enums(&lexed.toks);
         let fns = parse::fns(&lexed.toks);
         let fields = parse::struct_fields(&lexed.toks);
+        let impls = parse::impls(&lexed.toks);
+        let uses = parse::use_decls(&lexed.toks);
+        let types = parse::type_names(&lexed.toks);
         SourceFile {
             path,
             lexed,
             enums,
             fns,
             fields,
+            impls,
+            uses,
+            types,
         }
     }
 
@@ -59,6 +71,21 @@ impl SourceFile {
     /// Struct fields in this file.
     pub fn fields(&self) -> &[FieldDef] {
         &self.fields
+    }
+
+    /// Impl blocks in this file.
+    pub fn impls(&self) -> &[ImplDef] {
+        &self.impls
+    }
+
+    /// `use` declarations in this file.
+    pub fn uses(&self) -> &[UseDecl] {
+        &self.uses
+    }
+
+    /// Names of structs/enums/traits declared in this file.
+    pub fn types(&self) -> &[String] {
+        &self.types
     }
 
     /// Find an enum by name.
@@ -85,22 +112,61 @@ impl SourceFile {
 pub struct Workspace {
     files: Vec<SourceFile>,
     by_path: HashMap<String, usize>,
+    graph: OnceLock<WorkspaceGraph>,
 }
 
 impl Workspace {
     /// Build a workspace from in-memory `(path, source)` pairs — the fixture
-    /// entry point.
+    /// entry point. Each file is lexed and structurally parsed exactly once,
+    /// here; passes reuse the shared model. The per-file front-end work is
+    /// independent, so it fans out across threads.
     pub fn from_sources(sources: Vec<(String, String)>) -> Self {
-        let files: Vec<SourceFile> = sources
-            .into_iter()
-            .map(|(p, s)| SourceFile::new(p, &s))
-            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(sources.len().max(1));
+        let files: Vec<SourceFile> = if workers <= 1 || sources.len() < 8 {
+            sources
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p, &s))
+                .collect()
+        } else {
+            let chunk = sources.len().div_ceil(workers);
+            let chunks: Vec<&[(String, String)]> = sources.chunks(chunk).collect();
+            let parsed: Vec<Vec<SourceFile>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| {
+                        scope.spawn(move || {
+                            c.iter()
+                                .map(|(p, s)| SourceFile::new(p.clone(), s))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("front-end worker panicked"))
+                    .collect()
+            });
+            parsed.into_iter().flatten().collect()
+        };
         let by_path = files
             .iter()
             .enumerate()
             .map(|(i, f)| (f.path.clone(), i))
             .collect();
-        Workspace { files, by_path }
+        Workspace {
+            files,
+            by_path,
+            graph: OnceLock::new(),
+        }
+    }
+
+    /// The workspace-wide call graph, built on first use and shared by all
+    /// passes that need interprocedural reachability.
+    pub fn graph(&self) -> &WorkspaceGraph {
+        self.graph.get_or_init(|| WorkspaceGraph::build(self))
     }
 
     /// Load every `.rs` file under `crates/*/src`, `crates/*/tests` is
@@ -189,18 +255,45 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(crate::passes::time::TimePass),
         Box::new(crate::passes::callback::CallbackPass),
         Box::new(crate::passes::panic::PanicPass),
+        Box::new(crate::passes::flow::FlowPass),
+        Box::new(crate::passes::race::RacePass),
     ]
+}
+
+/// Wall time and finding count of one pass execution.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// The pass's machine name.
+    pub name: &'static str,
+    /// Wall time in microseconds.
+    pub micros: u128,
+    /// Findings the pass produced.
+    pub findings: usize,
 }
 
 /// Run the named passes (or all, when `only` is empty) and return sorted
 /// diagnostics.
 pub fn run_passes(ws: &Workspace, only: &[String]) -> Vec<Diagnostic> {
+    run_passes_timed(ws, only).0
+}
+
+/// [`run_passes`], also reporting per-pass wall time for the `--json`
+/// report (and for holding the self-check under its time budget).
+pub fn run_passes_timed(ws: &Workspace, only: &[String]) -> (Vec<Diagnostic>, Vec<PassTiming>) {
     let mut out = Vec::new();
+    let mut timings = Vec::new();
     for pass in all_passes() {
         if only.is_empty() || only.iter().any(|n| n == pass.name()) {
+            let before = out.len();
+            let start = Instant::now();
             pass.run(ws, &mut out);
+            timings.push(PassTiming {
+                name: pass.name(),
+                micros: start.elapsed().as_micros(),
+                findings: out.len() - before,
+            });
         }
     }
     crate::diag::sort(&mut out);
-    out
+    (out, timings)
 }

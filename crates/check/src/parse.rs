@@ -42,6 +42,32 @@ pub struct FnDef {
     pub line: u32,
     /// Token index range of the body, excluding the outer braces.
     pub body: std::ops::Range<usize>,
+    /// Named parameters as `(name, type-text)`. Pattern parameters
+    /// (tuples, destructures) are skipped; `self` receivers are excluded.
+    pub params: Vec<(String, String)>,
+}
+
+/// An `impl` block: the self type, the trait (when it is a trait impl),
+/// and the token range of the body.
+#[derive(Debug, Clone)]
+pub struct ImplDef {
+    /// The self type's final path segment (`Coordinator` in
+    /// `impl planet_mdcc::Coordinator`).
+    pub ty: String,
+    /// `Some(trait name)` for `impl Trait for Type`, `None` for inherent.
+    pub trait_name: Option<String>,
+    /// Token index range of the body, excluding the outer braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// One name bound by a `use` declaration, with the full path that binds it.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The name the declaration binds in this module (the alias after
+    /// `as`, otherwise the final segment; `*` for glob imports).
+    pub name: String,
+    /// The full path segments, e.g. `["planet_sim", "drive_into"]`.
+    pub segments: Vec<String>,
 }
 
 /// A struct field with its declared type, flattened to text.
@@ -217,6 +243,7 @@ pub fn fns(toks: &[Tok]) -> Vec<FnDef> {
                     name,
                     line,
                     body: j + 1..end - 1,
+                    params: fn_params(toks, i + 2, j),
                 });
                 // Do not skip the body: nested fns (closures do not use
                 // `fn`) are rare, but scanning on is harmless.
@@ -325,6 +352,311 @@ pub fn typed_lets(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
     out
 }
 
+/// Parse a function's named parameters from the signature tokens between
+/// `sig_start` (just past the fn name) and `body_open` (the body `{`).
+/// Finds the first `(..)` at angle-depth 0 and splits it; each element of
+/// shape `[mut] name : Type` yields `(name, type-text)`.
+fn fn_params(toks: &[Tok], sig_start: usize, body_open: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut j = sig_start;
+    let mut angle = 0i32;
+    while j < body_open.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'<' => angle += 1,
+                b'>' => angle = (angle - 1).max(0),
+                b'(' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    if j >= body_open.min(toks.len()) {
+        return out;
+    }
+    let close = skip_group(toks, j, '(', ')');
+    for elem in split_top_level_commas(toks, j + 1..close - 1) {
+        // Find the top-level `:` separating pattern from type.
+        let mut depth = 0i32;
+        let mut colon = None;
+        for k in elem.clone() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_bytes()[0] {
+                    b'(' | b'[' | b'{' | b'<' => depth += 1,
+                    b')' | b']' | b'}' | b'>' => depth -= 1,
+                    b':' if depth == 0 => {
+                        // `::` is a path, not the pattern/type separator.
+                        let part_of_path = (k + 1 < elem.end && toks[k + 1].is_punct(':'))
+                            || (k > elem.start && toks[k - 1].is_punct(':'));
+                        if !part_of_path {
+                            colon = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(c) = colon {
+            // Name = the single ident right before the colon (skip tuple
+            // and struct patterns, which have closing punctuation there).
+            if c > elem.start && toks[c - 1].kind == TokKind::Ident {
+                let name = toks[c - 1].text.clone();
+                if name == "self" {
+                    continue;
+                }
+                let ty = toks[c + 1..elem.end]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push((name, ty));
+            }
+        }
+    }
+    out
+}
+
+/// Extract every `impl` block: self type, optional trait, body range.
+pub fn impls(toks: &[Tok]) -> Vec<ImplDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Shape: impl [<generics>] Path [<args>] [for Path [<args>]]
+        //        [where ..] { body }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct('<') {
+            j = skip_angle_group(toks, j);
+        }
+        let first = path_tail(toks, &mut j);
+        let mut trait_name = None;
+        let mut ty = first.clone();
+        if j < toks.len() && toks[j].is_ident("for") {
+            j += 1;
+            trait_name = first;
+            ty = path_tail(toks, &mut j);
+        }
+        // Scan to the body brace (skipping where-clauses, which can nest
+        // angle brackets but not braces).
+        let mut angle = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_bytes()[0] {
+                    b'<' => angle += 1,
+                    b'>' => angle = (angle - 1).max(0),
+                    b'{' if angle == 0 => break,
+                    b';' if angle == 0 => break,
+                    b'-' if j + 1 < toks.len() && toks[j + 1].is_punct('>') => j += 1,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            let end = skip_group(toks, j, '{', '}');
+            if let Some(ty) = ty {
+                out.push(ImplDef {
+                    ty,
+                    trait_name,
+                    body: j + 1..end - 1,
+                });
+            }
+            i = j + 1; // scan into the body for nested items
+        } else {
+            i = j + 1;
+        }
+    }
+    out
+}
+
+/// Advance past a balanced `<..>` group (generics). `i` must point at `<`.
+fn skip_angle_group(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'<' => depth += 1,
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // `->` inside an Fn() bound: the `>` is not a closer.
+                b'-' if j + 1 < toks.len() && toks[j + 1].is_punct('>') => j += 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Read a type path at `*j` (`a::b::Type<..>`, `&mut Type`), advancing `*j`
+/// past it, and return the final segment name.
+fn path_tail(toks: &[Tok], j: &mut usize) -> Option<String> {
+    // Skip reference/pointer sigils.
+    while *j < toks.len()
+        && (toks[*j].is_punct('&')
+            || toks[*j].is_ident("mut")
+            || toks[*j].kind == TokKind::Lifetime)
+    {
+        *j += 1;
+    }
+    let mut last = None;
+    while *j < toks.len() {
+        if toks[*j].kind == TokKind::Ident && !toks[*j].is_ident("for") && !toks[*j].is_ident("where")
+        {
+            last = Some(toks[*j].text.clone());
+            *j += 1;
+            if *j < toks.len() && toks[*j].is_punct('<') {
+                *j = skip_angle_group(toks, *j);
+            }
+            if *j + 1 < toks.len() && toks[*j].is_punct(':') && toks[*j + 1].is_punct(':') {
+                *j += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    last
+}
+
+/// Extract every `use` declaration, flattening `{..}` groups. Glob imports
+/// are recorded with name `*`.
+pub fn use_decls(toks: &[Tok]) -> Vec<UseDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let mut prefix = Vec::new();
+            i = parse_use_tree(toks, i + 1, &mut prefix, &mut out);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parse one use-tree starting at `i` with `prefix` segments already seen;
+/// returns the index just past the tree (and its closing `;`/`,` if any).
+fn parse_use_tree(toks: &[Tok], mut i: usize, prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text != "as" {
+            prefix.push(t.text.clone());
+            i += 1;
+            if i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+                i += 2;
+                if i < toks.len() && toks[i].is_punct('{') {
+                    // Group: recurse per comma-separated element.
+                    let end = skip_group(toks, i, '{', '}');
+                    for elem in split_top_level_commas(toks, i + 1..end - 1) {
+                        let mut p = prefix.clone();
+                        parse_use_tree(toks, elem.start, &mut p, out);
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return end;
+                }
+                continue;
+            }
+            // End of path: maybe `as alias`.
+            let mut name = prefix.last().cloned().unwrap_or_default();
+            if i < toks.len() && toks[i].is_ident("as") && i + 1 < toks.len() {
+                name = toks[i + 1].text.clone();
+                i += 2;
+            }
+            out.push(UseDecl {
+                name,
+                segments: prefix.clone(),
+            });
+            prefix.truncate(depth_at_entry);
+            return i + 1;
+        } else if t.is_punct('*') {
+            prefix.push("*".to_string());
+            out.push(UseDecl {
+                name: "*".to_string(),
+                segments: prefix.clone(),
+            });
+            prefix.truncate(depth_at_entry);
+            return i + 2;
+        } else {
+            // Unexpected shape (attribute, visibility, ...): skip token.
+            i += 1;
+            if i > 0 && toks[i - 1].is_punct(';') {
+                return i;
+            }
+        }
+    }
+    i
+}
+
+/// Names of every struct and enum declared in the file.
+pub fn type_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if (toks[i].is_ident("struct") || toks[i].is_ident("enum") || toks[i].is_ident("trait"))
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            out.push(toks[i + 1].text.clone());
+        }
+    }
+    out
+}
+
+/// `type Alias = Target;` declarations, as `(alias, target-text)`.
+pub fn type_aliases(toks: &[Tok]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("type") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            if j < toks.len() && toks[j].is_punct('<') {
+                j = skip_angle_group(toks, j);
+            }
+            if j < toks.len() && toks[j].is_punct('=') {
+                let start = j + 1;
+                let mut k = start;
+                let mut depth = 0i32;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_bytes()[0] {
+                            b'(' | b'[' | b'{' | b'<' => depth += 1,
+                            b')' | b']' | b'}' | b'>' => depth -= 1,
+                            b';' if depth <= 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let target = toks[start..k]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push((name, target));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,5 +722,76 @@ mod tests {
         let lexed = lex(src);
         let names = typed_lets(&lexed.toks, &["HashMap"]);
         assert_eq!(names, vec!["m", "n"]);
+    }
+
+    #[test]
+    fn fn_params_are_captured() {
+        let src = "fn f(&mut self, x: u32, tx: &Sender<Packet>, (a, b): (u8, u8)) -> bool { true }";
+        let lexed = lex(src);
+        let fs = fns(&lexed.toks);
+        assert_eq!(
+            fs[0].params,
+            vec![
+                ("x".to_string(), "u32".to_string()),
+                ("tx".to_string(), "& Sender < Packet >".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn impls_capture_trait_and_type() {
+        let src = r#"
+            impl Coordinator { fn a() {} }
+            impl<M> Actor<M> for planet_mdcc::Replica { fn on_message(&mut self) {} }
+            impl Display for Msg { fn fmt(&self) {} }
+        "#;
+        let lexed = lex(src);
+        let im = impls(&lexed.toks);
+        assert_eq!(im.len(), 3);
+        assert_eq!((im[0].ty.as_str(), im[0].trait_name.as_deref()), ("Coordinator", None));
+        assert_eq!(
+            (im[1].ty.as_str(), im[1].trait_name.as_deref()),
+            ("Replica", Some("Actor"))
+        );
+        assert_eq!(
+            (im[2].ty.as_str(), im[2].trait_name.as_deref()),
+            ("Msg", Some("Display"))
+        );
+    }
+
+    #[test]
+    fn use_decls_flatten_groups_and_aliases() {
+        let src = r#"
+            use planet_sim::drive_into;
+            use planet_mdcc::{Msg, coordinator::Coordinator as Coord};
+            use crate::plane::*;
+        "#;
+        let lexed = lex(src);
+        let us = use_decls(&lexed.toks);
+        let find = |n: &str| us.iter().find(|u| u.name == n).map(|u| u.segments.clone());
+        assert_eq!(
+            find("drive_into"),
+            Some(vec!["planet_sim".into(), "drive_into".into()])
+        );
+        assert_eq!(find("Msg"), Some(vec!["planet_mdcc".into(), "Msg".into()]));
+        assert_eq!(
+            find("Coord"),
+            Some(vec![
+                "planet_mdcc".into(),
+                "coordinator".into(),
+                "Coordinator".into()
+            ])
+        );
+        assert_eq!(find("*"), Some(vec!["crate".into(), "plane".into(), "*".into()]));
+    }
+
+    #[test]
+    fn type_names_and_aliases() {
+        let src = "struct A; enum B { X } trait C {} type Conn = Arc<Mutex<TcpStream>>;";
+        let lexed = lex(src);
+        assert_eq!(type_names(&lexed.toks), vec!["A", "B", "C"]);
+        let al = type_aliases(&lexed.toks);
+        assert_eq!(al[0].0, "Conn");
+        assert!(al[0].1.contains("Mutex"));
     }
 }

@@ -16,13 +16,15 @@
 //!   `run_to_completion`, or `commit` calls.
 //!
 //! Roots are the closure expressions registered via `callbacks.push(..)` /
-//! `.on_progress(..)` in `crates/core/src`, plus every same-file function
-//! they call (transitively). Suppress with `// check:allow(callback)`.
+//! `.on_progress(..)` in `crates/core/src`, plus every function they call —
+//! closed over the **workspace-wide** call graph, so a helper the callback
+//! calls into `planet-storage` is scanned too. Suppress with
+//! `// check:allow(callback)`.
 
 use std::collections::BTreeSet;
 use std::ops::Range;
 
-use crate::callgraph::{call_names, CallGraph};
+use crate::callgraph::call_names;
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
 use crate::model::{Pass, SourceFile, Workspace};
@@ -110,26 +112,49 @@ impl Pass for CallbackPass {
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in ws.files_under("crates/core/src/") {
-            let toks = file.toks();
-            let regs = registration_args(toks);
-            if regs.is_empty() {
+        let g = ws.graph();
+        let files = ws.files();
+        // Callback-reachable code: the registration arguments (the closures
+        // themselves) plus every function they call, closed over the
+        // workspace graph. Root resolution prefers same-file definitions;
+        // otherwise any `crates/core/src` function with the called name.
+        let mut roots: BTreeSet<usize> = BTreeSet::new();
+        let mut regions: Vec<(usize, Range<usize>)> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            if !file.path.starts_with("crates/core/src/") {
                 continue;
             }
-            let cg = CallGraph::build(toks);
-            // Callback-reachable code: the registration arguments (the
-            // closures themselves) plus every same-file function they call.
-            let mut roots: BTreeSet<usize> = BTreeSet::new();
-            for r in &regs {
-                for name in call_names(toks, r.clone()) {
-                    roots.extend(cg.named(&name).iter().copied());
+            let toks = file.toks();
+            for r in registration_args(toks) {
+                regions.push((fi, r.clone()));
+                for name in call_names(toks, r) {
+                    let same: Vec<usize> = g
+                        .nodes_of_file(fi)
+                        .iter()
+                        .copied()
+                        .filter(|&n| g.fns[n].name == name)
+                        .collect();
+                    if same.is_empty() {
+                        roots.extend((0..g.fns.len()).filter(|&n| {
+                            g.fns[n].name == name
+                                && files[g.fns[n].file].path.starts_with("crates/core/src/")
+                        }));
+                    } else {
+                        roots.extend(same);
+                    }
                 }
             }
-            let reach = cg.reachable(roots);
-            let mut regions: Vec<Range<usize>> = regs.clone();
-            regions.extend(reach.iter().map(|&f| cg.fns[f].body.clone()));
+        }
+        if regions.is_empty() {
+            return;
+        }
+        let (reach, _) = g.reachable_with_preds(roots.iter().copied());
+        regions.extend(reach.iter().map(|&n| (g.fns[n].file, g.fns[n].body.clone())));
 
-            for region in regions {
+        {
+            for (fi, region) in regions {
+                let file = &files[fi];
+                let toks = file.toks();
                 for (name, line) in offending_calls(toks, region.clone(), &["lock"]) {
                     flag(
                         out,

@@ -1,12 +1,16 @@
 //! The pass pipeline: protocol-aware analyses over the shared model, plus
 //! token-scanning helpers they have in common. `wire`/`state`/`locks`/
 //! `determinism` are lexical; `time`/`callback`/`panic` run on the CFG +
-//! dataflow layer in [`crate::cfg`].
+//! dataflow layer in [`crate::cfg`]; `flow`/`race` (and the re-rooted
+//! `callback`/`panic`) run on the workspace-wide call graph in
+//! [`crate::callgraph`].
 
 pub mod callback;
 pub mod determinism;
+pub mod flow;
 pub mod locks;
 pub mod panic;
+pub mod race;
 pub mod state;
 pub mod time;
 pub mod wire;

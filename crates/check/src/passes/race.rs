@@ -1,0 +1,541 @@
+//! Thread-escape and blocking-under-lock analysis over `planet-cluster`.
+//!
+//! The cluster runtime is the only place in the workspace that spawns real
+//! OS threads (node threads, fabric pumps, acceptor loops), so it is the
+//! only place actor-owned state can leak across a thread boundary. Codes:
+//!
+//! * **RACE001** — actor-owned state escapes its node thread: a `self`
+//!   field or typed local captured by a `spawn(..)` closure whose type
+//!   carries no synchronization (no `Mutex`/`RwLock`/`Atomic*`/channel
+//!   half), or an `Arc<..>` alias with no interior sync. One level of
+//!   `type` aliases is expanded before the check.
+//! * **RACE002** — a blocking call (`recv`, `join`, `write_all`, condvar
+//!   waits, sleeps) or a lock acquisition is reachable — workspace-wide,
+//!   through the interprocedural call graph — while a lock guard is live.
+//!   This extends the intraprocedural LOCK passes across function and
+//!   crate boundaries; the diagnostic carries the witness call chain.
+//!   A condvar wait with exactly one lock held is the intended idiom and
+//!   is not flagged.
+//! * **RACE003** — a channel sender is cloned into a spawned closure or
+//!   stored into a collection: two handles to the same mailbox can
+//!   interleave and break the documented per-pair FIFO delivery order.
+//!
+//! Suppress with `// check:allow(race)`.
+
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::model::{Pass, SourceFile, Workspace};
+use crate::parse::{skip_group, type_aliases};
+use crate::passes::determinism::cfg_test_ranges;
+
+const SCOPE: &str = "crates/cluster/src/";
+
+/// Substrings that mark a type as synchronized (safe to share).
+const SYNC_MARKERS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Atomic",
+    "Condvar",
+    "Sender",
+    "SyncSender",
+    "Receiver",
+    "JoinHandle",
+    "Barrier",
+    "OnceLock",
+    "Once",
+    "mpsc",
+    "Mailbox",
+    "PhantomData",
+];
+
+/// Directly blocking method names (callee side of RACE002).
+const BLOCKING: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "write_all",
+    "flush",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+];
+
+const CONDVAR_WAITS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+fn in_ranges(ranges: &[Range<usize>], idx: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&idx))
+}
+
+/// True when `ty` (a flattened type text) carries a sync marker, expanding
+/// one level of local `type` aliases.
+fn is_synced(ty: &str, aliases: &[(String, String)]) -> bool {
+    if SYNC_MARKERS.iter().any(|m| ty.contains(m)) {
+        return true;
+    }
+    aliases.iter().any(|(name, target)| {
+        ty.contains(name.as_str()) && SYNC_MARKERS.iter().any(|m| target.contains(m))
+    })
+}
+
+/// Argument ranges of `spawn(..)` / `thread::spawn(..)` / `pool.spawn(..)`
+/// calls in `range` (token indices inside the parens).
+fn spawn_ranges(toks: &[Tok], range: Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = range.start.max(1);
+    while i + 1 < range.end.min(toks.len()) {
+        if toks[i].is_ident("spawn")
+            && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+            && toks[i + 1].is_punct('(')
+        {
+            let end = skip_group(toks, i + 1, '(', ')');
+            out.push(i + 2..end.saturating_sub(1));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Explicitly-typed bindings visible in a function: parameters plus
+/// `let name: Ty = ..` locals, as flattened type text.
+fn typed_bindings(
+    toks: &[Tok],
+    body: Range<usize>,
+    params: &[(String, String)],
+) -> HashMap<String, String> {
+    let mut out: HashMap<String, String> = params.iter().cloned().collect();
+    let mut i = body.start;
+    while i + 3 < body.end.min(toks.len()) {
+        if toks[i].is_ident("let")
+            && toks[i + 1].kind == crate::lexer::TokKind::Ident
+            && toks[i + 2].is_punct(':')
+            && !toks[i + 3].is_punct(':')
+        {
+            let name = toks[i + 1].text.clone();
+            let mut ty = String::new();
+            let mut j = i + 3;
+            let mut depth = 0i32;
+            while j < body.end.min(toks.len()) {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                } else if depth <= 0 && (t.is_punct('=') || t.is_punct(';')) {
+                    break;
+                }
+                if !ty.is_empty() {
+                    ty.push(' ');
+                }
+                ty.push_str(&t.text);
+                j += 1;
+            }
+            out.insert(name, ty);
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn flag(
+    out: &mut Vec<Diagnostic>,
+    file: &SourceFile,
+    code: &'static str,
+    line: u32,
+    message: String,
+    suggestion: &str,
+) {
+    if file.allowed("race", line) {
+        return;
+    }
+    out.push(Diagnostic::error(code, &file.path, line, message).with_suggestion(suggestion));
+}
+
+/// A live lock guard while scanning a function body.
+struct LiveLock {
+    /// Brace depth the guard dies below (`let`-bound guards), or `None`
+    /// for a statement-scoped temporary.
+    depth: Option<i32>,
+}
+
+/// The thread-escape pass.
+pub struct RacePass;
+
+impl Pass for RacePass {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn description(&self) -> &'static str {
+        "actor state escaping node threads, blocking calls reachable under a lock, cloned senders breaking FIFO"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let g = ws.graph();
+        let files = ws.files();
+
+        // ---- interprocedural blocking summaries (workspace-wide) ----
+        // A node blocks directly if its body (outside tests) calls a
+        // blocking method or acquires a lock. blocking_reachable is the
+        // reverse closure: "calling this function may block".
+        let mut direct_block: Vec<Option<&'static str>> = vec![None; g.fns.len()];
+        for (n, f) in g.fns.iter().enumerate() {
+            let file = &files[f.file];
+            let toks = file.toks();
+            let skip = cfg_test_ranges(toks);
+            for i in f.body.clone() {
+                if i + 1 >= toks.len() || i == 0 || in_ranges(&skip, i) {
+                    continue;
+                }
+                if !toks[i - 1].is_punct('.') || !toks[i + 1].is_punct('(') {
+                    continue;
+                }
+                if let Some(name) = BLOCKING.iter().find(|b| toks[i].is_ident(b)) {
+                    direct_block[n] = Some(name);
+                    break;
+                }
+                if (toks[i].is_ident("lock") || toks[i].is_ident("read") || toks[i].is_ident("write"))
+                    && i + 2 < toks.len()
+                    && toks[i + 2].is_punct(')')
+                {
+                    direct_block[n] = Some("lock");
+                    break;
+                }
+            }
+        }
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+        for (n, sites) in g.calls.iter().enumerate() {
+            for s in sites {
+                callers[s.target].push(n);
+            }
+        }
+        let mut may_block = vec![false; g.fns.len()];
+        let mut queue: Vec<usize> = (0..g.fns.len()).filter(|&n| direct_block[n].is_some()).collect();
+        for &n in &queue {
+            may_block[n] = true;
+        }
+        while let Some(n) = queue.pop() {
+            for &c in &callers[n] {
+                if !may_block[c] {
+                    may_block[c] = true;
+                    queue.push(c);
+                }
+            }
+        }
+
+        for (fi, file) in files.iter().enumerate() {
+            if !file.path.starts_with(SCOPE) {
+                continue;
+            }
+            let toks = file.toks();
+            let skip = cfg_test_ranges(toks);
+            let aliases = type_aliases(toks);
+            let field_ty: HashMap<&str, &str> = file
+                .fields()
+                .iter()
+                .map(|f| (f.name.as_str(), f.ty.as_str()))
+                .collect();
+
+            for &node in g.nodes_of_file(fi) {
+                let def = &g.fns[node];
+                if in_ranges(&skip, def.body.start) {
+                    continue;
+                }
+                let body = def.body.clone();
+                let bindings = typed_bindings(toks, body.clone(), &def.params);
+                let spawns = spawn_ranges(toks, body.clone());
+
+                // ---- RACE001 + RACE003 inside spawn closures ----
+                for sp in &spawns {
+                    let mut reported: BTreeSet<&str> = BTreeSet::new();
+                    let mut i = sp.start;
+                    while i < sp.end.min(toks.len()) {
+                        let t = &toks[i];
+                        // self.field escaping the node thread
+                        if t.is_ident("self")
+                            && i + 2 < toks.len()
+                            && toks[i + 1].is_punct('.')
+                            && toks[i + 2].kind == crate::lexer::TokKind::Ident
+                        {
+                            let fname = toks[i + 2].text.as_str();
+                            if let Some(ty) = field_ty.get(fname) {
+                                if !is_synced(ty, &aliases) && reported.insert(fname) {
+                                    flag(
+                                        out,
+                                        file,
+                                        "RACE001",
+                                        toks[i + 2].line,
+                                        format!(
+                                            "field `self.{fname}: {ty}` escapes into a spawned thread without synchronization"
+                                        ),
+                                        "wrap the shared state in `Arc<Mutex<..>>`/atomics or move ownership into the thread, or annotate with `// check:allow(race)`",
+                                    );
+                                }
+                            }
+                        }
+                        // typed local escaping
+                        if t.kind == crate::lexer::TokKind::Ident
+                            && (i == 0 || !toks[i - 1].is_punct('.'))
+                        {
+                            if let Some(ty) = bindings.get(t.text.as_str()) {
+                                let name = t.text.as_str();
+                                if !is_synced(ty, &aliases)
+                                    && !ty.contains("dyn")
+                                    && reported.insert(name)
+                                {
+                                    // A trait object's impls may carry their
+                                    // own interior sync (invisible here), so
+                                    // `dyn` types are exempt above. And a
+                                    // plain owned value both captured and
+                                    // used after the spawn only compiles if
+                                    // it was copied, so used-after only
+                                    // counts for borrowed/generic types.
+                                    let arced = ty.contains("Arc");
+                                    let shareable = ty.contains('&') || ty.contains('<');
+                                    let used_after = shareable
+                                        && (sp.end..body.end.min(toks.len()))
+                                            .any(|j| toks[j].is_ident(name));
+                                    if arced || used_after {
+                                        let what = if arced {
+                                            "an `Arc` alias with no interior synchronization"
+                                        } else {
+                                            "also used after the spawn"
+                                        };
+                                        flag(
+                                            out,
+                                            file,
+                                            "RACE001",
+                                            t.line,
+                                            format!(
+                                                "`{name}: {ty}` is captured by a spawned thread and is {what}"
+                                            ),
+                                            "add interior synchronization (`Mutex`/`RwLock`/atomics) or move ownership into the thread, or annotate with `// check:allow(race)`",
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // RACE003: sender clone inside a spawn closure
+                        if t.is_ident("clone")
+                            && i >= 2
+                            && toks[i - 1].is_punct('.')
+                            && i + 1 < toks.len()
+                            && toks[i + 1].is_punct('(')
+                        {
+                            let recv = &toks[i - 2];
+                            let ty = bindings
+                                .get(recv.text.as_str())
+                                .map(String::as_str)
+                                .or_else(|| field_ty.get(recv.text.as_str()).copied());
+                            if let Some(ty) = ty {
+                                if ty.contains("Sender") || ty.contains("Mailbox") {
+                                    flag(
+                                        out,
+                                        file,
+                                        "RACE003",
+                                        t.line,
+                                        format!(
+                                            "`{}.clone()` duplicates a channel sender inside a spawned thread — two handles to one mailbox can interleave and break per-pair FIFO",
+                                            recv.text
+                                        ),
+                                        "route all sends to a destination through a single owned handle, or annotate with `// check:allow(race)` and document the ordering argument",
+                                    );
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+
+                // ---- RACE003 outside spawns: stored sender clones ----
+                let mut i = body.start.max(2);
+                while i + 1 < body.end.min(toks.len()) {
+                    if toks[i].is_ident("clone")
+                        && toks[i - 1].is_punct('.')
+                        && toks[i + 1].is_punct('(')
+                        && !in_ranges(&skip, i)
+                        && !spawns.iter().any(|sp| sp.contains(&i))
+                    {
+                        let recv = &toks[i - 2];
+                        let ty = bindings
+                            .get(recv.text.as_str())
+                            .map(String::as_str)
+                            .or_else(|| field_ty.get(recv.text.as_str()).copied());
+                        let is_sender =
+                            ty.is_some_and(|t| t.contains("Sender") || t.contains("Mailbox"));
+                        if is_sender {
+                            // Only when the statement *retains* the clone
+                            // (stored into a collection): a returned or
+                            // immediately-consumed clone keeps one live
+                            // handle per destination.
+                            let stmt_end = (i..body.end.min(toks.len()))
+                                .find(|&j| toks[j].is_punct(';'))
+                                .unwrap_or(body.end.min(toks.len()));
+                            let stmt_start = (body.start..i)
+                                .rev()
+                                .find(|&j| toks[j].is_punct(';') || toks[j].is_punct('{'))
+                                .map(|j| j + 1)
+                                .unwrap_or(body.start);
+                            let stored = (stmt_start..stmt_end).any(|j| {
+                                (toks[j].is_ident("push") || toks[j].is_ident("insert"))
+                                    && j + 1 < toks.len()
+                                    && toks[j + 1].is_punct('(')
+                            });
+                            if stored {
+                                flag(
+                                    out,
+                                    file,
+                                    "RACE003",
+                                    toks[i].line,
+                                    format!(
+                                        "`{}.clone()` stores a second handle to a channel sender — concurrent senders to one mailbox can break per-pair FIFO",
+                                        recv.text
+                                    ),
+                                    "keep a single owned handle per destination, or annotate with `// check:allow(race)` and document the ordering argument",
+                                );
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+
+                // ---- RACE002: blocking reachable while a lock is held ----
+                let sites: HashMap<usize, usize> = g.calls[node]
+                    .iter()
+                    .map(|s| (s.tok, s.target))
+                    .collect();
+                let mut live: Vec<LiveLock> = Vec::new();
+                let mut depth = 0i32;
+                let mut i = body.start;
+                while i < body.end.min(toks.len()) {
+                    let t = &toks[i];
+                    if t.is_punct('{') {
+                        // An if/while-condition temporary dies before the
+                        // block opens (for/match head temporaries are
+                        // promoted to block scope at creation).
+                        live.retain(|l| l.depth.is_some());
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        live.retain(|l| l.depth.is_none_or(|d| d <= depth));
+                    } else if t.is_punct(';') {
+                        live.retain(|l| l.depth.is_some());
+                    } else if i > 0
+                        && i + 2 < toks.len()
+                        && toks[i - 1].is_punct('.')
+                        && toks[i + 1].is_punct('(')
+                        && toks[i + 2].is_punct(')')
+                        && (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+                        && !in_ranges(&skip, i)
+                    {
+                        // Guard lifetime. A `let` binds the guard for the
+                        // enclosing block (`if/while let`: the block about
+                        // to open) — but only when the chain after
+                        // `.lock()` is just `.expect()`/`.unwrap()`. If
+                        // more methods follow (`.drain(..).collect()`,
+                        // `.get(..)`), the guard is a temporary that dies
+                        // at the end of the statement regardless of the
+                        // `let`.
+                        let mut j = i + 3; // past `( )`
+                        let mut chained_away = false;
+                        while j + 2 < body.end.min(toks.len()) && toks[j].is_punct('.') {
+                            if !(toks[j + 1].is_ident("expect") || toks[j + 1].is_ident("unwrap")) {
+                                chained_away = true;
+                                break;
+                            }
+                            j = skip_group(toks, j + 2, '(', ')');
+                        }
+                        let mut bound = None;
+                        {
+                            let mut j = i;
+                            let mut stmt_start = body.start;
+                            let mut saw_let = None;
+                            while j > body.start {
+                                j -= 1;
+                                let b = &toks[j];
+                                if b.is_punct(';') || b.is_punct('{') || b.is_punct('}') {
+                                    stmt_start = j + 1;
+                                    break;
+                                }
+                                if b.is_ident("let") {
+                                    saw_let = Some(j);
+                                }
+                            }
+                            if let Some(j) = saw_let.filter(|_| !chained_away) {
+                                let conditional = j > 0
+                                    && (toks[j - 1].is_ident("if")
+                                        || toks[j - 1].is_ident("while"));
+                                bound = Some(if conditional { depth + 1 } else { depth });
+                            } else if toks
+                                .get(stmt_start)
+                                .is_some_and(|t| t.is_ident("for") || t.is_ident("match"))
+                            {
+                                // for/match head temporaries live through
+                                // the loop/match body.
+                                bound = Some(depth + 1);
+                            }
+                        }
+                        live.push(LiveLock { depth: bound });
+                    } else if !live.is_empty()
+                        && i > 0
+                        && i + 1 < toks.len()
+                        && toks[i - 1].is_punct('.')
+                        && toks[i + 1].is_punct('(')
+                        && !in_ranges(&skip, i)
+                    {
+                        if let Some(name) = BLOCKING.iter().find(|b| toks[i].is_ident(b)) {
+                            let condvar_ok =
+                                CONDVAR_WAITS.contains(name) && live.len() == 1;
+                            if !condvar_ok {
+                                flag(
+                                    out,
+                                    file,
+                                    "RACE002",
+                                    t.line,
+                                    format!(
+                                        "blocking call `.{name}(..)` while a lock guard is live in `{}`",
+                                        def.name
+                                    ),
+                                    "drop the guard (end its scope or `drop(..)`) before blocking, or annotate with `// check:allow(race)` and bound the wait",
+                                );
+                            }
+                        }
+                    }
+                    if !live.is_empty() && !in_ranges(&skip, i) {
+                        if let Some(&target) = sites.get(&i) {
+                            if may_block[target] {
+                                let (reach, preds) = g.reachable_with_preds([target]);
+                                let sink = reach
+                                    .iter()
+                                    .copied()
+                                    .find(|&n| direct_block[n].is_some());
+                                if let Some(sink) = sink {
+                                    let via = direct_block[sink].unwrap_or("recv");
+                                    flag(
+                                        out,
+                                        file,
+                                        "RACE002",
+                                        t.line,
+                                        format!(
+                                            "call to `{}` can block (`.{via}(..)` via {}) while a lock guard is live in `{}`",
+                                            g.fns[target].name,
+                                            g.chain_text(&preds, sink),
+                                            def.name
+                                        ),
+                                        "drop the guard before calling into code that blocks or locks, or annotate with `// check:allow(race)` with the ordering argument",
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -939,3 +939,709 @@ mod tests {
     let diags = run(&w, "panic");
     assert!(diags.is_empty(), "test-module roots are exempt: {diags:?}");
 }
+
+// ---- flow ----
+
+#[test]
+fn flow_unrouted_variant_fires_at_declaration() {
+    let w = ws(&[(
+        "crates/mdcc/src/messages.rs",
+        r#"
+pub enum Msg {
+    Submit { spec: u32, reply_to: u64, tag: u64 },
+    Sideband { blob: u64 },
+}
+"#,
+    )]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW001")
+        .expect("FLOW001 must fire for a variant outside the routing table");
+    assert!(hit.message.contains("Msg::Sideband"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/mdcc/src/messages.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn flow_allow_marker_silences_unrouted_variant() {
+    let w = ws(&[(
+        "crates/mdcc/src/messages.rs",
+        r#"
+pub enum Msg {
+    Submit { spec: u32, reply_to: u64, tag: u64 },
+    // check:allow(flow): reserved for the debug fabric
+    Sideband { blob: u64 },
+}
+"#,
+    )]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW001"),
+        "allow marker must silence FLOW001: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_sent_but_never_matched_by_role_fires_at_send() {
+    // Crash routes to the replica; the coordinator injects it but the
+    // replica file never matches it — the message is silently dropped.
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Crash,\n}\n"),
+        (
+            "crates/mdcc/src/coordinator.rs",
+            r#"
+impl CoordinatorActor {
+    fn inject(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.victim, Msg::Crash);
+    }
+}
+"#,
+        ),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        let _ = msg;
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW001")
+        .expect("FLOW001 must fire at the unanswered send");
+    assert!(hit.message.contains("Msg::Crash"), "{}", hit.message);
+    assert!(hit.message.contains("replica"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/mdcc/src/coordinator.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn flow_sent_and_matched_by_role_is_quiet() {
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Crash,\n}\n"),
+        (
+            "crates/mdcc/src/coordinator.rs",
+            r#"
+impl CoordinatorActor {
+    fn inject(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.victim, Msg::Crash);
+    }
+}
+"#,
+        ),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::Crash => self.crash(),
+            _ => {}
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(diags.is_empty(), "routed + handled must be quiet: {diags:?}");
+}
+
+#[test]
+fn flow_request_without_reply_or_timer_fires() {
+    // ReadReq is a request: its replica handler must reach a ReadResp send
+    // or arm a timer on every path. This one does neither.
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    ReadReq { key: u32, from: u64 },\n    ReadResp { key: u32 },\n}\n",
+        ),
+        (
+            "crates/mdcc/src/coordinator.rs",
+            r#"
+impl CoordinatorActor {
+    fn read(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.replica, Msg::ReadReq { key, from });
+    }
+}
+"#,
+        ),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        match msg {
+            Msg::ReadReq { key, from } => self.note(key),
+            _ => {}
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW002")
+        .expect("FLOW002 must fire for the reply-less handler");
+    assert!(hit.message.contains("Msg::ReadReq"), "{}", hit.message);
+    assert!(hit.message.contains("Msg::ReadResp"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/mdcc/src/replica_actor.rs");
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn flow_request_replying_through_other_crate_is_quiet() {
+    // The reply send lives two crates away; only the workspace-wide call
+    // graph (use-path import resolution) can see the handler reaches it.
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    ReadReq { key: u32, from: u64 },\n    ReadResp { key: u32 },\n}\n",
+        ),
+        (
+            "crates/mdcc/src/coordinator.rs",
+            r#"
+impl CoordinatorActor {
+    fn read(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.replica, Msg::ReadReq { key, from });
+    }
+}
+"#,
+        ),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+use planet_util::reply_read;
+
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        match msg {
+            Msg::ReadReq { key, from } => reply_read(ctx, from, key),
+            _ => {}
+        }
+    }
+}
+"#,
+        ),
+        (
+            "crates/util/src/lib.rs",
+            r#"
+pub fn reply_read(ctx: &mut Ctx, from: u64, key: u32) {
+    ctx.send(from, Msg::ReadResp { key });
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW002"),
+        "cross-crate reply must satisfy the request: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_request_arming_timer_on_every_path_is_quiet() {
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    ReadReq { key: u32, from: u64 },\n    ReadResp { key: u32 },\n}\n",
+        ),
+        (
+            "crates/mdcc/src/coordinator.rs",
+            r#"
+impl CoordinatorActor {
+    fn read(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.replica, Msg::ReadReq { key, from });
+    }
+}
+"#,
+        ),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Ctx) {
+        ctx.schedule(self.sweep_every, Msg::Retry { key: 0 });
+        match msg {
+            Msg::ReadReq { key, from } => self.deferred.push(key),
+            _ => {}
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW002"),
+        "a timer armed on every path through the handler satisfies the request: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_client_submit_without_timer_fires_and_allow_suppresses() {
+    let submit_only = r#"
+impl LoadClient {
+    fn submit_next(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.coordinator, Msg::Submit { spec, reply_to, tag });
+    }
+}
+"#;
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n}\n",
+        ),
+        ("crates/cluster/src/load.rs", submit_only),
+    ]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW002")
+        .expect("FLOW002 must fire for the timer-less client");
+    assert!(hit.message.contains("closed loop"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/load.rs");
+    assert_eq!(hit.line, 4);
+
+    let allowed = submit_only.replace(
+        "        ctx.send(",
+        "        // check:allow(flow)\n        ctx.send(",
+    );
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n}\n",
+        ),
+        ("crates/cluster/src/load.rs", &allowed),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW002"),
+        "allow marker must silence FLOW002: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_client_submit_with_timer_is_quiet() {
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n}\n",
+        ),
+        (
+            "crates/cluster/src/load.rs",
+            r#"
+impl LoadClient {
+    fn submit_next(&mut self, ctx: &mut Ctx) {
+        ctx.send(self.coordinator, Msg::Submit { spec, reply_to, tag });
+        ctx.schedule(self.resubmit_timeout, Msg::ClientTimer { kind: 1, tag });
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW002"),
+        "a client that arms deadlines is quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_dead_variant_fires_at_declaration_and_allow_suppresses() {
+    let w = ws(&[
+        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Recover,\n}\n"),
+        (
+            "crates/mdcc/src/replica_actor.rs",
+            r#"
+impl ReplicaActor {
+    fn on_message(&mut self, msg: Msg) {
+        match msg {
+            Msg::Recover => self.recover(),
+            _ => {}
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW003")
+        .expect("FLOW003 must fire for a never-sent variant");
+    assert!(hit.message.contains("never sent"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/mdcc/src/messages.rs");
+    assert_eq!(hit.line, 3);
+
+    let w = ws(&[(
+        "crates/mdcc/src/messages.rs",
+        "\npub enum Msg {\n    // check:allow(flow): fault-injection only\n    Recover,\n}\n",
+    )]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW003"),
+        "allow marker must silence FLOW003: {diags:?}"
+    );
+}
+
+#[test]
+fn flow_shed_submit_without_synthetic_txn_done_fires() {
+    // The channel.rs shed shape: a cluster function special-cases Submit
+    // (here via matches!) but never bounces the promised TxnDone.
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n    TxnDone { tag: u64 },\n}\n",
+        ),
+        (
+            "crates/cluster/src/channel.rs",
+            r#"
+impl Fabric {
+    fn deliver(&mut self, env: Env) {
+        if matches!(env.msg, Msg::Submit { .. }) {
+            self.dropped += 1;
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "FLOW004")
+        .expect("FLOW004 must fire for the shed path");
+    assert!(hit.message.contains("deliver"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/channel.rs");
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn flow_shed_submit_bouncing_txn_done_is_quiet_and_allow_suppresses() {
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n    TxnDone { tag: u64 },\n}\n",
+        ),
+        (
+            "crates/cluster/src/channel.rs",
+            r#"
+impl Fabric {
+    fn deliver(&mut self, env: Env) {
+        if matches!(env.msg, Msg::Submit { .. }) {
+            self.bounce(env);
+        }
+    }
+    fn bounce(&mut self, env: Env) {
+        self.net.send(env.reply_to, Msg::TxnDone { tag: env.tag });
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW004"),
+        "a shed path that bounces TxnDone is quiet: {diags:?}"
+    );
+
+    let w = ws(&[
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Submit { spec: u32, reply_to: u64, tag: u64 },\n    TxnDone { tag: u64 },\n}\n",
+        ),
+        (
+            "crates/cluster/src/channel.rs",
+            r#"
+impl Fabric {
+    fn deliver(&mut self, env: Env) {
+        // check:allow(flow): crash-injection drop, loss is the point
+        if matches!(env.msg, Msg::Submit { .. }) {
+            self.dropped += 1;
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    let diags = run(&w, "flow");
+    assert!(
+        !diags.iter().any(|d| d.code == "FLOW004"),
+        "allow marker must silence FLOW004: {diags:?}"
+    );
+}
+
+// ---- race ----
+
+#[test]
+fn race_unsynced_field_escaping_spawn_fires_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+pub struct Node {
+    stats: HashMap<u64, u64>,
+}
+impl Node {
+    fn start(&mut self) {
+        std::thread::spawn(move || {
+            self.stats.insert(1, 2);
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "RACE001")
+        .expect("RACE001 must fire for an unsynced field in a spawn");
+    assert!(hit.message.contains("self.stats"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/node.rs");
+    assert_eq!(hit.line, 8);
+
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+pub struct Node {
+    stats: HashMap<u64, u64>,
+}
+impl Node {
+    fn start(&mut self) {
+        std::thread::spawn(move || {
+            // check:allow(race): the spawn consumes self by move
+            self.stats.insert(1, 2);
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    assert!(
+        !diags.iter().any(|d| d.code == "RACE001"),
+        "allow marker must silence RACE001: {diags:?}"
+    );
+}
+
+#[test]
+fn race_synced_field_in_spawn_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/node.rs",
+        r#"
+pub struct Node {
+    stats: Arc<Mutex<HashMap<u64, u64>>>,
+}
+impl Node {
+    fn start(&mut self) {
+        std::thread::spawn(move || {
+            self.stats.lock().unwrap().insert(1, 2);
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    assert!(
+        !diags.iter().any(|d| d.code == "RACE001"),
+        "a Mutex-wrapped field may cross threads: {diags:?}"
+    );
+}
+
+#[test]
+fn race_unsynced_arc_local_escaping_spawn_fires() {
+    let w = ws(&[(
+        "crates/cluster/src/plane.rs",
+        r#"
+impl Plane {
+    fn start(&mut self) {
+        let shared: Arc<Vec<u64>> = Arc::new(Vec::new());
+        std::thread::spawn(move || {
+            shared.len();
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "RACE001")
+        .expect("RACE001 must fire for a bare-Arc capture");
+    assert!(hit.message.contains("shared"), "{}", hit.message);
+    assert!(hit.message.contains("Arc"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/plane.rs");
+    assert_eq!(hit.line, 6);
+}
+
+#[test]
+fn race_blocking_under_live_guard_fires_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/cluster/src/tcp.rs",
+        r#"
+impl Listener {
+    fn stop(&self) {
+        let g = self.conns.lock().unwrap();
+        self.done_rx.recv();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "RACE002")
+        .expect("RACE002 must fire for recv under a guard");
+    assert!(hit.message.contains("stop"), "{}", hit.message);
+    assert!(hit.message.contains("recv"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/tcp.rs");
+    assert_eq!(hit.line, 5);
+
+    let w = ws(&[(
+        "crates/cluster/src/tcp.rs",
+        r#"
+impl Listener {
+    fn stop(&self) {
+        let g = self.conns.lock().unwrap();
+        // check:allow(race): shutdown path, no other lock takers remain
+        self.done_rx.recv();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    assert!(
+        !diags.iter().any(|d| d.code == "RACE002"),
+        "allow marker must silence RACE002: {diags:?}"
+    );
+}
+
+#[test]
+fn race_guard_dropped_before_blocking_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/tcp.rs",
+        r#"
+impl Listener {
+    fn stop(&self) {
+        {
+            let g = self.conns.lock().unwrap();
+            g.len();
+        }
+        self.done_rx.recv();
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    assert!(
+        !diags.iter().any(|d| d.code == "RACE002"),
+        "guard scoped away before blocking is quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn race_interprocedural_blocking_carries_witness_chain() {
+    // The blocking call is two hops away in the same crate: only the
+    // interprocedural summary can see flush_all blocks while locked, and
+    // the diagnostic must name the chain to the sink.
+    let w = ws(&[(
+        "crates/cluster/src/plane.rs",
+        r#"
+impl Plane {
+    fn flush_all(&self) {
+        let g = self.conns.lock().unwrap();
+        drain_queue();
+    }
+}
+fn drain_queue() {
+    pump_once();
+}
+fn pump_once() {
+    let x = rx.recv();
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "RACE002")
+        .expect("RACE002 must fire through the call chain");
+    assert!(hit.message.contains("drain_queue"), "{}", hit.message);
+    assert!(hit.message.contains("pump_once"), "{}", hit.message);
+    assert!(hit.message.contains("flush_all"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/plane.rs");
+    assert_eq!(hit.line, 5);
+}
+
+#[test]
+fn race_cloned_sender_in_spawn_fires_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/cluster/src/channel.rs",
+        r#"
+impl Fabric {
+    fn start(&mut self, tx: Sender<Msg>) {
+        std::thread::spawn(move || {
+            let mine = tx.clone();
+            mine.send(1);
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "RACE003")
+        .expect("RACE003 must fire for a sender clone in a spawn");
+    assert!(hit.message.contains("tx.clone()"), "{}", hit.message);
+    assert_eq!(hit.file, "crates/cluster/src/channel.rs");
+    assert_eq!(hit.line, 5);
+
+    let w = ws(&[(
+        "crates/cluster/src/channel.rs",
+        r#"
+impl Fabric {
+    fn start(&mut self, tx: Sender<Msg>) {
+        std::thread::spawn(move || {
+            // check:allow(race): per-thread handle, pairwise order unused
+            let mine = tx.clone();
+            mine.send(1);
+        });
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    assert!(
+        !diags.iter().any(|d| d.code == "RACE003"),
+        "allow marker must silence RACE003: {diags:?}"
+    );
+}
+
+#[test]
+fn race_stored_sender_clone_fires_but_returned_clone_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/channel.rs",
+        r#"
+impl Fabric {
+    fn register(&mut self, tx: Sender<Msg>) {
+        self.peers.push(tx.clone());
+    }
+    fn handle(&self, tx: Sender<Msg>) -> Sender<Msg> {
+        tx.clone()
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "race");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "RACE003").collect();
+    assert_eq!(hits.len(), 1, "only the stored clone: {diags:?}");
+    assert!(hits[0].message.contains("stores"), "{}", hits[0].message);
+    assert_eq!(hits[0].line, 4);
+}

@@ -204,7 +204,16 @@ impl ChannelTransport {
         for tx in &self.fabric_txs {
             let _ = tx.send(FabricCmd::Stop);
         }
-        for join in self.fabric_joins.lock().expect("lock poisoned").drain(..) {
+        // Take the handles out of the lock before joining: a fabric thread
+        // that touches this registry on its way out would deadlock against
+        // a join performed with the guard still held.
+        let joins: Vec<_> = self
+            .fabric_joins
+            .lock()
+            .expect("lock poisoned")
+            .drain(..)
+            .collect();
+        for join in joins {
             let _ = join.join();
         }
     }

@@ -11,8 +11,17 @@ use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 
 use planet_mdcc::{Msg, Outcome, Trace, TraceEvent, TxnSpec};
-use planet_sim::{Actor, ActorId, Context, DetRng, SimTime};
+use planet_sim::{Actor, ActorId, Context, DetRng, SimDuration, SimTime};
 use planet_storage::{Key, WriteOp};
+
+/// `ClientTimer.kind` for the per-transaction resubmit deadline.
+pub const TIMER_RESUBMIT: u32 = 1;
+
+/// Default per-transaction deadline before a reply is written off as lost.
+/// Generous: an in-flight transaction on a healthy cluster finishes in
+/// milliseconds, so this only fires when the reply (or the submit itself)
+/// was genuinely dropped — e.g. shed by a full mailbox.
+pub const DEFAULT_RESUBMIT_TIMEOUT: SimDuration = SimDuration::from_secs(5);
 
 /// A pluggable transaction source for [`LoadClient`]: called with the
 /// client's deterministic RNG, returns the next spec to submit.
@@ -50,6 +59,10 @@ pub struct LoadClient {
     submitted: u64,
     /// Overrides the default single-key-increment mix when set.
     spec_source: Option<SpecSource>,
+    /// Per-transaction deadline: if no `TxnDone` arrives in time, the
+    /// transaction is reported as timed out and the loop moves on. Without
+    /// it, one shed submit or lost reply wedges the closed loop forever.
+    resubmit_timeout: SimDuration,
     /// Client-side trace: records the `Finish` the coordinator reported,
     /// stamped with the client's clock. Complements the server-side trace
     /// (which has the reads and commits); off by default.
@@ -70,8 +83,15 @@ impl LoadClient {
             next_tag: 0,
             submitted: 0,
             spec_source: None,
+            resubmit_timeout: DEFAULT_RESUBMIT_TIMEOUT,
             trace: Trace::off(),
         }
+    }
+
+    /// Override the per-transaction resubmit deadline.
+    pub fn with_resubmit_timeout(mut self, timeout: SimDuration) -> Self {
+        self.resubmit_timeout = timeout;
+        self
     }
 
     /// Replace the default increment mix with a custom transaction source
@@ -113,6 +133,24 @@ impl LoadClient {
                 tag,
             },
         );
+        ctx.schedule(
+            self.resubmit_timeout,
+            Msg::ClientTimer {
+                kind: TIMER_RESUBMIT,
+                tag,
+            },
+        );
+    }
+
+    /// Report one finished transaction to the driver.
+    fn report(&mut self, ctx: &mut Context<'_, Msg>, tag: u64, outcome: Outcome, submitted: SimTime) {
+        let _ = self.results.send(LoadRecord {
+            client: ctx.self_id().0,
+            tag,
+            outcome,
+            submitted,
+            decided: ctx.now(),
+        });
     }
 }
 
@@ -122,27 +160,35 @@ impl Actor<Msg> for LoadClient {
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
-        if let Msg::TxnDone {
-            tag, txn, outcome, ..
-        } = msg
-        {
-            if self.trace.is_on() {
-                self.trace.emit(TraceEvent::Finish {
-                    txn,
-                    outcome,
-                    at: ctx.now(),
-                });
+        match msg {
+            Msg::TxnDone {
+                tag, txn, outcome, ..
+            } => {
+                if self.trace.is_on() {
+                    self.trace.emit(TraceEvent::Finish {
+                        txn,
+                        outcome,
+                        at: ctx.now(),
+                    });
+                }
+                // Only the first resolution of a tag (reply or deadline)
+                // reports and refills the loop; a straggler reply landing
+                // after its deadline already moved on is dropped here.
+                if let Some(submitted) = self.inflight.remove(&tag) {
+                    self.report(ctx, tag, outcome, submitted);
+                    self.submit_next(ctx);
+                }
             }
-            if let Some(submitted) = self.inflight.remove(&tag) {
-                let _ = self.results.send(LoadRecord {
-                    client: ctx.self_id().0,
-                    tag,
-                    outcome,
-                    submitted,
-                    decided: ctx.now(),
-                });
+            Msg::ClientTimer {
+                kind: TIMER_RESUBMIT,
+                tag,
+            } => {
+                if let Some(submitted) = self.inflight.remove(&tag) {
+                    self.report(ctx, tag, Outcome::TimedOut, submitted);
+                    self.submit_next(ctx);
+                }
             }
-            self.submit_next(ctx);
+            _ => {}
         }
     }
 }

@@ -213,6 +213,11 @@ impl TcpInner {
             return None;
         }
         let _ = stream.set_nodelay(true);
+        // Bound every write: `write_batch` holds the per-connection stream
+        // lock across `write_all`, so a peer that stops draining must fail
+        // the write (and drop the connection) rather than park the sender —
+        // and everyone queued behind the lock — forever.
+        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
         let reader = match stream.try_clone() {
             Ok(r) => r,
             Err(_) => return None,
@@ -396,6 +401,10 @@ impl TcpInner {
         }
         let ok = {
             let mut stream = conn.lock().expect("lock poisoned");
+            // The wait is bounded: adopt() sets a write timeout on every
+            // stream, so a stalled peer errors out instead of parking
+            // writers behind this connection's lock forever.
+            // check:allow(race)
             stream.write_all(&buf).and_then(|()| stream.flush()).is_ok()
         };
         if ok {

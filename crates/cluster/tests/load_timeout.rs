@@ -1,0 +1,135 @@
+//! Regression: a closed-loop [`LoadClient`] must survive a lost reply.
+//!
+//! The client keeps exactly one transaction in flight and submits the next
+//! only when the previous resolves. It used to rely solely on `TxnDone`
+//! arriving — one shed submit (full mailbox) or dropped reply wedged the
+//! loop forever. Now every submit arms a per-transaction deadline
+//! (`ClientTimer { kind: TIMER_RESUBMIT }`): on expiry the transaction is
+//! reported as timed out and the loop moves on.
+
+use std::sync::mpsc;
+
+use planet_cluster::load::{LoadClient, DEFAULT_RESUBMIT_TIMEOUT, TIMER_RESUBMIT};
+use planet_mdcc::{Msg, Outcome};
+use planet_sim::{topology, Actor, ActorId, Context, SimDuration, Simulation};
+use planet_storage::Key;
+
+/// A coordinator that swallows every message: the worst network.
+struct BlackHole;
+
+impl Actor<Msg> for BlackHole {
+    fn on_message(&mut self, _from: ActorId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {}
+}
+
+#[test]
+fn lost_reply_times_out_and_loop_continues() {
+    let mut sim = Simulation::new(topology::three_dc(), 7);
+    let hole = sim.add_actor(planet_sim::SiteId(0), Box::new(BlackHole));
+    let (tx, rx) = mpsc::channel();
+    let client = LoadClient::new(hole, vec![Key::new("k0")], tx)
+        .with_resubmit_timeout(SimDuration::from_millis(50));
+    let client_id = sim.add_actor(planet_sim::SiteId(1), Box::new(client));
+
+    // Long enough for several deadlines to expire back-to-back.
+    sim.run_for(SimDuration::from_millis(400));
+
+    let records: Vec<_> = rx.try_iter().collect();
+    assert!(
+        records.len() >= 2,
+        "client wedged after a lost reply: only {} record(s)",
+        records.len()
+    );
+    assert!(
+        records.iter().all(|r| r.outcome == Outcome::TimedOut),
+        "black-holed submits must surface as TimedOut"
+    );
+    assert!(
+        records.iter().all(|r| r.client == client_id.0),
+        "records carry the submitting client id"
+    );
+    // Tags advance: each expiry refills the closed loop with a new txn.
+    let mut tags: Vec<u64> = records.iter().map(|r| r.tag).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), records.len(), "each txn reported exactly once");
+
+    // The knobs are part of the public contract.
+    assert_eq!(TIMER_RESUBMIT, 1);
+    assert!(DEFAULT_RESUBMIT_TIMEOUT > SimDuration::from_millis(100));
+}
+
+/// A straggler `TxnDone` arriving after its deadline already reported the
+/// transaction must not double-report or double-refill the loop.
+struct EchoLate {
+    delay: SimDuration,
+    pending: Vec<(ActorId, u64)>,
+}
+
+impl Actor<Msg> for EchoLate {
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Submit { tag, reply_to, .. } => {
+                // Hold the reply far past the client's deadline.
+                let _ = from;
+                self.pending.push((reply_to, tag));
+                ctx.schedule(self.delay, Msg::ClientTimer { kind: 9, tag });
+            }
+            Msg::ClientTimer { kind: 9, tag } => {
+                if let Some(pos) = self.pending.iter().position(|(_, t)| *t == tag) {
+                    let (reply_to, tag) = self.pending.remove(pos);
+                    let now = ctx.now();
+                    ctx.send(
+                        reply_to,
+                        Msg::TxnDone {
+                            tag,
+                            txn: planet_storage::TxnId::new(0, tag),
+                            outcome: Outcome::Committed,
+                            stats: planet_mdcc::TxnStats {
+                                submitted_at: now,
+                                decided_at: now,
+                                write_keys: 1,
+                                votes_received: 0,
+                                rejections: 0,
+                            },
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn straggler_reply_after_deadline_is_dropped() {
+    let mut sim = Simulation::new(topology::three_dc(), 11);
+    let echo = sim.add_actor(
+        planet_sim::SiteId(0),
+        Box::new(EchoLate {
+            delay: SimDuration::from_millis(200),
+            pending: Vec::new(),
+        }),
+    );
+    let (tx, rx) = mpsc::channel();
+    let client = LoadClient::new(echo, vec![Key::new("k0")], tx)
+        .with_resubmit_timeout(SimDuration::from_millis(50));
+    sim.add_actor(planet_sim::SiteId(1), Box::new(client));
+
+    sim.run_for(SimDuration::from_millis(500));
+
+    let records: Vec<_> = rx.try_iter().collect();
+    let mut tags: Vec<u64> = records.iter().map(|r| r.tag).collect();
+    tags.sort_unstable();
+    let deduped = {
+        let mut t = tags.clone();
+        t.dedup();
+        t
+    };
+    assert_eq!(
+        tags.len(),
+        deduped.len(),
+        "a straggler reply double-reported a transaction"
+    );
+    // Every reported outcome for these is the deadline's verdict.
+    assert!(records.iter().all(|r| r.outcome == Outcome::TimedOut));
+}

@@ -34,6 +34,9 @@ impl KeyInterner {
         if let Some(&id) = self.ids.get(key) {
             return id;
         }
+        // 2^32 distinct keys would exhaust memory long before this id
+        // counter overflows; the bound is structural.
+        // check:allow(panic)
         let id = KeyId(u32::try_from(self.names.len()).expect("more than u32::MAX keys interned"));
         self.names.push(key.clone());
         self.ids.insert(key.clone(), id);

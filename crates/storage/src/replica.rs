@@ -71,15 +71,16 @@ impl Replica {
 
     /// Validate, log and accept an option by interned id.
     pub fn accept_id(&mut self, id: KeyId, option: RecordOption) -> Result<(), RejectReason> {
-        // Validate first so the log never contains an invalid acceptance.
-        self.store.validate_id(id, &option)?;
-        self.wal.append(LogRecord::OptionAccepted {
+        // Accept first (it validates internally) and log only on success:
+        // the log still never contains an invalid acceptance, the option is
+        // validated exactly once, and a rejection propagates as an error
+        // instead of panicking the replica actor mid-drive-loop.
+        let record = LogRecord::OptionAccepted {
             key: self.store.key_name(id).clone(),
             option: option.clone(),
-        });
-        self.store
-            .accept_id(id, option)
-            .expect("accept after successful validate cannot fail");
+        };
+        self.store.accept_id(id, option)?;
+        self.wal.append(record);
         self.accepted += 1;
         Ok(())
     }

@@ -228,3 +228,39 @@ fn versions_count_commits() {
         }
     }
 }
+
+/// A rejected acceptance must leave no trace in the WAL. (Regression: the
+/// accept path used to append `OptionAccepted` *before* handing the option
+/// to the store, relying on a pre-validation followed by an
+/// `expect("accept after successful validate cannot fail")` — a rejection
+/// slipping between the two would have panicked the replica actor, and any
+/// early-logged acceptance would survive into recovery as a ghost entry.)
+#[test]
+fn rejected_accept_leaves_wal_unchanged() {
+    let mut replica = Replica::new();
+    let k = key(0);
+
+    // Commit one Set so the key's version moves to 1.
+    let t0 = TxnId::new(0, 0);
+    let read = replica.read(&k);
+    replica
+        .accept(&k, RecordOption::new(t0, read.version, WriteOp::Set(Value::Int(7))))
+        .expect("first accept");
+    replica.decide(&k, t0, true);
+    let wal_len = replica.wal().len();
+
+    // A stale-version Set must be rejected — and must not touch the log.
+    let stale = RecordOption::new(TxnId::new(0, 1), 0, WriteOp::Set(Value::Int(9)));
+    assert!(replica.accept(&k, stale).is_err(), "stale accept must fail");
+    assert_eq!(
+        replica.wal().len(),
+        wal_len,
+        "rejected accept appended to the WAL"
+    );
+
+    // Recovery still reproduces the live store exactly.
+    assert!(replica.verify_recovery().is_empty());
+    let recovered = Replica::recover(replica.wal().clone());
+    assert_eq!(recovered.read(&k).value, replica.read(&k).value);
+    assert_eq!(recovered.read(&k).version, replica.read(&k).version);
+}
