@@ -1,0 +1,718 @@
+//! Compiled-vs-interpreted plan ablation: the same closed-loop workloads
+//! driven through `Msg::Submit` (a full [`TxnSpec`] per transaction — key
+//! strings, write ops, the lot) and through `Msg::SubmitPlan` (a plan id
+//! plus two or three scalar parameters against a program registered once),
+//! on both live transports.
+//!
+//! Two workload shapes, matching `planet-workload`'s interpreted/compiled
+//! twins: **ycsb-point** (single-key commutative bounded decrement over a
+//! uniform keyspace) and **ticket** (read stock, decrement with floor,
+//! insert a unique order record via a derived-key template). Every point
+//! reports allocations-per-transaction measured by the crate's counting
+//! allocator alongside ops/sec and latency — the compiled path's claim is
+//! as much about allocation hygiene as raw speed, and on a one-core host
+//! the alloc column is the less noisy of the two. Keyspaces are preloaded
+//! (stock the decrements draw down) by a finite [`Preloader`] client before
+//! any load client spawns, so every completion should commit on both paths.
+//!
+//! At `Scale::Full` the whole matrix runs at 256 clients and lands in
+//! `BENCH_plan.json`; the `plan_smoke` CI test reruns a reduced matrix
+//! through the same [`run_case`] harness.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use planet_cluster::{
+    mailbox, spawn_node, spawn_pool, Clock, LiveCluster, LoadClient, LoadRecord, PlaneConfig,
+    PoolMembers, SpecSource, TcpTransport, Transport,
+};
+use planet_core::PlanId;
+use planet_mdcc::{
+    ClusterConfig, CoordinatorActor, Msg, Outcome, Protocol, ReadLevel, ReplicaActor, TxnSpec,
+};
+use planet_sim::metrics::Histogram;
+use planet_sim::{Actor, ActorId, Context, NetworkModel, SimDuration, SiteId};
+use planet_storage::{Key, Value, WriteOp};
+use planet_workload::{
+    stock_key, ticket_program, ycsb_point_program, KeyChooser, KeyDistribution, TicketConfig,
+    TicketPlanParams, WriteKind, YcsbPointParams,
+};
+
+use crate::alloc_counter;
+use crate::common::Scale;
+use crate::report::Table;
+
+const SITES: usize = 3;
+const KEYS: u64 = 64;
+const EVENTS: u64 = 64;
+/// Preloaded stock per key: large enough that no bounded decrement ever
+/// hits its floor inside a measurement window.
+const STOCK: i64 = 1_000_000_000;
+/// The shared YCSB plan id (every client registers the identical program).
+const YCSB_PLAN: PlanId = 7;
+/// Ticket plans are per-client (each bakes its own order-key prefix).
+const TICKET_PLAN_BASE: PlanId = 1000;
+
+/// Which workload shape a case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Single-key commutative bounded decrement, uniform keyspace.
+    YcsbPoint,
+    /// Read stock, decrement with floor, insert a unique order record.
+    Ticket,
+}
+
+impl Workload {
+    /// Label used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::YcsbPoint => "ycsb-point",
+            Workload::Ticket => "ticket",
+        }
+    }
+}
+
+/// Interpreted (`Submit` a full spec) vs compiled (`SubmitPlan` against a
+/// registered program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full `TxnSpec` per transaction.
+    Interpreted,
+    /// `(PlanId, params)` per transaction.
+    Compiled,
+}
+
+impl Mode {
+    /// Label used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Interpreted => "interpreted",
+            Mode::Compiled => "compiled",
+        }
+    }
+}
+
+/// Which live transport carries the case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process [`LiveCluster`] channel fabric (2 ms cross-site RTT).
+    Channel,
+    /// In-process planetd-style TCP deployment over loopback sockets.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Label used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// One measured point of the ablation matrix.
+pub struct PlanPoint {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Transport label.
+    pub transport: &'static str,
+    /// Mode label.
+    pub mode: &'static str,
+    /// Closed-loop clients across all sites.
+    pub clients: usize,
+    /// Completions per wall-clock second inside the window.
+    pub ops_per_sec: f64,
+    /// Median submit-to-decision latency.
+    pub p50_us: u64,
+    /// Tail submit-to-decision latency.
+    pub p99_us: u64,
+    /// Committed fraction of completions.
+    pub commit_rate: f64,
+    /// Completions inside the window.
+    pub completions: u64,
+    /// Process-wide allocations per completion inside the window.
+    pub allocs_per_txn: f64,
+    /// Submissions shed by full mailboxes.
+    pub shed: u64,
+}
+
+/// Same LAN-ish model as the throughput sweeps: 2 ms cross-site RTT.
+fn lan() -> NetworkModel {
+    let rtt: Vec<Vec<f64>> = (0..SITES)
+        .map(|i| (0..SITES).map(|j| if i == j { 0.1 } else { 2.0 }).collect())
+        .collect();
+    NetworkModel::from_rtt_ms(&rtt)
+}
+
+fn ycsb_chooser() -> KeyChooser {
+    KeyChooser::new("plan-y", KeyDistribution::Uniform { n: KEYS })
+}
+
+fn ticket_config() -> TicketConfig {
+    TicketConfig {
+        events: EVENTS,
+        initial_stock: STOCK,
+        ..Default::default()
+    }
+}
+
+/// The preload writes for a workload: `Set` the full keyspace so bounded
+/// decrements never hit their floor mid-window.
+fn preload_specs(workload: Workload) -> Vec<TxnSpec> {
+    match workload {
+        Workload::YcsbPoint => {
+            let chooser = ycsb_chooser();
+            (0..KEYS)
+                .map(|i| TxnSpec::write_one(chooser.key_at(i), WriteOp::Set(Value::Int(STOCK))))
+                .collect()
+        }
+        Workload::Ticket => (0..EVENTS)
+            .map(|e| TxnSpec::write_one(stock_key(e), WriteOp::Set(Value::Int(STOCK))))
+            .collect(),
+    }
+}
+
+/// A finite, sequential preload client: submits each spec once, retries a
+/// lost one after a deadline (`Set`s are idempotent), signals `done` when
+/// the queue drains, then goes quiet.
+struct Preloader {
+    coordinator: ActorId,
+    pending: Vec<TxnSpec>,
+    tag: u64,
+    done: Sender<()>,
+}
+
+impl Preloader {
+    fn new(coordinator: ActorId, mut specs: Vec<TxnSpec>, done: Sender<()>) -> Self {
+        // Submit in declaration order (pop from the back).
+        specs.reverse();
+        Preloader {
+            coordinator,
+            pending: specs,
+            tag: 0,
+            done,
+        }
+    }
+
+    fn submit_current(&mut self, ctx: &mut Context<'_, Msg>) {
+        match self.pending.last() {
+            Some(spec) => {
+                let me = ctx.self_id();
+                ctx.send(
+                    self.coordinator,
+                    Msg::Submit {
+                        spec: spec.clone(),
+                        reply_to: me,
+                        tag: self.tag,
+                    },
+                );
+                ctx.schedule(
+                    SimDuration::from_secs(2),
+                    Msg::ClientTimer {
+                        kind: 1,
+                        tag: self.tag,
+                    },
+                );
+            }
+            None => {
+                let _ = self.done.send(());
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for Preloader {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.submit_current(ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::TxnDone { tag, .. } if tag == self.tag => {
+                self.pending.pop();
+                self.tag += 1;
+                self.submit_current(ctx);
+            }
+            Msg::ClientTimer { kind: 1, tag } if tag == self.tag => {
+                // The submit or its reply was lost: resend under the same
+                // tag — a stale duplicate completing later no longer
+                // matches `self.tag` and is ignored.
+                self.submit_current(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build one closed-loop client for `(workload, mode)`. `k` is the global
+/// client index: the ticket workload bakes it into the order-key prefix so
+/// concurrent clients never write the same order record.
+fn load_client(
+    workload: Workload,
+    mode: Mode,
+    k: usize,
+    coordinator: ActorId,
+    tx: Sender<LoadRecord>,
+) -> LoadClient {
+    let keys: Vec<Key> = (0..KEYS).map(|i| ycsb_chooser().key_at(i)).collect();
+    let base = LoadClient::new(coordinator, keys, tx);
+    match (workload, mode) {
+        (Workload::YcsbPoint, Mode::Interpreted) => {
+            let chooser = ycsb_chooser();
+            let source: SpecSource = Box::new(move |rng| {
+                TxnSpec::write_one(chooser.sample(rng), WriteOp::add_with_floor(-1, 0))
+            });
+            base.with_spec_source(source)
+        }
+        (Workload::YcsbPoint, Mode::Compiled) => {
+            let chooser = ycsb_chooser();
+            base.with_plan(
+                YCSB_PLAN,
+                ycsb_point_program(&chooser, WriteKind::Commutative),
+                YcsbPointParams::new(chooser, WriteKind::Commutative).into_source(),
+            )
+        }
+        (Workload::Ticket, Mode::Interpreted) => {
+            let cfg = ticket_config();
+            let events = KeyChooser::new(
+                "event",
+                KeyDistribution::Zipfian {
+                    n: cfg.events,
+                    theta: cfg.theta,
+                },
+            );
+            let per = cfg.tickets_per_purchase;
+            let mut issued: i64 = 0;
+            let source: SpecSource = Box::new(move |rng| {
+                let e = events.sample_index(rng);
+                let stock = stock_key(e);
+                let order = Key::new(format!("order:{k}:{issued}"));
+                issued += 1;
+                TxnSpec {
+                    reads: vec![stock.clone()],
+                    writes: vec![
+                        (stock, WriteOp::add_with_floor(-per, 0)),
+                        (order, WriteOp::Set(Value::Int(e as i64))),
+                    ],
+                    read_level: ReadLevel::Local,
+                }
+            });
+            base.with_spec_source(source)
+        }
+        (Workload::Ticket, Mode::Compiled) => {
+            let cfg = ticket_config();
+            debug_assert!(k < 256, "ticket order prefixes are one byte");
+            base.with_plan(
+                TICKET_PLAN_BASE + k as PlanId,
+                ticket_program(&cfg, k as u8),
+                TicketPlanParams::new(&cfg).into_source(),
+            )
+        }
+    }
+}
+
+struct Measured {
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    commit_rate: f64,
+    completions: u64,
+    allocs_per_txn: f64,
+}
+
+/// Drain the completion channel through a warmup, then measure a window,
+/// attributing the process-wide allocation delta to its completions.
+fn measure(rx: &Receiver<LoadRecord>, warmup: Duration, window: Duration) -> Measured {
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        let _ = rx.recv_timeout(warm_end - Instant::now());
+    }
+    let alloc_start = alloc_counter::alloc_count();
+    let started = Instant::now();
+    let mut latencies = Histogram::new();
+    let mut committed = 0u64;
+    let mut completions = 0u64;
+    while started.elapsed() < window {
+        let remaining = window - started.elapsed();
+        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            completions += 1;
+            latencies.record(record.latency_us());
+            if record.outcome == Outcome::Committed {
+                committed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = alloc_counter::alloc_count() - alloc_start;
+    Measured {
+        ops_per_sec: completions as f64 / elapsed,
+        p50_us: latencies.quantile(0.50).unwrap_or(0),
+        p99_us: latencies.quantile(0.99).unwrap_or(0),
+        commit_rate: if completions > 0 {
+            committed as f64 / completions as f64
+        } else {
+            0.0
+        },
+        completions,
+        allocs_per_txn: allocs as f64 / completions.max(1) as f64,
+    }
+}
+
+fn point(
+    workload: Workload,
+    transport: TransportKind,
+    mode: Mode,
+    clients: usize,
+    m: Measured,
+    shed: u64,
+) -> PlanPoint {
+    PlanPoint {
+        workload: workload.name(),
+        transport: transport.name(),
+        mode: mode.name(),
+        clients,
+        ops_per_sec: m.ops_per_sec,
+        p50_us: m.p50_us,
+        p99_us: m.p99_us,
+        commit_rate: m.commit_rate,
+        completions: m.completions,
+        allocs_per_txn: m.allocs_per_txn,
+        shed,
+    }
+}
+
+/// One case on the in-process channel transport.
+fn run_channel_case(
+    workload: Workload,
+    mode: Mode,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> PlanPoint {
+    let config = ClusterConfig::new(SITES, Protocol::Fast);
+    let mut cluster = LiveCluster::builder(config)
+        .network(lan())
+        .seed(seed)
+        .plane(PlaneConfig::default())
+        .build();
+
+    let (ptx, prx) = channel::<()>();
+    cluster.spawn_client(
+        0,
+        Box::new(Preloader::new(
+            cluster.coordinator(0),
+            preload_specs(workload),
+            ptx,
+        )),
+    );
+    prx.recv_timeout(Duration::from_secs(30))
+        .expect("preload finished");
+
+    let (tx, rx) = channel::<LoadRecord>();
+    for site in 0..SITES {
+        let coordinator = cluster.coordinator(site);
+        let actors: Vec<Box<dyn Actor<Msg>>> = (0..clients)
+            .filter(|k| k % SITES == site)
+            .map(|k| Box::new(load_client(workload, mode, k, coordinator, tx.clone())) as _)
+            .collect();
+        if !actors.is_empty() {
+            cluster.spawn_client_pool(site, actors);
+        }
+    }
+    drop(tx);
+    let m = measure(&rx, warmup, window);
+    let harvest = cluster.shutdown();
+    point(
+        workload,
+        TransportKind::Channel,
+        mode,
+        clients,
+        m,
+        harvest.shed,
+    )
+}
+
+/// One case over real sockets: the planetd/planet-load split inside one
+/// process, exactly as `exp_throughput_sharded`'s tcp points (one server
+/// transport per site hosting its replica and coordinator, one client-side
+/// transport carrying pooled load clients), with a preload pool running to
+/// completion before any load client spawns.
+fn run_tcp_case(
+    workload: Workload,
+    mode: Mode,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> PlanPoint {
+    let n = SITES;
+    let config = ClusterConfig::new(n, Protocol::Fast);
+    let clock = Clock::new();
+    let plane = PlaneConfig::default();
+    let replica_ids: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+    let server_ids: Vec<u32> = (0..2 * n).map(|i| i as u32).collect();
+
+    let transports: Vec<Arc<TcpTransport>> = (0..n).map(|_| TcpTransport::new()).collect();
+    let addrs: Vec<_> = transports
+        .iter()
+        .map(|t| {
+            let any = "127.0.0.1:0".parse().expect("loopback addr");
+            t.listen(any).expect("bind")
+        })
+        .collect();
+    let client_transport = TcpTransport::new();
+    for t in transports.iter().chain(std::iter::once(&client_transport)) {
+        for &id in &server_ids {
+            // Replica site = id and coordinator n + site are both served by
+            // site's transport.
+            t.add_route(id, addrs[id as usize % n]);
+        }
+    }
+
+    let mut nodes = Vec::new();
+    for (site, transport) in transports.iter().enumerate() {
+        let hosted: Vec<(u32, Box<dyn Actor<Msg>>)> = vec![
+            (
+                site as u32,
+                Box::new(ReplicaActor::new(config.clone(), replica_ids.clone(), 0)),
+            ),
+            (
+                (n + site) as u32,
+                Box::new(CoordinatorActor::new(
+                    config.clone(),
+                    replica_ids.clone(),
+                    SiteId(site as u8),
+                )),
+            ),
+        ];
+        for (id, actor) in hosted {
+            let (tx, rx) = mailbox(plane.mailbox_capacity);
+            transport.host(id, tx.clone());
+            nodes.push(spawn_node(
+                ActorId(id),
+                SiteId(site as u8),
+                actor,
+                tx,
+                rx,
+                transport.clone() as Arc<dyn Transport>,
+                clock,
+                seed,
+                plane,
+            ));
+        }
+    }
+
+    let mut next_client = (2 * n) as u32;
+
+    // Preload through site 0's coordinator before any load client exists.
+    let (ptx, prx) = channel::<()>();
+    let preloader_id = ActorId(next_client);
+    next_client += 1;
+    let (pmtx, pmrx) = mailbox(plane.mailbox_capacity);
+    client_transport.host(preloader_id.0, pmtx.clone());
+    let preloader: PoolMembers = vec![(
+        preloader_id,
+        Box::new(Preloader::new(
+            ActorId(n as u32),
+            preload_specs(workload),
+            ptx,
+        )) as Box<dyn Actor<Msg>>,
+    )];
+    let preload_pool = spawn_pool(
+        preloader,
+        SiteId(0),
+        pmtx,
+        pmrx,
+        client_transport.clone() as Arc<dyn Transport>,
+        clock,
+        seed,
+        plane,
+    );
+    prx.recv_timeout(Duration::from_secs(30))
+        .expect("preload finished");
+
+    let (tx, rx) = channel::<LoadRecord>();
+    let mut pools = Vec::new();
+    for site in 0..n {
+        let coordinator = ActorId((n + site) as u32);
+        let (mtx, mrx) = mailbox(plane.mailbox_capacity);
+        let members: PoolMembers = (0..clients)
+            .filter(|k| k % n == site)
+            .map(|k| {
+                let id = ActorId(next_client);
+                next_client += 1;
+                client_transport.host(id.0, mtx.clone());
+                let actor: Box<dyn Actor<Msg>> =
+                    Box::new(load_client(workload, mode, k, coordinator, tx.clone()));
+                (id, actor)
+            })
+            .collect();
+        if !members.is_empty() {
+            pools.push(spawn_pool(
+                members,
+                SiteId(site as u8),
+                mtx,
+                mrx,
+                client_transport.clone() as Arc<dyn Transport>,
+                clock,
+                seed,
+                plane,
+            ));
+        }
+    }
+    drop(tx);
+
+    let m = measure(&rx, warmup, window);
+
+    preload_pool.stop_and_join();
+    for pool in pools {
+        pool.stop_and_join();
+    }
+    // Coordinators before replicas, as LiveCluster::shutdown does.
+    for node in nodes.into_iter().rev() {
+        node.stop_and_join();
+    }
+    let mut shed = client_transport.shed();
+    client_transport.stop();
+    for t in &transports {
+        shed += t.shed();
+        t.stop();
+    }
+    point(workload, TransportKind::Tcp, mode, clients, m, shed)
+}
+
+/// Run one `(workload, transport, mode)` case once. Public so the
+/// `plan_smoke` CI test drives the identical harness at reduced scale.
+pub fn run_case(
+    workload: Workload,
+    transport: TransportKind,
+    mode: Mode,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+) -> PlanPoint {
+    match transport {
+        TransportKind::Channel => run_channel_case(workload, mode, clients, warmup, window, seed),
+        TransportKind::Tcp => run_tcp_case(workload, mode, clients, warmup, window, seed),
+    }
+}
+
+/// Median-of-`trials` by ops/sec, same policy as the throughput sweeps.
+fn run_trials(
+    workload: Workload,
+    transport: TransportKind,
+    mode: Mode,
+    clients: usize,
+    warmup: Duration,
+    window: Duration,
+    trials: usize,
+) -> PlanPoint {
+    let mut points: Vec<PlanPoint> = (0..trials)
+        .map(|t| {
+            let seed = 0x9_1A4 + 1000 * t as u64 + clients as u64;
+            run_case(workload, transport, mode, clients, warmup, window, seed)
+        })
+        .collect();
+    points.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+    points.remove(points.len() / 2)
+}
+
+/// Render the matrix as `BENCH_plan.json` at `path`.
+pub fn write_plan_json(
+    path: &str,
+    scale_label: &str,
+    points: &[PlanPoint],
+    warmup: Duration,
+    window: Duration,
+    trials: usize,
+) {
+    let mut out = String::from("{\n  \"experiment\": \"plan\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{scale_label}\",\n  \"sites\": {SITES},\n  \"keys\": {KEYS},\n  \"events\": {EVENTS},\n  \"warmup_secs\": {},\n  \"window_secs\": {},\n  \"trials\": {trials},\n  \"points\": [\n",
+        warmup.as_secs_f64(),
+        window.as_secs_f64(),
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"transport\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}, \"allocs_per_txn\": {:.1}, \"shed\": {}}}{}\n",
+            p.workload,
+            p.transport,
+            p.mode,
+            p.clients,
+            p.ops_per_sec,
+            p.p50_us,
+            p.p99_us,
+            p.commit_rate,
+            p.completions,
+            p.allocs_per_txn,
+            p.shed,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("plan: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+/// The `plan` experiment: compiled-vs-interpreted ablation over both
+/// workloads and both transports.
+pub fn plan(scale: Scale) -> Table {
+    let clients = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 256,
+    };
+    let (warmup, window, trials) = match scale {
+        Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500), 1),
+        Scale::Full => (Duration::from_millis(500), Duration::from_secs(3), 3),
+    };
+
+    let mut table = Table::new(
+        "plan",
+        "Compiled plans vs interpreted specs: closed-loop ablation (both transports)",
+        &[
+            "workload",
+            "transport",
+            "mode",
+            "ops/sec",
+            "p50",
+            "p99",
+            "commit rate",
+            "allocs/txn",
+        ],
+    );
+    let mut points = Vec::new();
+    for workload in [Workload::YcsbPoint, Workload::Ticket] {
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            for mode in [Mode::Interpreted, Mode::Compiled] {
+                let p = run_trials(workload, transport, mode, clients, warmup, window, trials);
+                table.row(vec![
+                    p.workload.to_string(),
+                    p.transport.to_string(),
+                    p.mode.to_string(),
+                    format!("{:.0}", p.ops_per_sec),
+                    crate::report::ms(p.p50_us),
+                    crate::report::ms(p.p99_us),
+                    crate::report::pct(p.commit_rate),
+                    format!("{:.0}", p.allocs_per_txn),
+                ]);
+                points.push(p);
+            }
+        }
+    }
+    table.note(format!(
+        "{SITES} sites, {clients} closed-loop clients, {KEYS}-key uniform ycsb / {EVENTS}-event zipfian ticket, preloaded stock, {}s warmup, {}s window, median of {trials}; allocs/txn is the process-wide allocation delta over the window",
+        warmup.as_secs_f64(),
+        window.as_secs_f64(),
+    ));
+    if scale == Scale::Full {
+        write_plan_json("BENCH_plan.json", "full", &points, warmup, window, trials);
+    }
+    table
+}

@@ -9,9 +9,11 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod common;
 mod exp_admission;
 mod exp_latency;
+pub mod exp_plan;
 mod exp_prediction;
 mod exp_reads;
 mod exp_speculation;
@@ -20,6 +22,11 @@ mod exp_throughput;
 mod exp_throughput_sharded;
 pub mod report;
 pub mod timing;
+
+/// Every allocation in this crate's binaries and tests goes through the
+/// counting allocator so experiments can report allocs-per-transaction.
+#[global_allocator]
+static COUNTING_ALLOCATOR: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
 
 pub use common::Scale;
 pub use report::Table;
@@ -39,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "tab3-reads",
     "throughput",
     "throughput-sharded",
+    "plan",
 ];
 
 /// Run one experiment by id.
@@ -57,6 +65,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
         "tab3-reads" => exp_reads::tab3_reads(scale),
         "throughput" => exp_throughput::throughput(scale),
         "throughput-sharded" => exp_throughput_sharded::throughput_sharded(scale),
+        "plan" => exp_plan::plan(scale),
         _ => return None,
     })
 }

@@ -1,0 +1,91 @@
+//! Smoke-scale compiled-plan gate for CI.
+//!
+//! Drives the `plan` ablation harness (`planet_bench::exp_plan`) at small
+//! concurrency on both transports and enforces the compiled path's
+//! contract against its interpreted twin: every completion commits on both
+//! paths (the keyspace is preloaded, so bounded decrements never hit their
+//! floor), the compiled path's throughput never drops below a loose
+//! fraction of interpreted (it must not cost anything), and it allocates
+//! strictly less per transaction (the point of compiling). Results land in
+//! `BENCH_plan.json` at the repo root (scale "smoke") as a CI artifact —
+//! the committed copy of that file holds the full-scale 256-client run.
+//!
+//! `#[ignore]`d because it is wall-clock-sensitive: run it explicitly with
+//! `cargo test --release -p planet-bench --test plan_smoke -- --ignored`.
+
+use std::time::Duration;
+
+use planet_bench::exp_plan::{run_case, write_plan_json, Mode, TransportKind, Workload};
+
+const CLIENTS: usize = 8;
+/// Compiled may not regress throughput below this fraction of interpreted.
+const OPS_FRACTION_FLOOR: f64 = 0.85;
+/// Compiled must allocate at most this fraction of interpreted, per txn.
+const ALLOC_FRACTION_CEILING: f64 = 0.95;
+
+#[test]
+#[ignore = "wall-clock ablation gate; run explicitly in the CI smoke job"]
+fn compiled_plans_hold_the_smoke_floors() {
+    let warmup = Duration::from_millis(200);
+    let window = Duration::from_secs(1);
+    let cases = [
+        (Workload::YcsbPoint, TransportKind::Channel),
+        (Workload::YcsbPoint, TransportKind::Tcp),
+        (Workload::Ticket, TransportKind::Channel),
+        (Workload::Ticket, TransportKind::Tcp),
+    ];
+
+    let mut points = Vec::new();
+    for (workload, transport) in cases {
+        let seed = 0xBEE5;
+        let interpreted = run_case(
+            workload,
+            transport,
+            Mode::Interpreted,
+            CLIENTS,
+            warmup,
+            window,
+            seed,
+        );
+        let compiled = run_case(
+            workload,
+            transport,
+            Mode::Compiled,
+            CLIENTS,
+            warmup,
+            window,
+            seed,
+        );
+
+        for p in [&interpreted, &compiled] {
+            let case = format!("{}/{}/{}", p.workload, p.transport, p.mode);
+            assert!(p.completions > 0, "{case}: no transactions completed");
+            assert_eq!(
+                p.commit_rate, 1.0,
+                "{case}: preloaded bounded decrements must all commit"
+            );
+            assert_eq!(p.shed, 0, "{case}: nothing should shed at smoke scale");
+        }
+        assert!(
+            compiled.ops_per_sec >= OPS_FRACTION_FLOOR * interpreted.ops_per_sec,
+            "{}/{}: compiled {:.1} ops/s under {OPS_FRACTION_FLOOR}x of interpreted {:.1}",
+            compiled.workload,
+            compiled.transport,
+            compiled.ops_per_sec,
+            interpreted.ops_per_sec
+        );
+        assert!(
+            compiled.allocs_per_txn <= ALLOC_FRACTION_CEILING * interpreted.allocs_per_txn,
+            "{}/{}: compiled {:.1} allocs/txn not under {ALLOC_FRACTION_CEILING}x of interpreted {:.1}",
+            compiled.workload,
+            compiled.transport,
+            compiled.allocs_per_txn,
+            interpreted.allocs_per_txn
+        );
+        points.push(interpreted);
+        points.push(compiled);
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    write_plan_json(path, "smoke", &points, warmup, window, 1);
+}

@@ -152,11 +152,45 @@ pub struct CallSite {
 /// std trait methods whose `impl Trait for Type` definitions would connect
 /// everything to everything.
 const DYN_DENY: &[&str] = &[
-    "fmt", "clone", "clone_from", "default", "drop", "next", "size_hint", "eq", "ne", "cmp",
-    "partial_cmp", "hash", "from", "into", "try_from", "try_into", "from_str", "deref",
-    "deref_mut", "index", "index_mut", "as_ref", "as_mut", "borrow", "borrow_mut", "to_string",
-    "write_str", "add", "sub", "mul", "div", "rem", "neg", "not", "sum", "product", "extend",
-    "from_iter", "into_iter",
+    "fmt",
+    "clone",
+    "clone_from",
+    "default",
+    "drop",
+    "next",
+    "size_hint",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "from_str",
+    "deref",
+    "deref_mut",
+    "index",
+    "index_mut",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "to_string",
+    "write_str",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "not",
+    "sum",
+    "product",
+    "extend",
+    "from_iter",
+    "into_iter",
 ];
 
 /// The cross-file, cross-crate call graph.
@@ -181,10 +215,7 @@ impl WorkspaceGraph {
         let mut nodes_of_file: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
         for (fi, f) in files.iter().enumerate() {
             for d in f.fns() {
-                let im = f
-                    .impls()
-                    .iter()
-                    .find(|im| im.body.contains(&d.body.start));
+                let im = f.impls().iter().find(|im| im.body.contains(&d.body.start));
                 nodes_of_file[fi].push(fns.len());
                 fns.push(WsFn {
                     file: fi,
@@ -392,7 +423,8 @@ impl WorkspaceGraph {
                     if targets.is_empty() {
                         if let Some(path) = imports[fi].get(name) {
                             if let Some(seg0) = path.first() {
-                                if path.len() >= 2 && known_types.contains(path[path.len() - 2].as_str())
+                                if path.len() >= 2
+                                    && known_types.contains(path[path.len() - 2].as_str())
                                 {
                                     let ty = path[path.len() - 2].as_str();
                                     if let Some(v) = by_owner_method.get(&(ty, name)) {
@@ -762,11 +794,20 @@ mod tests {
         let root = g.fn_ids("crates/a/src/lib.rs", "root");
         let (reach, _) = g.reachable_with_preds(root);
         let names: Vec<&str> = reach.iter().map(|&n| g.fns[n].name.as_str()).collect();
-        assert!(names.contains(&"helper"), "use-imported bare call: {names:?}");
+        assert!(
+            names.contains(&"helper"),
+            "use-imported bare call: {names:?}"
+        );
         assert!(names.contains(&"other"), "module-qualified call: {names:?}");
         assert!(names.contains(&"make"), "Type::assoc_fn call: {names:?}");
-        assert!(names.contains(&"spin"), "typed-let receiver method: {names:?}");
-        assert!(names.contains(&"turn"), "cross-crate Type::method: {names:?}");
+        assert!(
+            names.contains(&"spin"),
+            "typed-let receiver method: {names:?}"
+        );
+        assert!(
+            names.contains(&"turn"),
+            "cross-crate Type::method: {names:?}"
+        );
     }
 
     #[test]
@@ -789,7 +830,10 @@ mod tests {
         let root = g.fn_ids("crates/a/src/lib.rs", "root");
         let (reach, _) = g.reachable_with_preds(root);
         let names: Vec<&str> = reach.iter().map(|&n| g.fns[n].name.as_str()).collect();
-        assert!(names.contains(&"handle"), "workspace trait method: {names:?}");
+        assert!(
+            names.contains(&"handle"),
+            "workspace trait method: {names:?}"
+        );
         assert!(!names.contains(&"fmt"), "fmt is deny-listed: {names:?}");
     }
 }

@@ -18,7 +18,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use planet_check::{all_passes, baseline::Baseline, diag, run_passes_timed, PassTiming, Severity, Workspace};
+use planet_check::{
+    all_passes, baseline::Baseline, diag, run_passes_timed, PassTiming, Severity, Workspace,
+};
 
 struct Opts {
     root: PathBuf,

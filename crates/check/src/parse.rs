@@ -514,7 +514,9 @@ fn path_tail(toks: &[Tok], j: &mut usize) -> Option<String> {
     }
     let mut last = None;
     while *j < toks.len() {
-        if toks[*j].kind == TokKind::Ident && !toks[*j].is_ident("for") && !toks[*j].is_ident("where")
+        if toks[*j].kind == TokKind::Ident
+            && !toks[*j].is_ident("for")
+            && !toks[*j].is_ident("where")
         {
             last = Some(toks[*j].text.clone());
             *j += 1;
@@ -549,7 +551,12 @@ pub fn use_decls(toks: &[Tok]) -> Vec<UseDecl> {
 
 /// Parse one use-tree starting at `i` with `prefix` segments already seen;
 /// returns the index just past the tree (and its closing `;`/`,` if any).
-fn parse_use_tree(toks: &[Tok], mut i: usize, prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) -> usize {
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseDecl>,
+) -> usize {
     let depth_at_entry = prefix.len();
     while i < toks.len() {
         let t = &toks[i];
@@ -748,7 +755,10 @@ mod tests {
         let lexed = lex(src);
         let im = impls(&lexed.toks);
         assert_eq!(im.len(), 3);
-        assert_eq!((im[0].ty.as_str(), im[0].trait_name.as_deref()), ("Coordinator", None));
+        assert_eq!(
+            (im[0].ty.as_str(), im[0].trait_name.as_deref()),
+            ("Coordinator", None)
+        );
         assert_eq!(
             (im[1].ty.as_str(), im[1].trait_name.as_deref()),
             ("Replica", Some("Actor"))
@@ -782,7 +792,10 @@ mod tests {
                 "Coordinator".into()
             ])
         );
-        assert_eq!(find("*"), Some(vec!["crate".into(), "plane".into(), "*".into()]));
+        assert_eq!(
+            find("*"),
+            Some(vec!["crate".into(), "plane".into(), "*".into()])
+        );
     }
 
     #[test]

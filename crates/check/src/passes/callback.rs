@@ -149,7 +149,11 @@ impl Pass for CallbackPass {
             return;
         }
         let (reach, _) = g.reachable_with_preds(roots.iter().copied());
-        regions.extend(reach.iter().map(|&n| (g.fns[n].file, g.fns[n].body.clone())));
+        regions.extend(
+            reach
+                .iter()
+                .map(|&n| (g.fns[n].file, g.fns[n].body.clone())),
+        );
 
         {
             for (fi, region) in regions {

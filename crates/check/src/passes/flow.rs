@@ -77,6 +77,8 @@ impl Role {
 /// declaration: extending the protocol means declaring who handles it.
 const ROUTES: &[(&str, Role)] = &[
     ("Submit", Role::Coordinator),
+    ("RegisterPlan", Role::Coordinator),
+    ("SubmitPlan", Role::Coordinator),
     ("ReadResp", Role::Coordinator),
     ("Vote", Role::Coordinator),
     ("TxnTimeout", Role::Coordinator),
@@ -93,12 +95,15 @@ const ROUTES: &[(&str, Role)] = &[
     ("ReplicaServiceDone", Role::Replica),
     ("Progress", Role::Client),
     ("TxnDone", Role::Client),
+    ("PlanReady", Role::Client),
     ("ClientTimer", Role::Client),
 ];
 
 /// Request variant → (expected reply variant, handling role).
 const REQUESTS: &[(&str, &str, Role)] = &[
     ("Submit", "TxnDone", Role::Coordinator),
+    ("RegisterPlan", "PlanReady", Role::Coordinator),
+    ("SubmitPlan", "TxnDone", Role::Coordinator),
     ("ReadReq", "ReadResp", Role::Replica),
     ("FastPropose", "Vote", Role::Replica),
     ("Propose", "Vote", Role::Replica),
@@ -193,7 +198,11 @@ fn classify(toks: &[Tok], vidx: usize) -> Kind {
         }
         if t.is_punct(')') || t.is_punct(']') {
             // Skip a balanced group backwards.
-            let (open, close) = if t.is_punct(')') { ('(', ')') } else { ('[', ']') };
+            let (open, close) = if t.is_punct(')') {
+                ('(', ')')
+            } else {
+                ('[', ']')
+            };
             let mut depth = 1i32;
             while k > 0 && depth > 0 {
                 k -= 1;
@@ -416,9 +425,9 @@ impl Pass for FlowPass {
                     // Workspace-reachable regions from the handler.
                     let (reach, _) = g.reachable_with_preds([node]);
                     let replies = reply_sends.iter().any(|s| {
-                        reach.iter().any(|&n| {
-                            g.fns[n].file == s.file && g.fns[n].body.contains(&s.idx)
-                        })
+                        reach
+                            .iter()
+                            .any(|&n| g.fns[n].file == s.file && g.fns[n].body.contains(&s.idx))
                     });
                     if replies {
                         continue;

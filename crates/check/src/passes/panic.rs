@@ -76,7 +76,9 @@ fn is_poison_unwrap(toks: &[Tok], i: usize) -> bool {
         && toks[i - 1].is_punct('.')
         && toks[i - 2].is_punct(')')
         && toks[i - 3].is_punct('(')
-        && (toks[i - 4].is_ident("lock") || toks[i - 4].is_ident("read") || toks[i - 4].is_ident("write"))
+        && (toks[i - 4].is_ident("lock")
+            || toks[i - 4].is_ident("read")
+            || toks[i - 4].is_ident("write"))
 }
 
 fn flag(
@@ -111,11 +113,12 @@ impl Pass for PanicPass {
         // Per-file test ranges, computed lazily: most files are only
         // scanned if reached.
         let mut test_ranges: Vec<Option<Vec<Range<usize>>>> = vec![None; files.len()];
-        let skip_of = |fi: usize, cache: &mut Vec<Option<Vec<Range<usize>>>>| -> Vec<Range<usize>> {
-            cache[fi]
-                .get_or_insert_with(|| cfg_test_ranges(files[fi].toks()))
-                .clone()
-        };
+        let skip_of =
+            |fi: usize, cache: &mut Vec<Option<Vec<Range<usize>>>>| -> Vec<Range<usize>> {
+                cache[fi]
+                    .get_or_insert_with(|| cfg_test_ranges(files[fi].toks()))
+                    .clone()
+            };
 
         let mut roots: BTreeSet<usize> = BTreeSet::new();
         for (scope, root_names) in SCOPES {

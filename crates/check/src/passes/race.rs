@@ -199,7 +199,9 @@ impl Pass for RacePass {
                     direct_block[n] = Some(name);
                     break;
                 }
-                if (toks[i].is_ident("lock") || toks[i].is_ident("read") || toks[i].is_ident("write"))
+                if (toks[i].is_ident("lock")
+                    || toks[i].is_ident("read")
+                    || toks[i].is_ident("write"))
                     && i + 2 < toks.len()
                     && toks[i + 2].is_punct(')')
                 {
@@ -215,7 +217,9 @@ impl Pass for RacePass {
             }
         }
         let mut may_block = vec![false; g.fns.len()];
-        let mut queue: Vec<usize> = (0..g.fns.len()).filter(|&n| direct_block[n].is_some()).collect();
+        let mut queue: Vec<usize> = (0..g.fns.len())
+            .filter(|&n| direct_block[n].is_some())
+            .collect();
         for &n in &queue {
             may_block[n] = true;
         }
@@ -405,10 +409,8 @@ impl Pass for RacePass {
                 }
 
                 // ---- RACE002: blocking reachable while a lock is held ----
-                let sites: HashMap<usize, usize> = g.calls[node]
-                    .iter()
-                    .map(|s| (s.tok, s.target))
-                    .collect();
+                let sites: HashMap<usize, usize> =
+                    g.calls[node].iter().map(|s| (s.tok, s.target)).collect();
                 let mut live: Vec<LiveLock> = Vec::new();
                 let mut depth = 0i32;
                 let mut i = body.start;
@@ -489,8 +491,7 @@ impl Pass for RacePass {
                         && !in_ranges(&skip, i)
                     {
                         if let Some(name) = BLOCKING.iter().find(|b| toks[i].is_ident(b)) {
-                            let condvar_ok =
-                                CONDVAR_WAITS.contains(name) && live.len() == 1;
+                            let condvar_ok = CONDVAR_WAITS.contains(name) && live.len() == 1;
                             if !condvar_ok {
                                 flag(
                                     out,
@@ -510,10 +511,8 @@ impl Pass for RacePass {
                         if let Some(&target) = sites.get(&i) {
                             if may_block[target] {
                                 let (reach, preds) = g.reachable_with_preds([target]);
-                                let sink = reach
-                                    .iter()
-                                    .copied()
-                                    .find(|&n| direct_block[n].is_some());
+                                let sink =
+                                    reach.iter().copied().find(|&n| direct_block[n].is_some());
                                 if let Some(sink) = sink {
                                     let via = direct_block[sink].unwrap_or("recv");
                                     flag(

@@ -65,6 +65,33 @@ const HANDLERS: &[HandlerRule] = &[
         ],
         required: &["outcome:Committed", "outcome:Aborted"],
     },
+    // ---- coordinator: the compiled-plan twins of the FSM handlers ----
+    HandlerRule {
+        file: "crates/mdcc/src/coordinator.rs",
+        fn_name: "handle_submit_plan",
+        // Unknown-plan / bad-params submissions abort immediately; an empty
+        // plan commits immediately; everything else just starts.
+        allowed: &["stage:Started", "outcome:Committed", "outcome:Aborted"],
+        required: &["stage:Started"],
+    },
+    HandlerRule {
+        file: "crates/mdcc/src/coordinator.rs",
+        fn_name: "plan_read_resp",
+        allowed: &["stage:ReadsDone", "outcome:Committed"],
+        required: &["stage:ReadsDone"],
+    },
+    HandlerRule {
+        file: "crates/mdcc/src/coordinator.rs",
+        fn_name: "plan_vote",
+        allowed: &[
+            "stage:Vote",
+            "stage:KeyFallback",
+            "stage:KeyResolved",
+            "outcome:Committed",
+            "outcome:Aborted",
+        ],
+        required: &["outcome:Committed", "outcome:Aborted"],
+    },
     HandlerRule {
         file: "crates/mdcc/src/coordinator.rs",
         fn_name: "handle_timeout",
@@ -143,7 +170,14 @@ const ROUTES: &[RouteRule] = &[
         file: "crates/mdcc/src/coordinator.rs",
         fns: &["on_message"],
         role: "coordinator",
-        inbound: &["Submit", "ReadResp", "Vote", "TxnTimeout"],
+        inbound: &[
+            "Submit",
+            "RegisterPlan",
+            "SubmitPlan",
+            "ReadResp",
+            "Vote",
+            "TxnTimeout",
+        ],
     },
     RouteRule {
         file: "crates/mdcc/src/replica_actor.rs",
@@ -168,7 +202,7 @@ const ROUTES: &[RouteRule] = &[
 
 /// `Msg` variants delivered to the client/PLANET layer rather than a
 /// protocol actor; they complete the routing table.
-const CLIENT_INBOUND: &[&str] = &["Progress", "TxnDone", "ClientTimer"];
+const CLIENT_INBOUND: &[&str] = &["Progress", "TxnDone", "PlanReady", "ClientTimer"];
 
 /// `Msg` variants that carry a key and therefore must be routed to the
 /// key's replica shard. (`Vote` and `ReplicateAck` also carry keys but are
@@ -191,6 +225,10 @@ const ROUTING_MARKERS: &[&str] = &[
     "shard_replicas",
     "master_replica_for",
     "other_peers",
+    // compiled-plan twins: routes are precomputed at plan-compile time from
+    // the same shard map, then resolved through these accessors.
+    "route_replicas",
+    "route_master",
 ];
 
 /// Files whose senders are subject to the shard-routing check.

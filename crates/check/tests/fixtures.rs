@@ -987,7 +987,10 @@ fn flow_sent_but_never_matched_by_role_fires_at_send() {
     // Crash routes to the replica; the coordinator injects it but the
     // replica file never matches it — the message is silently dropped.
     let w = ws(&[
-        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Crash,\n}\n"),
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Crash,\n}\n",
+        ),
         (
             "crates/mdcc/src/coordinator.rs",
             r#"
@@ -1023,7 +1026,10 @@ impl ReplicaActor {
 #[test]
 fn flow_sent_and_matched_by_role_is_quiet() {
     let w = ws(&[
-        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Crash,\n}\n"),
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Crash,\n}\n",
+        ),
         (
             "crates/mdcc/src/coordinator.rs",
             r#"
@@ -1049,7 +1055,10 @@ impl ReplicaActor {
         ),
     ]);
     let diags = run(&w, "flow");
-    assert!(diags.is_empty(), "routed + handled must be quiet: {diags:?}");
+    assert!(
+        diags.is_empty(),
+        "routed + handled must be quiet: {diags:?}"
+    );
 }
 
 #[test]
@@ -1257,7 +1266,10 @@ impl LoadClient {
 #[test]
 fn flow_dead_variant_fires_at_declaration_and_allow_suppresses() {
     let w = ws(&[
-        ("crates/mdcc/src/messages.rs", "\npub enum Msg {\n    Recover,\n}\n"),
+        (
+            "crates/mdcc/src/messages.rs",
+            "\npub enum Msg {\n    Recover,\n}\n",
+        ),
         (
             "crates/mdcc/src/replica_actor.rs",
             r#"

@@ -38,8 +38,14 @@ fn graph_links_cluster_drive_loop_to_storage_hot_path() {
 
     // The witness chain renders end-to-end, so diagnostics can show it.
     let chain = g.chain_text(&preds, hit);
-    assert!(chain.contains("accept_id"), "chain ends at the sink: {chain}");
-    assert!(chain.contains("run_node"), "chain starts at the root: {chain}");
+    assert!(
+        chain.contains("accept_id"),
+        "chain ends at the sink: {chain}"
+    );
+    assert!(
+        chain.contains("run_node"),
+        "chain starts at the root: {chain}"
+    );
 }
 
 /// The panic pass, re-rooted on the workspace graph, reports findings in
@@ -52,7 +58,10 @@ fn panic_pass_reaches_storage_across_crates() {
     assert!(
         diags.iter().any(|d| d.file.starts_with("crates/storage/")),
         "workspace-rooted panic pass must surface crates/storage findings; got files: {:?}",
-        diags.iter().map(|d| &d.file).collect::<std::collections::BTreeSet<_>>()
+        diags
+            .iter()
+            .map(|d| &d.file)
+            .collect::<std::collections::BTreeSet<_>>()
     );
 }
 

@@ -33,7 +33,7 @@ pub mod transport;
 pub mod wire;
 
 pub use channel::ChannelTransport;
-pub use load::{LoadClient, LoadRecord, SpecSource};
+pub use load::{LoadClient, LoadRecord, PlanSource, SpecSource};
 pub use node::{
     spawn_node, spawn_pool, CallFn, Clock, NodeHandle, Packet, PoolHandle, PoolMembers,
 };
@@ -329,6 +329,13 @@ impl LiveCluster {
     /// [`NodeHandle::inject`]).
     pub fn client(&self, id: ActorId) -> Option<&NodeHandle> {
         self.clients.iter().find(|h| h.id == id)
+    }
+
+    /// The node handle of a server node (replica or coordinator) by actor
+    /// id, for [`NodeHandle::call`] — e.g. installing a compiled plan on a
+    /// coordinator's thread.
+    pub fn server(&self, id: ActorId) -> Option<&NodeHandle> {
+        self.nodes.iter().find(|h| h.id == id)
     }
 
     /// Stop every node (clients first, then coordinators, then replicas)

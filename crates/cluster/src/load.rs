@@ -11,11 +11,15 @@ use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 
 use planet_mdcc::{Msg, Outcome, Trace, TraceEvent, TxnSpec};
+use planet_plan::{PlanId, PlanParam, TxnProgram};
 use planet_sim::{Actor, ActorId, Context, DetRng, SimDuration, SimTime};
 use planet_storage::{Key, WriteOp};
 
 /// `ClientTimer.kind` for the per-transaction resubmit deadline.
 pub const TIMER_RESUBMIT: u32 = 1;
+
+/// `ClientTimer.kind` for the plan-registration retry deadline.
+pub const TIMER_REGISTER: u32 = 2;
 
 /// Default per-transaction deadline before a reply is written off as lost.
 /// Generous: an in-flight transaction on a healthy cluster finishes in
@@ -26,6 +30,20 @@ pub const DEFAULT_RESUBMIT_TIMEOUT: SimDuration = SimDuration::from_secs(5);
 /// A pluggable transaction source for [`LoadClient`]: called with the
 /// client's deterministic RNG, returns the next spec to submit.
 pub type SpecSource = Box<dyn FnMut(&mut DetRng) -> TxnSpec + Send>;
+
+/// The compiled-path twin of [`SpecSource`]: returns the next execution's
+/// parameters for the client's registered plan.
+pub type PlanSource = Box<dyn FnMut(&mut DetRng) -> Vec<PlanParam> + Send>;
+
+/// Compiled-path state for a [`LoadClient`] driving `SubmitPlan` instead of
+/// `Submit`: the program registers once at startup and the closed loop
+/// starts when `PlanReady` lands.
+struct PlanMode {
+    plan: PlanId,
+    program: TxnProgram,
+    params: PlanSource,
+    ready: bool,
+}
 
 /// One finished transaction, as reported to the driver.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +77,9 @@ pub struct LoadClient {
     submitted: u64,
     /// Overrides the default single-key-increment mix when set.
     spec_source: Option<SpecSource>,
+    /// Drives the compiled `SubmitPlan` path when set (wins over
+    /// `spec_source`).
+    plan_mode: Option<PlanMode>,
     /// Per-transaction deadline: if no `TxnDone` arrives in time, the
     /// transaction is reported as timed out and the loop moves on. Without
     /// it, one shed submit or lost reply wedges the closed loop forever.
@@ -83,6 +104,7 @@ impl LoadClient {
             next_tag: 0,
             submitted: 0,
             spec_source: None,
+            plan_mode: None,
             resubmit_timeout: DEFAULT_RESUBMIT_TIMEOUT,
             trace: Trace::off(),
         }
@@ -101,6 +123,18 @@ impl LoadClient {
         self
     }
 
+    /// Drive the compiled path: register `program` under `plan` at startup,
+    /// then submit `(plan, params)` executions instead of full specs.
+    pub fn with_plan(mut self, plan: PlanId, program: TxnProgram, params: PlanSource) -> Self {
+        self.plan_mode = Some(PlanMode {
+            plan,
+            program,
+            params,
+            ready: false,
+        });
+        self
+    }
+
     /// Record client-observed transaction outcomes to `trace`.
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = trace;
@@ -112,27 +146,65 @@ impl LoadClient {
         self.submitted
     }
 
+    /// Send (or resend) the plan registration and arm its retry timer.
+    fn register_plan(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(mode) = &self.plan_mode {
+            let me = ctx.self_id();
+            ctx.send(
+                self.coordinator,
+                Msg::RegisterPlan {
+                    plan: mode.plan,
+                    program: mode.program.clone(),
+                    reply_to: me,
+                },
+            );
+            ctx.schedule(
+                self.resubmit_timeout,
+                Msg::ClientTimer {
+                    kind: TIMER_REGISTER,
+                    tag: 0,
+                },
+            );
+        }
+    }
+
     fn submit_next(&mut self, ctx: &mut Context<'_, Msg>) {
-        let spec = match &mut self.spec_source {
-            Some(source) => source(ctx.rng()),
-            None => {
-                let key = self.keys[ctx.rng().index(self.keys.len())].clone();
-                TxnSpec::write_one(key, WriteOp::add(1))
-            }
-        };
         let tag = self.next_tag;
         self.next_tag += 1;
         self.submitted += 1;
         self.inflight.insert(tag, ctx.now());
         let me = ctx.self_id();
-        ctx.send(
-            self.coordinator,
-            Msg::Submit {
-                spec,
-                reply_to: me,
-                tag,
-            },
-        );
+        match &mut self.plan_mode {
+            Some(mode) => {
+                let params = (mode.params)(ctx.rng());
+                ctx.send(
+                    self.coordinator,
+                    Msg::SubmitPlan {
+                        plan: mode.plan,
+                        params,
+                        reply_to: me,
+                        tag,
+                    },
+                );
+            }
+            None => {
+                let spec = match &mut self.spec_source {
+                    Some(source) => source(ctx.rng()),
+                    None => {
+                        let key = self.keys[ctx.rng().index(self.keys.len())].clone();
+                        TxnSpec::write_one(key, WriteOp::add(1))
+                    }
+                };
+                ctx.send(
+                    self.coordinator,
+                    Msg::Submit {
+                        spec,
+                        reply_to: me,
+                        tag,
+                    },
+                );
+            }
+        }
         ctx.schedule(
             self.resubmit_timeout,
             Msg::ClientTimer {
@@ -143,7 +215,13 @@ impl LoadClient {
     }
 
     /// Report one finished transaction to the driver.
-    fn report(&mut self, ctx: &mut Context<'_, Msg>, tag: u64, outcome: Outcome, submitted: SimTime) {
+    fn report(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tag: u64,
+        outcome: Outcome,
+        submitted: SimTime,
+    ) {
         let _ = self.results.send(LoadRecord {
             client: ctx.self_id().0,
             tag,
@@ -156,7 +234,11 @@ impl LoadClient {
 
 impl Actor<Msg> for LoadClient {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.submit_next(ctx);
+        if self.plan_mode.is_some() {
+            self.register_plan(ctx);
+        } else {
+            self.submit_next(ctx);
+        }
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
@@ -179,6 +261,14 @@ impl Actor<Msg> for LoadClient {
                     self.submit_next(ctx);
                 }
             }
+            Msg::PlanReady { plan } => {
+                if let Some(mode) = &mut self.plan_mode {
+                    if plan == mode.plan && !mode.ready {
+                        mode.ready = true;
+                        self.submit_next(ctx);
+                    }
+                }
+            }
             Msg::ClientTimer {
                 kind: TIMER_RESUBMIT,
                 tag,
@@ -187,6 +277,14 @@ impl Actor<Msg> for LoadClient {
                     self.report(ctx, tag, Outcome::TimedOut, submitted);
                     self.submit_next(ctx);
                 }
+            }
+            // The registration (or its ack) was lost: try again. Once
+            // `PlanReady` lands this timer becomes a no-op (guard is false).
+            Msg::ClientTimer {
+                kind: TIMER_REGISTER,
+                ..
+            } if self.plan_mode.as_ref().is_some_and(|m| !m.ready) => {
+                self.register_plan(ctx);
             }
             _ => {}
         }

@@ -26,6 +26,9 @@ use std::io::{self, Read, Write};
 use std::sync::Mutex;
 
 use planet_mdcc::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
+use planet_plan::{
+    DeltaRef, KeyRef, KeyTemplate, OpTemplate, PlanOp, PlanParam, TemplatePart, TxnProgram,
+};
 use planet_sim::{ActorId, SimTime, SiteId};
 use planet_storage::{Bytes, Key, RecordOption, RejectReason, TxnId, Value, WriteOp};
 
@@ -457,6 +460,181 @@ fn get_stats(r: &mut Reader) -> Result<TxnStats> {
     })
 }
 
+// ----------------------------------------------------------------- plans
+
+fn put_key_ref(w: &mut impl Sink, k: &KeyRef) {
+    match k {
+        KeyRef::Fixed(i) => {
+            w.u8(0);
+            w.u32(*i);
+        }
+        KeyRef::Param(p) => {
+            w.u8(1);
+            w.u8(*p);
+        }
+        KeyRef::Derived(tmpl) => {
+            w.u8(2);
+            w.u32(tmpl.parts.len() as u32);
+            for part in &tmpl.parts {
+                match part {
+                    TemplatePart::Lit(s) => {
+                        w.u8(0);
+                        w.str(s);
+                    }
+                    TemplatePart::Param(p) => {
+                        w.u8(1);
+                        w.u8(*p);
+                    }
+                }
+            }
+        }
+    }
+}
+fn get_key_ref(r: &mut Reader) -> Result<KeyRef> {
+    Ok(match r.u8()? {
+        0 => KeyRef::Fixed(r.u32()?),
+        1 => KeyRef::Param(r.u8()?),
+        2 => {
+            let n = r.u32()? as usize;
+            let mut parts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                parts.push(match r.u8()? {
+                    0 => TemplatePart::Lit(r.string()?),
+                    1 => TemplatePart::Param(r.u8()?),
+                    _ => return err("bad TemplatePart tag"),
+                });
+            }
+            KeyRef::Derived(KeyTemplate { parts })
+        }
+        _ => return err("bad KeyRef tag"),
+    })
+}
+
+fn put_op_template(w: &mut impl Sink, t: &OpTemplate) {
+    match t {
+        OpTemplate::Set(v) => {
+            w.u8(0);
+            put_value(w, v);
+        }
+        OpTemplate::SetParam(p) => {
+            w.u8(1);
+            w.u8(*p);
+        }
+        OpTemplate::Add {
+            delta,
+            lower,
+            upper,
+        } => {
+            w.u8(2);
+            match delta {
+                DeltaRef::Const(d) => {
+                    w.u8(0);
+                    w.i64(*d);
+                }
+                DeltaRef::Param(p) => {
+                    w.u8(1);
+                    w.u8(*p);
+                }
+            }
+            w.opt_i64(*lower);
+            w.opt_i64(*upper);
+        }
+        OpTemplate::Delete => w.u8(3),
+    }
+}
+fn get_op_template(r: &mut Reader) -> Result<OpTemplate> {
+    Ok(match r.u8()? {
+        0 => OpTemplate::Set(get_value(r)?),
+        1 => OpTemplate::SetParam(r.u8()?),
+        2 => OpTemplate::Add {
+            delta: match r.u8()? {
+                0 => DeltaRef::Const(r.i64()?),
+                1 => DeltaRef::Param(r.u8()?),
+                _ => return err("bad DeltaRef tag"),
+            },
+            lower: r.opt_i64()?,
+            upper: r.opt_i64()?,
+        },
+        3 => OpTemplate::Delete,
+        _ => return err("bad OpTemplate tag"),
+    })
+}
+
+fn put_program(w: &mut impl Sink, p: &TxnProgram) {
+    w.str(&p.name);
+    w.u32(p.table.len() as u32);
+    for k in &p.table {
+        put_key(w, k);
+    }
+    w.u32(p.ops.len() as u32);
+    for op in &p.ops {
+        match op {
+            PlanOp::Read(k) => {
+                w.u8(0);
+                put_key_ref(w, k);
+            }
+            PlanOp::Write(k, t) => {
+                w.u8(1);
+                put_key_ref(w, k);
+                put_op_template(w, t);
+            }
+        }
+    }
+    w.bool(p.quorum_reads);
+}
+fn get_program(r: &mut Reader) -> Result<TxnProgram> {
+    let name = r.string()?;
+    let n = r.u32()? as usize;
+    let mut table = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        table.push(get_key(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        ops.push(match r.u8()? {
+            0 => PlanOp::Read(get_key_ref(r)?),
+            1 => PlanOp::Write(get_key_ref(r)?, get_op_template(r)?),
+            _ => return err("bad PlanOp tag"),
+        });
+    }
+    let quorum_reads = r.bool()?;
+    Ok(TxnProgram {
+        name,
+        table,
+        ops,
+        quorum_reads,
+    })
+}
+
+fn put_params(w: &mut impl Sink, params: &[PlanParam]) {
+    w.u32(params.len() as u32);
+    for p in params {
+        match p {
+            PlanParam::Key(i) => {
+                w.u8(0);
+                w.u32(*i);
+            }
+            PlanParam::Int(v) => {
+                w.u8(1);
+                w.i64(*v);
+            }
+        }
+    }
+}
+fn get_params(r: &mut Reader) -> Result<Vec<PlanParam>> {
+    let n = r.u32()? as usize;
+    let mut params = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        params.push(match r.u8()? {
+            0 => PlanParam::Key(r.u32()?),
+            1 => PlanParam::Int(r.i64()?),
+            _ => return err("bad PlanParam tag"),
+        });
+    }
+    Ok(params)
+}
+
 // ------------------------------------------------------------------ msg
 
 fn put_msg(w: &mut impl Sink, msg: &Msg) {
@@ -610,6 +788,32 @@ fn put_msg(w: &mut impl Sink, msg: &Msg) {
             w.u32(*kind);
             w.u64(*tag);
         }
+        Msg::RegisterPlan {
+            plan,
+            program,
+            reply_to,
+        } => {
+            w.u8(18);
+            w.u32(*plan);
+            put_program(w, program);
+            w.u32(reply_to.0);
+        }
+        Msg::SubmitPlan {
+            plan,
+            params,
+            reply_to,
+            tag,
+        } => {
+            w.u8(19);
+            w.u32(*plan);
+            put_params(w, params);
+            w.u32(reply_to.0);
+            w.u64(*tag);
+        }
+        Msg::PlanReady { plan } => {
+            w.u8(20);
+            w.u32(*plan);
+        }
     }
 }
 
@@ -709,6 +913,18 @@ fn get_msg(r: &mut Reader) -> Result<Msg> {
             kind: r.u32()?,
             tag: r.u64()?,
         },
+        18 => Msg::RegisterPlan {
+            plan: r.u32()?,
+            program: get_program(r)?,
+            reply_to: ActorId(r.u32()?),
+        },
+        19 => Msg::SubmitPlan {
+            plan: r.u32()?,
+            params: get_params(r)?,
+            reply_to: ActorId(r.u32()?),
+            tag: r.u64()?,
+        },
+        20 => Msg::PlanReady { plan: r.u32()? },
         _ => return err("bad Msg tag"),
     })
 }
@@ -1034,7 +1250,50 @@ mod tests {
                 txn: TxnId::new(1, 5),
             },
             Msg::ClientTimer { kind: 101, tag: 55 },
+            Msg::RegisterPlan {
+                plan: 3,
+                program: sample_program(),
+                reply_to: ActorId(12),
+            },
+            Msg::SubmitPlan {
+                plan: 3,
+                params: vec![PlanParam::Key(1), PlanParam::Int(-7)],
+                reply_to: ActorId(12),
+                tag: 42,
+            },
+            Msg::PlanReady { plan: 3 },
         ]
+    }
+
+    /// A program exercising every `KeyRef`, `OpTemplate` and `DeltaRef`
+    /// shape the codec must carry.
+    fn sample_program() -> TxnProgram {
+        let mut prog = TxnProgram::new("wire-sample");
+        let a = prog.intern(Key::new("stock:1"));
+        let b = prog.intern(Key::new("event:1"));
+        prog.read(KeyRef::Fixed(b))
+            .write(
+                KeyRef::Param(0),
+                OpTemplate::Add {
+                    delta: DeltaRef::Const(-1),
+                    lower: Some(0),
+                    upper: None,
+                },
+            )
+            .write(
+                KeyRef::Derived(KeyTemplate::new().lit("order:").param(1)),
+                OpTemplate::SetParam(1),
+            )
+            .write(KeyRef::Fixed(a), OpTemplate::Delete)
+            .write(
+                KeyRef::Fixed(b),
+                OpTemplate::Add {
+                    delta: DeltaRef::Param(1),
+                    lower: None,
+                    upper: Some(100),
+                },
+            )
+            .quorum_reads()
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use planet_cluster::transport::Envelope;
 use planet_cluster::wire::{decode, encode, read_frame, write_frame};
 use planet_mdcc::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
+use planet_plan::{KeyRef, KeyTemplate, OpTemplate, PlanParam, TxnProgram};
 use planet_sim::{ActorId, SimTime, SiteId};
 use planet_storage::{Key, RecordOption, RejectReason, TxnId, Value, WriteOp};
 
@@ -36,6 +37,9 @@ fn variant_name(msg: &Msg) -> &'static str {
         Msg::ReplicaServiceDone => "ReplicaServiceDone",
         Msg::TxnTimeout { .. } => "TxnTimeout",
         Msg::ClientTimer { .. } => "ClientTimer",
+        Msg::RegisterPlan { .. } => "RegisterPlan",
+        Msg::SubmitPlan { .. } => "SubmitPlan",
+        Msg::PlanReady { .. } => "PlanReady",
     }
 }
 
@@ -217,6 +221,37 @@ fn samples() -> Vec<Msg> {
                 rejections: 1,
             },
         },
+        Msg::RegisterPlan {
+            plan: 7,
+            program: {
+                let mut p = TxnProgram::new("wire-sample");
+                let stock = p.intern(Key::new("stock:1"));
+                p = p
+                    .read(KeyRef::Fixed(stock))
+                    .write(
+                        KeyRef::Param(0),
+                        OpTemplate::Add {
+                            delta: planet_plan::DeltaRef::Const(-1),
+                            lower: Some(0),
+                            upper: None,
+                        },
+                    )
+                    .write(
+                        KeyRef::Derived(KeyTemplate::new().lit("order:").param(1)),
+                        OpTemplate::SetParam(1),
+                    )
+                    .quorum_reads();
+                p
+            },
+            reply_to: ActorId(17),
+        },
+        Msg::SubmitPlan {
+            plan: 7,
+            params: vec![PlanParam::Key(0), PlanParam::Int(-42)],
+            reply_to: ActorId(17),
+            tag: 0xCAFE,
+        },
+        Msg::PlanReady { plan: 7 },
         Msg::Crash,
         Msg::Recover,
         Msg::ReplicaServiceDone,

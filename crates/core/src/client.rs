@@ -15,7 +15,8 @@
 
 use std::collections::HashMap;
 
-use planet_mdcc::{ClusterConfig, Msg, Outcome, ProgressStage, Protocol};
+use planet_mdcc::{ClusterConfig, Msg, Outcome, ProgressStage, Protocol, ReadLevel, TxnSpec};
+use planet_plan::{PlanId, TxnProgram};
 use planet_predict::{KeyState, LikelihoodModel, TxnSnapshot};
 use planet_sim::{Actor, ActorId, Context, DetRng, SimDuration, SimTime};
 use planet_storage::{Key, TxnId, Value, VersionNo};
@@ -144,6 +145,11 @@ pub struct ClientActor {
     chains: Vec<(u64, ChainTrigger, u64)>,
     /// Closed-loop bookkeeping: think time per in-flight source transaction.
     source_think: HashMap<u64, SimDuration>,
+    /// Programs installed for the compiled submission path, mirrored here so
+    /// the client can instantiate each execution locally (the prediction and
+    /// admission machinery needs the concrete keys the coordinator will
+    /// touch).
+    programs: HashMap<PlanId, TxnProgram>,
 }
 
 impl ClientActor {
@@ -169,7 +175,15 @@ impl ClientActor {
             arrivals_armed: false,
             chains: Vec::new(),
             source_think: HashMap::new(),
+            programs: HashMap::new(),
         }
+    }
+
+    /// Mirror an installed program so plan-handle submissions can be
+    /// instantiated locally. The facade installs the same program on the
+    /// site's coordinator.
+    pub fn install_program(&mut self, plan: PlanId, program: TxnProgram) {
+        self.programs.insert(plan, program);
     }
 
     /// Attach a workload source; arrivals start when the simulation starts.
@@ -318,6 +332,50 @@ impl ClientActor {
             site: self.site,
             tag,
         };
+        // Plan-handle submission: instantiate the program locally so the
+        // prediction and admission machinery see the concrete keys this
+        // execution touches (the wire still carries only `(plan, params)`).
+        if let Some((plan, params)) = &txn.plan {
+            match self.programs.get(plan).map(|p| p.instantiate(params)) {
+                Some(Ok(inst)) => {
+                    txn.spec = TxnSpec {
+                        reads: inst.reads,
+                        writes: inst.writes,
+                        read_level: if inst.quorum_reads {
+                            ReadLevel::Quorum
+                        } else {
+                            ReadLevel::Local
+                        },
+                    };
+                }
+                _ => {
+                    // Unknown plan or parameters the program cannot accept:
+                    // the coordinator would reject this execution anyway, so
+                    // refuse it client-side with the admission outcome.
+                    txn.fire(&TxnEvent::Final {
+                        handle,
+                        outcome: FinalOutcome::Rejected,
+                        latency: SimDuration::ZERO,
+                        decided_at: ctx.now(),
+                    });
+                    ctx.metrics().counter("planet.bad_plan").inc();
+                    self.records.push(TxnRecord {
+                        handle,
+                        outcome: FinalOutcome::Rejected,
+                        submitted_at: ctx.now(),
+                        latency: SimDuration::ZERO,
+                        write_keys: 0,
+                        speculated_at: None,
+                        deadline_likelihood: None,
+                        predictions: Vec::new(),
+                        reads: Vec::new(),
+                    });
+                    self.process_chains(tag, ChainOutcome::Failed, ctx);
+                    self.source_txn_finished(tag, ctx);
+                    return;
+                }
+            }
+        }
         let write_keys = txn.spec.writes.len();
         let (quorum, voters, _) = if let Some((key, _)) = txn.spec.writes.first() {
             self.key_shape(key)
@@ -401,6 +459,7 @@ impl ClientActor {
             );
         }
         let spec = txn.spec.clone();
+        let plan = txn.plan.clone();
         self.live.insert(
             tag,
             LiveTxn {
@@ -417,14 +476,25 @@ impl ClientActor {
             },
         );
         let me = ctx.self_id();
-        ctx.send(
-            self.coordinator,
-            Msg::Submit {
-                spec,
-                reply_to: me,
-                tag,
-            },
-        );
+        match plan {
+            Some((plan, params)) => ctx.send(
+                self.coordinator,
+                Msg::SubmitPlan {
+                    plan,
+                    params,
+                    reply_to: me,
+                    tag,
+                },
+            ),
+            None => ctx.send(
+                self.coordinator,
+                Msg::Submit {
+                    spec,
+                    reply_to: me,
+                    tag,
+                },
+            ),
+        }
     }
 
     /// Current likelihood for a live transaction (budget-aware).

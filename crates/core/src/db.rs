@@ -16,7 +16,8 @@
 //! assert!(db.record(handle).unwrap().outcome.is_commit());
 //! ```
 
-use planet_mdcc::{build_cluster, Cluster, ClusterConfig, Msg, Protocol};
+use planet_mdcc::{build_cluster, Cluster, ClusterConfig, CoordinatorActor, Msg, Protocol};
+use planet_plan::{PlanError, PlanId, PlanParam, TxnProgram};
 use planet_sim::{ActorId, Metrics, NetworkModel, SimDuration, SimTime, Simulation, SiteId};
 use planet_storage::{Key, Value};
 
@@ -183,6 +184,35 @@ impl Planet {
     /// Submit a transaction at `site` now.
     pub fn submit(&mut self, site: usize, txn: PlanetTxn) -> TxnHandle {
         self.submit_at(site, self.sim.now(), txn)
+    }
+
+    /// Install a compiled transaction program under `plan` on every
+    /// coordinator and client. Subsequent submissions built with
+    /// [`TxnBuilder::via_plan`](crate::TxnBuilder::via_plan) (or
+    /// [`Planet::submit_plan`]) execute the pre-routed plan: no key strings
+    /// cross the submission boundary and the coordinator skips routing and
+    /// dispatch work per transaction.
+    pub fn install_program(&mut self, plan: PlanId, program: TxnProgram) -> Result<(), PlanError> {
+        program.validate()?;
+        for site in 0..self.num_sites() {
+            let coord = self.cluster.coordinators[site];
+            self.sim
+                .actor_as_mut::<CoordinatorActor>(coord)
+                .expect("coordinator actor")
+                .install_plan(plan, program.clone())?;
+            let client = self.clients[site];
+            self.sim
+                .actor_as_mut::<ClientActor>(client)
+                .expect("client actor")
+                .install_program(plan, program.clone());
+        }
+        Ok(())
+    }
+
+    /// Submit one execution of an installed program at `site` now — the
+    /// plan-handle twin of [`Planet::submit`].
+    pub fn submit_plan(&mut self, site: usize, plan: PlanId, params: Vec<PlanParam>) -> TxnHandle {
+        self.submit(site, PlanetTxn::builder().via_plan(plan, params).build())
     }
 
     /// Chain a transaction behind another at the same site: it is submitted

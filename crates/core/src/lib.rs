@@ -45,5 +45,9 @@ pub use txn::{
 
 // Re-export the vocabulary types applications need.
 pub use planet_mdcc::{Protocol, TxnSpec};
+pub use planet_plan::{
+    CompiledPlan, DeltaRef, KeyRef, KeyTemplate, OpTemplate, PlanError, PlanId, PlanParam,
+    TxnProgram,
+};
 pub use planet_sim::{SimDuration, SimTime};
 pub use planet_storage::{Key, Value, WriteOp};

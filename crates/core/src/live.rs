@@ -30,7 +30,8 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use planet_cluster::{Harvest, LiveCluster, PlaneConfig};
-use planet_mdcc::{ClusterConfig, Msg, Protocol};
+use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Protocol};
+use planet_plan::{PlanError, PlanId, PlanParam, TxnProgram};
 use planet_sim::{ActorId, Metrics, NetworkModel, SimDuration};
 
 use crate::admission::AdmissionPolicy;
@@ -207,6 +208,41 @@ impl LivePlanet {
             }]
         });
         reply_rx.recv().expect("client node gone")
+    }
+
+    /// Install a compiled transaction program under `plan` on every
+    /// coordinator and client thread — the live twin of
+    /// [`Planet::install_program`](crate::Planet::install_program). Returns
+    /// once every coordinator has compiled and accepted the program.
+    pub fn install_program(&mut self, plan: PlanId, program: TxnProgram) -> Result<(), PlanError> {
+        program.validate()?;
+        for site in 0..self.num_sites() {
+            let coord = self.cluster.coordinator(site);
+            let node = self.cluster.server(coord).expect("coordinator node");
+            let prog = program.clone();
+            let (reply_tx, reply_rx) = channel();
+            node.call(move |actor| {
+                let any: &mut dyn std::any::Any = actor;
+                let coordinator = any
+                    .downcast_mut::<CoordinatorActor>()
+                    .expect("server node hosts a CoordinatorActor");
+                let _ = reply_tx.send(coordinator.install_plan(plan, prog));
+                Vec::new()
+            });
+            reply_rx.recv().expect("coordinator node gone")?;
+            let prog = program.clone();
+            self.client_node(site).call(move |actor| {
+                as_client(actor).install_program(plan, prog);
+                Vec::new()
+            });
+        }
+        Ok(())
+    }
+
+    /// Submit one execution of an installed program at `site` — the
+    /// plan-handle twin of [`LivePlanet::submit`].
+    pub fn submit_plan(&mut self, site: usize, plan: PlanId, params: Vec<PlanParam>) -> TxnHandle {
+        self.submit(site, PlanetTxn::builder().via_plan(plan, params).build())
     }
 
     /// Chain a transaction behind another at the same site, exactly as

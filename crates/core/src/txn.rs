@@ -12,6 +12,7 @@
 //!   the freshly predicted likelihood.
 
 use planet_mdcc::TxnSpec;
+use planet_plan::{PlanError, PlanId, PlanParam, TxnProgram};
 use planet_sim::{SimDuration, SimTime};
 use planet_storage::{Key, Value, WriteOp};
 
@@ -177,6 +178,11 @@ pub type EventCallback = Box<dyn FnMut(&TxnEvent) + Send>;
 pub struct PlanetTxn {
     /// Reads and writes.
     pub spec: TxnSpec,
+    /// Submit through an installed compiled plan instead of shipping the
+    /// spec: `(plan handle, this execution's parameters)`. Set by
+    /// [`TxnBuilder::via_plan`]; requires the program to be installed first
+    /// (see [`Planet::install_program`](crate::Planet::install_program)).
+    pub plan: Option<(PlanId, Vec<PlanParam>)>,
     /// Application deadline, if any.
     pub deadline: Option<SimDuration>,
     /// Speculative-commit threshold, if speculation is enabled.
@@ -218,6 +224,7 @@ impl PlanetTxn {
 #[derive(Default)]
 pub struct TxnBuilder {
     spec: TxnSpec,
+    plan: Option<(PlanId, Vec<PlanParam>)>,
     deadline: Option<SimDuration>,
     speculation_threshold: Option<f64>,
     compensation: Option<Box<PlanetTxn>>,
@@ -264,6 +271,33 @@ impl TxnBuilder {
     pub fn quorum_reads(mut self) -> Self {
         self.spec.read_level = planet_mdcc::ReadLevel::Quorum;
         self
+    }
+
+    /// Submit this transaction through an installed compiled plan: the wire
+    /// carries only `(plan, params)`, and the coordinator executes the
+    /// pre-routed [`planet_plan::CompiledPlan`] instead of interpreting a
+    /// spec. Reads/writes set on this builder are ignored in favour of the
+    /// program's ops; the client instantiates the program locally so the
+    /// likelihood/admission machinery sees the same keys either way.
+    pub fn via_plan(mut self, plan: PlanId, params: Vec<PlanParam>) -> Self {
+        self.plan = Some((plan, params));
+        self
+    }
+
+    /// Compile the transaction shape built so far into a zero-parameter
+    /// [`TxnProgram`] — the bridge from the interpreted builder API to the
+    /// compiled path. Install the result once (e.g. via
+    /// [`Planet::install_program`](crate::Planet::install_program)), then
+    /// submit executions with [`TxnBuilder::via_plan`] and empty params.
+    /// Fails if two writes name the same key (only the interpreted path
+    /// defines semantics for that).
+    pub fn compile(&self, name: impl Into<String>) -> Result<TxnProgram, PlanError> {
+        TxnProgram::of_concrete(
+            name,
+            &self.spec.reads,
+            &self.spec.writes,
+            self.spec.read_level == planet_mdcc::ReadLevel::Quorum,
+        )
     }
 
     /// Application deadline: when it passes before the outcome is known, a
@@ -339,6 +373,7 @@ impl TxnBuilder {
     pub fn build(self) -> PlanetTxn {
         PlanetTxn {
             spec: self.spec,
+            plan: self.plan,
             deadline: self.deadline,
             speculation_threshold: self.speculation_threshold,
             compensation: self.compensation,

@@ -73,9 +73,10 @@ use std::sync::Arc;
 use planet_audit::audit;
 use planet_mdcc::digest::{digest_msg, DigestMap};
 use planet_mdcc::{
-    ClusterConfig, CoordinatorActor, Msg, Outcome, ProgressStage, Protocol, ReplicaActor, Trace,
-    TxnSpec, VecSink,
+    ClusterConfig, CoordinatorActor, Msg, Outcome, ProgressStage, Protocol, ReadLevel,
+    ReplicaActor, Trace, TxnSpec, VecSink,
 };
+use planet_plan::{PlanId, TxnProgram};
 use planet_sim::{
     drive, drive_start, Actor, ActorId, Context, DetRng, Effect, Metrics, SimTime, SiteId,
     TurnInputs,
@@ -108,6 +109,13 @@ pub struct MckConfig {
     pub mutation: Option<Mutation>,
     /// The scripted workload shape.
     pub scenario: Scenario,
+    /// Submit through compiled plans: each client's scripted `TxnSpec` is
+    /// compiled to a [`TxnProgram`] installed on every coordinator before
+    /// exploration, and the client submits `(PlanId, params)` instead of the
+    /// spec. The compiled commit path is digest-parity with the interpreted
+    /// one, so the explored state graph must be *count-for-count* identical
+    /// with this on or off (`plans_are_digest_neutral` certifies it).
+    pub use_plans: bool,
     /// Record a trace per explored path and run the isolation auditor at
     /// every all-decided state, certifying which anomalies are *reachable*
     /// (as opposed to merely observed in one simulation run). Tracing rides
@@ -148,6 +156,7 @@ impl MckConfig {
             max_states: 250_000,
             mutation: None,
             scenario: Scenario::default(),
+            use_plans: false,
             audit: false,
         }
     }
@@ -329,6 +338,10 @@ fn client_specs(scenario: Scenario, clients: usize, a: &Key, b: &Key) -> Vec<Txn
 pub struct MckClient {
     coordinator: ActorId,
     spec: TxnSpec,
+    /// Submit via this pre-installed plan instead of shipping the spec.
+    /// The scripted specs are fully concrete, so the parameter vector is
+    /// empty — the wire carries just the plan id.
+    plan: Option<PlanId>,
     tag: u64,
     /// Transaction id, learned from the first coordinator reply.
     pub txn: Option<TxnId>,
@@ -340,10 +353,11 @@ pub struct MckClient {
 }
 
 impl MckClient {
-    fn new(coordinator: ActorId, spec: TxnSpec, tag: u64) -> Self {
+    fn new(coordinator: ActorId, spec: TxnSpec, plan: Option<PlanId>, tag: u64) -> Self {
         MckClient {
             coordinator,
             spec,
+            plan,
             tag,
             txn: None,
             outcome: None,
@@ -374,14 +388,20 @@ impl MckClient {
 impl Actor<Msg> for MckClient {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         let me = ctx.self_id();
-        ctx.send(
-            self.coordinator,
-            Msg::Submit {
+        let msg = match self.plan {
+            Some(plan) => Msg::SubmitPlan {
+                plan,
+                params: Vec::new(),
+                reply_to: me,
+                tag: self.tag,
+            },
+            None => Msg::Submit {
                 spec: self.spec.clone(),
                 reply_to: me,
                 tag: self.tag,
             },
-        );
+        };
+        ctx.send(self.coordinator, msg);
     }
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, _ctx: &mut Context<'_, Msg>) {
@@ -546,14 +566,37 @@ impl World {
             });
         }
         let specs = client_specs(cfg.scenario, cfg.clients, &a, &b);
+        // Plan mode: compile every scripted spec to a concrete program and
+        // install it on every coordinator before the first delivery choice
+        // (registration is an out-of-band setup step, exactly as the live
+        // deployment installs plans once per connection — it adds no
+        // messages to the explored graph).
+        if cfg.use_plans {
+            for (i, spec) in specs.iter().enumerate() {
+                let program = TxnProgram::of_concrete(
+                    format!("mck-client-{i}"),
+                    &spec.reads,
+                    &spec.writes,
+                    spec.read_level == ReadLevel::Quorum,
+                )
+                .expect("scripted specs compile");
+                for slot in &mut actors {
+                    if let Kind::Coordinator(c) = &mut slot.kind {
+                        c.install_plan(i as PlanId, program.clone())
+                            .expect("plan installs");
+                    }
+                }
+            }
+        }
         let mut client_sites = Vec::new();
         for (i, spec) in specs.into_iter().enumerate() {
             let site = (i % n) as u8;
             client_sites.push(site);
             let coordinator = ActorId((shards * n + site as usize) as u32);
+            let plan = cfg.use_plans.then_some(i as PlanId);
             actors.push(Slot {
                 site: SiteId(site),
-                kind: Kind::Client(MckClient::new(coordinator, spec, i as u64)),
+                kind: Kind::Client(MckClient::new(coordinator, spec, plan, i as u64)),
             });
         }
 
@@ -1299,6 +1342,53 @@ mod tests {
         assert_eq!(off.verdicts, on.verdicts);
         assert_eq!(off.complete_verdicts, on.complete_verdicts);
         assert!(off.anomalies.is_empty(), "no auditing, no anomalies");
+    }
+
+    #[test]
+    fn plans_are_digest_neutral() {
+        // The compiled commit path mirrors the interpreted one message for
+        // message and digests per-transaction state as the spec it
+        // specializes, so switching the workload to compiled plans must not
+        // move a single state count: same unique states, same revisits, same
+        // replay steps, same verdict sets. Both scenarios — Conflict has
+        // write-write contention, WriteSkew exercises the plan read path.
+        for scenario in [Scenario::Conflict, Scenario::WriteSkew] {
+            let mut base = MckConfig::new(2, 2, 10);
+            base.scenario = scenario;
+            let mut compiled = base.clone();
+            compiled.use_plans = true;
+            let off = explore(&base);
+            let on = explore(&compiled);
+            assert!(off.violations.is_empty(), "{:?}", off.violations);
+            assert!(on.violations.is_empty(), "{:?}", on.violations);
+            assert_eq!(off.unique_states, on.unique_states, "{scenario:?}");
+            assert_eq!(off.revisits, on.revisits, "{scenario:?}");
+            assert_eq!(off.steps, on.steps, "{scenario:?}");
+            assert_eq!(off.truncated, on.truncated, "{scenario:?}");
+            assert_eq!(off.terminals, on.terminals, "{scenario:?}");
+            assert_eq!(off.max_depth, on.max_depth, "{scenario:?}");
+            assert_eq!(off.verdicts, on.verdicts, "{scenario:?}");
+            assert_eq!(off.complete_verdicts, on.complete_verdicts, "{scenario:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_plan_commits_along_some_path() {
+        // Greedy deliver-first walk of a compiled-plan world: the plan path
+        // must carry a transaction to commit with no monitor violation.
+        let mut cfg = MckConfig::new(2, 1, 64);
+        cfg.use_plans = true;
+        let mut w = World::build(&cfg);
+        for _ in 0..64 {
+            let cs = w.choices();
+            let Some(&c) = cs.first() else { break };
+            w.step(c);
+            if w.all_decided() {
+                break;
+            }
+        }
+        assert!(w.violations.is_empty(), "{:?}", w.violations);
+        assert_eq!(w.verdict(), "C");
     }
 
     #[test]

@@ -90,6 +90,8 @@ impl ClusterConfig {
     /// 10 s server-side timeout.
     pub fn new(num_sites: usize, protocol: Protocol) -> Self {
         assert!(num_sites >= 1);
+        // The coordinator tallies per-key votes in a 64-bit site mask.
+        assert!(num_sites <= 64, "at most 64 sites");
         ClusterConfig {
             num_sites,
             protocol,
@@ -167,6 +169,24 @@ impl ClusterConfig {
         }
         h ^= h >> 32;
         (h % self.num_shards as u64) as usize
+    }
+}
+
+/// The routing facts the plan specializer bakes into a
+/// [`planet_plan::CompiledPlan`]: compiling against the config that every
+/// actor runs makes the precomputed routes exactly the ones the interpreted
+/// path would have hashed per submission.
+impl planet_plan::PlanEnv for ClusterConfig {
+    fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        ClusterConfig::shard_of(self, key)
+    }
+
+    fn master_site_of(&self, key: &Key) -> u8 {
+        ClusterConfig::master_of(self, key).0
     }
 }
 

@@ -84,6 +84,27 @@ pub fn digest_msg<H: Hasher>(m: &Msg, map: &DigestMap, h: &mut H) {
             map.actor(*reply_to).hash(h);
             tag.hash(h);
         }
+        Msg::RegisterPlan {
+            plan,
+            program,
+            reply_to,
+        } => {
+            plan.hash(h);
+            dbg_hash(program, h);
+            map.actor(*reply_to).hash(h);
+        }
+        Msg::SubmitPlan {
+            plan,
+            params,
+            reply_to,
+            tag,
+        } => {
+            plan.hash(h);
+            dbg_hash(params, h);
+            map.actor(*reply_to).hash(h);
+            tag.hash(h);
+        }
+        Msg::PlanReady { plan } => plan.hash(h),
         Msg::ReadReq { txn, keys } => {
             txn.hash(h);
             dbg_hash(keys, h);

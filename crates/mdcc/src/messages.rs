@@ -58,13 +58,36 @@ impl TxnSpec {
 
     /// Every key the transaction touches, deduplicated, in first-use order.
     pub fn touched_keys(&self) -> Vec<Key> {
-        let mut keys = Vec::new();
-        for k in self.reads.iter().chain(self.writes.iter().map(|(k, _)| k)) {
-            if !keys.contains(k) {
-                keys.push(k.clone());
+        let mut keys = Vec::with_capacity(self.reads.len() + self.writes.len());
+        self.for_each_touched(|k| keys.push(k.clone()));
+        keys
+    }
+
+    /// Visit every touched key once, in first-use order, without cloning.
+    /// Dedup runs over borrowed keys — a linear scan for the small specs
+    /// that dominate, a sorted seen-set above that — instead of the old
+    /// owned-`Vec::contains` walk that paid quadratic string compares *and*
+    /// cloned every key before checking it.
+    pub fn for_each_touched(&self, mut f: impl FnMut(&Key)) {
+        const SMALL: usize = 16;
+        let total = self.reads.len() + self.writes.len();
+        let iter = self.reads.iter().chain(self.writes.iter().map(|(k, _)| k));
+        let mut seen: Vec<&Key> = Vec::with_capacity(total);
+        if total <= SMALL {
+            for k in iter {
+                if !seen.contains(&k) {
+                    seen.push(k);
+                    f(k);
+                }
+            }
+        } else {
+            for k in iter {
+                if let Err(pos) = seen.binary_search(&k) {
+                    seen.insert(pos, k);
+                    f(k);
+                }
             }
         }
-        keys
     }
 
     /// True if the transaction writes nothing.
@@ -174,6 +197,32 @@ pub enum Msg {
         reply_to: ActorId,
         /// Client-chosen tag echoed back in every reply, letting a client
         /// multiplex many in-flight transactions.
+        tag: u64,
+    },
+    /// Register a transaction program under a client-chosen plan id at a
+    /// coordinator; the coordinator compiles it once against its
+    /// configuration and keeps the [`planet_plan::CompiledPlan`] for the
+    /// lifetime of the actor. Re-registering an id replaces the program.
+    /// Acknowledged with [`Msg::PlanReady`].
+    RegisterPlan {
+        /// Client-chosen plan id, scoped to the receiving coordinator.
+        plan: planet_plan::PlanId,
+        /// The program to compile.
+        program: planet_plan::TxnProgram,
+        /// Actor to receive `PlanReady`.
+        reply_to: ActorId,
+    },
+    /// Submit one execution of a registered plan: the compiled hot path.
+    /// Replaces `Submit`'s full key-string spec with `(plan, params)`;
+    /// progress and the outcome flow back exactly as for `Submit`.
+    SubmitPlan {
+        /// The registered plan.
+        plan: planet_plan::PlanId,
+        /// Submit-time arguments.
+        params: Vec<planet_plan::PlanParam>,
+        /// Actor to receive `Progress`/`TxnDone` messages.
+        reply_to: ActorId,
+        /// Client-chosen tag echoed back in every reply.
         tag: u64,
     },
 
@@ -317,6 +366,13 @@ pub enum Msg {
         /// Summary statistics.
         stats: TxnStats,
     },
+    /// Acknowledges a [`Msg::RegisterPlan`]: the plan compiled and is
+    /// submittable. A malformed program gets no reply (the registering
+    /// client's wait times out; `plan.register_rejected` counts it).
+    PlanReady {
+        /// The registered plan id.
+        plan: planet_plan::PlanId,
+    },
 
     // ---- fault injection (harness → replica) ----
     /// Crash a replica: it stops processing and answering everything until
@@ -363,6 +419,27 @@ mod tests {
         };
         let keys = spec.touched_keys();
         assert_eq!(keys, vec![Key::new("a"), Key::new("b"), Key::new("c")]);
+    }
+
+    #[test]
+    fn touched_keys_dedups_above_the_small_spec_threshold() {
+        // 3 distinct keys, each repeated 8 times → 24 total, exercising the
+        // sorted seen-set branch. First-use order must survive the sort.
+        let reads: Vec<Key> = (0..24).map(|i| Key::new(format!("k{}", i % 3))).collect();
+        let spec = TxnSpec {
+            reads,
+            writes: vec![(Key::new("w"), WriteOp::add(1))],
+            read_level: ReadLevel::Local,
+        };
+        assert_eq!(
+            spec.touched_keys(),
+            vec![
+                Key::new("k0"),
+                Key::new("k1"),
+                Key::new("k2"),
+                Key::new("w")
+            ]
+        );
     }
 
     #[test]

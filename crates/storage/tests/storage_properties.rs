@@ -244,7 +244,10 @@ fn rejected_accept_leaves_wal_unchanged() {
     let t0 = TxnId::new(0, 0);
     let read = replica.read(&k);
     replica
-        .accept(&k, RecordOption::new(t0, read.version, WriteOp::Set(Value::Int(7))))
+        .accept(
+            &k,
+            RecordOption::new(t0, read.version, WriteOp::Set(Value::Int(7))),
+        )
         .expect("first accept");
     replica.decide(&k, t0, true);
     let wal_len = replica.wal().len();

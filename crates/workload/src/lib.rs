@@ -13,6 +13,7 @@
 pub mod anomaly;
 pub mod arrival;
 pub mod keyspace;
+pub mod plan;
 pub mod ticket;
 pub mod ycsb;
 pub mod zipf;
@@ -20,6 +21,7 @@ pub mod zipf;
 pub use anomaly::{SpecGen, ANOMALY_WORKLOADS};
 pub use arrival::{Arrival, LoadSchedule};
 pub use keyspace::{KeyChooser, KeyDistribution};
+pub use plan::{ticket_program, ycsb_point_program, TicketPlanParams, YcsbPointParams};
 pub use ticket::{preload_events, stock_key, TicketConfig, TicketWorkload};
 pub use ycsb::{WriteKind, YcsbConfig, YcsbWorkload};
 pub use zipf::Zipf;

@@ -1,0 +1,206 @@
+//! Compiled ≡ interpreted: a compiled plan must be observationally
+//! identical to the interpreted `TxnSpec` it specializes.
+//!
+//! Property: for the same simulation seed and the same parameter stream,
+//! a deployment that registers a [`TxnProgram`] and submits `(PlanId,
+//! params)` produces *exactly* the same per-transaction outcomes, the same
+//! latencies, and the same committed values as one that submits the
+//! instantiated `TxnSpec`s through the interpreted path. The compiled path
+//! skips string hashing, routing and dispatch per transaction — it must
+//! never change what the database does, only how fast it gets there.
+
+use std::collections::BTreeSet;
+
+use planet_core::{FinalOutcome, PlanParam, Planet, PlanetTxn, Protocol, SimDuration, TxnProgram};
+use planet_sim::DetRng;
+use planet_storage::{Key, Value};
+use planet_workload::{
+    preload_events, ticket_program, ycsb_point_program, KeyChooser, KeyDistribution, TicketConfig,
+    TicketPlanParams, WriteKind, YcsbPointParams,
+};
+
+/// Build the interpreted twin of one plan execution: the `PlanetTxn`
+/// carrying the fully-instantiated spec the coordinator would reconstruct.
+fn interpreted_txn(program: &TxnProgram, params: &[PlanParam]) -> PlanetTxn {
+    let inst = program.instantiate(params).expect("params fit the program");
+    let mut b = PlanetTxn::builder();
+    for key in inst.reads {
+        b = b.read(key);
+    }
+    for (key, op) in inst.writes {
+        b = b.write(key, op);
+    }
+    if inst.quorum_reads {
+        b = b.quorum_reads();
+    }
+    b.build()
+}
+
+/// Every key one parameter vector touches (for the final value sweep).
+fn touched_keys(program: &TxnProgram, params: &[PlanParam]) -> Vec<Key> {
+    let inst = program.instantiate(params).expect("params fit the program");
+    inst.reads
+        .into_iter()
+        .chain(inst.writes.into_iter().map(|(k, _)| k))
+        .collect()
+}
+
+/// What one run observed: per-txn outcomes and latencies in submission
+/// order, then the committed value of every touched key at every site.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    outcomes: Vec<(FinalOutcome, SimDuration)>,
+    values: Vec<(usize, Key, Value)>,
+}
+
+/// Run one deployment over the parameter stream; `compiled` picks the path.
+fn run(
+    seed: u64,
+    program: &TxnProgram,
+    param_stream: &[Vec<PlanParam>],
+    compiled: bool,
+    preload: &dyn Fn(&mut Planet),
+) -> Observation {
+    let mut db = Planet::builder()
+        .protocol(Protocol::Fast)
+        .seed(seed)
+        .build();
+    preload(&mut db);
+    db.install_program(1, program.clone())
+        .expect("program installs");
+    let sites = db.num_sites();
+    let base = db.now();
+    let handles: Vec<_> = param_stream
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let at = base + SimDuration::from_millis(5 + i as u64 * 20);
+            let site = i % sites;
+            if compiled {
+                let txn = PlanetTxn::builder().via_plan(1, params.clone()).build();
+                db.submit_at(site, at, txn)
+            } else {
+                db.submit_at(site, at, interpreted_txn(program, params))
+            }
+        })
+        .collect();
+    db.run_for(SimDuration::from_secs(60));
+
+    let outcomes = handles
+        .iter()
+        .map(|h| {
+            let r = db.record(*h).expect("txn finished");
+            (r.outcome, r.latency)
+        })
+        .collect();
+    let keys: BTreeSet<Key> = param_stream
+        .iter()
+        .flat_map(|p| touched_keys(program, p))
+        .collect();
+    let values = (0..sites)
+        .flat_map(|site| keys.iter().map(move |k| (site, k.clone())))
+        .map(|(site, k)| {
+            let v = db.read_local(site, &k);
+            (site, k, v)
+        })
+        .collect();
+    Observation { outcomes, values }
+}
+
+/// Assert the two paths observe the same world, over several seeds.
+fn assert_equivalent(
+    program: &TxnProgram,
+    streams: impl Fn(&mut DetRng) -> Vec<Vec<PlanParam>>,
+    preload: &dyn Fn(&mut Planet),
+) {
+    for seed in [3, 17, 92] {
+        let mut rng = DetRng::new(seed ^ 0xD1CE);
+        let param_stream = streams(&mut rng);
+        let compiled = run(seed, program, &param_stream, true, preload);
+        let interpreted = run(seed, program, &param_stream, false, preload);
+        assert_eq!(
+            compiled.outcomes, interpreted.outcomes,
+            "seed {seed}: compiled and interpreted outcomes diverge"
+        );
+        assert_eq!(
+            compiled.values, interpreted.values,
+            "seed {seed}: committed state diverges"
+        );
+        assert!(
+            compiled
+                .outcomes
+                .iter()
+                .any(|(o, _)| *o == FinalOutcome::Committed),
+            "seed {seed}: a useful equivalence run commits at least once"
+        );
+    }
+}
+
+#[test]
+fn ycsb_physical_point_writes_are_equivalent() {
+    let chooser = KeyChooser::new("eq", KeyDistribution::Uniform { n: 16 });
+    let program = ycsb_point_program(&chooser, WriteKind::Physical);
+    assert_equivalent(
+        &program,
+        |rng| {
+            let mut gen = YcsbPointParams::new(
+                KeyChooser::new("eq", KeyDistribution::Uniform { n: 16 }),
+                WriteKind::Physical,
+            );
+            (0..40).map(|_| gen.next_params(rng)).collect()
+        },
+        &|_| {},
+    );
+}
+
+#[test]
+fn ycsb_commutative_point_writes_are_equivalent() {
+    // Zipfian contention on commutative decrements: aborts and floor hits
+    // must land identically on both paths.
+    let dist = KeyDistribution::Zipfian { n: 8, theta: 0.9 };
+    let chooser = KeyChooser::new("eq", dist);
+    let program = ycsb_point_program(&chooser, WriteKind::Commutative);
+    assert_equivalent(
+        &program,
+        |rng| {
+            let mut gen = YcsbPointParams::new(
+                KeyChooser::new("eq", KeyDistribution::Zipfian { n: 8, theta: 0.9 }),
+                WriteKind::Commutative,
+            );
+            (0..40).map(|_| gen.next_params(rng)).collect()
+        },
+        &|db| {
+            // Seed stock so the floor-bounded decrements have room to
+            // commit; both paths see the identical preloaded state.
+            let base = db.now();
+            for i in 0..8u64 {
+                let txn = PlanetTxn::builder().set(format!("eq:{i}"), 50i64).build();
+                db.submit_at(0, base + SimDuration::from_micros(1 + i * 500), txn);
+            }
+            db.run_for(SimDuration::from_secs(5));
+        },
+    );
+}
+
+#[test]
+fn ticket_purchases_are_equivalent() {
+    // The three-op purchase: a read, a bounded decrement, and a derived-key
+    // insert — exercises the plan reader path and the key-template renderer.
+    let config = TicketConfig {
+        events: 6,
+        initial_stock: 10,
+        tickets_per_purchase: 2,
+        theta: 0.9,
+        ..Default::default()
+    };
+    let program = ticket_program(&config, 0);
+    let cfg = config.clone();
+    assert_equivalent(
+        &program,
+        move |rng| {
+            let mut gen = TicketPlanParams::new(&cfg);
+            (0..30).map(|_| gen.next_params(rng)).collect()
+        },
+        &|db| preload_events(db, &config),
+    );
+}
