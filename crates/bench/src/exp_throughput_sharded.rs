@@ -2,15 +2,23 @@
 //! [`crate::exp_throughput`], but varying the number of replica shards per
 //! site (`ClusterConfig::with_shards`) on both live transports:
 //!
-//! * **channel** — the in-process [`LiveCluster`], thread per shard, the
-//!   delay fabric shaping deliveries;
+//! * **channel** — the in-process [`LiveCluster`], the delay fabric shaping
+//!   deliveries;
 //! * **tcp** — three in-process [`TcpTransport`]s (one per "planetd"), each
 //!   hosting its site's shard replicas and coordinator, clients driving
 //!   load through a fourth client-side transport over real sockets.
 //!
+//! Each transport runs in two scheduling modes: **reactor** (the sharded
+//! event-loop runtime, every actor a task multiplexed over `workers`
+//! worker threads) swept across all shard counts, and **threads**
+//! (thread-per-actor, `workers = 0`) at one shard as the baseline the
+//! reactor must not regress against.
+//!
 //! Each point reports the host's core count alongside the numbers: shards
 //! only buy parallel commit work when the host actually has cores to run
-//! them on, so `cores` is part of the result, not a footnote. At
+//! them on, so `cores` is part of the result, not a footnote. Every point
+//! also carries the four per-txn latency-attribution spans (queueing,
+//! quorum wait, WAL drive, network) harvested from the actors' metrics. At
 //! `Scale::Full` the sweep lands in `BENCH_throughput_sharded.json`.
 
 use std::sync::mpsc::channel;
@@ -19,10 +27,10 @@ use std::time::{Duration, Instant};
 
 use planet_cluster::{
     mailbox, spawn_node, spawn_pool, Clock, LiveCluster, LoadClient, LoadRecord, PlaneConfig,
-    PoolMembers, TcpTransport, Transport,
+    PoolMembers, Reactor, TcpTransport, Transport,
 };
 use planet_mdcc::{ClusterConfig, CoordinatorActor, Msg, Outcome, Protocol, ReplicaActor};
-use planet_sim::metrics::Histogram;
+use planet_sim::metrics::{Histogram, Metrics};
 use planet_sim::{Actor, ActorId, NetworkModel, SiteId};
 use planet_storage::Key;
 
@@ -32,10 +40,62 @@ use crate::report::Table;
 const SITES: usize = 3;
 const KEYS: usize = 64;
 
+/// Summary of one span histogram at one point.
+#[derive(Clone, Copy, Default)]
+struct SpanStat {
+    p50_us: u64,
+    p99_us: u64,
+    count: u64,
+}
+
+/// The four per-txn latency-attribution spans, harvested per point.
+#[derive(Clone, Copy, Default)]
+struct SpanSet {
+    /// Mailbox enqueue → drain, all actors.
+    queue: SpanStat,
+    /// Coordinator proposal dispatch → decision.
+    quorum_wait: SpanStat,
+    /// WAL-class message drive time at replicas.
+    wal: SpanStat,
+    /// Client-observed latency minus coordinator hold time.
+    network: SpanStat,
+}
+
+fn span_stat(metrics: &mut Metrics, name: &str) -> SpanStat {
+    let h = metrics.histogram(name);
+    SpanStat {
+        p50_us: h.quantile(0.50).unwrap_or(0),
+        p99_us: h.quantile(0.99).unwrap_or(0),
+        count: h.count(),
+    }
+}
+
+fn span_set(metrics: &mut Metrics) -> SpanSet {
+    SpanSet {
+        queue: span_stat(metrics, "span.queue_us"),
+        quorum_wait: span_stat(metrics, "span.quorum_wait_us"),
+        wal: span_stat(metrics, "span.wal_us"),
+        network: span_stat(metrics, "span.network_us"),
+    }
+}
+
+/// Merge many harvested [`Metrics`] and summarize their spans.
+fn span_set_of(all: impl IntoIterator<Item = Metrics>) -> SpanSet {
+    let mut merged = Metrics::new();
+    for metrics in all {
+        for (name, hist) in metrics.histograms() {
+            merged.histogram(name).merge(hist);
+        }
+    }
+    span_set(&mut merged)
+}
+
 /// One measured point of the sharded sweep.
 struct Point {
     shards: usize,
     transport: &'static str,
+    /// Reactor worker threads; 0 = thread-per-actor baseline.
+    workers: usize,
     clients: usize,
     ops_per_sec: f64,
     p50_us: u64,
@@ -43,6 +103,7 @@ struct Point {
     commit_rate: f64,
     completions: u64,
     shed: u64,
+    spans: SpanSet,
 }
 
 /// Same LAN-ish model as the base throughput sweep: 2 ms cross-site RTT.
@@ -57,6 +118,16 @@ fn keys() -> Vec<Key> {
     (0..KEYS).map(|i| Key::new(format!("sh-{i}"))).collect()
 }
 
+/// The plane for a sweep mode: reactor with `workers` threads, or the
+/// thread-per-actor baseline when `workers == 0`.
+fn plane_for(workers: usize) -> PlaneConfig {
+    if workers > 0 {
+        PlaneConfig::default().with_workers(workers)
+    } else {
+        PlaneConfig::thread_per_actor()
+    }
+}
+
 /// Drain the completion channel through a warmup, then a measured window.
 /// Returns `(ops_per_sec, p50, p99, commit_rate, completions)`.
 fn measure(
@@ -64,17 +135,22 @@ fn measure(
     warmup: Duration,
     window: Duration,
 ) -> (f64, u64, u64, f64, u64) {
+    // Coarse poll-and-drain, not per-record blocking recv: at tens of
+    // thousands of completions per second a per-record wake of this thread
+    // preempts the system under test once per transaction and the sweep
+    // measures the kernel's wakeup behavior instead of the cluster.
     let warm_end = Instant::now() + warmup;
     while Instant::now() < warm_end {
-        let _ = rx.recv_timeout(warm_end - Instant::now());
+        std::thread::sleep(Duration::from_millis(10).min(warm_end - Instant::now()));
+        while rx.try_recv().is_ok() {}
     }
     let started = Instant::now();
     let mut latencies = Histogram::new();
     let mut committed = 0u64;
     let mut completions = 0u64;
     while started.elapsed() < window {
-        let remaining = window - started.elapsed();
-        if let Ok(record) = rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+        std::thread::sleep(Duration::from_millis(10).min(window - started.elapsed()));
+        while let Ok(record) = rx.try_recv() {
             completions += 1;
             latencies.record(record.latency_us());
             if record.outcome == Outcome::Committed {
@@ -96,10 +172,11 @@ fn measure(
     )
 }
 
-/// One point on the in-process channel transport: [`LiveCluster`] already
-/// spawns a thread per shard replica, so this only varies the config.
+/// One point on the in-process channel transport: [`LiveCluster`] picks the
+/// runtime (reactor tasks vs threads) from the plane's `workers`.
 fn run_channel_point(
     shards: usize,
+    workers: usize,
     clients: usize,
     warmup: Duration,
     window: Duration,
@@ -109,7 +186,7 @@ fn run_channel_point(
     let mut cluster = LiveCluster::builder(config)
         .network(lan())
         .seed(seed)
-        .plane(PlaneConfig::default())
+        .plane(plane_for(workers))
         .build();
     let keys = keys();
     let (tx, rx) = channel::<LoadRecord>();
@@ -126,9 +203,11 @@ fn run_channel_point(
     drop(tx);
     let (ops_per_sec, p50_us, p99_us, commit_rate, completions) = measure(&rx, warmup, window);
     let harvest = cluster.shutdown();
+    let mut merged = harvest.merged_metrics();
     Point {
         shards,
         transport: "channel",
+        workers,
         clients,
         ops_per_sec,
         p50_us,
@@ -136,17 +215,21 @@ fn run_channel_point(
         commit_rate,
         completions,
         shed: harvest.shed,
+        spans: span_set(&mut merged),
     }
 }
 
 /// One point over real sockets: three server transports (one per
 /// "planetd", hosting that site's shard replicas and coordinator with the
-/// shard-major id layout) plus one client-side transport whose pooled
+/// shard-major id layout) plus one client-side transport whose
 /// [`LoadClient`]s reach coordinators through static routes and receive
 /// replies down the learned connections — exactly the planetd/planet-load
-/// split, inside one process.
+/// split, inside one process. In reactor mode every hosted actor and every
+/// client becomes a task on one shared [`Reactor`]; in thread mode the
+/// servers get a thread each and clients share pool threads.
 fn run_tcp_point(
     shards: usize,
+    workers: usize,
     clients: usize,
     warmup: Duration,
     window: Duration,
@@ -155,7 +238,8 @@ fn run_tcp_point(
     let n = SITES;
     let config = ClusterConfig::new(n, Protocol::Fast).with_shards(shards);
     let clock = Clock::new();
-    let plane = PlaneConfig::default();
+    let plane = plane_for(workers);
+    let reactor = (plane.workers > 0).then(|| Reactor::new(clock, plane, seed));
     let replica_ids: Vec<ActorId> = (0..shards * n).map(|i| ActorId(i as u32)).collect();
     let server_ids: Vec<u32> = (0..(shards + 1) * n).map(|i| i as u32).collect();
 
@@ -197,17 +281,27 @@ fn run_tcp_point(
         for (id, actor) in hosted {
             let (tx, rx) = mailbox(plane.mailbox_capacity);
             transport.host(id, tx.clone());
-            nodes.push(spawn_node(
-                ActorId(id),
-                SiteId(site as u8),
-                actor,
-                tx,
-                rx,
-                transport.clone() as Arc<dyn Transport>,
-                clock,
-                seed,
-                plane,
-            ));
+            nodes.push(match &reactor {
+                Some(reactor) => reactor.spawn(
+                    ActorId(id),
+                    SiteId(site as u8),
+                    actor,
+                    tx,
+                    rx,
+                    transport.clone() as Arc<dyn Transport>,
+                ),
+                None => spawn_node(
+                    ActorId(id),
+                    SiteId(site as u8),
+                    actor,
+                    tx,
+                    rx,
+                    transport.clone() as Arc<dyn Transport>,
+                    clock,
+                    seed,
+                    plane,
+                ),
+            });
         }
     }
 
@@ -217,41 +311,88 @@ fn run_tcp_point(
     let mut pools = Vec::new();
     for site in 0..n {
         let coordinator = ActorId((shards * n + site) as u32);
-        let (mtx, mrx) = mailbox(plane.mailbox_capacity);
-        let members: PoolMembers = (0..clients)
+        let members: Vec<ActorId> = (0..clients)
             .filter(|k| k % n == site)
             .map(|_| {
                 let id = ActorId(next_client);
                 next_client += 1;
-                client_transport.host(id.0, mtx.clone());
-                let actor: Box<dyn Actor<Msg>> =
-                    Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone()));
-                (id, actor)
+                id
             })
             .collect();
-        if !members.is_empty() {
-            pools.push(spawn_pool(
-                members,
-                SiteId(site as u8),
-                mtx,
-                mrx,
-                client_transport.clone() as Arc<dyn Transport>,
-                clock,
-                seed,
-                plane,
-            ));
+        if members.is_empty() {
+            continue;
+        }
+        match &reactor {
+            // Reactor: clients are chunked into one pool task per worker
+            // (mirroring `LiveCluster::spawn_client_pool`) — a task per
+            // client would pay the full scheduling cost for every ~2
+            // messages of work, while chunks keep batch amortization and
+            // stay stealable.
+            Some(reactor) => {
+                let chunk = members.len().div_ceil(reactor.workers()).max(1);
+                for group in members.chunks(chunk) {
+                    let (mtx, mrx) = mailbox(plane.mailbox_capacity);
+                    let pool_members: PoolMembers = group
+                        .iter()
+                        .map(|&id| {
+                            client_transport.host(id.0, mtx.clone());
+                            let actor: Box<dyn Actor<Msg>> =
+                                Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone()));
+                            (id, actor)
+                        })
+                        .collect();
+                    pools.push(reactor.spawn_pool(
+                        pool_members,
+                        SiteId(site as u8),
+                        mtx,
+                        mrx,
+                        client_transport.clone() as Arc<dyn Transport>,
+                    ));
+                }
+            }
+            // Threads: one pool thread per site multiplexing its members.
+            None => {
+                let (mtx, mrx) = mailbox(plane.mailbox_capacity);
+                let pool_members: PoolMembers = members
+                    .into_iter()
+                    .map(|id| {
+                        client_transport.host(id.0, mtx.clone());
+                        let actor: Box<dyn Actor<Msg>> =
+                            Box::new(LoadClient::new(coordinator, keys.clone(), tx.clone()));
+                        (id, actor)
+                    })
+                    .collect();
+                pools.push(spawn_pool(
+                    pool_members,
+                    SiteId(site as u8),
+                    mtx,
+                    mrx,
+                    client_transport.clone() as Arc<dyn Transport>,
+                    clock,
+                    seed,
+                    plane,
+                ));
+            }
         }
     }
     drop(tx);
 
     let (ops_per_sec, p50_us, p99_us, commit_rate, completions) = measure(&rx, warmup, window);
 
+    let mut all_metrics = Vec::new();
     for pool in pools {
-        pool.stop_and_join();
+        let (_, metrics) = pool.stop_and_join();
+        all_metrics.push(metrics);
     }
-    // Coordinators before replicas, as LiveCluster::shutdown does.
+    // Coordinators before replicas, as LiveCluster::shutdown does. (In
+    // reactor mode client tasks joined here too — they were pushed last, so
+    // the reverse order stops them first.)
     for node in nodes.into_iter().rev() {
-        node.stop_and_join();
+        let (_, metrics) = node.stop_and_join();
+        all_metrics.push(metrics);
+    }
+    if let Some(reactor) = reactor {
+        reactor.shutdown();
     }
     let mut shed = client_transport.shed();
     client_transport.stop();
@@ -263,6 +404,7 @@ fn run_tcp_point(
     Point {
         shards,
         transport: "tcp",
+        workers,
         clients,
         ops_per_sec,
         p50_us,
@@ -270,35 +412,23 @@ fn run_tcp_point(
         commit_rate,
         completions,
         shed,
+        spans: span_set_of(all_metrics),
     }
 }
 
 /// Median-of-`trials` by ops/sec, as the base throughput sweep does.
-fn run_trials(
-    transport: &'static str,
-    shards: usize,
-    clients: usize,
-    warmup: Duration,
-    window: Duration,
-    trials: usize,
-) -> Point {
-    let mut points: Vec<Point> = (0..trials)
-        .map(|t| {
-            let seed = 9000 + shards as u64 * 100 + clients as u64 + 1000 * t as u64;
-            match transport {
-                "tcp" => run_tcp_point(shards, clients, warmup, window, seed),
-                _ => run_channel_point(shards, clients, warmup, window, seed),
-            }
-        })
-        .collect();
-    points.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
-    points.remove(points.len() / 2)
-}
-
+#[allow(clippy::too_many_arguments)]
 fn cores() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
+}
+
+fn span_json(name: &str, s: &SpanStat) -> String {
+    format!(
+        "\"{name}\": {{\"p50_us\": {}, \"p99_us\": {}, \"count\": {}}}",
+        s.p50_us, s.p99_us, s.count
+    )
 }
 
 fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usize) {
@@ -311,9 +441,10 @@ fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usiz
     ));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"transport\": \"{}\", \"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}}}{}\n",
+            "    {{\"shards\": {}, \"transport\": \"{}\", \"workers\": {}, \"clients\": {}, \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"commit_rate\": {:.4}, \"completions\": {}, \"shed\": {}, \"spans\": {{{}, {}, {}, {}}}}}{}\n",
             p.shards,
             p.transport,
+            p.workers,
             p.clients,
             p.ops_per_sec,
             p.p50_us,
@@ -321,6 +452,10 @@ fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usiz
             p.commit_rate,
             p.completions,
             p.shed,
+            span_json("queue_us", &p.spans.queue),
+            span_json("quorum_wait_us", &p.spans.quorum_wait),
+            span_json("wal_us", &p.spans.wal),
+            span_json("network_us", &p.spans.network),
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -332,52 +467,90 @@ fn write_json(points: &[Point], warmup: Duration, window: Duration, trials: usiz
     }
 }
 
-/// The `throughput-sharded` experiment: ops/sec vs shard count and client
-/// concurrency, on both live transports.
+/// The `throughput-sharded` experiment: ops/sec vs shard count, client
+/// concurrency and scheduling mode, on both live transports.
 pub fn throughput_sharded(scale: Scale) -> Table {
     let shard_counts: &[usize] = &[1, 2, 4];
     let client_points: &[usize] = match scale {
         Scale::Quick => &[8],
-        Scale::Full => &[64, 256],
+        Scale::Full => &[64, 256, 1024],
     };
     let (warmup, window, trials) = match scale {
         Scale::Quick => (Duration::from_millis(200), Duration::from_millis(500), 1),
         Scale::Full => (Duration::from_millis(500), Duration::from_secs(2), 3),
     };
+    let reactor_workers = planet_cluster::default_workers();
+
+    // Mode sweep: the reactor across every shard count, and the
+    // thread-per-actor baseline at shards = 1 — the floor the reactor's
+    // single-shard point is judged against.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    runs.push((1, 0));
+    for &shards in shard_counts {
+        runs.push((shards, reactor_workers));
+    }
 
     let mut table = Table::new(
         "throughput-sharded",
-        "Live cluster: throughput vs replica shards per site (channel + tcp transports)",
+        "Live cluster: throughput vs replica shards per site (channel + tcp transports, reactor + thread-per-actor modes)",
         &[
             "shards",
             "transport",
+            "workers",
             "clients",
             "ops/sec",
             "p50",
             "p99",
             "commit rate",
+            "q-wait p50",
+            "net p50",
         ],
     );
-    let mut points = Vec::new();
+    // Every (transport, mode, clients) combination, in display order.
+    let mut configs: Vec<(&'static str, usize, usize, usize)> = Vec::new();
     for &transport in &["channel", "tcp"] {
-        for &shards in shard_counts {
+        for &(shards, workers) in &runs {
             for &clients in client_points {
-                let point = run_trials(transport, shards, clients, warmup, window, trials);
-                table.row(vec![
-                    point.shards.to_string(),
-                    point.transport.to_string(),
-                    point.clients.to_string(),
-                    format!("{:.0}", point.ops_per_sec),
-                    crate::report::ms(point.p50_us),
-                    crate::report::ms(point.p99_us),
-                    crate::report::pct(point.commit_rate),
-                ]);
-                points.push(point);
+                configs.push((transport, shards, workers, clients));
             }
         }
     }
+    // Trial-major order: one trial of every config, then the next round.
+    // Ambient load on the host drifts over the minutes a full sweep takes;
+    // interleaving spreads that drift across all configs instead of letting
+    // it bias whichever mode happened to run during a noisy stretch — the
+    // reactor-vs-baseline comparison is only meaningful if both modes
+    // sample the same conditions.
+    let mut by_config: Vec<Vec<Point>> = configs.iter().map(|_| Vec::new()).collect();
+    for trial in 0..trials {
+        for (i, &(transport, shards, workers, clients)) in configs.iter().enumerate() {
+            let seed = 9000 + shards as u64 * 100 + clients as u64 + 1000 * trial as u64;
+            by_config[i].push(match transport {
+                "tcp" => run_tcp_point(shards, workers, clients, warmup, window, seed),
+                _ => run_channel_point(shards, workers, clients, warmup, window, seed),
+            });
+        }
+    }
+    let mut points = Vec::new();
+    for mut trials_of in by_config {
+        trials_of.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+        let point = trials_of.remove(trials_of.len() / 2);
+        table.row(vec![
+            point.shards.to_string(),
+            point.transport.to_string(),
+            point.workers.to_string(),
+            point.clients.to_string(),
+            format!("{:.0}", point.ops_per_sec),
+            crate::report::ms(point.p50_us),
+            crate::report::ms(point.p99_us),
+            crate::report::pct(point.commit_rate),
+            crate::report::ms(point.spans.quorum_wait.p50_us),
+            crate::report::ms(point.spans.network.p50_us),
+        ]);
+        points.push(point);
+    }
     table.note(format!(
-        "{SITES} sites, shard-per-thread, {KEYS} keys, commutative increments, {} host core(s), median of {trials}; channel points ride the 2ms-RTT fabric, tcp points raw loopback sockets",
+        "{SITES} sites, {KEYS} keys, commutative increments, {} host core(s), median of {trials}; workers=0 rows are the thread-per-actor baseline, workers>0 rows the reactor runtime; channel points ride the 2ms-RTT fabric, tcp points raw loopback sockets",
         cores()
     ));
     if scale == Scale::Full {

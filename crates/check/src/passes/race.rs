@@ -49,6 +49,14 @@ const SYNC_MARKERS: &[&str] = &[
     "mpsc",
     "Mailbox",
     "PhantomData",
+    // Reactor runtime internals shared across worker threads (the worker
+    // loop and the steal path): each is synchronized by construction —
+    // every mutable field is a Mutex/Atomic/Condvar — so sharing one into
+    // a spawned worker is the design, not an escape.
+    "ReactorInner",
+    "WorkerShared",
+    "TaskCore",
+    "Parker",
 ];
 
 /// Directly blocking method names (callee side of RACE002).

@@ -20,7 +20,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use planet_cluster::{mailbox, spawn_node, Clock, PlaneConfig, TcpTransport, Transport};
+use planet_cluster::{mailbox, spawn_node, Clock, PlaneConfig, Reactor, TcpTransport, Transport};
 use planet_mdcc::{ClusterConfig, CoordinatorActor, FileSink, Msg, Protocol, ReplicaActor, Trace};
 use planet_sim::{Actor, ActorId, SiteId};
 
@@ -29,13 +29,16 @@ struct Args {
     addrs: Vec<SocketAddr>,
     protocol: Protocol,
     shards: usize,
+    workers: usize,
     run_secs: Option<u64>,
     trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--shards <s>] [--run-secs <s>] [--trace <path>]\n\
+        "usage: planetd --site <i> --addrs <a0,a1,...> [--protocol fast|classic|twopc] [--shards <s>] [--workers <w>] [--run-secs <s>] [--trace <path>]\n\
+         \x20 --workers: reactor worker threads driving this site's actors\n\
+         \x20            (default: host parallelism; 0 = thread per actor)\n\
          \x20 --trace: record this site's reads/commits/applies for planet-audit\n\
          \x20          (flushed on shutdown; use --run-secs for complete traces)"
     );
@@ -55,6 +58,7 @@ fn parse_args() -> Args {
     let mut addrs = Vec::new();
     let mut protocol = Protocol::Fast;
     let mut shards = default_shards();
+    let mut workers = planet_cluster::default_workers();
     let mut run_secs = None;
     let mut trace = None;
     let mut args = std::env::args().skip(1);
@@ -83,6 +87,12 @@ fn parse_args() -> Args {
                     .filter(|&s| s >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--run-secs" => run_secs = args.next().and_then(|v| v.parse().ok()),
             "--trace" => match args.next() {
                 Some(p) => trace = Some(p),
@@ -100,6 +110,7 @@ fn parse_args() -> Args {
         addrs,
         protocol,
         shards,
+        workers,
         run_secs,
         trace,
     }
@@ -151,22 +162,36 @@ fn main() {
         SiteId(args.site as u8),
     ));
     local.push(((shards * n + args.site) as u32, coordinator));
-    let plane = PlaneConfig::default();
+    let plane = PlaneConfig::default().with_workers(args.workers);
+    let seed = 0x5EED ^ args.site as u64;
+    // Reactor mode (workers > 0) multiplexes every actor as a task over the
+    // worker pool; workers == 0 keeps the thread-per-actor runtime.
+    let reactor = (plane.workers > 0).then(|| Reactor::new(clock, plane, seed));
     let mut nodes = Vec::new();
     for (id, actor) in local {
         let (tx, rx) = mailbox(plane.mailbox_capacity);
         transport.host(id, tx.clone());
-        nodes.push(spawn_node(
-            ActorId(id),
-            SiteId(args.site as u8),
-            actor,
-            tx,
-            rx,
-            transport.clone() as Arc<dyn Transport>,
-            clock,
-            0x5EED ^ args.site as u64,
-            plane,
-        ));
+        nodes.push(match &reactor {
+            Some(reactor) => reactor.spawn(
+                ActorId(id),
+                SiteId(args.site as u8),
+                actor,
+                tx,
+                rx,
+                transport.clone() as Arc<dyn Transport>,
+            ),
+            None => spawn_node(
+                ActorId(id),
+                SiteId(args.site as u8),
+                actor,
+                tx,
+                rx,
+                transport.clone() as Arc<dyn Transport>,
+                clock,
+                seed,
+                plane,
+            ),
+        });
     }
 
     let bound = match transport.listen(args.addrs[args.site]) {
@@ -177,10 +202,14 @@ fn main() {
         }
     };
     println!(
-        "planetd: site {} of {n} serving {shards} replica shard(s) and coordinator {} on {bound} ({:?})",
+        "planetd: site {} of {n} serving {shards} replica shard(s) and coordinator {} on {bound} ({:?}, {})",
         args.site,
         shards * n + args.site,
-        args.protocol
+        args.protocol,
+        match &reactor {
+            Some(r) => format!("reactor x{}", r.workers()),
+            None => "thread-per-actor".to_string(),
+        }
     );
 
     match args.run_secs {
@@ -200,6 +229,10 @@ fn main() {
                 println!("planetd: {name} mean {mean:.1}, max {max}");
             }
         }
+    }
+    if let Some(reactor) = &reactor {
+        println!("planetd: {} task steals", reactor.steals());
+        reactor.shutdown();
     }
     let (flushes, bytes) = transport.io_stats();
     if flushes > 0 {

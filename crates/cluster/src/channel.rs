@@ -302,6 +302,7 @@ impl ChannelTransport {
                 stats: TxnStats {
                     submitted_at: now,
                     decided_at: now,
+                    proposals_sent_at: SimTime::ZERO,
                     write_keys: 0,
                     votes_received: 0,
                     rejections: 0,

@@ -28,8 +28,10 @@ pub mod channel;
 pub mod load;
 pub mod node;
 pub mod plane;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
+pub mod wheel;
 pub mod wire;
 
 pub use channel::ChannelTransport;
@@ -37,7 +39,10 @@ pub use load::{LoadClient, LoadRecord, PlanSource, SpecSource};
 pub use node::{
     spawn_node, spawn_pool, CallFn, Clock, NodeHandle, Packet, PoolHandle, PoolMembers,
 };
-pub use plane::{mailbox, MailboxReceiver, MailboxSender, PlaneConfig, TrySendError};
+pub use plane::{
+    default_workers, mailbox, MailboxReceiver, MailboxSender, PlaneConfig, TrySendError, Waker,
+};
+pub use reactor::Reactor;
 pub use tcp::TcpTransport;
 pub use transport::{Envelope, Transport};
 
@@ -92,14 +97,16 @@ impl LiveClusterBuilder {
         self
     }
 
-    /// Spawn the server threads: `num_shards` replicas and one coordinator
+    /// Spawn the server nodes: `num_shards` replicas and one coordinator
     /// per site, with the same dense shard-major actor-id layout the
     /// simulated cluster uses (replica `(site, shard)` at `shard*n + site`,
-    /// coordinators at `shards*n .. shards*n + n`). Each replica shard gets
-    /// its own thread, so a multi-core host executes a site's shards in
-    /// parallel.
+    /// coordinators at `shards*n .. shards*n + n`). With
+    /// `plane.workers > 0` (the default) every node runs as a task on the
+    /// [`Reactor`]; `workers == 0` selects the legacy thread-per-actor
+    /// runtime, one OS thread per node.
     pub fn build(self) -> LiveCluster {
         let clock = Clock::new();
+        let reactor = (self.plane.workers > 0).then(|| Reactor::new(clock, self.plane, self.seed));
         let transport = match self.net {
             Some(net) => ChannelTransport::with_network(
                 clock,
@@ -150,8 +157,16 @@ impl LiveClusterBuilder {
         }
         let nodes = channels
             .into_iter()
-            .map(|(id, site, actor, tx, rx)| {
-                spawn_node(
+            .map(|(id, site, actor, tx, rx)| match &reactor {
+                Some(reactor) => reactor.spawn(
+                    id,
+                    site,
+                    actor,
+                    tx,
+                    rx,
+                    transport.clone() as Arc<dyn Transport>,
+                ),
+                None => spawn_node(
                     id,
                     site,
                     actor,
@@ -161,7 +176,7 @@ impl LiveClusterBuilder {
                     clock,
                     self.seed,
                     self.plane,
-                )
+                ),
             })
             .collect();
         LiveCluster {
@@ -174,6 +189,7 @@ impl LiveClusterBuilder {
             next_client: ((shards + 1) * n) as u32,
             seed: self.seed,
             plane: self.plane,
+            reactor,
         }
     }
 }
@@ -215,9 +231,10 @@ impl Harvest {
     }
 }
 
-/// A live, thread-per-actor MDCC cluster on the in-process transport — the
-/// deployment-mode counterpart of the simulated cluster built by
-/// `planet_mdcc::build_cluster`.
+/// A live MDCC cluster on the in-process transport — the deployment-mode
+/// counterpart of the simulated cluster built by
+/// `planet_mdcc::build_cluster`. Actors run as tasks on the [`Reactor`]
+/// (default) or one OS thread each (`plane.workers == 0`).
 pub struct LiveCluster {
     transport: Arc<ChannelTransport>,
     clock: Clock,
@@ -232,6 +249,8 @@ pub struct LiveCluster {
     next_client: u32,
     seed: u64,
     plane: PlaneConfig,
+    /// The shared reactor runtime, when `plane.workers > 0`.
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl LiveCluster {
@@ -266,24 +285,35 @@ impl LiveCluster {
         &self.transport
     }
 
-    /// Spawn a client actor on its own thread at `site`, returning its id.
+    /// The reactor hosting this cluster's actors, when the plane selected
+    /// the multiplexed runtime (`workers > 0`).
+    pub fn reactor(&self) -> Option<&Arc<Reactor>> {
+        self.reactor.as_ref()
+    }
+
+    /// Spawn a client actor at `site` (a reactor task, or its own thread
+    /// under the legacy runtime), returning its id.
     pub fn spawn_client(&mut self, site: usize, actor: Box<dyn Actor<Msg>>) -> ActorId {
         let id = ActorId(self.next_client);
         self.next_client += 1;
         let (tx, rx) = mailbox(self.plane.mailbox_capacity);
         self.transport
             .register(id.0, SiteId(site as u8), tx.clone());
-        let handle = spawn_node(
-            id,
-            SiteId(site as u8),
-            actor,
-            tx,
-            rx,
-            self.transport.clone() as Arc<dyn Transport>,
-            self.clock,
-            self.seed,
-            self.plane,
-        );
+        let transport = self.transport.clone() as Arc<dyn Transport>;
+        let handle = match &self.reactor {
+            Some(reactor) => reactor.spawn(id, SiteId(site as u8), actor, tx, rx, transport),
+            None => spawn_node(
+                id,
+                SiteId(site as u8),
+                actor,
+                tx,
+                rx,
+                transport,
+                self.clock,
+                self.seed,
+                self.plane,
+            ),
+        };
         self.clients.push(handle);
         id
     }
@@ -299,6 +329,46 @@ impl LiveCluster {
         site: usize,
         actors: Vec<Box<dyn Actor<Msg>>>,
     ) -> Vec<ActorId> {
+        // Under the reactor, the pool becomes one task *per worker* (each
+        // hosting a chunk of the site's clients behind a shared mailbox):
+        // a task per client would pay the full scheduling cost — queue hop,
+        // state-word CAS, body checkout, cold task state — for every ~2
+        // messages a closed-loop client moves per wake, so a concurrency
+        // sweep would measure the reactor's scheduler instead of the
+        // cluster. Chunking keeps the batch amortization of the thread
+        // pool while the tasks stay stealable across workers.
+        if let Some(reactor) = self.reactor.clone() {
+            let chunk = actors.len().div_ceil(reactor.workers()).max(1);
+            let mut ids = Vec::new();
+            let mut remaining = actors.into_iter();
+            loop {
+                let group: Vec<Box<dyn Actor<Msg>>> = remaining.by_ref().take(chunk).collect();
+                if group.is_empty() {
+                    break;
+                }
+                let (tx, rx) = mailbox(self.plane.mailbox_capacity);
+                let members: PoolMembers = group
+                    .into_iter()
+                    .map(|actor| {
+                        let id = ActorId(self.next_client);
+                        self.next_client += 1;
+                        self.transport
+                            .register(id.0, SiteId(site as u8), tx.clone());
+                        (id, actor)
+                    })
+                    .collect();
+                let handle = reactor.spawn_pool(
+                    members,
+                    SiteId(site as u8),
+                    tx,
+                    rx,
+                    self.transport.clone() as Arc<dyn Transport>,
+                );
+                ids.extend(handle.ids.iter().copied());
+                self.pools.push(handle);
+            }
+            return ids;
+        }
         let (tx, rx) = mailbox(self.plane.mailbox_capacity);
         let members: PoolMembers = actors
             .into_iter()
@@ -364,6 +434,9 @@ impl LiveCluster {
             actors.insert(id, harvested);
         }
         self.transport.stop();
+        if let Some(reactor) = self.reactor {
+            reactor.shutdown();
+        }
         Harvest {
             actors,
             dropped: self.transport.dropped(),
@@ -459,10 +532,14 @@ mod tests {
 
     #[test]
     fn replica_nodes_run_on_distinct_threads() {
-        // The tentpole claim: replicas are actually parallel. Ask each
-        // replica node for its thread id via a Call and compare.
+        // The legacy runtime's claim: thread-per-actor replicas are
+        // actually parallel. Ask each replica node for its thread id via a
+        // Call and compare. (The reactor deliberately breaks this property
+        // — many tasks share few workers.)
         let config = ClusterConfig::new(3, Protocol::Fast);
-        let cluster = LiveCluster::builder(config).build();
+        let cluster = LiveCluster::builder(config)
+            .plane(PlaneConfig::thread_per_actor())
+            .build();
         let (tx, rx) = channel();
         for site in 0..3 {
             let handle = &cluster.nodes[site];
@@ -478,6 +555,56 @@ mod tests {
         }
         assert_eq!(ids.len(), 3, "three replicas, three distinct threads");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn reactor_runtime_commits_and_reports_spans() {
+        // The reactor path end-to-end: servers and a client pool all run
+        // as tasks on two workers, transactions commit, and the harvested
+        // metrics carry the queueing span histogram.
+        let config = ClusterConfig::new(3, Protocol::Fast);
+        let mut cluster = LiveCluster::builder(config)
+            .plane(PlaneConfig::default().with_workers(2))
+            .seed(13)
+            .build();
+        let (tx, rx) = channel();
+        let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("k{i}"))).collect();
+        let mut all_ids = Vec::new();
+        for site in 0..3 {
+            let coord = cluster.coordinator(site);
+            let actors: Vec<Box<dyn Actor<Msg>>> = (0..4)
+                .map(|_| {
+                    Box::new(LoadClient::new(coord, keys.clone(), tx.clone()))
+                        as Box<dyn Actor<Msg>>
+                })
+                .collect();
+            all_ids.extend(cluster.spawn_client_pool(site, actors));
+        }
+        drop(tx);
+        assert_eq!(all_ids.len(), 12);
+        let records = drain_until(&rx, 36, Duration::from_secs(20));
+        assert!(
+            records.len() >= 36,
+            "expected 36 completions from 12 reactor clients, got {}",
+            records.len()
+        );
+        assert!(records.iter().any(|r| r.outcome == Outcome::Committed));
+        let harvest = cluster.shutdown();
+        for id in &all_ids {
+            assert!(
+                harvest.actor_as::<LoadClient>(*id).is_some(),
+                "reactor client {id:?} missing from harvest"
+            );
+        }
+        let mut merged = harvest.merged_metrics();
+        assert!(
+            merged.histogram("span.queue_us").count() > 0,
+            "queueing span must be recorded"
+        );
+        assert!(
+            merged.histogram("span.wal_us").count() > 0,
+            "WAL span must be recorded on replicas"
+        );
     }
 
     #[test]

@@ -58,12 +58,25 @@ pub struct LoadRecord {
     pub submitted: SimTime,
     /// When the outcome arrived back (cluster clock).
     pub decided: SimTime,
+    /// Server-side hold time the coordinator reported (its submit-to-decide
+    /// interval, in µs); 0 when the reply never arrived (client timeout).
+    pub server_us: u64,
+    /// Of `server_us`, the µs the coordinator spent waiting on replica
+    /// votes (proposal dispatch to decision).
+    pub quorum_wait_us: u64,
 }
 
 impl LoadRecord {
     /// Submit-to-decision latency in microseconds.
     pub fn latency_us(&self) -> u64 {
         self.decided.since(self.submitted).as_micros()
+    }
+
+    /// Microseconds the transaction spent outside the coordinator: total
+    /// client-observed latency minus the coordinator's reported hold time —
+    /// the wire, the fabric's coalescing slack, and both mailboxes.
+    pub fn network_us(&self) -> u64 {
+        self.latency_us().saturating_sub(self.server_us)
     }
 }
 
@@ -214,21 +227,34 @@ impl LoadClient {
         );
     }
 
-    /// Report one finished transaction to the driver.
+    /// Report one finished transaction to the driver, attributing its
+    /// latency: the coordinator's reported spans pass through, and the
+    /// remainder — client-observed latency minus server hold time — is
+    /// recorded as this client's `span.network_us`.
     fn report(
         &mut self,
         ctx: &mut Context<'_, Msg>,
         tag: u64,
         outcome: Outcome,
         submitted: SimTime,
+        server_us: u64,
+        quorum_wait_us: u64,
     ) {
-        let _ = self.results.send(LoadRecord {
+        let record = LoadRecord {
             client: ctx.self_id().0,
             tag,
             outcome,
             submitted,
             decided: ctx.now(),
-        });
+            server_us,
+            quorum_wait_us,
+        };
+        if server_us > 0 || outcome != Outcome::TimedOut {
+            ctx.metrics()
+                .histogram("span.network_us")
+                .record(record.network_us());
+        }
+        let _ = self.results.send(record);
     }
 }
 
@@ -244,7 +270,10 @@ impl Actor<Msg> for LoadClient {
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
             Msg::TxnDone {
-                tag, txn, outcome, ..
+                tag,
+                txn,
+                outcome,
+                stats,
             } => {
                 if self.trace.is_on() {
                     self.trace.emit(TraceEvent::Finish {
@@ -257,7 +286,14 @@ impl Actor<Msg> for LoadClient {
                 // reports and refills the loop; a straggler reply landing
                 // after its deadline already moved on is dropped here.
                 if let Some(submitted) = self.inflight.remove(&tag) {
-                    self.report(ctx, tag, outcome, submitted);
+                    self.report(
+                        ctx,
+                        tag,
+                        outcome,
+                        submitted,
+                        stats.server_us(),
+                        stats.quorum_wait_us(),
+                    );
                     self.submit_next(ctx);
                 }
             }
@@ -274,7 +310,7 @@ impl Actor<Msg> for LoadClient {
                 tag,
             } => {
                 if let Some(submitted) = self.inflight.remove(&tag) {
-                    self.report(ctx, tag, Outcome::TimedOut, submitted);
+                    self.report(ctx, tag, Outcome::TimedOut, submitted, 0, 0);
                     self.submit_next(ctx);
                 }
             }

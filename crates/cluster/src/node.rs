@@ -112,20 +112,44 @@ impl Ord for TimerEntry {
 /// the sleep by its exact deadline, so this tick does no latency work.
 const IDLE_WAIT: Duration = Duration::from_millis(500);
 
-/// A handle to a spawned node: its id, its mailbox, and the join handle
+/// How a spawned node is hosted: a dedicated OS thread (the legacy
+/// runtime) or a schedulable task on the reactor.
+enum NodeBackend {
+    Thread(JoinHandle<(Box<dyn Actor<Msg>>, Metrics)>),
+    Task(Arc<crate::reactor::TaskCore>),
+}
+
+/// A handle to a spawned node: its id, its mailbox, and the backend
 /// through which the actor (and the node's private metrics registry) is
-/// recovered at shutdown.
+/// recovered at shutdown. The handle's API is runtime-agnostic: `call`,
+/// `inject` and `stop_and_join` behave identically whether the actor owns
+/// an OS thread or is one task among many on a reactor worker.
 pub struct NodeHandle {
     /// The actor this node runs.
     pub id: ActorId,
     /// The node's mailbox.
     pub mailbox: MailboxSender,
-    join: JoinHandle<(Box<dyn Actor<Msg>>, Metrics)>,
+    backend: NodeBackend,
 }
 
 impl NodeHandle {
-    /// Run `f` on the node's thread with exclusive access to the actor;
-    /// messages it returns are delivered to the actor immediately after.
+    /// Wrap a reactor task in the node-handle API. Used by
+    /// [`Reactor::spawn`](crate::reactor::Reactor::spawn).
+    pub(crate) fn from_task(
+        id: ActorId,
+        mailbox: MailboxSender,
+        core: Arc<crate::reactor::TaskCore>,
+    ) -> Self {
+        NodeHandle {
+            id,
+            mailbox,
+            backend: NodeBackend::Task(core),
+        }
+    }
+
+    /// Run `f` with exclusive access to the actor (on its node thread, or
+    /// on whichever reactor worker drives the task next); messages it
+    /// returns are delivered to the actor immediately after.
     pub fn call(&self, f: impl FnOnce(&mut dyn Actor<Msg>) -> Vec<Msg> + Send + 'static) {
         let _ = self.mailbox.send(Packet::Call(Box::new(f)));
     }
@@ -143,7 +167,16 @@ impl NodeHandle {
     /// Stop the node and recover its actor and metrics.
     pub fn stop_and_join(self) -> (Box<dyn Actor<Msg>>, Metrics) {
         let _ = self.mailbox.send(Packet::Stop);
-        self.join.join().expect("node thread panicked")
+        match self.backend {
+            NodeBackend::Thread(join) => join.join().expect("node thread panicked"),
+            NodeBackend::Task(core) => {
+                let (mut members, metrics) = core.wait_finished();
+                let (_, actor) = members
+                    .pop()
+                    .expect("single-actor task harvests one member");
+                (actor, metrics)
+            }
+        }
     }
 }
 
@@ -171,30 +204,58 @@ pub fn spawn_node(
         .name(format!("planet-node-{}", id.0))
         .spawn(move || run_node(id, site, actor, rx, transport, clock, seed, plane))
         .expect("spawn node thread");
-    NodeHandle { id, mailbox, join }
+    NodeHandle {
+        id,
+        mailbox,
+        backend: NodeBackend::Thread(join),
+    }
 }
 
 /// A pool's member list: each actor with its id. What [`spawn_pool`]
 /// consumes and [`PoolHandle::stop_and_join`] gives back.
 pub type PoolMembers = Vec<(ActorId, Box<dyn Actor<Msg>>)>;
 
+/// How a spawned pool is hosted: a dedicated OS thread or one schedulable
+/// task on the reactor.
+enum PoolBackend {
+    Thread(JoinHandle<(PoolMembers, Metrics)>),
+    Task(Arc<crate::reactor::TaskCore>),
+}
+
 /// A handle to a spawned actor pool: the member ids, the shared mailbox,
-/// and the join handle through which the actors (and the pool's metrics
+/// and the backend through which the actors (and the pool's metrics
 /// registry) are recovered at shutdown.
 pub struct PoolHandle {
     /// Ids of the pooled actors, in spawn order.
     pub ids: Vec<ActorId>,
     /// The pool's shared mailbox (every member id routes here).
     pub mailbox: MailboxSender,
-    join: JoinHandle<(PoolMembers, Metrics)>,
+    backend: PoolBackend,
 }
 
 impl PoolHandle {
+    /// Wrap a pooled reactor task in the pool-handle API. Used by
+    /// [`Reactor::spawn_pool`](crate::reactor::Reactor::spawn_pool).
+    pub(crate) fn from_task(
+        ids: Vec<ActorId>,
+        mailbox: MailboxSender,
+        core: Arc<crate::reactor::TaskCore>,
+    ) -> Self {
+        PoolHandle {
+            ids,
+            mailbox,
+            backend: PoolBackend::Task(core),
+        }
+    }
+
     /// Stop the pool and recover every member actor plus the pool's shared
     /// metrics registry.
     pub fn stop_and_join(self) -> (PoolMembers, Metrics) {
         let _ = self.mailbox.send(Packet::Stop);
-        self.join.join().expect("pool thread panicked")
+        match self.backend {
+            PoolBackend::Thread(join) => join.join().expect("pool thread panicked"),
+            PoolBackend::Task(core) => core.wait_finished(),
+        }
     }
 }
 
@@ -233,7 +294,11 @@ pub fn spawn_pool(
         .name(format!("planet-pool-{first}"))
         .spawn(move || run_pool(site, members, rx, transport, clock, seed, plane))
         .expect("spawn pool thread");
-    PoolHandle { ids, mailbox, join }
+    PoolHandle {
+        ids,
+        mailbox,
+        backend: PoolBackend::Thread(join),
+    }
 }
 
 /// Everything one turn-group mutates: the timer heap, the pending send
@@ -292,7 +357,7 @@ fn run_node(
     };
     // Reused across every turn: zero steady-state allocation per message.
     let mut effects: Vec<Effect<Msg>> = Vec::new();
-    let mut batch: Vec<Packet> = Vec::with_capacity(max_batch);
+    let mut batch: Vec<(Packet, Instant)> = Vec::with_capacity(max_batch);
 
     let inputs = |now: SimTime| TurnInputs {
         now,
@@ -341,11 +406,11 @@ fn run_node(
             Some(Reverse(entry)) => entry.at.since(clock.now()).to_std(),
             None => IDLE_WAIT,
         };
-        match rx.recv_timeout(wait) {
+        match rx.recv_timeout_stamped(wait) {
             Ok(first) => {
                 batch.push(first);
                 while batch.len() < max_batch {
-                    match rx.try_recv() {
+                    match rx.try_recv_stamped() {
                         Ok(packet) => batch.push(packet),
                         Err(_) => break,
                     }
@@ -354,10 +419,16 @@ fn run_node(
                 metrics
                     .histogram("plane.mailbox.depth")
                     .record(rx.depth() as u64);
-                for packet in batch.drain(..) {
+                let drained_at = Instant::now();
+                for (packet, enqueued) in batch.drain(..) {
+                    metrics
+                        .histogram("span.queue_us")
+                        .record(drained_at.saturating_duration_since(enqueued).as_micros() as u64);
                     match packet {
                         Packet::Env(env) => {
                             let now = clock.now();
+                            let wal = crate::reactor::is_wal_class(&env.msg);
+                            let before = if wal { Some(Instant::now()) } else { None };
                             drive_into(
                                 actor.as_mut(),
                                 inputs(now),
@@ -367,6 +438,11 @@ fn run_node(
                                 &mut metrics,
                                 &mut effects,
                             );
+                            if let Some(before) = before {
+                                metrics
+                                    .histogram("span.wal_us")
+                                    .record(before.elapsed().as_micros() as u64);
+                            }
                             state.absorb(&mut effects, id, now);
                         }
                         Packet::Call(f) => {
@@ -507,7 +583,7 @@ fn run_pool(
     let mut running = true;
     // Reused across every turn: zero steady-state allocation per message.
     let mut effects: Vec<Effect<Msg>> = Vec::new();
-    let mut batch: Vec<Packet> = Vec::with_capacity(max_batch);
+    let mut batch: Vec<(Packet, Instant)> = Vec::with_capacity(max_batch);
 
     let inputs = |id: ActorId, now: SimTime| TurnInputs {
         now,
@@ -582,11 +658,11 @@ fn run_pool(
             Some(Reverse(entry)) => entry.at.since(clock.now()).to_std(),
             None => IDLE_WAIT,
         };
-        match rx.recv_timeout(wait) {
+        match rx.recv_timeout_stamped(wait) {
             Ok(first) => {
                 batch.push(first);
                 while batch.len() < max_batch {
-                    match rx.try_recv() {
+                    match rx.try_recv_stamped() {
                         Ok(packet) => batch.push(packet),
                         Err(_) => break,
                     }
@@ -595,7 +671,11 @@ fn run_pool(
                 metrics
                     .histogram("plane.mailbox.depth")
                     .record(rx.depth() as u64);
-                for packet in batch.drain(..) {
+                let drained_at = Instant::now();
+                for (packet, enqueued) in batch.drain(..) {
+                    metrics
+                        .histogram("span.queue_us")
+                        .record(drained_at.saturating_duration_since(enqueued).as_micros() as u64);
                     match packet {
                         Packet::Env(env) => {
                             let Some(&idx) = by_id.get(&env.to.0) else {

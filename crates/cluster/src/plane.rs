@@ -20,9 +20,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::node::Packet;
+
+/// A hook invoked after every successful mailbox enqueue: how the reactor
+/// learns a task has traffic. Set once (before the task goes live) via
+/// [`MailboxReceiver::set_waker`].
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
 
 /// Tuning knobs for the batched message plane. One value configures every
 /// node and the transport fabric of a cluster.
@@ -49,7 +54,15 @@ pub struct PlaneConfig {
     /// destinations receive bursts their node loop drains in one wakeup.
     /// Messages may arrive up to this much *early*; keep it well under the
     /// smallest modelled cross-site delay (per-pair FIFO is unaffected).
+    /// The same horizon caps how long a reactor worker may hold a pending
+    /// coalesced flush before handing it to the transport.
     pub fabric_slack_us: u64,
+    /// Reactor worker threads driving the cluster's actors. `0` selects the
+    /// legacy thread-per-actor runtime (one OS thread per node, pools for
+    /// clients); any positive count runs every actor as a schedulable task
+    /// on a sharded-run-queue reactor with work stealing. Defaults to the
+    /// host's available parallelism.
+    pub workers: usize,
 }
 
 impl Default for PlaneConfig {
@@ -57,24 +70,53 @@ impl Default for PlaneConfig {
         PlaneConfig {
             max_batch: 64,
             mailbox_capacity: 4096,
-            fabric_shards: 4,
+            // Sharding the fabric past the host's parallelism buys no
+            // concurrency and costs a futex wake per extra shard on every
+            // coalesced flush that spans destinations, so the default
+            // tracks the core count (capped at 4 — delivery is cheap).
+            fabric_shards: default_workers().min(4),
             fabric_slack_us: 200,
+            workers: default_workers(),
         }
     }
 }
 
 impl PlaneConfig {
     /// The pre-batching plane, for A/B comparison in benches: one packet per
-    /// wakeup, one fabric thread delivering at exact due times, and a
-    /// mailbox deep enough that backpressure never engages.
+    /// wakeup, one fabric thread delivering at exact due times, a mailbox
+    /// deep enough that backpressure never engages, and the thread-per-actor
+    /// runtime.
     pub fn unbatched() -> Self {
         PlaneConfig {
             max_batch: 1,
             mailbox_capacity: 65_536,
             fabric_shards: 1,
             fabric_slack_us: 0,
+            workers: 0,
         }
     }
+
+    /// The thread-per-actor runtime with otherwise-default knobs: the A/B
+    /// baseline the reactor is measured against.
+    pub fn thread_per_actor() -> Self {
+        PlaneConfig {
+            workers: 0,
+            ..PlaneConfig::default()
+        }
+    }
+
+    /// Override the reactor worker count (`0` = thread-per-actor).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// The host's available parallelism: the default reactor width.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Shared admission gate of one mailbox: depth and high-water tracking plus
@@ -87,6 +129,8 @@ struct Gate {
 struct GateState {
     depth: usize,
     closed: bool,
+    /// Invoked (outside the gate lock) after every successful enqueue.
+    waker: Option<Waker>,
 }
 
 /// A failed [`MailboxSender::try_send`].
@@ -111,7 +155,7 @@ impl std::fmt::Debug for TrySendError {
 /// same capacity gate.
 #[derive(Clone)]
 pub struct MailboxSender {
-    tx: Sender<Packet>,
+    tx: Sender<(Instant, Packet)>,
     gate: Arc<Gate>,
     high_water: Arc<AtomicUsize>,
     capacity: usize,
@@ -124,7 +168,7 @@ impl MailboxSender {
     // SendError does); its size is the price of not dropping messages.
     #[allow(clippy::result_large_err)]
     pub fn send(&self, packet: Packet) -> Result<(), Packet> {
-        {
+        let waker = {
             let mut state = self.gate.state.lock().expect("lock poisoned");
             loop {
                 if state.closed {
@@ -137,18 +181,23 @@ impl MailboxSender {
             }
             state.depth += 1;
             self.high_water.fetch_max(state.depth, Ordering::Relaxed);
-        }
-        self.tx.send(packet).map_err(|e| {
+            state.waker.clone()
+        };
+        self.tx.send((Instant::now(), packet)).map_err(|e| {
             self.on_send_failed();
-            e.0
-        })
+            e.0 .1
+        })?;
+        if let Some(waker) = waker {
+            waker();
+        }
+        Ok(())
     }
 
     /// Enqueue `packet` without blocking; a full mailbox hands the packet
     /// back so the caller can shed it.
     #[allow(clippy::result_large_err)]
     pub fn try_send(&self, packet: Packet) -> Result<(), TrySendError> {
-        {
+        let waker = {
             let mut state = self.gate.state.lock().expect("lock poisoned");
             if state.closed {
                 return Err(TrySendError::Closed(packet));
@@ -158,11 +207,16 @@ impl MailboxSender {
             }
             state.depth += 1;
             self.high_water.fetch_max(state.depth, Ordering::Relaxed);
-        }
-        self.tx.send(packet).map_err(|e| {
+            state.waker.clone()
+        };
+        self.tx.send((Instant::now(), packet)).map_err(|e| {
             self.on_send_failed();
-            TrySendError::Closed(e.0)
-        })
+            TrySendError::Closed(e.0 .1)
+        })?;
+        if let Some(waker) = waker {
+            waker();
+        }
+        Ok(())
     }
 
     /// Undo the depth reservation after a failed channel send (receiver
@@ -178,7 +232,7 @@ impl MailboxSender {
 /// The receiving half of a bounded mailbox, owned by the node loop. Dropping
 /// it marks the mailbox closed and unblocks every waiting sender.
 pub struct MailboxReceiver {
-    rx: Receiver<Packet>,
+    rx: Receiver<(Instant, Packet)>,
     gate: Arc<Gate>,
     high_water: Arc<AtomicUsize>,
 }
@@ -186,16 +240,37 @@ pub struct MailboxReceiver {
 impl MailboxReceiver {
     /// Receive one packet, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet, RecvTimeoutError> {
-        let packet = self.rx.recv_timeout(timeout)?;
-        self.note_dequeue();
-        Ok(packet)
+        self.recv_timeout_stamped(timeout).map(|(p, _)| p)
     }
 
     /// Receive one packet if one is already queued.
     pub fn try_recv(&self) -> Result<Packet, TryRecvError> {
-        let packet = self.rx.try_recv()?;
+        self.try_recv_stamped().map(|(p, _)| p)
+    }
+
+    /// [`recv_timeout`](Self::recv_timeout), also yielding when the packet
+    /// was enqueued — the base of the `span.queue` measurement.
+    pub fn recv_timeout_stamped(
+        &self,
+        timeout: Duration,
+    ) -> Result<(Packet, Instant), RecvTimeoutError> {
+        let (at, packet) = self.rx.recv_timeout(timeout)?;
         self.note_dequeue();
-        Ok(packet)
+        Ok((packet, at))
+    }
+
+    /// [`try_recv`](Self::try_recv), also yielding the enqueue instant.
+    pub fn try_recv_stamped(&self) -> Result<(Packet, Instant), TryRecvError> {
+        let (at, packet) = self.rx.try_recv()?;
+        self.note_dequeue();
+        Ok((packet, at))
+    }
+
+    /// Install the wake hook invoked after every successful enqueue. The
+    /// reactor sets this before a task goes live (and schedules the task
+    /// once right after), so no arrival can slip through unobserved.
+    pub fn set_waker(&self, waker: Waker) {
+        self.gate.state.lock().expect("lock poisoned").waker = Some(waker);
     }
 
     /// Packets currently queued (including any a blocked sender is about to
@@ -232,6 +307,7 @@ pub fn mailbox(capacity: usize) -> (MailboxSender, MailboxReceiver) {
         state: Mutex::new(GateState {
             depth: 0,
             closed: false,
+            waker: None,
         }),
         drained: Condvar::new(),
     });

@@ -1,0 +1,1170 @@
+//! The reactor message plane: N workers driving many actors each.
+//!
+//! Thread-per-actor made every replica shard, coordinator and client an OS
+//! thread. At 3 sites x 4 shards plus coordinators and client pools the
+//! host scheduler — not the protocol — dominates the profile: tens of
+//! runnable threads context-switch and thrash caches on a small machine,
+//! and the sharded sweep recorded sharding *overhead*. The reactor inverts
+//! the shape: a fixed pool of [`PlaneConfig::workers`] OS threads drives
+//! every actor as a schedulable *task* — its mailbox, its `drive` state
+//! (actor, RNG, metrics, outbox) and its scheduling word.
+//!
+//! Scheduling is a sharded run queue with work stealing:
+//!
+//! * A task is woken by message arrival (the mailbox's wake hook), by a
+//!   timer expiring on a worker's [`TimerWheel`], or by a harness call.
+//! * Wakes enqueue the task on its home worker's queue; an idle worker
+//!   with an empty queue steals from its peers, so a skewed shard cannot
+//!   strand runnable tasks behind one busy worker.
+//! * The per-task scheduling word (idle / queued / running / running+
+//!   notified) guarantees exactly one worker drives a task at a time —
+//!   actor state never needs a lock of its own, exactly as in the
+//!   thread-per-actor world.
+//!
+//! Timers go on a per-worker hashed [`TimerWheel`] instead of a per-thread
+//! `BinaryHeap` + exact `recv_timeout` sleep: one `advance` per loop fires
+//! everything due, and an idle worker parks until the wheel's next
+//! deadline. Outbound sends coalesce across tasks driven back-to-back on
+//! the same worker and flush as one `send_many` batch, capped by
+//! [`PlaneConfig::fabric_slack_us`]: a pending batch is handed to the
+//! transport when it fills, when the worker runs out of tasks, or when its
+//! oldest envelope has waited a full horizon — whichever comes first — so
+//! a flush can never be stranded behind a long run of stolen or busy
+//! tasks.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use planet_mdcc::Msg;
+use planet_sim::{
+    drive_into, drive_start, Actor, ActorId, DetRng, Effect, Metrics, SimTime, SiteId, TurnInputs,
+};
+
+use crate::node::{Clock, NodeHandle, Packet, PoolHandle, PoolMembers};
+use crate::plane::{MailboxReceiver, MailboxSender, PlaneConfig};
+use crate::transport::{Envelope, Transport};
+use crate::wheel::{TimerWheel, DEFAULT_SLOTS, DEFAULT_TICK_US};
+
+/// Idle park backstop when no timer is pending (wakes cut it short).
+const IDLE_WAIT: Duration = Duration::from_millis(500);
+
+/// Most consecutive `max_batch` rounds one scheduling slot may spend on a
+/// backlogged task before it must requeue behind its peers.
+const DRIVE_ROUNDS: u32 = 1;
+
+/// Task scheduling states (the per-task scheduling word).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_NOTIFIED: u8 = 3;
+
+/// One actor hosted by a task: id, state, and a private RNG seeded exactly
+/// as a dedicated node's would be.
+struct TaskMember {
+    id: ActorId,
+    actor: Box<dyn Actor<Msg>>,
+    rng: DetRng,
+}
+
+/// Everything a worker needs exclusive access to while driving a task.
+/// Lives inside the task's slot mutex and is *taken out* for the duration
+/// of a drive, so no lock is held while the actor runs or the transport is
+/// called.
+///
+/// A task hosts one *or more* members behind its single mailbox. The
+/// multi-member shape exists for the same reason [`spawn_pool`] does on the
+/// thread runtime: hundreds of tiny closed-loop clients each completing
+/// ~2 messages per wake would pay the full scheduling cost (queue hop,
+/// state-word CAS, body checkout, cold task state) per message, where a
+/// pool amortizes one drive across a whole batch of its members' traffic.
+/// Members keep private ids and RNGs; routing is by envelope destination.
+///
+/// [`spawn_pool`]: crate::node::spawn_pool
+struct TaskBody {
+    site: SiteId,
+    members: Vec<TaskMember>,
+    /// Destination-id routing for multi-member tasks; `None` for the
+    /// single-member case (everything goes to member 0, no map lookup).
+    by_id: Option<HashMap<u32, usize>>,
+    metrics: Metrics,
+    rx: MailboxReceiver,
+    transport: Arc<dyn Transport>,
+    outbox: Vec<Envelope>,
+    effects: Vec<Effect<Msg>>,
+    started: bool,
+}
+
+/// The shared core of a reactor task: its scheduling word, pending timer
+/// fires, the drive-state slot, and the finish rendezvous. Synchronization
+/// lives in the contained `Mutex`/atomic fields.
+pub(crate) struct TaskCore {
+    /// The worker whose run queue wakes enqueue this task on.
+    home: usize,
+    /// IDLE / QUEUED / RUNNING / RUNNING_NOTIFIED.
+    sched: AtomicU8,
+    /// Set once the task has been finalized; late wakes become no-ops.
+    done: AtomicBool,
+    /// Timer payloads whose deadline expired, awaiting delivery as
+    /// self-sent messages by the next drive, tagged with the member index
+    /// that armed them (a wheel on *any* worker may push here — after a
+    /// steal, a task's older timers still live on the wheel of the worker
+    /// that armed them).
+    timer_fires: Mutex<VecDeque<(usize, Msg)>>,
+    /// Fast-path mirror of `timer_fires.is_empty()`: lets every drive of a
+    /// timer-less task (the common case) skip the fire-queue mutex.
+    timer_pending: AtomicBool,
+    /// The drive state; `None` while a worker has it out for a drive, or
+    /// after finalization.
+    body: Mutex<Option<TaskBody>>,
+    /// The harvested members and metrics, present after finalization.
+    result: Mutex<Option<(PoolMembers, Metrics)>>,
+    finished: Condvar,
+}
+
+impl TaskCore {
+    /// Block until the task has finalized, returning its member actors and
+    /// shared metrics. Called by [`NodeHandle::stop_and_join`] and
+    /// [`PoolHandle::stop_and_join`].
+    pub(crate) fn wait_finished(&self) -> (PoolMembers, Metrics) {
+        let mut slot = self.result.lock().expect("lock poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.finished.wait(slot).expect("lock poisoned");
+        }
+    }
+
+    /// Queue a fired timer's message for delivery on the next drive.
+    fn push_timer(&self, member: usize, msg: Msg) {
+        let mut fires = self.timer_fires.lock().expect("lock poisoned");
+        fires.push_back((member, msg));
+        self.timer_pending.store(true, Ordering::Release);
+    }
+
+    /// Pop the next pending timer fire, maintaining the fast-path flag.
+    fn pop_timer(&self) -> Option<(usize, Msg)> {
+        if !self.timer_pending.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut fires = self.timer_fires.lock().expect("lock poisoned");
+        let fire = fires.pop_front();
+        if fires.is_empty() {
+            self.timer_pending.store(false, Ordering::Release);
+        }
+        fire
+    }
+
+    fn has_pending_timer_fires(&self) -> bool {
+        self.timer_pending.load(Ordering::Acquire)
+    }
+}
+
+/// One worker's shared face: its run queue and its parker.
+struct WorkerShared {
+    queue: Mutex<VecDeque<Arc<TaskCore>>>,
+    parker: Parker,
+}
+
+/// The park/notify rendezvous of one worker. `notified` is sticky: a
+/// notify that lands while the worker is between its recheck and its wait
+/// is consumed by the wait's guard check, so wakes are never lost. The
+/// `parked` flag gates the whole notify path: a busy worker costs its
+/// wakers nothing but an atomic load — crucial, since every fabric thread
+/// funnels through its destination's parker on every delivery.
+struct Parker {
+    notified: Mutex<bool>,
+    cv: Condvar,
+    /// True from just before the pre-sleep recheck until wakeup. Paired
+    /// with [`Parker::park_unless`]'s flag-then-recheck order (Dekker
+    /// style): an enqueuer that reads `parked == false` is guaranteed its
+    /// push is visible to the recheck, so skipping the notify is safe.
+    parked: AtomicBool,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            notified: Mutex::new(false),
+            cv: Condvar::new(),
+            parked: AtomicBool::new(false),
+        }
+    }
+
+    fn notify(&self) {
+        let mut notified = self.notified.lock().expect("lock poisoned");
+        *notified = true;
+        self.cv.notify_one();
+    }
+
+    /// Park up to `timeout` — unless `has_work` observes runnable work
+    /// after the `parked` flag is visible, in which case the call returns
+    /// immediately. Enqueuers order push-then-check-`parked`; this orders
+    /// set-`parked`-then-recheck. Under SeqCst one side must see the other:
+    /// either the enqueuer notifies, or the recheck finds the push.
+    fn park_unless(&self, timeout: Duration, has_work: impl FnOnce() -> bool) {
+        self.parked.store(true, Ordering::SeqCst);
+        if has_work() {
+            self.parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        {
+            let mut notified = self.notified.lock().expect("lock poisoned");
+            if !*notified {
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(notified, timeout)
+                    .expect("lock poisoned");
+                notified = guard;
+            }
+            *notified = false;
+        }
+        self.parked.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The shared state of a reactor: worker queues, parkers, and counters.
+/// All interior state is synchronized (queues and parkers carry their own
+/// locks; the rest is atomic).
+struct ReactorInner {
+    workers: Vec<WorkerShared>,
+    running: AtomicBool,
+    clock: Clock,
+    plane: PlaneConfig,
+    seed: u64,
+    next_home: AtomicUsize,
+    steals: AtomicU64,
+    /// Microseconds workers spent driving tasks (summed across workers).
+    busy_us: AtomicU64,
+    /// Microseconds workers spent parked waiting for work.
+    idle_us: AtomicU64,
+    /// Tasks driven (scheduling slots used, not messages).
+    drives: AtomicU64,
+    /// Times a worker ran out of runnable tasks and entered its parker.
+    parks: AtomicU64,
+}
+
+impl ReactorInner {
+    /// Make `task` runnable (message arrival, timer fire, initial
+    /// schedule). Idempotent under any interleaving: the scheduling word
+    /// collapses concurrent wakes into at most one queue entry plus one
+    /// re-run note.
+    fn wake(&self, task: &Arc<TaskCore>) {
+        if task.done.load(Ordering::Acquire) {
+            return;
+        }
+        loop {
+            let state = task.sched.load(Ordering::Acquire);
+            match state {
+                IDLE => {
+                    if task
+                        .sched
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.enqueue(task.home, Arc::clone(task));
+                        return;
+                    }
+                }
+                QUEUED | RUNNING_NOTIFIED => return,
+                _ => {
+                    if task
+                        .sched
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_NOTIFIED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Push a runnable task onto worker `home`'s queue and rouse a
+    /// *sleeper* if there is one: the home worker when it is parked, else
+    /// one parked peer (home is mid-drive, and a parked peer can steal the
+    /// task immediately instead of it waiting out an idle backstop). Awake
+    /// workers need no notify at all — before parking they recheck every
+    /// queue under the parked flag, so a push they weren't told about is
+    /// still found — which keeps the saturated path free of the parker
+    /// mutex and its condvar.
+    fn enqueue(&self, home: usize, task: Arc<TaskCore>) {
+        {
+            let mut queue = self.workers[home].queue.lock().expect("lock poisoned");
+            queue.push_back(task);
+        }
+        if self.workers[home].parker.parked.load(Ordering::SeqCst) {
+            self.workers[home].parker.notify();
+            return;
+        }
+        for (w, worker) in self.workers.iter().enumerate() {
+            if w != home && worker.parker.parked.load(Ordering::SeqCst) {
+                worker.parker.notify();
+                return;
+            }
+        }
+    }
+
+    /// Any task queued on any worker? The pre-park recheck: a worker about
+    /// to sleep must look at every queue (not just its own), because
+    /// enqueuers skip the notify for workers that weren't parked yet.
+    fn has_runnable(&self) -> bool {
+        self.workers
+            .iter()
+            .any(|w| !w.queue.lock().expect("lock poisoned").is_empty())
+    }
+
+    /// Pop the next runnable task for worker `w`: its own queue first,
+    /// then a steal sweep over its peers.
+    fn next_task(&self, w: usize) -> Option<(Arc<TaskCore>, bool)> {
+        if let Some(task) = self.workers[w]
+            .queue
+            .lock()
+            .expect("lock poisoned")
+            .pop_front()
+        {
+            return Some((task, false));
+        }
+        let n = self.workers.len();
+        for step in 1..n {
+            let victim = (w + step) % n;
+            let stolen = self.workers[victim]
+                .queue
+                .lock()
+                .expect("lock poisoned")
+                .pop_front();
+            if let Some(task) = stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((task, true));
+            }
+        }
+        None
+    }
+}
+
+/// A payload on a worker's timer wheel: which task to poke with what, on
+/// behalf of which member.
+struct TimerFire {
+    task: Arc<TaskCore>,
+    member: usize,
+    msg: Msg,
+}
+
+/// Outbound envelopes coalesced across the tasks a worker drives
+/// back-to-back, flushed as one `send_many` per transport. `since` is the
+/// age of the *oldest* pending envelope: the flush horizon
+/// ([`PlaneConfig::fabric_slack_us`]) is measured from it, so batching can
+/// delay no send by more than one horizon regardless of how many tasks —
+/// stolen or home-grown — the worker drives in between.
+struct PendingFlush {
+    /// One pending batch per transport the worker's tasks send through (a
+    /// process hosts a handful at most — linear scan by pointer identity).
+    /// Keeping them separate lets sends coalesce across task drives even
+    /// when consecutive drives alternate transports, as they do in a
+    /// multi-site tcp topology.
+    slots: Vec<(Arc<dyn Transport>, Vec<Envelope>, Instant)>,
+    max_batch: usize,
+    horizon: Duration,
+}
+
+impl PendingFlush {
+    fn new(plane: &PlaneConfig) -> Self {
+        PendingFlush {
+            slots: Vec::new(),
+            max_batch: plane.max_batch.max(1),
+            horizon: Duration::from_micros(plane.fabric_slack_us),
+        }
+    }
+
+    /// Absorb one task's outbox into its transport's batch. A full batch
+    /// flushes inline; otherwise the envelopes wait for the horizon or the
+    /// worker's next idle moment.
+    fn absorb(&mut self, transport: &Arc<dyn Transport>, outbox: &mut Vec<Envelope>) {
+        if outbox.is_empty() {
+            return;
+        }
+        let slot = match self
+            .slots
+            .iter_mut()
+            .find(|(t, _, _)| Arc::ptr_eq(t, transport))
+        {
+            Some(slot) => slot,
+            None => {
+                self.slots
+                    .push((Arc::clone(transport), Vec::new(), Instant::now()));
+                self.slots.last_mut().expect("just pushed")
+            }
+        };
+        if slot.1.is_empty() {
+            slot.2 = Instant::now();
+        }
+        slot.1.append(outbox);
+        if slot.1.len() >= self.max_batch || self.horizon.is_zero() {
+            slot.0.send_many(&mut slot.1);
+            slot.1.clear();
+        }
+    }
+
+    /// Hand everything pending to its transport.
+    fn flush(&mut self) {
+        for (transport, envs, _) in &mut self.slots {
+            if !envs.is_empty() {
+                transport.send_many(envs);
+                envs.clear();
+            }
+        }
+    }
+
+    /// Flush every batch whose oldest pending envelope has aged past the
+    /// horizon.
+    fn flush_if_due(&mut self) {
+        for (transport, envs, since) in &mut self.slots {
+            if !envs.is_empty() && since.elapsed() >= self.horizon {
+                transport.send_many(envs);
+                envs.clear();
+            }
+        }
+    }
+}
+
+/// The reactor runtime: worker threads, their shared queues, and the spawn
+/// surface. One reactor hosts every actor of a process (servers and
+/// clients alike) — [`Reactor::spawn`] returns the same [`NodeHandle`] the
+/// thread-per-actor runtime does, so harness code is runtime-agnostic.
+pub struct Reactor {
+    inner: Arc<ReactorInner>,
+    joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Reactor {
+    /// Start a reactor with `plane.workers` workers (at least one) sharing
+    /// `clock`. `seed` feeds each task's private deterministic RNG exactly
+    /// as `spawn_node` would.
+    pub fn new(clock: Clock, plane: PlaneConfig, seed: u64) -> Arc<Reactor> {
+        let workers = plane.workers.max(1);
+        let inner = Arc::new(ReactorInner {
+            workers: (0..workers)
+                .map(|_| WorkerShared {
+                    queue: Mutex::new(VecDeque::new()),
+                    parker: Parker::new(),
+                })
+                .collect(),
+            running: AtomicBool::new(true),
+            clock,
+            plane,
+            seed,
+            next_home: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            idle_us: AtomicU64::new(0),
+            drives: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        });
+        let joins = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("planet-reactor-{w}"))
+                    .spawn(move || run_worker(w, inner))
+                    .expect("spawn reactor worker")
+            })
+            .collect();
+        Arc::new(Reactor {
+            inner,
+            joins: Mutex::new(joins),
+        })
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Tasks taken off a peer's queue so far.
+    pub fn steals(&self) -> u64 {
+        self.inner.steals.load(Ordering::Relaxed)
+    }
+
+    /// Worker-time accounting: `(busy_us, idle_us, drives, parks)` summed
+    /// across workers — microseconds spent driving tasks, microseconds
+    /// spent parked, scheduling slots used, and times a worker ran dry and
+    /// entered its parker.
+    pub fn worker_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inner.busy_us.load(Ordering::Relaxed),
+            self.inner.idle_us.load(Ordering::Relaxed),
+            self.inner.drives.load(Ordering::Relaxed),
+            self.inner.parks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Spawn `actor` as a reactor task, mirroring `spawn_node`'s contract:
+    /// the caller registered `mailbox` with the transport already, and the
+    /// actor's `on_start` runs on a worker as soon as the task is first
+    /// scheduled (which happens before this call returns control flow to
+    /// message delivery — the wake hook is installed first, so no arrival
+    /// can race past an unscheduled task).
+    pub fn spawn(
+        self: &Arc<Self>,
+        id: ActorId,
+        site: SiteId,
+        actor: Box<dyn Actor<Msg>>,
+        mailbox: MailboxSender,
+        rx: MailboxReceiver,
+        transport: Arc<dyn Transport>,
+    ) -> NodeHandle {
+        let core = self.spawn_task(vec![(id, actor)], site, rx, transport);
+        NodeHandle::from_task(id, mailbox, core)
+    }
+
+    /// Spawn one task driving a *pool* of actors behind a single shared
+    /// mailbox, mirroring [`spawn_pool`](crate::node::spawn_pool)'s
+    /// contract on the thread runtime: the caller registered each member id
+    /// against `mailbox` already, members keep private ids and RNGs, one
+    /// drive drains the whole pool's traffic, and `Packet::Call` (which
+    /// names no member) is counted and dropped. The pool is one schedulable
+    /// task — it migrates between workers like any other, so load
+    /// generators stay stealable without paying per-client scheduling.
+    pub fn spawn_pool(
+        self: &Arc<Self>,
+        members: PoolMembers,
+        site: SiteId,
+        mailbox: MailboxSender,
+        rx: MailboxReceiver,
+        transport: Arc<dyn Transport>,
+    ) -> PoolHandle {
+        assert!(!members.is_empty(), "a pool needs at least one member");
+        let ids: Vec<ActorId> = members.iter().map(|(id, _)| *id).collect();
+        let core = self.spawn_task(members, site, rx, transport);
+        PoolHandle::from_task(ids, mailbox, core)
+    }
+
+    /// The shared spawn path: build the task core, install the wake hook,
+    /// seat the body, and schedule the initial drive (which runs every
+    /// member's `on_start`).
+    fn spawn_task(
+        self: &Arc<Self>,
+        members: PoolMembers,
+        site: SiteId,
+        rx: MailboxReceiver,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<TaskCore> {
+        let inner = &self.inner;
+        let home = inner.next_home.fetch_add(1, Ordering::Relaxed) % inner.workers.len();
+        let members: Vec<TaskMember> = members
+            .into_iter()
+            .map(|(id, actor)| TaskMember {
+                id,
+                actor,
+                rng: DetRng::new(
+                    inner.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1)),
+                ),
+            })
+            .collect();
+        let by_id = (members.len() > 1).then(|| {
+            members
+                .iter()
+                .enumerate()
+                .map(|(idx, m)| (m.id.0, idx))
+                .collect()
+        });
+        let core = Arc::new(TaskCore {
+            home,
+            sched: AtomicU8::new(IDLE),
+            done: AtomicBool::new(false),
+            timer_fires: Mutex::new(VecDeque::new()),
+            timer_pending: AtomicBool::new(false),
+            body: Mutex::new(None),
+            result: Mutex::new(None),
+            finished: Condvar::new(),
+        });
+        // Wake hook first (while the receiver is still ours, no task lock
+        // held), initial schedule last: anything enqueued before the hook
+        // existed is picked up by the initial drive. The task core must be
+        // weak (the receiver lives inside the task body, so a strong ref
+        // would cycle), but the reactor itself is safe to hold strongly —
+        // one upgrade per delivery instead of two.
+        let weak_core = Arc::downgrade(&core);
+        let wake_inner = Arc::clone(inner);
+        rx.set_waker(Arc::new(move || {
+            if let Some(core) = weak_core.upgrade() {
+                wake_inner.wake(&core);
+            }
+        }));
+        *core.body.lock().expect("lock poisoned") = Some(TaskBody {
+            site,
+            members,
+            by_id,
+            metrics: Metrics::new(),
+            rx,
+            transport,
+            outbox: Vec::new(),
+            effects: Vec::new(),
+            started: false,
+        });
+        inner.wake(&core);
+        core
+    }
+
+    /// Stop the worker pool. Tasks must have been joined first (via their
+    /// handles); workers exit at their next idle moment.
+    pub fn shutdown(&self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        for worker in &self.inner.workers {
+            worker.parker.notify();
+        }
+        let joins: Vec<_> = {
+            let mut slot = self.joins.lock().expect("lock poisoned");
+            slot.drain(..).collect()
+        };
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// True for message classes whose replica-side drive is dominated by
+/// validation + WAL append: what the `span.wal_us` histogram times.
+pub(crate) fn is_wal_class(msg: &Msg) -> bool {
+    matches!(
+        msg,
+        Msg::Propose { .. } | Msg::FastPropose { .. } | Msg::Replicate { .. }
+    )
+}
+
+/// The worker main loop: fire timers, drive tasks (own queue first, then
+/// steals), coalesce flushes, park on the wheel's next deadline.
+fn run_worker(w: usize, inner: Arc<ReactorInner>) {
+    let mut wheel: TimerWheel<TimerFire> = TimerWheel::new(DEFAULT_SLOTS, DEFAULT_TICK_US);
+    let mut pending = PendingFlush::new(&inner.plane);
+    let mut fired: Vec<TimerFire> = Vec::new();
+    loop {
+        // Deliver every due timer as a pending self-message + wake.
+        wheel.advance(inner.clock.now(), |_, fire| fired.push(fire));
+        for fire in fired.drain(..) {
+            fire.task.push_timer(fire.member, fire.msg);
+            inner.wake(&fire.task);
+        }
+        // The flush horizon is checked between drives, so a batch ages at
+        // most one drive past `fabric_slack_us` even on a saturated worker.
+        pending.flush_if_due();
+        match inner.next_task(w) {
+            Some((task, stolen)) => {
+                let began = Instant::now();
+                drive_task(&inner, w, &task, stolen, &mut wheel, &mut pending);
+                inner
+                    .busy_us
+                    .fetch_add(began.elapsed().as_micros() as u64, Ordering::Relaxed);
+                inner.drives.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                pending.flush();
+                if !inner.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                let timeout = match wheel.next_deadline() {
+                    Some(at) => at.since(inner.clock.now()).to_std().min(IDLE_WAIT),
+                    None => IDLE_WAIT,
+                };
+                let began = Instant::now();
+                inner.parks.fetch_add(1, Ordering::Relaxed);
+                inner.workers[w]
+                    .parker
+                    .park_unless(timeout, || inner.has_runnable());
+                inner
+                    .idle_us
+                    .fetch_add(began.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Drive one scheduled task: pending timer fires first, then up to
+/// `max_batch` mailbox packets, one turn-group, one coalesced flush
+/// hand-off. Ends by releasing the scheduling word (re-queueing if traffic
+/// arrived mid-drive or the batch cap left the mailbox non-empty).
+fn drive_task(
+    inner: &Arc<ReactorInner>,
+    w: usize,
+    task: &Arc<TaskCore>,
+    stolen: bool,
+    wheel: &mut TimerWheel<TimerFire>,
+    pending: &mut PendingFlush,
+) {
+    if task
+        .sched
+        .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return; // finalized under us; nothing to drive
+    }
+    let taken = task.body.lock().expect("lock poisoned").take();
+    let Some(mut body) = taken else {
+        // Finalized between the CAS and the take: leave the word as-is,
+        // wakes check `done` first.
+        return;
+    };
+    let max_batch = inner.plane.max_batch.max(1);
+    let site = body.site;
+    let inputs = |id: ActorId, now: SimTime| TurnInputs {
+        now,
+        self_id: id,
+        self_site: site,
+    };
+    let mut halted = false;
+    if stolen {
+        body.metrics.counter("plane.steal").add(1);
+    }
+    if !body.started {
+        body.started = true;
+        for idx in 0..body.members.len() {
+            let now = inner.clock.now();
+            let member = &mut body.members[idx];
+            let start = drive_start(
+                member.actor.as_mut(),
+                inputs(member.id, now),
+                &mut member.rng,
+                &mut body.metrics,
+            );
+            body.effects.extend(start.effects);
+            absorb_effects(task, &mut body, idx, wheel, now, &mut halted);
+        }
+    }
+    // A backlogged task (a coordinator fielding a whole site's clients)
+    // gets several batch rounds in one scheduling slot: going to the back
+    // of the run queue after every 64 messages would make its backlog age
+    // by a full round-robin cycle per batch — exactly the continuous
+    // drain a dedicated node thread gets for free. Rounds are bounded so
+    // one hot task cannot monopolize its worker, and each round hands its
+    // sends to the coalescing buffer (which self-flushes at `max_batch`
+    // and is horizon-checked between rounds).
+    let mut budget = max_batch;
+    let mut rounds = DRIVE_ROUNDS;
+    loop {
+        // Timer fires queued by any worker's wheel: delivered as self-sends.
+        while budget > 0 && !halted {
+            let Some((idx, msg)) = task.pop_timer() else {
+                break;
+            };
+            budget -= 1;
+            if idx >= body.members.len() {
+                continue; // timer for a member that was never pooled
+            }
+            let now = inner.clock.now();
+            let member = &mut body.members[idx];
+            drive_into(
+                member.actor.as_mut(),
+                inputs(member.id, now),
+                member.id,
+                msg,
+                &mut member.rng,
+                &mut body.metrics,
+                &mut body.effects,
+            );
+            absorb_effects(task, &mut body, idx, wheel, now, &mut halted);
+        }
+        // Mailbox packets, batched exactly as the node loop batches.
+        let mut drained = 0u64;
+        while budget > 0 && !halted {
+            let Ok((packet, enqueued)) = body.rx.try_recv_stamped() else {
+                break;
+            };
+            budget -= 1;
+            drained += 1;
+            body.metrics
+                .histogram("span.queue_us")
+                .record(enqueued.elapsed().as_micros() as u64);
+            match packet {
+                Packet::Env(env) => {
+                    let idx = match &body.by_id {
+                        None => 0,
+                        Some(map) => match map.get(&env.to.0) {
+                            Some(&idx) => idx,
+                            None => {
+                                body.metrics.counter("plane.pool.misrouted").add(1);
+                                continue;
+                            }
+                        },
+                    };
+                    let now = inner.clock.now();
+                    let wal = is_wal_class(&env.msg);
+                    let before = if wal { Some(Instant::now()) } else { None };
+                    let member = &mut body.members[idx];
+                    drive_into(
+                        member.actor.as_mut(),
+                        inputs(member.id, now),
+                        env.from,
+                        env.msg,
+                        &mut member.rng,
+                        &mut body.metrics,
+                        &mut body.effects,
+                    );
+                    if let Some(before) = before {
+                        body.metrics
+                            .histogram("span.wal_us")
+                            .record(before.elapsed().as_micros() as u64);
+                    }
+                    absorb_effects(task, &mut body, idx, wheel, now, &mut halted);
+                }
+                Packet::Call(f) => {
+                    if body.members.len() > 1 {
+                        // A call names no member; see `spawn_pool` docs.
+                        body.metrics.counter("plane.pool.dropped_call").add(1);
+                        continue;
+                    }
+                    let member = &mut body.members[0];
+                    let followups = f(member.actor.as_mut());
+                    for msg in followups {
+                        let now = inner.clock.now();
+                        let member = &mut body.members[0];
+                        drive_into(
+                            member.actor.as_mut(),
+                            inputs(member.id, now),
+                            member.id,
+                            msg,
+                            &mut member.rng,
+                            &mut body.metrics,
+                            &mut body.effects,
+                        );
+                        absorb_effects(task, &mut body, 0, wheel, now, &mut halted);
+                    }
+                }
+                Packet::Stop => {
+                    halted = true;
+                }
+            }
+        }
+        if drained > 0 {
+            body.metrics.histogram("plane.batch").record(drained);
+            body.metrics
+                .histogram("plane.mailbox.depth")
+                .record(body.rx.depth() as u64);
+        }
+        pending.absorb(&body.transport, &mut body.outbox);
+        rounds -= 1;
+        if halted || rounds == 0 || budget > 0 || body.rx.depth() == 0 {
+            break;
+        }
+        pending.flush_if_due();
+        budget = max_batch;
+    }
+    if halted {
+        finalize(task, body);
+        return;
+    }
+    // More work queued behind the batch cap? Treat it as a wake. (With
+    // budget left the drain loop already saw the mailbox empty — anything
+    // arriving since has flipped the scheduling word to RUNNING_NOTIFIED —
+    // so the depth probe and its gate lock are only paid when the cap hit.)
+    let more = task.has_pending_timer_fires() || (budget == 0 && body.rx.depth() > 0);
+    // Body back before the word is released: a stealer may drive the task
+    // the instant it reads QUEUED.
+    *task.body.lock().expect("lock poisoned") = Some(body);
+    let release = task
+        .sched
+        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire);
+    let notified = release.is_err();
+    if notified {
+        task.sched.store(QUEUED, Ordering::Release);
+        inner.enqueue(w, Arc::clone(task));
+    } else if more {
+        inner.wake(task);
+    }
+}
+
+/// Harvest a stopped/halted task: record the mailbox high-water, publish
+/// the member actors and metrics, mark the task done (late wakes no-op),
+/// and drop the mailbox receiver so blocked senders unblock.
+fn finalize(task: &Arc<TaskCore>, mut body: TaskBody) {
+    body.metrics
+        .histogram("plane.mailbox.depth")
+        .record(body.rx.high_water() as u64);
+    task.done.store(true, Ordering::Release);
+    let members: PoolMembers = body.members.into_iter().map(|m| (m.id, m.actor)).collect();
+    let result = (members, body.metrics);
+    drop(body.rx);
+    let mut slot = task.result.lock().expect("lock poisoned");
+    *slot = Some(result);
+    task.finished.notify_all();
+}
+
+/// Apply one member's turn effects: sends to the task outbox, timers to
+/// the driving worker's wheel (tagged with the arming member), halt to the
+/// drive loop.
+fn absorb_effects(
+    task: &Arc<TaskCore>,
+    body: &mut TaskBody,
+    member: usize,
+    wheel: &mut TimerWheel<TimerFire>,
+    now: SimTime,
+    halted: &mut bool,
+) {
+    let id = body.members[member].id;
+    for effect in body.effects.drain(..) {
+        match effect {
+            Effect::Send { dst, msg } => body.outbox.push(Envelope {
+                from: id,
+                to: dst,
+                msg,
+            }),
+            Effect::Timer { delay, msg } => {
+                wheel.insert(
+                    now + delay,
+                    TimerFire {
+                        task: Arc::clone(task),
+                        member,
+                        msg,
+                    },
+                );
+            }
+            Effect::Halt => *halted = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    use planet_mdcc::Msg;
+    use planet_sim::{Actor, ActorId, Context, SimDuration, SiteId};
+
+    use super::Reactor;
+    use crate::node::Clock;
+    use crate::plane::{mailbox, PlaneConfig};
+    use crate::transport::{Envelope, Transport};
+
+    /// A transport that records when each envelope reached it.
+    #[derive(Default)]
+    struct RecordingTransport {
+        sent: Mutex<Vec<(Instant, Envelope)>>,
+    }
+
+    impl RecordingTransport {
+        fn sent_times(&self) -> Vec<Instant> {
+            self.sent
+                .lock()
+                .expect("lock poisoned")
+                .iter()
+                .map(|(at, _)| *at)
+                .collect()
+        }
+    }
+
+    impl Transport for RecordingTransport {
+        fn send(&self, env: Envelope) {
+            self.sent
+                .lock()
+                .expect("lock poisoned")
+                .push((Instant::now(), env));
+        }
+
+        fn send_many(&self, envs: &mut Vec<Envelope>) {
+            let now = Instant::now();
+            let mut sent = self.sent.lock().expect("lock poisoned");
+            sent.extend(envs.drain(..).map(|env| (now, env)));
+        }
+    }
+
+    /// Occupies its worker by sleeping through `on_start`.
+    struct BusyActor(Duration);
+
+    impl Actor<Msg> for BusyActor {
+        fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {
+            std::thread::sleep(self.0);
+        }
+        fn on_message(&mut self, _from: ActorId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {}
+    }
+
+    /// Sends one envelope at startup, then goes quiet.
+    struct OneShotSender;
+
+    impl Actor<Msg> for OneShotSender {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(ActorId(999), Msg::ClientTimer { kind: 1, tag: 0 });
+        }
+        fn on_message(&mut self, _from: ActorId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {}
+    }
+
+    /// Satellite regression: a task driven away from its busy home worker
+    /// (the steal path) hands its outbox to the *stealing* worker's
+    /// coalescing buffer, and that buffer must reach the transport no later
+    /// than the flush horizon — not sit stranded until the idle backstop or
+    /// the home worker's next drive.
+    #[test]
+    fn stolen_task_flush_is_not_stranded_past_horizon() {
+        let horizon_us = 150_000u64;
+        let plane = PlaneConfig {
+            fabric_slack_us: horizon_us,
+            max_batch: 1024, // count-based flush never triggers
+            ..PlaneConfig::default()
+        }
+        .with_workers(2);
+        let transport = std::sync::Arc::new(RecordingTransport::default());
+        let reactor = Reactor::new(Clock::new(), plane, 7);
+
+        let mut handles = Vec::new();
+        let spawn = |actor: Box<dyn Actor<Msg>>, id: u32| {
+            let (tx, rx) = mailbox(plane.mailbox_capacity);
+            reactor.spawn(
+                ActorId(id),
+                SiteId(0),
+                actor,
+                tx,
+                rx,
+                transport.clone() as std::sync::Arc<dyn Transport>,
+            )
+        };
+        let started = Instant::now();
+        // Home assignment round-robins: the busy task pins worker 0 for
+        // 100ms, so every sender homed there can only run by being stolen.
+        handles.push(spawn(Box::new(BusyActor(Duration::from_millis(100))), 0));
+        let senders = 8;
+        for i in 0..senders {
+            handles.push(spawn(Box::new(OneShotSender), 100 + i));
+        }
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (transport.sent.lock().expect("lock poisoned").len() as u32) < senders
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let times = transport.sent_times();
+        assert_eq!(times.len() as u32, senders, "every startup send must land");
+        assert!(
+            reactor.steals() >= 1,
+            "senders homed behind the busy worker must have been stolen"
+        );
+        // Twice the horizon is the generous bound: a stranded flush would
+        // wait out the 500ms idle backstop (or the busy task's 100ms sleep
+        // plus a full horizon) instead.
+        let bound = Duration::from_micros(2 * horizon_us);
+        for at in times {
+            let waited = at.duration_since(started);
+            assert!(
+                waited < bound,
+                "flush stranded {waited:?} (bound {bound:?})"
+            );
+        }
+        for handle in handles {
+            handle.stop_and_join();
+        }
+        reactor.shutdown();
+    }
+
+    /// Re-arms a short timer on every fire while a firehose of external
+    /// messages concurrently wakes (and migrates) the task.
+    struct RearmActor {
+        fires: u64,
+        target: u64,
+        msgs: u64,
+        progress: mpsc::Sender<u64>,
+    }
+
+    impl Actor<Msg> for RearmActor {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.schedule(
+                SimDuration::from_micros(500),
+                Msg::ClientTimer { kind: 7, tag: 0 },
+            );
+        }
+
+        fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::ClientTimer { kind: 7, .. } => {
+                    self.fires += 1;
+                    let _ = self.progress.send(self.fires);
+                    if self.fires < self.target {
+                        ctx.schedule(
+                            SimDuration::from_micros(500),
+                            Msg::ClientTimer { kind: 7, tag: 0 },
+                        );
+                    }
+                }
+                _ => self.msgs += 1,
+            }
+        }
+    }
+
+    /// Satellite regression: timer re-arm under concurrent wake. Every
+    /// re-armed deadline must fire exactly once even while external
+    /// messages race the fire into the task's mailbox and drives hop
+    /// between workers — a lost re-arm (or a double fire) under the
+    /// wake/steal interleaving shows up as a count mismatch.
+    #[test]
+    fn timer_rearm_survives_concurrent_wakes() {
+        let plane = PlaneConfig::default().with_workers(2);
+        let transport = std::sync::Arc::new(RecordingTransport::default());
+        let reactor = Reactor::new(Clock::new(), plane, 11);
+        let target = 40u64;
+        let (progress_tx, progress_rx) = mpsc::channel();
+        let (tx, rx) = mailbox(plane.mailbox_capacity);
+        let handle = reactor.spawn(
+            ActorId(1),
+            SiteId(0),
+            Box::new(RearmActor {
+                fires: 0,
+                target,
+                msgs: 0,
+                progress: progress_tx,
+            }),
+            tx.clone(),
+            rx,
+            transport.clone() as std::sync::Arc<dyn Transport>,
+        );
+
+        // The firehose: concurrent envelopes that keep waking the task
+        // while its timers are in flight.
+        let noise = 400u64;
+        let pump = std::thread::spawn(move || {
+            for i in 0..noise {
+                let _ = tx.send(crate::node::Packet::Env(Envelope {
+                    from: ActorId(77),
+                    to: ActorId(1),
+                    msg: Msg::ClientTimer { kind: 99, tag: i },
+                }));
+                if i % 16 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        });
+
+        let mut last = 0;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while last < target && Instant::now() < deadline {
+            match progress_rx.recv_timeout(Duration::from_millis(500)) {
+                Ok(n) => last = n,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        pump.join().expect("pump thread");
+        assert_eq!(last, target, "every re-armed timer must fire exactly once");
+
+        let (actor, _metrics) = handle.stop_and_join();
+        reactor.shutdown();
+        let any: &dyn std::any::Any = actor.as_ref();
+        let rearm = any
+            .downcast_ref::<RearmActor>()
+            .expect("harvested actor downcasts");
+        assert_eq!(rearm.fires, target);
+        assert_eq!(rearm.msgs, noise, "no external message may be lost");
+    }
+}

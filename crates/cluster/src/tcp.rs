@@ -242,10 +242,14 @@ impl TcpInner {
     }
 
     /// Decode frames off one connection until EOF, delivering locally and
-    /// learning reply routes.
+    /// learning reply routes. Frames are read into pooled `Arc<[u8]>`
+    /// buffers and decoded zero-copy: payload fields (keys, byte values)
+    /// borrow views of the receive buffer instead of allocating, and the
+    /// buffer returns to the pool once every view of it is dropped.
     fn read_loop(inner: &Arc<TcpInner>, mut stream: TcpStream, conn: Conn) {
+        let mut pool = wire::FramePool::new();
         loop {
-            match wire::read_frame(&mut stream) {
+            match wire::read_frame_pooled(&mut stream, &mut pool) {
                 Ok(Some(env)) => {
                     // Learn the reply path: the sender is reachable down
                     // this connection (unless a static route exists).
@@ -315,6 +319,7 @@ impl TcpInner {
                 stats: TxnStats {
                     submitted_at: SimTime::from_micros(0),
                     decided_at: SimTime::from_micros(0),
+                    proposals_sent_at: SimTime::from_micros(0),
                     write_keys: 0,
                     votes_received: 0,
                     rejections: 0,

@@ -23,7 +23,7 @@
 //! `planetd` server and `planet-load` driver.
 
 use std::io::{self, Read, Write};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use planet_mdcc::{KeyRead, Msg, Outcome, ProgressStage, ReadLevel, TxnSpec, TxnStats};
 use planet_plan::{
@@ -117,11 +117,32 @@ impl Sink for Measure {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding off a shared frame buffer: the owning `Arc` and the
+    /// offset of `buf[0]` within it. Keys and byte values then decode as
+    /// zero-copy views into the frame instead of per-field allocations.
+    shared: Option<(&'a Arc<[u8]>, usize)>,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// A reader over `owner[base..base + len]` that decodes blob fields as
+    /// views into `owner`.
+    fn new_shared(owner: &'a Arc<[u8]>, base: usize, len: usize) -> Result<Self> {
+        if base.checked_add(len).is_none_or(|end| end > owner.len()) {
+            return err("shared range out of bounds");
+        }
+        Ok(Reader {
+            buf: &owner[base..base + len],
+            pos: 0,
+            shared: Some((owner, base)),
+        })
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
@@ -160,6 +181,32 @@ impl<'a> Reader<'a> {
         let n = self.u32()? as usize;
         self.take(n)
     }
+    /// A length-prefixed blob as [`Bytes`]: a zero-copy view into the
+    /// owning frame buffer when one is attached, an owned copy otherwise.
+    fn blob_bytes(&mut self) -> Result<Bytes> {
+        let n = self.u32()? as usize;
+        let start = self.pos;
+        let raw = self.take(n)?;
+        match self.shared {
+            Some((owner, base)) => Ok(Bytes::shared(Arc::clone(owner), base + start, n)),
+            None => Ok(Bytes::copy_from_slice(raw)),
+        }
+    }
+    /// A length-prefixed string as [`Key`]: a zero-copy, UTF-8-validated
+    /// view into the owning frame buffer when one is attached.
+    fn blob_key(&mut self) -> Result<Key> {
+        let n = self.u32()? as usize;
+        let start = self.pos;
+        let raw = self.take(n)?;
+        match self.shared {
+            Some((owner, base)) => Key::shared(Arc::clone(owner), base + start, n)
+                .ok_or_else(|| WireError("bad utf8".into())),
+            None => {
+                let s = std::str::from_utf8(raw).map_err(|_| WireError("bad utf8".into()))?;
+                Ok(Key::new(s))
+            }
+        }
+    }
     fn string(&mut self) -> Result<String> {
         let raw = self.blob()?;
         String::from_utf8(raw.to_vec()).map_err(|_| WireError("bad utf8".into()))
@@ -182,7 +229,7 @@ fn put_key(w: &mut impl Sink, k: &Key) {
     w.str(k.as_str());
 }
 fn get_key(r: &mut Reader) -> Result<Key> {
-    Ok(Key::new(r.string()?))
+    r.blob_key()
 }
 
 fn put_txn_id(w: &mut impl Sink, t: TxnId) {
@@ -213,7 +260,7 @@ fn get_value(r: &mut Reader) -> Result<Value> {
     match r.u8()? {
         0 => Ok(Value::None),
         1 => Ok(Value::Int(r.i64()?)),
-        2 => Ok(Value::Bytes(Bytes::copy_from_slice(r.blob()?))),
+        2 => Ok(Value::Bytes(r.blob_bytes()?)),
         _ => err("bad Value tag"),
     }
 }
@@ -446,6 +493,7 @@ fn get_outcome(r: &mut Reader) -> Result<Outcome> {
 fn put_stats(w: &mut impl Sink, s: &TxnStats) {
     w.u64(s.submitted_at.as_micros());
     w.u64(s.decided_at.as_micros());
+    w.u64(s.proposals_sent_at.as_micros());
     w.u64(s.write_keys as u64);
     w.u64(s.votes_received as u64);
     w.u64(s.rejections as u64);
@@ -454,6 +502,7 @@ fn get_stats(r: &mut Reader) -> Result<TxnStats> {
     Ok(TxnStats {
         submitted_at: SimTime::from_micros(r.u64()?),
         decided_at: SimTime::from_micros(r.u64()?),
+        proposals_sent_at: SimTime::from_micros(r.u64()?),
         write_keys: r.u64()? as usize,
         votes_received: r.u64()? as usize,
         rejections: r.u64()? as usize,
@@ -981,6 +1030,23 @@ pub fn decode(buf: &[u8]) -> Result<Envelope> {
     Ok(Envelope { from, to, msg })
 }
 
+/// Decode the payload at `buf[start..start + len]` *zero-copy*: every key
+/// and byte value in the resulting message is a refcounted view into
+/// `buf`, so a frame decodes with no per-field allocation — the buffer
+/// stays alive until the last decoded field drops. Semantically identical
+/// to [`decode`] of the same range (the round-trip property tests pin
+/// this).
+pub fn decode_shared(buf: &Arc<[u8]>, start: usize, len: usize) -> Result<Envelope> {
+    let mut r = Reader::new_shared(buf, start, len)?;
+    let from = ActorId(r.u32()?);
+    let to = ActorId(r.u32()?);
+    let msg = get_msg(&mut r)?;
+    if !r.finished() {
+        return err("trailing bytes");
+    }
+    Ok(Envelope { from, to, msg })
+}
+
 /// Write one length-prefixed frame as a single `write_all` (header and
 /// payload together — one syscall on an unbuffered stream, and no partial
 /// frame is ever observable from another writer's perspective).
@@ -1020,6 +1086,87 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Envelope>> {
     decode(&payload)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read one length-prefixed frame into a pooled shared buffer and decode
+/// it zero-copy ([`decode_shared`]): one buffer (re)use per frame, no
+/// per-field allocation. Returns `Ok(None)` on clean EOF.
+pub fn read_frame_pooled(r: &mut impl Read, pool: &mut FramePool) -> io::Result<Option<Envelope>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let len = len as usize;
+    let mut buf = pool.get(len);
+    {
+        let slot = Arc::get_mut(&mut buf).expect("pooled frame buffer is unique");
+        r.read_exact(&mut slot[..len])?;
+    }
+    let env =
+        decode_shared(&buf, 0, len).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Back into the pool: reusable again once every decoded view drops.
+    pool.put(buf);
+    Ok(Some(env))
+}
+
+/// A small free-list of shared frame buffers for the zero-copy receive
+/// path. Decoded messages hold refcounted views into these buffers, so a
+/// buffer is only handed out again once the last view from its previous
+/// frame has dropped (`strong_count == 1`) — the pool checks, never
+/// blocks, and allocates fresh when everything is still pinned.
+pub struct FramePool {
+    slots: Vec<Arc<[u8]>>,
+}
+
+impl FramePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        FramePool { slots: Vec::new() }
+    }
+
+    /// A unique buffer of at least `len` bytes — a recycled frame whose
+    /// views have all dropped, or a fresh allocation.
+    fn get(&mut self, len: usize) -> Arc<[u8]> {
+        for i in 0..self.slots.len() {
+            if self.slots[i].len() >= len && Arc::strong_count(&self.slots[i]) == 1 {
+                return self.slots.swap_remove(i);
+            }
+        }
+        // Sized allocation (not rounded up): a long-lived decoded value
+        // then pins at most its own frame, never a larger slab.
+        std::iter::repeat_n(0u8, len).collect()
+    }
+
+    /// Track a buffer for future reuse. Buffers still pinned by decoded
+    /// views simply stay unavailable until those views drop.
+    fn put(&mut self, buf: Arc<[u8]>) {
+        if self.slots.len() < POOL_CAP {
+            self.slots.push(buf);
+        }
+    }
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        FramePool::new()
+    }
 }
 
 // ------------------------------------------------------------------ pool
@@ -1132,6 +1279,7 @@ mod tests {
         let stats = TxnStats {
             submitted_at: SimTime::from_micros(123),
             decided_at: SimTime::from_micros(456),
+            proposals_sent_at: SimTime::from_micros(300),
             write_keys: 2,
             votes_received: 9,
             rejections: 1,
@@ -1402,6 +1550,141 @@ mod tests {
             );
             round_trip(env);
         }
+    }
+
+    /// Property: zero-copy decode off a shared buffer is observably
+    /// identical to owned decode, for every variant. Also pins that the
+    /// shared path really is zero-copy: decoded byte values are views
+    /// into the frame, not copies.
+    #[test]
+    fn shared_decode_is_equivalent_to_owned_decode() {
+        for msg in all_variants() {
+            let env = envelope(msg);
+            let encoded = encode(&env);
+            // Embed the payload at a nonzero offset inside a larger
+            // buffer, as a pooled frame would be.
+            let mut framed = vec![0xEE; 7];
+            framed.extend_from_slice(&encoded);
+            framed.extend_from_slice(&[0xEE; 3]);
+            let arc: Arc<[u8]> = Arc::from(framed.into_boxed_slice());
+            let owned = decode(&encoded).expect("owned decode");
+            let shared = decode_shared(&arc, 7, encoded.len()).expect("shared decode");
+            assert_eq!(
+                format!("{owned:?}"),
+                format!("{shared:?}"),
+                "owned and shared decode disagree"
+            );
+            if let Msg::Submit { spec, .. } = &shared.msg {
+                for (_, op) in &spec.writes {
+                    if let WriteOp::Set(Value::Bytes(b)) = op {
+                        assert!(b.is_view(), "shared decode must not copy byte values");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property: shared ≡ owned decode under randomized payloads —
+    /// variable-length keys, blobs and collection sizes, including empty
+    /// ones.
+    #[test]
+    fn shared_decode_matches_owned_for_random_payloads() {
+        for trial in 0..200u64 {
+            let mut rng = DetRng::new(0xC0DE_C0DE ^ trial);
+            let key_of = |r: &mut DetRng| {
+                let len = (r.next_u64() % 40) as usize;
+                Key::new("q".repeat(len.max(1)))
+            };
+            let value_of = |r: &mut DetRng| match r.next_u64() % 4 {
+                0 => Value::None,
+                1 => Value::Int(r.next_u64() as i64),
+                2 => Value::bytes(&b""[..]),
+                _ => {
+                    let len = (r.next_u64() % 300) as usize;
+                    let body: Vec<u8> = (0..len).map(|i| (i as u8) ^ 0x5A).collect();
+                    Value::bytes(body)
+                }
+            };
+            let msg = match trial % 3 {
+                0 => Msg::Apply {
+                    key: key_of(&mut rng),
+                    version: rng.next_u64(),
+                    value: value_of(&mut rng),
+                    txn: TxnId::new(1, rng.next_u64()),
+                },
+                1 => Msg::ReadResp {
+                    txn: TxnId::new(2, rng.next_u64()),
+                    results: (0..(rng.next_u64() % 6))
+                        .map(|_| KeyRead {
+                            key: key_of(&mut rng),
+                            version: rng.next_u64(),
+                            value: value_of(&mut rng),
+                            pending: (rng.next_u64() % 10) as usize,
+                        })
+                        .collect(),
+                },
+                _ => Msg::Submit {
+                    spec: TxnSpec {
+                        reads: (0..(rng.next_u64() % 8))
+                            .map(|_| key_of(&mut rng))
+                            .collect(),
+                        writes: (0..(rng.next_u64() % 8))
+                            .map(|_| (key_of(&mut rng), WriteOp::Set(value_of(&mut rng))))
+                            .collect(),
+                        read_level: ReadLevel::Quorum,
+                    },
+                    reply_to: ActorId(rng.next_u64() as u32),
+                    tag: rng.next_u64(),
+                },
+            };
+            let env = Envelope {
+                from: ActorId(rng.next_u64() as u32),
+                to: ActorId(rng.next_u64() as u32),
+                msg,
+            };
+            let encoded = encode(&env);
+            let arc: Arc<[u8]> = Arc::from(encoded.clone().into_boxed_slice());
+            let owned = decode(&encoded).expect("owned decode");
+            let shared = decode_shared(&arc, 0, encoded.len()).expect("shared decode");
+            assert_eq!(format!("{owned:?}"), format!("{shared:?}"));
+        }
+    }
+
+    /// A pooled frame buffer is reused once the views of its previous
+    /// frame drop, and left alone while any view still pins it.
+    #[test]
+    fn frame_pool_reuses_only_unpinned_buffers() {
+        let mut pool = FramePool::new();
+        let env = envelope(Msg::Apply {
+            key: Key::new("k"),
+            version: 1,
+            value: Value::bytes(&b"payload-bytes"[..]),
+            txn: TxnId::new(0, 1),
+        });
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &env).unwrap();
+        write_frame(&mut stream, &env).unwrap();
+        write_frame(&mut stream, &env).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let first = read_frame_pooled(&mut cursor, &mut pool)
+            .unwrap()
+            .expect("first frame");
+        // `first`'s key/value views pin the first buffer, so the second
+        // read must allocate a distinct one.
+        let second = read_frame_pooled(&mut cursor, &mut pool)
+            .unwrap()
+            .expect("second frame");
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert_eq!(pool.slots.len(), 2, "two buffers in flight");
+        // Drop both decoded envelopes: both buffers become reusable, and
+        // the third read recycles instead of growing the pool.
+        drop(first);
+        drop(second);
+        let third = read_frame_pooled(&mut cursor, &mut pool)
+            .unwrap()
+            .expect("third frame");
+        assert_eq!(format!("{env:?}"), format!("{third:?}"));
+        assert_eq!(pool.slots.len(), 2, "recycled, not grown");
     }
 
     #[test]

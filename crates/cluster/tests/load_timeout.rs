@@ -87,6 +87,7 @@ impl Actor<Msg> for EchoLate {
                             stats: planet_mdcc::TxnStats {
                                 submitted_at: now,
                                 decided_at: now,
+                                proposals_sent_at: now,
                                 write_keys: 1,
                                 votes_received: 0,
                                 rejections: 0,

@@ -216,6 +216,7 @@ fn samples() -> Vec<Msg> {
             stats: TxnStats {
                 submitted_at: SimTime::from_micros(1_000),
                 decided_at: SimTime::from_micros(9_999),
+                proposals_sent_at: SimTime::from_micros(4_000),
                 write_keys: 3,
                 votes_received: 8,
                 rejections: 1,

@@ -620,6 +620,7 @@ impl CoordinatorActor {
                 stats: TxnStats {
                     submitted_at: now,
                     decided_at: now,
+                    proposals_sent_at: SimTime::ZERO,
                     write_keys: 0,
                     votes_received: 0,
                     rejections: 0,
@@ -1423,6 +1424,19 @@ impl CoordinatorActor {
 
     /// Outcome counters and commit-latency histograms, shared by the
     /// interpreted and compiled finish paths.
+    /// Record the per-transaction latency-attribution span this actor owns:
+    /// `span.quorum_wait_us`, proposal dispatch to decision — the slice of
+    /// the commit path spent blocked on replica votes. (The other spans —
+    /// queueing, WAL drive, network — are recorded by the runtime and the
+    /// client, which are the actors that can observe them.)
+    fn span_metrics(&self, stats: &TxnStats, ctx: &mut Context<'_, Msg>) {
+        if stats.proposals_sent_at != SimTime::ZERO {
+            ctx.metrics()
+                .histogram("span.quorum_wait_us")
+                .record(stats.quorum_wait_us());
+        }
+    }
+
     fn outcome_metrics(
         &self,
         outcome: Outcome,
@@ -1478,6 +1492,7 @@ impl CoordinatorActor {
         let stats = TxnStats {
             submitted_at: state.submitted_at,
             decided_at: ctx.now(),
+            proposals_sent_at: state.proposals_sent_at.unwrap_or(SimTime::ZERO),
             write_keys: state.options.len(),
             votes_received: state.votes_received,
             rejections: state.rejections,
@@ -1491,6 +1506,7 @@ impl CoordinatorActor {
             },
         );
         let latency = stats.decided_at.since(stats.submitted_at).as_micros();
+        self.span_metrics(&stats, ctx);
         self.outcome_metrics(outcome, !state.options.is_empty(), latency, ctx);
         if self.config.trace.is_on() {
             self.config.trace.emit(crate::trace::TraceEvent::Finish {
@@ -1557,6 +1573,7 @@ impl CoordinatorActor {
         let stats = TxnStats {
             submitted_at: exec.submitted_at,
             decided_at: ctx.now(),
+            proposals_sent_at: exec.proposals_sent_at.unwrap_or(SimTime::ZERO),
             write_keys: exec.options.len(),
             votes_received: exec.votes_received,
             rejections: exec.rejections,
@@ -1574,6 +1591,7 @@ impl CoordinatorActor {
             },
         );
         let latency = stats.decided_at.since(stats.submitted_at).as_micros();
+        self.span_metrics(&stats, ctx);
         self.outcome_metrics(outcome, any_writes, latency, ctx);
         if self.config.trace.is_on() {
             self.config.trace.emit(crate::trace::TraceEvent::Finish {

@@ -177,12 +177,35 @@ pub struct TxnStats {
     pub submitted_at: SimTime,
     /// When the outcome was determined.
     pub decided_at: SimTime,
+    /// When the coordinator dispatched the proposals (after reads
+    /// completed); `SimTime::ZERO` if none ever went out (read-only
+    /// transaction, or a timeout before reads finished). The gap to
+    /// `decided_at` is the quorum wait — the span the coordinator spent
+    /// blocked on replica votes.
+    pub proposals_sent_at: SimTime,
     /// Number of keys written.
     pub write_keys: usize,
     /// Votes received before the decision.
     pub votes_received: usize,
     /// Rejections received before the decision.
     pub rejections: usize,
+}
+
+impl TxnStats {
+    /// Microseconds the coordinator held the transaction, submit to
+    /// decision.
+    pub fn server_us(&self) -> u64 {
+        self.decided_at.since(self.submitted_at).as_micros()
+    }
+
+    /// Microseconds spent waiting on replica votes (proposal dispatch to
+    /// decision); zero if proposals never went out.
+    pub fn quorum_wait_us(&self) -> u64 {
+        if self.proposals_sent_at == SimTime::ZERO {
+            return 0;
+        }
+        self.decided_at.since(self.proposals_sent_at).as_micros()
+    }
 }
 
 /// Every message in the system.

@@ -3,38 +3,116 @@
 
 use std::sync::Arc;
 
-/// Immutable, cheaply cloneable byte string (an `Arc<[u8]>` under the hood).
-/// Replaces the external `bytes` crate: values are written once and shared
-/// thereafter, so reference-counted sharing is all the protocol needs.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// Immutable, cheaply cloneable byte string: a `(start, len)` view into a
+/// shared `Arc<[u8]>` buffer. Replaces the external `bytes` crate: values
+/// are written once and shared thereafter, so reference-counted sharing is
+/// all the protocol needs — and because a view needs no allocation of its
+/// own, the wire decoder can carve every payload field of a frame out of
+/// the frame's single receive buffer (zero-copy decode) instead of copying
+/// each field into a fresh allocation.
+///
+/// Equality, ordering and hashing are on the viewed *contents*, so an
+/// owned value and a zero-copy view of the same bytes are
+/// indistinguishable.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: u32,
+    len: u32,
+}
 
 impl Bytes {
     /// Copy a slice into a fresh shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes {
+            buf: Arc::from(data),
+            start: 0,
+            len: data.len() as u32,
+        }
+    }
+
+    /// A zero-copy view of `buf[start..start + len]`. The buffer stays
+    /// alive (and its bytes immutable) as long as any view does.
+    ///
+    /// # Panics
+    /// If the range is out of bounds or exceeds `u32` addressing (wire
+    /// frames are far smaller).
+    pub fn shared(buf: Arc<[u8]>, start: usize, len: usize) -> Self {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= buf.len()),
+            "byte view out of bounds"
+        );
+        assert!(start <= u32::MAX as usize && len <= u32::MAX as usize);
+        Bytes {
+            buf,
+            start: start as u32,
+            len: len as u32,
+        }
     }
 
     /// The bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.start as usize..(self.start + self.len) as usize]
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// True if this value is a view into a larger shared buffer (i.e. it
+    /// keeps more bytes alive than it exposes). Introspection for tests
+    /// and pool accounting.
+    pub fn is_view(&self) -> bool {
+        (self.len as usize) != self.buf.len()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::copy_from_slice(&[])
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Bytes").field(&self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
@@ -46,7 +124,12 @@ impl From<&[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let len = v.len() as u32;
+        Bytes {
+            buf: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            len,
+        }
     }
 }
 
@@ -56,35 +139,110 @@ impl From<&str> for Bytes {
     }
 }
 
-/// A record key. Keys are short strings like `"stock:42"`, shared behind an
-/// `Arc<str>` so cloning one (message fan-out, WAL records) is a refcount
-/// bump rather than a heap copy. Inside a store the hot path goes further
-/// and works on interned [`KeyId`]s; the `Arc<str>` form is for the wire
-/// and API boundary.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Key(Arc<str>);
+/// A record key. Keys are short strings like `"stock:42"`, shared so
+/// cloning one (message fan-out, WAL records) is a refcount bump rather
+/// than a heap copy. Inside a store the hot path goes further and works on
+/// interned [`KeyId`]s; this form is for the wire and API boundary.
+///
+/// Two representations share the type: an owned `Arc<str>` (the
+/// constructor path) and a zero-copy view into a shared byte buffer (the
+/// wire-decode path, UTF-8 validated once at construction). Equality,
+/// ordering and hashing are on the string contents, so the two are
+/// indistinguishable — an interner lookup keyed by an owned key finds a
+/// wire-decoded view of the same key and vice versa.
+#[derive(Clone)]
+pub struct Key(KeyRepr);
+
+#[derive(Clone)]
+enum KeyRepr {
+    Owned(Arc<str>),
+    Shared {
+        buf: Arc<[u8]>,
+        start: u32,
+        len: u32,
+    },
+}
 
 impl Key {
     /// Build a key from anything string-like.
     pub fn new(s: impl Into<String>) -> Self {
-        Key(Arc::from(s.into()))
+        Key(KeyRepr::Owned(Arc::from(s.into())))
+    }
+
+    /// A zero-copy key view of `buf[start..start + len]`. Returns `None`
+    /// if the range is out of bounds or not valid UTF-8 (validated here,
+    /// once, so `as_str` never re-checks failure paths at use sites).
+    pub fn shared(buf: Arc<[u8]>, start: usize, len: usize) -> Option<Self> {
+        let end = start.checked_add(len)?;
+        if end > buf.len() || len > u32::MAX as usize || start > u32::MAX as usize {
+            return None;
+        }
+        std::str::from_utf8(&buf[start..end]).ok()?;
+        Some(Key(KeyRepr::Shared {
+            buf,
+            start: start as u32,
+            len: len as u32,
+        }))
     }
 
     /// The key as a string slice.
     pub fn as_str(&self) -> &str {
-        &self.0
+        match &self.0 {
+            KeyRepr::Owned(s) => s,
+            KeyRepr::Shared { buf, start, len } => {
+                // In bounds: `shared` checked the range at construction and
+                // `Arc<[u8]>` contents never change or shrink.
+                // check:allow(panic)
+                let bytes = &buf[*start as usize..(*start + *len) as usize];
+                // UTF-8 validated in `shared`, once, for the same reason.
+                // check:allow(panic)
+                std::str::from_utf8(bytes).expect("key validated at construction")
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Contents only: an owned key and a view of the same string are
+        // semantically identical, so they print identically too.
+        f.debug_tuple("Key").field(&self.as_str()).finish()
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
     }
 }
 
 impl From<&str> for Key {
     fn from(s: &str) -> Self {
-        Key(Arc::from(s))
+        Key(KeyRepr::Owned(Arc::from(s)))
     }
 }
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key(Arc::from(s))
+        Key(KeyRepr::Owned(Arc::from(s)))
     }
 }
 
@@ -102,7 +260,7 @@ pub struct KeyId(pub u32);
 
 impl std::fmt::Display for Key {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 

@@ -24,8 +24,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use planet_cluster::{
-    mailbox, spawn_node, Clock, LoadClient, LoadRecord, PlaneConfig, SpecSource, TcpTransport,
-    Transport,
+    mailbox, spawn_node, Clock, LoadClient, LoadRecord, PlaneConfig, PoolMembers, Reactor,
+    SpecSource, TcpTransport, Transport,
 };
 use planet_mdcc::{FileSink, Msg, Outcome, Trace};
 use planet_sim::metrics::Histogram;
@@ -39,6 +39,7 @@ struct Args {
     secs: u64,
     keys: usize,
     shards: usize,
+    workers: usize,
     workload: Option<String>,
     trace: Option<String>,
 }
@@ -46,7 +47,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: planet-load --addrs <a0,a1,...> [--clients <n>] [--secs <s>] [--keys <k>] [--shards <s>]\n\
-         \x20                 [--workload <name>] [--trace <path>]\n\
+         \x20                 [--workers <w>] [--workload <name>] [--trace <path>]\n\
+         \x20 --workers: reactor worker threads multiplexing the clients\n\
+         \x20            (default: host parallelism; 0 = thread per client)\n\
          \x20 --workload: replace the increment mix with an anomaly recipe ({})\n\
          \x20 --trace: append client-observed outcomes in planet-audit trace format",
         ANOMALY_WORKLOADS.join(", ")
@@ -60,6 +63,7 @@ fn parse_args() -> Args {
     let mut secs = 10;
     let mut keys = 64;
     let mut shards = 1;
+    let mut workers = planet_cluster::default_workers();
     let mut workload = None;
     let mut trace = None;
     let mut args = std::env::args().skip(1);
@@ -90,6 +94,10 @@ fn parse_args() -> Args {
                 Some(v) => shards = v,
                 None => usage(),
             },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => usage(),
+            },
             "--workload" => match args.next() {
                 Some(w) if SpecGen::by_name(&w).is_some() => workload = Some(w),
                 _ => usage(),
@@ -110,6 +118,7 @@ fn parse_args() -> Args {
         secs,
         keys,
         shards,
+        workers,
         workload,
         trace,
     }
@@ -154,12 +163,12 @@ fn main() {
         None => (Trace::off(), None),
     };
 
-    let plane = PlaneConfig::default();
+    let plane = PlaneConfig::default().with_workers(args.workers);
+    // Reactor mode (workers > 0) multiplexes the clients as pooled tasks
+    // over the worker threads; workers == 0 keeps a thread per client.
+    let reactor = (plane.workers > 0).then(|| Reactor::new(clock, plane, 0x10AD));
     let (results_tx, results_rx) = channel::<LoadRecord>();
-    let mut nodes = Vec::new();
-    for k in 0..args.clients {
-        let site = k % n;
-        let id = (coord_base + n + k) as u32;
+    let make_client = |site: usize| -> Box<dyn Actor<Msg>> {
         let mut load = LoadClient::new(
             ActorId((coord_base + site) as u32),
             key_space.clone(),
@@ -172,28 +181,75 @@ fn main() {
                 Box::new(move |rng| gen.lock().expect("spec generator poisoned").next_spec(rng));
             load = load.with_spec_source(source);
         }
-        let client: Box<dyn Actor<Msg>> = Box::new(load);
-        let (tx, rx) = mailbox(plane.mailbox_capacity);
-        transport.host(id, tx.clone());
-        nodes.push(spawn_node(
-            ActorId(id),
-            SiteId(site as u8),
-            client,
-            tx,
-            rx,
-            transport.clone() as Arc<dyn Transport>,
-            clock,
-            0x10AD ^ k as u64,
-            plane,
-        ));
+        Box::new(load)
+    };
+    let mut nodes = Vec::new();
+    let mut pools = Vec::new();
+    match &reactor {
+        // Clients chunk into one pool task per worker per site — a task
+        // per client would pay the full scheduling cost for every ~2
+        // messages of work, while chunks keep batch amortization and stay
+        // stealable across workers.
+        Some(reactor) => {
+            for site in 0..n {
+                let ids: Vec<u32> = (0..args.clients)
+                    .filter(|k| k % n == site)
+                    .map(|k| (coord_base + n + k) as u32)
+                    .collect();
+                if ids.is_empty() {
+                    continue;
+                }
+                let chunk = ids.len().div_ceil(reactor.workers()).max(1);
+                for group in ids.chunks(chunk) {
+                    let (tx, rx) = mailbox(plane.mailbox_capacity);
+                    let members: PoolMembers = group
+                        .iter()
+                        .map(|&id| {
+                            transport.host(id, tx.clone());
+                            (ActorId(id), make_client(site))
+                        })
+                        .collect();
+                    pools.push(reactor.spawn_pool(
+                        members,
+                        SiteId(site as u8),
+                        tx,
+                        rx,
+                        transport.clone() as Arc<dyn Transport>,
+                    ));
+                }
+            }
+        }
+        None => {
+            for k in 0..args.clients {
+                let site = k % n;
+                let id = (coord_base + n + k) as u32;
+                let (tx, rx) = mailbox(plane.mailbox_capacity);
+                transport.host(id, tx.clone());
+                nodes.push(spawn_node(
+                    ActorId(id),
+                    SiteId(site as u8),
+                    make_client(site),
+                    tx,
+                    rx,
+                    transport.clone() as Arc<dyn Transport>,
+                    clock,
+                    0x10AD ^ k as u64,
+                    plane,
+                ));
+            }
+        }
     }
     drop(results_tx);
     println!(
-        "planet-load: {} clients across {n} sites, {} keys, {}s window, {} mix",
+        "planet-load: {} clients across {n} sites, {} keys, {}s window, {} mix, {}",
         args.clients,
         args.keys,
         args.secs,
-        args.workload.as_deref().unwrap_or("increment")
+        args.workload.as_deref().unwrap_or("increment"),
+        match &reactor {
+            Some(r) => format!("reactor x{}", r.workers()),
+            None => "thread-per-client".to_string(),
+        }
     );
 
     let window = Duration::from_secs(args.secs);
@@ -216,8 +272,16 @@ fn main() {
 
     let mut batch = Histogram::new();
     let mut depth = Histogram::new();
+    let mut harvested = Vec::new();
     for node in nodes {
         let (_, metrics) = node.stop_and_join();
+        harvested.push(metrics);
+    }
+    for pool in pools {
+        let (_, metrics) = pool.stop_and_join();
+        harvested.push(metrics);
+    }
+    for metrics in harvested {
         for (name, hist) in metrics.histograms() {
             match name {
                 "plane.batch" => batch.merge(hist),
@@ -225,6 +289,10 @@ fn main() {
                 _ => {}
             }
         }
+    }
+    if let Some(reactor) = &reactor {
+        println!("planet-load: {} task steals", reactor.steals());
+        reactor.shutdown();
     }
     let (flushes, bytes) = transport.io_stats();
     transport.stop();
