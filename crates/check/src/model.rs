@@ -171,14 +171,18 @@ impl Workspace {
 
     /// Load every `.rs` file under `crates/*/src`, `crates/*/tests` is
     /// deliberately excluded (tests may be nondeterministic and unlocked).
-    /// Files are ordered by path so reports are stable.
+    /// `crates/loom` is excluded too: it is the `--cfg loom` model checker
+    /// itself — dead code in production builds, and its `Mutex`/`Condvar`
+    /// shims would otherwise alias the std names the race pass keys on and
+    /// pollute the call graph with phantom blocking edges. Files are
+    /// ordered by path so reports are stable.
     pub fn load(root: &Path) -> std::io::Result<Self> {
         let mut sources = Vec::new();
         let crates_dir = root.join("crates");
         let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
             .filter_map(|e| e.ok())
             .map(|e| e.path())
-            .filter(|p| p.is_dir())
+            .filter(|p| p.is_dir() && p.file_name().is_none_or(|n| n != "loom"))
             .collect();
         crate_dirs.sort();
         for dir in crate_dirs {
@@ -257,6 +261,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(crate::passes::panic::PanicPass),
         Box::new(crate::passes::flow::FlowPass),
         Box::new(crate::passes::race::RacePass),
+        Box::new(crate::passes::sync::SyncPass),
     ]
 }
 

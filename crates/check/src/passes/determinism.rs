@@ -49,27 +49,36 @@ const ORDER_METHODS: &[&str] = &[
     "retain",
 ];
 
-/// Token index ranges covered by `#[cfg(test)]` items (test modules may use
-/// real time and unordered iteration freely). Shared with the panic pass,
-/// which likewise exempts test code.
+/// Token index ranges covered by `#[cfg(test)]`-gated items — including
+/// compound gates like `#[cfg(all(test, loom))]` / `#[cfg(all(test,
+/// not(loom)))]` — (test modules may use real time and unordered iteration
+/// freely). Shared with the panic, race, and sync passes, which likewise
+/// exempt test code.
 pub(crate) fn cfg_test_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 6 < toks.len() {
-        let is_cfg_test = toks[i].is_punct('#')
+        let is_cfg = toks[i].is_punct('#')
             && toks[i + 1].is_punct('[')
             && toks[i + 2].is_ident("cfg")
-            && toks[i + 3].is_punct('(')
-            && toks[i + 4].is_ident("test")
-            && toks[i + 5].is_punct(')')
-            && toks[i + 6].is_punct(']');
-        if !is_cfg_test {
+            && toks[i + 3].is_punct('(');
+        if !is_cfg {
             i += 1;
+            continue;
+        }
+        // A gate counts as test-only when a bare `test` predicate appears
+        // anywhere in it (`test`, `all(test, ..)`) — but not negated
+        // (`not(test)` gates production-only code).
+        let gend = skip_group(toks, i + 3, '(', ')');
+        let test_gated = (i + 4..gend.saturating_sub(1))
+            .any(|k| toks[k].is_ident("test") && !(k >= 2 && toks[k - 2].is_ident("not")));
+        if !test_gated || !toks.get(gend).is_some_and(|t| t.is_punct(']')) {
+            i = gend;
             continue;
         }
         // Skip the attributed item: everything to the end of its first
         // brace group, or to a `;` if one comes first (e.g. a `use`).
-        let mut j = i + 7;
+        let mut j = gend + 1;
         let start = i;
         loop {
             match toks.get(j) {

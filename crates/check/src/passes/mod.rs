@@ -12,6 +12,7 @@ pub mod locks;
 pub mod panic;
 pub mod race;
 pub mod state;
+pub mod sync;
 pub mod time;
 pub mod wire;
 

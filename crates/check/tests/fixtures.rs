@@ -1657,3 +1657,323 @@ impl Fabric {
     assert!(hits[0].message.contains("stores"), "{}", hits[0].message);
     assert_eq!(hits[0].line, 4);
 }
+
+// ---- sync (atomics & wakeups) ----
+
+#[test]
+fn sync_undeclared_atomic_fires_at_decl_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/cluster/src/channel.rs",
+        r#"
+pub struct T {
+    mystery: AtomicU64,
+    counted: AtomicU64, // check:allow(atomics)
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "ATOM001").collect();
+    assert_eq!(hits.len(), 1, "only the unmarked decl: {diags:?}");
+    assert!(hits[0].message.contains("mystery"), "{}", hits[0].message);
+    assert_eq!(hits[0].file, "crates/cluster/src/channel.rs");
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn sync_counter_with_protocol_ordering_fires() {
+    // `steals` is declared a stat-counter for reactor.rs: anything
+    // stronger than Relaxed misdocuments it.
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Shard {
+    fn record(&self) {
+        self.steals.fetch_add(1, Ordering::SeqCst);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "ATOM001" && d.message.contains("steals"))
+        .expect("counter upgrade must fire");
+    assert!(hit.message.contains("Relaxed"), "{}", hit.message);
+    assert_eq!(hit.line, 4);
+}
+
+#[test]
+fn sync_relaxed_counter_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Shard {
+    fn record(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(7, Ordering::Relaxed);
+    }
+}
+"#,
+    )]);
+    assert!(run(&w, "sync").is_empty());
+}
+
+#[test]
+fn sync_handoff_relaxed_store_fires_release_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl TaskCore {
+    fn finish(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+    fn finish_ok(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+    fn poll(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "ATOM001").collect();
+    assert_eq!(hits.len(), 1, "only the relaxed store: {diags:?}");
+    assert!(hits[0].message.contains("done"), "{}", hits[0].message);
+    assert_eq!(hits[0].line, 4);
+}
+
+#[test]
+fn sync_dekker_word_below_seqcst_fires_atom002() {
+    // `parked` is a Dekker word: the loom harness shows Release/Acquire
+    // loses the wakeup, so the pass pins every access to SeqCst.
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Parker {
+    fn park(&self) {
+        self.parked.store(true, Ordering::Release);
+    }
+    fn park_ok(&self) {
+        self.parked.store(true, Ordering::SeqCst);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "ATOM002").collect();
+    assert_eq!(hits.len(), 1, "only the downgraded store: {diags:?}");
+    assert!(hits[0].message.contains("parked"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("SeqCst"), "{}", hits[0].message);
+    assert_eq!(hits[0].line, 4);
+}
+
+#[test]
+fn sync_cas_pair_sanity_fires_atom003() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl TaskCore {
+    fn claim_relaxed_failure(&self) {
+        self.sched.compare_exchange(1, 2, Ordering::AcqRel, Ordering::Relaxed);
+    }
+    fn claim_incoherent(&self) {
+        self.sched.compare_exchange(1, 2, Ordering::Release, Ordering::SeqCst);
+    }
+    fn claim_no_release(&self) {
+        self.sched.compare_exchange(1, 2, Ordering::Acquire, Ordering::Acquire);
+    }
+    fn claim_ok(&self) {
+        self.sched.compare_exchange(1, 2, Ordering::AcqRel, Ordering::Acquire);
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let a3: Vec<_> = diags.iter().filter(|d| d.code == "ATOM003").collect();
+    assert!(
+        a3.iter()
+            .any(|d| d.line == 4 && d.message.contains("Relaxed")),
+        "relaxed failure: {diags:?}"
+    );
+    assert!(
+        a3.iter()
+            .any(|d| d.line == 7 && d.message.contains("stronger")),
+        "incoherent pair: {diags:?}"
+    );
+    assert!(
+        a3.iter()
+            .any(|d| d.line == 10 && d.message.contains("Release")),
+        "missing release on success: {diags:?}"
+    );
+    assert!(
+        !a3.iter().any(|d| d.line == 13),
+        "the AcqRel/Acquire pair is sound: {diags:?}"
+    );
+}
+
+#[test]
+fn sync_enqueue_without_notify_fires_wake001_and_allow_suppresses() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Inner {
+    fn enqueue_lossy(&self, t: Task) {
+        let mut queue = self.shard.queue.lock().unwrap();
+        queue.push_back(t);
+    }
+    fn enqueue_marked(&self, t: Task) {
+        let mut queue = self.shard.queue.lock().unwrap();
+        queue.push_back(t); // check:allow(atomics)
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "WAKE001").collect();
+    assert_eq!(hits.len(), 1, "only the unmarked push: {diags:?}");
+    assert!(
+        hits[0].message.contains("enqueue_lossy"),
+        "{}",
+        hits[0].message
+    );
+    assert_eq!(hits[0].line, 5);
+}
+
+#[test]
+fn sync_enqueue_reaching_notify_on_all_paths_is_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Inner {
+    fn enqueue(&self, t: Task) {
+        {
+            let mut queue = self.shard.queue.lock().unwrap();
+            queue.push_back(t);
+        }
+        if self.shard.parker.parked.load(Ordering::SeqCst) {
+            self.shard.parker.notify();
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    assert!(
+        !diags.iter().any(|d| d.code == "WAKE001"),
+        "covered push must be quiet: {diags:?}"
+    );
+}
+
+#[test]
+fn sync_enqueue_with_escaping_branch_fires_wake001() {
+    // One early-return path skips the parked check: exactly the lost
+    // wakeup TIME001-style must-analysis exists to catch.
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Inner {
+    fn enqueue(&self, t: Task) {
+        {
+            let mut queue = self.shard.queue.lock().unwrap();
+            queue.push_back(t);
+        }
+        if self.closing {
+            return;
+        }
+        if self.shard.parker.parked.load(Ordering::SeqCst) {
+            self.shard.parker.notify();
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    assert!(
+        diags.iter().any(|d| d.code == "WAKE001" && d.line == 6),
+        "escaping branch must fire: {diags:?}"
+    );
+}
+
+#[test]
+fn sync_caller_covered_absorb_is_quiet_uncovered_caller_fires() {
+    // `absorb` pushes into the coalescing slot; the notify obligation
+    // (flush/flush_if_due) may be discharged one frame up, around every
+    // call site — the TIME003 caller-cover shape.
+    let quiet = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Worker {
+    fn stash(&self, pending: &mut Pending, env: Envelope) {
+        pending.absorb(env);
+    }
+    fn run(&self, pending: &mut Pending) {
+        loop {
+            let env = self.next();
+            self.stash(pending, env);
+            pending.flush_if_due(self.now());
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&quiet, "sync");
+    assert!(
+        !diags.iter().any(|d| d.code == "WAKE001"),
+        "caller discharges the flush obligation: {diags:?}"
+    );
+
+    let loud = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Worker {
+    fn stash(&self, pending: &mut Pending, env: Envelope) {
+        pending.absorb(env);
+    }
+    fn run(&self, pending: &mut Pending) {
+        loop {
+            let env = self.next();
+            self.stash(pending, env);
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&loud, "sync");
+    assert!(
+        diags.iter().any(|d| d.code == "WAKE001" && d.line == 4),
+        "no caller flushes: {diags:?}"
+    );
+}
+
+#[test]
+fn sync_bare_wait_fires_wake002_rechecked_waits_are_quiet() {
+    let w = ws(&[(
+        "crates/cluster/src/reactor.rs",
+        r#"
+impl Parker {
+    fn park_bare(&self) {
+        let guard = self.lock.lock().unwrap();
+        let guard = self.cv.wait(guard).unwrap();
+    }
+    fn park_looped(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !*guard {
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+    fn park_gated(&self) {
+        let guard = self.lock.lock().unwrap();
+        if !*guard {
+            let guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+"#,
+    )]);
+    let diags = run(&w, "sync");
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == "WAKE002").collect();
+    assert_eq!(hits.len(), 1, "only the bare wait: {diags:?}");
+    assert!(hits[0].message.contains("park_bare"), "{}", hits[0].message);
+    assert_eq!(hits[0].line, 5);
+}

@@ -78,3 +78,47 @@ fn flow_and_race_are_clean_on_the_real_workspace() {
         "flow/race regressions must be fixed, not baselined: {diags:#?}"
     );
 }
+
+/// The sync pass runs clean on the real workspace: every atomic in the
+/// reactor runtime either has a declared role whose ordering contract its
+/// op sites satisfy, or carries a stat-counter allow marker; every
+/// enqueue reaches its notify and every park rechecks. Regressions are
+/// fixed, not baselined — the ratchet holds ATOM/WAKE at zero.
+#[test]
+fn sync_pass_is_clean_on_the_real_workspace() {
+    let ws = real_workspace();
+    let diags = run_passes(&ws, &["sync".to_string()]);
+    assert!(
+        diags.is_empty(),
+        "ATOM/WAKE regressions must be fixed, not baselined: {diags:#?}"
+    );
+}
+
+/// Seeding a single-ordering downgrade into the *real* reactor source —
+/// the parker's Dekker store knocked from SeqCst to Release, exactly the
+/// bug `loom_tests::dekker_handoff_below_seqcst_is_found` demonstrates
+/// dynamically — must trip ATOM002. This proves the pass reads the real
+/// protocol sites, not a fixture-shaped approximation of them.
+#[test]
+fn seeded_parker_downgrade_trips_atom002() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let src = std::fs::read_to_string(root.join("crates/cluster/src/reactor.rs"))
+        .expect("reactor source");
+    let anchor = "self.parked.store(true, Ordering::SeqCst)";
+    assert!(
+        src.contains(anchor),
+        "park_unless must publish `parked` with a SeqCst store"
+    );
+    let downgraded = src.replace(anchor, "self.parked.store(true, Ordering::Release)");
+    let ws = Workspace::from_sources(vec![(
+        "crates/cluster/src/reactor.rs".to_string(),
+        downgraded,
+    )]);
+    let diags = run_passes(&ws, &["sync".to_string()]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "ATOM002" && d.message.contains("parked")),
+        "the downgraded Dekker store must fire ATOM002: {diags:#?}"
+    );
+}

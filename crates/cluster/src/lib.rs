@@ -29,6 +29,7 @@ pub mod load;
 pub mod node;
 pub mod plane;
 pub mod reactor;
+mod sync;
 pub mod tcp;
 pub mod transport;
 pub mod wheel;

@@ -33,8 +33,7 @@
 //! tasks.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use planet_mdcc::Msg;
@@ -44,6 +43,7 @@ use planet_sim::{
 
 use crate::node::{Clock, NodeHandle, Packet, PoolHandle, PoolMembers};
 use crate::plane::{MailboxReceiver, MailboxSender, PlaneConfig};
+use crate::sync::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::transport::{Envelope, Transport};
 use crate::wheel::{TimerWheel, DEFAULT_SLOTS, DEFAULT_TICK_US};
 
@@ -160,6 +160,81 @@ impl TaskCore {
     fn has_pending_timer_fires(&self) -> bool {
         self.timer_pending.load(Ordering::Acquire)
     }
+
+    /// The wake-side transition of the scheduling word. Collapses
+    /// concurrent wakes into at most one queue entry (IDLE → QUEUED) plus
+    /// one re-run note (RUNNING → RUNNING_NOTIFIED); wakes of a finalized
+    /// task are dead. Extracted so the loom harness can drive the *same*
+    /// transition code the reactor runs, not a transliteration.
+    fn try_wake(&self) -> WakeVerdict {
+        if self.done.load(Ordering::Acquire) {
+            return WakeVerdict::Dead;
+        }
+        loop {
+            match self.sched.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .sched
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return WakeVerdict::Enqueue;
+                    }
+                }
+                QUEUED | RUNNING_NOTIFIED => return WakeVerdict::Coalesced,
+                _ => {
+                    if self
+                        .sched
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_NOTIFIED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return WakeVerdict::Coalesced;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The drive-side entry transition: QUEUED → RUNNING. `false` means
+    /// the queue entry was stale (the task finalized after being queued)
+    /// and there is nothing to drive.
+    fn claim_running(&self) -> bool {
+        self.sched
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The drive-side exit transition: RUNNING → IDLE, unless a wake noted
+    /// itself mid-drive (RUNNING_NOTIFIED), in which case the word goes
+    /// back to QUEUED and the caller must re-enqueue — the note is the
+    /// only record of that wake, so dropping it here is a lost drive.
+    fn release_running(&self) -> bool {
+        if self
+            .sched
+            .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return false;
+        }
+        self.sched.store(QUEUED, Ordering::Release);
+        true
+    }
+}
+
+/// What [`TaskCore::try_wake`] decided the waker must do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WakeVerdict {
+    /// The wake won IDLE → QUEUED: the caller owns the queue push.
+    Enqueue,
+    /// Another wake already queued or noted the task; nothing to do.
+    Coalesced,
+    /// The task has finalized; wakes are no-ops.
+    Dead,
 }
 
 /// One worker's shared face: its run queue and its parker.
@@ -252,38 +327,8 @@ impl ReactorInner {
     /// collapses concurrent wakes into at most one queue entry plus one
     /// re-run note.
     fn wake(&self, task: &Arc<TaskCore>) {
-        if task.done.load(Ordering::Acquire) {
-            return;
-        }
-        loop {
-            let state = task.sched.load(Ordering::Acquire);
-            match state {
-                IDLE => {
-                    if task
-                        .sched
-                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        self.enqueue(task.home, Arc::clone(task));
-                        return;
-                    }
-                }
-                QUEUED | RUNNING_NOTIFIED => return,
-                _ => {
-                    if task
-                        .sched
-                        .compare_exchange(
-                            RUNNING,
-                            RUNNING_NOTIFIED,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        return;
-                    }
-                }
-            }
+        if task.try_wake() == WakeVerdict::Enqueue {
+            self.enqueue(task.home, Arc::clone(task));
         }
     }
 
@@ -704,11 +749,7 @@ fn drive_task(
     wheel: &mut TimerWheel<TimerFire>,
     pending: &mut PendingFlush,
 ) {
-    if task
-        .sched
-        .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
-        .is_err()
-    {
+    if !task.claim_running() {
         return; // finalized under us; nothing to drive
     }
     let taken = task.body.lock().expect("lock poisoned").take();
@@ -873,12 +914,7 @@ fn drive_task(
     // Body back before the word is released: a stealer may drive the task
     // the instant it reads QUEUED.
     *task.body.lock().expect("lock poisoned") = Some(body);
-    let release = task
-        .sched
-        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire);
-    let notified = release.is_err();
-    if notified {
-        task.sched.store(QUEUED, Ordering::Release);
+    if task.release_running() {
         inner.enqueue(w, Arc::clone(task));
     } else if more {
         inner.wake(task);
@@ -935,7 +971,7 @@ fn absorb_effects(
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use std::sync::mpsc;
     use std::sync::Mutex;
@@ -1166,5 +1202,378 @@ mod tests {
             .expect("harvested actor downcasts");
         assert_eq!(rearm.fires, target);
         assert_eq!(rearm.msgs, noise, "no external message may be lost");
+    }
+}
+
+/// Exhaustive weak-memory verification of the reactor's lock-free
+/// protocols, run under `RUSTFLAGS="--cfg loom"` (the `crate::sync`
+/// facade swaps every primitive above for `planet-loom`'s modeled
+/// types). Each model drives the *real* `Parker` / `TaskCore` code —
+/// `park_unless`, `try_wake`, `claim_running`, `release_running`,
+/// `push_timer`, `pop_timer`, `wait_finished` — under every bounded-
+/// preemption interleaving and every C11-visible load value. Broken
+/// "twin" variants re-create the protocol with the load-bearing piece
+/// removed (a sub-SeqCst Dekker word, a lock-free mailbox with no
+/// happens-before bridge) and assert the harness *finds* the lost
+/// wakeup, so the clean runs are evidence rather than vacuity.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use std::collections::VecDeque;
+    use std::io::Write as _;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use planet_mdcc::Msg;
+    use planet_sim::Metrics;
+
+    use super::{Parker, TaskCore, WakeVerdict, IDLE};
+    use crate::node::PoolMembers;
+    use crate::sync::{AtomicBool, AtomicU64, AtomicU8, Condvar, Mutex, Ordering};
+
+    /// Park backstop passed to `park_unless`; modeled condvars never time
+    /// out, so a wait that is only saved by this backstop is reported as
+    /// a deadlock — exactly the lost-wakeup semantics we want.
+    const TICK: Duration = Duration::from_millis(1);
+
+    fn fresh_core() -> Arc<TaskCore> {
+        Arc::new(TaskCore {
+            home: 0,
+            sched: AtomicU8::new(IDLE),
+            done: AtomicBool::new(false),
+            timer_fires: Mutex::new(VecDeque::new()),
+            timer_pending: AtomicBool::new(false),
+            body: Mutex::new(None),
+            result: Mutex::new(None),
+            finished: Condvar::new(),
+        })
+    }
+
+    fn timer_msg(tag: u64) -> Msg {
+        Msg::ClientTimer { kind: 7, tag }
+    }
+
+    /// Run a model expected to FAIL and return the failure message.
+    fn fails(f: impl Fn() + Send + Sync + 'static) -> String {
+        let Err(err) = catch_unwind(AssertUnwindSafe(|| loom::model(f))) else {
+            panic!("model must fail");
+        };
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    /// Record the exploration report where CI archives it
+    /// (`target/loom/*.json`). Best-effort: the assertions, not the
+    /// artifact, are the test.
+    fn record(name: &str, report: &loom::Report) {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/loom");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let Ok(mut f) = std::fs::File::create(format!("{dir}/{name}.json")) else {
+            return;
+        };
+        let _ = writeln!(
+            f,
+            "{{\"model\":\"{name}\",\"iterations\":{},\"max_depth\":{},\"preemption_bound\":{}}}",
+            report.iterations,
+            report.max_depth,
+            report.preemption_bound.map_or(-1, |b| b as i64),
+        );
+    }
+
+    /// The worker/enqueuer rendezvous, exactly as the reactor runs it:
+    /// the enqueuer pushes under the queue lock then does the
+    /// parked-flag-gated notify (`ReactorInner::enqueue`); the worker
+    /// loops `park_unless` with the every-queue recheck (`run_worker`).
+    /// A lost handoff leaves the worker committed to a wait no one will
+    /// notify — the explorer reports that as a deadlock.
+    #[test]
+    fn parker_enqueue_handoff_is_never_lost() {
+        let report = loom::model(|| {
+            let queue = Arc::new(Mutex::new(VecDeque::new()));
+            let parker = Arc::new(Parker::new());
+            let (q2, p2) = (Arc::clone(&queue), Arc::clone(&parker));
+            let enqueuer = loom::thread::spawn(move || {
+                q2.lock().expect("lock poisoned").push_back(1u32);
+                if p2.parked.load(Ordering::SeqCst) {
+                    p2.notify();
+                }
+            });
+            loop {
+                if queue.lock().expect("lock poisoned").pop_front().is_some() {
+                    break;
+                }
+                parker.park_unless(TICK, || !queue.lock().expect("lock poisoned").is_empty());
+            }
+            enqueuer.join().expect("enqueuer");
+        });
+        record("parker_enqueue_handoff", &report);
+        assert!(report.iterations >= 2, "explorer must branch");
+    }
+
+    /// The same store→load protocol with the queue replaced by a bare
+    /// atomic counter and sub-SeqCst orderings: the work publish and the
+    /// parked-flag read may now pass each other, and the harness must
+    /// find the resulting lost wakeup. This is the exact downgrade
+    /// ATOM002 exists to reject statically.
+    #[test]
+    fn dekker_handoff_below_seqcst_is_found() {
+        let msg = fails(|| {
+            let work = Arc::new(AtomicU64::new(0));
+            let parker = Arc::new(Parker::new());
+            let (w2, p2) = (Arc::clone(&work), Arc::clone(&parker));
+            let producer = loom::thread::spawn(move || {
+                w2.fetch_add(1, Ordering::Release);
+                if p2.parked.load(Ordering::SeqCst) {
+                    p2.notify();
+                }
+            });
+            loop {
+                if work.load(Ordering::Acquire) > 0 {
+                    break;
+                }
+                parker.park_unless(TICK, || work.load(Ordering::Acquire) > 0);
+            }
+            producer.join().expect("producer");
+        });
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    /// The sound twin: both sides of the Dekker pair at `SeqCst`. The
+    /// single total order forbids the double-stale read, so exploration
+    /// completes clean without any lock bridging the two words.
+    #[test]
+    fn dekker_handoff_at_seqcst_is_sound() {
+        let report = loom::model(|| {
+            let work = Arc::new(AtomicU64::new(0));
+            let parker = Arc::new(Parker::new());
+            let (w2, p2) = (Arc::clone(&work), Arc::clone(&parker));
+            let producer = loom::thread::spawn(move || {
+                w2.fetch_add(1, Ordering::SeqCst);
+                if p2.parked.load(Ordering::SeqCst) {
+                    p2.notify();
+                }
+            });
+            loop {
+                if work.load(Ordering::SeqCst) > 0 {
+                    break;
+                }
+                parker.park_unless(TICK, || work.load(Ordering::SeqCst) > 0);
+            }
+            producer.join().expect("producer");
+        });
+        record("dekker_seqcst", &report);
+        assert!(report.iterations >= 2, "explorer must branch");
+    }
+
+    /// The full scheduling-word protocol under two concurrent wakers:
+    /// each producer deposits a message in a mutex-backed mailbox (the
+    /// happens-before bridge a real `MailboxSender` provides) and then
+    /// runs `try_wake`; the worker claims, drains until empty, and
+    /// releases, re-queueing on a mid-drive note — `drive_task`'s exact
+    /// shape. The protocol's correctness argument is subtle: a waker
+    /// that pushes after the drain's last empty look *must* observe
+    /// RUNNING (the mailbox lock forces it) and so leaves the
+    /// RUNNING_NOTIFIED note. If any interleaving or stale read loses a
+    /// wake, the worker parks forever and the explorer reports the
+    /// deadlock.
+    #[test]
+    fn sched_word_never_loses_a_wake() {
+        let report = loom::model(|| {
+            let core = fresh_core();
+            let mailbox = Arc::new(Mutex::new(0u32));
+            let queue = Arc::new(Mutex::new(VecDeque::new()));
+            let parker = Arc::new(Parker::new());
+            let mut producers = Vec::new();
+            for _ in 0..2 {
+                let core = Arc::clone(&core);
+                let mailbox = Arc::clone(&mailbox);
+                let queue = Arc::clone(&queue);
+                let parker = Arc::clone(&parker);
+                producers.push(loom::thread::spawn(move || {
+                    *mailbox.lock().expect("lock poisoned") += 1;
+                    if core.try_wake() == WakeVerdict::Enqueue {
+                        queue
+                            .lock()
+                            .expect("lock poisoned")
+                            .push_back(Arc::clone(&core));
+                        if parker.parked.load(Ordering::SeqCst) {
+                            parker.notify();
+                        }
+                    }
+                }));
+            }
+            let mut seen = 0u32;
+            while seen < 2 {
+                let task = queue.lock().expect("lock poisoned").pop_front();
+                match task {
+                    Some(task) => {
+                        assert!(task.claim_running(), "queued task must be claimable");
+                        // Drain until the mailbox reads empty — the last
+                        // empty look is what the release races against.
+                        loop {
+                            let got = {
+                                let mut slot = mailbox.lock().expect("lock poisoned");
+                                std::mem::take(&mut *slot)
+                            };
+                            if got == 0 {
+                                break;
+                            }
+                            seen += got;
+                        }
+                        if task.release_running() {
+                            queue.lock().expect("lock poisoned").push_back(task);
+                        }
+                    }
+                    None => parker
+                        .park_unless(TICK, || !queue.lock().expect("lock poisoned").is_empty()),
+                }
+            }
+            for p in producers {
+                p.join().expect("producer");
+            }
+        });
+        record("sched_word", &report);
+        assert!(report.iterations >= 2, "explorer must branch");
+    }
+
+    /// The broken twin: the mailbox's mutex replaced by a relaxed
+    /// counter, severing the happens-before bridge. A waker can now read
+    /// a stale QUEUED after the drain's last empty look, coalesce into a
+    /// queue entry that has already been consumed, and strand its
+    /// message — the lost wake the comment in `drive_task` argues cannot
+    /// happen *with* the bridge. The harness must find it.
+    #[test]
+    fn sched_word_without_mailbox_bridge_is_found() {
+        let msg = fails(|| {
+            let core = fresh_core();
+            let mailbox = Arc::new(AtomicU64::new(0));
+            let queue = Arc::new(Mutex::new(VecDeque::new()));
+            let parker = Arc::new(Parker::new());
+            let mut producers = Vec::new();
+            for _ in 0..2 {
+                let core = Arc::clone(&core);
+                let mailbox = Arc::clone(&mailbox);
+                let queue = Arc::clone(&queue);
+                let parker = Arc::clone(&parker);
+                producers.push(loom::thread::spawn(move || {
+                    mailbox.fetch_add(1, Ordering::Relaxed);
+                    if core.try_wake() == WakeVerdict::Enqueue {
+                        queue
+                            .lock()
+                            .expect("lock poisoned")
+                            .push_back(Arc::clone(&core));
+                        if parker.parked.load(Ordering::SeqCst) {
+                            parker.notify();
+                        }
+                    }
+                }));
+            }
+            let mut seen = 0u64;
+            while seen < 2 {
+                let task = queue.lock().expect("lock poisoned").pop_front();
+                match task {
+                    Some(task) => {
+                        assert!(task.claim_running(), "queued task must be claimable");
+                        loop {
+                            let got = mailbox.swap(0, Ordering::Relaxed);
+                            if got == 0 {
+                                break;
+                            }
+                            seen += got;
+                        }
+                        if task.release_running() {
+                            queue.lock().expect("lock poisoned").push_back(task);
+                        }
+                    }
+                    None => parker
+                        .park_unless(TICK, || !queue.lock().expect("lock poisoned").is_empty()),
+                }
+            }
+            for p in producers {
+                p.join().expect("producer");
+            }
+        });
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    /// The timer fast-path handshake: `push_timer` (queue under lock,
+    /// then flag) racing `pop_timer` (flag probe, queue under lock,
+    /// flag clear on empty) while the driver re-arms mid-drain — the
+    /// wheel re-arm shape `timer_rearm_survives_concurrent_wakes`
+    /// stresses on real threads. Every pushed fire must be drained and
+    /// the flag may never read false at rest while fires sit queued.
+    #[test]
+    fn timer_flag_handshake_never_strands_a_fire() {
+        let report = loom::model(|| {
+            let core = fresh_core();
+            let c2 = Arc::clone(&core);
+            let pusher = loom::thread::spawn(move || {
+                c2.push_timer(0, timer_msg(1));
+            });
+            let mut seen = 0u32;
+            let mut rearmed = false;
+            // Race the concurrent push: drain whatever is visible,
+            // re-arming once on the first fire exactly as RearmActor does.
+            while let Some((member, _msg)) = core.pop_timer() {
+                assert_eq!(member, 0);
+                seen += 1;
+                if !rearmed {
+                    rearmed = true;
+                    core.push_timer(0, timer_msg(2));
+                }
+            }
+            pusher.join().expect("pusher");
+            // Post-join the push is ordered before us: the fast path must
+            // expose everything still queued.
+            while let Some((member, _msg)) = core.pop_timer() {
+                assert_eq!(member, 0);
+                seen += 1;
+                if !rearmed {
+                    rearmed = true;
+                    core.push_timer(0, timer_msg(2));
+                }
+            }
+            assert!(rearmed, "the concurrent fire must have been re-armed");
+            assert_eq!(seen, 2, "one pushed + one re-armed fire, exactly once each");
+            assert!(
+                !core.has_pending_timer_fires(),
+                "flag must be clean once the queue is drained"
+            );
+        });
+        record("timer_flag_handshake", &report);
+        assert!(report.iterations >= 2, "explorer must branch");
+    }
+
+    /// The finish rendezvous: `finalize`'s publish (done flag, result
+    /// slot, notify_all) against `wait_finished`'s take-loop, plus the
+    /// late-wake gate — a wake arriving after finalization must observe
+    /// `done` and die.
+    #[test]
+    fn finalize_rendezvous_never_loses_the_waiter() {
+        let report = loom::model(|| {
+            let core = fresh_core();
+            let c2 = Arc::clone(&core);
+            let finalizer = loom::thread::spawn(move || {
+                // The tail of `finalize`.
+                c2.done.store(true, Ordering::Release);
+                let mut slot = c2.result.lock().expect("lock poisoned");
+                *slot = Some((PoolMembers::new(), Metrics::new()));
+                c2.finished.notify_all();
+            });
+            let (members, _metrics) = core.wait_finished();
+            assert!(members.is_empty());
+            assert_eq!(
+                core.try_wake(),
+                WakeVerdict::Dead,
+                "a post-finalize wake must observe done"
+            );
+            finalizer.join().expect("finalizer");
+        });
+        record("finalize_rendezvous", &report);
+        assert!(report.iterations >= 2, "explorer must branch");
     }
 }

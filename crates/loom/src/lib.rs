@@ -1,0 +1,40 @@
+//! planet-loom: an exhaustive weak-memory model checker for the reactor's
+//! lock-free core, presented through a loom-compatible API.
+//!
+//! The workspace builds against a vendored toolchain with no external
+//! crates, so instead of depending on upstream `loom` the harness is
+//! implemented in-tree: [`model`] runs a closure under *every* bounded-
+//! preemption interleaving of its modeled threads, and every C11-visible
+//! value choice of its modeled atomic loads (per-location store histories
+//! and vector clocks, release/acquire sync, an operational `SeqCst` total
+//! order). Assertion failures and deadlocks — the shape a lost wakeup
+//! takes when condvars never time out — fail the run with a replayable
+//! decision trace.
+//!
+//! Production code opts in via `--cfg loom` through a facade module (see
+//! `planet_cluster::sync`): under the cfg, `Mutex`/`Condvar`/atomics
+//! resolve to the modeled types here; in normal builds they are
+//! `std::sync` re-exports with zero overhead.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().expect("joins");
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.iterations >= 2);
+//! ```
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, Builder, Report, MAX_THREADS};

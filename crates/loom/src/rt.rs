@@ -1,0 +1,801 @@
+//! The exploration engine: exhaustive, replayable interleaving search.
+//!
+//! An execution is identified with its *decision vector* — every source of
+//! nondeterminism (which enabled thread runs the next synchronization op,
+//! which visible store a load reads from, which waiter a `notify_one`
+//! rouses) consumes one recorded [`Decision`]. The explorer runs the model
+//! closure once per vector, depth-first: after each execution it bumps the
+//! deepest decision that still has untried alternatives, truncates the
+//! suffix, and replays. Model closures must therefore be deterministic
+//! apart from the choices the runtime itself injects.
+//!
+//! Weak memory is modeled operationally with per-location store histories
+//! and vector clocks, in the style of C11 release/acquire:
+//!
+//! * Every store keeps the value, the writer, the writer's op stamp, and —
+//!   for `Release`-or-stronger stores — the writer's full clock as a sync
+//!   payload. RMWs carry the payload of the store they displace (release
+//!   sequences survive interposed RMWs of any ordering).
+//! * A load may read any store no older than (a) the newest store at that
+//!   location that happens-before the load, and (b) the newest store the
+//!   thread has already observed there (per-location coherence). `SeqCst`
+//!   loads additionally may not read past the newest `SeqCst` store —
+//!   the operational single-total-order guarantee Dekker protocols buy.
+//! * Acquire-or-stronger loads join the chosen store's sync payload into
+//!   the reader's clock; mutexes and condvars carry clocks the same way.
+//!
+//! Lost wakeups are found structurally: when every live thread is blocked
+//! (mutex, condvar, or join) and none is enabled, the execution is a
+//! deadlock certificate and the run fails with its decision trace.
+//! Condvar waits never time out and never wake spuriously, so a protocol
+//! that leans on a timeout backstop to paper over a missed notify fails
+//! here even though it limps along in production.
+//!
+//! Preemption bounding (default 2) keeps the search tractable: forced
+//! switches (the running thread blocked or finished) are free, voluntary
+//! ones are budgeted. This is the same exploration bound loom popularized;
+//! most ordering bugs need at most two preemptions to surface.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Lane pool size and clock width: models may use at most this many
+/// threads, counting the model closure itself.
+pub const MAX_THREADS: usize = 4;
+
+pub(crate) type VClock = [u32; MAX_THREADS];
+
+fn join(into: &mut VClock, from: &VClock) {
+    for (a, b) in into.iter_mut().zip(from.iter()) {
+        *a = (*a).max(*b);
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// One recorded nondeterministic choice: `chosen` of `options` equally
+/// legal alternatives.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Done,
+}
+
+struct ThreadSt {
+    status: Status,
+    view: VClock,
+    /// Per-atomic coherence floor: index of the newest store this thread
+    /// has observed at each location (indexed by atomic id).
+    last_seen: Vec<usize>,
+}
+
+struct StoreEv {
+    val: u64,
+    writer: usize,
+    /// The writer's own clock slot at store time: `reader.view[writer] >=
+    /// stamp` means this store happens-before the reader's current op.
+    stamp: u32,
+    /// Sync payload joined into acquire readers (empty for relaxed stores).
+    sync: VClock,
+    sc: bool,
+}
+
+struct AtomicSt {
+    /// Modification order; append-only within one execution.
+    stores: Vec<StoreEv>,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    clock: VClock,
+}
+
+struct CvSt {
+    /// `(thread, mutex)` pairs parked on this condvar, in arrival order.
+    waiters: Vec<(usize, usize)>,
+}
+
+struct Shared {
+    threads: Vec<ThreadSt>,
+    atomics: Vec<AtomicSt>,
+    mutexes: Vec<MutexSt>,
+    cvs: Vec<CvSt>,
+    /// `SeqCst` fence clock: fences join it both ways, giving the C11
+    /// total-fence-order synchronization.
+    sc_fence: VClock,
+    active: usize,
+    trace: Vec<Decision>,
+    cursor: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    abort: bool,
+    failure: Option<String>,
+    live_jobs: usize,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct Exec {
+    shared: StdMutex<Shared>,
+    cv: StdCondvar,
+    lanes: Vec<mpsc::Sender<Job>>,
+}
+
+/// Panic payload used to unwind modeled threads when an execution is torn
+/// down (failure elsewhere, or deadlock). Swallowed by the lane wrapper.
+struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Exec>, usize) {
+    CTX.with(|c| c.borrow().clone())
+        .expect("loom sync primitives may only be used from inside loom::model")
+}
+
+fn lock(exec: &Exec) -> StdMutexGuard<'_, Shared> {
+    match exec.shared.lock() {
+        Ok(guard) => guard,
+        // Poison happens only while an execution is being aborted (a lane
+        // unwinds holding the guard); the state is still consistent.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait<'a>(exec: &'a Exec, guard: StdMutexGuard<'a, Shared>) -> StdMutexGuard<'a, Shared> {
+    match exec.cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortToken);
+}
+
+fn fail(sh: &mut Shared, msg: String) {
+    if sh.failure.is_none() {
+        sh.failure = Some(msg);
+    }
+    sh.abort = true;
+}
+
+/// Consume (replaying) or record (exploring) one decision with `options`
+/// alternatives. Single-option points are free: they can never branch.
+fn decide(sh: &mut Shared, options: usize) -> usize {
+    if options <= 1 {
+        return 0;
+    }
+    let at = sh.cursor;
+    sh.cursor += 1;
+    if at < sh.trace.len() {
+        sh.trace[at].chosen
+    } else {
+        sh.trace.push(Decision { chosen: 0, options });
+        0
+    }
+}
+
+fn enabled(sh: &Shared, t: usize) -> bool {
+    match sh.threads[t].status {
+        Status::Ready => true,
+        Status::BlockedMutex(m) => sh.mutexes[m].owner.is_none(),
+        Status::BlockedJoin(j) => sh.threads[j].status == Status::Done,
+        Status::BlockedCv(_) | Status::Done => false,
+    }
+}
+
+/// Pick the next thread to run. With `detach` the current thread cannot
+/// continue (it blocked or finished) and the switch is forced; otherwise
+/// staying put is alternative 0 and switching away spends one unit of
+/// preemption budget. A forced switch with no enabled candidate and a
+/// live thread remaining is a deadlock — the lost-wakeup certificate.
+fn reschedule(sh: &mut Shared, me: usize, detach: bool) {
+    let mut candidates: Vec<usize> = (0..sh.threads.len())
+        .filter(|&t| t != me && enabled(sh, t))
+        .collect();
+    if !detach {
+        candidates.insert(0, me);
+        let capped = sh.bound.is_some_and(|b| sh.preemptions >= b);
+        let pick = if capped {
+            0
+        } else {
+            decide(sh, candidates.len())
+        };
+        if candidates[pick] != me {
+            sh.preemptions += 1;
+            sh.active = candidates[pick];
+        }
+        return;
+    }
+    if candidates.is_empty() {
+        let stuck: Vec<String> = sh
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status != Status::Done)
+            .map(|(i, t)| format!("thread {i} {:?}", t.status))
+            .collect();
+        if !stuck.is_empty() {
+            fail(
+                sh,
+                format!(
+                    "deadlock: every live thread is blocked (lost wakeup / missed notify): {}",
+                    stuck.join(", ")
+                ),
+            );
+        }
+        return;
+    }
+    let pick = decide(sh, candidates.len());
+    sh.active = candidates[pick];
+}
+
+/// Every modeled operation enters here: offer the scheduler a switch
+/// point, wait for the turn, then stamp the op on the thread's clock.
+fn op_entry<'a>(exec: &'a Exec, me: usize) -> StdMutexGuard<'a, Shared> {
+    let mut sh = lock(exec);
+    if sh.abort {
+        drop(sh);
+        abort_unwind();
+    }
+    reschedule(&mut sh, me, false);
+    exec.cv.notify_all();
+    while !sh.abort && sh.active != me {
+        sh = wait(exec, sh);
+    }
+    if sh.abort {
+        drop(sh);
+        abort_unwind();
+    }
+    sh.threads[me].view[me] += 1;
+    sh
+}
+
+/// Block the current thread (status already set by the caller) and wait
+/// until a scheduling decision hands the turn back.
+fn block_here<'a>(
+    exec: &'a Exec,
+    mut sh: StdMutexGuard<'a, Shared>,
+    me: usize,
+) -> StdMutexGuard<'a, Shared> {
+    reschedule(&mut sh, me, true);
+    exec.cv.notify_all();
+    while !sh.abort && sh.active != me {
+        sh = wait(exec, sh);
+    }
+    if sh.abort {
+        drop(sh);
+        abort_unwind();
+    }
+    sh
+}
+
+fn coherence_floor(sh: &mut Shared, me: usize, aid: usize) -> usize {
+    let t = &mut sh.threads[me];
+    if t.last_seen.len() <= aid {
+        t.last_seen.resize(aid + 1, 0);
+    }
+    t.last_seen[aid]
+}
+
+// ---------------------------------------------------------------- atomics
+
+pub(crate) fn register_atomic(init: u64) -> usize {
+    let (exec, me) = ctx();
+    let mut sh = lock(&exec);
+    sh.threads[me].view[me] += 1;
+    let stamp = sh.threads[me].view[me];
+    let sync = sh.threads[me].view;
+    sh.atomics.push(AtomicSt {
+        stores: vec![StoreEv {
+            val: init,
+            writer: me,
+            stamp,
+            sync,
+            sc: false,
+        }],
+    });
+    sh.atomics.len() - 1
+}
+
+pub(crate) fn atomic_load(aid: usize, ord: Ordering) -> u64 {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    let mut floor = coherence_floor(&mut sh, me, aid);
+    let view = sh.threads[me].view;
+    let sc_load = matches!(ord, Ordering::SeqCst);
+    for (i, st) in sh.atomics[aid].stores.iter().enumerate() {
+        if view[st.writer] >= st.stamp {
+            floor = floor.max(i);
+        }
+        if sc_load && st.sc {
+            floor = floor.max(i);
+        }
+    }
+    let newest = sh.atomics[aid].stores.len() - 1;
+    // Alternative 0 reads the newest store, so the first execution of any
+    // model behaves like a naive sequentially-consistent interleaving.
+    let back = decide(&mut sh, newest - floor + 1);
+    let k = newest - back;
+    let (val, sync) = {
+        let st = &sh.atomics[aid].stores[k];
+        (st.val, st.sync)
+    };
+    if is_acquire(ord) {
+        join(&mut sh.threads[me].view, &sync);
+    }
+    let seen = &mut sh.threads[me].last_seen[aid];
+    *seen = (*seen).max(k);
+    val
+}
+
+pub(crate) fn atomic_store(aid: usize, val: u64, ord: Ordering) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    coherence_floor(&mut sh, me, aid);
+    let stamp = sh.threads[me].view[me];
+    let sync = if is_release(ord) {
+        sh.threads[me].view
+    } else {
+        [0; MAX_THREADS]
+    };
+    sh.atomics[aid].stores.push(StoreEv {
+        val,
+        writer: me,
+        stamp,
+        sync,
+        sc: matches!(ord, Ordering::SeqCst),
+    });
+    let newest = sh.atomics[aid].stores.len() - 1;
+    sh.threads[me].last_seen[aid] = newest;
+}
+
+/// Read-modify-write: atomically reads the newest store (RMW atomicity)
+/// and appends the transformed value. The displaced store's sync payload
+/// is carried forward — release sequences survive interposed RMWs.
+pub(crate) fn atomic_rmw(aid: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    coherence_floor(&mut sh, me, aid);
+    let (old, mut sync) = {
+        let st = sh.atomics[aid].stores.last().expect("non-empty history");
+        (st.val, st.sync)
+    };
+    if is_acquire(ord) {
+        join(&mut sh.threads[me].view, &sync);
+    }
+    if is_release(ord) {
+        let view = sh.threads[me].view;
+        join(&mut sync, &view);
+    }
+    let stamp = sh.threads[me].view[me];
+    sh.atomics[aid].stores.push(StoreEv {
+        val: f(old),
+        writer: me,
+        stamp,
+        sync,
+        sc: matches!(ord, Ordering::SeqCst),
+    });
+    let newest = sh.atomics[aid].stores.len() - 1;
+    sh.threads[me].last_seen[aid] = newest;
+    old
+}
+
+pub(crate) fn atomic_cas(
+    aid: usize,
+    expect: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    coherence_floor(&mut sh, me, aid);
+    let newest = sh.atomics[aid].stores.len() - 1;
+    let (old, mut sync) = {
+        let st = &sh.atomics[aid].stores[newest];
+        (st.val, st.sync)
+    };
+    if old != expect {
+        if is_acquire(failure) {
+            join(&mut sh.threads[me].view, &sync);
+        }
+        sh.threads[me].last_seen[aid] = newest;
+        return Err(old);
+    }
+    if is_acquire(success) {
+        join(&mut sh.threads[me].view, &sync);
+    }
+    if is_release(success) {
+        let view = sh.threads[me].view;
+        join(&mut sync, &view);
+    }
+    let stamp = sh.threads[me].view[me];
+    sh.atomics[aid].stores.push(StoreEv {
+        val: new,
+        writer: me,
+        stamp,
+        sync,
+        sc: matches!(success, Ordering::SeqCst),
+    });
+    sh.threads[me].last_seen[aid] = newest + 1;
+    Ok(old)
+}
+
+/// Memory fence. `SeqCst` fences synchronize through the global fence
+/// clock (the C11 total fence order); weaker fences are approximated as
+/// no-ops, which under-synchronizes and therefore errs toward *reporting*
+/// races rather than hiding them.
+pub(crate) fn fence(ord: Ordering) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    if matches!(ord, Ordering::SeqCst) {
+        let fence_clock = sh.sc_fence;
+        join(&mut sh.threads[me].view, &fence_clock);
+        let view = sh.threads[me].view;
+        join(&mut sh.sc_fence, &view);
+    }
+}
+
+// ----------------------------------------------------------- mutex/condvar
+
+pub(crate) fn register_mutex() -> usize {
+    let (exec, _) = ctx();
+    let mut sh = lock(&exec);
+    sh.mutexes.push(MutexSt {
+        owner: None,
+        clock: [0; MAX_THREADS],
+    });
+    sh.mutexes.len() - 1
+}
+
+pub(crate) fn register_cv() -> usize {
+    let (exec, _) = ctx();
+    let mut sh = lock(&exec);
+    sh.cvs.push(CvSt {
+        waiters: Vec::new(),
+    });
+    sh.cvs.len() - 1
+}
+
+pub(crate) fn mutex_lock(mid: usize) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    if sh.mutexes[mid].owner.is_some() {
+        sh.threads[me].status = Status::BlockedMutex(mid);
+        sh = block_here(&exec, sh, me);
+        debug_assert!(sh.mutexes[mid].owner.is_none());
+        sh.threads[me].status = Status::Ready;
+    }
+    sh.mutexes[mid].owner = Some(me);
+    let clock = sh.mutexes[mid].clock;
+    join(&mut sh.threads[me].view, &clock);
+}
+
+pub(crate) fn mutex_unlock(mid: usize) {
+    let (exec, me) = ctx();
+    // A guard dropped during a panic unwind must release without taking a
+    // turn: scheduling may itself unwind (abort), and a second panic while
+    // unwinding would abort the whole process.
+    if std::thread::panicking() {
+        let mut sh = lock(&exec);
+        let view = sh.threads[me].view;
+        join(&mut sh.mutexes[mid].clock, &view);
+        sh.mutexes[mid].owner = None;
+        exec.cv.notify_all();
+        return;
+    }
+    let mut sh = op_entry(&exec, me);
+    let view = sh.threads[me].view;
+    join(&mut sh.mutexes[mid].clock, &view);
+    sh.mutexes[mid].owner = None;
+}
+
+pub(crate) fn cv_wait(cvid: usize, mid: usize) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    // Atomically release the mutex and park. No timeout, no spurious
+    // wakeups: the only way back is a notify.
+    let view = sh.threads[me].view;
+    join(&mut sh.mutexes[mid].clock, &view);
+    sh.mutexes[mid].owner = None;
+    sh.cvs[cvid].waiters.push((me, mid));
+    sh.threads[me].status = Status::BlockedCv(cvid);
+    sh = block_here(&exec, sh, me);
+    // A notify moved us to BlockedMutex; being scheduled means the mutex
+    // was free, so reacquire it.
+    debug_assert!(sh.mutexes[mid].owner.is_none());
+    sh.mutexes[mid].owner = Some(me);
+    sh.threads[me].status = Status::Ready;
+    let clock = sh.mutexes[mid].clock;
+    join(&mut sh.threads[me].view, &clock);
+}
+
+pub(crate) fn cv_notify_one(cvid: usize) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    if sh.cvs[cvid].waiters.is_empty() {
+        return;
+    }
+    // Which waiter wakes is unspecified — explore every choice.
+    let waiting = sh.cvs[cvid].waiters.len();
+    let pick = decide(&mut sh, waiting);
+    let (t, m) = sh.cvs[cvid].waiters.remove(pick);
+    sh.threads[t].status = Status::BlockedMutex(m);
+}
+
+pub(crate) fn cv_notify_all(cvid: usize) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    let waiters = std::mem::take(&mut sh.cvs[cvid].waiters);
+    for (t, m) in waiters {
+        sh.threads[t].status = Status::BlockedMutex(m);
+    }
+}
+
+// ----------------------------------------------------------------- threads
+
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    let tid = sh.threads.len();
+    assert!(
+        tid < MAX_THREADS,
+        "loom model spawned more than MAX_THREADS ({MAX_THREADS}) threads"
+    );
+    // Spawn is a release edge: the child starts with the parent's view.
+    let view = sh.threads[me].view;
+    sh.threads.push(ThreadSt {
+        status: Status::Ready,
+        view,
+        last_seen: Vec::new(),
+    });
+    sh.live_jobs += 1;
+    let exec2 = Arc::clone(&exec);
+    let job: Job = Box::new(move || run_modeled_thread(&exec2, tid, body));
+    exec.lanes[tid].send(job).expect("loom lane thread died");
+    tid
+}
+
+pub(crate) fn thread_join(target: usize) {
+    let (exec, me) = ctx();
+    let mut sh = op_entry(&exec, me);
+    if sh.threads[target].status != Status::Done {
+        sh.threads[me].status = Status::BlockedJoin(target);
+        sh = block_here(&exec, sh, me);
+        sh.threads[me].status = Status::Ready;
+    }
+    // Join is an acquire edge from the finished thread's final view.
+    let view = sh.threads[target].view;
+    join(&mut sh.threads[me].view, &view);
+}
+
+/// A pure scheduling point with no memory effect.
+pub(crate) fn yield_now() {
+    let (exec, me) = ctx();
+    let _sh = op_entry(&exec, me);
+}
+
+fn run_modeled_thread(exec: &Arc<Exec>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        thread_begin(exec, tid);
+        body();
+    }));
+    thread_end(exec, tid, outcome.err());
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn thread_begin(exec: &Exec, me: usize) {
+    let mut sh = lock(exec);
+    while !sh.abort && sh.active != me {
+        sh = wait(exec, sh);
+    }
+    if sh.abort {
+        drop(sh);
+        abort_unwind();
+    }
+}
+
+fn thread_end(exec: &Exec, me: usize, panic_payload: Option<Box<dyn Any + Send>>) {
+    let mut sh = lock(exec);
+    sh.threads[me].status = Status::Done;
+    if let Some(payload) = panic_payload {
+        if !payload.is::<AbortToken>() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            fail(&mut sh, msg);
+        }
+    }
+    if !sh.abort && sh.active == me {
+        reschedule(&mut sh, me, true);
+    }
+    sh.live_jobs -= 1;
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------- explorer
+
+/// Exploration configuration; [`Builder::check`] runs a model to
+/// completion and returns a [`Report`].
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Voluntary context switches allowed per execution (`None` =
+    /// unbounded, full exploration). Forced switches are always free.
+    pub preemption_bound: Option<usize>,
+    /// Hard ceiling on explored executions; exceeding it panics rather
+    /// than silently truncating the state space.
+    pub max_iterations: u64,
+    /// Print a one-line summary to stderr when exploration completes.
+    pub log: bool,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 1_000_000,
+            log: false,
+        }
+    }
+
+    /// Explore every execution of `f` under the configured bounds.
+    /// Panics — with the failing decision trace — on an assertion failure
+    /// inside the model or on a deadlock (the lost-wakeup certificate).
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut senders: Vec<mpsc::Sender<Job>> = Vec::new();
+        let mut lanes = Vec::new();
+        for _ in 0..MAX_THREADS {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            lanes.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            }));
+        }
+        let mut prefix: Vec<Decision> = Vec::new();
+        let mut iterations = 0u64;
+        let mut max_depth = 0usize;
+        let report = loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exceeded the {} execution budget without exhausting the model",
+                self.max_iterations
+            );
+            let exec = Arc::new(Exec {
+                shared: StdMutex::new(Shared {
+                    threads: vec![ThreadSt {
+                        status: Status::Ready,
+                        view: [0; MAX_THREADS],
+                        last_seen: Vec::new(),
+                    }],
+                    atomics: Vec::new(),
+                    mutexes: Vec::new(),
+                    cvs: Vec::new(),
+                    sc_fence: [0; MAX_THREADS],
+                    active: 0,
+                    trace: prefix.clone(),
+                    cursor: 0,
+                    preemptions: 0,
+                    bound: self.preemption_bound,
+                    abort: false,
+                    failure: None,
+                    live_jobs: 1,
+                }),
+                cv: StdCondvar::new(),
+                lanes: senders.clone(),
+            });
+            let model_fn = Arc::clone(&f);
+            let exec2 = Arc::clone(&exec);
+            let root: Job = Box::new(move || {
+                run_modeled_thread(&exec2, 0, Box::new(move || model_fn()));
+            });
+            senders[0].send(root).expect("loom lane 0 died");
+            let (failure, trace) = {
+                let mut sh = lock(&exec);
+                while sh.live_jobs > 0 {
+                    sh = wait(&exec, sh);
+                }
+                (sh.failure.take(), std::mem::take(&mut sh.trace))
+            };
+            max_depth = max_depth.max(trace.len());
+            if let Some(msg) = failure {
+                let sched: Vec<String> = trace
+                    .iter()
+                    .map(|d| format!("{}/{}", d.chosen, d.options))
+                    .collect();
+                panic!(
+                    "loom model failed on execution {iterations}: {msg}\n  \
+                     decision trace (chosen/options): [{}]",
+                    sched.join(", ")
+                );
+            }
+            // Depth-first advance: bump the deepest non-exhausted decision.
+            let mut next = trace;
+            let exhausted = loop {
+                match next.pop() {
+                    None => break true,
+                    Some(d) if d.chosen + 1 < d.options => {
+                        next.push(Decision {
+                            chosen: d.chosen + 1,
+                            options: d.options,
+                        });
+                        break false;
+                    }
+                    Some(_) => {}
+                }
+            };
+            if exhausted {
+                break Report {
+                    iterations,
+                    max_depth,
+                    preemption_bound: self.preemption_bound,
+                };
+            }
+            prefix = next;
+        };
+        drop(senders);
+        for lane in lanes {
+            let _ = lane.join();
+        }
+        if self.log {
+            eprintln!(
+                "loom: explored {} execution(s), max decision depth {}, preemption bound {:?}",
+                report.iterations, report.max_depth, report.preemption_bound
+            );
+        }
+        report
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+/// What exploration covered: how many executions were run before the
+/// decision tree was exhausted.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    pub iterations: u64,
+    pub max_depth: usize,
+    pub preemption_bound: Option<usize>,
+}
+
+/// Exhaustively explore `f` with the default bounds (preemption bound 2).
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

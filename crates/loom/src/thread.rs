@@ -1,0 +1,54 @@
+//! Modeled threads: `spawn`/`join` with the same shape as `std::thread`.
+//! Spawn is a release edge (the child inherits the parent's clock); join
+//! is an acquire edge from the child's final clock. Bodies run on a fixed
+//! pool of lane OS threads, one modeled thread active at a time.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Handle to a modeled thread; [`JoinHandle::join`] blocks the modeled
+/// caller until the thread finishes.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::thread_join(self.tid);
+        let out = match self.result.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        // A panicked modeled thread aborts the whole execution before any
+        // joiner returns, so a missing result cannot be observed here.
+        Ok(out.expect("joined thread stored its result"))
+    }
+}
+
+/// Spawn a modeled thread. Panics if the model exceeds
+/// [`crate::MAX_THREADS`] threads.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_thread(Box::new(move || {
+        let out = f();
+        match slot.lock() {
+            Ok(mut cell) => *cell = Some(out),
+            Err(poisoned) => *poisoned.into_inner() = Some(out),
+        }
+    }));
+    JoinHandle { tid, result }
+}
+
+/// A pure scheduling point: lets the explorer switch threads without a
+/// memory operation.
+pub fn yield_now() {
+    rt::yield_now();
+}
